@@ -1,0 +1,57 @@
+//! Micro-bench: `P[λ]` computation across backends (exact Shannon, BDD
+//! weighted model counting, naive Monte-Carlo, Karp–Luby) on provenance
+//! polynomials of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p3_prob::{bdd::Bdd, exact, mc, Dnf, McConfig, Monomial, VarId, VarTable};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A random chain-structured DNF: `k` monomials of 3 literals over `2k`
+/// variables with 1-variable overlap between neighbours (keeps exact
+/// computation tractable at all sizes).
+fn chain_dnf(k: usize, seed: u64) -> (Dnf, VarTable) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut vars = VarTable::new();
+    for i in 0..(2 * k + 1) {
+        vars.add(format!("x{i}"), rng.random::<f64>());
+    }
+    let monomials = (0..k)
+        .map(|i| {
+            Monomial::new(vec![
+                VarId(2 * i as u32),
+                VarId(2 * i as u32 + 1),
+                VarId(2 * i as u32 + 2),
+            ])
+        })
+        .collect();
+    (Dnf::new(monomials), vars)
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dnf_probability");
+    for &k in &[4usize, 16, 64] {
+        let (dnf, vars) = chain_dnf(k, 7);
+        group.bench_with_input(BenchmarkId::new("exact_shannon", k), &k, |b, _| {
+            b.iter(|| exact::probability(&dnf, &vars))
+        });
+        group.bench_with_input(BenchmarkId::new("bdd_wmc", k), &k, |b, _| {
+            b.iter(|| {
+                let mut bdd = Bdd::new();
+                let node = bdd.from_dnf(&dnf);
+                bdd.wmc(node, &vars)
+            })
+        });
+        let cfg = McConfig { samples: 10_000, seed: 3 };
+        group.bench_with_input(BenchmarkId::new("mc_naive_10k", k), &k, |b, _| {
+            b.iter(|| mc::estimate(&dnf, &vars, cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("karp_luby_10k", k), &k, |b, _| {
+            b.iter(|| mc::karp_luby(&dnf, &vars, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

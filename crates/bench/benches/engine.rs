@@ -1,0 +1,30 @@
+//! Micro-bench: semi-naive evaluation with and without provenance capture
+//! (the Criterion companion to Figure 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p3_datalog::engine::{Engine, NoopSink};
+use p3_provenance::capture::CaptureSink;
+use p3_workloads::trust::{self, NetworkConfig};
+
+fn bench_engine(c: &mut Criterion) {
+    let net = trust::generate(NetworkConfig { nodes: 2000, edges: 10_000, seed: 5, ..NetworkConfig::default() });
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for &size in &[30usize, 60, 90] {
+        let program = net.sample_bfs(size, 11).to_program();
+        group.bench_with_input(BenchmarkId::new("no_provenance", size), &size, |b, _| {
+            b.iter(|| Engine::new(&program).run(&mut NoopSink))
+        });
+        group.bench_with_input(BenchmarkId::new("with_capture", size), &size, |b, _| {
+            b.iter(|| {
+                let mut sink = CaptureSink::new();
+                let db = Engine::new(&program).run(&mut sink);
+                (db, sink.into_graph())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

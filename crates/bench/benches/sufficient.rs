@@ -1,0 +1,46 @@
+//! Micro-bench: sufficient-provenance algorithms — naive greedy vs the
+//! Ré–Suciu recursion (the Criterion companion to Figure 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p3_core::{sufficient_provenance, DerivationAlgo, ProbMethod};
+use p3_prob::{Dnf, McConfig, Monomial, VarId, VarTable};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_dnf(nvars: usize, nmono: usize, seed: u64) -> (Dnf, VarTable) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut vars = VarTable::new();
+    for i in 0..nvars {
+        vars.add(format!("x{i}"), rng.random::<f64>());
+    }
+    let monomials = (0..nmono)
+        .map(|_| {
+            let len = rng.random_range(2..=4usize);
+            Monomial::new((0..len).map(|_| VarId(rng.random_range(0..nvars) as u32)).collect())
+        })
+        .collect();
+    (Dnf::new(monomials), vars)
+}
+
+fn bench_sufficient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sufficient_provenance");
+    group.sample_size(10);
+    let method = ProbMethod::MonteCarlo(McConfig { samples: 5_000, seed: 4 });
+    for &nmono in &[20usize, 80] {
+        let (dnf, vars) = random_dnf(30, nmono, 23);
+        for (name, algo) in [
+            ("naive_greedy", DerivationAlgo::NaiveGreedy),
+            ("re_suciu", DerivationAlgo::ReSuciu),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, nmono),
+                &nmono,
+                |b, _| b.iter(|| sufficient_provenance(&dnf, &vars, 0.02, algo, method)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sufficient);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Runs every experiment in sequence, writing all CSVs under
+//! `EXPERIMENTS-output/`. Accepts `--full` (paper-scale) and `--quick`.
+
+fn main() {
+    let scale = p3_bench::Scale::from_args();
+    use p3_bench::experiments as e;
+    type Runner = fn(&p3_bench::Scale) -> p3_bench::report::Report;
+    let experiments: Vec<(&str, Runner)> = vec![
+        ("table2", e::table2::run),
+        ("modification_example", e::modification_example::run),
+        ("tables5_7", e::tables5_7::run),
+        ("vqa_case", e::vqa_case::run),
+        ("fig9", e::fig9::run),
+        ("fig10", e::fig10::run),
+        ("fig11", e::fig11::run),
+        ("fig12", e::fig12::run),
+        ("fig13", e::fig13::run),
+        ("fig14", e::fig14::run),
+        ("table8", e::table8::run),
+        ("table9", e::table9::run),
+    ];
+    for (name, run) in experiments {
+        eprintln!(">>> running {name}");
+        let start = std::time::Instant::now();
+        run(&scale).emit();
+        eprintln!("<<< {name} done in {:.1}s\n", start.elapsed().as_secs_f64());
+    }
+}

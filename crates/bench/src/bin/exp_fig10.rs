@@ -1,0 +1,6 @@
+//! Regenerates the `fig10` experiment (see p3-bench's experiments::fig10).
+
+fn main() {
+    let scale = p3_bench::Scale::from_args();
+    p3_bench::experiments::fig10::run(&scale).emit();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `fig11` experiment (see p3-bench's experiments::fig11).
+
+fn main() {
+    let scale = p3_bench::Scale::from_args();
+    p3_bench::experiments::fig11::run(&scale).emit();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `fig12` experiment (see p3-bench's experiments::fig12).
+
+fn main() {
+    let scale = p3_bench::Scale::from_args();
+    p3_bench::experiments::fig12::run(&scale).emit();
+}

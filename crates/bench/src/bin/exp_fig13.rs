@@ -1,0 +1,6 @@
+//! Regenerates the `fig13` experiment (see p3-bench's experiments::fig13).
+
+fn main() {
+    let scale = p3_bench::Scale::from_args();
+    p3_bench::experiments::fig13::run(&scale).emit();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `fig14` experiment (see p3-bench's experiments::fig14).
+
+fn main() {
+    let scale = p3_bench::Scale::from_args();
+    p3_bench::experiments::fig14::run(&scale).emit();
+}

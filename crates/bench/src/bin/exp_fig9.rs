@@ -1,0 +1,6 @@
+//! Regenerates the `fig9` experiment (see p3-bench's experiments::fig9).
+
+fn main() {
+    let scale = p3_bench::Scale::from_args();
+    p3_bench::experiments::fig9::run(&scale).emit();
+}

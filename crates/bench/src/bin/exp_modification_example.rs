@@ -1,0 +1,6 @@
+//! Regenerates the `modification_example` experiment (see p3-bench's experiments::modification_example).
+
+fn main() {
+    let scale = p3_bench::Scale::from_args();
+    p3_bench::experiments::modification_example::run(&scale).emit();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `table2` experiment (see p3-bench's experiments::table2).
+
+fn main() {
+    let scale = p3_bench::Scale::from_args();
+    p3_bench::experiments::table2::run(&scale).emit();
+}

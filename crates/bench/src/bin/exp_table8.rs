@@ -1,0 +1,6 @@
+//! Regenerates the `table8` experiment (see p3-bench's experiments::table8).
+
+fn main() {
+    let scale = p3_bench::Scale::from_args();
+    p3_bench::experiments::table8::run(&scale).emit();
+}

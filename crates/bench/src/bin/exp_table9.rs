@@ -1,0 +1,6 @@
+//! Regenerates the `table9` experiment (see p3-bench's experiments::table9).
+
+fn main() {
+    let scale = p3_bench::Scale::from_args();
+    p3_bench::experiments::table9::run(&scale).emit();
+}

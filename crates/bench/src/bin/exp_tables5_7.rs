@@ -1,0 +1,6 @@
+//! Regenerates the `tables5_7` experiment (see p3-bench's experiments::tables5_7).
+
+fn main() {
+    let scale = p3_bench::Scale::from_args();
+    p3_bench::experiments::tables5_7::run(&scale).emit();
+}

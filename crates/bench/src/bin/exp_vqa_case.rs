@@ -1,0 +1,6 @@
+//! Regenerates the `vqa_case` experiment (see p3-bench's experiments::vqa_case).
+
+fn main() {
+    let scale = p3_bench::Scale::from_args();
+    p3_bench::experiments::vqa_case::run(&scale).emit();
+}

@@ -1,0 +1,98 @@
+//! Shared setup for the trust-network experiments.
+
+use crate::Scale;
+use p3_core::P3;
+use p3_datalog::engine::TupleId;
+use p3_prob::Dnf;
+use p3_provenance::extract::{ExtractOptions, Extractor};
+use p3_workloads::trust::{self, NetworkConfig, TrustNetwork};
+
+/// The base synthetic OTC-like network (full Bitcoin-OTC dimensions).
+pub fn base_network(scale: &Scale) -> TrustNetwork {
+    trust::generate(NetworkConfig { seed: scale.seed, ..NetworkConfig::default() })
+}
+
+/// The §6.2 sample: ~150 nodes from the base network, evaluated with
+/// provenance, plus the largest hop-limited `mutualTrustPath` (falling back
+/// to `trustPath`) polynomial found in it.
+pub struct TrustQuerySetup {
+    /// The evaluated system.
+    pub p3: P3,
+    /// The chosen queried tuple.
+    pub tuple: TupleId,
+    /// Its provenance polynomial (hop limit 6 → extraction depth 7).
+    pub polynomial: Dnf,
+    /// Rendered form of the queried tuple.
+    pub query: String,
+}
+
+/// Hop limit used by the §6.2 experiments (paper: 6). Depth adds one level
+/// for the `r1` base case and one for `r3`.
+pub const QUERY_DEPTH: usize = 7;
+
+/// Builds the §6.2 setup: samples subgraphs until a reasonably large
+/// polynomial is found (the paper queries "all possible mutual paths
+/// between two specific users" on 150-node/150-edge samples).
+pub fn trust_query_setup(scale: &Scale) -> TrustQuerySetup {
+    let net = base_network(scale);
+    let mut best: Option<TrustQuerySetup> = None;
+    for attempt in 0..scale.repeats.max(3) as u64 {
+        let sample = net.sample_bfs(150, scale.seed ^ (0xa5a5 + attempt));
+        let program = sample.to_program();
+        let p3 = P3::from_program(program).expect("negation-free program");
+        let Some((tuple, polynomial)) = largest_polynomial(&p3) else { continue };
+        let query = format!(
+            "{}",
+            p3.database().display_tuple(tuple, p3.program().symbols())
+        );
+        let candidate = TrustQuerySetup { p3, tuple, polynomial, query };
+        let better = best
+            .as_ref()
+            .map(|b| candidate.polynomial.len() > b.polynomial.len())
+            .unwrap_or(true);
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.expect("some sample yields a non-trivial polynomial")
+}
+
+/// The tuple with the most monomials among `mutualTrustPath` tuples (else
+/// `trustPath` tuples) under the hop limit.
+fn largest_polynomial(p3: &P3) -> Option<(TupleId, Dnf)> {
+    let extractor = Extractor::new(p3.graph());
+    let opts = ExtractOptions::with_max_depth(QUERY_DEPTH);
+    // Cap the scan: extracting for every tuple of a dense sample is
+    // wasteful when we only need one representative large polynomial.
+    const SCAN_CAP: usize = 400;
+    let mut best: Option<(TupleId, Dnf)> = None;
+    for pred_name in ["mutualTrustPath", "trustPath"] {
+        let Some(pred) = p3.program().symbols().get(pred_name) else { continue };
+        let Some(rel) = p3.database().relation(pred) else { continue };
+        for &t in rel.tuples().iter().take(SCAN_CAP) {
+            let dnf = extractor.polynomial(t, opts);
+            if dnf.is_false() {
+                continue;
+            }
+            if best.as_ref().map(|(_, b)| dnf.len() > b.len()).unwrap_or(true) {
+                best = Some((t, dnf));
+            }
+        }
+        // Prefer mutualTrustPath when it yields anything non-trivial.
+        if best.as_ref().map(|(_, d)| d.len() >= 4).unwrap_or(false) {
+            break;
+        }
+    }
+    best
+}
+
+/// All `mutualTrustPath` tuples of an evaluated sample (for Fig 10's query
+/// workload).
+pub fn mutual_tuples(p3: &P3) -> Vec<TupleId> {
+    p3.program()
+        .symbols()
+        .get("mutualTrustPath")
+        .and_then(|pred| p3.database().relation(pred))
+        .map(|rel| rel.tuples().to_vec())
+        .unwrap_or_default()
+}

@@ -1,0 +1,73 @@
+//! Figure 12: rank stability of the top-5 most influential literals as the
+//! sufficient-provenance error limit grows.
+//!
+//! The paper observes that the top-5 ranking is unchanged below ε ≈ 2% and
+//! that the single most influential literal survives even ε = 10%.
+
+use crate::experiments::common::trust_query_setup;
+use crate::experiments::fig11::EPS_SWEEP;
+use crate::report::Report;
+use crate::Scale;
+use p3_core::{influence_query, InfluenceMethod, InfluenceOptions};
+use p3_prob::{McConfig, VarId};
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Report {
+    let setup = trust_query_setup(scale);
+    let dnf = &setup.polynomial;
+    let vars = setup.p3.vars();
+    let cfg = McConfig { samples: scale.mc_samples, seed: 12 };
+
+    // Reference ranking on the full polynomial.
+    let reference = influence_query(
+        dnf,
+        vars,
+        &InfluenceOptions { method: InfluenceMethod::Mc(cfg), top_k: Some(5), ..Default::default() },
+    );
+    let top5: Vec<VarId> = reference.iter().map(|e| e.var).collect();
+
+    let mut headers: Vec<String> = vec!["eps (% of P)".into()];
+    headers.extend(top5.iter().map(|&v| vars.name(v).to_string()));
+    let mut report = Report::new(
+        "fig12",
+        "Figure 12: rank of the top-5 influential literals vs approximation error",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    report.note(format!("queried tuple: {}", setup.query));
+
+    for &eps_frac in &EPS_SWEEP {
+        let p_full = p3_prob::mc::estimate(dnf, vars, cfg);
+        let ranked = influence_query(
+            dnf,
+            vars,
+            &InfluenceOptions {
+                method: InfluenceMethod::Mc(cfg),
+                preprocess_epsilon: Some(eps_frac * p_full),
+                ..Default::default()
+            },
+        );
+        let mut row = vec![format!("{:.1}", eps_frac * 100.0)];
+        for v in &top5 {
+            let rank = ranked.iter().position(|e| e.var == *v);
+            row.push(rank.map(|r| (r + 1).to_string()).unwrap_or_else(|| "-".into()));
+        }
+        report.row(row);
+    }
+    report.note(
+        "paper: ranks stable below ~2% error; the most influential literal unchanged even \
+         at 10% ('-' marks a literal compressed out of the polynomial)",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_literal_survives_small_eps() {
+        let report = run(&Scale::quick());
+        // At the smallest eps the reference top-1 is still rank 1.
+        assert_eq!(report.rows[0][1], "1", "{:?}", report.rows[0]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 13: per-literal influence-query time (and DNF size) after
+//! sufficient-provenance preprocessing, as ε grows.
+//!
+//! The paper observes both the monomial count and the per-literal time
+//! dropping exponentially with the error limit.
+
+use crate::experiments::common::trust_query_setup;
+use crate::experiments::fig11::EPS_SWEEP;
+use crate::report::Report;
+use crate::{time, Scale};
+use p3_core::{sufficient_provenance, DerivationAlgo, ProbMethod};
+use p3_prob::{mc, McConfig};
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Report {
+    let setup = trust_query_setup(scale);
+    let dnf = &setup.polynomial;
+    let vars = setup.p3.vars();
+    let cfg = McConfig { samples: scale.mc_samples, seed: 13 };
+    let method = ProbMethod::MonteCarlo(cfg);
+
+    let mut report = Report::new(
+        "fig13",
+        "Figure 13: influence time per literal on sufficient provenance",
+        &["eps (% of P)", "monomials", "literals", "influence time per literal (ms)"],
+    );
+    report.note(format!("queried tuple: {}", setup.query));
+
+    // eps = 0 row (the full polynomial), then the sweep.
+    let mut points: Vec<f64> = vec![0.0];
+    points.extend_from_slice(&EPS_SWEEP);
+    let p_full = mc::estimate(dnf, vars, cfg);
+
+    for &eps_frac in &points {
+        let target = if eps_frac == 0.0 {
+            dnf.clone()
+        } else {
+            sufficient_provenance(dnf, vars, eps_frac * p_full, DerivationAlgo::NaiveGreedy, method)
+                .polynomial
+        };
+        let nvars = target.vars().len();
+        if nvars == 0 {
+            report.row(vec![
+                format!("{:.1}", eps_frac * 100.0),
+                target.len().to_string(),
+                "0".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+        let (_, t) = time(|| mc::influence_all(&target, vars, cfg));
+        let per_literal_ms = t.as_secs_f64() * 1000.0 / nvars as f64;
+        report.row(vec![
+            format!("{:.1}", eps_frac * 100.0),
+            target.len().to_string(),
+            nvars.to_string(),
+            format!("{per_literal_ms:.3}"),
+        ]);
+    }
+    report.note("paper: per-literal time decreases exponentially as eps grows");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_eps_never_grows_the_polynomial() {
+        let report = run(&Scale::quick());
+        let sizes: Vec<usize> = report
+            .rows
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0], "{sizes:?}");
+        }
+    }
+}

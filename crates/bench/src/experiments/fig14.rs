@@ -1,0 +1,76 @@
+//! Figure 14: total influence-query time when preprocessing with
+//! sufficient provenance — the compression time plus the influence time on
+//! the compressed polynomial, as ε grows.
+//!
+//! The paper observes an order-of-magnitude total-time reduction around
+//! ε = 2% while the top influential literals stay unchanged (cf. Fig 12).
+
+use crate::experiments::common::trust_query_setup;
+use crate::experiments::fig11::EPS_SWEEP;
+use crate::report::Report;
+use crate::{time, Scale};
+use p3_core::{sufficient_provenance, DerivationAlgo, ProbMethod};
+use p3_prob::{mc, McConfig};
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Report {
+    let setup = trust_query_setup(scale);
+    let dnf = &setup.polynomial;
+    let vars = setup.p3.vars();
+    let cfg = McConfig { samples: scale.mc_samples, seed: 14 };
+    let method = ProbMethod::MonteCarlo(cfg);
+
+    let mut report = Report::new(
+        "fig14",
+        "Figure 14: total influence-query time on sufficient provenance",
+        &["eps (% of P)", "suff. prov. time (ms)", "influence time (ms)", "total (ms)"],
+    );
+    report.note(format!("queried tuple: {}", setup.query));
+
+    let p_full = mc::estimate(dnf, vars, cfg);
+    // Baseline: influence on the full polynomial (no preprocessing).
+    let (_, t_baseline) = time(|| mc::influence_all(dnf, vars, cfg));
+    report.row(vec![
+        "0.0 (none)".into(),
+        "0.000".into(),
+        format!("{:.3}", t_baseline.as_secs_f64() * 1000.0),
+        format!("{:.3}", t_baseline.as_secs_f64() * 1000.0),
+    ]);
+
+    for &eps_frac in &EPS_SWEEP {
+        let (suff, t_suff) = time(|| {
+            sufficient_provenance(dnf, vars, eps_frac * p_full, DerivationAlgo::NaiveGreedy, method)
+        });
+        let (_, t_influence) = if suff.polynomial.is_false() {
+            ((), std::time::Duration::ZERO)
+        } else {
+            time(|| {
+                mc::influence_all(&suff.polynomial, vars, cfg);
+            })
+        };
+        let suff_ms = t_suff.as_secs_f64() * 1000.0;
+        let inf_ms = t_influence.as_secs_f64() * 1000.0;
+        report.row(vec![
+            format!("{:.1}", eps_frac * 100.0),
+            format!("{suff_ms:.3}"),
+            format!("{inf_ms:.3}"),
+            format!("{:.3}", suff_ms + inf_ms),
+        ]);
+    }
+    report.note(
+        "paper: for large polynomials even a small error limit reduces total query time \
+         substantially (an order of magnitude around eps = 2%)",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_baseline_plus_sweep() {
+        let report = run(&Scale::quick());
+        assert_eq!(report.rows.len(), 1 + EPS_SWEEP.len());
+    }
+}

@@ -1,0 +1,30 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | Module | Reproduces |
+//! |--------|-----------|
+//! | [`table2`] | Table 2 — influence ranking on the Acquaintance example |
+//! | [`modification_example`] | §4.4 — raise P\[know(Ben,Elena)\] to 0.5 |
+//! | [`tables5_7`] | Tables 5–7 — trust case study: influence + greedy vs random modification |
+//! | [`vqa_case`] | §5.1 / Tables 3–4 — VQA debugging narrative |
+//! | [`fig9`] | Fig 9 — runtime with vs without provenance |
+//! | [`fig10`] | Fig 10 — provenance query time vs maintenance time |
+//! | [`fig11`] | Fig 11 — sufficient-provenance compression ratio vs ε |
+//! | [`fig12`] | Fig 12 — rank stability of top-5 influential literals vs ε |
+//! | [`fig13`] | Fig 13 — per-literal influence time and DNF size vs ε |
+//! | [`fig14`] | Fig 14 — total influence-query time on sufficient provenance |
+//! | [`table8`] | Table 8 — sequential vs parallel influence query |
+//! | [`table9`] | Table 9 — modification query running times |
+
+pub mod common;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig9;
+pub mod modification_example;
+pub mod table2;
+pub mod table8;
+pub mod table9;
+pub mod tables5_7;
+pub mod vqa_case;

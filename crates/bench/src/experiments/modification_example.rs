@@ -1,0 +1,58 @@
+//! §4.4's modification example: raise `P[know("Ben","Elena")]` from its
+//! initial value to at least 0.5 with minimal cost. The paper (with its own
+//! arithmetic) changes `r3` to 0.56 at total cost 0.36; with the exact Fig 2
+//! numbers the same single-variable plan sets `r3 ≈ 0.61` at cost ≈ 0.41.
+
+use crate::report::{f4, Report};
+use crate::Scale;
+use p3_core::{modification_query, ModificationOptions, P3};
+use p3_workloads::acquaintance;
+
+/// Runs the experiment.
+pub fn run(_scale: &Scale) -> Report {
+    let p3 = P3::from_source(acquaintance::SOURCE).expect("acquaintance program loads");
+    let dnf = p3.provenance(acquaintance::QUERY).expect("query derivable");
+    let plan = modification_query(
+        &dnf,
+        p3.vars(),
+        0.5,
+        &ModificationOptions { tolerance: 1e-9, ..Default::default() },
+    );
+
+    let mut report = Report::new(
+        "modification_example",
+        "§4.4 example: raise P[know(\"Ben\",\"Elena\")] to 0.5",
+        &["step", "variable", "from", "to", "P after step"],
+    );
+    for (i, s) in plan.steps.iter().enumerate() {
+        report.row(vec![
+            (i + 1).to_string(),
+            p3.vars().name(s.var).to_string(),
+            f4(s.from),
+            f4(s.to),
+            f4(s.resulting_probability),
+        ]);
+    }
+    report.note(format!(
+        "initial P = {}, achieved P = {}, total cost = {} (paper: r3 → 0.56, cost 0.36 \
+         under its arithmetic)",
+        f4(plan.initial_probability),
+        f4(plan.achieved_probability),
+        f4(plan.total_cost)
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_step_changes_r3() {
+        let report = run(&Scale::quick());
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0][1], "r3");
+        // 0.5 / 0.8192 ≈ 0.6104.
+        assert_eq!(report.rows[0][3], "0.6104");
+    }
+}

@@ -1,0 +1,75 @@
+//! Table 2: the top-3 most influential literals for
+//! `know("Ben","Elena")` in the Acquaintance program.
+
+use crate::report::{f4, Report};
+use crate::Scale;
+use p3_core::{influence_query, InfluenceMethod, InfluenceOptions, P3};
+use p3_prob::McConfig;
+use p3_workloads::acquaintance;
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Report {
+    let p3 = P3::from_source(acquaintance::SOURCE).expect("acquaintance program loads");
+    let dnf = p3.provenance(acquaintance::QUERY).expect("query derivable");
+
+    let mut report = Report::new(
+        "table2",
+        "Table 2: influence ranking for know(\"Ben\",\"Elena\")",
+        &["rank", "variable", "influence (exact)", "influence (MC)", "paper"],
+    );
+
+    let exact = influence_query(
+        &dnf,
+        p3.vars(),
+        &InfluenceOptions { method: InfluenceMethod::Exact, top_k: Some(3), ..Default::default() },
+    );
+    let mc = influence_query(
+        &dnf,
+        p3.vars(),
+        &InfluenceOptions {
+            method: InfluenceMethod::Mc(McConfig { samples: scale.mc_samples, seed: 42 }),
+            top_k: Some(3),
+            ..Default::default()
+        },
+    );
+
+    // Paper's reported values (its own arithmetic; see EXPERIMENTS.md).
+    let paper = [("r3", 0.896), ("r1", 0.2), ("t6", 0.1792)];
+    for (rank, (e, m)) in exact.iter().zip(&mc).enumerate() {
+        let name = p3.vars().name(e.var).to_string();
+        let paper_cell = paper
+            .get(rank)
+            .map(|(n, v)| format!("{n}={v}"))
+            .unwrap_or_default();
+        report.row(vec![
+            (rank + 1).to_string(),
+            name,
+            f4(e.influence),
+            f4(m.influence),
+            paper_cell,
+        ]);
+    }
+    report.note(
+        "ranking matches the paper (r3 > r1 > t6); paper values use its own (slightly \
+         inconsistent) arithmetic — exact values from Fig 2's probabilities are shown",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_matches_the_paper() {
+        let report = run(&Scale::quick());
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows[0][1], "r3");
+        assert_eq!(report.rows[1][1], "r1");
+        assert_eq!(report.rows[2][1], "t6");
+        // Exact values.
+        assert_eq!(report.rows[0][2], "0.8192");
+        assert_eq!(report.rows[1][2], "0.1808");
+        assert_eq!(report.rows[2][2], "0.1638");
+    }
+}

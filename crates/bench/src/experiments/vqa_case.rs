@@ -1,0 +1,130 @@
+//! The VQA debugging narrative (§5.1, Fig 4–6, Tables 3–4).
+//!
+//! 1. On the church photo (Table 3 scene) with the buggy similarity table,
+//!    `ans("ID1","barn")` still scores above `ans("ID1","church")`.
+//! 2. An Influence Query restricted to the `sim` literals that appear only
+//!    in the church answer's provenance reproduces Table 4's ranking:
+//!    `sim(church,cross)` first.
+//! 3. A Modification Query computes the `sim(church,cross)` increase that
+//!    lifts the church answer to the barn answer's score (paper: +0.42,
+//!    landing at 0.51).
+//! 4. With the fix applied, the program prefers "church".
+
+use crate::report::{f4, Report};
+use crate::Scale;
+use p3_core::{
+    influence_query, modification_query, InfluenceMethod, InfluenceOptions, ModificationOptions,
+    P3, ProbMethod,
+};
+use p3_prob::VarId;
+use p3_workloads::vqa;
+
+/// Runs the experiment.
+pub fn run(_scale: &Scale) -> Report {
+    let buggy = vqa::church_image_buggy();
+    let p3 = P3::from_program(buggy.to_program()).expect("negation-free program");
+
+    let barn_dnf = p3.provenance(vqa::ANS_BARN).expect("barn answer derivable");
+    let church_dnf = p3.provenance(vqa::ANS_CHURCH).expect("church answer derivable");
+    let p_barn = ProbMethod::Exact.probability(&barn_dnf, p3.vars());
+    let p_church = ProbMethod::Exact.probability(&church_dnf, p3.vars());
+
+    let mut report = Report::new(
+        "vqa_case",
+        "§5.1 VQA debugging: buggy sims, Table 4 ranking, the fix",
+        &["step", "entry", "value"],
+    );
+    report.row(vec!["buggy".into(), "P[ans(barn)]".into(), f4(p_barn)]);
+    report.row(vec!["buggy".into(), "P[ans(church)]".into(), f4(p_church)]);
+
+    // Table 4: influence of sim literals unique to the church provenance.
+    let unique: Vec<VarId> = {
+        let barn_vars = barn_dnf.vars();
+        church_dnf
+            .vars()
+            .into_iter()
+            .filter(|v| barn_vars.binary_search(v).is_err())
+            .filter(|&v| p3.vars().name(v).starts_with("sim_"))
+            .collect()
+    };
+    let ranked = influence_query(
+        &church_dnf,
+        p3.vars(),
+        &InfluenceOptions {
+            method: InfluenceMethod::Exact,
+            restrict_to: Some(unique),
+            top_k: Some(3),
+            ..Default::default()
+        },
+    );
+    for (i, e) in ranked.iter().enumerate() {
+        report.row(vec![
+            format!("table4 rank {}", i + 1),
+            p3.vars().name(e.var).to_string(),
+            f4(e.influence),
+        ]);
+    }
+
+    // Query 1C's fix: raise P[ans(church)] to P[ans(barn)] by modifying
+    // sim(church,cross) only.
+    let sim_label = buggy.sim_label("church", "cross").expect("planted sim exists");
+    let sim_var = p3_provenance::vars::var_of(
+        p3.program().clause_by_label(&sim_label).expect("sim clause exists"),
+    );
+    let plan = modification_query(
+        &church_dnf,
+        p3.vars(),
+        p_barn,
+        &ModificationOptions {
+            modifiable: Some(vec![sim_var]),
+            tolerance: 1e-6,
+            ..Default::default()
+        },
+    );
+    for s in &plan.steps {
+        report.row(vec![
+            "fix".into(),
+            p3.vars().name(s.var).to_string(),
+            format!("{} -> {} (Δ={})", f4(s.from), f4(s.to), f4(s.to - s.from)),
+        ]);
+    }
+
+    // After the fix: church wins.
+    let fixed = P3::from_program(vqa::church_image_fixed().to_program()).expect("negation-free program");
+    let p_barn2 = fixed.probability(vqa::ANS_BARN, ProbMethod::Exact).expect("derivable");
+    let p_church2 = fixed.probability(vqa::ANS_CHURCH, ProbMethod::Exact).expect("derivable");
+    report.row(vec!["fixed".into(), "P[ans(barn)]".into(), f4(p_barn2)]);
+    report.row(vec!["fixed".into(), "P[ans(church)]".into(), f4(p_church2)]);
+    report.note(format!(
+        "paper: sim(church,cross) raised by 0.42 to 0.51; our planted instance needs Δ={} \
+         (the narrative — barn wins before the fix, church after — is reproduced)",
+        plan.steps.first().map(|s| f4(s.to - s.from)).unwrap_or_else(|| "-".into())
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrative_reproduces() {
+        let report = run(&Scale::quick());
+        let get = |step: &str, entry: &str| -> f64 {
+            report
+                .rows
+                .iter()
+                .find(|r| r[0] == step && r[1] == entry)
+                .unwrap_or_else(|| panic!("row {step}/{entry}"))[2]
+                .parse()
+                .unwrap()
+        };
+        // Before the fix, barn outranks church.
+        assert!(get("buggy", "P[ans(barn)]") > get("buggy", "P[ans(church)]"));
+        // Table 4: sim(church,cross) is the top unique influential literal.
+        let rank1 = report.rows.iter().find(|r| r[0] == "table4 rank 1").unwrap();
+        assert_eq!(rank1[1], "sim_church_cross");
+        // After the fix, church outranks barn.
+        assert!(get("fixed", "P[ans(church)]") > get("fixed", "P[ans(barn)]"));
+    }
+}

@@ -1,0 +1,96 @@
+//! # p3-bench
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (§4–§6), each runnable standalone (`cargo run -p p3-bench
+//! --bin exp_fig9 --release`) or together (`exp_all`). Results print as
+//! console tables and are written as CSV under `EXPERIMENTS-output/`.
+//!
+//! Scale control: experiments accept a [`Scale`]; `--full` reproduces the
+//! paper's exact parameter ranges (slow), the default is a reduced sweep
+//! with the same shape, `--quick` is a smoke test.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+
+/// Sweep sizes for the performance experiments.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Node counts for the Fig 9/10 sweep (paper: 50,100,…,500).
+    pub fig9_sizes: Vec<usize>,
+    /// Repetitions per point (paper: 10).
+    pub repeats: usize,
+    /// Monte-Carlo samples for probability estimates.
+    pub mc_samples: usize,
+    /// Base-network seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's full parameter ranges.
+    pub fn full() -> Self {
+        Self {
+            fig9_sizes: (1..=10).map(|i| i * 50).collect(),
+            repeats: 10,
+            mc_samples: 100_000,
+            seed: 0xb17c01,
+        }
+    }
+
+    /// A reduced sweep with the same shape (default).
+    pub fn default_scale() -> Self {
+        Self {
+            fig9_sizes: vec![50, 100, 150, 200, 250, 300],
+            repeats: 3,
+            mc_samples: 50_000,
+            seed: 0xb17c01,
+        }
+    }
+
+    /// A fast smoke test.
+    pub fn quick() -> Self {
+        Self { fig9_sizes: vec![50, 100], repeats: 1, mc_samples: 10_000, seed: 0xb17c01 }
+    }
+
+    /// Parses `--full` / `--quick` from the process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--full") {
+            Self::full()
+        } else if args.iter().any(|a| a == "--quick") {
+            Self::quick()
+        } else {
+            Self::default_scale()
+        }
+    }
+}
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_have_sane_shapes() {
+        let full = Scale::full();
+        assert_eq!(full.fig9_sizes.last(), Some(&500));
+        assert_eq!(full.repeats, 10);
+        let quick = Scale::quick();
+        assert!(quick.fig9_sizes.len() < full.fig9_sizes.len());
+    }
+
+    #[test]
+    fn time_measures_something() {
+        let (value, d) = time(|| (0..10_000u64).sum::<u64>());
+        assert_eq!(value, 49_995_000);
+        assert!(d.as_nanos() > 0);
+    }
+}

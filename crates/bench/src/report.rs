@@ -1,0 +1,166 @@
+//! Console tables and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A tabular experiment result.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment identifier, e.g. `fig9`.
+    pub name: String,
+    /// Human title, e.g. `Figure 9: runtime with and without provenance`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(name: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders an aligned console table.
+    pub fn to_console(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows; notes as trailing comments).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |c: &String| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        };
+        let _ = writeln!(out, "{}", self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "# {note}");
+        }
+        out
+    }
+
+    /// Prints the console table and writes `EXPERIMENTS-output/<name>.csv`.
+    pub fn emit(&self) {
+        println!("{}", self.to_console());
+        let dir = output_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.csv", self.name));
+        if let Err(e) = std::fs::write(&path, self.to_csv()) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            println!("[written {}]", path.display());
+        }
+    }
+}
+
+/// The CSV output directory: `EXPERIMENTS-output/` next to the workspace
+/// root when identifiable, else the current directory.
+pub fn output_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| PathBuf::from(m).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    base.join("EXPERIMENTS-output")
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a float with 4 decimal places.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("t", "Test", &["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.row(vec!["30".into(), "4".into()]);
+        r.note("hello");
+        r
+    }
+
+    #[test]
+    fn console_table_is_aligned() {
+        let text = sample().to_console();
+        assert!(text.contains("== Test =="));
+        assert!(text.contains("note: hello"));
+        // Both rows and header present.
+        assert_eq!(text.lines().count(), 6);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut r = Report::new("t", "T", &["x"]);
+        r.row(vec!["a,b".into()]);
+        r.row(vec!["say \"hi\"".into()]);
+        let csv = r.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500");
+        assert_eq!(f4(0.123456), "0.1235");
+    }
+}

@@ -1,0 +1,115 @@
+//! Explanation Query (§4.1): complete derivations of a queried tuple.
+
+use p3_datalog::engine::TupleId;
+use p3_prob::{Dnf, Monomial, VarTable};
+
+/// The result of an Explanation Query.
+///
+/// Produced by [`crate::P3::explain`]; bundles every §4.1 artefact — the
+/// provenance polynomial, its success probability, and both human-readable
+/// renderings of the derivation graph.
+#[derive(Debug)]
+pub struct Explanation {
+    /// The query string as given.
+    pub query: String,
+    /// The queried tuple.
+    pub tuple: TupleId,
+    /// The provenance polynomial `λ(q)`.
+    pub polynomial: Dnf,
+    /// Number of (acyclic, depth-admissible) derivations — the monomials.
+    pub num_derivations: usize,
+    /// `P[λ(q)]` under the chosen probability method.
+    pub probability: f64,
+    /// Indented textual rendering of the derivation tree.
+    pub text: String,
+    /// Graphviz rendering of the provenance subgraph (Fig 3 style).
+    pub dot: String,
+}
+
+impl Explanation {
+    /// The derivations (monomials) ranked by descending probability — the
+    /// paper's "most important derivation" view (Fig 4 displays the top
+    /// one). Each entry is `(derivation, P[derivation])`.
+    pub fn ranked_derivations(&self, vars: &VarTable) -> Vec<(&Monomial, f64)> {
+        let mut out: Vec<(&Monomial, f64)> =
+            self.polynomial.monomials().iter().map(|m| (m, m.probability(vars))).collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0))
+        });
+        out
+    }
+
+    /// The *support set*: every clause (base tuple or rule) that
+    /// participates in at least one derivation — the classic
+    /// why-provenance view.
+    pub fn support_set(&self) -> Vec<p3_datalog::ast::ClauseId> {
+        self.polynomial.vars().into_iter().map(p3_provenance::vars::clause_of).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::system::P3;
+
+    #[test]
+    fn explanation_bundles_all_artefacts() {
+        let p3 = P3::from_source(
+            r#"
+            r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+            t1 1.0: live("Steve","DC").
+            t2 1.0: live("Elena","DC").
+        "#,
+        )
+        .unwrap();
+        let exp = p3.explain(r#"know("Steve","Elena")"#).unwrap();
+        assert_eq!(exp.num_derivations, 1);
+        assert!((exp.probability - 0.8).abs() < 1e-12);
+        assert!(exp.text.contains("know(\"Steve\",\"Elena\")"));
+        assert!(exp.text.contains("rule r1"));
+        assert!(exp.dot.starts_with("digraph"));
+        assert_eq!(exp.polynomial.len(), 1);
+        assert_eq!(exp.polynomial.monomials()[0].len(), 3, "r1·t1·t2");
+    }
+
+    #[test]
+    fn explanation_counts_alternative_derivations() {
+        let p3 = P3::from_source(
+            "r1 0.5: q(X) :- p1(X). r2 0.5: q(X) :- p2(X). p1(a). p2(a).",
+        )
+        .unwrap();
+        let exp = p3.explain("q(a)").unwrap();
+        assert_eq!(exp.num_derivations, 2);
+    }
+
+    #[test]
+    fn ranked_derivations_order_by_probability() {
+        let p3 = P3::from_source(
+            "r1 0.9: q(X) :- p1(X). r2 0.1: q(X) :- p2(X). p1(a). p2(a).",
+        )
+        .unwrap();
+        let exp = p3.explain("q(a)").unwrap();
+        let ranked = exp.ranked_derivations(p3.vars());
+        assert_eq!(ranked.len(), 2);
+        assert!((ranked[0].1 - 0.9).abs() < 1e-12, "r1 derivation first");
+        assert!((ranked[1].1 - 0.1).abs() < 1e-12);
+        assert!(ranked[0].1 >= ranked[1].1);
+    }
+
+    #[test]
+    fn support_set_lists_participating_clauses() {
+        let p3 = P3::from_source(
+            "r1 0.5: q(X) :- p1(X). r2 0.5: q(X) :- p2(X). p1(a). p2(a). p1(zz).",
+        )
+        .unwrap();
+        let exp = p3.explain("q(a)").unwrap();
+        let labels: Vec<String> = exp
+            .support_set()
+            .into_iter()
+            .map(|c| p3.program().clause(c).label.clone())
+            .collect();
+        // r1, r2, p1(a), p2(a) — but not the irrelevant p1(zz).
+        assert_eq!(labels.len(), 4);
+        assert!(labels.contains(&"r1".to_string()));
+        assert!(!labels.contains(&"t3".to_string()), "p1(zz) not in support: {labels:?}");
+    }
+}

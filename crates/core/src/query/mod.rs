@@ -1,0 +1,6 @@
+//! The four provenance query types (Table 1 of the paper).
+
+pub mod derivation;
+pub mod explanation;
+pub mod influence;
+pub mod modification;

@@ -1,0 +1,312 @@
+//! The P3 system facade: evaluate once with provenance, query many times.
+
+use crate::error::P3Error;
+use crate::prob_method::ProbMethod;
+use crate::query::explanation::Explanation;
+use p3_datalog::ast::Const;
+use p3_datalog::engine::{Database, TupleId};
+use p3_datalog::program::Program;
+use p3_datalog::symbol::Symbol;
+use p3_datalog::worlds;
+use p3_prob::{Dnf, VarTable};
+use p3_provenance::extract::{ExtractOptions, Extractor};
+use p3_provenance::graph::ProvGraph;
+use p3_provenance::{capture, clause_vars, dot, explain};
+
+/// A loaded-and-evaluated PLP program with its provenance, ready for
+/// querying.
+pub struct P3 {
+    program: Program,
+    db: Database,
+    graph: ProvGraph,
+    vars: VarTable,
+}
+
+impl P3 {
+    /// Parses, validates and evaluates `src` with provenance maintenance.
+    pub fn from_source(src: &str) -> Result<Self, P3Error> {
+        Self::from_program(Program::parse(src)?)
+    }
+
+    /// Evaluates an already-validated program with provenance maintenance.
+    ///
+    /// Programs using stratified negation are rejected: the engine can
+    /// evaluate them, but the P3 provenance model (monotone DNF polynomials
+    /// over clause variables) is only defined for negation-free programs —
+    /// supporting negation is the paper's stated future work.
+    pub fn from_program(program: Program) -> Result<Self, P3Error> {
+        if program.has_negation() {
+            return Err(P3Error::UnsupportedNegation);
+        }
+        let (db, graph) = capture::evaluate_with_provenance(&program);
+        let vars = clause_vars(&program);
+        Ok(Self { program, db, graph, vars })
+    }
+
+    /// The program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The evaluated database (all derivable tuples).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The captured provenance graph.
+    pub fn graph(&self) -> &ProvGraph {
+        &self.graph
+    }
+
+    /// The clause-variable table (one Boolean variable per clause).
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// Resolves a ground-atom query string (e.g. `know("Ben","Elena")`) to
+    /// the tuple id it denotes.
+    pub fn tuple(&self, query: &str) -> Result<TupleId, P3Error> {
+        let (pred, args) = worlds::parse_ground_query(&self.program, query)?;
+        self.tuple_of(pred, &args)
+            .ok_or_else(|| P3Error::NotDerivable(query.to_string()))
+    }
+
+    /// Resolves a predicate + constant arguments to a tuple id.
+    pub fn tuple_of(&self, pred: Symbol, args: &[Const]) -> Option<TupleId> {
+        self.db.lookup(pred, args)
+    }
+
+    /// Extracts the provenance polynomial of a queried tuple (unbounded
+    /// depth; use [`Self::provenance_with`] for hop limits).
+    pub fn provenance(&self, query: &str) -> Result<Dnf, P3Error> {
+        self.provenance_with(query, ExtractOptions::unbounded())
+    }
+
+    /// Extracts the provenance polynomial with explicit extraction options.
+    pub fn provenance_with(&self, query: &str, opts: ExtractOptions) -> Result<Dnf, P3Error> {
+        let tuple = self.tuple(query)?;
+        Ok(Extractor::new(&self.graph).polynomial(tuple, opts))
+    }
+
+    /// Builds a reusable extractor for repeated polynomial extraction.
+    pub fn extractor(&self) -> Extractor<'_> {
+        Extractor::new(&self.graph)
+    }
+
+    /// The success probability of a queried tuple, using `method`.
+    pub fn probability(&self, query: &str, method: ProbMethod) -> Result<f64, P3Error> {
+        let dnf = self.provenance(query)?;
+        Ok(method.probability(&dnf, &self.vars))
+    }
+
+    /// Runs an **Explanation Query** (§4.1): the complete derivations of
+    /// the queried tuple plus its success probability.
+    ///
+    /// Uses exact probability (the polynomials users explain are small); use
+    /// [`Self::explain_with`] to choose another method or a hop limit.
+    pub fn explain(&self, query: &str) -> Result<Explanation, P3Error> {
+        self.explain_with(query, ProbMethod::Exact, ExtractOptions::unbounded())
+    }
+
+    /// Explanation query with explicit probability method and extraction
+    /// options.
+    pub fn explain_with(
+        &self,
+        query: &str,
+        method: ProbMethod,
+        opts: ExtractOptions,
+    ) -> Result<Explanation, P3Error> {
+        let tuple = self.tuple(query)?;
+        let polynomial = Extractor::new(&self.graph).polynomial(tuple, opts);
+        let probability = method.probability(&polynomial, &self.vars);
+        let text = explain::explain(&self.graph, &self.db, &self.program, tuple, opts.max_depth);
+        let dot = dot::to_dot(&self.graph, &self.db, &self.program, tuple);
+        Ok(Explanation {
+            query: query.to_string(),
+            tuple,
+            num_derivations: polynomial.len(),
+            polynomial,
+            probability,
+            text,
+            dot,
+        })
+    }
+
+    /// Renders the polynomial with clause labels (debugging aid).
+    pub fn render_polynomial(&self, dnf: &Dnf) -> String {
+        format!("{}", dnf.display(&self.vars))
+    }
+
+    /// What-if analysis: returns a copy of this system with some clause
+    /// probabilities replaced, **without re-evaluating the program**.
+    ///
+    /// Sound because derivability (and hence the provenance graph) does not
+    /// depend on probabilities — only the variable table changes. This is
+    /// how a Modification Query's plan is applied cheaply; compare with
+    /// re-parsing and re-running the modified program, which produces the
+    /// same probabilities at fixpoint cost.
+    pub fn with_probabilities(
+        &self,
+        changes: &[(p3_prob::VarId, f64)],
+    ) -> Result<Self, P3Error> {
+        let mut program = self.program.clone();
+        let mut vars = self.vars.clone();
+        for &(var, prob) in changes {
+            program = program.with_probability(p3_provenance::vars::clause_of(var), prob)?;
+            vars.set_prob(var, prob);
+        }
+        Ok(Self { program, db: self.db.clone(), graph: self.graph.clone(), vars })
+    }
+
+    /// Applies a [`crate::ModificationPlan`]'s steps as a what-if update.
+    pub fn apply_plan(&self, plan: &crate::ModificationPlan) -> Result<Self, P3Error> {
+        let changes: Vec<(p3_prob::VarId, f64)> =
+            plan.steps.iter().map(|s| (s.var, s.to)).collect();
+        self.with_probabilities(&changes)
+    }
+
+    /// The success probability of **every** tuple of a relation, sorted by
+    /// descending probability — the "set of answers with confidence
+    /// scores" view the VQA case study ranks over (§5.1).
+    ///
+    /// Returns `(tuple, rendered atom, probability)` triples. Extraction is
+    /// shared across tuples via one [`Extractor`].
+    pub fn relation_probabilities(
+        &self,
+        pred_name: &str,
+        method: ProbMethod,
+        opts: ExtractOptions,
+    ) -> Vec<(TupleId, String, f64)> {
+        let Some(pred) = self.program.symbols().get(pred_name) else { return Vec::new() };
+        let Some(rel) = self.db.relation(pred) else { return Vec::new() };
+        let extractor = Extractor::new(&self.graph);
+        let syms = self.program.symbols();
+        let mut out: Vec<(TupleId, String, f64)> = rel
+            .tuples()
+            .iter()
+            .map(|&t| {
+                let dnf = extractor.polynomial(t, opts);
+                let p = method.probability(&dnf, &self.vars);
+                (t, format!("{}", self.db.display_tuple(t, syms)), p)
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACQ: &str = r#"
+        r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+        r2 0.4: know(P1,P2) :- like(P1,L), like(P2,L), P1 != P2.
+        r3 0.2: know(P1,P3) :- know(P1,P2), know(P2,P3), P1 != P3.
+        t1 1.0: live("Steve","DC").
+        t2 1.0: live("Elena","DC").
+        t3 1.0: live("Mary","NYC").
+        t4 0.4: like("Steve","Veggies").
+        t5 0.6: like("Elena","Veggies").
+        t6 1.0: know("Ben","Steve").
+    "#;
+
+    #[test]
+    fn probability_of_the_running_example() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let p = p3.probability(r#"know("Ben","Elena")"#, ProbMethod::Exact).unwrap();
+        assert!((p - 0.16384).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn unknown_tuple_is_reported() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let err = p3.probability(r#"know("Mary","Elena")"#, ProbMethod::Exact).unwrap_err();
+        assert!(matches!(err, P3Error::NotDerivable(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_query_is_reported() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let err = p3.probability("know(", ProbMethod::Exact).unwrap_err();
+        assert!(matches!(err, P3Error::BadQuery(_)), "{err}");
+    }
+
+    #[test]
+    fn polynomial_renders_with_labels() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let dnf = p3.provenance(r#"know("Ben","Elena")"#).unwrap();
+        let rendered = p3.render_polynomial(&dnf);
+        assert!(rendered.contains("r3"), "{rendered}");
+        assert!(rendered.contains(" + "), "two derivations: {rendered}");
+    }
+
+    #[test]
+    fn relation_probabilities_rank_all_tuples() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let ranked = p3.relation_probabilities(
+            "know",
+            ProbMethod::Exact,
+            ExtractOptions::unbounded(),
+        );
+        assert!(ranked.len() >= 3, "{ranked:?}");
+        // Sorted descending; know(Ben,Steve) is a certain base tuple.
+        assert!(ranked.windows(2).all(|w| w[0].2 >= w[1].2));
+        assert_eq!(ranked[0].1, "know(\"Ben\",\"Steve\")");
+        assert!((ranked[0].2 - 1.0).abs() < 1e-12);
+        // Unknown relations yield empty.
+        assert!(p3
+            .relation_probabilities("nothing", ProbMethod::Exact, ExtractOptions::unbounded())
+            .is_empty());
+    }
+
+    #[test]
+    fn what_if_update_matches_full_reevaluation() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let r3 = p3.program().clause_by_label("r3").unwrap();
+        let var = p3_provenance::vars::var_of(r3);
+        let cheap = p3.with_probabilities(&[(var, 0.6104)]).unwrap();
+        let p_cheap = cheap.probability(r#"know("Ben","Elena")"#, ProbMethod::Exact).unwrap();
+        // Full re-evaluation of the modified program.
+        let full = P3::from_program(p3.program().with_probability(r3, 0.6104).unwrap()).unwrap();
+        let p_full = full.probability(r#"know("Ben","Elena")"#, ProbMethod::Exact).unwrap();
+        assert!((p_cheap - p_full).abs() < 1e-12);
+        // The original system is untouched.
+        let p_orig = p3.probability(r#"know("Ben","Elena")"#, ProbMethod::Exact).unwrap();
+        assert!((p_orig - 0.16384).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_plan_reaches_the_planned_probability() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let dnf = p3.provenance(r#"know("Ben","Elena")"#).unwrap();
+        let plan = crate::query::modification::modification_query(
+            &dnf,
+            p3.vars(),
+            0.5,
+            &crate::query::modification::ModificationOptions {
+                tolerance: 1e-9,
+                ..Default::default()
+            },
+        );
+        let fixed = p3.apply_plan(&plan).unwrap();
+        let p = fixed.probability(r#"know("Ben","Elena")"#, ProbMethod::Exact).unwrap();
+        assert!((p - 0.5).abs() < 1e-9, "got {p}");
+    }
+
+    #[test]
+    fn hop_limited_provenance_drops_derivations() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        // know(Ben,Elena) needs depth 2 (r3 over r1/r2).
+        let full = p3
+            .provenance_with(r#"know("Ben","Elena")"#, ExtractOptions::with_max_depth(2))
+            .unwrap();
+        assert_eq!(full.len(), 2);
+        let cut = p3
+            .provenance_with(r#"know("Ben","Elena")"#, ExtractOptions::with_max_depth(1))
+            .unwrap();
+        assert!(cut.is_false());
+    }
+}

@@ -1,0 +1,414 @@
+//! Abstract syntax for ProbLog-like programs.
+//!
+//! A program is a list of [`Clause`]s. A clause is either a probabilistic
+//! base tuple (a ground fact) or a weighted conjunctive rule. Following the
+//! paper's semantics, each clause denotes one independent Boolean random
+//! variable: a rule's variable is shared by *all* of its executions.
+
+use crate::symbol::{Symbol, SymbolTable};
+use std::fmt;
+
+/// A ground constant: an interned symbol (identifier or quoted string) or an
+/// integer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Const {
+    /// An interned identifier or string literal.
+    Sym(Symbol),
+    /// An integer literal.
+    Int(i64),
+}
+
+impl Const {
+    /// Renders the constant using `syms` for symbol resolution.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Const, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    Const::Sym(s) => {
+                        let name = self.1.resolve(*s);
+                        if is_plain_identifier(name) {
+                            write!(f, "{name}")
+                        } else {
+                            write!(f, "{name:?}")
+                        }
+                    }
+                    Const::Int(i) => write!(f, "{i}"),
+                }
+            }
+        }
+        D(self, syms)
+    }
+}
+
+/// Returns true when `name` can be printed without quotes: a lowercase
+/// identifier as in Prolog syntax.
+pub(crate) fn is_plain_identifier(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A term in an atom: a variable or a constant.
+///
+/// Variables are interned in the same symbol table as constants; the parser
+/// distinguishes them syntactically (leading uppercase letter or `_`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A logic variable.
+    Var(Symbol),
+    /// A ground constant.
+    Const(Const),
+}
+
+impl Term {
+    /// The variable symbol, if this term is a variable.
+    pub fn as_var(&self) -> Option<Symbol> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this term is ground.
+    pub fn as_const(&self) -> Option<Const> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(*c),
+        }
+    }
+
+    /// Renders the term using `syms` for symbol resolution.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Term, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    Term::Var(v) => write!(f, "{}", self.1.resolve(*v)),
+                    Term::Const(c) => write!(f, "{}", c.display(self.1)),
+                }
+            }
+        }
+        D(self, syms)
+    }
+}
+
+/// A (possibly non-ground) atom: predicate name applied to terms.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: Symbol,
+    /// Argument terms. The predicate's arity is `args.len()`.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// True when every argument is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| matches!(t, Term::Const(_)))
+    }
+
+    /// Iterates over the variables appearing in this atom.
+    pub fn vars(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.args.iter().filter_map(Term::as_var)
+    }
+
+    /// Renders the atom using `syms` for symbol resolution.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Atom, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}(", self.1.resolve(self.0.pred))?;
+                for (i, arg) in self.0.args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", arg.display(self.1))?;
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, syms)
+    }
+}
+
+/// Comparison operators usable in rule bodies.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `=` — term equality.
+    Eq,
+    /// `!=` (also written `\=`) — term disequality.
+    Ne,
+    /// `<` — integer less-than.
+    Lt,
+    /// `<=` — integer less-or-equal.
+    Le,
+    /// `>` — integer greater-than.
+    Gt,
+    /// `>=` — integer greater-or-equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// The surface-syntax spelling of the operator.
+    pub fn token(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Evaluates the comparison on two constants.
+    ///
+    /// Ordering comparisons between non-integers fall back to symbol-table
+    /// order (deterministic, but only `=`/`!=` are meaningful for symbols).
+    pub fn eval(self, lhs: Const, rhs: Const) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// A comparison constraint in a rule body, e.g. `P1 != P2`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Constraint {
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// Left operand.
+    pub lhs: Term,
+    /// Right operand.
+    pub rhs: Term,
+}
+
+impl Constraint {
+    /// Iterates over the variables appearing in this constraint.
+    pub fn vars(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.lhs.as_var().into_iter().chain(self.rhs.as_var())
+    }
+
+    /// Renders the constraint using `syms` for symbol resolution.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Constraint, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(
+                    f,
+                    "{} {} {}",
+                    self.0.lhs.display(self.1),
+                    self.0.op.token(),
+                    self.0.rhs.display(self.1)
+                )
+            }
+        }
+        D(self, syms)
+    }
+}
+
+/// Identifies a clause within its [`crate::Program`]: the index into the
+/// program's clause list. Clause identifiers double as the Boolean random
+/// variables of the distribution semantics.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ClauseId(pub u32);
+
+impl ClauseId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClauseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The body of a clause: empty for a base tuple, non-empty for a rule.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ClauseKind {
+    /// A probabilistic ground fact (base tuple).
+    Fact,
+    /// A weighted conjunctive rule.
+    Rule {
+        /// Positive body atoms, in source order.
+        body: Vec<Atom>,
+        /// Negated body atoms (`\+ p(X)` / `not p(X)`). Programs using
+        /// them must be stratified; provenance queries reject them (the
+        /// P3 model is negation-free — supporting negation is the paper's
+        /// stated future work, and here extends the *engine* only).
+        negated: Vec<Atom>,
+        /// Comparison constraints; evaluated once their variables are bound.
+        constraints: Vec<Constraint>,
+    },
+}
+
+/// One clause of a program: a labelled, weighted fact or rule.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Clause {
+    /// Source label (`r1`, `t4`, …). Auto-generated when the source omits it.
+    pub label: String,
+    /// Probability that the clause is present in a sampled subprogram.
+    pub prob: f64,
+    /// Head atom; ground for facts.
+    pub head: Atom,
+    /// Fact or rule body.
+    pub kind: ClauseKind,
+}
+
+impl Clause {
+    /// True when this clause is a base tuple.
+    pub fn is_fact(&self) -> bool {
+        matches!(self.kind, ClauseKind::Fact)
+    }
+
+    /// True when this clause is a rule.
+    pub fn is_rule(&self) -> bool {
+        !self.is_fact()
+    }
+
+    /// The body atoms (empty slice for facts).
+    pub fn body(&self) -> &[Atom] {
+        match &self.kind {
+            ClauseKind::Fact => &[],
+            ClauseKind::Rule { body, .. } => body,
+        }
+    }
+
+    /// The body constraints (empty slice for facts).
+    pub fn constraints(&self) -> &[Constraint] {
+        match &self.kind {
+            ClauseKind::Fact => &[],
+            ClauseKind::Rule { constraints, .. } => constraints,
+        }
+    }
+
+    /// The negated body atoms (empty slice for facts and positive rules).
+    pub fn negated(&self) -> &[Atom] {
+        match &self.kind {
+            ClauseKind::Fact => &[],
+            ClauseKind::Rule { negated, .. } => negated,
+        }
+    }
+
+    /// Renders the clause in the paper's `label p: clause.` syntax.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Clause, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}: {}", self.0.label, self.0.prob, self.0.head.display(self.1))?;
+                if let ClauseKind::Rule { body, negated, constraints } = &self.0.kind {
+                    write!(f, " :- ")?;
+                    let mut first = true;
+                    for atom in body {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        first = false;
+                        write!(f, "{}", atom.display(self.1))?;
+                    }
+                    for atom in negated {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        first = false;
+                        write!(f, "\\+ {}", atom.display(self.1))?;
+                    }
+                    for c in constraints {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        first = false;
+                        write!(f, "{}", c.display(self.1))?;
+                    }
+                }
+                write!(f, ".")
+            }
+        }
+        D(self, syms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SymbolTable {
+        SymbolTable::new()
+    }
+
+    #[test]
+    fn cmp_op_on_integers() {
+        assert!(CmpOp::Lt.eval(Const::Int(1), Const::Int(2)));
+        assert!(!CmpOp::Lt.eval(Const::Int(2), Const::Int(2)));
+        assert!(CmpOp::Le.eval(Const::Int(2), Const::Int(2)));
+        assert!(CmpOp::Ge.eval(Const::Int(3), Const::Int(2)));
+        assert!(CmpOp::Gt.eval(Const::Int(3), Const::Int(2)));
+        assert!(CmpOp::Eq.eval(Const::Int(5), Const::Int(5)));
+        assert!(CmpOp::Ne.eval(Const::Int(5), Const::Int(6)));
+    }
+
+    #[test]
+    fn cmp_op_on_symbols() {
+        let mut t = table();
+        let a = Const::Sym(t.intern("a"));
+        let b = Const::Sym(t.intern("b"));
+        assert!(CmpOp::Eq.eval(a, a));
+        assert!(CmpOp::Ne.eval(a, b));
+    }
+
+    #[test]
+    fn atom_groundness_and_vars() {
+        let mut t = table();
+        let p = t.intern("p");
+        let x = t.intern("X");
+        let a = Const::Sym(t.intern("a"));
+        let ground = Atom { pred: p, args: vec![Term::Const(a), Term::Const(a)] };
+        assert!(ground.is_ground());
+        let open = Atom { pred: p, args: vec![Term::Var(x), Term::Const(a)] };
+        assert!(!open.is_ground());
+        assert_eq!(open.vars().collect::<Vec<_>>(), vec![x]);
+    }
+
+    #[test]
+    fn display_quotes_non_identifiers() {
+        let mut t = table();
+        let steve = Const::Sym(t.intern("Steve"));
+        let city = Const::Sym(t.intern("dc"));
+        assert_eq!(format!("{}", steve.display(&t)), "\"Steve\"");
+        assert_eq!(format!("{}", city.display(&t)), "dc");
+        assert_eq!(format!("{}", Const::Int(-3).display(&t)), "-3");
+    }
+
+    #[test]
+    fn clause_display_round_trippable_shape() {
+        let mut t = table();
+        let p = t.intern("p");
+        let q = t.intern("q");
+        let x = t.intern("X");
+        let y = t.intern("Y");
+        let clause = Clause {
+            label: "r1".to_string(),
+            prob: 0.5,
+            head: Atom { pred: p, args: vec![Term::Var(x)] },
+            kind: ClauseKind::Rule {
+                body: vec![Atom { pred: q, args: vec![Term::Var(x), Term::Var(y)] }],
+                negated: vec![],
+                constraints: vec![Constraint { op: CmpOp::Ne, lhs: Term::Var(x), rhs: Term::Var(y) }],
+            },
+        };
+        assert_eq!(format!("{}", clause.display(&t)), "r1 0.5: p(X) :- q(X,Y), X != Y.");
+    }
+}

@@ -1,0 +1,203 @@
+//! Rule compilation.
+//!
+//! Before evaluation, every rule is compiled: variables are renumbered to
+//! dense indices, and each constraint is scheduled at the earliest body
+//! position where both of its operands are bound, so disequalities prune
+//! join work as soon as possible.
+
+use crate::ast::{Atom, ClauseId, CmpOp, Const, Term};
+use crate::program::Program;
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+
+/// A term with dense variable numbering.
+#[derive(Clone, Copy, Debug)]
+pub enum CTerm {
+    /// Variable slot index.
+    Var(u16),
+    /// Ground constant.
+    Const(Const),
+}
+
+/// A body atom with dense variables.
+#[derive(Clone, Debug)]
+pub struct CAtom {
+    /// Predicate name.
+    pub pred: Symbol,
+    /// Argument terms.
+    pub args: Vec<CTerm>,
+}
+
+/// A compiled constraint plus the body position after which it can run.
+#[derive(Clone, Debug)]
+pub struct CConstraint {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Left operand.
+    pub lhs: CTerm,
+    /// Right operand.
+    pub rhs: CTerm,
+    /// Index of the body atom after whose binding both operands are ground.
+    pub ready_after: usize,
+}
+
+/// A negated body atom plus the body position after which its variables
+/// are all bound and the absence check can run.
+#[derive(Clone, Debug)]
+pub struct CNegated {
+    /// The atom whose *absence* is required.
+    pub atom: CAtom,
+    /// Index of the body atom after whose binding the check can run.
+    pub ready_after: usize,
+}
+
+/// A rule compiled for bottom-up evaluation.
+#[derive(Clone, Debug)]
+pub struct CompiledRule {
+    /// The originating clause.
+    pub clause: ClauseId,
+    /// Head with dense variables.
+    pub head: CAtom,
+    /// Body atoms in evaluation order (source order).
+    pub body: Vec<CAtom>,
+    /// Negated atoms, each annotated with its scheduling point. Sound only
+    /// under stratified evaluation (the negated predicates' relations are
+    /// complete before this rule runs).
+    pub negated: Vec<CNegated>,
+    /// Constraints, each annotated with its scheduling point.
+    pub constraints: Vec<CConstraint>,
+    /// Number of variable slots.
+    pub num_vars: usize,
+}
+
+impl CompiledRule {
+    /// Compiles `clause` (which must be a rule) from `program`.
+    pub fn compile(program: &Program, id: ClauseId) -> Self {
+        let clause = program.clause(id);
+        debug_assert!(clause.is_rule(), "only rules are compiled");
+        let mut numbering: HashMap<Symbol, u16> = HashMap::new();
+        let number = |v: Symbol, numbering: &mut HashMap<Symbol, u16>| -> u16 {
+            let next = numbering.len() as u16;
+            *numbering.entry(v).or_insert(next)
+        };
+
+        let compile_atom = |atom: &Atom, numbering: &mut HashMap<Symbol, u16>| -> CAtom {
+            CAtom {
+                pred: atom.pred,
+                args: atom
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => CTerm::Var({
+                            let next = numbering.len() as u16;
+                            *numbering.entry(*v).or_insert(next)
+                        }),
+                        Term::Const(c) => CTerm::Const(*c),
+                    })
+                    .collect(),
+            }
+        };
+
+        // Number body variables first (binding order), then the head reuses
+        // the same slots — safety guarantees every head var occurs in a body
+        // atom.
+        let body: Vec<CAtom> =
+            clause.body().iter().map(|a| compile_atom(a, &mut numbering)).collect();
+        let head = compile_atom(&clause.head, &mut numbering);
+
+        // For each constraint find the earliest body position binding both
+        // operands.
+        let bound_after = |v: Symbol| -> usize {
+            for (i, atom) in clause.body().iter().enumerate() {
+                if atom.vars().any(|x| x == v) {
+                    return i;
+                }
+            }
+            usize::MAX // unreachable for validated programs
+        };
+        let negated = clause
+            .negated()
+            .iter()
+            .map(|atom| {
+                let ready_after = atom.vars().map(bound_after).max().unwrap_or(0);
+                CNegated { atom: compile_atom(atom, &mut numbering), ready_after }
+            })
+            .collect();
+
+        let constraints = clause
+            .constraints()
+            .iter()
+            .map(|c| {
+                let lhs = match c.lhs {
+                    Term::Var(v) => CTerm::Var(number(v, &mut numbering)),
+                    Term::Const(k) => CTerm::Const(k),
+                };
+                let rhs = match c.rhs {
+                    Term::Var(v) => CTerm::Var(number(v, &mut numbering)),
+                    Term::Const(k) => CTerm::Const(k),
+                };
+                let ready_after = c
+                    .vars()
+                    .map(bound_after)
+                    .max()
+                    .unwrap_or(0); // all-constant constraints run immediately
+                CConstraint { op: c.op, lhs, rhs, ready_after }
+            })
+            .collect();
+
+        let num_vars = numbering.len();
+        CompiledRule { clause: id, head, body, negated, constraints, num_vars }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    fn compile_first(src: &str) -> (Program, CompiledRule) {
+        let p = Program::parse(src).unwrap();
+        let id = p
+            .iter()
+            .find_map(|(id, c)| c.is_rule().then_some(id))
+            .expect("no rule in program");
+        let compiled = CompiledRule::compile(&p, id);
+        (p, compiled)
+    }
+
+    #[test]
+    fn variables_are_densely_numbered() {
+        let (_, r) = compile_first("r1 1.0: p(X,Y) :- q(X,Z), q(Z,Y). t1 1.0: q(a,b).");
+        assert_eq!(r.num_vars, 3);
+        assert_eq!(r.body.len(), 2);
+        // X = slot 0, Z = slot 1 from the first atom; Y = slot 2.
+        match (r.body[0].args[0], r.body[0].args[1], r.body[1].args[1]) {
+            (CTerm::Var(0), CTerm::Var(1), CTerm::Var(2)) => {}
+            other => panic!("unexpected numbering {other:?}"),
+        }
+        match (r.head.args[0], r.head.args[1]) {
+            (CTerm::Var(0), CTerm::Var(2)) => {}
+            other => panic!("unexpected head numbering {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constraints_are_scheduled_at_earliest_bound_position() {
+        let (_, r) = compile_first(
+            "r1 1.0: p(A,C) :- q(A,B), q(B,C), A != B, A != C. t1 1.0: q(a,b).",
+        );
+        assert_eq!(r.constraints.len(), 2);
+        assert_eq!(r.constraints[0].ready_after, 0, "A != B ready after first atom");
+        assert_eq!(r.constraints[1].ready_after, 1, "A != C ready after second atom");
+    }
+
+    #[test]
+    fn constants_survive_compilation() {
+        let (p, r) = compile_first(r#"r1 1.0: p(X) :- q(X,"DC"). t1 1.0: q(a,"DC")."#);
+        let dc = p.symbols().get("DC").unwrap();
+        match r.body[0].args[1] {
+            CTerm::Const(Const::Sym(s)) => assert_eq!(s, dc),
+            other => panic!("expected constant, got {other:?}"),
+        }
+    }
+}

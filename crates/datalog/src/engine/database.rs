@@ -1,0 +1,259 @@
+//! Tuple storage.
+//!
+//! All ground tuples produced during evaluation are interned into a
+//! [`Database`]: each distinct `(predicate, arguments)` pair receives one
+//! [`TupleId`]. Relations are append-only lists of tuple ids, which makes
+//! semi-naive deltas representable as index ranges, and gives provenance a
+//! stable, compact vertex identifier for every tuple.
+
+use crate::ast::Const;
+use crate::symbol::{Symbol, SymbolTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a ground tuple within its [`Database`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One stored ground tuple.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoredTuple {
+    /// Predicate name.
+    pub pred: Symbol,
+    /// Ground arguments.
+    pub args: Box<[Const]>,
+}
+
+/// A relation: the tuples of one predicate, in insertion order, plus lazy
+/// hash indices on column subsets.
+#[derive(Default, Debug, Clone)]
+pub struct Relation {
+    tuples: Vec<TupleId>,
+    indices: HashMap<Box<[usize]>, ColumnIndex>,
+}
+
+#[derive(Default, Debug, Clone)]
+struct ColumnIndex {
+    /// Number of `tuples` entries already folded into `map`.
+    synced: usize,
+    map: HashMap<Box<[Const]>, Vec<TupleId>>,
+}
+
+impl Relation {
+    /// All tuples, insertion-ordered.
+    pub fn tuples(&self) -> &[TupleId] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// The tuple store produced by evaluation.
+#[derive(Default, Clone)]
+pub struct Database {
+    tuples: Vec<StoredTuple>,
+    intern: HashMap<(Symbol, Box<[Const]>), TupleId>,
+    relations: HashMap<Symbol, Relation>,
+    /// Symbol table snapshot installed by the engine; enables name-based
+    /// lookups like [`Self::relation_by_name`].
+    pub(crate) symbols_hint: Option<SymbolTable>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a tuple, returning its id and whether it was newly inserted.
+    pub fn insert(&mut self, pred: Symbol, args: Box<[Const]>) -> (TupleId, bool) {
+        if let Some(&id) = self.intern.get(&(pred, args.clone())) {
+            return (id, false);
+        }
+        let id = TupleId(u32::try_from(self.tuples.len()).expect("tuple id overflow"));
+        self.tuples.push(StoredTuple { pred, args: args.clone() });
+        self.intern.insert((pred, args), id);
+        self.relations.entry(pred).or_default().tuples.push(id);
+        (id, true)
+    }
+
+    /// Looks up a tuple id without inserting.
+    pub fn lookup(&self, pred: Symbol, args: &[Const]) -> Option<TupleId> {
+        // The borrow of the key requires an owned Box; avoid it with a
+        // two-step scan over the relation for small lookups? No — clone the
+        // key; lookups are rare (query entry points only).
+        self.intern.get(&(pred, args.to_vec().into_boxed_slice())).copied()
+    }
+
+    /// The stored tuple for `id`.
+    pub fn tuple(&self, id: TupleId) -> &StoredTuple {
+        &self.tuples[id.index()]
+    }
+
+    /// The relation for `pred`, if any tuple of it exists.
+    pub fn relation(&self, pred: Symbol) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// Looks up a relation by predicate name string.
+    pub fn relation_by_name(&self, name: &str) -> Option<&Relation> {
+        // Scan: the number of predicates is tiny.
+        self.relations.iter().find_map(|(sym, rel)| {
+            if self.symbols_hint.as_ref().map(|t| t.resolve(*sym) == name).unwrap_or(false) {
+                Some(rel)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Total number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether no tuple is stored.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All predicates with at least one tuple.
+    pub fn predicates(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.relations.keys().copied()
+    }
+
+    /// Tuples of `pred` whose columns `cols` equal `key`, using (and lazily
+    /// maintaining) a hash index.
+    pub fn probe(&mut self, pred: Symbol, cols: &[usize], key: &[Const]) -> &[TupleId] {
+        debug_assert_eq!(cols.len(), key.len());
+        let Some(rel) = self.relations.get_mut(&pred) else { return &[] };
+        let index = rel
+            .indices
+            .entry(cols.to_vec().into_boxed_slice())
+            .or_default();
+        // Fold in tuples appended since the last probe.
+        while index.synced < rel.tuples.len() {
+            let id = rel.tuples[index.synced];
+            index.synced += 1;
+            let tuple = &self.tuples[id.index()];
+            let k: Box<[Const]> = cols.iter().map(|&c| tuple.args[c]).collect();
+            index.map.entry(k).or_default().push(id);
+        }
+        index
+            .map
+            .get(key)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Renders a tuple as `pred(arg,...)`.
+    pub fn display_tuple<'a>(
+        &'a self,
+        id: TupleId,
+        syms: &'a SymbolTable,
+    ) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a StoredTuple, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}(", self.1.resolve(self.0.pred))?;
+                for (i, arg) in self.0.args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", arg.display(self.1))?;
+                }
+                write!(f, ")")
+            }
+        }
+        D(self.tuple(id), syms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms() -> SymbolTable {
+        SymbolTable::new()
+    }
+
+    #[test]
+    fn insert_interns_tuples() {
+        let mut t = syms();
+        let p = t.intern("p");
+        let a = Const::Sym(t.intern("a"));
+        let mut db = Database::new();
+        let (id1, new1) = db.insert(p, vec![a].into_boxed_slice());
+        let (id2, new2) = db.insert(p, vec![a].into_boxed_slice());
+        assert_eq!(id1, id2);
+        assert!(new1);
+        assert!(!new2);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn lookup_finds_inserted_tuples() {
+        let mut t = syms();
+        let p = t.intern("p");
+        let a = Const::Int(7);
+        let mut db = Database::new();
+        let (id, _) = db.insert(p, vec![a].into_boxed_slice());
+        assert_eq!(db.lookup(p, &[a]), Some(id));
+        assert_eq!(db.lookup(p, &[Const::Int(8)]), None);
+    }
+
+    #[test]
+    fn probe_returns_matching_tuples_and_tracks_appends() {
+        let mut t = syms();
+        let e = t.intern("edge");
+        let n = |i| Const::Int(i);
+        let mut db = Database::new();
+        let (t12, _) = db.insert(e, vec![n(1), n(2)].into_boxed_slice());
+        let (t13, _) = db.insert(e, vec![n(1), n(3)].into_boxed_slice());
+        db.insert(e, vec![n(2), n(3)].into_boxed_slice());
+
+        let hits = db.probe(e, &[0], &[n(1)]).to_vec();
+        assert_eq!(hits, vec![t12, t13]);
+
+        // Appending after an index exists must keep the index in sync.
+        let (t14, _) = db.insert(e, vec![n(1), n(4)].into_boxed_slice());
+        let hits = db.probe(e, &[0], &[n(1)]).to_vec();
+        assert_eq!(hits, vec![t12, t13, t14]);
+    }
+
+    #[test]
+    fn probe_on_multiple_columns() {
+        let mut t = syms();
+        let e = t.intern("edge");
+        let n = |i| Const::Int(i);
+        let mut db = Database::new();
+        let (t12, _) = db.insert(e, vec![n(1), n(2)].into_boxed_slice());
+        db.insert(e, vec![n(1), n(3)].into_boxed_slice());
+        let hits = db.probe(e, &[0, 1], &[n(1), n(2)]).to_vec();
+        assert_eq!(hits, vec![t12]);
+    }
+
+    #[test]
+    fn probe_unknown_predicate_is_empty() {
+        let mut t = syms();
+        let p = t.intern("p");
+        let mut db = Database::new();
+        assert!(db.probe(p, &[0], &[Const::Int(1)]).is_empty());
+    }
+}

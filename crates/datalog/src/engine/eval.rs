@@ -1,0 +1,251 @@
+//! The join loop: evaluates one rule against one delta position.
+
+use super::compile::{CAtom, CTerm, CompiledRule};
+use super::database::{Database, TupleId};
+use super::DerivationSink;
+use crate::ast::Const;
+
+/// Evaluates `rule` with delta position `d` against watermarks
+/// `[w_prev, w_cur)`, inserting derived heads into `db` and reporting each
+/// firing to `sink`. Returns the number of firings.
+pub(super) fn eval_rule(
+    db: &mut Database,
+    rule: &CompiledRule,
+    d: usize,
+    w_prev: TupleId,
+    w_cur: TupleId,
+    sink: &mut dyn DerivationSink,
+) -> usize {
+    let mut cx = JoinCx {
+        db,
+        rule,
+        d,
+        w_prev,
+        w_cur,
+        env: vec![None; rule.num_vars],
+        trail: Vec::with_capacity(rule.num_vars),
+        body_ids: Vec::with_capacity(rule.body.len()),
+        sink,
+        firings: 0,
+        scratch_cols: Vec::new(),
+        scratch_key: Vec::new(),
+        scratch_args: Vec::new(),
+    };
+    cx.join(0);
+    cx.firings
+}
+
+struct JoinCx<'a> {
+    db: &'a mut Database,
+    rule: &'a CompiledRule,
+    d: usize,
+    w_prev: TupleId,
+    w_cur: TupleId,
+    env: Vec<Option<Const>>,
+    /// Variable slots bound since the start of the join, in binding order.
+    /// A prefix length snapshot identifies the bindings of one `bind` call.
+    trail: Vec<u16>,
+    body_ids: Vec<TupleId>,
+    sink: &'a mut dyn DerivationSink,
+    firings: usize,
+    scratch_cols: Vec<usize>,
+    scratch_key: Vec<Const>,
+    scratch_args: Vec<Const>,
+}
+
+impl JoinCx<'_> {
+    /// The id watermarks `[lo, hi)` a candidate tuple for body position
+    /// `pos` must fall in. See the module docs of [`super`].
+    fn id_range(&self, pos: usize) -> (TupleId, TupleId) {
+        use std::cmp::Ordering::*;
+        match pos.cmp(&self.d) {
+            Less => (TupleId(0), self.w_prev),
+            Equal => (self.w_prev, self.w_cur),
+            Greater => (TupleId(0), self.w_cur),
+        }
+    }
+
+    fn join(&mut self, pos: usize) {
+        if pos == self.rule.body.len() {
+            self.fire();
+            return;
+        }
+
+        let atom = &self.rule.body[pos];
+        let (lo, hi) = self.id_range(pos);
+
+        // Split the atom's arguments into bound columns (probe key) and the
+        // rest (checked/bound during the scan).
+        self.scratch_cols.clear();
+        self.scratch_key.clear();
+        for (col, term) in atom.args.iter().enumerate() {
+            match term {
+                CTerm::Const(c) => {
+                    self.scratch_cols.push(col);
+                    self.scratch_key.push(*c);
+                }
+                CTerm::Var(v) => {
+                    if let Some(c) = self.env[*v as usize] {
+                        self.scratch_cols.push(col);
+                        self.scratch_key.push(c);
+                    }
+                }
+            }
+        }
+
+        // Collect candidates. The probe borrows `db` mutably (indices are
+        // built lazily), so copy the matching id range out before recursing.
+        let candidates: Vec<TupleId> = if self.scratch_cols.is_empty() {
+            match self.db.relation(atom.pred) {
+                Some(rel) => in_range(rel.tuples(), lo, hi).to_vec(),
+                None => return,
+            }
+        } else {
+            let cols = std::mem::take(&mut self.scratch_cols);
+            let key = std::mem::take(&mut self.scratch_key);
+            let hits = self.db.probe(atom.pred, &cols, &key);
+            let out = in_range(hits, lo, hi).to_vec();
+            self.scratch_cols = cols;
+            self.scratch_key = key;
+            out
+        };
+
+        for id in candidates {
+            if let Some(mark) = self.bind(atom, id) {
+                if self.constraints_hold(pos) && self.negations_hold(pos) {
+                    self.body_ids.push(id);
+                    self.join(pos + 1);
+                    self.body_ids.pop();
+                }
+                self.rollback(mark);
+            }
+        }
+    }
+
+    /// Binds `atom`'s unbound variables against tuple `id`. Returns the
+    /// trail mark to roll back to on success, or `None` when a repeated
+    /// variable or constant mismatches (already rolled back).
+    fn bind(&mut self, atom: &CAtom, id: TupleId) -> Option<usize> {
+        let mark = self.trail.len();
+        self.scratch_args.clear();
+        self.scratch_args.extend_from_slice(&self.db.tuple(id).args);
+        for (i, term) in atom.args.iter().enumerate() {
+            let value = self.scratch_args[i];
+            match term {
+                CTerm::Const(c) => {
+                    if *c != value {
+                        self.rollback(mark);
+                        return None;
+                    }
+                }
+                CTerm::Var(v) => match self.env[*v as usize] {
+                    Some(existing) => {
+                        if existing != value {
+                            self.rollback(mark);
+                            return None;
+                        }
+                    }
+                    None => {
+                        self.env[*v as usize] = Some(value);
+                        self.trail.push(*v);
+                    }
+                },
+            }
+        }
+        Some(mark)
+    }
+
+    /// Clears every binding made after trail position `mark`.
+    fn rollback(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let v = self.trail.pop().expect("trail underflow");
+            self.env[v as usize] = None;
+        }
+    }
+
+    /// Checks the negated atoms scheduled at body position `pos`: each must
+    /// be *absent* from the database. Sound because stratified evaluation
+    /// guarantees the negated predicates' relations are complete.
+    fn negations_hold(&mut self, pos: usize) -> bool {
+        if self.rule.negated.is_empty() {
+            return true;
+        }
+        for i in 0..self.rule.negated.len() {
+            if self.rule.negated[i].ready_after != pos {
+                continue;
+            }
+            self.scratch_key.clear();
+            for term in &self.rule.negated[i].atom.args {
+                let v = match term {
+                    CTerm::Const(c) => *c,
+                    CTerm::Var(v) => {
+                        self.env[*v as usize].expect("negation scheduled before binding")
+                    }
+                };
+                self.scratch_key.push(v);
+            }
+            if self.db.lookup(self.rule.negated[i].atom.pred, &self.scratch_key).is_some() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks the constraints scheduled at body position `pos`.
+    fn constraints_hold(&self, pos: usize) -> bool {
+        for c in &self.rule.constraints {
+            if c.ready_after != pos {
+                continue;
+            }
+            let lhs = self.value(c.lhs);
+            let rhs = self.value(c.rhs);
+            if !c.op.eval(lhs, rhs) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn value(&self, term: CTerm) -> Const {
+        match term {
+            CTerm::Const(c) => c,
+            CTerm::Var(v) => self.env[v as usize].expect("constraint scheduled before binding"),
+        }
+    }
+
+    /// All body atoms matched: ground the head, insert, and report.
+    fn fire(&mut self) {
+        let args: Box<[Const]> = self
+            .rule
+            .head
+            .args
+            .iter()
+            .map(|t| self.value(*t))
+            .collect();
+        let (head_id, _) = self.db.insert(self.rule.head.pred, args);
+        self.sink.derived(self.rule.clause, head_id, &self.body_ids);
+        self.firings += 1;
+    }
+}
+
+/// The subslice of `ids` (sorted ascending) with `lo <= id < hi`.
+fn in_range(ids: &[TupleId], lo: TupleId, hi: TupleId) -> &[TupleId] {
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "tuple id lists are sorted");
+    let start = ids.partition_point(|&id| id < lo);
+    let end = ids.partition_point(|&id| id < hi);
+    &ids[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_selects_the_window() {
+        let ids: Vec<TupleId> = [1u32, 3, 5, 7, 9].iter().map(|&i| TupleId(i)).collect();
+        assert_eq!(in_range(&ids, TupleId(3), TupleId(8)), &ids[1..4]);
+        assert_eq!(in_range(&ids, TupleId(0), TupleId(100)), &ids[..]);
+        assert_eq!(in_range(&ids, TupleId(10), TupleId(20)), &[] as &[TupleId]);
+        assert_eq!(in_range(&ids, TupleId(4), TupleId(4)), &[] as &[TupleId]);
+    }
+}

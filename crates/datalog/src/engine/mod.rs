@@ -1,0 +1,329 @@
+//! Bottom-up semi-naive evaluation.
+//!
+//! The engine computes the least fixpoint of a program's rules over its base
+//! tuples — *derivability on the full program*, independent of clause
+//! probabilities, exactly as P3 requires: probability enters only later,
+//! through the provenance polynomial.
+//!
+//! Every rule firing (a grounding of a rule body) is reported exactly once
+//! through the [`DerivationSink`] seam, including firings that re-derive an
+//! already-known tuple — those are *alternative derivations* and are what
+//! provenance capture exists to record.
+//!
+//! ## Semi-naive discipline
+//!
+//! Tuple ids grow monotonically, so "the database as of iteration start" is
+//! a watermark on ids. For a rule body `B1,…,Bn` and a delta position `d`,
+//! atoms before `d` read tuples older than the previous watermark, atom `d`
+//! reads the delta between the two watermarks, and atoms after `d` read
+//! everything up to the current watermark. Each grounding therefore fires at
+//! exactly one `(iteration, d)`: the iteration where its newest body tuple
+//! appeared, with `d` the position of that tuple.
+
+mod compile;
+mod database;
+mod eval;
+
+pub use compile::{CAtom, CConstraint, CTerm, CompiledRule};
+pub use database::{Database, Relation, StoredTuple, TupleId};
+
+use crate::ast::{ClauseId, Term};
+use crate::program::Program;
+
+/// Observes derivations during evaluation. Implemented by provenance
+/// capture; [`NoopSink`] discards everything (the paper's "without
+/// provenance" baseline).
+pub trait DerivationSink {
+    /// A base tuple `tuple` asserted by fact clause `clause`.
+    fn base_fact(&mut self, clause: ClauseId, tuple: TupleId);
+
+    /// Rule `rule` fired with ground body `body`, deriving `head`.
+    ///
+    /// `body` lists the tuple ids of the grounded body atoms in rule order.
+    fn derived(&mut self, rule: ClauseId, head: TupleId, body: &[TupleId]);
+}
+
+/// A sink that records nothing.
+pub struct NoopSink;
+
+impl DerivationSink for NoopSink {
+    #[inline]
+    fn base_fact(&mut self, _clause: ClauseId, _tuple: TupleId) {}
+    #[inline]
+    fn derived(&mut self, _rule: ClauseId, _head: TupleId, _body: &[TupleId]) {}
+}
+
+/// Counters reported by a run.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Fixpoint iterations executed.
+    pub iterations: usize,
+    /// Total rule firings observed (including re-derivations).
+    pub firings: usize,
+    /// Distinct tuples at fixpoint (base + derived).
+    pub tuples: usize,
+}
+
+/// The evaluation engine for one program.
+pub struct Engine<'p> {
+    program: &'p Program,
+    rules: Vec<CompiledRule>,
+    stats: EngineStats,
+}
+
+impl<'p> Engine<'p> {
+    /// Compiles `program`'s rules and prepares an engine.
+    pub fn new(program: &'p Program) -> Self {
+        let rules = program
+            .iter()
+            .filter(|(_, c)| c.is_rule())
+            .map(|(id, _)| CompiledRule::compile(program, id))
+            .collect();
+        Self { program, rules, stats: EngineStats::default() }
+    }
+
+    /// Runs to fixpoint, reporting derivations to `sink`.
+    pub fn run(&mut self, sink: &mut dyn DerivationSink) -> Database {
+        let mut db = Database::new();
+        db.symbols_hint = Some(self.program.symbols().clone());
+
+        // Seed base tuples. Facts are ground by validation.
+        for (id, clause) in self.program.iter() {
+            if !clause.is_fact() {
+                continue;
+            }
+            let args = clause
+                .head
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    Term::Var(_) => unreachable!("facts are ground"),
+                })
+                .collect();
+            let (tid, _) = db.insert(clause.head.pred, args);
+            sink.base_fact(id, tid);
+        }
+
+        // Stratified evaluation: rules run stratum by stratum (a single
+        // stratum for negation-free programs), so a rule's negated
+        // predicates are complete before the rule ever fires.
+        let num_strata = self.program.num_strata();
+        let mut by_stratum: Vec<Vec<usize>> = vec![Vec::new(); num_strata];
+        for (idx, rule) in self.rules.iter().enumerate() {
+            let head_pred = self.program.clause(rule.clause).head.pred;
+            by_stratum[self.program.stratum(head_pred)].push(idx);
+        }
+
+        let mut iterations = 0usize;
+        let mut firings = 0usize;
+        for stratum_rules in &by_stratum {
+            // Every tuple derived so far is "new" to this stratum's rules.
+            let mut w_prev = 0u32;
+            let mut w_cur = db.len() as u32;
+            // Fixpoint loop. Firings on the final (no-new-tuples) pass are
+            // still reported: a delta may produce only re-derivations, which
+            // matter to provenance even though they add no tuples.
+            while w_prev < w_cur {
+                iterations += 1;
+                for &rule_idx in stratum_rules {
+                    for d in 0..self.rules[rule_idx].body.len() {
+                        firings += eval::eval_rule(
+                            &mut db,
+                            &self.rules[rule_idx],
+                            d,
+                            TupleId(w_prev),
+                            TupleId(w_cur),
+                            sink,
+                        );
+                    }
+                }
+                w_prev = w_cur;
+                w_cur = db.len() as u32;
+            }
+        }
+
+        self.stats = EngineStats { iterations, firings, tuples: db.len() };
+        db
+    }
+
+    /// Runs to fixpoint without observing derivations.
+    pub fn run_plain(&mut self) -> Database {
+        self.run(&mut NoopSink)
+    }
+
+    /// Counters from the most recent run.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The program being evaluated.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Const;
+    use crate::program::Program;
+
+    fn run(src: &str) -> (Program, Database, EngineStats) {
+        let p = Program::parse(src).unwrap();
+        let mut e = Engine::new(&p);
+        let db = e.run_plain();
+        let stats = e.stats();
+        (p, db, stats)
+    }
+
+    fn count(p: &Program, db: &Database, pred: &str) -> usize {
+        p.symbols()
+            .get(pred)
+            .and_then(|s| db.relation(s))
+            .map(|r| r.len())
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn facts_only() {
+        let (p, db, stats) = run("t1 0.5: p(a). t2 0.5: p(b).");
+        assert_eq!(count(&p, &db, "p"), 2);
+        assert_eq!(stats.firings, 0);
+    }
+
+    #[test]
+    fn simple_join() {
+        let (p, db, _) = run(
+            "r1 1.0: grandparent(X,Z) :- parent(X,Y), parent(Y,Z).
+             parent(alice,bob). parent(bob,carol). parent(bob,dave).",
+        );
+        assert_eq!(count(&p, &db, "grandparent"), 2);
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let (p, db, _) = run(
+            "r1 1.0: path(X,Y) :- edge(X,Y).
+             r2 1.0: path(X,Z) :- edge(X,Y), path(Y,Z).
+             edge(1,2). edge(2,3). edge(3,4). edge(4,1).",
+        );
+        // Cycle of 4 nodes: all 16 ordered pairs are reachable.
+        assert_eq!(count(&p, &db, "path"), 16);
+    }
+
+    #[test]
+    fn constraints_prune_groundings() {
+        let (p, db, _) = run(
+            "r1 1.0: pair(X,Y) :- p(X), p(Y), X != Y.
+             p(a). p(b). p(c).",
+        );
+        assert_eq!(count(&p, &db, "pair"), 6, "3*3 minus the 3 diagonal pairs");
+    }
+
+    #[test]
+    fn integer_comparison_constraints() {
+        let (p, db, _) = run(
+            "r1 1.0: big(X) :- num(X), X >= 10.
+             num(3). num(10). num(42).",
+        );
+        assert_eq!(count(&p, &db, "big"), 2);
+    }
+
+    #[test]
+    fn acquaintance_example_derives_ben_knows_elena() {
+        let src = r#"
+            r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+            r2 0.4: know(P1,P2) :- like(P1,L), like(P2,L), P1 != P2.
+            r3 0.2: know(P1,P3) :- know(P1,P2), know(P2,P3), P1 != P3.
+            t1 1.0: live("Steve","DC").
+            t2 1.0: live("Elena","DC").
+            t3 1.0: live("Mary","NYC").
+            t4 0.4: like("Steve","Veggies").
+            t5 0.6: like("Elena","Veggies").
+            t6 1.0: know("Ben","Steve").
+        "#;
+        let (p, db, _) = run(src);
+        let know = p.symbols().get("know").unwrap();
+        let ben = Const::Sym(p.symbols().get("Ben").unwrap());
+        let elena = Const::Sym(p.symbols().get("Elena").unwrap());
+        assert!(db.lookup(know, &[ben, elena]).is_some());
+    }
+
+    #[test]
+    fn each_grounding_fires_exactly_once() {
+        struct Recorder(Vec<(ClauseId, TupleId, Vec<TupleId>)>);
+        impl DerivationSink for Recorder {
+            fn base_fact(&mut self, _c: ClauseId, _t: TupleId) {}
+            fn derived(&mut self, rule: ClauseId, head: TupleId, body: &[TupleId]) {
+                self.0.push((rule, head, body.to_vec()));
+            }
+        }
+        let p = Program::parse(
+            "r1 1.0: path(X,Y) :- edge(X,Y).
+             r2 1.0: path(X,Z) :- edge(X,Y), path(Y,Z).
+             edge(1,2). edge(2,3). edge(3,1). edge(1,3).",
+        )
+        .unwrap();
+        let mut rec = Recorder(Vec::new());
+        Engine::new(&p).run(&mut rec);
+        let mut seen = std::collections::HashSet::new();
+        for firing in &rec.0 {
+            assert!(seen.insert(firing.clone()), "duplicate firing {firing:?}");
+        }
+        // r1 fires once per edge.
+        let r1 = p.clause_by_label("r1").unwrap();
+        assert_eq!(rec.0.iter().filter(|(r, _, _)| *r == r1).count(), 4);
+    }
+
+    #[test]
+    fn rederivations_are_reported() {
+        struct Count(usize);
+        impl DerivationSink for Count {
+            fn base_fact(&mut self, _c: ClauseId, _t: TupleId) {}
+            fn derived(&mut self, _r: ClauseId, _h: TupleId, _b: &[TupleId]) {
+                self.0 += 1;
+            }
+        }
+        // q(a) has two derivations; both must be observed even though the
+        // tuple is inserted once.
+        let p = Program::parse(
+            "r1 0.5: q(X) :- p1(X). r2 0.5: q(X) :- p2(X). p1(a). p2(a).",
+        )
+        .unwrap();
+        let mut c = Count(0);
+        let db = Engine::new(&p).run(&mut c);
+        assert_eq!(c.0, 2);
+        let q = p.symbols().get("q").unwrap();
+        assert_eq!(db.relation(q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn zero_arity_predicates() {
+        let (p, db, _) = run("r1 0.3: ok() :- go(). go().");
+        assert_eq!(count(&p, &db, "ok"), 1);
+    }
+
+    #[test]
+    fn repeated_variables_within_an_atom_filter() {
+        let (p, db, _) = run(
+            "r1 1.0: loop(X) :- edge(X,X).
+             edge(1,1). edge(1,2). edge(3,3).",
+        );
+        assert_eq!(count(&p, &db, "loop"), 2);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let src = "r1 1.0: path(X,Y) :- edge(X,Y).
+                   r2 1.0: path(X,Z) :- edge(X,Y), path(Y,Z).
+                   edge(1,2). edge(2,3).";
+        let p = Program::parse(src).unwrap();
+        let mut e = Engine::new(&p);
+        let db = e.run_plain();
+        let s = e.stats();
+        assert!(s.iterations >= 2);
+        assert_eq!(s.tuples, db.len());
+        assert_eq!(s.firings, 3, "2 r1 firings + 1 r2 firing: {s:?}");
+    }
+}

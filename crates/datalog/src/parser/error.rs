@@ -1,0 +1,115 @@
+//! Parse errors with source positions.
+
+use super::lexer::Span;
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong during parsing.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ParseErrorKind {
+    /// A character that begins no token.
+    UnexpectedChar(char),
+    /// A string literal with no closing quote before end of line/input.
+    UnterminatedString,
+    /// A token other than the expected one.
+    Expected {
+        /// What the grammar required here.
+        expected: &'static str,
+        /// What was actually found.
+        found: &'static str,
+    },
+    /// A numeric literal that does not parse as the required type.
+    BadNumber(String),
+    /// A clause probability outside `[0, 1]`.
+    ProbabilityOutOfRange(f64),
+}
+
+/// A parse error, annotated with the 1-based line and column where it
+/// occurred.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// The error category and payload.
+    pub kind: ParseErrorKind,
+    /// Byte span in the source.
+    pub span: Span,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in characters).
+    pub column: usize,
+}
+
+impl ParseError {
+    pub(crate) fn new(kind: ParseErrorKind, span: Span, src: &str) -> Self {
+        let (line, column) = position(src, span.start);
+        Self { kind, span, line, column }
+    }
+}
+
+/// Computes the 1-based (line, column) of byte `offset` in `src`.
+fn position(src: &str, offset: usize) -> (usize, usize) {
+    let clamped = offset.min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, ch) in src.char_indices() {
+        if i >= clamped {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}, column {}: ", self.line, self.column)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character '{c}'"),
+            ParseErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
+            ParseErrorKind::Expected { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ParseErrorKind::BadNumber(text) => write!(f, "malformed number '{text}'"),
+            ParseErrorKind::ProbabilityOutOfRange(p) => {
+                write!(f, "probability {p} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_counts_lines_and_columns() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(position(src, 0), (1, 1));
+        assert_eq!(position(src, 2), (1, 3));
+        assert_eq!(position(src, 4), (2, 1));
+        assert_eq!(position(src, 9), (3, 2));
+    }
+
+    #[test]
+    fn position_clamps_past_end() {
+        assert_eq!(position("ab", 99), (1, 3));
+    }
+
+    #[test]
+    fn display_mentions_location() {
+        let err = ParseError::new(
+            ParseErrorKind::UnexpectedChar('#'),
+            Span::new(4, 5),
+            "abc\n#",
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains('#'), "{msg}");
+    }
+}

@@ -1,0 +1,344 @@
+//! Hand-written lexer for the ProbLog-like syntax.
+
+use super::error::{ParseError, ParseErrorKind};
+
+/// A byte range into the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub start: usize,
+    /// Exclusive end byte offset.
+    pub end: usize,
+}
+
+impl Span {
+    pub(crate) fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+}
+
+/// Lexical token categories.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier beginning with a lowercase letter: predicate/constant.
+    LowerIdent,
+    /// Identifier beginning with an uppercase letter or `_`: variable.
+    UpperIdent,
+    /// Decimal number, possibly signed, possibly with a fractional part.
+    Number,
+    /// Double-quoted string literal (span includes the quotes).
+    Str,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-`
+    Implies,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `=`
+    Eq,
+    /// `!=` or `\=`
+    Ne,
+    /// `\+` — negation-as-failure marker.
+    NotSign,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable token description for error messages.
+    pub fn describe(self) -> &'static str {
+        match self {
+            TokenKind::LowerIdent => "identifier",
+            TokenKind::UpperIdent => "variable",
+            TokenKind::Number => "number",
+            TokenKind::Str => "string",
+            TokenKind::LParen => "'('",
+            TokenKind::RParen => "')'",
+            TokenKind::Comma => "','",
+            TokenKind::Dot => "'.'",
+            TokenKind::Implies => "':-'",
+            TokenKind::Colon => "':'",
+            TokenKind::ColonColon => "'::'",
+            TokenKind::Eq => "'='",
+            TokenKind::Ne => "'!='",
+            TokenKind::NotSign => "'\\+'",
+            TokenKind::Lt => "'<'",
+            TokenKind::Le => "'<='",
+            TokenKind::Gt => "'>'",
+            TokenKind::Ge => "'>='",
+            TokenKind::Eof => "end of input",
+        }
+    }
+}
+
+/// A token: its kind and where it sits in the source.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// Token category.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Tokenizer over source bytes.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Self { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    /// Tokenizes the whole input. The final token is always [`TokenKind::Eof`].
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_byte_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek_byte() {
+                Some(b) if b.is_ascii_whitespace() => self.pos += 1,
+                Some(b'%') => self.skip_line(),
+                Some(b'/') if self.peek_byte_at(1) == Some(b'/') => self.skip_line(),
+                _ => return,
+            }
+        }
+    }
+
+    fn skip_line(&mut self) {
+        while let Some(b) = self.peek_byte() {
+            self.pos += 1;
+            if b == b'\n' {
+                return;
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_trivia();
+        let start = self.pos;
+        let Some(b) = self.peek_byte() else {
+            return Ok(Token { kind: TokenKind::Eof, span: Span::new(start, start) });
+        };
+        let simple = |kind: TokenKind, len: usize, this: &mut Self| {
+            this.pos += len;
+            Ok(Token { kind, span: Span::new(start, start + len) })
+        };
+        match b {
+            b'(' => simple(TokenKind::LParen, 1, self),
+            b')' => simple(TokenKind::RParen, 1, self),
+            b',' => simple(TokenKind::Comma, 1, self),
+            b'=' => simple(TokenKind::Eq, 1, self),
+            b'!' if self.peek_byte_at(1) == Some(b'=') => simple(TokenKind::Ne, 2, self),
+            b'\\' if self.peek_byte_at(1) == Some(b'=') => simple(TokenKind::Ne, 2, self),
+            b'\\' if self.peek_byte_at(1) == Some(b'+') => simple(TokenKind::NotSign, 2, self),
+            b'<' if self.peek_byte_at(1) == Some(b'=') => simple(TokenKind::Le, 2, self),
+            b'<' => simple(TokenKind::Lt, 1, self),
+            b'>' if self.peek_byte_at(1) == Some(b'=') => simple(TokenKind::Ge, 2, self),
+            b'>' => simple(TokenKind::Gt, 1, self),
+            b':' if self.peek_byte_at(1) == Some(b'-') => simple(TokenKind::Implies, 2, self),
+            b':' if self.peek_byte_at(1) == Some(b':') => simple(TokenKind::ColonColon, 2, self),
+            b':' => simple(TokenKind::Colon, 1, self),
+            b'"' => self.lex_string(start),
+            b'.' => {
+                // A dot can begin a number like `.5`? The grammar does not
+                // allow that; a dot is always the clause terminator.
+                simple(TokenKind::Dot, 1, self)
+            }
+            b'-' | b'0'..=b'9' => self.lex_number(start),
+            b'_' | b'A'..=b'Z' => {
+                self.lex_ident(start);
+                Ok(Token { kind: TokenKind::UpperIdent, span: Span::new(start, self.pos) })
+            }
+            b'a'..=b'z' => {
+                self.lex_ident(start);
+                Ok(Token { kind: TokenKind::LowerIdent, span: Span::new(start, self.pos) })
+            }
+            _ => {
+                let ch = self.src[start..].chars().next().unwrap_or('?');
+                Err(ParseError::new(
+                    ParseErrorKind::UnexpectedChar(ch),
+                    Span::new(start, start + ch.len_utf8()),
+                    self.src,
+                ))
+            }
+        }
+    }
+
+    fn lex_ident(&mut self, _start: usize) {
+        while let Some(b) = self.peek_byte() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<Token, ParseError> {
+        if self.peek_byte() == Some(b'-') {
+            self.pos += 1;
+            if !matches!(self.peek_byte(), Some(b'0'..=b'9')) {
+                return Err(ParseError::new(
+                    ParseErrorKind::UnexpectedChar('-'),
+                    Span::new(start, start + 1),
+                    self.src,
+                ));
+            }
+        }
+        while matches!(self.peek_byte(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        // Fractional part — but only when the dot is followed by a digit, so
+        // `p(1).` lexes the dot as the clause terminator.
+        if self.peek_byte() == Some(b'.') && matches!(self.peek_byte_at(1), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            while matches!(self.peek_byte(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(Token { kind: TokenKind::Number, span: Span::new(start, self.pos) })
+    }
+
+    fn lex_string(&mut self, start: usize) -> Result<Token, ParseError> {
+        self.pos += 1; // opening quote
+        while let Some(b) = self.peek_byte() {
+            self.pos += 1;
+            if b == b'"' {
+                return Ok(Token { kind: TokenKind::Str, span: Span::new(start, self.pos) });
+            }
+            if b == b'\n' {
+                break;
+            }
+        }
+        Err(ParseError::new(
+            ParseErrorKind::UnterminatedString,
+            Span::new(start, self.pos),
+            self.src,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_clause_punctuation() {
+        assert_eq!(
+            kinds("p(X) :- q(X)."),
+            vec![
+                TokenKind::LowerIdent,
+                TokenKind::LParen,
+                TokenKind::UpperIdent,
+                TokenKind::RParen,
+                TokenKind::Implies,
+                TokenKind::LowerIdent,
+                TokenKind::LParen,
+                TokenKind::UpperIdent,
+                TokenKind::RParen,
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn number_dot_disambiguation() {
+        // `0.8::` → Number("0.8") ColonColon; `p(1).` → the final dot is Dot.
+        assert_eq!(
+            kinds("0.8::p(1)."),
+            vec![
+                TokenKind::Number,
+                TokenKind::ColonColon,
+                TokenKind::LowerIdent,
+                TokenKind::LParen,
+                TokenKind::Number,
+                TokenKind::RParen,
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds(r"= != \= < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(kinds("-12"), vec![TokenKind::Number, TokenKind::Eof]);
+        assert_eq!(kinds("-0.5"), vec![TokenKind::Number, TokenKind::Eof]);
+    }
+
+    #[test]
+    fn strings_and_unterminated_string() {
+        assert_eq!(kinds(r#""hello world""#), vec![TokenKind::Str, TokenKind::Eof]);
+        assert!(Lexer::new("\"oops").tokenize().is_err());
+        assert!(Lexer::new("\"oops\nmore").tokenize().is_err());
+    }
+
+    #[test]
+    fn comments_do_not_produce_tokens() {
+        assert_eq!(kinds("% hi\n// there\np()."), kinds("p()."));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let err = Lexer::new("p(#).").tokenize().unwrap_err();
+        assert!(err.to_string().contains('#'));
+    }
+}

@@ -1,0 +1,424 @@
+//! Parser for the ProbLog-like surface syntax.
+//!
+//! Two clause spellings are accepted, and may be mixed within one source
+//! file:
+//!
+//! * the paper's labelled form — `r1 0.8: head :- body.` and
+//!   `t4 0.4: like("Steve","Veggies").`
+//! * ProbLog's form — `0.8::head :- body.` and `0.4::like(...).`
+//!
+//! A clause without a probability annotation (`head :- body.` or `fact.`)
+//! is deterministic (probability 1.0). Unlabelled clauses receive generated
+//! labels: `r<i>` for rules, `t<i>` for facts, numbered in source order.
+//!
+//! Comments run from `%` or `//` to end of line. Variables begin with an
+//! uppercase letter or `_`; identifiers beginning with a lowercase letter
+//! and quoted strings are symbol constants; signed decimal integers are
+//! integer constants.
+
+mod error;
+mod lexer;
+
+pub use error::{ParseError, ParseErrorKind};
+pub use lexer::{Lexer, Span, Token, TokenKind};
+
+use crate::ast::{Atom, Clause, ClauseKind, CmpOp, Const, Constraint, Term};
+use crate::symbol::SymbolTable;
+
+/// A parsed source file: clauses plus the symbol table that interned their
+/// identifiers.
+#[derive(Debug)]
+pub struct ParsedSource {
+    /// The clauses in source order.
+    pub clauses: Vec<Clause>,
+    /// Interner for all identifiers, strings and variables.
+    pub symbols: SymbolTable,
+}
+
+/// Parses ProbLog-like source text.
+pub fn parse(src: &str) -> Result<ParsedSource, ParseError> {
+    let mut symbols = SymbolTable::new();
+    let clauses = Parser::new(src, &mut symbols)?.parse_program()?;
+    Ok(ParsedSource { clauses, symbols })
+}
+
+/// Parses source text, interning into a caller-provided symbol table. Used
+/// when multiple sources must share one namespace.
+pub fn parse_into(src: &str, symbols: &mut SymbolTable) -> Result<Vec<Clause>, ParseError> {
+    Parser::new(src, symbols)?.parse_program()
+}
+
+/// `(positive atoms, negated atoms, constraints)` of one rule body.
+type ParsedBody = (Vec<Atom>, Vec<Atom>, Vec<Constraint>);
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    src: &'a str,
+    symbols: &'a mut SymbolTable,
+    rule_counter: usize,
+    fact_counter: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str, symbols: &'a mut SymbolTable) -> Result<Self, ParseError> {
+        let tokens = Lexer::new(src).tokenize()?;
+        Ok(Self { tokens, pos: 0, src, symbols, rule_counter: 0, fact_counter: 0 })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn text(&self, span: Span) -> &str {
+        &self.src[span.start..span.end]
+    }
+
+    fn error(&self, kind: ParseErrorKind, span: Span) -> ParseError {
+        ParseError::new(kind, span, self.src)
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        let t = self.peek().clone();
+        if t.kind == kind {
+            Ok(self.advance())
+        } else {
+            Err(self.error(
+                ParseErrorKind::Expected { expected: kind.describe(), found: t.kind.describe() },
+                t.span,
+            ))
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Vec<Clause>, ParseError> {
+        let mut clauses = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            clauses.push(self.parse_clause()?);
+        }
+        Ok(clauses)
+    }
+
+    /// Parses one clause in either spelling.
+    fn parse_clause(&mut self) -> Result<Clause, ParseError> {
+        let (label, prob) = self.parse_clause_prefix()?;
+        let head = self.parse_atom()?;
+        let kind = if self.peek().kind == TokenKind::Implies {
+            self.advance();
+            let (body, negated, constraints) = self.parse_body()?;
+            ClauseKind::Rule { body, negated, constraints }
+        } else {
+            ClauseKind::Fact
+        };
+        self.expect(TokenKind::Dot)?;
+        let label = label.unwrap_or_else(|| match kind {
+            ClauseKind::Fact => {
+                self.fact_counter += 1;
+                format!("t{}", self.fact_counter)
+            }
+            ClauseKind::Rule { .. } => {
+                self.rule_counter += 1;
+                format!("r{}", self.rule_counter)
+            }
+        });
+        Ok(Clause { label, prob, head, kind })
+    }
+
+    /// Parses the optional `label prob:` or `prob::` prefix, returning the
+    /// explicit label (if any) and the probability (1.0 when omitted).
+    fn parse_clause_prefix(&mut self) -> Result<(Option<String>, f64), ParseError> {
+        // `prob :: head` — ProbLog spelling.
+        if self.peek().kind == TokenKind::Number && self.peek2().kind == TokenKind::ColonColon {
+            let num = self.advance();
+            self.advance(); // '::'
+            let prob = self.parse_probability(num)?;
+            return Ok((None, prob));
+        }
+        // `label prob : head` — the paper's spelling. Requires ident followed
+        // by a number to disambiguate from a clause head `ident(...)`.
+        if self.peek().kind == TokenKind::LowerIdent && self.peek2().kind == TokenKind::Number {
+            let label_tok = self.advance();
+            let label = self.text(label_tok.span).to_string();
+            let num = self.advance();
+            let prob = self.parse_probability(num)?;
+            self.expect(TokenKind::Colon)?;
+            return Ok((Some(label), prob));
+        }
+        Ok((None, 1.0))
+    }
+
+    fn parse_probability(&self, tok: Token) -> Result<f64, ParseError> {
+        let text = self.text(tok.span);
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.error(ParseErrorKind::BadNumber(text.to_string()), tok.span))?;
+        if !(0.0..=1.0).contains(&value) {
+            return Err(self.error(ParseErrorKind::ProbabilityOutOfRange(value), tok.span));
+        }
+        Ok(value)
+    }
+
+    /// Parses a comma-separated rule body of atoms, negated atoms and
+    /// constraints.
+    fn parse_body(&mut self) -> Result<ParsedBody, ParseError> {
+        let mut body = Vec::new();
+        let mut negated = Vec::new();
+        let mut constraints = Vec::new();
+        loop {
+            if self.starts_negation() {
+                self.advance(); // `\+` or `not`
+                negated.push(self.parse_atom()?);
+            } else if self.starts_constraint() {
+                constraints.push(self.parse_constraint()?);
+            } else {
+                body.push(self.parse_atom()?);
+            }
+            if self.peek().kind == TokenKind::Comma {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok((body, negated, constraints))
+    }
+
+    /// A negated body element starts with `\+` or with the keyword `not`
+    /// followed by an atom (distinguished from an atom *named* `not` by the
+    /// absence of an immediately following `(`).
+    fn starts_negation(&self) -> bool {
+        if self.peek().kind == TokenKind::NotSign {
+            return true;
+        }
+        self.peek().kind == TokenKind::LowerIdent
+            && &self.src[self.peek().span.start..self.peek().span.end] == "not"
+            && self.peek2().kind == TokenKind::LowerIdent
+    }
+
+    /// A body element is a constraint when a term is followed by a comparison
+    /// operator rather than `(`.
+    fn starts_constraint(&self) -> bool {
+        matches!(
+            self.peek().kind,
+            TokenKind::UpperIdent | TokenKind::Number | TokenKind::Str | TokenKind::LowerIdent
+        ) && matches!(
+            self.peek2().kind,
+            TokenKind::Eq
+                | TokenKind::Ne
+                | TokenKind::Lt
+                | TokenKind::Le
+                | TokenKind::Gt
+                | TokenKind::Ge
+        )
+    }
+
+    fn parse_constraint(&mut self) -> Result<Constraint, ParseError> {
+        let lhs = self.parse_term()?;
+        let op_tok = self.advance();
+        let op = match op_tok.kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => {
+                return Err(self.error(
+                    ParseErrorKind::Expected {
+                        expected: "comparison operator",
+                        found: other.describe(),
+                    },
+                    op_tok.span,
+                ))
+            }
+        };
+        let rhs = self.parse_term()?;
+        Ok(Constraint { op, lhs, rhs })
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, ParseError> {
+        let name_tok = self.expect(TokenKind::LowerIdent)?;
+        let pred = self.symbols.intern(&self.src[name_tok.span.start..name_tok.span.end]);
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                args.push(self.parse_term()?);
+                if self.peek().kind == TokenKind::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(Atom { pred, args })
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        let tok = self.advance();
+        match tok.kind {
+            TokenKind::UpperIdent => {
+                let name = &self.src[tok.span.start..tok.span.end];
+                Ok(Term::Var(self.symbols.intern(name)))
+            }
+            TokenKind::LowerIdent => {
+                let name = &self.src[tok.span.start..tok.span.end];
+                Ok(Term::Const(Const::Sym(self.symbols.intern(name))))
+            }
+            TokenKind::Str => {
+                // Strip the surrounding quotes; the lexer guarantees them.
+                let raw = &self.src[tok.span.start..tok.span.end];
+                let inner = &raw[1..raw.len() - 1];
+                Ok(Term::Const(Const::Sym(self.symbols.intern(inner))))
+            }
+            TokenKind::Number => {
+                let text = self.text(tok.span);
+                let value: i64 = text.parse().map_err(|_| {
+                    self.error(ParseErrorKind::BadNumber(text.to_string()), tok.span)
+                })?;
+                Ok(Term::Const(Const::Int(value)))
+            }
+            other => Err(self.error(
+                ParseErrorKind::Expected { expected: "term", found: other.describe() },
+                tok.span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ClauseKind;
+
+    #[test]
+    fn parses_paper_style_fact() {
+        let p = parse(r#"t4 0.4: like("Steve","Veggies")."#).unwrap();
+        assert_eq!(p.clauses.len(), 1);
+        let c = &p.clauses[0];
+        assert_eq!(c.label, "t4");
+        assert!((c.prob - 0.4).abs() < 1e-12);
+        assert!(c.is_fact());
+        assert!(c.head.is_ground());
+    }
+
+    #[test]
+    fn parses_problog_style_fact() {
+        let p = parse(r#"0.4::like("Steve","Veggies")."#).unwrap();
+        let c = &p.clauses[0];
+        assert_eq!(c.label, "t1");
+        assert!((c.prob - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_deterministic_clause_without_annotation() {
+        let p = parse("edge(a,b). path(X,Y) :- edge(X,Y).").unwrap();
+        assert_eq!(p.clauses.len(), 2);
+        assert_eq!(p.clauses[0].prob, 1.0);
+        assert_eq!(p.clauses[0].label, "t1");
+        assert_eq!(p.clauses[1].label, "r1");
+        assert!(p.clauses[1].is_rule());
+    }
+
+    #[test]
+    fn parses_rule_with_constraint() {
+        let p = parse("r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.").unwrap();
+        let c = &p.clauses[0];
+        match &c.kind {
+            ClauseKind::Rule { body, constraints, .. } => {
+                assert_eq!(body.len(), 2);
+                assert_eq!(constraints.len(), 1);
+                assert_eq!(constraints[0].op, CmpOp::Ne);
+            }
+            _ => panic!("expected rule"),
+        }
+    }
+
+    #[test]
+    fn parses_backslash_eq_as_ne() {
+        let p = parse(r"r2 1.0: q(X,Y) :- p(X), p(Y), X \= Y.").unwrap();
+        assert_eq!(p.clauses[0].constraints()[0].op, CmpOp::Ne);
+    }
+
+    #[test]
+    fn parses_integer_arguments_and_comparisons() {
+        let p = parse("r1 1.0: big(X) :- num(X), X >= 10. num(3). num(-5). num(42).").unwrap();
+        assert_eq!(p.clauses.len(), 4);
+        let c = &p.clauses[2];
+        assert_eq!(c.head.args[0].as_const(), Some(Const::Int(-5)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "% a comment\n// another\nedge(a,b). % trailing\n";
+        let p = parse(src).unwrap();
+        assert_eq!(p.clauses.len(), 1);
+    }
+
+    #[test]
+    fn rejects_probability_out_of_range() {
+        let err = parse("r1 1.5: p(a) :- q(a).").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::ProbabilityOutOfRange(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        let err = parse("edge(a,b)").unwrap_err();
+        assert!(err.to_string().contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        let err = parse(r#"edge("a,b)."#).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnterminatedString), "{err}");
+    }
+
+    #[test]
+    fn distinguishes_variables_from_symbols() {
+        let p = parse("r1 1.0: p(X,y,_Z) :- q(X,y,_Z).").unwrap();
+        let head = &p.clauses[0].head;
+        assert!(matches!(head.args[0], Term::Var(_)));
+        assert!(matches!(head.args[1], Term::Const(_)));
+        assert!(matches!(head.args[2], Term::Var(_)));
+    }
+
+    #[test]
+    fn zero_arity_atoms_parse() {
+        let p = parse("r1 0.3: ok() :- go().  go().").unwrap();
+        assert_eq!(p.clauses[0].head.args.len(), 0);
+    }
+
+    #[test]
+    fn error_carries_line_and_column() {
+        let err = parse("edge(a,b).\nedge(a,.\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.column > 1);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let src = r#"r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+t1 1.0: live("Steve","DC")."#;
+        let p = parse(src).unwrap();
+        let rendered: Vec<String> =
+            p.clauses.iter().map(|c| format!("{}", c.display(&p.symbols))).collect();
+        let reparsed = parse(&rendered.join("\n")).unwrap();
+        assert_eq!(p.clauses.len(), reparsed.clauses.len());
+        for (a, b) in p.clauses.iter().zip(reparsed.clauses.iter()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.prob, b.prob);
+            assert_eq!(a.body().len(), b.body().len());
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! Validated probabilistic logic programs.
+//!
+//! A [`Program`] owns its clauses and symbol table and guarantees the static
+//! well-formedness properties the engine relies on:
+//!
+//! * base tuples are ground;
+//! * rules are *safe*: every head variable and every constraint variable
+//!   occurs in a positive body atom;
+//! * predicates are used at a consistent arity;
+//! * clause labels are unique;
+//! * clause probabilities lie in `[0, 1]`.
+
+use crate::ast::{Atom, Clause, ClauseId, ClauseKind, CmpOp, Const, Constraint, Term};
+use crate::parser::{self, ParseError};
+use crate::symbol::{Symbol, SymbolTable};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// A validated ProbLog-like program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    clauses: Vec<Clause>,
+    symbols: SymbolTable,
+    labels: HashMap<String, ClauseId>,
+    arities: HashMap<Symbol, usize>,
+    strata: HashMap<Symbol, usize>,
+}
+
+/// Errors raised by program validation (or the parser, wrapped).
+#[derive(Debug)]
+pub enum ProgramError {
+    /// The source text failed to parse.
+    Parse(ParseError),
+    /// A base tuple contains a variable.
+    NonGroundFact {
+        /// The offending clause's label.
+        label: String,
+    },
+    /// A head or constraint variable is not bound by any body atom.
+    UnsafeVariable {
+        /// The offending clause's label.
+        label: String,
+        /// The unbound variable's name.
+        var: String,
+    },
+    /// A predicate is used with two different arities.
+    ArityMismatch {
+        /// The predicate name.
+        pred: String,
+        /// Arity seen first.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+    /// Two clauses share a label.
+    DuplicateLabel {
+        /// The repeated label.
+        label: String,
+    },
+    /// A clause probability outside `[0, 1]` (programmatic construction).
+    BadProbability {
+        /// The offending clause's label.
+        label: String,
+        /// The out-of-range value.
+        prob: f64,
+    },
+    /// A rule whose body contains no atoms (only constraints, or nothing).
+    EmptyBody {
+        /// The offending clause's label.
+        label: String,
+    },
+    /// Negation occurs inside a recursive cycle, so no stratification
+    /// exists.
+    NotStratified {
+        /// A predicate on the offending negative cycle.
+        pred: String,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Parse(e) => write!(f, "{e}"),
+            ProgramError::NonGroundFact { label } => {
+                write!(f, "base tuple '{label}' contains a variable")
+            }
+            ProgramError::UnsafeVariable { label, var } => write!(
+                f,
+                "clause '{label}' is unsafe: variable {var} does not occur in any body atom"
+            ),
+            ProgramError::ArityMismatch { pred, expected, found } => write!(
+                f,
+                "predicate '{pred}' used with arity {found} but previously with arity {expected}"
+            ),
+            ProgramError::DuplicateLabel { label } => {
+                write!(f, "duplicate clause label '{label}'")
+            }
+            ProgramError::BadProbability { label, prob } => {
+                write!(f, "clause '{label}' has probability {prob} outside [0, 1]")
+            }
+            ProgramError::EmptyBody { label } => {
+                write!(f, "rule '{label}' has no body atoms")
+            }
+            ProgramError::NotStratified { pred } => write!(
+                f,
+                "program is not stratified: predicate '{pred}' is negated within a \
+                 recursive cycle"
+            ),
+        }
+    }
+}
+
+impl Error for ProgramError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProgramError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for ProgramError {
+    fn from(e: ParseError) -> Self {
+        ProgramError::Parse(e)
+    }
+}
+
+impl Program {
+    /// Parses and validates source text.
+    pub fn parse(src: &str) -> Result<Self, ProgramError> {
+        let parsed = parser::parse(src)?;
+        Self::from_clauses(parsed.clauses, parsed.symbols)
+    }
+
+    /// Validates clauses constructed programmatically (for example by a
+    /// [`ProgramBuilder`]).
+    pub fn from_clauses(
+        clauses: Vec<Clause>,
+        symbols: SymbolTable,
+    ) -> Result<Self, ProgramError> {
+        let mut labels = HashMap::new();
+        let mut arities: HashMap<Symbol, usize> = HashMap::new();
+
+        let mut check_arity = |atom: &Atom, syms: &SymbolTable| -> Result<(), ProgramError> {
+            match arities.get(&atom.pred) {
+                Some(&expected) if expected != atom.args.len() => Err(ProgramError::ArityMismatch {
+                    pred: syms.resolve(atom.pred).to_string(),
+                    expected,
+                    found: atom.args.len(),
+                }),
+                Some(_) => Ok(()),
+                None => {
+                    arities.insert(atom.pred, atom.args.len());
+                    Ok(())
+                }
+            }
+        };
+
+        for (i, clause) in clauses.iter().enumerate() {
+            if !(0.0..=1.0).contains(&clause.prob) {
+                return Err(ProgramError::BadProbability {
+                    label: clause.label.clone(),
+                    prob: clause.prob,
+                });
+            }
+            if labels.insert(clause.label.clone(), ClauseId(i as u32)).is_some() {
+                return Err(ProgramError::DuplicateLabel { label: clause.label.clone() });
+            }
+            check_arity(&clause.head, &symbols)?;
+            match &clause.kind {
+                ClauseKind::Fact => {
+                    if !clause.head.is_ground() {
+                        return Err(ProgramError::NonGroundFact { label: clause.label.clone() });
+                    }
+                }
+                ClauseKind::Rule { body, negated, constraints } => {
+                    if body.is_empty() {
+                        return Err(ProgramError::EmptyBody { label: clause.label.clone() });
+                    }
+                    let mut bound: HashSet<Symbol> = HashSet::new();
+                    for atom in body {
+                        check_arity(atom, &symbols)?;
+                        bound.extend(atom.vars());
+                    }
+                    let negated_vars = negated.iter().flat_map(Atom::vars);
+                    for var in clause
+                        .head
+                        .vars()
+                        .chain(constraints.iter().flat_map(|c| c.vars()))
+                        .chain(negated_vars)
+                    {
+                        if !bound.contains(&var) {
+                            return Err(ProgramError::UnsafeVariable {
+                                label: clause.label.clone(),
+                                var: symbols.resolve(var).to_string(),
+                            });
+                        }
+                    }
+                    for atom in negated {
+                        check_arity(atom, &symbols)?;
+                    }
+                }
+            }
+        }
+
+        // `check_arity` captured `arities` mutably; it is no longer used
+        // past this point, so the borrow ends here.
+        let _ = &arities;
+        let mut arities_final: HashMap<Symbol, usize> = HashMap::new();
+        for clause in &clauses {
+            arities_final.insert(clause.head.pred, clause.head.args.len());
+            for atom in clause.body().iter().chain(clause.negated()) {
+                arities_final.insert(atom.pred, atom.args.len());
+            }
+        }
+
+        let strata = compute_strata(&clauses, &symbols)?;
+        Ok(Self { clauses, symbols, labels, arities: arities_final, strata })
+    }
+
+    /// All clauses, in source order. A clause's position is its [`ClauseId`].
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// The clause with identifier `id`.
+    pub fn clause(&self, id: ClauseId) -> &Clause {
+        &self.clauses[id.index()]
+    }
+
+    /// Looks up a clause by its source label.
+    pub fn clause_by_label(&self, label: &str) -> Option<ClauseId> {
+        self.labels.get(label).copied()
+    }
+
+    /// The program's symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Iterates over `(id, clause)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ClauseId, &Clause)> {
+        self.clauses.iter().enumerate().map(|(i, c)| (ClauseId(i as u32), c))
+    }
+
+    /// The arity of `pred`, if the predicate appears in the program.
+    pub fn arity(&self, pred: Symbol) -> Option<usize> {
+        self.arities.get(&pred).copied()
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the program has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Renders the whole program back to surface syntax.
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        for clause in &self.clauses {
+            out.push_str(&format!("{}\n", clause.display(&self.symbols)));
+        }
+        out
+    }
+
+    /// The evaluation stratum of `pred` (0 when the predicate is unknown).
+    ///
+    /// Negation-free programs have a single stratum 0. With stratified
+    /// negation, a rule's negated predicates always sit in strictly lower
+    /// strata than its head.
+    pub fn stratum(&self, pred: Symbol) -> usize {
+        self.strata.get(&pred).copied().unwrap_or(0)
+    }
+
+    /// The number of strata (1 for negation-free programs).
+    pub fn num_strata(&self) -> usize {
+        self.strata.values().copied().max().unwrap_or(0) + 1
+    }
+
+    /// Whether any rule uses negation.
+    pub fn has_negation(&self) -> bool {
+        self.clauses.iter().any(|c| !c.negated().is_empty())
+    }
+
+    /// Returns a copy of this program with the probability of clause `id`
+    /// replaced by `prob`. Used by modification queries to apply a fix.
+    pub fn with_probability(&self, id: ClauseId, prob: f64) -> Result<Self, ProgramError> {
+        let mut clauses = self.clauses.clone();
+        clauses[id.index()].prob = prob;
+        Self::from_clauses(clauses, self.symbols.clone())
+    }
+}
+
+/// Assigns each predicate a stratum: `stratum(head) >= stratum(positive
+/// body)` and `stratum(head) > stratum(negated body)`. Iterates to a fixed
+/// point; a stratum exceeding the predicate count certifies a negative
+/// cycle.
+fn compute_strata(
+    clauses: &[Clause],
+    symbols: &SymbolTable,
+) -> Result<HashMap<Symbol, usize>, ProgramError> {
+    let mut strata: HashMap<Symbol, usize> = HashMap::new();
+    for clause in clauses {
+        strata.entry(clause.head.pred).or_insert(0);
+        for atom in clause.body().iter().chain(clause.negated()) {
+            strata.entry(atom.pred).or_insert(0);
+        }
+    }
+    let num_preds = strata.len().max(1);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for clause in clauses {
+            if clause.is_fact() {
+                continue;
+            }
+            let mut required = 0usize;
+            for atom in clause.body() {
+                required = required.max(strata[&atom.pred]);
+            }
+            for atom in clause.negated() {
+                required = required.max(strata[&atom.pred] + 1);
+            }
+            let head = strata.get_mut(&clause.head.pred).expect("seeded");
+            if *head < required {
+                if required >= num_preds {
+                    return Err(ProgramError::NotStratified {
+                        pred: symbols.resolve(clause.head.pred).to_string(),
+                    });
+                }
+                *head = required;
+                changed = true;
+            }
+        }
+    }
+    Ok(strata)
+}
+
+/// Incremental construction of programs without going through source text.
+///
+/// ```
+/// use p3_datalog::program::{ProgramBuilder, T};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.fact("t1", 0.7, "trust", &[T::int(1), T::int(2)]);
+/// b.rule("r1", 1.0, ("trustPath", &[T::var("X"), T::var("Y")]),
+///        &[("trust", &[T::var("X"), T::var("Y")])], &[]);
+/// let program = b.build().unwrap();
+/// assert_eq!(program.len(), 2);
+/// ```
+#[derive(Default)]
+pub struct ProgramBuilder {
+    symbols: SymbolTable,
+    clauses: Vec<Clause>,
+}
+
+/// A term spec for [`ProgramBuilder`] arguments.
+#[derive(Clone, Debug)]
+pub enum T {
+    /// A symbol constant.
+    Sym(String),
+    /// An integer constant.
+    Int(i64),
+    /// A variable.
+    Var(String),
+}
+
+impl T {
+    /// A symbol constant.
+    pub fn sym(s: impl Into<String>) -> Self {
+        T::Sym(s.into())
+    }
+
+    /// An integer constant.
+    pub fn int(i: i64) -> Self {
+        T::Int(i)
+    }
+
+    /// A variable.
+    pub fn var(s: impl Into<String>) -> Self {
+        T::Var(s.into())
+    }
+}
+
+/// A constraint spec for [`ProgramBuilder`] rules.
+pub type ConstraintSpec<'a> = (T, CmpOp, T);
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn term(&mut self, t: &T) -> Term {
+        match t {
+            T::Sym(s) => Term::Const(Const::Sym(self.symbols.intern(s))),
+            T::Int(i) => Term::Const(Const::Int(*i)),
+            T::Var(v) => Term::Var(self.symbols.intern(v)),
+        }
+    }
+
+    fn atom(&mut self, pred: &str, args: &[T]) -> Atom {
+        let pred = self.symbols.intern(pred);
+        let args = args.iter().map(|t| self.term(t)).collect();
+        Atom { pred, args }
+    }
+
+    /// Adds a probabilistic base tuple.
+    pub fn fact(&mut self, label: &str, prob: f64, pred: &str, args: &[T]) -> &mut Self {
+        let head = self.atom(pred, args);
+        self.clauses.push(Clause {
+            label: label.to_string(),
+            prob,
+            head,
+            kind: ClauseKind::Fact,
+        });
+        self
+    }
+
+    /// Adds a weighted conjunctive rule.
+    pub fn rule(
+        &mut self,
+        label: &str,
+        prob: f64,
+        head: (&str, &[T]),
+        body: &[(&str, &[T])],
+        constraints: &[ConstraintSpec<'_>],
+    ) -> &mut Self {
+        let head = self.atom(head.0, head.1);
+        let body = body.iter().map(|(p, args)| self.atom(p, args)).collect();
+        let constraints = constraints
+            .iter()
+            .map(|(lhs, op, rhs)| Constraint { op: *op, lhs: self.term(lhs), rhs: self.term(rhs) })
+            .collect();
+        self.clauses.push(Clause {
+            label: label.to_string(),
+            prob,
+            head,
+            kind: ClauseKind::Rule { body, negated: Vec::new(), constraints },
+        });
+        self
+    }
+
+    /// Adds a rule with negated body atoms (`\+`).
+    pub fn rule_with_negation(
+        &mut self,
+        label: &str,
+        prob: f64,
+        head: (&str, &[T]),
+        body: &[(&str, &[T])],
+        negated: &[(&str, &[T])],
+        constraints: &[ConstraintSpec<'_>],
+    ) -> &mut Self {
+        let head = self.atom(head.0, head.1);
+        let body = body.iter().map(|(p, args)| self.atom(p, args)).collect();
+        let negated = negated.iter().map(|(p, args)| self.atom(p, args)).collect();
+        let constraints = constraints
+            .iter()
+            .map(|(lhs, op, rhs)| Constraint { op: *op, lhs: self.term(lhs), rhs: self.term(rhs) })
+            .collect();
+        self.clauses.push(Clause {
+            label: label.to_string(),
+            prob,
+            head,
+            kind: ClauseKind::Rule { body, negated, constraints },
+        });
+        self
+    }
+
+    /// Validates and returns the finished program.
+    pub fn build(self) -> Result<Program, ProgramError> {
+        Program::from_clauses(self.clauses, self.symbols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_acquaintance_program() {
+        let src = r#"
+            r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+            r2 0.4: know(P1,P2) :- like(P1,L), like(P2,L), P1 != P2.
+            r3 0.2: know(P1,P3) :- know(P1,P2), know(P2,P3), P1 != P3.
+            t1 1.0: live("Steve","DC").
+            t2 1.0: live("Elena","DC").
+            t3 1.0: live("Mary","NYC").
+            t4 0.4: like("Steve","Veggies").
+            t5 0.6: like("Elena","Veggies").
+            t6 1.0: know("Ben","Steve").
+        "#;
+        let p = Program::parse(src).unwrap();
+        assert_eq!(p.len(), 9);
+        assert!(p.clause_by_label("r3").is_some());
+        let r3 = p.clause(p.clause_by_label("r3").unwrap());
+        assert!((r3.prob - 0.2).abs() < 1e-12);
+        assert!(r3.is_rule());
+    }
+
+    #[test]
+    fn rejects_non_ground_fact() {
+        let err = Program::parse("t1 0.5: live(X).").unwrap_err();
+        assert!(matches!(err, ProgramError::NonGroundFact { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_unsafe_head_variable() {
+        let err = Program::parse("r1 0.5: p(X,Y) :- q(X).").unwrap_err();
+        assert!(matches!(err, ProgramError::UnsafeVariable { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_unsafe_constraint_variable() {
+        let err = Program::parse("r1 0.5: p(X) :- q(X), X != Z.").unwrap_err();
+        match err {
+            ProgramError::UnsafeVariable { var, .. } => assert_eq!(var, "Z"),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_labels() {
+        let err = Program::parse("t1 0.5: p(a). t1 0.5: p(b).").unwrap_err();
+        assert!(matches!(err, ProgramError::DuplicateLabel { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let err = Program::parse("t1 0.5: p(a). r1 1.0: q(X) :- p(X,X).").unwrap_err();
+        assert!(matches!(err, ProgramError::ArityMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn builder_and_parser_agree() {
+        let mut b = ProgramBuilder::new();
+        b.fact("t1", 0.7, "trust", &[T::int(1), T::int(2)]);
+        b.rule(
+            "r1",
+            1.0,
+            ("trustPath", &[T::var("X"), T::var("Y")]),
+            &[("trust", &[T::var("X"), T::var("Y")])],
+            &[],
+        );
+        let built = b.build().unwrap();
+        let parsed =
+            Program::parse("t1 0.7: trust(1,2). r1 1.0: trustPath(X,Y) :- trust(X,Y).").unwrap();
+        assert_eq!(built.to_source(), parsed.to_source());
+    }
+
+    #[test]
+    fn builder_rejects_bad_probability() {
+        let mut b = ProgramBuilder::new();
+        b.fact("t1", 1.5, "p", &[T::sym("a")]);
+        assert!(matches!(b.build(), Err(ProgramError::BadProbability { .. })));
+    }
+
+    #[test]
+    fn to_source_round_trips() {
+        let src = "r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.\nt1 1.0: live(\"Steve\",\"DC\").\n";
+        let p = Program::parse(src).unwrap();
+        let p2 = Program::parse(&p.to_source()).unwrap();
+        assert_eq!(p.to_source(), p2.to_source());
+    }
+
+    #[test]
+    fn with_probability_changes_only_the_target_clause() {
+        let p = Program::parse("t1 0.5: p(a). t2 0.6: p(b).").unwrap();
+        let id = p.clause_by_label("t2").unwrap();
+        let p2 = p.with_probability(id, 0.9).unwrap();
+        assert_eq!(p2.clause(id).prob, 0.9);
+        assert_eq!(p2.clause(p.clause_by_label("t1").unwrap()).prob, 0.5);
+    }
+}

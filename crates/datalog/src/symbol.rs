@@ -1,0 +1,132 @@
+//! String interning.
+//!
+//! All identifiers, quoted strings and variable names in a program are
+//! interned into a [`SymbolTable`], so the engine can compare and hash
+//! constants as `u32`s instead of strings. A [`Symbol`] is only meaningful
+//! relative to the table that produced it.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string. Cheap to copy, compare and hash.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index of this symbol in its table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only interner mapping strings to [`Symbol`]s.
+#[derive(Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<Box<str>>,
+    map: HashMap<Box<str>, u32>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if already present.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.map.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("symbol table overflow");
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.map.insert(boxed, id);
+        Symbol(id)
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).map(|&id| Symbol(id))
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` was produced by a different table.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SymbolTable")
+            .field("len", &self.names.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("foo");
+        let b = t.intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("foo");
+        let b = t.intern("bar");
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "foo");
+        assert_eq!(t.resolve(b), "bar");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert!(t.get("x").is_none());
+        let s = t.intern("x");
+        assert_eq!(t.get("x"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_symbol() {
+        let mut t = SymbolTable::new();
+        let s = t.intern("");
+        assert_eq!(t.resolve(s), "");
+    }
+
+    #[test]
+    fn symbols_are_ordered_by_interning_order() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("z");
+        let b = t.intern("a");
+        assert!(a < b, "ordering follows interning order, not lexicographic");
+    }
+}

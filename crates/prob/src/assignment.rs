@@ -1,0 +1,88 @@
+//! Dense bit-set truth assignments.
+
+use crate::var::VarId;
+
+/// A truth assignment over variables `0..n`, stored as a bit set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Assignment {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Assignment {
+    /// An all-false assignment over `len` variables.
+    pub fn new(len: usize) -> Self {
+        Self { bits: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the assignment covers zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The truth value of `var`.
+    #[inline]
+    pub fn get(&self, var: VarId) -> bool {
+        let i = var.index();
+        debug_assert!(i < self.len);
+        self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Sets the truth value of `var`.
+    #[inline]
+    pub fn set(&mut self, var: VarId, value: bool) {
+        let i = var.index();
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.bits[i / 64] |= mask;
+        } else {
+            self.bits[i / 64] &= !mask;
+        }
+    }
+
+    /// Sets every variable to false.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_across_word_boundaries() {
+        let mut a = Assignment::new(130);
+        for i in [0u32, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!a.get(VarId(i)));
+            a.set(VarId(i), true);
+            assert!(a.get(VarId(i)));
+        }
+        a.set(VarId(64), false);
+        assert!(!a.get(VarId(64)));
+        assert!(a.get(VarId(63)));
+        assert!(a.get(VarId(65)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut a = Assignment::new(70);
+        a.set(VarId(3), true);
+        a.set(VarId(69), true);
+        a.clear();
+        assert!(!a.get(VarId(3)));
+        assert!(!a.get(VarId(69)));
+    }
+
+    #[test]
+    fn zero_length_assignment() {
+        let a = Assignment::new(0);
+        assert!(a.is_empty());
+    }
+}

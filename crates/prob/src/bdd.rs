@@ -1,0 +1,304 @@
+//! Reduced ordered binary decision diagrams (ROBDDs).
+//!
+//! ProbLog's classic inference pipeline compiles the query's DNF into a BDD
+//! and computes the success probability by weighted model counting over it
+//! (De Raedt et al., IJCAI'07; Bryant 1986). This module provides that
+//! backend: hash-consed nodes, memoized `apply`, DNF compilation, and WMC.
+//!
+//! Variable order is [`VarId`] order. The terminals are node ids 0 (false)
+//! and 1 (true).
+
+use crate::dnf::Dnf;
+use crate::var::{VarId, VarTable};
+use std::collections::HashMap;
+
+/// A BDD node reference.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(u32);
+
+/// The `false` terminal.
+pub const FALSE: NodeId = NodeId(0);
+/// The `true` terminal.
+pub const TRUE: NodeId = NodeId(1);
+
+impl NodeId {
+    /// Whether this is a terminal node.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Node {
+    var: u32,
+    lo: NodeId,
+    hi: NodeId,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+}
+
+/// A BDD manager: owns the node store and caches.
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeId>,
+    apply_cache: HashMap<(Op, NodeId, NodeId), NodeId>,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bdd {
+    /// Creates an empty manager (terminals only).
+    pub fn new() -> Self {
+        // Slots 0 and 1 are reserved for the terminals; the sentinel nodes
+        // stored there are never dereferenced.
+        let sentinel = Node { var: u32::MAX, lo: FALSE, hi: FALSE };
+        Self {
+            nodes: vec![sentinel, sentinel],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of live nodes, including the two terminals.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The hash-consed node `(var ? hi : lo)`, applying the reduction rule.
+    fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("bdd node overflow"));
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    /// The single-variable BDD for `var`.
+    pub fn var(&mut self, var: VarId) -> NodeId {
+        self.mk(var.0, FALSE, TRUE)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::And, a, b)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::Or, a, b)
+    }
+
+    fn apply(&mut self, op: Op, a: NodeId, b: NodeId) -> NodeId {
+        // Terminal cases.
+        match op {
+            Op::And => {
+                if a == FALSE || b == FALSE {
+                    return FALSE;
+                }
+                if a == TRUE {
+                    return b;
+                }
+                if b == TRUE {
+                    return a;
+                }
+            }
+            Op::Or => {
+                if a == TRUE || b == TRUE {
+                    return TRUE;
+                }
+                if a == FALSE {
+                    return b;
+                }
+                if b == FALSE {
+                    return a;
+                }
+            }
+        }
+        if a == b {
+            return a;
+        }
+        // Commutative: canonicalise the cache key.
+        let key = if a.0 <= b.0 { (op, a, b) } else { (op, b, a) };
+        if let Some(&hit) = self.apply_cache.get(&key) {
+            return hit;
+        }
+
+        let na = self.nodes[a.0 as usize];
+        let nb = self.nodes[b.0 as usize];
+        let result = if na.var == nb.var {
+            let lo = self.apply(op, na.lo, nb.lo);
+            let hi = self.apply(op, na.hi, nb.hi);
+            self.mk(na.var, lo, hi)
+        } else if na.var < nb.var {
+            let lo = self.apply(op, na.lo, b);
+            let hi = self.apply(op, na.hi, b);
+            self.mk(na.var, lo, hi)
+        } else {
+            let lo = self.apply(op, a, nb.lo);
+            let hi = self.apply(op, a, nb.hi);
+            self.mk(nb.var, lo, hi)
+        };
+        self.apply_cache.insert(key, result);
+        result
+    }
+
+    /// Compiles a DNF into this manager.
+    pub fn from_dnf(&mut self, dnf: &Dnf) -> NodeId {
+        let mut acc = FALSE;
+        for m in dnf.monomials() {
+            // Build the monomial bottom-up over descending variable order so
+            // every `mk` call respects the global order.
+            let mut cube = TRUE;
+            for &lit in m.literals().iter().rev() {
+                cube = self.mk(lit.0, FALSE, cube);
+            }
+            acc = self.or(acc, cube);
+        }
+        acc
+    }
+
+    /// Weighted model counting: `P[f]` under independent variables.
+    pub fn wmc(&self, node: NodeId, vars: &VarTable) -> f64 {
+        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        self.wmc_rec(node, vars, &mut memo)
+    }
+
+    fn wmc_rec(&self, node: NodeId, vars: &VarTable, memo: &mut HashMap<NodeId, f64>) -> f64 {
+        if node == FALSE {
+            return 0.0;
+        }
+        if node == TRUE {
+            return 1.0;
+        }
+        if let Some(&p) = memo.get(&node) {
+            return p;
+        }
+        let n = self.nodes[node.0 as usize];
+        let p_var = vars.prob(VarId(n.var));
+        let p = (1.0 - p_var) * self.wmc_rec(n.lo, vars, memo)
+            + p_var * self.wmc_rec(n.hi, vars, memo);
+        memo.insert(node, p);
+        p
+    }
+
+    /// Evaluates the function under a complete truth assignment.
+    pub fn eval(&self, node: NodeId, assignment: &crate::assignment::Assignment) -> bool {
+        let mut cur = node;
+        while !cur.is_terminal() {
+            let n = self.nodes[cur.0 as usize];
+            cur = if assignment.get(VarId(n.var)) { n.hi } else { n.lo };
+        }
+        cur == TRUE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnf::Monomial;
+
+    fn table(probs: &[f64]) -> VarTable {
+        let mut t = VarTable::new();
+        for (i, &p) in probs.iter().enumerate() {
+            t.add(format!("x{i}"), p);
+        }
+        t
+    }
+
+    fn m(lits: &[u32]) -> Monomial {
+        Monomial::new(lits.iter().map(|&i| VarId(i)).collect())
+    }
+
+    #[test]
+    fn terminals_behave() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(VarId(0));
+        assert_eq!(bdd.and(x, FALSE), FALSE);
+        assert_eq!(bdd.and(x, TRUE), x);
+        assert_eq!(bdd.or(x, TRUE), TRUE);
+        assert_eq!(bdd.or(x, FALSE), x);
+        assert_eq!(bdd.and(x, x), x);
+        assert_eq!(bdd.or(x, x), x);
+    }
+
+    #[test]
+    fn hash_consing_shares_structure() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(VarId(0));
+        let b = bdd.var(VarId(1));
+        let ab1 = bdd.and(a, b);
+        let ab2 = bdd.and(b, a);
+        assert_eq!(ab1, ab2);
+    }
+
+    #[test]
+    fn wmc_matches_exact_on_random_dnfs() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let nvars = rng.random_range(2..7usize);
+            let probs: Vec<f64> = (0..nvars).map(|_| rng.random::<f64>()).collect();
+            let vars = table(&probs);
+            let nmono = rng.random_range(1..6usize);
+            let monomials: Vec<Monomial> = (0..nmono)
+                .map(|_| {
+                    let len = rng.random_range(1..=nvars);
+                    let lits: Vec<VarId> =
+                        (0..len).map(|_| VarId(rng.random_range(0..nvars) as u32)).collect();
+                    Monomial::new(lits)
+                })
+                .collect();
+            let dnf = Dnf::new(monomials);
+            let mut bdd = Bdd::new();
+            let node = bdd.from_dnf(&dnf);
+            let wmc = bdd.wmc(node, &vars);
+            let exact = crate::exact::probability(&dnf, &vars);
+            assert!((wmc - exact).abs() < 1e-10, "wmc={wmc} exact={exact} dnf={dnf:?}");
+        }
+    }
+
+    #[test]
+    fn eval_agrees_with_dnf_eval() {
+        let dnf = Dnf::new(vec![m(&[0, 1]), m(&[2])]);
+        let mut bdd = Bdd::new();
+        let node = bdd.from_dnf(&dnf);
+        for world in 0u32..8 {
+            let mut a = crate::assignment::Assignment::new(3);
+            for i in 0..3 {
+                a.set(VarId(i), world & (1 << i) != 0);
+            }
+            assert_eq!(bdd.eval(node, &a), dnf.eval(&a), "world {world:03b}");
+        }
+    }
+
+    #[test]
+    fn from_dnf_constants() {
+        let mut bdd = Bdd::new();
+        assert_eq!(bdd.from_dnf(&Dnf::zero()), FALSE);
+        assert_eq!(bdd.from_dnf(&Dnf::one()), TRUE);
+    }
+
+    #[test]
+    fn acquaintance_wmc() {
+        let vars = table(&[0.8, 0.4, 0.2, 1.0, 1.0, 0.4, 0.6, 1.0]);
+        let dnf = Dnf::new(vec![m(&[2, 7, 0, 3, 4]), m(&[2, 7, 1, 5, 6])]);
+        let mut bdd = Bdd::new();
+        let node = bdd.from_dnf(&dnf);
+        assert!((bdd.wmc(node, &vars) - 0.16384).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,279 @@
+//! Exact success probability of a monotone DNF.
+//!
+//! Computing `P[λ]` exactly is #P-hard in general (Valiant), but provenance
+//! polynomials from small-to-medium queries decompose well:
+//!
+//! 1. **Independence factoring** — monomials are grouped into connected
+//!    components of the "shares a variable" relation; components are
+//!    independent, so `P[λ] = 1 − Π (1 − P[component])`.
+//! 2. **Shannon expansion** — within a component, expand on the most
+//!    frequent variable: `P = p·P[λ|x=1] + (1−p)·P[λ|x=0]`, with
+//!    memoization on the restricted formulas.
+//!
+//! A work budget guards against blow-up; [`probability`] panics past it,
+//! [`try_probability`] reports [`ExactError::BudgetExceeded`] so callers can
+//! fall back to Monte-Carlo.
+
+use crate::dnf::Dnf;
+use crate::var::{VarId, VarTable};
+use std::collections::HashMap;
+
+/// Default work budget (number of Shannon expansion steps).
+pub const DEFAULT_BUDGET: usize = 1 << 22;
+
+/// Why an exact computation was abandoned.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ExactError {
+    /// More expansion steps than the budget allows.
+    BudgetExceeded {
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for ExactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExactError::BudgetExceeded { budget } => {
+                write!(f, "exact probability exceeded budget of {budget} expansion steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+/// Exact `P[λ]` with the default budget.
+///
+/// # Panics
+/// Panics if the formula exceeds [`DEFAULT_BUDGET`] expansion steps; use
+/// [`try_probability`] to handle that case.
+pub fn probability(dnf: &Dnf, vars: &VarTable) -> f64 {
+    try_probability(dnf, vars, DEFAULT_BUDGET).expect("exact probability budget exceeded")
+}
+
+/// Exact `P[λ]`, abandoning past `budget` expansion steps.
+pub fn try_probability(dnf: &Dnf, vars: &VarTable, budget: usize) -> Result<f64, ExactError> {
+    let mut cx = Cx { vars, memo: HashMap::new(), steps: 0, budget };
+    cx.prob(dnf)
+}
+
+struct Cx<'a> {
+    vars: &'a VarTable,
+    memo: HashMap<Dnf, f64>,
+    steps: usize,
+    budget: usize,
+}
+
+impl Cx<'_> {
+    fn prob(&mut self, dnf: &Dnf) -> Result<f64, ExactError> {
+        if dnf.is_false() {
+            return Ok(0.0);
+        }
+        if dnf.is_true() {
+            return Ok(1.0);
+        }
+        if dnf.len() == 1 {
+            return Ok(dnf.monomials()[0].probability(self.vars));
+        }
+        if let Some(&p) = self.memo.get(dnf) {
+            return Ok(p);
+        }
+        self.steps += 1;
+        if self.steps > self.budget {
+            return Err(ExactError::BudgetExceeded { budget: self.budget });
+        }
+
+        let components = components(dnf);
+        let p = if components.len() > 1 {
+            // Independent alternatives: P[∪ Ci] = 1 − Π(1 − P[Ci]).
+            let mut q = 1.0f64;
+            for c in components {
+                q *= 1.0 - self.prob(&c)?;
+            }
+            1.0 - q
+        } else {
+            // Shannon expansion on the most frequent variable.
+            let x = most_frequent_var(dnf);
+            let p_x = self.vars.prob(x);
+            let hi = self.prob(&dnf.restrict(x, true))?;
+            let lo = self.prob(&dnf.restrict(x, false))?;
+            p_x * hi + (1.0 - p_x) * lo
+        };
+        self.memo.insert(dnf.clone(), p);
+        Ok(p)
+    }
+}
+
+/// Groups monomials into connected components of the shares-a-variable
+/// relation, returning each component as its own DNF. Components are
+/// mutually independent events.
+fn components(dnf: &Dnf) -> Vec<Dnf> {
+    let n = dnf.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    let mut owner: HashMap<VarId, usize> = HashMap::new();
+    for (i, m) in dnf.monomials().iter().enumerate() {
+        for &lit in m.literals() {
+            match owner.get(&lit) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+                None => {
+                    owner.insert(lit, i);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(i);
+    }
+    let mut out: Vec<Dnf> = groups.into_values().map(|idx| dnf.select(&idx)).collect();
+    // Deterministic order for memo friendliness.
+    out.sort_by(|a, b| a.monomials().cmp(b.monomials()));
+    out
+}
+
+/// The variable occurring in the most monomials (ties broken by id).
+fn most_frequent_var(dnf: &Dnf) -> VarId {
+    let mut counts: HashMap<VarId, usize> = HashMap::new();
+    for m in dnf.monomials() {
+        for &lit in m.literals() {
+            *counts.entry(lit).or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
+        .map(|(v, _)| v)
+        .expect("non-constant DNF has variables")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnf::Monomial;
+
+    fn table(probs: &[f64]) -> VarTable {
+        let mut t = VarTable::new();
+        for (i, &p) in probs.iter().enumerate() {
+            t.add(format!("x{i}"), p);
+        }
+        t
+    }
+
+    fn m(lits: &[u32]) -> Monomial {
+        Monomial::new(lits.iter().map(|&i| VarId(i)).collect())
+    }
+
+    #[test]
+    fn constants() {
+        let vars = table(&[0.5]);
+        assert_eq!(probability(&Dnf::zero(), &vars), 0.0);
+        assert_eq!(probability(&Dnf::one(), &vars), 1.0);
+    }
+
+    #[test]
+    fn single_monomial_is_a_product() {
+        let vars = table(&[0.5, 0.4]);
+        let dnf = Dnf::new(vec![m(&[0, 1])]);
+        assert!((probability(&dnf, &vars) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_union_inclusion_exclusion() {
+        // P[a + b] = 1 − (1−0.5)(1−0.4) = 0.7 for independent a, b.
+        let vars = table(&[0.5, 0.4]);
+        let dnf = Dnf::new(vec![m(&[0]), m(&[1])]);
+        assert!((probability(&dnf, &vars) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_variable_requires_shannon() {
+        // λ = a·b + a·c: P = p_a (1 − (1−p_b)(1−p_c)).
+        let vars = table(&[0.5, 0.4, 0.2]);
+        let dnf = Dnf::new(vec![m(&[0, 1]), m(&[0, 2])]);
+        let expected = 0.5 * (1.0 - 0.6 * 0.8);
+        assert!((probability(&dnf, &vars) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acquaintance_polynomial_exact_value() {
+        // λ = r3·t6·(r1·t1·t2 + r2·t4·t5) with the Fig 2 probabilities.
+        // vars: 0=r1 0.8, 1=r2 0.4, 2=r3 0.2, 3=t1 1.0, 4=t2 1.0,
+        //       5=t4 0.4, 6=t5 0.6, 7=t6 1.0
+        let vars = table(&[0.8, 0.4, 0.2, 1.0, 1.0, 0.4, 0.6, 1.0]);
+        let dnf = Dnf::new(vec![m(&[2, 7, 0, 3, 4]), m(&[2, 7, 1, 5, 6])]);
+        let expected = 0.2 * (1.0 - (1.0 - 0.8) * (1.0 - 0.4 * 0.4 * 0.6));
+        assert!((probability(&dnf, &vars) - expected).abs() < 1e-12);
+        assert!((expected - 0.16384).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brute_force_cross_check() {
+        // Compare Shannon result against 2^n enumeration on a tangled DNF.
+        let probs = [0.3, 0.6, 0.5, 0.8, 0.2];
+        let vars = table(&probs);
+        let dnf = Dnf::new(vec![m(&[0, 1]), m(&[1, 2]), m(&[2, 3]), m(&[3, 4]), m(&[0, 4])]);
+        let mut expected = 0.0;
+        for world in 0u32..(1 << probs.len()) {
+            let mut weight = 1.0;
+            let mut assignment = crate::assignment::Assignment::new(probs.len());
+            for (i, &p) in probs.iter().enumerate() {
+                if world & (1 << i) != 0 {
+                    weight *= p;
+                    assignment.set(VarId(i as u32), true);
+                } else {
+                    weight *= 1.0 - p;
+                }
+            }
+            if dnf.eval(&assignment) {
+                expected += weight;
+            }
+        }
+        assert!((probability(&dnf, &vars) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_split_independent_groups() {
+        let dnf = Dnf::new(vec![m(&[0, 1]), m(&[1, 2]), m(&[3, 4]), m(&[5])]);
+        let comps = components(&dnf);
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = comps.iter().map(Dnf::len).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn budget_exceeded_is_reported() {
+        // A grid-like DNF with many shared variables and budget 1.
+        let vars = table(&[0.5; 8]);
+        let dnf = Dnf::new(vec![m(&[0, 1]), m(&[1, 2]), m(&[2, 3]), m(&[3, 0])]);
+        match try_probability(&dnf, &vars, 1) {
+            Err(ExactError::BudgetExceeded { budget: 1 }) => {}
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_variables_simplify() {
+        // p=1 and p=0 literals behave as constants.
+        let vars = table(&[1.0, 0.0, 0.5]);
+        let dnf = Dnf::new(vec![m(&[0, 2]), m(&[1])]);
+        assert!((probability(&dnf, &vars) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,463 @@
+//! Monte-Carlo estimation of DNF probabilities and influence.
+//!
+//! The paper evaluates success probabilities by Monte-Carlo simulation
+//! (§3.3, citing Karp–Luby) and influence values by the estimator implied by
+//! Definition 4.1, `Inf_x(λ) = E[λ|x=1 − λ|x=0]`. This module implements:
+//!
+//! * [`estimate`] — the naive sampler: draw a world, evaluate the formula;
+//! * [`karp_luby`] — the Karp–Luby union ("coverage") estimator, whose
+//!   relative error does not degrade when `P[λ]` is small;
+//! * [`influence`] — a paired common-random-numbers estimator that
+//!   evaluates both restrictions `λ|x=1` and `λ|x=0` on the *same* sample,
+//!   cancelling most sampling noise (the formula is monotone, so the paired
+//!   difference is simply an indicator).
+//!
+//! All estimators are deterministic given [`McConfig::seed`].
+
+use crate::dnf::Dnf;
+use crate::var::{VarId, VarTable};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Monte-Carlo parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct McConfig {
+    /// Number of samples to draw.
+    pub samples: usize,
+    /// RNG seed; equal configs yield equal estimates.
+    pub seed: u64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self { samples: 100_000, seed: 0x7033 }
+    }
+}
+
+impl McConfig {
+    /// A config with `samples` samples and the default seed.
+    pub fn with_samples(samples: usize) -> Self {
+        Self { samples, ..Self::default() }
+    }
+
+    /// Returns a copy with a different seed (used to give worker threads
+    /// independent streams).
+    pub fn reseeded(self, seed: u64) -> Self {
+        Self { seed, ..self }
+    }
+}
+
+/// A DNF compiled to dense slot indices over exactly the variables it uses.
+/// Sampling then touches only live variables.
+#[derive(Clone, Debug)]
+pub struct CompiledDnf {
+    monomials: Vec<Vec<u32>>,
+    slot_probs: Vec<f64>,
+    slot_vars: Vec<VarId>,
+}
+
+impl CompiledDnf {
+    /// Compiles `dnf`, reading probabilities from `vars`.
+    pub fn compile(dnf: &Dnf, vars: &VarTable) -> Self {
+        let slot_vars = dnf.vars();
+        let slot_of = |v: VarId| -> u32 {
+            slot_vars.binary_search(&v).expect("dnf var missing from its own var list") as u32
+        };
+        let monomials = dnf
+            .monomials()
+            .iter()
+            .map(|m| m.literals().iter().map(|&l| slot_of(l)).collect())
+            .collect();
+        let slot_probs = slot_vars.iter().map(|&v| vars.prob(v)).collect();
+        Self { monomials, slot_probs, slot_vars }
+    }
+
+    /// Number of distinct variables.
+    pub fn num_slots(&self) -> usize {
+        self.slot_vars.len()
+    }
+
+    /// The variable occupying `slot`.
+    pub fn slot_var(&self, slot: usize) -> VarId {
+        self.slot_vars[slot]
+    }
+
+    /// The slot of `var`, if it occurs in the formula.
+    pub fn slot_of(&self, var: VarId) -> Option<usize> {
+        self.slot_vars.binary_search(&var).ok()
+    }
+
+    #[inline]
+    fn sample_into(&self, bits: &mut [bool], rng: &mut SmallRng) {
+        for (bit, &p) in bits.iter_mut().zip(&self.slot_probs) {
+            *bit = rng.random::<f64>() < p;
+        }
+    }
+
+    #[inline]
+    fn eval(&self, bits: &[bool]) -> bool {
+        self.monomials.iter().any(|m| m.iter().all(|&s| bits[s as usize]))
+    }
+
+    /// Evaluates with `slot` forced to `value`, ignoring its sampled bit.
+    #[inline]
+    fn eval_forced(&self, bits: &[bool], slot: u32, value: bool) -> bool {
+        self.monomials
+            .iter()
+            .any(|m| m.iter().all(|&s| if s == slot { value } else { bits[s as usize] }))
+    }
+}
+
+/// A Monte-Carlo estimate together with its sampling uncertainty.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// The point estimate.
+    pub value: f64,
+    /// The standard error `sqrt(p̂(1−p̂)/n)`.
+    pub std_error: f64,
+    /// Samples actually drawn.
+    pub samples: usize,
+}
+
+impl Estimate {
+    /// A 95% confidence interval (normal approximation), clamped to
+    /// `[0, 1]`.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_error;
+        ((self.value - half).max(0.0), (self.value + half).min(1.0))
+    }
+}
+
+/// Naive estimate with sampling statistics.
+pub fn estimate_with_stats(dnf: &Dnf, vars: &VarTable, cfg: McConfig) -> Estimate {
+    let value = estimate(dnf, vars, cfg);
+    let n = cfg.samples.max(1);
+    Estimate {
+        value,
+        std_error: (value * (1.0 - value) / n as f64).sqrt(),
+        samples: n,
+    }
+}
+
+/// Adaptive naive estimation: draws batches until the 95% confidence
+/// half-width falls below `target_half_width` (or `max_samples` is hit).
+///
+/// Useful when callers need a guaranteed precision rather than a fixed
+/// budget — e.g. Derivation Queries deciding whether a dropped monomial
+/// keeps the error within ε.
+pub fn estimate_adaptive(
+    dnf: &Dnf,
+    vars: &VarTable,
+    seed: u64,
+    target_half_width: f64,
+    max_samples: usize,
+) -> Estimate {
+    assert!(target_half_width > 0.0, "target half-width must be positive");
+    if dnf.is_false() {
+        return Estimate { value: 0.0, std_error: 0.0, samples: 0 };
+    }
+    if dnf.is_true() {
+        return Estimate { value: 1.0, std_error: 0.0, samples: 0 };
+    }
+    const BATCH: usize = 4096;
+    let compiled = CompiledDnf::compile(dnf, vars);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut bits = vec![false; compiled.num_slots()];
+    let mut hits = 0usize;
+    let mut n = 0usize;
+    loop {
+        for _ in 0..BATCH {
+            compiled.sample_into(&mut bits, &mut rng);
+            if compiled.eval(&bits) {
+                hits += 1;
+            }
+        }
+        n += BATCH;
+        let p = hits as f64 / n as f64;
+        let se = (p * (1.0 - p) / n as f64).sqrt();
+        if 1.96 * se <= target_half_width || n >= max_samples {
+            return Estimate { value: p, std_error: se, samples: n };
+        }
+    }
+}
+
+/// Naive Monte-Carlo estimate of `P[λ]`.
+pub fn estimate(dnf: &Dnf, vars: &VarTable, cfg: McConfig) -> f64 {
+    if dnf.is_false() {
+        return 0.0;
+    }
+    if dnf.is_true() {
+        return 1.0;
+    }
+    let compiled = CompiledDnf::compile(dnf, vars);
+    estimate_compiled(&compiled, cfg)
+}
+
+/// Naive estimate over an already-compiled formula.
+pub fn estimate_compiled(compiled: &CompiledDnf, cfg: McConfig) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut bits = vec![false; compiled.num_slots()];
+    let mut hits = 0usize;
+    for _ in 0..cfg.samples {
+        compiled.sample_into(&mut bits, &mut rng);
+        if compiled.eval(&bits) {
+            hits += 1;
+        }
+    }
+    hits as f64 / cfg.samples.max(1) as f64
+}
+
+/// The Karp–Luby coverage estimator of `P[⋃ monomials]`.
+///
+/// Draw a monomial `i` with probability `P(m_i)/U` (where `U = Σ P(m_j)`),
+/// then a world conditioned on `m_i` being true; the unbiased estimate is
+/// `U · E[1/N]` with `N` the number of satisfied monomials in that world.
+pub fn karp_luby(dnf: &Dnf, vars: &VarTable, cfg: McConfig) -> f64 {
+    if dnf.is_false() {
+        return 0.0;
+    }
+    if dnf.is_true() {
+        return 1.0;
+    }
+    let compiled = CompiledDnf::compile(dnf, vars);
+    let weights: Vec<f64> = dnf.monomials().iter().map(|m| m.probability(vars)).collect();
+    let total: f64 = weights.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut bits = vec![false; compiled.num_slots()];
+    let mut acc = 0.0f64;
+    for _ in 0..cfg.samples {
+        // Weighted monomial choice by cumulative scan; the monomial count is
+        // modest so a linear scan beats building an alias table here.
+        let mut pick = rng.random::<f64>() * total;
+        let mut chosen = compiled.monomials.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            pick -= w;
+            if pick <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        // Sample a world conditioned on the chosen monomial being true.
+        compiled.sample_into(&mut bits, &mut rng);
+        for &slot in &compiled.monomials[chosen] {
+            bits[slot as usize] = true;
+        }
+        let satisfied = compiled
+            .monomials
+            .iter()
+            .filter(|m| m.iter().all(|&s| bits[s as usize]))
+            .count();
+        debug_assert!(satisfied >= 1, "the conditioned monomial is satisfied");
+        acc += 1.0 / satisfied as f64;
+    }
+    (total * acc / cfg.samples.max(1) as f64).min(1.0)
+}
+
+/// Paired Monte-Carlo estimate of `Inf_x(λ) = P[λ|x=1] − P[λ|x=0]`
+/// (Definition 4.1). For monotone formulas the paired difference is an
+/// indicator, so the estimate is a simple hit ratio.
+pub fn influence(dnf: &Dnf, vars: &VarTable, x: VarId, cfg: McConfig) -> f64 {
+    let compiled = CompiledDnf::compile(dnf, vars);
+    influence_compiled(&compiled, x, cfg)
+}
+
+/// Paired influence estimate over an already-compiled formula. Returns 0
+/// when `x` does not occur in the formula.
+pub fn influence_compiled(compiled: &CompiledDnf, x: VarId, cfg: McConfig) -> f64 {
+    let Some(slot) = compiled.slot_of(x) else { return 0.0 };
+    let slot = slot as u32;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut bits = vec![false; compiled.num_slots()];
+    let mut hits = 0usize;
+    for _ in 0..cfg.samples {
+        compiled.sample_into(&mut bits, &mut rng);
+        let hi = compiled.eval_forced(&bits, slot, true);
+        if hi && !compiled.eval_forced(&bits, slot, false) {
+            hits += 1;
+        }
+    }
+    hits as f64 / cfg.samples.max(1) as f64
+}
+
+/// Influence of every variable occurring in `dnf`, sequentially.
+///
+/// Returns `(var, influence)` pairs sorted by descending influence (ties by
+/// variable id, so the output is deterministic).
+pub fn influence_all(dnf: &Dnf, vars: &VarTable, cfg: McConfig) -> Vec<(VarId, f64)> {
+    let compiled = CompiledDnf::compile(dnf, vars);
+    let mut out: Vec<(VarId, f64)> = dnf
+        .vars()
+        .into_iter()
+        .map(|v| (v, influence_compiled(&compiled, v, cfg)))
+        .collect();
+    sort_by_influence(&mut out);
+    out
+}
+
+/// Sorts `(var, influence)` pairs by descending influence, ties by id.
+pub fn sort_by_influence(entries: &mut [(VarId, f64)]) {
+    entries.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnf::Monomial;
+    use crate::exact;
+
+    fn table(probs: &[f64]) -> VarTable {
+        let mut t = VarTable::new();
+        for (i, &p) in probs.iter().enumerate() {
+            t.add(format!("x{i}"), p);
+        }
+        t
+    }
+
+    fn m(lits: &[u32]) -> Monomial {
+        Monomial::new(lits.iter().map(|&i| VarId(i)).collect())
+    }
+
+    const CFG: McConfig = McConfig { samples: 200_000, seed: 7 };
+
+    #[test]
+    fn naive_estimate_converges() {
+        let vars = table(&[0.5, 0.4, 0.2]);
+        let dnf = Dnf::new(vec![m(&[0, 1]), m(&[0, 2])]);
+        let exact = exact::probability(&dnf, &vars);
+        let est = estimate(&dnf, &vars, CFG);
+        assert!((est - exact).abs() < 0.01, "est={est} exact={exact}");
+    }
+
+    #[test]
+    fn karp_luby_converges() {
+        let vars = table(&[0.5, 0.4, 0.2]);
+        let dnf = Dnf::new(vec![m(&[0, 1]), m(&[0, 2])]);
+        let exact = exact::probability(&dnf, &vars);
+        let est = karp_luby(&dnf, &vars, CFG);
+        assert!((est - exact).abs() < 0.01, "est={est} exact={exact}");
+    }
+
+    #[test]
+    fn karp_luby_handles_small_probabilities_well() {
+        // P ≈ 1e-4: the naive estimator would need millions of samples; the
+        // coverage estimator has bounded relative error.
+        let vars = table(&[0.01, 0.01]);
+        let dnf = Dnf::new(vec![m(&[0, 1])]);
+        let exact = 0.0001;
+        let est = karp_luby(&dnf, &vars, McConfig { samples: 50_000, seed: 3 });
+        assert!((est - exact).abs() / exact < 0.05, "est={est}");
+    }
+
+    #[test]
+    fn estimators_are_deterministic_under_a_seed() {
+        let vars = table(&[0.5, 0.4]);
+        let dnf = Dnf::new(vec![m(&[0]), m(&[1])]);
+        assert_eq!(estimate(&dnf, &vars, CFG), estimate(&dnf, &vars, CFG));
+        assert_eq!(karp_luby(&dnf, &vars, CFG), karp_luby(&dnf, &vars, CFG));
+        assert_eq!(influence(&dnf, &vars, VarId(0), CFG), influence(&dnf, &vars, VarId(0), CFG));
+    }
+
+    #[test]
+    fn constants() {
+        let vars = table(&[0.5]);
+        assert_eq!(estimate(&Dnf::zero(), &vars, CFG), 0.0);
+        assert_eq!(estimate(&Dnf::one(), &vars, CFG), 1.0);
+        assert_eq!(karp_luby(&Dnf::zero(), &vars, CFG), 0.0);
+        assert_eq!(karp_luby(&Dnf::one(), &vars, CFG), 1.0);
+    }
+
+    #[test]
+    fn influence_matches_exact_restrictions() {
+        let vars = table(&[0.5, 0.4, 0.2]);
+        let dnf = Dnf::new(vec![m(&[0, 1]), m(&[0, 2])]);
+        for x in [VarId(0), VarId(1), VarId(2)] {
+            let expected = exact::probability(&dnf.restrict(x, true), &vars)
+                - exact::probability(&dnf.restrict(x, false), &vars);
+            let est = influence(&dnf, &vars, x, CFG);
+            assert!((est - expected).abs() < 0.01, "{x}: est={est} expected={expected}");
+        }
+    }
+
+    #[test]
+    fn influence_of_absent_variable_is_zero() {
+        let vars = table(&[0.5, 0.4]);
+        let dnf = Dnf::new(vec![m(&[0])]);
+        assert_eq!(influence(&dnf, &vars, VarId(1), CFG), 0.0);
+    }
+
+    #[test]
+    fn influence_all_ranks_the_acquaintance_literals() {
+        // vars: 0=r1 0.8, 1=r2 0.4, 2=r3 0.2, 3=t1 1, 4=t2 1, 5=t4 0.4,
+        //       6=t5 0.6, 7=t6 1. Exact influences: r3=0.8192, r1=0.1808,
+        //       t6=0.16384 (see EXPERIMENTS.md; the paper's Table 2 agrees
+        //       on the ranking).
+        let vars = table(&[0.8, 0.4, 0.2, 1.0, 1.0, 0.4, 0.6, 1.0]);
+        let dnf = Dnf::new(vec![m(&[2, 7, 0, 3, 4]), m(&[2, 7, 1, 5, 6])]);
+        let ranked = influence_all(&dnf, &vars, CFG);
+        assert_eq!(ranked[0].0, VarId(2), "r3 is the most influential");
+        assert!((ranked[0].1 - 0.8192).abs() < 0.01);
+        assert_eq!(ranked[1].0, VarId(0), "r1 is second");
+        assert!((ranked[1].1 - 0.1808).abs() < 0.01);
+        assert_eq!(ranked[2].0, VarId(7), "t6 is third");
+        assert!((ranked[2].1 - 0.16384).abs() < 0.01);
+    }
+
+    #[test]
+    fn estimate_with_stats_reports_consistent_error() {
+        let vars = table(&[0.5, 0.4]);
+        let dnf = Dnf::new(vec![m(&[0]), m(&[1])]);
+        let e = estimate_with_stats(&dnf, &vars, CFG);
+        assert_eq!(e.samples, CFG.samples);
+        let expected_se = (e.value * (1.0 - e.value) / CFG.samples as f64).sqrt();
+        assert!((e.std_error - expected_se).abs() < 1e-12);
+        let (lo, hi) = e.ci95();
+        assert!(lo <= e.value && e.value <= hi);
+        assert!((hi - lo - 2.0 * 1.96 * e.std_error).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_estimation_meets_the_precision_target() {
+        let vars = table(&[0.5, 0.4, 0.2]);
+        let dnf = Dnf::new(vec![m(&[0, 1]), m(&[0, 2])]);
+        let exact = crate::exact::probability(&dnf, &vars);
+        let e = estimate_adaptive(&dnf, &vars, 5, 0.005, 10_000_000);
+        assert!(1.96 * e.std_error <= 0.005, "claimed precision met: {e:?}");
+        assert!((e.value - exact).abs() < 0.01, "est {} vs {exact}", e.value);
+        // Tighter target needs more samples.
+        let tight = estimate_adaptive(&dnf, &vars, 5, 0.001, 10_000_000);
+        assert!(tight.samples > e.samples);
+    }
+
+    #[test]
+    fn adaptive_estimation_respects_the_sample_cap() {
+        let vars = table(&[0.5]);
+        let dnf = Dnf::new(vec![m(&[0])]);
+        let e = estimate_adaptive(&dnf, &vars, 1, 1e-9, 10_000);
+        assert!(e.samples <= 12_288, "one batch over the cap at most: {}", e.samples);
+    }
+
+    #[test]
+    fn adaptive_estimation_on_constants_is_free() {
+        let vars = table(&[0.5]);
+        let t = estimate_adaptive(&Dnf::one(), &vars, 1, 0.01, 1000);
+        assert_eq!((t.value, t.samples), (1.0, 0));
+        let f = estimate_adaptive(&Dnf::zero(), &vars, 1, 0.01, 1000);
+        assert_eq!((f.value, f.samples), (0.0, 0));
+    }
+
+    #[test]
+    fn compiled_slots_cover_only_live_variables() {
+        let vars = table(&[0.5, 0.4, 0.3, 0.9]);
+        let dnf = Dnf::new(vec![m(&[1, 3])]);
+        let c = CompiledDnf::compile(&dnf, &vars);
+        assert_eq!(c.num_slots(), 2);
+        assert_eq!(c.slot_var(0), VarId(1));
+        assert_eq!(c.slot_var(1), VarId(3));
+        assert_eq!(c.slot_of(VarId(0)), None);
+    }
+}

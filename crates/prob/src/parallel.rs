@@ -1,0 +1,206 @@
+//! Multi-threaded Monte-Carlo drivers.
+//!
+//! The paper parallelises Monte-Carlo simulation on GPUs (§6.2, Table 8),
+//! observing ~10× speedups because the workload is embarrassingly parallel.
+//! This module reproduces the scheme with CPU threads via crossbeam's scoped
+//! threads: samples are split across workers, each with an independently
+//! seeded RNG stream, and counts are merged.
+//!
+//! Determinism: for a fixed `(cfg, threads)` pair results are reproducible;
+//! changing the thread count changes the sample-stream split and therefore
+//! the estimate (within Monte-Carlo error), exactly as on real parallel
+//! hardware.
+
+use crate::dnf::Dnf;
+use crate::mc::{self, CompiledDnf, McConfig};
+use crate::var::{VarId, VarTable};
+
+/// Number of worker threads to use by default: the available parallelism,
+/// capped at 16 (beyond that, memory bandwidth dominates for this workload).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+/// Splits `total` samples into `parts` near-equal chunks.
+fn split(total: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    let base = total / parts;
+    let extra = total % parts;
+    (0..parts).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Parallel naive Monte-Carlo estimate of `P[λ]` using `threads` workers.
+pub fn estimate(dnf: &Dnf, vars: &VarTable, cfg: McConfig, threads: usize) -> f64 {
+    if dnf.is_false() {
+        return 0.0;
+    }
+    if dnf.is_true() {
+        return 1.0;
+    }
+    let compiled = CompiledDnf::compile(dnf, vars);
+    let chunks = split(cfg.samples, threads);
+    let estimates: Vec<(usize, f64)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let compiled = &compiled;
+                let worker_cfg =
+                    McConfig { samples: n, seed: worker_seed(cfg.seed, i) };
+                scope.spawn(move |_| (n, mc::estimate_compiled(compiled, worker_cfg)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("mc worker panicked")).collect()
+    })
+    .expect("mc scope panicked");
+    weighted_mean(&estimates)
+}
+
+/// Parallel paired influence estimate for a single variable.
+pub fn influence(dnf: &Dnf, vars: &VarTable, x: VarId, cfg: McConfig, threads: usize) -> f64 {
+    let compiled = CompiledDnf::compile(dnf, vars);
+    let chunks = split(cfg.samples, threads);
+    let estimates: Vec<(usize, f64)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let compiled = &compiled;
+                let worker_cfg =
+                    McConfig { samples: n, seed: worker_seed(cfg.seed, i) };
+                scope.spawn(move |_| (n, mc::influence_compiled(compiled, x, worker_cfg)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("mc worker panicked")).collect()
+    })
+    .expect("mc scope panicked");
+    weighted_mean(&estimates)
+}
+
+/// Influence of every variable in `dnf`, parallelised **across variables**:
+/// each worker takes a stripe of literals and runs the full paired estimator
+/// for each. This matches the paper's "compute the influence of all
+/// literals" workload (Table 8).
+pub fn influence_all(
+    dnf: &Dnf,
+    vars: &VarTable,
+    cfg: McConfig,
+    threads: usize,
+) -> Vec<(VarId, f64)> {
+    let compiled = CompiledDnf::compile(dnf, vars);
+    let all_vars = dnf.vars();
+    let threads = threads.max(1).min(all_vars.len().max(1));
+    let mut out: Vec<(VarId, f64)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let compiled = &compiled;
+                let all_vars = &all_vars;
+                scope.spawn(move |_| {
+                    all_vars
+                        .iter()
+                        .skip(t)
+                        .step_by(threads)
+                        .map(|&v| (v, mc::influence_compiled(compiled, v, cfg)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("influence worker panicked"))
+            .collect()
+    })
+    .expect("influence scope panicked");
+    mc::sort_by_influence(&mut out);
+    out
+}
+
+/// Derives a distinct, stable seed for worker `i`.
+fn worker_seed(base: u64, i: usize) -> u64 {
+    // SplitMix64 step keeps streams decorrelated even for adjacent indices.
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn weighted_mean(parts: &[(usize, f64)]) -> f64 {
+    let total: usize = parts.iter().map(|&(n, _)| n).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    parts.iter().map(|&(n, est)| est * n as f64).sum::<f64>() / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnf::Monomial;
+    use crate::exact;
+
+    fn table(probs: &[f64]) -> VarTable {
+        let mut t = VarTable::new();
+        for (i, &p) in probs.iter().enumerate() {
+            t.add(format!("x{i}"), p);
+        }
+        t
+    }
+
+    fn m(lits: &[u32]) -> Monomial {
+        Monomial::new(lits.iter().map(|&i| VarId(i)).collect())
+    }
+
+    #[test]
+    fn split_distributes_remainders() {
+        assert_eq!(split(10, 3), vec![4, 3, 3]);
+        assert_eq!(split(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(split(0, 3), vec![0, 0, 0]);
+        assert_eq!(split(5, 1), vec![5]);
+    }
+
+    #[test]
+    fn parallel_estimate_converges() {
+        let vars = table(&[0.5, 0.4, 0.2]);
+        let dnf = Dnf::new(vec![m(&[0, 1]), m(&[0, 2])]);
+        let expected = exact::probability(&dnf, &vars);
+        let est = estimate(&dnf, &vars, McConfig { samples: 200_000, seed: 11 }, 4);
+        assert!((est - expected).abs() < 0.01, "est={est} expected={expected}");
+    }
+
+    #[test]
+    fn parallel_influence_all_matches_sequential_ranking() {
+        let vars = table(&[0.8, 0.4, 0.2, 1.0, 1.0, 0.4, 0.6, 1.0]);
+        let dnf = Dnf::new(vec![m(&[2, 7, 0, 3, 4]), m(&[2, 7, 1, 5, 6])]);
+        let cfg = McConfig { samples: 100_000, seed: 5 };
+        let seq = mc::influence_all(&dnf, &vars, cfg);
+        let par = influence_all(&dnf, &vars, cfg, 4);
+        // Stripe-parallel influence uses the same per-variable estimator and
+        // seed, so values agree exactly.
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_results_are_reproducible() {
+        let vars = table(&[0.5, 0.4]);
+        let dnf = Dnf::new(vec![m(&[0]), m(&[1])]);
+        let cfg = McConfig { samples: 50_000, seed: 9 };
+        assert_eq!(estimate(&dnf, &vars, cfg, 3), estimate(&dnf, &vars, cfg, 3));
+    }
+
+    #[test]
+    fn worker_seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..64).map(|i| worker_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 64);
+    }
+
+    #[test]
+    fn more_threads_than_samples_is_fine() {
+        let vars = table(&[0.5]);
+        let dnf = Dnf::new(vec![m(&[0])]);
+        let est = estimate(&dnf, &vars, McConfig { samples: 3, seed: 1 }, 8);
+        assert!((0.0..=1.0).contains(&est));
+    }
+}

@@ -1,0 +1,110 @@
+//! Graphviz export of provenance (sub)graphs.
+//!
+//! Follows the paper's visual convention (Figs 3, 4, 8): rectangles for
+//! tuple vertices, ovals for rule-execution vertices, edges pointing from
+//! inputs into executions and from executions to derived tuples. Vertex
+//! probabilities are rendered in the label.
+
+use crate::graph::{Derivation, ProvGraph};
+use p3_datalog::engine::{Database, TupleId};
+use p3_datalog::program::Program;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Renders the provenance subgraph rooted at `root` in Graphviz `dot`
+/// syntax.
+pub fn to_dot(
+    graph: &ProvGraph,
+    db: &Database,
+    program: &Program,
+    root: TupleId,
+) -> String {
+    let mut out = String::new();
+    let syms = program.symbols();
+    out.push_str("digraph provenance {\n");
+    out.push_str("  rankdir=BT;\n");
+    out.push_str("  node [fontname=\"Helvetica\"];\n");
+
+    let tuples = graph.reachable_tuples(root);
+    let mut emitted_execs: HashSet<u32> = HashSet::new();
+
+    let mut ordered: Vec<TupleId> = tuples.iter().copied().collect();
+    ordered.sort_unstable();
+    for &t in &ordered {
+        let label = format!("{}", db.display_tuple(t, syms));
+        let base_prob: Option<f64> = graph.derivations(t).iter().find_map(|d| match d {
+            Derivation::Base(c) => Some(program.clause(*c).prob),
+            Derivation::Rule(_) => None,
+        });
+        let suffix = base_prob.map(|p| format!("\\np={p}")).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  t{} [shape=box, label=\"{}{}\"];",
+            t.0,
+            escape(&label),
+            suffix
+        );
+        for d in graph.derivations(t) {
+            if let Derivation::Rule(e) = d {
+                let exec = graph.exec(*e);
+                if emitted_execs.insert(e.0) {
+                    let clause = program.clause(exec.rule);
+                    let _ = writeln!(
+                        out,
+                        "  e{} [shape=oval, label=\"{}\\np={}\"];",
+                        e.0, clause.label, clause.prob
+                    );
+                    for &b in exec.body.iter() {
+                        let _ = writeln!(out, "  t{} -> e{};", b.0, e.0);
+                    }
+                }
+                let _ = writeln!(out, "  e{} -> t{};", e.0, t.0);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::evaluate_with_provenance;
+
+    #[test]
+    fn dot_output_mentions_all_reachable_vertices() {
+        let p = Program::parse(
+            "r1 0.8: q(X) :- p(X).
+             t1 0.5: p(a).
+             t9 0.5: p(zzz).",
+        )
+        .unwrap();
+        let (db, g) = evaluate_with_provenance(&p);
+        let q = p.symbols().get("q").unwrap();
+        let a = p3_datalog::ast::Const::Sym(p.symbols().get("a").unwrap());
+        let qa = db.lookup(q, &[a]).unwrap();
+        let dot = to_dot(&g, &db, &p, qa);
+        assert!(dot.contains("q(a)"));
+        assert!(dot.contains("p(a)"));
+        assert!(dot.contains("r1"), "rule execution vertex rendered");
+        assert!(dot.contains("p=0.8"), "rule probability annotated");
+        assert!(!dot.contains("zzz"), "unreachable tuples excluded");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn quotes_in_constants_are_escaped() {
+        let p = Program::parse(r#"t1 0.5: live("Steve","DC")."#).unwrap();
+        let (db, g) = evaluate_with_provenance(&p);
+        let live = p.symbols().get("live").unwrap();
+        let s = |n: &str| p3_datalog::ast::Const::Sym(p.symbols().get(n).unwrap());
+        let t = db.lookup(live, &[s("Steve"), s("DC")]).unwrap();
+        let dot = to_dot(&g, &db, &p, t);
+        assert!(dot.contains(r#"live(\"Steve\",\"DC\")"#), "{dot}");
+    }
+}

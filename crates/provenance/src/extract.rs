@@ -1,0 +1,457 @@
+//! Provenance-polynomial extraction (§3.3).
+//!
+//! Starting from the queried tuple, the extractor walks the provenance
+//! graph downward, turning alternative derivations into `+` and conjunctive
+//! rule bodies into `·`, until only base tuples and rule literals remain.
+//!
+//! **Cycle elimination.** A recursive program yields cycles: a derived
+//! tuple that is an input to one of its own derivations. Equations 6–13 of
+//! the paper show that derivations passing through the queried tuple (or,
+//! recursively, through any tuple already on the current derivation path)
+//! contribute nothing to the success probability — the absorption law
+//! `(1 + P) · Q = Q + P·Q` collapses them. The extractor therefore skips
+//! any rule execution whose body revisits a tuple on the current
+//! root-to-node path, producing the acyclic polynomial `P'_E + P'_L`
+//! directly. The `worlds`-oracle integration tests verify this is
+//! probability-preserving.
+//!
+//! **Hop limits.** §6.1 bounds provenance retrieval depth ("hop limit 4").
+//! [`ExtractOptions::max_depth`] caps the number of nested rule executions;
+//! derivations that would exceed it are dropped.
+//!
+//! **Memoisation.** Sub-polynomials of *clean* tuples — tuples whose entire
+//! downward closure is acyclic — cannot interact with the path-based skip,
+//! so they are cached per `(tuple, remaining-depth)`. Cyclic regions fall
+//! back to plain path-sensitive DFS.
+
+use crate::graph::{Derivation, ProvGraph};
+use crate::vars::var_of;
+use p3_datalog::engine::TupleId;
+use p3_prob::Dnf;
+use std::collections::{HashMap, HashSet};
+
+/// Options controlling extraction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExtractOptions {
+    /// Maximum number of nested rule executions; `None` means unbounded
+    /// (safe: cycle elimination guarantees termination regardless).
+    pub max_depth: Option<usize>,
+}
+
+impl ExtractOptions {
+    /// Unbounded extraction.
+    pub fn unbounded() -> Self {
+        Self { max_depth: None }
+    }
+
+    /// Extraction capped at `depth` nested rule executions.
+    pub fn with_max_depth(depth: usize) -> Self {
+        Self { max_depth: Some(depth) }
+    }
+}
+
+/// Extracts the provenance polynomial of `root` from `graph`.
+///
+/// Convenience wrapper around [`Extractor`]; when extracting polynomials
+/// for many tuples of the same graph, build one [`Extractor`] and reuse it.
+pub fn extract_polynomial(graph: &ProvGraph, root: TupleId, opts: ExtractOptions) -> Dnf {
+    Extractor::new(graph).polynomial(root, opts)
+}
+
+/// A reusable extractor over one provenance graph.
+///
+/// Construction analyses the graph's cycle structure (Tarjan SCC over the
+/// tuple-dependency projection) so that acyclic regions can be memoised.
+pub struct Extractor<'g> {
+    graph: &'g ProvGraph,
+    /// Tuples whose downward closure contains no cycle.
+    clean: HashSet<TupleId>,
+}
+
+impl<'g> Extractor<'g> {
+    /// Analyses `graph` and prepares an extractor.
+    pub fn new(graph: &'g ProvGraph) -> Self {
+        let clean = compute_clean(graph);
+        Self { graph, clean }
+    }
+
+    /// Whether every derivation below `tuple` is acyclic.
+    pub fn is_clean(&self, tuple: TupleId) -> bool {
+        self.clean.contains(&tuple)
+    }
+
+    /// The provenance polynomial of `root`.
+    pub fn polynomial(&self, root: TupleId, opts: ExtractOptions) -> Dnf {
+        let mut cx = Cx {
+            extractor: self,
+            memo: HashMap::new(),
+            path: HashSet::new(),
+            max_depth: opts.max_depth,
+        };
+        cx.expand(root, 0)
+    }
+}
+
+struct Cx<'a, 'g> {
+    extractor: &'a Extractor<'g>,
+    /// Memo for clean tuples, keyed by `(tuple, remaining_depth)`; remaining
+    /// depth is `usize::MAX` when unbounded.
+    memo: HashMap<(TupleId, usize), Dnf>,
+    path: HashSet<TupleId>,
+    max_depth: Option<usize>,
+}
+
+impl Cx<'_, '_> {
+    /// Remaining rule-nesting budget at `depth`.
+    fn remaining(&self, depth: usize) -> usize {
+        match self.max_depth {
+            Some(max) => max.saturating_sub(depth),
+            None => usize::MAX,
+        }
+    }
+
+    fn expand(&mut self, tuple: TupleId, depth: usize) -> Dnf {
+        let remaining = self.remaining(depth);
+        let clean = self.extractor.is_clean(tuple);
+        if clean {
+            if let Some(hit) = self.memo.get(&(tuple, remaining)) {
+                return hit.clone();
+            }
+        }
+
+        let mut acc = Dnf::zero();
+        self.path.insert(tuple);
+        'derivs: for d in self.extractor.graph.derivations(tuple) {
+            match d {
+                Derivation::Base(clause) => {
+                    acc = acc.or(&Dnf::literal(var_of(*clause)));
+                }
+                Derivation::Rule(exec_id) => {
+                    if remaining == 0 {
+                        continue; // hop limit reached
+                    }
+                    let exec = self.extractor.graph.exec(*exec_id);
+                    // Cycle elimination: a body tuple already on the current
+                    // path makes this derivation contribute nothing.
+                    if exec.body.iter().any(|b| self.path.contains(b)) {
+                        continue 'derivs;
+                    }
+                    let mut product = Dnf::literal(var_of(exec.rule));
+                    for &b in exec.body.iter() {
+                        let sub = self.expand(b, depth + 1);
+                        if sub.is_false() {
+                            continue 'derivs;
+                        }
+                        product = product.and(&sub);
+                    }
+                    acc = acc.or(&product);
+                }
+            }
+        }
+        self.path.remove(&tuple);
+
+        if clean {
+            self.memo.insert((tuple, remaining), acc.clone());
+        }
+        acc
+    }
+}
+
+/// Computes the set of tuples whose downward closure is acyclic, via an
+/// iterative Tarjan SCC over the tuple-dependency projection
+/// (`tuple → body tuples of its rule executions`).
+fn compute_clean(graph: &ProvGraph) -> HashSet<TupleId> {
+    // Adjacency over tuples appearing in the graph.
+    let mut adj: HashMap<TupleId, Vec<TupleId>> = HashMap::new();
+    for t in graph.tuples() {
+        let mut succ: Vec<TupleId> = Vec::new();
+        for d in graph.derivations(t) {
+            if let Derivation::Rule(e) = d {
+                succ.extend(graph.exec(*e).body.iter().copied());
+            }
+        }
+        succ.sort_unstable();
+        succ.dedup();
+        adj.insert(t, succ);
+    }
+
+    // Iterative Tarjan.
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+    }
+    let mut states: HashMap<TupleId, NodeState> = HashMap::new();
+    let mut stack: Vec<TupleId> = Vec::new();
+    let mut next_index = 0u32;
+    // SCCs in emission order (reverse topological: successors first).
+    let mut sccs: Vec<Vec<TupleId>> = Vec::new();
+
+    for &start in adj.keys() {
+        if states.contains_key(&start) {
+            continue;
+        }
+        // Explicit DFS frames: (node, next-child-position).
+        let mut frames: Vec<(TupleId, usize)> = vec![(start, 0)];
+        states.insert(start, NodeState { index: next_index, lowlink: next_index, on_stack: true });
+        stack.push(start);
+        next_index += 1;
+
+        while !frames.is_empty() {
+            // Pull the next child (if any) out of the top frame, then release
+            // the frame borrow before mutating `frames` again.
+            let (node, next_child) = {
+                let frame = frames.last_mut().expect("non-empty");
+                let node = frame.0;
+                let children = adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+                let next = children.get(frame.1).copied();
+                frame.1 += 1;
+                (node, next)
+            };
+            match next_child {
+                Some(child) => {
+                    // A body tuple with no derivations of its own (impossible
+                    // after a run, but robust against partial graphs) is
+                    // skipped.
+                    if !adj.contains_key(&child) {
+                        continue;
+                    }
+                    match states.get(&child) {
+                        None => {
+                            states.insert(
+                                child,
+                                NodeState {
+                                    index: next_index,
+                                    lowlink: next_index,
+                                    on_stack: true,
+                                },
+                            );
+                            next_index += 1;
+                            stack.push(child);
+                            frames.push((child, 0));
+                        }
+                        Some(s) if s.on_stack => {
+                            let child_index = s.index;
+                            let st = states.get_mut(&node).expect("visited");
+                            st.lowlink = st.lowlink.min(child_index);
+                        }
+                        Some(_) => {}
+                    }
+                }
+                None => {
+                    frames.pop();
+                    let node_state = states[&node];
+                    if let Some(&(parent, _)) = frames.last() {
+                        let pl = states.get_mut(&parent).expect("visited");
+                        pl.lowlink = pl.lowlink.min(node_state.lowlink);
+                    }
+                    if node_state.lowlink == node_state.index {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("scc stack underflow");
+                            states.get_mut(&w).expect("visited").on_stack = false;
+                            scc.push(w);
+                            if w == node {
+                                break;
+                            }
+                        }
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+    }
+
+    // Emission order is reverse-topological, so every successor's
+    // cleanliness is known when its predecessors are processed.
+    let mut clean: HashSet<TupleId> = HashSet::new();
+    for scc in &sccs {
+        let cyclic = scc.len() > 1
+            || adj
+                .get(&scc[0])
+                .is_some_and(|succ| succ.binary_search(&scc[0]).is_ok());
+        if cyclic {
+            continue;
+        }
+        let t = scc[0];
+        let all_children_clean = adj[&t]
+            .iter()
+            .filter(|c| adj.contains_key(*c))
+            .all(|c| clean.contains(c));
+        if all_children_clean {
+            clean.insert(t);
+        }
+    }
+    clean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::evaluate_with_provenance;
+    use p3_datalog::ast::Const;
+    use p3_datalog::program::Program;
+    use p3_datalog::worlds;
+    use p3_prob::exact;
+
+    /// Runs `program` with provenance, extracts the polynomial for `query`
+    /// (e.g. `know("Ben","Elena")`) and returns (polynomial, vars).
+    fn pipeline(src: &str, query: &str) -> (Dnf, p3_prob::VarTable, Program) {
+        let program = Program::parse(src).unwrap();
+        let (db, graph) = evaluate_with_provenance(&program);
+        let (pred, args) = worlds::parse_ground_query(&program, query).unwrap();
+        let tuple = db.lookup(pred, &args).expect("query tuple not derived");
+        let dnf = extract_polynomial(&graph, tuple, ExtractOptions::unbounded());
+        let vars = crate::vars::clause_vars(&program);
+        (dnf, vars, program)
+    }
+
+    #[test]
+    fn base_tuple_polynomial_is_its_own_literal() {
+        let (dnf, vars, p) = pipeline("t1 0.4: p(a).", "p(a)");
+        let t1 = var_of(p.clause_by_label("t1").unwrap());
+        assert_eq!(dnf, Dnf::literal(t1));
+        assert!((exact::probability(&dnf, &vars) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acquaintance_polynomial_matches_the_paper() {
+        let src = r#"
+            r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+            r2 0.4: know(P1,P2) :- like(P1,L), like(P2,L), P1 != P2.
+            r3 0.2: know(P1,P3) :- know(P1,P2), know(P2,P3), P1 != P3.
+            t1 1.0: live("Steve","DC").
+            t2 1.0: live("Elena","DC").
+            t3 1.0: live("Mary","NYC").
+            t4 0.4: like("Steve","Veggies").
+            t5 0.6: like("Elena","Veggies").
+            t6 1.0: know("Ben","Steve").
+        "#;
+        let (dnf, vars, _) = pipeline(src, r#"know("Ben","Elena")"#);
+        // λ = r3·t6·(r1·t1·t2 + r2·t4·t5): two monomials of 5 literals.
+        assert_eq!(dnf.len(), 2);
+        assert!(dnf.monomials().iter().all(|m| m.len() == 5));
+        let p = exact::probability(&dnf, &vars);
+        assert!((p - 0.16384).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn polynomial_probability_equals_possible_worlds_on_cycles() {
+        // The §3.3 theorem, end to end: cyclic provenance, acyclic
+        // extraction, exact DNF probability == world enumeration.
+        let src = "r1 1.0: reach(X) :- src(X).
+                   r2 0.9: reach(Y) :- reach(X), edge(X,Y).
+                   t0 1.0: src(a).
+                   e1 0.5: edge(a,b).
+                   e2 0.6: edge(b,a).
+                   e3 0.7: edge(b,c).
+                   e4 0.4: edge(c,a).";
+        let program = Program::parse(src).unwrap();
+        let (db, graph) = evaluate_with_provenance(&program);
+        let vars = crate::vars::clause_vars(&program);
+        for q in ["reach(a)", "reach(b)", "reach(c)"] {
+            let oracle = worlds::success_probability_str(&program, q).unwrap();
+            let (pred, args) = worlds::parse_ground_query(&program, q).unwrap();
+            let tuple = db.lookup(pred, &args).unwrap();
+            let dnf = extract_polynomial(&graph, tuple, ExtractOptions::unbounded());
+            let p = exact::probability(&dnf, &vars);
+            assert!((p - oracle).abs() < 1e-9, "{q}: dnf={p} oracle={oracle}");
+        }
+    }
+
+    #[test]
+    fn self_loop_contributes_nothing() {
+        // know(a,a)-style self-supporting derivations are eliminated.
+        let src = "r1 0.5: p(X) :- p(X), q(X).
+                   r2 1.0: p(X) :- s(X).
+                   t1 0.8: q(a).
+                   t2 0.5: s(a).";
+        let program = Program::parse(src).unwrap();
+        let (db, graph) = evaluate_with_provenance(&program);
+        let vars = crate::vars::clause_vars(&program);
+        let (pred, args) = worlds::parse_ground_query(&program, "p(a)").unwrap();
+        let tuple = db.lookup(pred, &args).unwrap();
+        let dnf = extract_polynomial(&graph, tuple, ExtractOptions::unbounded());
+        // Only r2·t2 survives.
+        assert_eq!(dnf.len(), 1);
+        let p = exact::probability(&dnf, &vars);
+        let oracle = worlds::success_probability_str(&program, "p(a)").unwrap();
+        assert!((p - oracle).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hop_limit_truncates_long_derivations() {
+        // Chain a→b→c→d: reach(d) needs 3 nested rule executions beyond r1.
+        let src = "r1 1.0: reach(X) :- src(X).
+                   r2 1.0: reach(Y) :- reach(X), edge(X,Y).
+                   t0 1.0: src(a).
+                   e1 0.5: edge(a,b). e2 0.5: edge(b,c). e3 0.5: edge(c,d).";
+        let program = Program::parse(src).unwrap();
+        let (db, graph) = evaluate_with_provenance(&program);
+        let reach = program.symbols().get("reach").unwrap();
+        let d = Const::Sym(program.symbols().get("d").unwrap());
+        let tuple = db.lookup(reach, &[d]).unwrap();
+        // Unbounded: one derivation (r2·r2·r2·r1 chain + edges).
+        let full = extract_polynomial(&graph, tuple, ExtractOptions::unbounded());
+        assert_eq!(full.len(), 1);
+        // Depth 4 suffices (r2,r2,r2,r1); depth 3 does not.
+        assert_eq!(
+            extract_polynomial(&graph, tuple, ExtractOptions::with_max_depth(4)).len(),
+            1
+        );
+        assert!(extract_polynomial(&graph, tuple, ExtractOptions::with_max_depth(3)).is_false());
+    }
+
+    #[test]
+    fn clean_marking_distinguishes_cyclic_regions() {
+        let src = "r1 1.0: reach(X) :- src(X).
+                   r2 1.0: reach(Y) :- reach(X), edge(X,Y).
+                   t0 1.0: src(a).
+                   e1 0.5: edge(a,b).
+                   e2 0.5: edge(b,a).";
+        let program = Program::parse(src).unwrap();
+        let (db, graph) = evaluate_with_provenance(&program);
+        let ex = Extractor::new(&graph);
+        let reach = program.symbols().get("reach").unwrap();
+        let edge = program.symbols().get("edge").unwrap();
+        let a = Const::Sym(program.symbols().get("a").unwrap());
+        let b = Const::Sym(program.symbols().get("b").unwrap());
+        let ra = db.lookup(reach, &[a]).unwrap();
+        let e_ab = db.lookup(edge, &[a, b]).unwrap();
+        assert!(!ex.is_clean(ra), "reach(a) participates in a cycle");
+        assert!(ex.is_clean(e_ab), "base tuples are clean");
+    }
+
+    #[test]
+    fn shared_subterms_are_memoized_consistently() {
+        // A diamond: top depends twice on mid; extraction must agree with
+        // the oracle (memoisation must not double-count or miss sharing).
+        let src = "r1 0.9: top(X) :- mid(X), l(X).
+                   r2 0.8: top(X) :- mid(X), r(X).
+                   r3 1.0: mid(X) :- base(X).
+                   t1 0.5: base(a). t2 0.7: l(a). t3 0.6: r(a).";
+        let program = Program::parse(src).unwrap();
+        let (db, graph) = evaluate_with_provenance(&program);
+        let vars = crate::vars::clause_vars(&program);
+        let (pred, args) = worlds::parse_ground_query(&program, "top(a)").unwrap();
+        let tuple = db.lookup(pred, &args).unwrap();
+        let dnf = extract_polynomial(&graph, tuple, ExtractOptions::unbounded());
+        let p = exact::probability(&dnf, &vars);
+        let oracle = worlds::success_probability_str(&program, "top(a)").unwrap();
+        assert!((p - oracle).abs() < 1e-12, "dnf={p} oracle={oracle}");
+    }
+
+    #[test]
+    fn non_derivable_tuple_yields_false() {
+        let program = Program::parse("t1 0.5: p(a).").unwrap();
+        let (_db, graph) = evaluate_with_provenance(&program);
+        // A fabricated tuple id that has no derivations.
+        let dnf = extract_polynomial(
+            &graph,
+            p3_datalog::engine::TupleId(999),
+            ExtractOptions::unbounded(),
+        );
+        assert!(dnf.is_false());
+    }
+}

@@ -1,0 +1,57 @@
+//! The clause ↔ Boolean-variable correspondence.
+//!
+//! Under the distribution semantics each program clause — base tuple or
+//! rule — is one independent Boolean random variable. We keep the mapping
+//! maximally simple: **variable `i` is clause `i`** ([`p3_prob::VarId`] and
+//! [`p3_datalog::ast::ClauseId`] share indices), and the [`VarTable`] is
+//! built from the program in clause order, named by clause labels.
+
+use p3_datalog::ast::ClauseId;
+use p3_datalog::program::Program;
+use p3_prob::{VarId, VarTable};
+
+/// Builds the variable table for `program`: one variable per clause, in
+/// clause order, named by the clause label, with the clause probability.
+pub fn clause_vars(program: &Program) -> VarTable {
+    let mut table = VarTable::new();
+    for (_, clause) in program.iter() {
+        table.add(clause.label.clone(), clause.prob);
+    }
+    table
+}
+
+/// The variable for a clause.
+#[inline]
+pub fn var_of(clause: ClauseId) -> VarId {
+    VarId(clause.0)
+}
+
+/// The clause for a variable.
+#[inline]
+pub fn clause_of(var: VarId) -> ClauseId {
+    ClauseId(var.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_mirrors_clause_order_labels_and_probs() {
+        let p = Program::parse(
+            "r1 0.8: q(X) :- p(X).
+             t1 0.4: p(a).
+             t2 0.6: p(b).",
+        )
+        .unwrap();
+        let vars = clause_vars(&p);
+        assert_eq!(vars.len(), 3);
+        assert_eq!(vars.name(VarId(0)), "r1");
+        assert_eq!(vars.prob(VarId(0)), 0.8);
+        assert_eq!(vars.name(VarId(1)), "t1");
+        assert_eq!(vars.prob(VarId(2)), 0.6);
+        let r1 = p.clause_by_label("r1").unwrap();
+        assert_eq!(var_of(r1), VarId(0));
+        assert_eq!(clause_of(VarId(0)), r1);
+    }
+}

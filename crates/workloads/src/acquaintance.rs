@@ -1,0 +1,43 @@
+//! The Acquaintance running example (Fig 2 of the paper).
+
+use p3_datalog::program::Program;
+
+/// The Fig 2 source text, verbatim.
+pub const SOURCE: &str = r#"
+r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+r2 0.4: know(P1,P2) :- like(P1,L), like(P2,L), P1 != P2.
+r3 0.2: know(P1,P3) :- know(P1,P2), know(P2,P3), P1 != P3.
+t1 1.0: live("Steve","DC").
+t2 1.0: live("Elena","DC").
+t3 1.0: live("Mary","NYC").
+t4 0.4: like("Steve","Veggies").
+t5 0.6: like("Elena","Veggies").
+t6 1.0: know("Ben","Steve").
+"#;
+
+/// The paper's flagship query.
+pub const QUERY: &str = r#"know("Ben","Elena")"#;
+
+/// Parses the Acquaintance program.
+pub fn program() -> Program {
+    Program::parse(SOURCE).expect("the Fig 2 program is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_has_nine_clauses() {
+        let p = program();
+        assert_eq!(p.len(), 9);
+        assert_eq!(p.clauses().iter().filter(|c| c.is_rule()).count(), 3);
+    }
+
+    #[test]
+    fn exact_success_probability_is_within_the_oracle() {
+        let p = program();
+        let oracle = p3_datalog::worlds::success_probability_str(&p, QUERY).unwrap();
+        assert!((oracle - 0.16384).abs() < 1e-9, "got {oracle}");
+    }
+}

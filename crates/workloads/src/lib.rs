@@ -1,0 +1,21 @@
+//! # p3-workloads
+//!
+//! Workload generators for the P3 evaluation:
+//!
+//! * [`acquaintance`] — the running example of §2.1 (Fig 2);
+//! * [`trust`] — the Mutual Trust case study (§5.2) and the synthetic
+//!   Bitcoin-OTC-like network behind the §6 performance experiments
+//!   (the real SNAP dataset is unavailable offline; the generator matches
+//!   its size, degree skew and weight range — see DESIGN.md);
+//! * [`vqa`] — the Visual Question Answering case study (§5.1), with the
+//!   paper's planted `sim` data bug;
+//! * [`random_programs`] — random small PLP programs for oracle-based
+//!   property testing.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod acquaintance;
+pub mod random_programs;
+pub mod trust;
+pub mod vqa;

@@ -1,0 +1,213 @@
+//! The Visual Question Answering case study (§5.1).
+//!
+//! The paper rewrites a PSL-based VQA pipeline into the four-rule ProbLog
+//! program of Fig 5: image tuples (`hasImg`), parsed-question tuples
+//! (`hasQ`), word-similarity tuples (`sim`) and a dictionary (`word`)
+//! combine into scored answers (`ans`). Provenance queries then *debug* a
+//! wrong answer: in the paper's narrative, a photo of a church (with a
+//! cross) is still answered "barn" because the underlying Word2Vec
+//! similarities are skewed — `sim("church","cross")` is far *below*
+//! `sim("barn","cross")` — and a Modification Query computes the fix.
+//!
+//! The real inputs (Word2Vec vectors, an image-captioning system) are not
+//! available offline; this module plants an equivalent synthetic instance:
+//! the Table 3 scene, a small dictionary, and a similarity table with the
+//! paper's exact bug (`sim(church,cross) = 0.09` vs `sim(barn,cross) =
+//! 0.30`). The schema follows Fig 4: `hasImg(V, Object, Rel, Region)`,
+//! `hasQ(V, Region, Subject, QType)` — so rule r4's three `sim` joins are
+//! precisely the ones Fig 4 displays (`sim(barn,horse)`,
+//! `sim(building,in)`, `sim(background,background)`).
+
+use p3_datalog::program::Program;
+use std::fmt::Write as _;
+
+/// The four VQA rules (Fig 5, with the paper's OCR-damaged variable wiring
+/// reconstructed; see the module docs and DESIGN.md).
+pub const RULES: &str = r#"
+r1 0.8: hasImgAns(V,Z,X1,R1,Y1) :- word(V,Z), hasImg(V,X1,R1,Y1), sim(Z,X1).
+r2 0.1: candidate(V,Z) :- word(V,Z).
+r3 0.9: candidate(V,Z) :- word(V,Z), hasQ(V,X,R,Q), hasImgAns(V,Z,X1,R1,Y1), sim(R,R1), sim(X,Y1).
+r4 0.9: ans(V,Z) :- candidate(V,Z), hasQ(V,X,R,"WHAT"), hasImg(V,Z1,R1,X1), sim(Z,Z1), sim(R,R1), sim(X,X1).
+"#;
+
+/// The queried answer tuples.
+pub const ANS_BARN: &str = r#"ans("ID1","barn")"#;
+/// See [`ANS_BARN`].
+pub const ANS_CHURCH: &str = r#"ans("ID1","church")"#;
+
+/// A VQA input instance: scene, question, dictionary and similarities.
+#[derive(Clone, Debug)]
+pub struct VqaInstance {
+    /// `(object, relation, region, confidence)` — the captioning output.
+    pub scene: Vec<(String, String, String, f64)>,
+    /// `(region, subject)` of the WHAT-question.
+    pub question: (String, String),
+    /// Dictionary words with prior confidence.
+    pub words: Vec<(String, f64)>,
+    /// `(a, b, similarity)` word-similarity entries.
+    pub sims: Vec<(String, String, f64)>,
+}
+
+impl VqaInstance {
+    /// Renders the instance plus the Fig 5 rules as program source.
+    ///
+    /// Fact labels are structured (`img_*`, `q_1`, `w_<word>`,
+    /// `sim_<a>_<b>`) so case-study code can address clauses by name.
+    pub fn to_source(&self) -> String {
+        let mut src = String::from(RULES);
+        for (i, (obj, rel, region, p)) in self.scene.iter().enumerate() {
+            let _ = writeln!(src, "img_{i} {p}: hasImg(\"ID1\",\"{obj}\",\"{rel}\",\"{region}\").");
+        }
+        let (region, subject) = &self.question;
+        let _ = writeln!(src, "q_1 1.0: hasQ(\"ID1\",\"{region}\",\"{subject}\",\"WHAT\").");
+        for (word, p) in &self.words {
+            let _ = writeln!(src, "w_{word} {p}: word(\"ID1\",\"{word}\").");
+        }
+        for (a, b, p) in &self.sims {
+            let _ = writeln!(src, "sim_{a}_{b} {p}: sim(\"{a}\",\"{b}\").");
+        }
+        src
+    }
+
+    /// Parses the rendered program.
+    pub fn to_program(&self) -> Program {
+        Program::parse(&self.to_source()).expect("generated VQA program is valid")
+    }
+
+    /// The label of the similarity clause for `(a, b)`, if present.
+    pub fn sim_label(&self, a: &str, b: &str) -> Option<String> {
+        self.sims
+            .iter()
+            .find(|(x, y, _)| x == a && y == b)
+            .map(|(x, y, _)| format!("sim_{x}_{y}"))
+    }
+}
+
+fn s(x: &str) -> String {
+    x.to_string()
+}
+
+/// The church photo of Fig 6 captured as Table 3, with the paper's buggy
+/// similarity table: `ans("ID1","barn")` wins even though the image shows a
+/// church with a cross.
+pub fn church_image_buggy() -> VqaInstance {
+    VqaInstance {
+        scene: vec![
+            // Table 3, verbatim.
+            (s("horse"), s("color"), s("brown"), 1.0),
+            (s("horse"), s("in"), s("field"), 0.88),
+            (s("cloud"), s("in"), s("sky"), 0.85),
+            (s("building"), s("with"), s("roof"), 0.5),
+            (s("cross"), s("on"), s("building"), 1.0),
+        ],
+        question: (s("background"), s("building")),
+        words: vec![(s("barn"), 0.5), (s("church"), 0.5), (s("house"), 0.5)],
+        sims: buggy_sims(),
+    }
+}
+
+/// The same instance with the Modification Query's fix applied:
+/// `sim(church,cross)` raised from 0.09 by +0.42 to 0.51 (§5.1, Query 1C).
+pub fn church_image_fixed() -> VqaInstance {
+    let mut instance = church_image_buggy();
+    for (a, b, p) in &mut instance.sims {
+        if a == "church" && b == "cross" {
+            *p = 0.51;
+        }
+    }
+    instance
+}
+
+/// The original barn photo of Fig 4: a horse in the background makes
+/// "barn" the (correct) top answer.
+pub fn barn_image() -> VqaInstance {
+    VqaInstance {
+        scene: vec![
+            (s("horse"), s("in"), s("background"), 0.9),
+            (s("building"), s("in"), s("background"), 0.7),
+        ],
+        question: (s("background"), s("building")),
+        words: vec![(s("barn"), 0.5), (s("church"), 0.5), (s("house"), 0.5)],
+        sims: buggy_sims(),
+    }
+}
+
+/// The similarity table with the paper's planted data bug: "barn" is
+/// suspiciously similar to everything in the photo ("cross": 0.30,
+/// "horse": 0.35, "cloud": 0.33) while "church" is not ("cross": 0.09,
+/// "horse": 0.19, "cloud": 0.01).
+fn buggy_sims() -> Vec<(String, String, f64)> {
+    let mut sims: Vec<(String, String, f64)> = Vec::new();
+    let mut add = |a: &str, b: &str, p: f64| sims.push((s(a), s(b), p));
+
+    // Word ↔ image-object similarities (§5.1's reported values).
+    add("barn", "cross", 0.30);
+    add("barn", "horse", 0.35);
+    add("barn", "cloud", 0.33);
+    add("barn", "building", 0.40);
+    add("church", "cross", 0.09); // ← the bug: far below sim(barn, cross)
+    add("church", "horse", 0.19);
+    add("church", "cloud", 0.01);
+    add("church", "building", 0.35);
+    add("house", "cross", 0.10);
+    add("house", "horse", 0.15);
+    add("house", "cloud", 0.05);
+    add("house", "building", 0.45);
+
+    // Question-subject ↔ image-relation similarities (Fig 4 shows
+    // sim("building","in") participating in the top derivation).
+    add("building", "in", 0.20);
+    add("building", "on", 0.40);
+    add("building", "with", 0.20);
+    add("building", "color", 0.01);
+
+    // Question-region ↔ image-region similarities.
+    add("background", "background", 1.0);
+    add("background", "field", 0.35);
+    add("background", "sky", 0.25);
+    add("background", "roof", 0.20);
+    add("background", "building", 0.60);
+    add("background", "brown", 0.05);
+
+    sims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3_datalog::engine::Engine;
+
+    fn derives(program: &Program, query: &str) -> bool {
+        let db = Engine::new(program).run_plain();
+        let (pred, args) = p3_datalog::worlds::parse_ground_query(program, query).unwrap();
+        db.lookup(pred, &args).is_some()
+    }
+
+    #[test]
+    fn programs_parse_and_derive_answers() {
+        for instance in [barn_image(), church_image_buggy(), church_image_fixed()] {
+            let p = instance.to_program();
+            assert!(derives(&p, ANS_BARN), "barn answer derivable");
+            assert!(derives(&p, ANS_CHURCH), "church answer derivable");
+        }
+    }
+
+    #[test]
+    fn sim_labels_resolve() {
+        let instance = church_image_buggy();
+        let label = instance.sim_label("church", "cross").unwrap();
+        assert_eq!(label, "sim_church_cross");
+        let p = instance.to_program();
+        let id = p.clause_by_label(&label).unwrap();
+        assert!((p.clause(id).prob - 0.09).abs() < 1e-12);
+        assert!(instance.sim_label("church", "zebra").is_none());
+    }
+
+    #[test]
+    fn fixed_instance_raises_the_similarity() {
+        let fixed = church_image_fixed();
+        let p = fixed.to_program();
+        let id = p.clause_by_label("sim_church_cross").unwrap();
+        assert!((p.clause(id).prob - 0.51).abs() < 1e-12);
+    }
+}

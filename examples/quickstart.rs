@@ -1,0 +1,85 @@
+//! Quickstart: load a ProbLog-like program, evaluate it with provenance,
+//! and run all four P3 query types.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use p3::core::{
+    influence_query, modification_query, sufficient_provenance, DerivationAlgo, InfluenceMethod,
+    InfluenceOptions, ModificationOptions, ProbMethod, P3,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example (Fig 2): who may know whom.
+    let p3 = P3::from_source(
+        r#"
+        r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+        r2 0.4: know(P1,P2) :- like(P1,L), like(P2,L), P1 != P2.
+        r3 0.2: know(P1,P3) :- know(P1,P2), know(P2,P3), P1 != P3.
+        t1 1.0: live("Steve","DC").
+        t2 1.0: live("Elena","DC").
+        t3 1.0: live("Mary","NYC").
+        t4 0.4: like("Steve","Veggies").
+        t5 0.6: like("Elena","Veggies").
+        t6 1.0: know("Ben","Steve").
+    "#,
+    )?;
+    let query = r#"know("Ben","Elena")"#;
+
+    // 1. Explanation Query: how is the tuple derived, and how likely is it?
+    let explanation = p3.explain(query)?;
+    println!("--- Explanation Query ---");
+    println!("derivations of {query}:\n{}", explanation.text);
+    println!("provenance polynomial: {}", p3.render_polynomial(&explanation.polynomial));
+    println!("success probability:   {:.5}\n", explanation.probability);
+
+    // 2. Derivation Query: the most important derivations within ε.
+    let suff = sufficient_provenance(
+        &explanation.polynomial,
+        p3.vars(),
+        0.01,
+        DerivationAlgo::NaiveGreedy,
+        ProbMethod::Exact,
+    );
+    println!("--- Derivation Query (eps = 0.01) ---");
+    println!(
+        "kept {} of {} derivations: {}",
+        suff.polynomial.len(),
+        suff.original_len,
+        p3.render_polynomial(&suff.polynomial)
+    );
+    println!("approximate probability: {:.5} (error {:.5})\n", suff.probability, suff.error);
+
+    // 3. Influence Query: which clauses matter most?
+    let influences = influence_query(
+        &explanation.polynomial,
+        p3.vars(),
+        &InfluenceOptions { method: InfluenceMethod::Exact, top_k: Some(3), ..Default::default() },
+    );
+    println!("--- Influence Query (top 3) ---");
+    for entry in &influences {
+        println!("  {:<4} influence = {:.4}", p3.vars().name(entry.var), entry.influence);
+    }
+    println!();
+
+    // 4. Modification Query: reach P = 0.5 with minimal total change.
+    let plan = modification_query(
+        &explanation.polynomial,
+        p3.vars(),
+        0.5,
+        &ModificationOptions::default(),
+    );
+    println!("--- Modification Query (target P = 0.5) ---");
+    for step in &plan.steps {
+        println!(
+            "  set {} from {:.3} to {:.3}  (P becomes {:.4})",
+            p3.vars().name(step.var),
+            step.from,
+            step.to,
+            step.resulting_probability
+        );
+    }
+    println!("total cost: {:.4}; reached target: {}", plan.total_cost, plan.reached_target);
+    Ok(())
+}

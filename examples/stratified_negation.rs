@@ -1,0 +1,67 @@
+//! The engine-level stratified-negation extension (the paper's §8 future
+//! work): evaluate programs with `\+`, compute success probabilities via
+//! the possible-worlds semantics, and see why the provenance facade
+//! declines them.
+//!
+//! ```sh
+//! cargo run --example stratified_negation
+//! ```
+
+use p3::core::{P3, P3Error};
+use p3::datalog::engine::Engine;
+use p3::datalog::worlds;
+use p3::datalog::Program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Which hosts are exposed? A host is *exposed* when it is reachable
+    // from the internet and no firewall rule covers it. Reachability is
+    // probabilistic (flaky links), firewall coverage is data.
+    let src = r#"
+        r1 1.0: reach(X) :- entry(X).
+        r2 1.0: reach(Y) :- reach(X), link(X,Y).
+        r3 1.0: exposed(X) :- reach(X), \+ firewalled(X).
+        t1 1.0: entry(gateway).
+        l1 0.9: link(gateway,web).
+        l2 0.7: link(web,db).
+        l3 0.4: link(gateway,db).
+        f1 1.0: firewalled(db).
+    "#;
+    let program = Program::parse(src)?;
+    println!("strata: {} (negation forces two evaluation passes)", program.num_strata());
+
+    // Deterministic view: evaluate with every clause present.
+    let db = Engine::new(&program).run_plain();
+    let exposed = program.symbols().get("exposed").unwrap();
+    println!("\nexposed hosts (full program):");
+    for &t in db.relation(exposed).unwrap().tuples() {
+        println!("  {}", db.display_tuple(t, program.symbols()));
+    }
+
+    // Probabilistic view: the possible-worlds semantics still applies —
+    // negation is evaluated per world.
+    println!("\nsuccess probabilities (possible-worlds enumeration):");
+    for q in ["exposed(gateway)", "exposed(web)", "exposed(db)", "reach(db)"] {
+        let p = worlds::success_probability_str(&program, q)?;
+        println!("  P[{q}] = {p:.4}");
+    }
+    // exposed(db) is 0: db is always firewalled. reach(db) is
+    // 1 − (1−0.9·0.7)(1−0.4) = 0.778.
+
+    // The provenance model is monotone, so P3 refuses — with a clear error.
+    match P3::from_source(src) {
+        Err(P3Error::UnsupportedNegation) => {
+            println!("\nP3 provenance queries correctly decline this program:");
+            println!("  {}", P3Error::UnsupportedNegation);
+        }
+        Err(e) => panic!("expected UnsupportedNegation, got {e}"),
+        Ok(_) => panic!("expected UnsupportedNegation, got a system"),
+    }
+
+    // Unstratified negation is rejected at validation time.
+    let paradox = r"r1 1.0: win(X) :- move(X,Y), \+ win(Y). move(a,b). move(b,a).";
+    match Program::parse(paradox) {
+        Err(e) => println!("\nunstratified program rejected: {e}"),
+        Ok(_) => panic!("the win/move paradox must not validate"),
+    }
+    Ok(())
+}

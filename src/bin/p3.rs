@@ -1,0 +1,437 @@
+//! The `p3` command-line tool: evaluate a ProbLog-like program with
+//! provenance and run the four P3 query types from the shell.
+//!
+//! ```sh
+//! p3 program.pl --query 'know("Ben","Elena")' --explain
+//! p3 program.pl --query 'know("Ben","Elena")' --prob mc --samples 200000
+//! p3 program.pl --query 'know("Ben","Elena")' --derivation 0.01
+//! p3 program.pl --query 'know("Ben","Elena")' --influence 5
+//! p3 program.pl --query 'know("Ben","Elena")' --modify 0.5 --facts-only
+//! p3 program.pl --stats
+//! ```
+
+use p3::core::{
+    influence_query, modification_query, sufficient_provenance, DerivationAlgo, InfluenceMethod,
+    InfluenceOptions, ModificationOptions, ProbMethod, Strategy, P3,
+};
+use p3::prob::McConfig;
+use p3::provenance::extract::ExtractOptions;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+p3 — provenance queries for probabilistic logic programs
+
+USAGE:
+    p3 <PROGRAM.pl> [OPTIONS]
+
+OPTIONS:
+    --query <ATOM>         ground atom to analyse, e.g. 'know(\"Ben\",\"Elena\")'
+    --explain              print the derivation tree of the queried tuple
+    --dot <FILE>           write the provenance subgraph as Graphviz dot
+    --prob <METHOD>        success probability: exact | bdd | mc | kl | pmc
+    --derivation <EPS>     sufficient provenance within error EPS
+    --algo <A>             derivation algorithm: greedy (default) | resuciu
+    --influence [K]        top-K most influential clauses (default K = 10)
+    --modify <TARGET>      minimal-cost plan reaching probability TARGET
+    --facts-only           restrict modification/influence to base tuples
+    --strategy <S>         modification strategy: greedy (default) | random
+    --hop-limit <N>        cap provenance extraction depth
+    --samples <N>          Monte-Carlo samples (default 100000)
+    --seed <N>             Monte-Carlo seed (default 7033)
+    --threads <N>          threads for pmc (default: available cores, max 16)
+    --stats                print engine and provenance statistics
+    --help                 show this help
+";
+
+#[derive(Debug)]
+struct Options {
+    program_path: String,
+    query: Option<String>,
+    explain: bool,
+    dot: Option<String>,
+    prob: Option<String>,
+    derivation: Option<f64>,
+    algo: DerivationAlgo,
+    influence: Option<usize>,
+    modify: Option<f64>,
+    facts_only: bool,
+    strategy: Strategy,
+    hop_limit: Option<usize>,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+    stats: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        program_path: String::new(),
+        query: None,
+        explain: false,
+        dot: None,
+        prob: None,
+        derivation: None,
+        algo: DerivationAlgo::NaiveGreedy,
+        influence: None,
+        modify: None,
+        facts_only: false,
+        strategy: Strategy::Greedy,
+        hop_limit: None,
+        samples: 100_000,
+        seed: 0x7033,
+        threads: p3::prob::parallel::default_threads(),
+        stats: false,
+    };
+    let mut it = args.iter().peekable();
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+                     flag: &str|
+     -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--query" => opts.query = Some(value(&mut it, "--query")?),
+            "--explain" => opts.explain = true,
+            "--dot" => opts.dot = Some(value(&mut it, "--dot")?),
+            "--prob" => opts.prob = Some(value(&mut it, "--prob")?),
+            "--derivation" => {
+                let v = value(&mut it, "--derivation")?;
+                opts.derivation =
+                    Some(v.parse().map_err(|_| format!("bad epsilon '{v}'"))?);
+            }
+            "--algo" => {
+                opts.algo = match value(&mut it, "--algo")?.as_str() {
+                    "greedy" => DerivationAlgo::NaiveGreedy,
+                    "resuciu" => DerivationAlgo::ReSuciu,
+                    other => return Err(format!("unknown algorithm '{other}'")),
+                }
+            }
+            "--influence" => {
+                // Optional numeric argument.
+                let k = match it.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        v.parse().map_err(|_| format!("bad top-K '{v}'"))?
+                    }
+                    _ => 10,
+                };
+                opts.influence = Some(k);
+            }
+            "--modify" => {
+                let v = value(&mut it, "--modify")?;
+                opts.modify = Some(v.parse().map_err(|_| format!("bad target '{v}'"))?);
+            }
+            "--facts-only" => opts.facts_only = true,
+            "--strategy" => {
+                opts.strategy = match value(&mut it, "--strategy")?.as_str() {
+                    "greedy" => Strategy::Greedy,
+                    "random" => Strategy::Random { seed: opts.seed },
+                    other => return Err(format!("unknown strategy '{other}'")),
+                }
+            }
+            "--hop-limit" => {
+                let v = value(&mut it, "--hop-limit")?;
+                opts.hop_limit =
+                    Some(v.parse().map_err(|_| format!("bad hop limit '{v}'"))?);
+            }
+            "--samples" => {
+                let v = value(&mut it, "--samples")?;
+                opts.samples = v.parse().map_err(|_| format!("bad sample count '{v}'"))?;
+            }
+            "--seed" => {
+                let v = value(&mut it, "--seed")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--threads" => {
+                let v = value(&mut it, "--threads")?;
+                opts.threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+            }
+            "--stats" => opts.stats = true,
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            path => {
+                if opts.program_path.is_empty() {
+                    opts.program_path = path.to_string();
+                } else {
+                    return Err(format!("unexpected argument '{path}'"));
+                }
+            }
+        }
+    }
+    if opts.program_path.is_empty() {
+        return Err("no program file given\n\n".to_string() + USAGE);
+    }
+    Ok(opts)
+}
+
+fn prob_method(opts: &Options) -> Result<ProbMethod, String> {
+    let cfg = McConfig { samples: opts.samples, seed: opts.seed };
+    match opts.prob.as_deref().unwrap_or("exact") {
+        "exact" => Ok(ProbMethod::Exact),
+        "bdd" => Ok(ProbMethod::Bdd),
+        "mc" => Ok(ProbMethod::MonteCarlo(cfg)),
+        "kl" => Ok(ProbMethod::KarpLuby(cfg)),
+        "pmc" => Ok(ProbMethod::ParallelMc(cfg, opts.threads)),
+        other => Err(format!("unknown probability method '{other}'")),
+    }
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let source = std::fs::read_to_string(&opts.program_path)
+        .map_err(|e| format!("cannot read {}: {e}", opts.program_path))?;
+    let system = P3::from_source(&source).map_err(|e| e.to_string())?;
+    let extract = match opts.hop_limit {
+        Some(limit) => ExtractOptions::with_max_depth(limit),
+        None => ExtractOptions::unbounded(),
+    };
+    let method = prob_method(opts)?;
+
+    if opts.stats {
+        let graph = system.graph();
+        println!("clauses:            {}", system.program().len());
+        println!("tuples derived:     {}", system.database().len());
+        println!("provenance tuples:  {}", graph.num_tuples());
+        println!("rule executions:    {}", graph.num_execs());
+        println!("provenance edges:   {}", graph.num_edges());
+    }
+
+    let Some(query) = &opts.query else {
+        if !opts.stats {
+            return Err("nothing to do: pass --query or --stats".to_string());
+        }
+        return Ok(());
+    };
+
+    let dnf = system.provenance_with(query, extract).map_err(|e| e.to_string())?;
+    let p = method.probability(&dnf, system.vars());
+    println!("P[{query}] = {p:.6}   ({} derivations)", dnf.len());
+
+    if opts.explain {
+        let explanation = system
+            .explain_with(query, method, extract)
+            .map_err(|e| e.to_string())?;
+        println!("\nderivations:\n{}", explanation.text);
+        println!("polynomial: {}", system.render_polynomial(&dnf));
+    }
+
+    if let Some(path) = &opts.dot {
+        let tuple = system.tuple(query).map_err(|e| e.to_string())?;
+        let dot = p3::provenance::dot::to_dot(
+            system.graph(),
+            system.database(),
+            system.program(),
+            tuple,
+        );
+        std::fs::write(path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("provenance graph written to {path}");
+    }
+
+    if let Some(eps) = opts.derivation {
+        let suff = sufficient_provenance(&dnf, system.vars(), eps, opts.algo, method);
+        println!(
+            "\nsufficient provenance (eps = {eps}): kept {}/{} derivations, P = {:.6} \
+             (error {:.6})",
+            suff.polynomial.len(),
+            suff.original_len,
+            suff.probability,
+            suff.error
+        );
+        println!("λS = {}", system.render_polynomial(&suff.polynomial));
+    }
+
+    let facts_filter = || -> Vec<p3::prob::VarId> {
+        system
+            .program()
+            .iter()
+            .filter(|(_, c)| c.is_fact())
+            .map(|(id, _)| p3::provenance::vars::var_of(id))
+            .collect()
+    };
+
+    if let Some(k) = opts.influence {
+        let cfg = McConfig { samples: opts.samples, seed: opts.seed };
+        let ranked = influence_query(
+            &dnf,
+            system.vars(),
+            &InfluenceOptions {
+                method: InfluenceMethod::Mc(cfg),
+                top_k: Some(k),
+                restrict_to: opts.facts_only.then(facts_filter),
+                ..Default::default()
+            },
+        );
+        println!("\ntop-{k} influential clauses:");
+        for (i, e) in ranked.iter().enumerate() {
+            let clause = system.program().clause(p3::provenance::vars::clause_of(e.var));
+            println!(
+                "  {:>2}. {:<12} {}  influence = {:.4}",
+                i + 1,
+                system.vars().name(e.var),
+                clause.head.display(system.program().symbols()),
+                e.influence
+            );
+        }
+    }
+
+    if let Some(target) = opts.modify {
+        let plan = modification_query(
+            &dnf,
+            system.vars(),
+            target,
+            &ModificationOptions {
+                modifiable: opts.facts_only.then(facts_filter),
+                strategy: opts.strategy,
+                ..Default::default()
+            },
+        );
+        println!("\nmodification plan (target P = {target}):");
+        for (i, s) in plan.steps.iter().enumerate() {
+            println!(
+                "  step {}: {} {:.4} -> {:.4}   (P = {:.4})",
+                i + 1,
+                system.vars().name(s.var),
+                s.from,
+                s.to,
+                s.resulting_probability
+            );
+        }
+        println!(
+            "  total cost = {:.4}; achieved P = {:.4}; reached target: {}",
+            plan.total_cost, plan.achieved_probability, plan.reached_target
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let opts = parse_args(&args(&[
+            "prog.pl",
+            "--query",
+            "p(a)",
+            "--explain",
+            "--prob",
+            "mc",
+            "--samples",
+            "5000",
+            "--influence",
+            "3",
+            "--modify",
+            "0.5",
+            "--facts-only",
+            "--hop-limit",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(opts.program_path, "prog.pl");
+        assert_eq!(opts.query.as_deref(), Some("p(a)"));
+        assert!(opts.explain);
+        assert_eq!(opts.prob.as_deref(), Some("mc"));
+        assert_eq!(opts.samples, 5000);
+        assert_eq!(opts.influence, Some(3));
+        assert_eq!(opts.modify, Some(0.5));
+        assert!(opts.facts_only);
+        assert_eq!(opts.hop_limit, Some(4));
+    }
+
+    #[test]
+    fn influence_defaults_to_ten() {
+        let opts = parse_args(&args(&["p.pl", "--influence", "--explain"])).unwrap();
+        assert_eq!(opts.influence, Some(10));
+        assert!(opts.explain);
+    }
+
+    #[test]
+    fn missing_program_is_an_error() {
+        assert!(parse_args(&args(&["--query", "p(a)"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let err = parse_args(&args(&["p.pl", "--frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown option"));
+    }
+
+    #[test]
+    fn run_executes_all_queries_end_to_end() {
+        let dir = std::env::temp_dir().join("p3_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let program = dir.join("acq.pl");
+        std::fs::write(
+            &program,
+            r#"r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+               t1 1.0: live("Steve","DC").
+               t2 1.0: live("Elena","DC")."#,
+        )
+        .unwrap();
+        let dot = dir.join("out.dot");
+        let opts = parse_args(&args(&[
+            program.to_str().unwrap(),
+            "--query",
+            r#"know("Steve","Elena")"#,
+            "--explain",
+            "--stats",
+            "--derivation",
+            "0.01",
+            "--influence",
+            "3",
+            "--modify",
+            "0.9",
+            "--dot",
+            dot.to_str().unwrap(),
+            "--samples",
+            "20000",
+        ]))
+        .unwrap();
+        run(&opts).unwrap();
+        let rendered = std::fs::read_to_string(&dot).unwrap();
+        assert!(rendered.starts_with("digraph"));
+    }
+
+    #[test]
+    fn run_reports_missing_file() {
+        let opts = parse_args(&args(&["/definitely/not/a/file.pl", "--stats"])).unwrap();
+        let err = run(&opts).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn prob_method_parses_all_variants() {
+        for (name, want_exact) in
+            [("exact", true), ("bdd", false), ("mc", false), ("kl", false), ("pmc", false)]
+        {
+            let opts =
+                parse_args(&args(&["p.pl", "--prob", name])).unwrap();
+            let m = prob_method(&opts).unwrap();
+            assert_eq!(matches!(m, ProbMethod::Exact), want_exact, "{name}");
+        }
+        let opts = parse_args(&args(&["p.pl", "--prob", "nope"])).unwrap();
+        assert!(prob_method(&opts).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # P3 — Provenance for Probabilistic Logic Programs
+//!
+//! A from-scratch Rust reproduction of *"Provenance for Probabilistic Logic
+//! Programs"* (EDBT 2020). This facade crate re-exports the whole stack:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`datalog`] | `p3-datalog` | ProbLog-like language, parser, semi-naive engine, possible-worlds oracle, stratified negation |
+//! | [`prob`] | `p3-prob` | DNF provenance polynomials, exact (Shannon/BDD) and Monte-Carlo probability |
+//! | [`provenance`] | `p3-provenance` | graph capture, ExSPAN-style rewriting, cycle-eliminating extraction, SLD resolution |
+//! | [`core`] | `p3-core` | the [`core::P3`] system facade and the four query types |
+//! | [`workloads`] | `p3-workloads` | Acquaintance, synthetic Bitcoin-OTC trust network, synthetic VQA |
+//!
+//! Start with [`core::P3`]:
+//!
+//! ```
+//! use p3::core::{P3, ProbMethod};
+//!
+//! let system = P3::from_source(r#"
+//!     r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+//!     t1 1.0: live("Steve","DC").
+//!     t2 1.0: live("Elena","DC").
+//! "#).unwrap();
+//! let p = system.probability(r#"know("Steve","Elena")"#, ProbMethod::Exact).unwrap();
+//! assert!((p - 0.8).abs() < 1e-12);
+//! ```
+//!
+//! See `README.md` for the architecture, `docs/TUTORIAL.md` for a guided
+//! tour, `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured evaluation.
+
+#![warn(missing_docs)]
+
+pub use p3_core as core;
+pub use p3_datalog as datalog;
+pub use p3_prob as prob;
+pub use p3_provenance as provenance;
+pub use p3_workloads as workloads;

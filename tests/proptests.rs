@@ -1,0 +1,194 @@
+//! Property-based tests over the whole stack.
+
+use p3::core::{sufficient_provenance, DerivationAlgo, ProbMethod};
+use p3::prob::{exact, mc, Dnf, McConfig, Monomial, VarId, VarTable};
+use proptest::prelude::*;
+
+/// Strategy: a variable table of `n` variables with arbitrary probabilities
+/// and a DNF over them.
+fn dnf_and_table(
+    max_vars: usize,
+    max_monomials: usize,
+) -> impl Strategy<Value = (Dnf, VarTable)> {
+    (2..=max_vars).prop_flat_map(move |nvars| {
+        let probs = proptest::collection::vec(0.0f64..=1.0, nvars);
+        let monomials = proptest::collection::vec(
+            proptest::collection::vec(0..nvars as u32, 1..=3),
+            1..=max_monomials,
+        );
+        (probs, monomials).prop_map(|(probs, monomials)| {
+            let mut table = VarTable::new();
+            for (i, p) in probs.iter().enumerate() {
+                table.add(format!("x{i}"), *p);
+            }
+            let dnf = Dnf::new(
+                monomials
+                    .into_iter()
+                    .map(|lits| Monomial::new(lits.into_iter().map(VarId).collect()))
+                    .collect(),
+            );
+            (dnf, table)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_probability_is_in_unit_interval((dnf, vars) in dnf_and_table(6, 6)) {
+        let p = exact::probability(&dnf, &vars);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn shannon_identity_holds((dnf, vars) in dnf_and_table(6, 6)) {
+        // P[λ] = p(x)·P[λ|x=1] + (1−p(x))·P[λ|x=0] for every variable.
+        let p = exact::probability(&dnf, &vars);
+        for x in dnf.vars() {
+            let px = vars.prob(x);
+            let hi = exact::probability(&dnf.restrict(x, true), &vars);
+            let lo = exact::probability(&dnf.restrict(x, false), &vars);
+            prop_assert!((p - (px * hi + (1.0 - px) * lo)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bdd_wmc_equals_shannon((dnf, vars) in dnf_and_table(7, 7)) {
+        let shannon = exact::probability(&dnf, &vars);
+        let mut bdd = p3::prob::bdd::Bdd::new();
+        let node = bdd.from_dnf(&dnf);
+        prop_assert!((bdd.wmc(node, &vars) - shannon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotonicity_under_or((dnf, vars) in dnf_and_table(6, 5), extra in proptest::collection::vec(0..6u32, 1..=2)) {
+        // Adding a derivation can only increase the probability.
+        let p = exact::probability(&dnf, &vars);
+        let extra: Vec<VarId> = extra.into_iter().filter(|&v| (v as usize) < vars.len()).map(VarId).collect();
+        prop_assume!(!extra.is_empty());
+        let bigger = dnf.or(&Dnf::new(vec![Monomial::new(extra)]));
+        let p2 = exact::probability(&bigger, &vars);
+        prop_assert!(p2 >= p - 1e-12, "{p2} < {p}");
+    }
+
+    #[test]
+    fn restriction_brackets_the_probability((dnf, vars) in dnf_and_table(6, 6)) {
+        // For monotone formulas: P[λ|x=0] ≤ P[λ] ≤ P[λ|x=1].
+        let p = exact::probability(&dnf, &vars);
+        for x in dnf.vars() {
+            let hi = exact::probability(&dnf.restrict(x, true), &vars);
+            let lo = exact::probability(&dnf.restrict(x, false), &vars);
+            prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn absorption_preserves_probability((dnf, vars) in dnf_and_table(6, 6)) {
+        // Re-normalising an already-normalised formula (or re-adding absorbed
+        // monomials) never changes its probability: λ + λ·extra ≡ λ.
+        let p = exact::probability(&dnf, &vars);
+        let mut monomials = dnf.monomials().to_vec();
+        if let Some(first) = dnf.monomials().first() {
+            let mut lits = first.literals().to_vec();
+            lits.push(dnf.vars()[0]);
+            monomials.push(Monomial::new(lits));
+        }
+        let redundant = Dnf::new(monomials);
+        prop_assert!((exact::probability(&redundant, &vars) - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sufficient_provenance_respects_eps(
+        (dnf, vars) in dnf_and_table(6, 6),
+        eps in 0.0f64..0.3,
+    ) {
+        for algo in [DerivationAlgo::NaiveGreedy, DerivationAlgo::ReSuciu] {
+            let s = sufficient_provenance(&dnf, &vars, eps, algo, ProbMethod::Exact);
+            prop_assert!(s.error <= eps + 1e-9, "{algo:?}: {} > {eps}", s.error);
+            // λS is a sub-formula.
+            for m in s.polynomial.monomials() {
+                prop_assert!(dnf.monomials().contains(m));
+            }
+        }
+    }
+
+    #[test]
+    fn influence_bounds_hold((dnf, vars) in dnf_and_table(6, 6)) {
+        // 0 ≤ Inf_x ≤ 1 for monotone formulas, and Eq. 16 reconstructs P.
+        let p = exact::probability(&dnf, &vars);
+        for x in dnf.vars() {
+            let inf = p3::core::query::influence::exact_influence(&dnf, &vars, x);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&inf));
+            let lo = exact::probability(&dnf.restrict(x, false), &vars);
+            prop_assert!((p - (inf * vars.prob(x) + lo)).abs() < 1e-9, "Eq. 16");
+        }
+    }
+
+    #[test]
+    fn mc_estimate_brackets_exact((dnf, vars) in dnf_and_table(5, 4)) {
+        let p = exact::probability(&dnf, &vars);
+        let est = mc::estimate(&dnf, &vars, McConfig { samples: 60_000, seed: 1234 });
+        // 60k samples: generous 4-sigma band plus slack for tiny p.
+        let sigma = (p * (1.0 - p) / 60_000.0).sqrt();
+        prop_assert!((est - p).abs() < 4.0 * sigma + 0.01, "est {est} vs exact {p}");
+    }
+
+    #[test]
+    fn karp_luby_brackets_exact((dnf, vars) in dnf_and_table(5, 4)) {
+        let p = exact::probability(&dnf, &vars);
+        let est = mc::karp_luby(&dnf, &vars, McConfig { samples: 60_000, seed: 99 });
+        prop_assert!((est - p).abs() < 0.02, "est {est} vs exact {p}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in "\\PC{0,200}") {
+        // Any input must produce Ok or a structured error — never a panic.
+        let _ = p3::datalog::Program::parse(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_clause_shaped_input(
+        head in "[a-z][a-z0-9_]{0,8}",
+        args in "[A-Za-z0-9_,\"\\. ]{0,30}",
+        p in 0.0f64..1.5,
+    ) {
+        let _ = p3::datalog::Program::parse(&format!("{p}::{head}({args})."));
+        let _ = p3::datalog::Program::parse(&format!("x1 {p}: {head}({args}) :- {head}({args})."));
+    }
+
+    #[test]
+    fn parser_round_trips_generated_programs(seed in 0u64..500) {
+        let program = p3::workloads::random_programs::generate(
+            p3::workloads::random_programs::RandomConfig { seed, ..Default::default() },
+        );
+        let reparsed = p3::datalog::Program::parse(&program.to_source()).unwrap();
+        prop_assert_eq!(program.to_source(), reparsed.to_source());
+    }
+
+    #[test]
+    fn modification_reaches_reachable_targets(
+        (dnf, vars) in dnf_and_table(5, 4),
+        t in 0.05f64..0.95,
+    ) {
+        use p3::core::{modification_query, ModificationOptions};
+        let plan = modification_query(
+            &dnf,
+            &vars,
+            t,
+            &ModificationOptions { tolerance: 1e-6, ..Default::default() },
+        );
+        // Cost bookkeeping is always consistent.
+        let recomputed: f64 = plan.steps.iter().map(|s| (s.to - s.from).abs()).sum();
+        prop_assert!((plan.total_cost - recomputed).abs() < 1e-9);
+        // If the plan claims success, the modified table really achieves it.
+        if plan.reached_target {
+            let p = exact::probability(&dnf, &plan.modified_vars);
+            prop_assert!((p - t).abs() < 1e-5, "claimed {t}, got {p}");
+        }
+    }
+}

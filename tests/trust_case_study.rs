@@ -1,0 +1,139 @@
+//! §5.2 reproduction: the Mutual Trust case study on the Fig 8 scenario
+//! with the Table 5 probabilities.
+
+use p3::core::{
+    influence_query, modification_query, InfluenceMethod, InfluenceOptions, ModificationOptions,
+    P3, Strategy,
+};
+use p3::prob::VarId;
+use p3::workloads::trust;
+
+fn system() -> P3 {
+    P3::from_source(&trust::case_study_source()).expect("case study loads")
+}
+
+fn base_tuple_vars(p3: &P3) -> Vec<VarId> {
+    p3.program()
+        .iter()
+        .filter(|(_, c)| c.is_fact())
+        .map(|(id, _)| p3::provenance::vars::var_of(id))
+        .collect()
+}
+
+#[test]
+fn query2a_provenance_graph_matches_fig8() {
+    let p3 = system();
+    let exp = p3.explain(trust::CASE_STUDY_QUERY).unwrap();
+    // mutualTrustPath(1,6) = r3 · trustPath(1,6) · trustPath(6,1);
+    // trustPath(1,6) has two (acyclic) derivations, trustPath(6,1) one —
+    // so the polynomial has exactly two monomials.
+    assert_eq!(exp.num_derivations, 2);
+    // Exact probability (paper reports 0.3524 from Monte-Carlo).
+    assert!((exp.probability - 0.354942).abs() < 1e-9, "got {}", exp.probability);
+
+    let tp16 = p3.explain("trustPath(1,6)").unwrap();
+    assert_eq!(tp16.num_derivations, 2, "paths 1->2->6 and 1->13->2->6");
+    let tp61 = p3.explain("trustPath(6,1)").unwrap();
+    assert_eq!(tp61.num_derivations, 1, "single path 6->2->1");
+}
+
+#[test]
+fn query2b_influence_ranking_matches_the_paper() {
+    let p3 = system();
+    let dnf = p3.provenance(trust::CASE_STUDY_QUERY).unwrap();
+    let ranked = influence_query(
+        &dnf,
+        p3.vars(),
+        &InfluenceOptions {
+            method: InfluenceMethod::Exact,
+            restrict_to: Some(base_tuple_vars(&p3)),
+            ..Default::default()
+        },
+    );
+    // trust(6,2) first with ~0.51, trust(2,6) second with ~0.48.
+    assert_eq!(p3.vars().name(ranked[0].var), "t5", "t5 is trust(6,2)");
+    assert!((ranked[0].influence - 0.50706).abs() < 1e-5, "{}", ranked[0].influence);
+    assert_eq!(p3.vars().name(ranked[1].var), "t4", "t4 is trust(2,6)");
+    assert!((ranked[1].influence - 0.47329).abs() < 1e-4, "{}", ranked[1].influence);
+    // The paper's footnote: trust(6,2) outranks trust(2,1) because
+    // P[trust(2,1)] = 0.9 is nearly certain already.
+    let t2_rank = ranked.iter().position(|e| p3.vars().name(e.var) == "t2").unwrap();
+    assert!(t2_rank > 1);
+}
+
+#[test]
+fn query2c_greedy_plan_matches_table6() {
+    let p3 = system();
+    let dnf = p3.provenance(trust::CASE_STUDY_QUERY).unwrap();
+    let plan = modification_query(
+        &dnf,
+        p3.vars(),
+        0.7,
+        &ModificationOptions {
+            modifiable: Some(base_tuple_vars(&p3)),
+            tolerance: 1e-6,
+            ..Default::default()
+        },
+    );
+    assert!(plan.reached_target);
+    // Table 6: trust(6,2) → 1.0, trust(2,6) → 1.0, trust(2,1) → ~0.93.
+    let names: Vec<&str> = plan.steps.iter().map(|s| p3.vars().name(s.var)).collect();
+    assert_eq!(names, vec!["t5", "t4", "t2"], "same order as Table 6");
+    assert_eq!(plan.steps[0].to, 1.0);
+    assert_eq!(plan.steps[1].to, 1.0);
+    assert!((plan.steps[2].to - 0.93).abs() < 0.01, "paper: 0.93, got {}", plan.steps[2].to);
+    // Total change ≈ 0.58.
+    assert!((plan.total_cost - 0.58).abs() < 0.02, "paper: 0.58, got {}", plan.total_cost);
+}
+
+#[test]
+fn query2c_random_baseline_costs_more() {
+    let p3 = system();
+    let dnf = p3.provenance(trust::CASE_STUDY_QUERY).unwrap();
+    let greedy = modification_query(
+        &dnf,
+        p3.vars(),
+        0.7,
+        &ModificationOptions {
+            modifiable: Some(base_tuple_vars(&p3)),
+            tolerance: 1e-6,
+            ..Default::default()
+        },
+    );
+    let mut worse = 0usize;
+    let mut total = 0usize;
+    for seed in 0..20u64 {
+        let plan = modification_query(
+            &dnf,
+            p3.vars(),
+            0.7,
+            &ModificationOptions {
+                modifiable: Some(base_tuple_vars(&p3)),
+                strategy: Strategy::Random { seed },
+                tolerance: 1e-6,
+                ..Default::default()
+            },
+        );
+        if plan.reached_target {
+            total += 1;
+            if plan.total_cost >= greedy.total_cost - 1e-9 {
+                worse += 1;
+            }
+        }
+    }
+    assert!(total > 10, "most random runs should reach the target");
+    assert_eq!(worse, total, "greedy is never beaten on this instance");
+}
+
+#[test]
+fn trust_rules_derive_expected_relations_on_a_synthetic_sample() {
+    let net = trust::generate(trust::NetworkConfig { nodes: 60, edges: 240, seed: 2, ..trust::NetworkConfig::default() });
+    let sample = net.sample_bfs(30, 3);
+    let p3 = P3::from_program(sample.to_program()).expect("negation-free program");
+    let symbols = p3.program().symbols();
+    let trust_pred = symbols.get("trust").unwrap();
+    let tp = symbols.get("trustPath").unwrap();
+    let n_trust = p3.database().relation(trust_pred).unwrap().len();
+    let n_tp = p3.database().relation(tp).map(|r| r.len()).unwrap_or(0);
+    assert!(n_tp >= n_trust, "every trust edge is a one-hop trustPath (r1)");
+}
