@@ -42,7 +42,10 @@ fn bench_backends(c: &mut Criterion) {
                 bdd.wmc(node, &vars)
             })
         });
-        let cfg = McConfig { samples: 10_000, seed: 3 };
+        let cfg = McConfig {
+            samples: 10_000,
+            seed: 3,
+        };
         group.bench_with_input(BenchmarkId::new("mc_naive_10k", k), &k, |b, _| {
             b.iter(|| mc::estimate(&dnf, &vars, cfg))
         });

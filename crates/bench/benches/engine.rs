@@ -7,7 +7,12 @@ use p3_provenance::capture::CaptureSink;
 use p3_workloads::trust::{self, NetworkConfig};
 
 fn bench_engine(c: &mut Criterion) {
-    let net = trust::generate(NetworkConfig { nodes: 2000, edges: 10_000, seed: 5, ..NetworkConfig::default() });
+    let net = trust::generate(NetworkConfig {
+        nodes: 2000,
+        edges: 10_000,
+        seed: 5,
+        ..NetworkConfig::default()
+    });
     let mut group = c.benchmark_group("engine");
     group.sample_size(10);
     for &size in &[30usize, 60, 90] {

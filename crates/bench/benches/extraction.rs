@@ -7,11 +7,20 @@ use p3_provenance::extract::{ExtractOptions, Extractor};
 use p3_workloads::trust::{self, NetworkConfig};
 
 fn bench_extraction(c: &mut Criterion) {
-    let net = trust::generate(NetworkConfig { nodes: 2000, edges: 10_000, seed: 5, ..NetworkConfig::default() });
+    let net = trust::generate(NetworkConfig {
+        nodes: 2000,
+        edges: 10_000,
+        seed: 5,
+        ..NetworkConfig::default()
+    });
     let sample = net.sample_bfs(80, 13);
     let p3 = P3::from_program(sample.to_program()).expect("negation-free program");
-    let Some(pred) = p3.program().symbols().get("trustPath") else { return };
-    let Some(rel) = p3.database().relation(pred) else { return };
+    let Some(pred) = p3.program().symbols().get("trustPath") else {
+        return;
+    };
+    let Some(rel) = p3.database().relation(pred) else {
+        return;
+    };
     let tuples: Vec<_> = rel.tuples().iter().copied().take(20).collect();
 
     let mut group = c.benchmark_group("extraction");
@@ -21,7 +30,11 @@ fn bench_extraction(c: &mut Criterion) {
             b.iter(|| {
                 tuples
                     .iter()
-                    .map(|&t| extractor.polynomial(t, ExtractOptions::with_max_depth(d)).len())
+                    .map(|&t| {
+                        extractor
+                            .polynomial(t, ExtractOptions::with_max_depth(d))
+                            .len()
+                    })
                     .sum::<usize>()
             })
         });

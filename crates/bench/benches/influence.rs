@@ -16,7 +16,11 @@ fn random_dnf(nvars: usize, nmono: usize, seed: u64) -> (Dnf, VarTable) {
     let monomials = (0..nmono)
         .map(|_| {
             let len = rng.random_range(2..=4usize);
-            Monomial::new((0..len).map(|_| VarId(rng.random_range(0..nvars) as u32)).collect())
+            Monomial::new(
+                (0..len)
+                    .map(|_| VarId(rng.random_range(0..nvars) as u32))
+                    .collect(),
+            )
         })
         .collect();
     (Dnf::new(monomials), vars)
@@ -24,17 +28,26 @@ fn random_dnf(nvars: usize, nmono: usize, seed: u64) -> (Dnf, VarTable) {
 
 fn bench_influence(c: &mut Criterion) {
     let (dnf, vars) = random_dnf(40, 60, 17);
-    let cfg = McConfig { samples: 5_000, seed: 3 };
+    let cfg = McConfig {
+        samples: 5_000,
+        seed: 3,
+    };
     let x = dnf.vars()[0];
 
     let mut group = c.benchmark_group("influence");
-    group.bench_function("single_exact", |b| b.iter(|| exact_influence(&dnf, &vars, x)));
-    group.bench_function("single_mc_5k", |b| b.iter(|| mc::influence(&dnf, &vars, x, cfg)));
+    group.bench_function("single_exact", |b| {
+        b.iter(|| exact_influence(&dnf, &vars, x))
+    });
+    group.bench_function("single_mc_5k", |b| {
+        b.iter(|| mc::influence(&dnf, &vars, x, cfg))
+    });
     group.sample_size(10);
     for &threads in &[1usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("all_literals_mc", threads), &threads, |b, &t| {
-            b.iter(|| parallel::influence_all(&dnf, &vars, cfg, t))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("all_literals_mc", threads),
+            &threads,
+            |b, &t| b.iter(|| parallel::influence_all(&dnf, &vars, cfg, t)),
+        );
     }
     group.finish();
 }

@@ -1,0 +1,177 @@
+//! Repeated-query workload: the same tuple queried N times, directly (the
+//! uncached seed path: extract + rank per call) versus through a
+//! [`QuerySession`] (hash-consed store + memo tables; the first call pays,
+//! later calls are lookups).
+//!
+//! Besides the criterion groups, `main` records first-vs-repeat wall times
+//! to `BENCH_query_session.json` at the repository root; the repeat path
+//! must be ≥ 5× faster than the uncached path.
+
+use criterion::{criterion_group, Criterion};
+use p3_core::{InfluenceMethod, InfluenceOptions, ProbMethod, P3};
+use p3_workloads::random_programs::{all_derived_queries, generate, RandomConfig};
+use std::time::{Duration, Instant};
+
+/// A random program with a reasonably tangled derived tuple: the query
+/// whose polynomial has the most monomials.
+fn workload() -> (P3, String) {
+    let program = generate(RandomConfig {
+        domain: 4,
+        facts: 14,
+        rules: 7,
+        recursion_bias: 0.6,
+        seed: 20_200_817,
+    });
+    let queries = all_derived_queries(&program);
+    let p3 = P3::from_program(program).expect("workload program evaluates");
+    let query = queries
+        .iter()
+        .max_by_key(|q| p3.provenance(q).map(|d| d.monomials().len()).unwrap_or(0))
+        .expect("workload derives at least one tuple")
+        .clone();
+    (p3, query)
+}
+
+fn influence_opts() -> InfluenceOptions {
+    InfluenceOptions {
+        method: InfluenceMethod::Exact,
+        ..Default::default()
+    }
+}
+
+fn bench_repeated_queries(c: &mut Criterion) {
+    let (p3, query) = workload();
+    let opts = influence_opts();
+
+    let mut group = c.benchmark_group("query_session");
+    // Seed path: every call re-extracts the polynomial and re-ranks
+    // every literal from scratch.
+    group.bench_function("influence_uncached", |b| {
+        b.iter(|| {
+            let dnf = p3.provenance(&query).unwrap();
+            p3_core::influence_query(&dnf, p3.vars(), &opts)
+        })
+    });
+    // Session first call: extraction + ranking once, through the store.
+    group.bench_function("influence_session_first", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let session = p3.session();
+                let start = Instant::now();
+                session.influence(&query, &opts).unwrap();
+                total += start.elapsed();
+            }
+            total
+        })
+    });
+    // Session repeat: pure cache hit.
+    let warm = p3.session();
+    warm.influence(&query, &opts).unwrap();
+    group.bench_function("influence_session_repeat", |b| {
+        b.iter(|| warm.influence(&query, &opts).unwrap())
+    });
+    group.bench_function("probability_uncached", |b| {
+        b.iter(|| p3.probability(&query, ProbMethod::Exact).unwrap())
+    });
+    group.bench_function("probability_session_repeat", |b| {
+        b.iter(|| warm.probability(&query, ProbMethod::Exact).unwrap())
+    });
+    group.finish();
+}
+
+/// Median wall time of `runs` executions of `f`, in nanoseconds.
+fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Records the headline numbers the acceptance criteria care about.
+fn record_json() {
+    let (p3, query) = workload();
+    let opts = influence_opts();
+    const RUNS: usize = 25;
+
+    // Uncached seed path, per call.
+    let uncached_influence = median_ns(RUNS, || {
+        let dnf = p3.provenance(&query).unwrap();
+        p3_core::influence_query(&dnf, p3.vars(), &opts);
+    });
+    let uncached_probability = median_ns(RUNS, || {
+        p3.probability(&query, ProbMethod::Exact).unwrap();
+    });
+
+    // Session: first call per fresh session, then repeats on a warm one.
+    let first_influence = median_ns(RUNS, || {
+        p3.session().influence(&query, &opts).unwrap();
+    });
+    let session = p3.session();
+    session.influence(&query, &opts).unwrap();
+    session.probability(&query, ProbMethod::Exact).unwrap();
+    let repeat_influence = median_ns(RUNS * 40, || {
+        session.influence(&query, &opts).unwrap();
+    });
+    let repeat_probability = median_ns(RUNS * 40, || {
+        session.probability(&query, ProbMethod::Exact).unwrap();
+    });
+
+    let speedup_vs_uncached = uncached_influence / repeat_influence.max(1.0);
+    let speedup_vs_first = first_influence / repeat_influence.max(1.0);
+    let json = format!(
+        r#"{{
+  "workload": {{
+    "program": "random_programs(domain=4, facts=14, rules=7, recursion_bias=0.6, seed=20200817)",
+    "query": "{query}",
+    "monomials": {monomials},
+    "literals": {literals}
+  }},
+  "influence_exact_ns": {{
+    "uncached_per_call": {uncached_influence:.0},
+    "session_first_call": {first_influence:.0},
+    "session_repeat_call": {repeat_influence:.0},
+    "speedup_repeat_vs_uncached": {speedup_vs_uncached:.1},
+    "speedup_repeat_vs_first": {speedup_vs_first:.1}
+  }},
+  "probability_exact_ns": {{
+    "uncached_per_call": {uncached_probability:.0},
+    "session_repeat_call": {repeat_probability:.0},
+    "speedup_repeat_vs_uncached": {speedup_prob:.1}
+  }},
+  "acceptance": {{
+    "required_speedup": 5.0,
+    "achieved": {achieved}
+  }}
+}}
+"#,
+        query = query,
+        monomials = p3.provenance(&query).unwrap().monomials().len(),
+        literals = p3.provenance(&query).unwrap().vars().len(),
+        speedup_prob = uncached_probability / repeat_probability.max(1.0),
+        achieved = speedup_vs_uncached >= 5.0,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_query_session.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_query_session.json");
+    println!("wrote {path}:\n{json}");
+    assert!(
+        speedup_vs_uncached >= 5.0,
+        "repeat influence must be >= 5x faster than the uncached path \
+         (got {speedup_vs_uncached:.1}x)"
+    );
+}
+
+criterion_group!(benches, bench_repeated_queries);
+
+fn main() {
+    benches();
+    record_json();
+}

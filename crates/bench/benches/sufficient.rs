@@ -16,7 +16,11 @@ fn random_dnf(nvars: usize, nmono: usize, seed: u64) -> (Dnf, VarTable) {
     let monomials = (0..nmono)
         .map(|_| {
             let len = rng.random_range(2..=4usize);
-            Monomial::new((0..len).map(|_| VarId(rng.random_range(0..nvars) as u32)).collect())
+            Monomial::new(
+                (0..len)
+                    .map(|_| VarId(rng.random_range(0..nvars) as u32))
+                    .collect(),
+            )
         })
         .collect();
     (Dnf::new(monomials), vars)
@@ -25,18 +29,19 @@ fn random_dnf(nvars: usize, nmono: usize, seed: u64) -> (Dnf, VarTable) {
 fn bench_sufficient(c: &mut Criterion) {
     let mut group = c.benchmark_group("sufficient_provenance");
     group.sample_size(10);
-    let method = ProbMethod::MonteCarlo(McConfig { samples: 5_000, seed: 4 });
+    let method = ProbMethod::MonteCarlo(McConfig {
+        samples: 5_000,
+        seed: 4,
+    });
     for &nmono in &[20usize, 80] {
         let (dnf, vars) = random_dnf(30, nmono, 23);
         for (name, algo) in [
             ("naive_greedy", DerivationAlgo::NaiveGreedy),
             ("re_suciu", DerivationAlgo::ReSuciu),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, nmono),
-                &nmono,
-                |b, _| b.iter(|| sufficient_provenance(&dnf, &vars, 0.02, algo, method)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, nmono), &nmono, |b, _| {
+                b.iter(|| sufficient_provenance(&dnf, &vars, 0.02, algo, method))
+            });
         }
     }
     group.finish();

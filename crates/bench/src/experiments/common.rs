@@ -9,7 +9,10 @@ use p3_workloads::trust::{self, NetworkConfig, TrustNetwork};
 
 /// The base synthetic OTC-like network (full Bitcoin-OTC dimensions).
 pub fn base_network(scale: &Scale) -> TrustNetwork {
-    trust::generate(NetworkConfig { seed: scale.seed, ..NetworkConfig::default() })
+    trust::generate(NetworkConfig {
+        seed: scale.seed,
+        ..NetworkConfig::default()
+    })
 }
 
 /// The §6.2 sample: ~150 nodes from the base network, evaluated with
@@ -40,12 +43,19 @@ pub fn trust_query_setup(scale: &Scale) -> TrustQuerySetup {
         let sample = net.sample_bfs(150, scale.seed ^ (0xa5a5 + attempt));
         let program = sample.to_program();
         let p3 = P3::from_program(program).expect("negation-free program");
-        let Some((tuple, polynomial)) = largest_polynomial(&p3) else { continue };
+        let Some((tuple, polynomial)) = largest_polynomial(&p3) else {
+            continue;
+        };
         let query = format!(
             "{}",
             p3.database().display_tuple(tuple, p3.program().symbols())
         );
-        let candidate = TrustQuerySetup { p3, tuple, polynomial, query };
+        let candidate = TrustQuerySetup {
+            p3,
+            tuple,
+            polynomial,
+            query,
+        };
         let better = best
             .as_ref()
             .map(|b| candidate.polynomial.len() > b.polynomial.len())
@@ -67,14 +77,22 @@ fn largest_polynomial(p3: &P3) -> Option<(TupleId, Dnf)> {
     const SCAN_CAP: usize = 400;
     let mut best: Option<(TupleId, Dnf)> = None;
     for pred_name in ["mutualTrustPath", "trustPath"] {
-        let Some(pred) = p3.program().symbols().get(pred_name) else { continue };
-        let Some(rel) = p3.database().relation(pred) else { continue };
+        let Some(pred) = p3.program().symbols().get(pred_name) else {
+            continue;
+        };
+        let Some(rel) = p3.database().relation(pred) else {
+            continue;
+        };
         for &t in rel.tuples().iter().take(SCAN_CAP) {
             let dnf = extractor.polynomial(t, opts);
             if dnf.is_false() {
                 continue;
             }
-            if best.as_ref().map(|(_, b)| dnf.len() > b.len()).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|(_, b)| dnf.len() > b.len())
+                .unwrap_or(true)
+            {
                 best = Some((t, dnf));
             }
         }

@@ -26,7 +26,13 @@ pub fn run(scale: &Scale) -> Report {
     let mut report = Report::new(
         "fig10",
         "Figure 10: provenance query time vs maintenance time (hop limit 4)",
-        &["sample size", "maintenance (s)", "query total (s)", "#queries", "avg polynomial size"],
+        &[
+            "sample size",
+            "maintenance (s)",
+            "query total (s)",
+            "#queries",
+            "avg polynomial size",
+        ],
     );
 
     for &size in &scale.fig9_sizes {
@@ -47,18 +53,30 @@ pub fn run(scale: &Scale) -> Report {
                 let extractor = Extractor::new(p3.graph());
                 chosen
                     .iter()
-                    .map(|&t| extractor.polynomial(t, ExtractOptions::with_max_depth(DEPTH)).len())
+                    .map(|&t| {
+                        extractor
+                            .polynomial(t, ExtractOptions::with_max_depth(DEPTH))
+                            .len()
+                    })
                     .collect::<Vec<_>>()
             });
             query += t_query.as_secs_f64();
             queries += sizes.len();
             poly_sizes += sizes.iter().sum::<usize>();
         }
-        let avg_size = if queries > 0 { poly_sizes as f64 / queries as f64 } else { 0.0 };
+        let avg_size = if queries > 0 {
+            poly_sizes as f64 / queries as f64
+        } else {
+            0.0
+        };
         report.row(vec![
             size.to_string(),
-            secs(std::time::Duration::from_secs_f64(maintenance / scale.repeats as f64)),
-            secs(std::time::Duration::from_secs_f64(query / scale.repeats as f64)),
+            secs(std::time::Duration::from_secs_f64(
+                maintenance / scale.repeats as f64,
+            )),
+            secs(std::time::Duration::from_secs_f64(
+                query / scale.repeats as f64,
+            )),
             (queries / scale.repeats.max(1)).to_string(),
             format!("{avg_size:.1}"),
         ]);
@@ -76,7 +94,12 @@ mod tests {
 
     #[test]
     fn query_times_are_recorded() {
-        let scale = Scale { fig9_sizes: vec![40], repeats: 1, mc_samples: 1000, seed: 5 };
+        let scale = Scale {
+            fig9_sizes: vec![40],
+            repeats: 1,
+            mc_samples: 1000,
+            seed: 5,
+        };
         let report = run(&scale);
         assert_eq!(report.rows.len(), 1);
         let maintenance: f64 = report.rows[0][1].parse().unwrap();

@@ -18,12 +18,22 @@ pub fn run(scale: &Scale) -> Report {
     let setup = trust_query_setup(scale);
     let dnf = &setup.polynomial;
     let vars = setup.p3.vars();
-    let method = ProbMethod::MonteCarlo(McConfig { samples: scale.mc_samples, seed: 11 });
+    let method = ProbMethod::MonteCarlo(McConfig {
+        samples: scale.mc_samples,
+        seed: 11,
+    });
 
     let mut report = Report::new(
         "fig11",
         "Figure 11: sufficient-provenance compression ratio vs approximation error",
-        &["eps (% of P)", "monomials kept", "of", "compression ratio %", "error", "time (s)"],
+        &[
+            "eps (% of P)",
+            "monomials kept",
+            "of",
+            "compression ratio %",
+            "error",
+            "time (s)",
+        ],
     );
     report.note(format!(
         "queried tuple: {} — polynomial has {} monomials over {} distinct literals",
@@ -35,9 +45,8 @@ pub fn run(scale: &Scale) -> Report {
     for &eps_frac in &EPS_SWEEP {
         let p_full = method.probability(dnf, vars);
         let eps = eps_frac * p_full;
-        let (suff, t) = time(|| {
-            sufficient_provenance(dnf, vars, eps, DerivationAlgo::NaiveGreedy, method)
-        });
+        let (suff, t) =
+            time(|| sufficient_provenance(dnf, vars, eps, DerivationAlgo::NaiveGreedy, method));
         report.row(vec![
             format!("{:.1}", eps_frac * 100.0),
             suff.polynomial.len().to_string(),

@@ -16,13 +16,20 @@ pub fn run(scale: &Scale) -> Report {
     let setup = trust_query_setup(scale);
     let dnf = &setup.polynomial;
     let vars = setup.p3.vars();
-    let cfg = McConfig { samples: scale.mc_samples, seed: 12 };
+    let cfg = McConfig {
+        samples: scale.mc_samples,
+        seed: 12,
+    };
 
     // Reference ranking on the full polynomial.
     let reference = influence_query(
         dnf,
         vars,
-        &InfluenceOptions { method: InfluenceMethod::Mc(cfg), top_k: Some(5), ..Default::default() },
+        &InfluenceOptions {
+            method: InfluenceMethod::Mc(cfg),
+            top_k: Some(5),
+            ..Default::default()
+        },
     );
     let top5: Vec<VarId> = reference.iter().map(|e| e.var).collect();
 
@@ -49,7 +56,10 @@ pub fn run(scale: &Scale) -> Report {
         let mut row = vec![format!("{:.1}", eps_frac * 100.0)];
         for v in &top5 {
             let rank = ranked.iter().position(|e| e.var == *v);
-            row.push(rank.map(|r| (r + 1).to_string()).unwrap_or_else(|| "-".into()));
+            row.push(
+                rank.map(|r| (r + 1).to_string())
+                    .unwrap_or_else(|| "-".into()),
+            );
         }
         report.row(row);
     }

@@ -16,13 +16,21 @@ pub fn run(scale: &Scale) -> Report {
     let setup = trust_query_setup(scale);
     let dnf = &setup.polynomial;
     let vars = setup.p3.vars();
-    let cfg = McConfig { samples: scale.mc_samples, seed: 13 };
+    let cfg = McConfig {
+        samples: scale.mc_samples,
+        seed: 13,
+    };
     let method = ProbMethod::MonteCarlo(cfg);
 
     let mut report = Report::new(
         "fig13",
         "Figure 13: influence time per literal on sufficient provenance",
-        &["eps (% of P)", "monomials", "literals", "influence time per literal (ms)"],
+        &[
+            "eps (% of P)",
+            "monomials",
+            "literals",
+            "influence time per literal (ms)",
+        ],
     );
     report.note(format!("queried tuple: {}", setup.query));
 
@@ -35,8 +43,14 @@ pub fn run(scale: &Scale) -> Report {
         let target = if eps_frac == 0.0 {
             dnf.clone()
         } else {
-            sufficient_provenance(dnf, vars, eps_frac * p_full, DerivationAlgo::NaiveGreedy, method)
-                .polynomial
+            sufficient_provenance(
+                dnf,
+                vars,
+                eps_frac * p_full,
+                DerivationAlgo::NaiveGreedy,
+                method,
+            )
+            .polynomial
         };
         let nvars = target.vars().len();
         if nvars == 0 {
@@ -68,11 +82,7 @@ mod tests {
     #[test]
     fn larger_eps_never_grows_the_polynomial() {
         let report = run(&Scale::quick());
-        let sizes: Vec<usize> = report
-            .rows
-            .iter()
-            .map(|r| r[1].parse().unwrap())
-            .collect();
+        let sizes: Vec<usize> = report.rows.iter().map(|r| r[1].parse().unwrap()).collect();
         for w in sizes.windows(2) {
             assert!(w[1] <= w[0], "{sizes:?}");
         }

@@ -17,13 +17,21 @@ pub fn run(scale: &Scale) -> Report {
     let setup = trust_query_setup(scale);
     let dnf = &setup.polynomial;
     let vars = setup.p3.vars();
-    let cfg = McConfig { samples: scale.mc_samples, seed: 14 };
+    let cfg = McConfig {
+        samples: scale.mc_samples,
+        seed: 14,
+    };
     let method = ProbMethod::MonteCarlo(cfg);
 
     let mut report = Report::new(
         "fig14",
         "Figure 14: total influence-query time on sufficient provenance",
-        &["eps (% of P)", "suff. prov. time (ms)", "influence time (ms)", "total (ms)"],
+        &[
+            "eps (% of P)",
+            "suff. prov. time (ms)",
+            "influence time (ms)",
+            "total (ms)",
+        ],
     );
     report.note(format!("queried tuple: {}", setup.query));
 
@@ -39,7 +47,13 @@ pub fn run(scale: &Scale) -> Report {
 
     for &eps_frac in &EPS_SWEEP {
         let (suff, t_suff) = time(|| {
-            sufficient_provenance(dnf, vars, eps_frac * p_full, DerivationAlgo::NaiveGreedy, method)
+            sufficient_provenance(
+                dnf,
+                vars,
+                eps_frac * p_full,
+                DerivationAlgo::NaiveGreedy,
+                method,
+            )
         });
         let (_, t_influence) = if suff.polynomial.is_false() {
             ((), std::time::Duration::ZERO)

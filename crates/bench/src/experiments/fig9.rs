@@ -16,7 +16,13 @@ pub fn run(scale: &Scale) -> Report {
     let mut report = Report::new(
         "fig9",
         "Figure 9: running time with and without provenance",
-        &["sample size", "no-prov time (s)", "with-prov time (s)", "overhead %", "tuples"],
+        &[
+            "sample size",
+            "no-prov time (s)",
+            "with-prov time (s)",
+            "overhead %",
+            "tuples",
+        ],
     );
 
     for &size in &scale.fig9_sizes {
@@ -48,7 +54,11 @@ pub fn run(scale: &Scale) -> Report {
         }
         no_prov /= scale.repeats as f64;
         with_prov /= scale.repeats as f64;
-        let overhead = if no_prov > 0.0 { (with_prov / no_prov - 1.0) * 100.0 } else { 0.0 };
+        let overhead = if no_prov > 0.0 {
+            (with_prov / no_prov - 1.0) * 100.0
+        } else {
+            0.0
+        };
         report.row(vec![
             size.to_string(),
             secs(std::time::Duration::from_secs_f64(no_prov)),
@@ -70,7 +80,12 @@ mod tests {
 
     #[test]
     fn produces_one_row_per_size_and_times_are_positive() {
-        let scale = Scale { fig9_sizes: vec![30, 60], repeats: 1, mc_samples: 1000, seed: 3 };
+        let scale = Scale {
+            fig9_sizes: vec![30, 60],
+            repeats: 1,
+            mc_samples: 1000,
+            seed: 3,
+        };
         let report = run(&scale);
         assert_eq!(report.rows.len(), 2);
         for row in &report.rows {

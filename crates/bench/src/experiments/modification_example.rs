@@ -16,7 +16,10 @@ pub fn run(_scale: &Scale) -> Report {
         &dnf,
         p3.vars(),
         0.5,
-        &ModificationOptions { tolerance: 1e-9, ..Default::default() },
+        &ModificationOptions {
+            tolerance: 1e-9,
+            ..Default::default()
+        },
     );
 
     let mut report = Report::new(

@@ -15,19 +15,32 @@ pub fn run(scale: &Scale) -> Report {
     let mut report = Report::new(
         "table2",
         "Table 2: influence ranking for know(\"Ben\",\"Elena\")",
-        &["rank", "variable", "influence (exact)", "influence (MC)", "paper"],
+        &[
+            "rank",
+            "variable",
+            "influence (exact)",
+            "influence (MC)",
+            "paper",
+        ],
     );
 
     let exact = influence_query(
         &dnf,
         p3.vars(),
-        &InfluenceOptions { method: InfluenceMethod::Exact, top_k: Some(3), ..Default::default() },
+        &InfluenceOptions {
+            method: InfluenceMethod::Exact,
+            top_k: Some(3),
+            ..Default::default()
+        },
     );
     let mc = influence_query(
         &dnf,
         p3.vars(),
         &InfluenceOptions {
-            method: InfluenceMethod::Mc(McConfig { samples: scale.mc_samples, seed: 42 }),
+            method: InfluenceMethod::Mc(McConfig {
+                samples: scale.mc_samples,
+                seed: 42,
+            }),
             top_k: Some(3),
             ..Default::default()
         },

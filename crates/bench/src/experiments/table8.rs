@@ -15,7 +15,10 @@ pub fn run(scale: &Scale) -> Report {
     let setup = trust_query_setup(scale);
     let dnf = &setup.polynomial;
     let vars = setup.p3.vars();
-    let cfg = McConfig { samples: scale.mc_samples, seed: 8 };
+    let cfg = McConfig {
+        samples: scale.mc_samples,
+        seed: 8,
+    };
     let threads = parallel::default_threads();
     let nvars = dnf.vars().len().max(1);
 

@@ -20,7 +20,10 @@ pub fn run(scale: &Scale) -> Report {
     let setup = trust_query_setup(scale);
     let dnf = &setup.polynomial;
     let vars = setup.p3.vars();
-    let cfg = McConfig { samples: scale.mc_samples, seed: 9 };
+    let cfg = McConfig {
+        samples: scale.mc_samples,
+        seed: 9,
+    };
     let threads = parallel::default_threads();
 
     // The paper reduces P by 0.5; clamp so the target stays valid.
@@ -38,7 +41,10 @@ pub fn run(scale: &Scale) -> Report {
             dnf,
             vars,
             target,
-            &ModificationOptions { eval: EvalMethod::McParallel(cfg, threads), ..opts_base.clone() },
+            &ModificationOptions {
+                eval: EvalMethod::McParallel(cfg, threads),
+                ..opts_base.clone()
+            },
         )
     });
     let ((plan_suff, suff_len), t_suff) = time(|| {

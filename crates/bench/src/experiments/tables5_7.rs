@@ -12,14 +12,16 @@ use crate::report::{f4, Report};
 use crate::Scale;
 use p3_core::{
     influence_query, modification_query, InfluenceMethod, InfluenceOptions, ModificationOptions,
-    P3, Strategy,
+    Strategy, P3,
 };
 use p3_workloads::trust;
 
 /// Runs the case study and returns one combined report.
 pub fn run(_scale: &Scale) -> Report {
     let p3 = P3::from_source(&trust::case_study_source()).expect("case study loads");
-    let dnf = p3.provenance(trust::CASE_STUDY_QUERY).expect("query derivable");
+    let dnf = p3
+        .provenance(trust::CASE_STUDY_QUERY)
+        .expect("query derivable");
 
     let mut report = Report::new(
         "tables5_7",
@@ -31,7 +33,10 @@ pub fn run(_scale: &Scale) -> Report {
     let influences = influence_query(
         &dnf,
         p3.vars(),
-        &InfluenceOptions { method: InfluenceMethod::Exact, ..Default::default() },
+        &InfluenceOptions {
+            method: InfluenceMethod::Exact,
+            ..Default::default()
+        },
     );
     let trust_only: Vec<_> = influences
         .iter()
@@ -72,7 +77,12 @@ pub fn run(_scale: &Scale) -> Report {
         report.row(vec![
             format!("greedy step {}", i + 1),
             tuple,
-            format!("{} -> {} (P={})", f4(s.from), f4(s.to), f4(s.resulting_probability)),
+            format!(
+                "{} -> {} (P={})",
+                f4(s.from),
+                f4(s.to),
+                f4(s.resulting_probability)
+            ),
             paper_greedy_row(i),
         ]);
     }
@@ -104,8 +114,18 @@ pub fn run(_scale: &Scale) -> Report {
     }
     let avg = costs.iter().sum::<f64>() / costs.len().max(1) as f64;
     let worst = costs.iter().cloned().fold(f64::NAN, f64::max);
-    report.row(vec!["random avg total".into(), "Σ|Δp|".into(), f4(avg), "1.36".into()]);
-    report.row(vec!["random worst total".into(), "Σ|Δp|".into(), f4(worst), "1.36".into()]);
+    report.row(vec![
+        "random avg total".into(),
+        "Σ|Δp|".into(),
+        f4(avg),
+        "1.36".into(),
+    ]);
+    report.row(vec![
+        "random worst total".into(),
+        "Σ|Δp|".into(),
+        f4(worst),
+        "1.36".into(),
+    ]);
     report.note(format!(
         "initial P = {} (paper: 0.3524 by MC; exact 0.354942); greedy reached {}",
         f4(greedy.initial_probability),
@@ -138,13 +158,24 @@ mod tests {
     fn case_study_reproduces_paper_tables() {
         let report = run(&Scale::quick());
         // Influence ranking: trust(6,2) then trust(2,6).
-        assert!(report.rows[0][1].contains("trust(6,2)"), "{:?}", report.rows[0]);
+        assert!(
+            report.rows[0][1].contains("trust(6,2)"),
+            "{:?}",
+            report.rows[0]
+        );
         assert_eq!(report.rows[0][2], "0.5071", "paper: 0.51");
-        assert!(report.rows[1][1].contains("trust(2,6)"), "{:?}", report.rows[1]);
+        assert!(
+            report.rows[1][1].contains("trust(2,6)"),
+            "{:?}",
+            report.rows[1]
+        );
         assert_eq!(report.rows[1][2], "0.4733", "paper: 0.48");
         // Greedy plan: same three steps as Table 6.
-        let steps: Vec<&Vec<String>> =
-            report.rows.iter().filter(|r| r[0].starts_with("greedy step")).collect();
+        let steps: Vec<&Vec<String>> = report
+            .rows
+            .iter()
+            .filter(|r| r[0].starts_with("greedy step"))
+            .collect();
         assert_eq!(steps.len(), 3);
         assert!(steps[0][1].contains("trust(6,2)"));
         assert!(steps[1][1].contains("trust(2,6)"));
@@ -154,7 +185,11 @@ mod tests {
         let cost: f64 = total[2].parse().unwrap();
         assert!((cost - 0.58).abs() < 0.02, "cost {cost}");
         // Random baseline is more expensive.
-        let avg = report.rows.iter().find(|r| r[0] == "random avg total").unwrap();
+        let avg = report
+            .rows
+            .iter()
+            .find(|r| r[0] == "random avg total")
+            .unwrap();
         let avg_cost: f64 = avg[2].parse().unwrap();
         assert!(avg_cost > cost, "random {avg_cost} vs greedy {cost}");
     }

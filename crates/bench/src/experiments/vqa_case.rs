@@ -14,7 +14,7 @@ use crate::report::{f4, Report};
 use crate::Scale;
 use p3_core::{
     influence_query, modification_query, InfluenceMethod, InfluenceOptions, ModificationOptions,
-    P3, ProbMethod,
+    ProbMethod, P3,
 };
 use p3_prob::VarId;
 use p3_workloads::vqa;
@@ -25,7 +25,9 @@ pub fn run(_scale: &Scale) -> Report {
     let p3 = P3::from_program(buggy.to_program()).expect("negation-free program");
 
     let barn_dnf = p3.provenance(vqa::ANS_BARN).expect("barn answer derivable");
-    let church_dnf = p3.provenance(vqa::ANS_CHURCH).expect("church answer derivable");
+    let church_dnf = p3
+        .provenance(vqa::ANS_CHURCH)
+        .expect("church answer derivable");
     let p_barn = ProbMethod::Exact.probability(&barn_dnf, p3.vars());
     let p_church = ProbMethod::Exact.probability(&church_dnf, p3.vars());
 
@@ -67,9 +69,13 @@ pub fn run(_scale: &Scale) -> Report {
 
     // Query 1C's fix: raise P[ans(church)] to P[ans(barn)] by modifying
     // sim(church,cross) only.
-    let sim_label = buggy.sim_label("church", "cross").expect("planted sim exists");
+    let sim_label = buggy
+        .sim_label("church", "cross")
+        .expect("planted sim exists");
     let sim_var = p3_provenance::vars::var_of(
-        p3.program().clause_by_label(&sim_label).expect("sim clause exists"),
+        p3.program()
+            .clause_by_label(&sim_label)
+            .expect("sim clause exists"),
     );
     let plan = modification_query(
         &church_dnf,
@@ -90,15 +96,23 @@ pub fn run(_scale: &Scale) -> Report {
     }
 
     // After the fix: church wins.
-    let fixed = P3::from_program(vqa::church_image_fixed().to_program()).expect("negation-free program");
-    let p_barn2 = fixed.probability(vqa::ANS_BARN, ProbMethod::Exact).expect("derivable");
-    let p_church2 = fixed.probability(vqa::ANS_CHURCH, ProbMethod::Exact).expect("derivable");
+    let fixed =
+        P3::from_program(vqa::church_image_fixed().to_program()).expect("negation-free program");
+    let p_barn2 = fixed
+        .probability(vqa::ANS_BARN, ProbMethod::Exact)
+        .expect("derivable");
+    let p_church2 = fixed
+        .probability(vqa::ANS_CHURCH, ProbMethod::Exact)
+        .expect("derivable");
     report.row(vec!["fixed".into(), "P[ans(barn)]".into(), f4(p_barn2)]);
     report.row(vec!["fixed".into(), "P[ans(church)]".into(), f4(p_church2)]);
     report.note(format!(
         "paper: sim(church,cross) raised by 0.42 to 0.51; our planted instance needs Δ={} \
          (the narrative — barn wins before the fix, church after — is reproduced)",
-        plan.steps.first().map(|s| f4(s.to - s.from)).unwrap_or_else(|| "-".into())
+        plan.steps
+            .first()
+            .map(|s| f4(s.to - s.from))
+            .unwrap_or_else(|| "-".into())
     ));
     report
 }
@@ -122,7 +136,11 @@ mod tests {
         // Before the fix, barn outranks church.
         assert!(get("buggy", "P[ans(barn)]") > get("buggy", "P[ans(church)]"));
         // Table 4: sim(church,cross) is the top unique influential literal.
-        let rank1 = report.rows.iter().find(|r| r[0] == "table4 rank 1").unwrap();
+        let rank1 = report
+            .rows
+            .iter()
+            .find(|r| r[0] == "table4 rank 1")
+            .unwrap();
         assert_eq!(rank1[1], "sim_church_cross");
         // After the fix, church outranks barn.
         assert!(get("fixed", "P[ans(church)]") > get("fixed", "P[ans(barn)]"));

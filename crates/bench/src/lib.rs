@@ -51,7 +51,12 @@ impl Scale {
 
     /// A fast smoke test.
     pub fn quick() -> Self {
-        Self { fig9_sizes: vec![50, 100], repeats: 1, mc_samples: 10_000, seed: 0xb17c01 }
+        Self {
+            fig9_sizes: vec![50, 100],
+            repeats: 1,
+            mc_samples: 10_000,
+            seed: 0xb17c01,
+        }
     }
 
     /// Parses `--full` / `--quick` from the process arguments.

@@ -28,15 +28,19 @@
 pub mod error;
 pub mod prob_method;
 pub mod query;
+pub mod session;
 pub mod system;
 
 pub use error::P3Error;
 pub use prob_method::ProbMethod;
-pub use query::derivation::{sufficient_provenance, DerivationAlgo, SufficientProvenance};
+pub use query::derivation::{
+    sufficient_provenance, sufficient_provenance_with, DerivationAlgo, SufficientProvenance,
+};
 pub use query::explanation::Explanation;
 pub use query::influence::{influence_query, InfluenceEntry, InfluenceMethod, InfluenceOptions};
 pub use query::modification::{
-    modification_query, EvalMethod, ModificationOptions, ModificationPlan, ModificationStep,
-    Strategy,
+    modification_query, modification_query_with, EvalMethod, ModificationEval, ModificationOptions,
+    ModificationPlan, ModificationStep, Strategy,
 };
+pub use session::{QuerySession, SessionStats};
 pub use system::P3;

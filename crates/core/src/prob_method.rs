@@ -8,7 +8,12 @@
 use p3_prob::{bdd::Bdd, exact, mc, parallel, Dnf, McConfig, VarTable};
 
 /// A probability computation strategy.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// `Eq`/`Hash` hold because every variant's payload is integral; query
+/// sessions key probability memo tables on `(DnfId, ProbMethod)`. This is
+/// sound for the Monte-Carlo variants because estimates are deterministic
+/// per [`McConfig::seed`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ProbMethod {
     /// Shannon expansion with independence factoring. Exact; may be
     /// expensive on large, tangled formulas.
@@ -57,8 +62,7 @@ mod tests {
         let a = vars.add("a", 0.5);
         let b = vars.add("b", 0.4);
         let c = vars.add("c", 0.2);
-        let dnf =
-            Dnf::new(vec![Monomial::new(vec![a, b]), Monomial::new(vec![a, c])]);
+        let dnf = Dnf::new(vec![Monomial::new(vec![a, b]), Monomial::new(vec![a, c])]);
         (dnf, vars)
     }
 
@@ -68,7 +72,10 @@ mod tests {
         let exact = ProbMethod::Exact.probability(&dnf, &vars);
         let bdd = ProbMethod::Bdd.probability(&dnf, &vars);
         assert!((exact - bdd).abs() < 1e-12);
-        let cfg = McConfig { samples: 200_000, seed: 1 };
+        let cfg = McConfig {
+            samples: 200_000,
+            seed: 1,
+        };
         for m in [
             ProbMethod::MonteCarlo(cfg),
             ProbMethod::KarpLuby(cfg),

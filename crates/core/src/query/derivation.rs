@@ -22,7 +22,7 @@ use p3_prob::{Dnf, Monomial, VarId, VarTable};
 use std::collections::HashMap;
 
 /// Algorithm choice for the Derivation Query.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum DerivationAlgo {
     /// Drop lowest-probability monomials while the error allows.
     #[default]
@@ -56,12 +56,31 @@ pub fn sufficient_provenance(
     algo: DerivationAlgo,
     method: ProbMethod,
 ) -> SufficientProvenance {
-    let original_probability = method.probability(dnf, vars);
+    sufficient_provenance_with(dnf, vars, eps, algo, &|d| method.probability(d, vars))
+}
+
+/// Like [`sufficient_provenance`], but probabilities of candidate
+/// sub-polynomials are computed by `prob` (over the same variable table as
+/// `vars`). Query sessions pass a memoizing evaluator here so repeated
+/// Derivation Queries — and the probability evaluations they share with
+/// other query classes — hit the session cache.
+///
+/// `vars` is still consulted directly for the closed-form monomial
+/// arithmetic inside [`DerivationAlgo::ReSuciu`]; `prob` must be consistent
+/// with it.
+pub fn sufficient_provenance_with(
+    dnf: &Dnf,
+    vars: &VarTable,
+    eps: f64,
+    algo: DerivationAlgo,
+    prob: &dyn Fn(&Dnf) -> f64,
+) -> SufficientProvenance {
+    let original_probability = prob(dnf);
     let polynomial = match algo {
-        DerivationAlgo::NaiveGreedy => naive_greedy(dnf, vars, eps, method, original_probability),
+        DerivationAlgo::NaiveGreedy => naive_greedy(dnf, vars, eps, prob, original_probability),
         DerivationAlgo::ReSuciu => re_suciu(dnf, vars, eps),
     };
-    let probability = method.probability(&polynomial, vars);
+    let probability = prob(&polynomial);
     let error = (original_probability - probability).max(0.0);
     let compression_ratio = if dnf.is_empty() {
         1.0
@@ -84,7 +103,7 @@ fn naive_greedy(
     dnf: &Dnf,
     vars: &VarTable,
     eps: f64,
-    method: ProbMethod,
+    prob: &dyn Fn(&Dnf) -> f64,
     p_full: f64,
 ) -> Dnf {
     if dnf.len() <= 1 {
@@ -95,7 +114,9 @@ fn naive_greedy(
     order.sort_by(|&a, &b| {
         let pa = dnf.monomials()[a].probability(vars);
         let pb = dnf.monomials()[b].probability(vars);
-        pb.partial_cmp(&pa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        pb.partial_cmp(&pa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     // Binary search over the kept-prefix length: P[prefix] is monotone in
     // the prefix, so the smallest admissible prefix is well-defined. This
@@ -103,7 +124,7 @@ fn naive_greedy(
     // result in O(log n) probability evaluations.
     let admissible = |keep: usize| -> bool {
         let kept = dnf.select(&order[..keep]);
-        p_full - method.probability(&kept, vars) <= eps
+        p_full - prob(&kept) <= eps
     };
     let (mut lo, mut hi) = (1usize, dnf.len());
     if admissible(0) {
@@ -137,8 +158,7 @@ fn re_suciu(dnf: &Dnf, vars: &VarTable, eps: f64) -> Dnf {
     // the match in closed form, the full formula via Shannon (falling back
     // to the match-only bound when the formula is too tangled).
     let p_match = match_probability(&matched, vars);
-    let p_full = p3_prob::exact::try_probability(dnf, vars, 1 << 20)
-        .unwrap_or(f64::NAN);
+    let p_full = p3_prob::exact::try_probability(dnf, vars, 1 << 20).unwrap_or(f64::NAN);
     if !p_full.is_nan() && p_full - p_match <= eps {
         // The match may over-satisfy the budget; return the smallest subset
         // of it that still ε-approximates (errors of a disjoint family are
@@ -185,7 +205,9 @@ fn greedy_match(dnf: &Dnf, vars: &VarTable) -> Vec<Monomial> {
     order.sort_by(|a, b| {
         let pa = a.probability(vars);
         let pb = b.probability(vars);
-        pb.partial_cmp(&pa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
+        pb.partial_cmp(&pa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(b))
     });
     let mut matched: Vec<Monomial> = Vec::new();
     for m in order {
@@ -198,18 +220,28 @@ fn greedy_match(dnf: &Dnf, vars: &VarTable) -> Vec<Monomial> {
 
 /// `P[⋃ m_i]` for pairwise-disjoint monomials: `1 − Π(1 − P[m_i])`.
 fn match_probability(matched: &[Monomial], vars: &VarTable) -> f64 {
-    1.0 - matched.iter().map(|m| 1.0 - m.probability(vars)).product::<f64>()
+    1.0 - matched
+        .iter()
+        .map(|m| 1.0 - m.probability(vars))
+        .product::<f64>()
 }
 
 /// Drops the lowest-probability monomials from a disjoint family while the
 /// remainder still ε-approximates `p_full`.
-fn prune_match(mut matched: Vec<Monomial>, vars: &VarTable, p_full: f64, eps: f64) -> Vec<Monomial> {
+fn prune_match(
+    mut matched: Vec<Monomial>,
+    vars: &VarTable,
+    p_full: f64,
+    eps: f64,
+) -> Vec<Monomial> {
     // Ascending probability, so the cheapest candidates are at the tail's
     // mirror; pop from the front after sorting ascending.
     matched.sort_by(|a, b| {
         let pa = a.probability(vars);
         let pb = b.probability(vars);
-        pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
+        pa.partial_cmp(&pb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(b))
     });
     while !matched.is_empty() {
         let without_first = &matched[1..];
@@ -317,7 +349,9 @@ mod tests {
                 .map(|_| {
                     let len = rng.random_range(1..=3usize);
                     Monomial::new(
-                        (0..len).map(|_| v(rng.random_range(0..nvars) as u32)).collect(),
+                        (0..len)
+                            .map(|_| v(rng.random_range(0..nvars) as u32))
+                            .collect(),
                     )
                 })
                 .collect();
@@ -358,13 +392,14 @@ mod tests {
         // should return it unchanged for eps=0.
         let vars = table(&[0.5, 0.4, 0.3, 0.2]);
         let dnf = Dnf::new(vec![m(&[0, 1]), m(&[2, 3])]);
-        let s =
-            sufficient_provenance(&dnf, &vars, 0.0, DerivationAlgo::ReSuciu, ProbMethod::Exact);
+        let s = sufficient_provenance(&dnf, &vars, 0.0, DerivationAlgo::ReSuciu, ProbMethod::Exact);
         assert_eq!(s.polynomial.len(), 2);
-        assert!((match_probability(&greedy_match(&dnf, &vars), &vars)
-            - exact::probability(&dnf, &vars))
-        .abs()
-            < 1e-12);
+        assert!(
+            (match_probability(&greedy_match(&dnf, &vars), &vars)
+                - exact::probability(&dnf, &vars))
+            .abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -373,8 +408,7 @@ mod tests {
         // monomial) suffices and the result is small.
         let vars = table(&[0.9, 0.5, 0.5, 0.5]);
         let dnf = Dnf::new(vec![m(&[0, 1]), m(&[0, 2]), m(&[0, 3])]);
-        let s =
-            sufficient_provenance(&dnf, &vars, 0.3, DerivationAlgo::ReSuciu, ProbMethod::Exact);
+        let s = sufficient_provenance(&dnf, &vars, 0.3, DerivationAlgo::ReSuciu, ProbMethod::Exact);
         assert!(s.polynomial.len() < 3, "some reduction expected");
         assert!(s.error <= 0.3 + 1e-12);
     }

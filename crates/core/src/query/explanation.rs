@@ -31,10 +31,16 @@ impl Explanation {
     /// paper's "most important derivation" view (Fig 4 displays the top
     /// one). Each entry is `(derivation, P[derivation])`.
     pub fn ranked_derivations(&self, vars: &VarTable) -> Vec<(&Monomial, f64)> {
-        let mut out: Vec<(&Monomial, f64)> =
-            self.polynomial.monomials().iter().map(|m| (m, m.probability(vars))).collect();
+        let mut out: Vec<(&Monomial, f64)> = self
+            .polynomial
+            .monomials()
+            .iter()
+            .map(|m| (m, m.probability(vars)))
+            .collect();
         out.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0))
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(b.0))
         });
         out
     }
@@ -43,7 +49,11 @@ impl Explanation {
     /// participates in at least one derivation — the classic
     /// why-provenance view.
     pub fn support_set(&self) -> Vec<p3_datalog::ast::ClauseId> {
-        self.polynomial.vars().into_iter().map(p3_provenance::vars::clause_of).collect()
+        self.polynomial
+            .vars()
+            .into_iter()
+            .map(p3_provenance::vars::clause_of)
+            .collect()
     }
 }
 
@@ -73,20 +83,16 @@ mod tests {
 
     #[test]
     fn explanation_counts_alternative_derivations() {
-        let p3 = P3::from_source(
-            "r1 0.5: q(X) :- p1(X). r2 0.5: q(X) :- p2(X). p1(a). p2(a).",
-        )
-        .unwrap();
+        let p3 =
+            P3::from_source("r1 0.5: q(X) :- p1(X). r2 0.5: q(X) :- p2(X). p1(a). p2(a).").unwrap();
         let exp = p3.explain("q(a)").unwrap();
         assert_eq!(exp.num_derivations, 2);
     }
 
     #[test]
     fn ranked_derivations_order_by_probability() {
-        let p3 = P3::from_source(
-            "r1 0.9: q(X) :- p1(X). r2 0.1: q(X) :- p2(X). p1(a). p2(a).",
-        )
-        .unwrap();
+        let p3 =
+            P3::from_source("r1 0.9: q(X) :- p1(X). r2 0.1: q(X) :- p2(X). p1(a). p2(a).").unwrap();
         let exp = p3.explain("q(a)").unwrap();
         let ranked = exp.ranked_derivations(p3.vars());
         assert_eq!(ranked.len(), 2);
@@ -97,10 +103,9 @@ mod tests {
 
     #[test]
     fn support_set_lists_participating_clauses() {
-        let p3 = P3::from_source(
-            "r1 0.5: q(X) :- p1(X). r2 0.5: q(X) :- p2(X). p1(a). p2(a). p1(zz).",
-        )
-        .unwrap();
+        let p3 =
+            P3::from_source("r1 0.5: q(X) :- p1(X). r2 0.5: q(X) :- p2(X). p1(a). p2(a). p1(zz).")
+                .unwrap();
         let exp = p3.explain("q(a)").unwrap();
         let labels: Vec<String> = exp
             .support_set()
@@ -110,6 +115,9 @@ mod tests {
         // r1, r2, p1(a), p2(a) — but not the irrelevant p1(zz).
         assert_eq!(labels.len(), 4);
         assert!(labels.contains(&"r1".to_string()));
-        assert!(!labels.contains(&"t3".to_string()), "p1(zz) not in support: {labels:?}");
+        assert!(
+            !labels.contains(&"t3".to_string()),
+            "p1(zz) not in support: {labels:?}"
+        );
     }
 }

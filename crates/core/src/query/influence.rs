@@ -13,13 +13,19 @@ use crate::query::derivation::{sufficient_provenance, DerivationAlgo};
 use p3_prob::{exact, mc, parallel, Dnf, McConfig, VarId, VarTable};
 
 /// How influence values are computed.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// `Eq`/`Hash` support session-level memoization of whole influence
+/// rankings (sound for Monte-Carlo because estimates are deterministic per
+/// seed). For [`InfluenceMethod::ParallelMc`], a thread count of `0` means
+/// "use [`p3_prob::parallel::default_threads`]".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum InfluenceMethod {
     /// Exact: two Shannon computations per literal.
     Exact,
     /// Sequential paired Monte-Carlo.
     Mc(McConfig),
-    /// Paired Monte-Carlo with literals striped across threads.
+    /// Paired Monte-Carlo with literals striped across threads (`0` =
+    /// default thread count).
     ParallelMc(McConfig, usize),
 }
 
@@ -70,24 +76,22 @@ pub fn influence_query(dnf: &Dnf, vars: &VarTable, opts: &InfluenceOptions) -> V
     let compressed;
     let target: &Dnf = match opts.preprocess_epsilon {
         Some(eps) => {
-            compressed = sufficient_provenance(
-                dnf,
-                vars,
-                eps,
-                DerivationAlgo::NaiveGreedy,
-                compress_method,
-            )
-            .polynomial;
+            compressed =
+                sufficient_provenance(dnf, vars, eps, DerivationAlgo::NaiveGreedy, compress_method)
+                    .polynomial;
             &compressed
         }
         None => dnf,
     };
 
-    let mut entries: Vec<InfluenceEntry> = match opts.method {
+    let entries: Vec<InfluenceEntry> = match opts.method {
         InfluenceMethod::Exact => target
             .vars()
             .into_iter()
-            .map(|v| InfluenceEntry { var: v, influence: exact_influence(target, vars, v) })
+            .map(|v| InfluenceEntry {
+                var: v,
+                influence: exact_influence(target, vars, v),
+            })
             .collect(),
         InfluenceMethod::Mc(cfg) => mc::influence_all(target, vars, cfg)
             .into_iter()
@@ -101,6 +105,16 @@ pub fn influence_query(dnf: &Dnf, vars: &VarTable, opts: &InfluenceOptions) -> V
         }
     };
 
+    finalize_entries(entries, opts)
+}
+
+/// Applies an Influence Query's post-processing: literal filtering,
+/// descending-influence sort (ties by variable id), top-K truncation.
+/// Shared with the session-cached influence path in [`crate::session`].
+pub(crate) fn finalize_entries(
+    mut entries: Vec<InfluenceEntry>,
+    opts: &InfluenceOptions,
+) -> Vec<InfluenceEntry> {
     if let Some(allowed) = &opts.restrict_to {
         entries.retain(|e| allowed.contains(&e.var));
     }
@@ -157,8 +171,11 @@ mod tests {
         // Paper Table 2: r3 most influential, then r1, then t6 (our exact
         // values: 0.8192, 0.1808, 0.16384).
         let (dnf, vars) = acquaintance();
-        let opts =
-            InfluenceOptions { method: InfluenceMethod::Exact, top_k: Some(3), ..Default::default() };
+        let opts = InfluenceOptions {
+            method: InfluenceMethod::Exact,
+            top_k: Some(3),
+            ..Default::default()
+        };
         let top = influence_query(&dnf, &vars, &opts);
         assert_eq!(top.len(), 3);
         assert_eq!(top[0].var, v(2));
@@ -175,13 +192,19 @@ mod tests {
         let exact = influence_query(
             &dnf,
             &vars,
-            &InfluenceOptions { method: InfluenceMethod::Exact, ..Default::default() },
+            &InfluenceOptions {
+                method: InfluenceMethod::Exact,
+                ..Default::default()
+            },
         );
         let mc = influence_query(
             &dnf,
             &vars,
             &InfluenceOptions {
-                method: InfluenceMethod::Mc(McConfig { samples: 200_000, seed: 2 }),
+                method: InfluenceMethod::Mc(McConfig {
+                    samples: 200_000,
+                    seed: 2,
+                }),
                 ..Default::default()
             },
         );
@@ -212,7 +235,10 @@ mod tests {
         let full = influence_query(
             &dnf,
             &vars,
-            &InfluenceOptions { method: InfluenceMethod::Exact, ..Default::default() },
+            &InfluenceOptions {
+                method: InfluenceMethod::Exact,
+                ..Default::default()
+            },
         );
         let pre = influence_query(
             &dnf,
@@ -234,7 +260,10 @@ mod tests {
         for e in influence_query(
             &dnf,
             &vars,
-            &InfluenceOptions { method: InfluenceMethod::Exact, ..Default::default() },
+            &InfluenceOptions {
+                method: InfluenceMethod::Exact,
+                ..Default::default()
+            },
         ) {
             assert!(e.influence >= 0.0);
         }
@@ -248,7 +277,10 @@ mod tests {
         let out = influence_query(
             &dnf,
             &vars,
-            &InfluenceOptions { method: InfluenceMethod::Exact, ..Default::default() },
+            &InfluenceOptions {
+                method: InfluenceMethod::Exact,
+                ..Default::default()
+            },
         );
         assert_eq!(out.len(), 1);
         assert!((out[0].influence - 1.0).abs() < 1e-12);

@@ -32,8 +32,7 @@ pub enum Strategy {
 }
 
 /// How probabilities and influences are evaluated during the search.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum EvalMethod {
     /// Exact Shannon computations.
     #[default]
@@ -44,7 +43,6 @@ pub enum EvalMethod {
     /// (the paper's Table 9 "Parallel" column).
     McParallel(McConfig, usize),
 }
-
 
 /// Options for a Modification Query.
 #[derive(Clone, Debug)]
@@ -105,6 +103,47 @@ pub struct ModificationPlan {
     pub modified_vars: VarTable,
 }
 
+/// Probability and influence evaluation hooks for
+/// [`modification_query_with`]. Both functions receive the variable table
+/// under which to evaluate — the search mutates a private working copy, so
+/// implementations caching by formula must only consult their cache when
+/// the passed table is the base one (pointer comparison suffices; the
+/// session layer does exactly that).
+pub struct ModificationEval<'a> {
+    /// Computes `P[λ]` under the given table.
+    pub prob: &'a (dyn Fn(&Dnf, &VarTable) -> f64 + 'a),
+    /// Computes `Inf_x(λ)` under the given table.
+    pub influence: &'a (dyn Fn(&Dnf, &VarTable, VarId) -> f64 + 'a),
+}
+
+impl<'a> ModificationEval<'a> {
+    /// The default hooks implementing an [`EvalMethod`] directly.
+    fn from_method(
+        eval: EvalMethod,
+    ) -> (
+        impl Fn(&Dnf, &VarTable) -> f64 + 'a,
+        impl Fn(&Dnf, &VarTable, VarId) -> f64 + 'a,
+    ) {
+        let prob = move |dnf: &Dnf, vars: &VarTable| -> f64 {
+            match eval {
+                EvalMethod::Exact => exact::probability(dnf, vars),
+                EvalMethod::Mc(cfg) => mc::estimate(dnf, vars, cfg),
+                EvalMethod::McParallel(cfg, threads) => parallel::estimate(dnf, vars, cfg, threads),
+            }
+        };
+        let influence = move |dnf: &Dnf, vars: &VarTable, x: VarId| -> f64 {
+            match eval {
+                EvalMethod::Exact => exact_influence(dnf, vars, x),
+                EvalMethod::Mc(cfg) => mc::influence(dnf, vars, x, cfg),
+                EvalMethod::McParallel(cfg, threads) => {
+                    parallel::influence(dnf, vars, x, cfg, threads)
+                }
+            }
+        };
+        (prob, influence)
+    }
+}
+
 /// Runs a Modification Query: change literal probabilities so that `P[λ]`
 /// reaches `target`, at small total cost.
 pub fn modification_query(
@@ -113,12 +152,43 @@ pub fn modification_query(
     target: f64,
     opts: &ModificationOptions,
 ) -> ModificationPlan {
-    assert!((0.0..=1.0).contains(&target), "target probability {target} out of range");
+    let (prob, influence) = ModificationEval::from_method(opts.eval);
+    modification_query_with(
+        dnf,
+        vars,
+        target,
+        opts,
+        ModificationEval {
+            prob: &prob,
+            influence: &influence,
+        },
+    )
+}
+
+/// Like [`modification_query`], but probability and influence evaluation go
+/// through the caller's hooks ([`ModificationOptions::eval`] is ignored).
+/// The initial probability is evaluated against `vars` itself, so a caching
+/// hook keyed to the base table serves it from cache; all later
+/// evaluations pass the mutated working copy.
+pub fn modification_query_with(
+    dnf: &Dnf,
+    vars: &VarTable,
+    target: f64,
+    opts: &ModificationOptions,
+    eval: ModificationEval<'_>,
+) -> ModificationPlan {
+    assert!(
+        (0.0..=1.0).contains(&target),
+        "target probability {target} out of range"
+    );
     let mut working = vars.clone();
     let mut remaining: Vec<VarId> = match &opts.modifiable {
         Some(list) => {
             let in_dnf = dnf.vars();
-            list.iter().copied().filter(|v| in_dnf.binary_search(v).is_ok()).collect()
+            list.iter()
+                .copied()
+                .filter(|v| in_dnf.binary_search(v).is_ok())
+                .collect()
         }
         None => dnf.vars(),
     };
@@ -127,24 +197,10 @@ pub fn modification_query(
         Strategy::Greedy => None,
     };
 
-    let prob = |dnf: &Dnf, vars: &VarTable| -> f64 {
-        match opts.eval {
-            EvalMethod::Exact => exact::probability(dnf, vars),
-            EvalMethod::Mc(cfg) => mc::estimate(dnf, vars, cfg),
-            EvalMethod::McParallel(cfg, threads) => parallel::estimate(dnf, vars, cfg, threads),
-        }
-    };
-    let influence = |dnf: &Dnf, vars: &VarTable, x: VarId| -> f64 {
-        match opts.eval {
-            EvalMethod::Exact => exact_influence(dnf, vars, x),
-            EvalMethod::Mc(cfg) => mc::influence(dnf, vars, x, cfg),
-            EvalMethod::McParallel(cfg, threads) => {
-                parallel::influence(dnf, vars, x, cfg, threads)
-            }
-        }
-    };
+    let prob = eval.prob;
+    let influence = eval.influence;
 
-    let initial_probability = prob(dnf, &working);
+    let initial_probability = prob(dnf, vars);
     let mut current = initial_probability;
     let mut steps: Vec<ModificationStep> = Vec::new();
 
@@ -193,7 +249,12 @@ pub fn modification_query(
         }
         working.set_prob(x, to);
         current = prob(dnf, &working);
-        steps.push(ModificationStep { var: x, from, to, resulting_probability: current });
+        steps.push(ModificationStep {
+            var: x,
+            from,
+            to,
+            resulting_probability: current,
+        });
         remaining.remove(idx);
     }
 
@@ -247,7 +308,10 @@ mod tests {
             &dnf,
             &vars,
             0.5,
-            &ModificationOptions { tolerance: 1e-9, ..Default::default() },
+            &ModificationOptions {
+                tolerance: 1e-9,
+                ..Default::default()
+            },
         );
         assert!(plan.reached_target, "{plan:?}");
         assert_eq!(plan.steps.len(), 1);
@@ -266,7 +330,10 @@ mod tests {
             &dnf,
             &vars,
             0.9,
-            &ModificationOptions { tolerance: 1e-9, ..Default::default() },
+            &ModificationOptions {
+                tolerance: 1e-9,
+                ..Default::default()
+            },
         );
         assert!(plan.steps.len() >= 2, "{plan:?}");
         assert_eq!(plan.steps[0].var, v(2));
@@ -282,7 +349,10 @@ mod tests {
             &dnf,
             &vars,
             0.05,
-            &ModificationOptions { tolerance: 1e-9, ..Default::default() },
+            &ModificationOptions {
+                tolerance: 1e-9,
+                ..Default::default()
+            },
         );
         assert!(plan.reached_target, "{plan:?}");
         assert!((plan.achieved_probability - 0.05).abs() < 1e-9);
@@ -299,7 +369,10 @@ mod tests {
             &dnf,
             &vars,
             0.6,
-            &ModificationOptions { tolerance: 1e-6, ..Default::default() },
+            &ModificationOptions {
+                tolerance: 1e-6,
+                ..Default::default()
+            },
         );
         assert!(greedy.reached_target);
         let mut random_costs = Vec::new();
@@ -354,7 +427,10 @@ mod tests {
             &dnf,
             &vars,
             1.0,
-            &ModificationOptions { tolerance: 1e-9, ..Default::default() },
+            &ModificationOptions {
+                tolerance: 1e-9,
+                ..Default::default()
+            },
         );
         // Setting both literals to 1.0 reaches exactly 1.0 — so use a
         // polynomial where that is impossible by restricting the set.
@@ -370,7 +446,10 @@ mod tests {
             },
         );
         assert!(!plan.reached_target);
-        assert!((plan.achieved_probability - 0.5).abs() < 1e-9, "x0=1 gives P=p(x1)=0.5");
+        assert!(
+            (plan.achieved_probability - 0.5).abs() < 1e-9,
+            "x0=1 gives P=p(x1)=0.5"
+        );
     }
 
     #[test]
@@ -381,7 +460,10 @@ mod tests {
             &dnf,
             &vars,
             p0,
-            &ModificationOptions { tolerance: 1e-9, ..Default::default() },
+            &ModificationOptions {
+                tolerance: 1e-9,
+                ..Default::default()
+            },
         );
         assert!(plan.steps.is_empty());
         assert_eq!(plan.total_cost, 0.0);
@@ -395,7 +477,10 @@ mod tests {
             &dnf,
             &vars,
             0.7,
-            &ModificationOptions { tolerance: 1e-9, ..Default::default() },
+            &ModificationOptions {
+                tolerance: 1e-9,
+                ..Default::default()
+            },
         );
         let recomputed: f64 = plan.steps.iter().map(|s| (s.to - s.from).abs()).sum();
         assert!((plan.total_cost - recomputed).abs() < 1e-12);

@@ -1,0 +1,608 @@
+//! Shared query sessions: cross-query memoization over an immutable core.
+//!
+//! A [`QuerySession`] wraps a [`P3`] handle with memo tables for everything
+//! the four query classes recompute when called naively:
+//!
+//! * **extraction** — `(tuple, options) → DnfId`, on top of the graph-level
+//!   caches in [`p3_provenance::extract::Analysis`];
+//! * **probability** — `(DnfId, ProbMethod) → f64` (sound for Monte-Carlo
+//!   backends because estimates are deterministic per seed);
+//! * **influence rankings** — `(DnfId, options) → Vec<InfluenceEntry>`,
+//!   with candidate-literal restrictions shared through the hash-consed
+//!   [`DnfStore`] so fifty literals of one base formula normalise their
+//!   restrictions once, ever;
+//! * **sufficient provenance** — `(DnfId, ε, algorithm, method) → result`.
+//!
+//! Because the core a session caches over is immutable ([`P3`] never
+//! mutates after evaluation; what-if updates build a *new* `P3`), no cache
+//! here ever needs invalidation. Sessions are `Send + Sync` and cheap to
+//! clone — clones share the caches — so one session can serve concurrent
+//! queries from many threads; [`QuerySession::batch_probabilities`] does
+//! exactly that with scoped worker threads.
+
+use crate::error::P3Error;
+use crate::prob_method::ProbMethod;
+use crate::query::derivation::{sufficient_provenance_with, DerivationAlgo, SufficientProvenance};
+use crate::query::influence::{
+    exact_influence, finalize_entries, InfluenceEntry, InfluenceMethod, InfluenceOptions,
+};
+use crate::query::modification::{
+    modification_query_with, EvalMethod, ModificationEval, ModificationOptions, ModificationPlan,
+};
+use crate::system::P3;
+use p3_datalog::engine::TupleId;
+use p3_prob::store::DnfId;
+use p3_prob::{mc, parallel, Dnf, VarId, VarTable};
+use p3_provenance::extract::ExtractOptions;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Hashable image of [`InfluenceOptions`] (`f64` keyed by bit pattern).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct InfluenceKey {
+    method: InfluenceMethod,
+    top_k: Option<usize>,
+    preprocess_epsilon: Option<u64>,
+    restrict_to: Option<Vec<VarId>>,
+}
+
+impl InfluenceKey {
+    fn of(opts: &InfluenceOptions) -> Self {
+        Self {
+            method: opts.method,
+            top_k: opts.top_k,
+            preprocess_epsilon: opts.preprocess_epsilon.map(f64::to_bits),
+            restrict_to: opts.restrict_to.clone(),
+        }
+    }
+}
+
+/// Hashable key for sufficient-provenance results.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct SufficientKey {
+    eps_bits: u64,
+    algo: DerivationAlgo,
+    method: ProbMethod,
+}
+
+#[derive(Default)]
+struct SessionCaches {
+    /// `(tuple, extract options) → interned polynomial`.
+    dnf_ids: RwLock<HashMap<(TupleId, ExtractOptions), DnfId>>,
+    /// `(formula, method) → P[λ]`.
+    probs: RwLock<HashMap<(DnfId, ProbMethod), f64>>,
+    /// `(formula, options) → ranked influence entries`.
+    influence: RwLock<HashMap<(DnfId, InfluenceKey), Vec<InfluenceEntry>>>,
+    /// `(formula, ε/algo/method) → sufficient provenance`.
+    sufficient: RwLock<HashMap<(DnfId, SufficientKey), SufficientProvenance>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Hit/miss counters across all of a session's memo tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Lookups answered from a session cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+/// A memoizing query handle over an immutable [`P3`]. See the module docs.
+#[derive(Clone)]
+pub struct QuerySession {
+    p3: P3,
+    caches: Arc<SessionCaches>,
+}
+
+impl QuerySession {
+    pub(crate) fn new(p3: P3) -> Self {
+        Self {
+            p3,
+            caches: Arc::new(SessionCaches::default()),
+        }
+    }
+
+    /// The underlying system.
+    pub fn p3(&self) -> &P3 {
+        &self.p3
+    }
+
+    /// Cache effectiveness counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            hits: self.caches.hits.load(Ordering::Relaxed),
+            misses: self.caches.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn hit(&self) {
+        self.caches.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.caches.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The interned provenance polynomial of a query (unbounded depth).
+    pub fn provenance_id(&self, query: &str) -> Result<DnfId, P3Error> {
+        self.provenance_id_with(query, ExtractOptions::unbounded())
+    }
+
+    /// The interned provenance polynomial with explicit extraction options.
+    pub fn provenance_id_with(&self, query: &str, opts: ExtractOptions) -> Result<DnfId, P3Error> {
+        let tuple = self.p3.tuple(query)?;
+        Ok(self.tuple_dnf(tuple, opts))
+    }
+
+    /// The interned polynomial of a resolved tuple.
+    pub fn tuple_dnf(&self, tuple: TupleId, opts: ExtractOptions) -> DnfId {
+        if let Some(&id) = self.caches.dnf_ids.read().unwrap().get(&(tuple, opts)) {
+            self.hit();
+            return id;
+        }
+        self.miss();
+        let dnf = self.p3.extractor().polynomial(tuple, opts);
+        let id = self.p3.store.intern(dnf);
+        self.caches
+            .dnf_ids
+            .write()
+            .unwrap()
+            .insert((tuple, opts), id);
+        id
+    }
+
+    /// The formula behind an id (shared allocation with the store).
+    pub fn dnf(&self, id: DnfId) -> Arc<Dnf> {
+        self.p3.store.get(id)
+    }
+
+    /// The provenance polynomial of a query, via the session cache.
+    pub fn provenance(&self, query: &str) -> Result<Dnf, P3Error> {
+        Ok((*self.dnf(self.provenance_id(query)?)).clone())
+    }
+
+    /// The success probability of a query (unbounded extraction), memoized.
+    pub fn probability(&self, query: &str, method: ProbMethod) -> Result<f64, P3Error> {
+        let id = self.provenance_id(query)?;
+        Ok(self.probability_of(id, method))
+    }
+
+    /// The probability of an interned formula under this session's variable
+    /// table, memoized by `(id, method)`.
+    pub fn probability_of(&self, id: DnfId, method: ProbMethod) -> f64 {
+        if let Some(&p) = self.caches.probs.read().unwrap().get(&(id, method)) {
+            self.hit();
+            return p;
+        }
+        self.miss();
+        let p = method.probability(&self.dnf(id), &self.p3.vars);
+        self.caches.probs.write().unwrap().insert((id, method), p);
+        p
+    }
+
+    /// Runs an Influence Query, memoized by `(formula, options)`.
+    ///
+    /// On a cache miss the exact backend computes each literal's influence
+    /// from store-memoized restrictions of the *one* interned base formula,
+    /// and each restriction's probability lands in the session probability
+    /// cache — so influence queries over overlapping formulas, or a later
+    /// re-run with different `top_k`/`restrict_to` filtering, reuse both.
+    /// On a cache hit nothing is re-extracted or re-estimated.
+    pub fn influence(
+        &self,
+        query: &str,
+        opts: &InfluenceOptions,
+    ) -> Result<Vec<InfluenceEntry>, P3Error> {
+        let id = self.provenance_id(query)?;
+        Ok(self.influence_of(id, opts))
+    }
+
+    /// Influence Query over an interned formula.
+    pub fn influence_of(&self, id: DnfId, opts: &InfluenceOptions) -> Vec<InfluenceEntry> {
+        let key = InfluenceKey::of(opts);
+        if let Some(hit) = self
+            .caches
+            .influence
+            .read()
+            .unwrap()
+            .get(&(id, key.clone()))
+        {
+            self.hit();
+            return hit.clone();
+        }
+        self.miss();
+
+        // Optional §6.2 preprocessing, through the sufficient-provenance
+        // cache; the backend matches the influence backend (see
+        // `influence_query` for the rationale).
+        let target_id = match opts.preprocess_epsilon {
+            Some(eps) => {
+                let compress_method = match opts.method {
+                    InfluenceMethod::Exact => ProbMethod::Exact,
+                    InfluenceMethod::Mc(cfg) => ProbMethod::MonteCarlo(cfg),
+                    InfluenceMethod::ParallelMc(cfg, threads) => {
+                        ProbMethod::ParallelMc(cfg, threads)
+                    }
+                };
+                let sufficient = self.sufficient_provenance_of(
+                    id,
+                    eps,
+                    DerivationAlgo::NaiveGreedy,
+                    compress_method,
+                );
+                self.p3.store.intern(sufficient.polynomial)
+            }
+            None => id,
+        };
+
+        let target = self.dnf(target_id);
+        let entries: Vec<InfluenceEntry> = match opts.method {
+            InfluenceMethod::Exact => target
+                .vars()
+                .into_iter()
+                .map(|v| {
+                    // The two restrictions are memoized in the store and
+                    // their probabilities in the session, so they are shared
+                    // with every other query touching the same sub-formulas.
+                    let hi = self.probability_of(
+                        self.p3.store.restrict(target_id, v, true),
+                        ProbMethod::Exact,
+                    );
+                    let lo = self.probability_of(
+                        self.p3.store.restrict(target_id, v, false),
+                        ProbMethod::Exact,
+                    );
+                    InfluenceEntry {
+                        var: v,
+                        influence: hi - lo,
+                    }
+                })
+                .collect(),
+            InfluenceMethod::Mc(cfg) => mc::influence_all(&target, &self.p3.vars, cfg)
+                .into_iter()
+                .map(|(var, influence)| InfluenceEntry { var, influence })
+                .collect(),
+            InfluenceMethod::ParallelMc(cfg, threads) => {
+                parallel::influence_all(&target, &self.p3.vars, cfg, threads)
+                    .into_iter()
+                    .map(|(var, influence)| InfluenceEntry { var, influence })
+                    .collect()
+            }
+        };
+        let entries = finalize_entries(entries, opts);
+        self.caches
+            .influence
+            .write()
+            .unwrap()
+            .insert((id, key), entries.clone());
+        entries
+    }
+
+    /// Runs a Derivation Query, memoized by `(formula, ε, algorithm,
+    /// method)`; probability evaluations inside the search go through the
+    /// session probability cache.
+    pub fn sufficient_provenance(
+        &self,
+        query: &str,
+        eps: f64,
+        algo: DerivationAlgo,
+        method: ProbMethod,
+    ) -> Result<SufficientProvenance, P3Error> {
+        let id = self.provenance_id(query)?;
+        Ok(self.sufficient_provenance_of(id, eps, algo, method))
+    }
+
+    /// Derivation Query over an interned formula.
+    pub fn sufficient_provenance_of(
+        &self,
+        id: DnfId,
+        eps: f64,
+        algo: DerivationAlgo,
+        method: ProbMethod,
+    ) -> SufficientProvenance {
+        let key = SufficientKey {
+            eps_bits: eps.to_bits(),
+            algo,
+            method,
+        };
+        if let Some(hit) = self.caches.sufficient.read().unwrap().get(&(id, key)) {
+            self.hit();
+            return hit.clone();
+        }
+        self.miss();
+        let dnf = self.dnf(id);
+        let result = sufficient_provenance_with(&dnf, &self.p3.vars, eps, algo, &|d| {
+            self.probability_of(self.p3.store.intern(d.clone()), method)
+        });
+        self.caches
+            .sufficient
+            .write()
+            .unwrap()
+            .insert((id, key), result.clone());
+        result
+    }
+
+    /// Runs a Modification Query. The plan search mutates a private working
+    /// table, so only evaluations against the session's own (base) variable
+    /// table are served from — and recorded in — the cache; evaluations
+    /// under modified tables always compute directly.
+    pub fn modification(
+        &self,
+        query: &str,
+        target: f64,
+        opts: &ModificationOptions,
+    ) -> Result<ModificationPlan, P3Error> {
+        let id = self.provenance_id(query)?;
+        let dnf = self.dnf(id);
+        let base: *const VarTable = &*self.p3.vars;
+        let method = match opts.eval {
+            EvalMethod::Exact => ProbMethod::Exact,
+            EvalMethod::Mc(cfg) => ProbMethod::MonteCarlo(cfg),
+            EvalMethod::McParallel(cfg, threads) => ProbMethod::ParallelMc(cfg, threads),
+        };
+        let prob = |d: &Dnf, vars: &VarTable| -> f64 {
+            if std::ptr::eq(vars, base) {
+                self.probability_of(self.p3.store.intern(d.clone()), method)
+            } else {
+                method.probability(d, vars)
+            }
+        };
+        let influence = |d: &Dnf, vars: &VarTable, x: VarId| -> f64 {
+            match opts.eval {
+                EvalMethod::Exact => exact_influence(d, vars, x),
+                EvalMethod::Mc(cfg) => mc::influence(d, vars, x, cfg),
+                EvalMethod::McParallel(cfg, threads) => {
+                    parallel::influence(d, vars, x, cfg, threads)
+                }
+            }
+        };
+        Ok(modification_query_with(
+            &dnf,
+            &self.p3.vars,
+            target,
+            opts,
+            ModificationEval {
+                prob: &prob,
+                influence: &influence,
+            },
+        ))
+    }
+
+    /// Answers many probability queries concurrently over this session
+    /// (`threads = 0` means [`parallel::default_threads`]). Results are in
+    /// query order; all workers share this session's caches, so duplicate
+    /// queries in the batch are computed once.
+    pub fn batch_probabilities(
+        &self,
+        queries: &[&str],
+        method: ProbMethod,
+        threads: usize,
+    ) -> Vec<Result<f64, P3Error>> {
+        let threads = parallel::resolve_threads(threads).min(queries.len().max(1));
+        let mut striped: Vec<Vec<(usize, Result<f64, P3Error>)>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let session = self.clone();
+                        scope.spawn(move |_| {
+                            queries
+                                .iter()
+                                .enumerate()
+                                .skip(t)
+                                .step_by(threads)
+                                .map(|(i, q)| (i, session.probability(q, method)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch worker panicked"))
+                    .collect()
+            })
+            .expect("batch scope panicked");
+        let mut out: Vec<Option<Result<f64, P3Error>>> = (0..queries.len()).map(|_| None).collect();
+        for stripe in striped.drain(..) {
+            for (i, r) in stripe {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::influence::influence_query;
+    use crate::query::modification::modification_query;
+    use p3_prob::McConfig;
+
+    const ACQ: &str = r#"
+        r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+        r2 0.4: know(P1,P2) :- like(P1,L), like(P2,L), P1 != P2.
+        r3 0.2: know(P1,P3) :- know(P1,P2), know(P2,P3), P1 != P3.
+        t1 1.0: live("Steve","DC").
+        t2 1.0: live("Elena","DC").
+        t3 1.0: live("Mary","NYC").
+        t4 0.4: like("Steve","Veggies").
+        t5 0.6: like("Elena","Veggies").
+        t6 1.0: know("Ben","Steve").
+    "#;
+
+    const Q: &str = r#"know("Ben","Elena")"#;
+
+    #[test]
+    fn session_probability_matches_fresh_and_caches() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let session = p3.session();
+        let fresh = p3.probability(Q, ProbMethod::Exact).unwrap();
+        let first = session.probability(Q, ProbMethod::Exact).unwrap();
+        assert_eq!(first, fresh);
+        let misses_after_first = session.stats().misses;
+        let second = session.probability(Q, ProbMethod::Exact).unwrap();
+        assert_eq!(second, first);
+        assert_eq!(
+            session.stats().misses,
+            misses_after_first,
+            "pure cache hits"
+        );
+        assert!(session.stats().hits >= 2, "extraction + probability hits");
+    }
+
+    #[test]
+    fn session_influence_matches_direct_query() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let session = p3.session();
+        let dnf = p3.provenance(Q).unwrap();
+        for method in [
+            InfluenceMethod::Exact,
+            InfluenceMethod::Mc(McConfig {
+                samples: 50_000,
+                seed: 3,
+            }),
+        ] {
+            let opts = InfluenceOptions {
+                method,
+                ..Default::default()
+            };
+            let direct = influence_query(&dnf, p3.vars(), &opts);
+            let via_session = session.influence(Q, &opts).unwrap();
+            assert_eq!(direct.len(), via_session.len());
+            for (d, s) in direct.iter().zip(&via_session) {
+                assert_eq!(d.var, s.var, "{method:?}");
+                assert!((d.influence - s.influence).abs() < 1e-12, "{method:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_influence_is_a_cache_hit() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let session = p3.session();
+        let opts = InfluenceOptions {
+            method: InfluenceMethod::Exact,
+            ..Default::default()
+        };
+        let first = session.influence(Q, &opts).unwrap();
+        let store_misses = p3.store().stats().op_misses;
+        let misses = session.stats().misses;
+        let second = session.influence(Q, &opts).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(session.stats().misses, misses, "no recomputation");
+        assert_eq!(
+            p3.store().stats().op_misses,
+            store_misses,
+            "no new restrictions"
+        );
+        // A different top_k is a new ranking key but shares all
+        // restrictions and probabilities through the store.
+        let top1 = session
+            .influence(
+                Q,
+                &InfluenceOptions {
+                    top_k: Some(1),
+                    method: InfluenceMethod::Exact,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0], first[0]);
+        assert_eq!(
+            p3.store().stats().op_misses,
+            store_misses,
+            "restrictions reused"
+        );
+    }
+
+    #[test]
+    fn session_sufficient_provenance_matches_direct() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let session = p3.session();
+        let dnf = p3.provenance(Q).unwrap();
+        for algo in [DerivationAlgo::NaiveGreedy, DerivationAlgo::ReSuciu] {
+            let direct = crate::query::derivation::sufficient_provenance(
+                &dnf,
+                p3.vars(),
+                0.01,
+                algo,
+                ProbMethod::Exact,
+            );
+            let s = session
+                .sufficient_provenance(Q, 0.01, algo, ProbMethod::Exact)
+                .unwrap();
+            assert_eq!(s.polynomial, direct.polynomial, "{algo:?}");
+            assert_eq!(s.probability, direct.probability, "{algo:?}");
+            // Second call: cache hit.
+            let misses = session.stats().misses;
+            let again = session
+                .sufficient_provenance(Q, 0.01, algo, ProbMethod::Exact)
+                .unwrap();
+            assert_eq!(again.polynomial, s.polynomial);
+            assert_eq!(session.stats().misses, misses, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn session_modification_matches_direct() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let session = p3.session();
+        let dnf = p3.provenance(Q).unwrap();
+        let opts = ModificationOptions {
+            tolerance: 1e-9,
+            ..Default::default()
+        };
+        let direct = modification_query(&dnf, p3.vars(), 0.5, &opts);
+        let s = session.modification(Q, 0.5, &opts).unwrap();
+        assert_eq!(s.steps.len(), direct.steps.len());
+        for (a, b) in s.steps.iter().zip(&direct.steps) {
+            assert_eq!(a.var, b.var);
+            assert!((a.to - b.to).abs() < 1e-12);
+        }
+        assert!((s.achieved_probability - direct.achieved_probability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let queries = [
+            Q,
+            r#"know("Ben","Steve")"#,
+            r#"know("Steve","Elena")"#,
+            "bogus(",
+            r#"know("Mary","Elena")"#,
+            Q, // duplicate: shares the first query's cache entries
+        ];
+        let batch = p3.batch_probabilities(&queries, ProbMethod::Exact, 4);
+        assert_eq!(batch.len(), queries.len());
+        for (q, r) in queries.iter().zip(&batch) {
+            match p3.probability(q, ProbMethod::Exact) {
+                Ok(expected) => {
+                    assert_eq!(*r.as_ref().unwrap(), expected, "{q}");
+                }
+                Err(_) => assert!(r.is_err(), "{q}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_share_nothing_across_what_if_copies() {
+        // A what-if copy shares the store/analysis but must not share
+        // probability caches — its session is keyed to its own table.
+        let p3 = P3::from_source(ACQ).unwrap();
+        let r3 = p3.program().clause_by_label("r3").unwrap();
+        let var = p3_provenance::vars::var_of(r3);
+        let modified = p3.with_probabilities(&[(var, 1.0)]).unwrap();
+        let s1 = p3.session();
+        let s2 = modified.session();
+        let p_orig = s1.probability(Q, ProbMethod::Exact).unwrap();
+        let p_mod = s2.probability(Q, ProbMethod::Exact).unwrap();
+        assert!((p_orig - 0.16384).abs() < 1e-12);
+        assert!((p_mod - 0.8192).abs() < 1e-12);
+    }
+}

@@ -1,25 +1,46 @@
 //! The P3 system facade: evaluate once with provenance, query many times.
+//!
+//! [`P3`] is split into cheap-to-clone `Arc` handles over an immutable
+//! evaluated core (program, database, provenance graph, variable table)
+//! plus two shared structural caches — the extraction [`Analysis`] and the
+//! hash-consed [`DnfStore`] — that are probability-independent and
+//! therefore survive what-if updates ([`P3::with_probabilities`]) intact.
+//! Everything behind the `Arc`s is immutable or internally synchronised,
+//! so `P3` is `Send + Sync`: clone it into threads, or use
+//! [`P3::session`] / [`P3::batch_probabilities`] for memoized concurrent
+//! querying.
 
 use crate::error::P3Error;
 use crate::prob_method::ProbMethod;
 use crate::query::explanation::Explanation;
+use crate::session::QuerySession;
 use p3_datalog::ast::Const;
 use p3_datalog::engine::{Database, TupleId};
 use p3_datalog::program::Program;
 use p3_datalog::symbol::Symbol;
 use p3_datalog::worlds;
+use p3_prob::store::DnfStore;
 use p3_prob::{Dnf, VarTable};
-use p3_provenance::extract::{ExtractOptions, Extractor};
+use p3_provenance::extract::{Analysis, ExtractOptions, Extractor};
 use p3_provenance::graph::ProvGraph;
 use p3_provenance::{capture, clause_vars, dot, explain};
+use std::sync::Arc;
 
 /// A loaded-and-evaluated PLP program with its provenance, ready for
 /// querying.
+///
+/// Cloning is cheap (a handful of `Arc` bumps) and clones share the
+/// structural caches; see the module docs.
+#[derive(Clone)]
 pub struct P3 {
-    program: Program,
-    db: Database,
-    graph: ProvGraph,
-    vars: VarTable,
+    pub(crate) program: Arc<Program>,
+    pub(crate) db: Arc<Database>,
+    pub(crate) graph: Arc<ProvGraph>,
+    pub(crate) vars: Arc<VarTable>,
+    /// Cycle analysis + extraction memo caches; probability-independent.
+    pub(crate) analysis: Arc<Analysis>,
+    /// Hash-consed formula store; probability-independent.
+    pub(crate) store: Arc<DnfStore>,
 }
 
 impl P3 {
@@ -40,7 +61,37 @@ impl P3 {
         }
         let (db, graph) = capture::evaluate_with_provenance(&program);
         let vars = clause_vars(&program);
-        Ok(Self { program, db, graph, vars })
+        let analysis = Analysis::new(&graph);
+        Ok(Self {
+            program: Arc::new(program),
+            db: Arc::new(db),
+            graph: Arc::new(graph),
+            vars: Arc::new(vars),
+            analysis: Arc::new(analysis),
+            store: Arc::new(DnfStore::new()),
+        })
+    }
+
+    /// Opens a query session: a cheap handle with memo tables for
+    /// extraction results, probabilities and whole query answers, all keyed
+    /// through the shared [`DnfStore`]. Sessions can be cloned into threads
+    /// (clones share their caches) and never need invalidation — the core
+    /// they cache over is immutable.
+    pub fn session(&self) -> QuerySession {
+        QuerySession::new(self.clone())
+    }
+
+    /// Answers many probability queries concurrently using scoped worker
+    /// threads over one shared session (`threads = 0` means
+    /// [`p3_prob::parallel::default_threads`]). Results are in query order;
+    /// each query fails or succeeds independently.
+    pub fn batch_probabilities(
+        &self,
+        queries: &[&str],
+        method: ProbMethod,
+        threads: usize,
+    ) -> Vec<Result<f64, P3Error>> {
+        self.session().batch_probabilities(queries, method, threads)
     }
 
     /// The program.
@@ -85,12 +136,24 @@ impl P3 {
     /// Extracts the provenance polynomial with explicit extraction options.
     pub fn provenance_with(&self, query: &str, opts: ExtractOptions) -> Result<Dnf, P3Error> {
         let tuple = self.tuple(query)?;
-        Ok(Extractor::new(&self.graph).polynomial(tuple, opts))
+        Ok(self.extractor().polynomial(tuple, opts))
     }
 
-    /// Builds a reusable extractor for repeated polynomial extraction.
+    /// Builds an extractor sharing this system's [`Analysis`], so repeated
+    /// polynomial extraction — across extractors, sessions and threads —
+    /// hits the same memo caches.
     pub fn extractor(&self) -> Extractor<'_> {
-        Extractor::new(&self.graph)
+        Extractor::with_analysis(&self.graph, &self.analysis)
+    }
+
+    /// The shared hash-consed formula store.
+    pub fn store(&self) -> &DnfStore {
+        &self.store
+    }
+
+    /// The shared extraction analysis (cycle structure + memo caches).
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
     }
 
     /// The success probability of a queried tuple, using `method`.
@@ -117,7 +180,7 @@ impl P3 {
         opts: ExtractOptions,
     ) -> Result<Explanation, P3Error> {
         let tuple = self.tuple(query)?;
-        let polynomial = Extractor::new(&self.graph).polynomial(tuple, opts);
+        let polynomial = self.extractor().polynomial(tuple, opts);
         let probability = method.probability(&polynomial, &self.vars);
         let text = explain::explain(&self.graph, &self.db, &self.program, tuple, opts.max_depth);
         let dot = dot::to_dot(&self.graph, &self.db, &self.program, tuple);
@@ -145,17 +208,23 @@ impl P3 {
     /// how a Modification Query's plan is applied cheaply; compare with
     /// re-parsing and re-running the modified program, which produces the
     /// same probabilities at fixpoint cost.
-    pub fn with_probabilities(
-        &self,
-        changes: &[(p3_prob::VarId, f64)],
-    ) -> Result<Self, P3Error> {
-        let mut program = self.program.clone();
-        let mut vars = self.vars.clone();
+    pub fn with_probabilities(&self, changes: &[(p3_prob::VarId, f64)]) -> Result<Self, P3Error> {
+        let mut program = (*self.program).clone();
+        let mut vars = (*self.vars).clone();
         for &(var, prob) in changes {
             program = program.with_probability(p3_provenance::vars::clause_of(var), prob)?;
             vars.set_prob(var, prob);
         }
-        Ok(Self { program, db: self.db.clone(), graph: self.graph.clone(), vars })
+        // The database, graph, analysis and formula store are all
+        // probability-independent, so the copy shares them.
+        Ok(Self {
+            program: Arc::new(program),
+            db: Arc::clone(&self.db),
+            graph: Arc::clone(&self.graph),
+            vars: Arc::new(vars),
+            analysis: Arc::clone(&self.analysis),
+            store: Arc::clone(&self.store),
+        })
     }
 
     /// Applies a [`crate::ModificationPlan`]'s steps as a what-if update.
@@ -177,9 +246,13 @@ impl P3 {
         method: ProbMethod,
         opts: ExtractOptions,
     ) -> Vec<(TupleId, String, f64)> {
-        let Some(pred) = self.program.symbols().get(pred_name) else { return Vec::new() };
-        let Some(rel) = self.db.relation(pred) else { return Vec::new() };
-        let extractor = Extractor::new(&self.graph);
+        let Some(pred) = self.program.symbols().get(pred_name) else {
+            return Vec::new();
+        };
+        let Some(rel) = self.db.relation(pred) else {
+            return Vec::new();
+        };
+        let extractor = self.extractor();
         let syms = self.program.symbols();
         let mut out: Vec<(TupleId, String, f64)> = rel
             .tuples()
@@ -191,7 +264,9 @@ impl P3 {
             })
             .collect();
         out.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
         });
         out
     }
@@ -216,14 +291,18 @@ mod tests {
     #[test]
     fn probability_of_the_running_example() {
         let p3 = P3::from_source(ACQ).unwrap();
-        let p = p3.probability(r#"know("Ben","Elena")"#, ProbMethod::Exact).unwrap();
+        let p = p3
+            .probability(r#"know("Ben","Elena")"#, ProbMethod::Exact)
+            .unwrap();
         assert!((p - 0.16384).abs() < 1e-12, "got {p}");
     }
 
     #[test]
     fn unknown_tuple_is_reported() {
         let p3 = P3::from_source(ACQ).unwrap();
-        let err = p3.probability(r#"know("Mary","Elena")"#, ProbMethod::Exact).unwrap_err();
+        let err = p3
+            .probability(r#"know("Mary","Elena")"#, ProbMethod::Exact)
+            .unwrap_err();
         assert!(matches!(err, P3Error::NotDerivable(_)), "{err}");
     }
 
@@ -246,11 +325,8 @@ mod tests {
     #[test]
     fn relation_probabilities_rank_all_tuples() {
         let p3 = P3::from_source(ACQ).unwrap();
-        let ranked = p3.relation_probabilities(
-            "know",
-            ProbMethod::Exact,
-            ExtractOptions::unbounded(),
-        );
+        let ranked =
+            p3.relation_probabilities("know", ProbMethod::Exact, ExtractOptions::unbounded());
         assert!(ranked.len() >= 3, "{ranked:?}");
         // Sorted descending; know(Ben,Steve) is a certain base tuple.
         assert!(ranked.windows(2).all(|w| w[0].2 >= w[1].2));
@@ -268,13 +344,19 @@ mod tests {
         let r3 = p3.program().clause_by_label("r3").unwrap();
         let var = p3_provenance::vars::var_of(r3);
         let cheap = p3.with_probabilities(&[(var, 0.6104)]).unwrap();
-        let p_cheap = cheap.probability(r#"know("Ben","Elena")"#, ProbMethod::Exact).unwrap();
+        let p_cheap = cheap
+            .probability(r#"know("Ben","Elena")"#, ProbMethod::Exact)
+            .unwrap();
         // Full re-evaluation of the modified program.
         let full = P3::from_program(p3.program().with_probability(r3, 0.6104).unwrap()).unwrap();
-        let p_full = full.probability(r#"know("Ben","Elena")"#, ProbMethod::Exact).unwrap();
+        let p_full = full
+            .probability(r#"know("Ben","Elena")"#, ProbMethod::Exact)
+            .unwrap();
         assert!((p_cheap - p_full).abs() < 1e-12);
         // The original system is untouched.
-        let p_orig = p3.probability(r#"know("Ben","Elena")"#, ProbMethod::Exact).unwrap();
+        let p_orig = p3
+            .probability(r#"know("Ben","Elena")"#, ProbMethod::Exact)
+            .unwrap();
         assert!((p_orig - 0.16384).abs() < 1e-12);
     }
 
@@ -292,7 +374,9 @@ mod tests {
             },
         );
         let fixed = p3.apply_plan(&plan).unwrap();
-        let p = fixed.probability(r#"know("Ben","Elena")"#, ProbMethod::Exact).unwrap();
+        let p = fixed
+            .probability(r#"know("Ben","Elena")"#, ProbMethod::Exact)
+            .unwrap();
         assert!((p - 0.5).abs() < 1e-9, "got {p}");
     }
 

@@ -308,8 +308,19 @@ impl Clause {
         struct D<'a>(&'a Clause, &'a SymbolTable);
         impl fmt::Display for D<'_> {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                write!(f, "{} {}: {}", self.0.label, self.0.prob, self.0.head.display(self.1))?;
-                if let ClauseKind::Rule { body, negated, constraints } = &self.0.kind {
+                write!(
+                    f,
+                    "{} {}: {}",
+                    self.0.label,
+                    self.0.prob,
+                    self.0.head.display(self.1)
+                )?;
+                if let ClauseKind::Rule {
+                    body,
+                    negated,
+                    constraints,
+                } = &self.0.kind
+                {
                     write!(f, " :- ")?;
                     let mut first = true;
                     for atom in body {
@@ -375,9 +386,15 @@ mod tests {
         let p = t.intern("p");
         let x = t.intern("X");
         let a = Const::Sym(t.intern("a"));
-        let ground = Atom { pred: p, args: vec![Term::Const(a), Term::Const(a)] };
+        let ground = Atom {
+            pred: p,
+            args: vec![Term::Const(a), Term::Const(a)],
+        };
         assert!(ground.is_ground());
-        let open = Atom { pred: p, args: vec![Term::Var(x), Term::Const(a)] };
+        let open = Atom {
+            pred: p,
+            args: vec![Term::Var(x), Term::Const(a)],
+        };
         assert!(!open.is_ground());
         assert_eq!(open.vars().collect::<Vec<_>>(), vec![x]);
     }
@@ -402,13 +419,26 @@ mod tests {
         let clause = Clause {
             label: "r1".to_string(),
             prob: 0.5,
-            head: Atom { pred: p, args: vec![Term::Var(x)] },
+            head: Atom {
+                pred: p,
+                args: vec![Term::Var(x)],
+            },
             kind: ClauseKind::Rule {
-                body: vec![Atom { pred: q, args: vec![Term::Var(x), Term::Var(y)] }],
+                body: vec![Atom {
+                    pred: q,
+                    args: vec![Term::Var(x), Term::Var(y)],
+                }],
                 negated: vec![],
-                constraints: vec![Constraint { op: CmpOp::Ne, lhs: Term::Var(x), rhs: Term::Var(y) }],
+                constraints: vec![Constraint {
+                    op: CmpOp::Ne,
+                    lhs: Term::Var(x),
+                    rhs: Term::Var(y),
+                }],
             },
         };
-        assert_eq!(format!("{}", clause.display(&t)), "r1 0.5: p(X) :- q(X,Y), X != Y.");
+        assert_eq!(
+            format!("{}", clause.display(&t)),
+            "r1 0.5: p(X) :- q(X,Y), X != Y."
+        );
     }
 }

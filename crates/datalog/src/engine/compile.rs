@@ -101,8 +101,11 @@ impl CompiledRule {
         // Number body variables first (binding order), then the head reuses
         // the same slots — safety guarantees every head var occurs in a body
         // atom.
-        let body: Vec<CAtom> =
-            clause.body().iter().map(|a| compile_atom(a, &mut numbering)).collect();
+        let body: Vec<CAtom> = clause
+            .body()
+            .iter()
+            .map(|a| compile_atom(a, &mut numbering))
+            .collect();
         let head = compile_atom(&clause.head, &mut numbering);
 
         // For each constraint find the earliest body position binding both
@@ -120,7 +123,10 @@ impl CompiledRule {
             .iter()
             .map(|atom| {
                 let ready_after = atom.vars().map(bound_after).max().unwrap_or(0);
-                CNegated { atom: compile_atom(atom, &mut numbering), ready_after }
+                CNegated {
+                    atom: compile_atom(atom, &mut numbering),
+                    ready_after,
+                }
             })
             .collect();
 
@@ -136,17 +142,25 @@ impl CompiledRule {
                     Term::Var(v) => CTerm::Var(number(v, &mut numbering)),
                     Term::Const(k) => CTerm::Const(k),
                 };
-                let ready_after = c
-                    .vars()
-                    .map(bound_after)
-                    .max()
-                    .unwrap_or(0); // all-constant constraints run immediately
-                CConstraint { op: c.op, lhs, rhs, ready_after }
+                let ready_after = c.vars().map(bound_after).max().unwrap_or(0); // all-constant constraints run immediately
+                CConstraint {
+                    op: c.op,
+                    lhs,
+                    rhs,
+                    ready_after,
+                }
             })
             .collect();
 
         let num_vars = numbering.len();
-        CompiledRule { clause: id, head, body, negated, constraints, num_vars }
+        CompiledRule {
+            clause: id,
+            head,
+            body,
+            negated,
+            constraints,
+            num_vars,
+        }
     }
 }
 
@@ -183,12 +197,17 @@ mod tests {
 
     #[test]
     fn constraints_are_scheduled_at_earliest_bound_position() {
-        let (_, r) = compile_first(
-            "r1 1.0: p(A,C) :- q(A,B), q(B,C), A != B, A != C. t1 1.0: q(a,b).",
-        );
+        let (_, r) =
+            compile_first("r1 1.0: p(A,C) :- q(A,B), q(B,C), A != B, A != C. t1 1.0: q(a,b).");
         assert_eq!(r.constraints.len(), 2);
-        assert_eq!(r.constraints[0].ready_after, 0, "A != B ready after first atom");
-        assert_eq!(r.constraints[1].ready_after, 1, "A != C ready after second atom");
+        assert_eq!(
+            r.constraints[0].ready_after, 0,
+            "A != B ready after first atom"
+        );
+        assert_eq!(
+            r.constraints[1].ready_after, 1,
+            "A != C ready after second atom"
+        );
     }
 
     #[test]

@@ -87,7 +87,10 @@ impl Database {
             return (id, false);
         }
         let id = TupleId(u32::try_from(self.tuples.len()).expect("tuple id overflow"));
-        self.tuples.push(StoredTuple { pred, args: args.clone() });
+        self.tuples.push(StoredTuple {
+            pred,
+            args: args.clone(),
+        });
         self.intern.insert((pred, args), id);
         self.relations.entry(pred).or_default().tuples.push(id);
         (id, true)
@@ -98,7 +101,9 @@ impl Database {
         // The borrow of the key requires an owned Box; avoid it with a
         // two-step scan over the relation for small lookups? No — clone the
         // key; lookups are rare (query entry points only).
-        self.intern.get(&(pred, args.to_vec().into_boxed_slice())).copied()
+        self.intern
+            .get(&(pred, args.to_vec().into_boxed_slice()))
+            .copied()
     }
 
     /// The stored tuple for `id`.
@@ -115,7 +120,12 @@ impl Database {
     pub fn relation_by_name(&self, name: &str) -> Option<&Relation> {
         // Scan: the number of predicates is tiny.
         self.relations.iter().find_map(|(sym, rel)| {
-            if self.symbols_hint.as_ref().map(|t| t.resolve(*sym) == name).unwrap_or(false) {
+            if self
+                .symbols_hint
+                .as_ref()
+                .map(|t| t.resolve(*sym) == name)
+                .unwrap_or(false)
+            {
                 Some(rel)
             } else {
                 None
@@ -142,7 +152,9 @@ impl Database {
     /// maintaining) a hash index.
     pub fn probe(&mut self, pred: Symbol, cols: &[usize], key: &[Const]) -> &[TupleId] {
         debug_assert_eq!(cols.len(), key.len());
-        let Some(rel) = self.relations.get_mut(&pred) else { return &[] };
+        let Some(rel) = self.relations.get_mut(&pred) else {
+            return &[];
+        };
         let index = rel
             .indices
             .entry(cols.to_vec().into_boxed_slice())
@@ -155,11 +167,7 @@ impl Database {
             let k: Box<[Const]> = cols.iter().map(|&c| tuple.args[c]).collect();
             index.map.entry(k).or_default().push(id);
         }
-        index
-            .map
-            .get(key)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        index.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Renders a tuple as `pred(arg,...)`.

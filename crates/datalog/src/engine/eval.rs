@@ -184,7 +184,11 @@ impl JoinCx<'_> {
                 };
                 self.scratch_key.push(v);
             }
-            if self.db.lookup(self.rule.negated[i].atom.pred, &self.scratch_key).is_some() {
+            if self
+                .db
+                .lookup(self.rule.negated[i].atom.pred, &self.scratch_key)
+                .is_some()
+            {
                 return false;
             }
         }
@@ -215,13 +219,7 @@ impl JoinCx<'_> {
 
     /// All body atoms matched: ground the head, insert, and report.
     fn fire(&mut self) {
-        let args: Box<[Const]> = self
-            .rule
-            .head
-            .args
-            .iter()
-            .map(|t| self.value(*t))
-            .collect();
+        let args: Box<[Const]> = self.rule.head.args.iter().map(|t| self.value(*t)).collect();
         let (head_id, _) = self.db.insert(self.rule.head.pred, args);
         self.sink.derived(self.rule.clause, head_id, &self.body_ids);
         self.firings += 1;
@@ -230,7 +228,10 @@ impl JoinCx<'_> {
 
 /// The subslice of `ids` (sorted ascending) with `lo <= id < hi`.
 fn in_range(ids: &[TupleId], lo: TupleId, hi: TupleId) -> &[TupleId] {
-    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "tuple id lists are sorted");
+    debug_assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "tuple id lists are sorted"
+    );
     let start = ids.partition_point(|&id| id < lo);
     let end = ids.partition_point(|&id| id < hi);
     &ids[start..end]

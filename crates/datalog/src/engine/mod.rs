@@ -79,7 +79,11 @@ impl<'p> Engine<'p> {
             .filter(|(_, c)| c.is_rule())
             .map(|(id, _)| CompiledRule::compile(program, id))
             .collect();
-        Self { program, rules, stats: EngineStats::default() }
+        Self {
+            program,
+            rules,
+            stats: EngineStats::default(),
+        }
     }
 
     /// Runs to fixpoint, reporting derivations to `sink`.
@@ -143,7 +147,11 @@ impl<'p> Engine<'p> {
             }
         }
 
-        self.stats = EngineStats { iterations, firings, tuples: db.len() };
+        self.stats = EngineStats {
+            iterations,
+            firings,
+            tuples: db.len(),
+        };
         db
     }
 
@@ -194,39 +202,31 @@ mod tests {
 
     #[test]
     fn simple_join() {
-        let (p, db, _) = run(
-            "r1 1.0: grandparent(X,Z) :- parent(X,Y), parent(Y,Z).
-             parent(alice,bob). parent(bob,carol). parent(bob,dave).",
-        );
+        let (p, db, _) = run("r1 1.0: grandparent(X,Z) :- parent(X,Y), parent(Y,Z).
+             parent(alice,bob). parent(bob,carol). parent(bob,dave).");
         assert_eq!(count(&p, &db, "grandparent"), 2);
     }
 
     #[test]
     fn transitive_closure() {
-        let (p, db, _) = run(
-            "r1 1.0: path(X,Y) :- edge(X,Y).
+        let (p, db, _) = run("r1 1.0: path(X,Y) :- edge(X,Y).
              r2 1.0: path(X,Z) :- edge(X,Y), path(Y,Z).
-             edge(1,2). edge(2,3). edge(3,4). edge(4,1).",
-        );
+             edge(1,2). edge(2,3). edge(3,4). edge(4,1).");
         // Cycle of 4 nodes: all 16 ordered pairs are reachable.
         assert_eq!(count(&p, &db, "path"), 16);
     }
 
     #[test]
     fn constraints_prune_groundings() {
-        let (p, db, _) = run(
-            "r1 1.0: pair(X,Y) :- p(X), p(Y), X != Y.
-             p(a). p(b). p(c).",
-        );
+        let (p, db, _) = run("r1 1.0: pair(X,Y) :- p(X), p(Y), X != Y.
+             p(a). p(b). p(c).");
         assert_eq!(count(&p, &db, "pair"), 6, "3*3 minus the 3 diagonal pairs");
     }
 
     #[test]
     fn integer_comparison_constraints() {
-        let (p, db, _) = run(
-            "r1 1.0: big(X) :- num(X), X >= 10.
-             num(3). num(10). num(42).",
-        );
+        let (p, db, _) = run("r1 1.0: big(X) :- num(X), X >= 10.
+             num(3). num(10). num(42).");
         assert_eq!(count(&p, &db, "big"), 2);
     }
 
@@ -287,10 +287,8 @@ mod tests {
         }
         // q(a) has two derivations; both must be observed even though the
         // tuple is inserted once.
-        let p = Program::parse(
-            "r1 0.5: q(X) :- p1(X). r2 0.5: q(X) :- p2(X). p1(a). p2(a).",
-        )
-        .unwrap();
+        let p =
+            Program::parse("r1 0.5: q(X) :- p1(X). r2 0.5: q(X) :- p2(X). p1(a). p2(a).").unwrap();
         let mut c = Count(0);
         let db = Engine::new(&p).run(&mut c);
         assert_eq!(c.0, 2);
@@ -306,10 +304,8 @@ mod tests {
 
     #[test]
     fn repeated_variables_within_an_atom_filter() {
-        let (p, db, _) = run(
-            "r1 1.0: loop(X) :- edge(X,X).
-             edge(1,1). edge(1,2). edge(3,3).",
-        );
+        let (p, db, _) = run("r1 1.0: loop(X) :- edge(X,X).
+             edge(1,1). edge(1,2). edge(3,3).");
         assert_eq!(count(&p, &db, "loop"), 2);
     }
 

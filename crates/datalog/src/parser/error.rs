@@ -41,7 +41,12 @@ pub struct ParseError {
 impl ParseError {
     pub(crate) fn new(kind: ParseErrorKind, span: Span, src: &str) -> Self {
         let (line, column) = position(src, span.start);
-        Self { kind, span, line, column }
+        Self {
+            kind,
+            span,
+            line,
+            column,
+        }
     }
 }
 
@@ -66,7 +71,11 @@ fn position(src: &str, offset: usize) -> (usize, usize) {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}, column {}: ", self.line, self.column)?;
+        write!(
+            f,
+            "parse error at line {}, column {}: ",
+            self.line, self.column
+        )?;
         match &self.kind {
             ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character '{c}'"),
             ParseErrorKind::UnterminatedString => write!(f, "unterminated string literal"),

@@ -106,7 +106,11 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `src`.
     pub fn new(src: &'a str) -> Self {
-        Self { src, bytes: src.as_bytes(), pos: 0 }
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// Tokenizes the whole input. The final token is always [`TokenKind::Eof`].
@@ -154,11 +158,17 @@ impl<'a> Lexer<'a> {
         self.skip_trivia();
         let start = self.pos;
         let Some(b) = self.peek_byte() else {
-            return Ok(Token { kind: TokenKind::Eof, span: Span::new(start, start) });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span: Span::new(start, start),
+            });
         };
         let simple = |kind: TokenKind, len: usize, this: &mut Self| {
             this.pos += len;
-            Ok(Token { kind, span: Span::new(start, start + len) })
+            Ok(Token {
+                kind,
+                span: Span::new(start, start + len),
+            })
         };
         match b {
             b'(' => simple(TokenKind::LParen, 1, self),
@@ -184,11 +194,17 @@ impl<'a> Lexer<'a> {
             b'-' | b'0'..=b'9' => self.lex_number(start),
             b'_' | b'A'..=b'Z' => {
                 self.lex_ident(start);
-                Ok(Token { kind: TokenKind::UpperIdent, span: Span::new(start, self.pos) })
+                Ok(Token {
+                    kind: TokenKind::UpperIdent,
+                    span: Span::new(start, self.pos),
+                })
             }
             b'a'..=b'z' => {
                 self.lex_ident(start);
-                Ok(Token { kind: TokenKind::LowerIdent, span: Span::new(start, self.pos) })
+                Ok(Token {
+                    kind: TokenKind::LowerIdent,
+                    span: Span::new(start, self.pos),
+                })
             }
             _ => {
                 let ch = self.src[start..].chars().next().unwrap_or('?');
@@ -233,7 +249,10 @@ impl<'a> Lexer<'a> {
                 self.pos += 1;
             }
         }
-        Ok(Token { kind: TokenKind::Number, span: Span::new(start, self.pos) })
+        Ok(Token {
+            kind: TokenKind::Number,
+            span: Span::new(start, self.pos),
+        })
     }
 
     fn lex_string(&mut self, start: usize) -> Result<Token, ParseError> {
@@ -241,7 +260,10 @@ impl<'a> Lexer<'a> {
         while let Some(b) = self.peek_byte() {
             self.pos += 1;
             if b == b'"' {
-                return Ok(Token { kind: TokenKind::Str, span: Span::new(start, self.pos) });
+                return Ok(Token {
+                    kind: TokenKind::Str,
+                    span: Span::new(start, self.pos),
+                });
             }
             if b == b'\n' {
                 break;
@@ -260,7 +282,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -326,7 +353,10 @@ mod tests {
 
     #[test]
     fn strings_and_unterminated_string() {
-        assert_eq!(kinds(r#""hello world""#), vec![TokenKind::Str, TokenKind::Eof]);
+        assert_eq!(
+            kinds(r#""hello world""#),
+            vec![TokenKind::Str, TokenKind::Eof]
+        );
         assert!(Lexer::new("\"oops").tokenize().is_err());
         assert!(Lexer::new("\"oops\nmore").tokenize().is_err());
     }

@@ -63,7 +63,14 @@ struct Parser<'a> {
 impl<'a> Parser<'a> {
     fn new(src: &'a str, symbols: &'a mut SymbolTable) -> Result<Self, ParseError> {
         let tokens = Lexer::new(src).tokenize()?;
-        Ok(Self { tokens, pos: 0, src, symbols, rule_counter: 0, fact_counter: 0 })
+        Ok(Self {
+            tokens,
+            pos: 0,
+            src,
+            symbols,
+            rule_counter: 0,
+            fact_counter: 0,
+        })
     }
 
     fn peek(&self) -> &Token {
@@ -96,7 +103,10 @@ impl<'a> Parser<'a> {
             Ok(self.advance())
         } else {
             Err(self.error(
-                ParseErrorKind::Expected { expected: kind.describe(), found: t.kind.describe() },
+                ParseErrorKind::Expected {
+                    expected: kind.describe(),
+                    found: t.kind.describe(),
+                },
                 t.span,
             ))
         }
@@ -117,7 +127,11 @@ impl<'a> Parser<'a> {
         let kind = if self.peek().kind == TokenKind::Implies {
             self.advance();
             let (body, negated, constraints) = self.parse_body()?;
-            ClauseKind::Rule { body, negated, constraints }
+            ClauseKind::Rule {
+                body,
+                negated,
+                constraints,
+            }
         } else {
             ClauseKind::Fact
         };
@@ -132,7 +146,12 @@ impl<'a> Parser<'a> {
                 format!("r{}", self.rule_counter)
             }
         });
-        Ok(Clause { label, prob, head, kind })
+        Ok(Clause {
+            label,
+            prob,
+            head,
+            kind,
+        })
     }
 
     /// Parses the optional `label prob:` or `prob::` prefix, returning the
@@ -248,7 +267,9 @@ impl<'a> Parser<'a> {
 
     fn parse_atom(&mut self) -> Result<Atom, ParseError> {
         let name_tok = self.expect(TokenKind::LowerIdent)?;
-        let pred = self.symbols.intern(&self.src[name_tok.span.start..name_tok.span.end]);
+        let pred = self
+            .symbols
+            .intern(&self.src[name_tok.span.start..name_tok.span.end]);
         self.expect(TokenKind::LParen)?;
         let mut args = Vec::new();
         if self.peek().kind != TokenKind::RParen {
@@ -290,7 +311,10 @@ impl<'a> Parser<'a> {
                 Ok(Term::Const(Const::Int(value)))
             }
             other => Err(self.error(
-                ParseErrorKind::Expected { expected: "term", found: other.describe() },
+                ParseErrorKind::Expected {
+                    expected: "term",
+                    found: other.describe(),
+                },
                 tok.span,
             )),
         }
@@ -336,7 +360,9 @@ mod tests {
         let p = parse("r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.").unwrap();
         let c = &p.clauses[0];
         match &c.kind {
-            ClauseKind::Rule { body, constraints, .. } => {
+            ClauseKind::Rule {
+                body, constraints, ..
+            } => {
                 assert_eq!(body.len(), 2);
                 assert_eq!(constraints.len(), 1);
                 assert_eq!(constraints[0].op, CmpOp::Ne);
@@ -369,7 +395,10 @@ mod tests {
     #[test]
     fn rejects_probability_out_of_range() {
         let err = parse("r1 1.5: p(a) :- q(a).").unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::ProbabilityOutOfRange(_)), "{err}");
+        assert!(
+            matches!(err.kind, ParseErrorKind::ProbabilityOutOfRange(_)),
+            "{err}"
+        );
     }
 
     #[test]
@@ -381,7 +410,10 @@ mod tests {
     #[test]
     fn rejects_unterminated_string() {
         let err = parse(r#"edge("a,b)."#).unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::UnterminatedString), "{err}");
+        assert!(
+            matches!(err.kind, ParseErrorKind::UnterminatedString),
+            "{err}"
+        );
     }
 
     #[test]
@@ -411,8 +443,11 @@ mod tests {
         let src = r#"r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
 t1 1.0: live("Steve","DC")."#;
         let p = parse(src).unwrap();
-        let rendered: Vec<String> =
-            p.clauses.iter().map(|c| format!("{}", c.display(&p.symbols))).collect();
+        let rendered: Vec<String> = p
+            .clauses
+            .iter()
+            .map(|c| format!("{}", c.display(&p.symbols)))
+            .collect();
         let reparsed = parse(&rendered.join("\n")).unwrap();
         assert_eq!(p.clauses.len(), reparsed.clauses.len());
         for (a, b) in p.clauses.iter().zip(reparsed.clauses.iter()) {

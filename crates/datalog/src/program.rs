@@ -89,7 +89,11 @@ impl fmt::Display for ProgramError {
                 f,
                 "clause '{label}' is unsafe: variable {var} does not occur in any body atom"
             ),
-            ProgramError::ArityMismatch { pred, expected, found } => write!(
+            ProgramError::ArityMismatch {
+                pred,
+                expected,
+                found,
+            } => write!(
                 f,
                 "predicate '{pred}' used with arity {found} but previously with arity {expected}"
             ),
@@ -135,20 +139,19 @@ impl Program {
 
     /// Validates clauses constructed programmatically (for example by a
     /// [`ProgramBuilder`]).
-    pub fn from_clauses(
-        clauses: Vec<Clause>,
-        symbols: SymbolTable,
-    ) -> Result<Self, ProgramError> {
+    pub fn from_clauses(clauses: Vec<Clause>, symbols: SymbolTable) -> Result<Self, ProgramError> {
         let mut labels = HashMap::new();
         let mut arities: HashMap<Symbol, usize> = HashMap::new();
 
         let mut check_arity = |atom: &Atom, syms: &SymbolTable| -> Result<(), ProgramError> {
             match arities.get(&atom.pred) {
-                Some(&expected) if expected != atom.args.len() => Err(ProgramError::ArityMismatch {
-                    pred: syms.resolve(atom.pred).to_string(),
-                    expected,
-                    found: atom.args.len(),
-                }),
+                Some(&expected) if expected != atom.args.len() => {
+                    Err(ProgramError::ArityMismatch {
+                        pred: syms.resolve(atom.pred).to_string(),
+                        expected,
+                        found: atom.args.len(),
+                    })
+                }
                 Some(_) => Ok(()),
                 None => {
                     arities.insert(atom.pred, atom.args.len());
@@ -164,19 +167,32 @@ impl Program {
                     prob: clause.prob,
                 });
             }
-            if labels.insert(clause.label.clone(), ClauseId(i as u32)).is_some() {
-                return Err(ProgramError::DuplicateLabel { label: clause.label.clone() });
+            if labels
+                .insert(clause.label.clone(), ClauseId(i as u32))
+                .is_some()
+            {
+                return Err(ProgramError::DuplicateLabel {
+                    label: clause.label.clone(),
+                });
             }
             check_arity(&clause.head, &symbols)?;
             match &clause.kind {
                 ClauseKind::Fact => {
                     if !clause.head.is_ground() {
-                        return Err(ProgramError::NonGroundFact { label: clause.label.clone() });
+                        return Err(ProgramError::NonGroundFact {
+                            label: clause.label.clone(),
+                        });
                     }
                 }
-                ClauseKind::Rule { body, negated, constraints } => {
+                ClauseKind::Rule {
+                    body,
+                    negated,
+                    constraints,
+                } => {
                     if body.is_empty() {
-                        return Err(ProgramError::EmptyBody { label: clause.label.clone() });
+                        return Err(ProgramError::EmptyBody {
+                            label: clause.label.clone(),
+                        });
                     }
                     let mut bound: HashSet<Symbol> = HashSet::new();
                     for atom in body {
@@ -216,7 +232,13 @@ impl Program {
         }
 
         let strata = compute_strata(&clauses, &symbols)?;
-        Ok(Self { clauses, symbols, labels, arities: arities_final, strata })
+        Ok(Self {
+            clauses,
+            symbols,
+            labels,
+            arities: arities_final,
+            strata,
+        })
     }
 
     /// All clauses, in source order. A clause's position is its [`ClauseId`].
@@ -241,7 +263,10 @@ impl Program {
 
     /// Iterates over `(id, clause)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ClauseId, &Clause)> {
-        self.clauses.iter().enumerate().map(|(i, c)| (ClauseId(i as u32), c))
+        self.clauses
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClauseId(i as u32), c))
     }
 
     /// The arity of `pred`, if the predicate appears in the program.
@@ -435,13 +460,21 @@ impl ProgramBuilder {
         let body = body.iter().map(|(p, args)| self.atom(p, args)).collect();
         let constraints = constraints
             .iter()
-            .map(|(lhs, op, rhs)| Constraint { op: *op, lhs: self.term(lhs), rhs: self.term(rhs) })
+            .map(|(lhs, op, rhs)| Constraint {
+                op: *op,
+                lhs: self.term(lhs),
+                rhs: self.term(rhs),
+            })
             .collect();
         self.clauses.push(Clause {
             label: label.to_string(),
             prob,
             head,
-            kind: ClauseKind::Rule { body, negated: Vec::new(), constraints },
+            kind: ClauseKind::Rule {
+                body,
+                negated: Vec::new(),
+                constraints,
+            },
         });
         self
     }
@@ -461,13 +494,21 @@ impl ProgramBuilder {
         let negated = negated.iter().map(|(p, args)| self.atom(p, args)).collect();
         let constraints = constraints
             .iter()
-            .map(|(lhs, op, rhs)| Constraint { op: *op, lhs: self.term(lhs), rhs: self.term(rhs) })
+            .map(|(lhs, op, rhs)| Constraint {
+                op: *op,
+                lhs: self.term(lhs),
+                rhs: self.term(rhs),
+            })
             .collect();
         self.clauses.push(Clause {
             label: label.to_string(),
             prob,
             head,
-            kind: ClauseKind::Rule { body, negated, constraints },
+            kind: ClauseKind::Rule {
+                body,
+                negated,
+                constraints,
+            },
         });
         self
     }
@@ -557,7 +598,10 @@ mod tests {
     fn builder_rejects_bad_probability() {
         let mut b = ProgramBuilder::new();
         b.fact("t1", 1.5, "p", &[T::sym("a")]);
-        assert!(matches!(b.build(), Err(ProgramError::BadProbability { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ProgramError::BadProbability { .. })
+        ));
     }
 
     #[test]

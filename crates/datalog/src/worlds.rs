@@ -98,13 +98,16 @@ pub fn parse_ground_query(
     query: &str,
 ) -> Result<(Symbol, Vec<Const>), WorldsError> {
     let mut symbols = program.symbols().clone();
-    let clauses = crate::parser::parse_into(&format!("{}.", query.trim_end_matches('.')), &mut symbols)
-        .map_err(|e| WorldsError::UnknownQuery(format!("{query}: {e}")))?;
+    let clauses =
+        crate::parser::parse_into(&format!("{}.", query.trim_end_matches('.')), &mut symbols)
+            .map_err(|e| WorldsError::UnknownQuery(format!("{query}: {e}")))?;
     let [clause] = clauses.as_slice() else {
         return Err(WorldsError::UnknownQuery(query.to_string()));
     };
     if !clause.is_fact() || !clause.head.is_ground() {
-        return Err(WorldsError::UnknownQuery(format!("{query}: not a ground atom")));
+        return Err(WorldsError::UnknownQuery(format!(
+            "{query}: not a ground atom"
+        )));
     }
     // Reject queries that introduced brand-new symbols: they cannot denote a
     // derivable tuple, and their `Symbol`s would be dangling relative to the
@@ -146,8 +149,8 @@ fn world_derives(
         }
         kept.push(clause.clone());
     }
-    let sub = Program::from_clauses(kept, program.symbols().clone())
-        .map_err(WorldsError::Program)?;
+    let sub =
+        Program::from_clauses(kept, program.symbols().clone()).map_err(WorldsError::Program)?;
     let db = Engine::new(&sub).run(&mut NoopSink);
     Ok(db.lookup(pred, args).is_some())
 }

@@ -23,7 +23,11 @@ fn naive_fixpoint(program: &Program) -> BTreeSet<Fact> {
         .map(|c| {
             (
                 c.head.pred,
-                c.head.args.iter().map(|t| t.as_const().expect("ground")).collect(),
+                c.head
+                    .args
+                    .iter()
+                    .map(|t| t.as_const().expect("ground"))
+                    .collect(),
             )
         })
         .collect();

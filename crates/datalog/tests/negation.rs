@@ -7,7 +7,11 @@ use p3_datalog::program::{Program, ProgramError};
 use p3_datalog::worlds;
 
 fn count(p: &Program, db: &p3_datalog::engine::Database, pred: &str) -> usize {
-    p.symbols().get(pred).and_then(|s| db.relation(s)).map(|r| r.len()).unwrap_or(0)
+    p.symbols()
+        .get(pred)
+        .and_then(|s| db.relation(s))
+        .map(|r| r.len())
+        .unwrap_or(0)
 }
 
 #[test]

@@ -12,7 +12,10 @@ pub struct Assignment {
 impl Assignment {
     /// An all-false assignment over `len` variables.
     pub fn new(len: usize) -> Self {
-        Self { bits: vec![0; len.div_ceil(64)], len }
+        Self {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Number of variables covered.

@@ -59,7 +59,11 @@ impl Bdd {
     pub fn new() -> Self {
         // Slots 0 and 1 are reserved for the terminals; the sentinel nodes
         // stored there are never dereferenced.
-        let sentinel = Node { var: u32::MAX, lo: FALSE, hi: FALSE };
+        let sentinel = Node {
+            var: u32::MAX,
+            lo: FALSE,
+            hi: FALSE,
+        };
         Self {
             nodes: vec![sentinel, sentinel],
             unique: HashMap::new(),
@@ -189,8 +193,8 @@ impl Bdd {
         }
         let n = self.nodes[node.0 as usize];
         let p_var = vars.prob(VarId(n.var));
-        let p = (1.0 - p_var) * self.wmc_rec(n.lo, vars, memo)
-            + p_var * self.wmc_rec(n.hi, vars, memo);
+        let p =
+            (1.0 - p_var) * self.wmc_rec(n.lo, vars, memo) + p_var * self.wmc_rec(n.hi, vars, memo);
         memo.insert(node, p);
         p
     }
@@ -200,7 +204,11 @@ impl Bdd {
         let mut cur = node;
         while !cur.is_terminal() {
             let n = self.nodes[cur.0 as usize];
-            cur = if assignment.get(VarId(n.var)) { n.hi } else { n.lo };
+            cur = if assignment.get(VarId(n.var)) {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         cur == TRUE
     }
@@ -258,8 +266,9 @@ mod tests {
             let monomials: Vec<Monomial> = (0..nmono)
                 .map(|_| {
                     let len = rng.random_range(1..=nvars);
-                    let lits: Vec<VarId> =
-                        (0..len).map(|_| VarId(rng.random_range(0..nvars) as u32)).collect();
+                    let lits: Vec<VarId> = (0..len)
+                        .map(|_| VarId(rng.random_range(0..nvars) as u32))
+                        .collect();
                     Monomial::new(lits)
                 })
                 .collect();
@@ -268,7 +277,10 @@ mod tests {
             let node = bdd.from_dnf(&dnf);
             let wmc = bdd.wmc(node, &vars);
             let exact = crate::exact::probability(&dnf, &vars);
-            assert!((wmc - exact).abs() < 1e-10, "wmc={wmc} exact={exact} dnf={dnf:?}");
+            assert!(
+                (wmc - exact).abs() < 1e-10,
+                "wmc={wmc} exact={exact} dnf={dnf:?}"
+            );
         }
     }
 

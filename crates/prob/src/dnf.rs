@@ -98,7 +98,9 @@ impl Monomial {
 
     /// Removes `var` from the monomial (conditioning on `var = true`).
     fn without(&self, var: VarId) -> Monomial {
-        Monomial { lits: self.lits.iter().copied().filter(|&v| v != var).collect() }
+        Monomial {
+            lits: self.lits.iter().copied().filter(|&v| v != var).collect(),
+        }
     }
 }
 
@@ -116,12 +118,16 @@ pub struct Dnf {
 impl Dnf {
     /// The constant `false` (no derivations).
     pub fn zero() -> Self {
-        Self { monomials: Vec::new() }
+        Self {
+            monomials: Vec::new(),
+        }
     }
 
     /// The constant `true` (an unconditional derivation).
     pub fn one() -> Self {
-        Self { monomials: vec![Monomial::one()] }
+        Self {
+            monomials: vec![Monomial::one()],
+        }
     }
 
     /// Builds a formula from monomials, normalising (dedup + absorption).
@@ -133,7 +139,9 @@ impl Dnf {
 
     /// A single-literal formula.
     pub fn literal(var: VarId) -> Self {
-        Self { monomials: vec![Monomial::new(vec![var])] }
+        Self {
+            monomials: vec![Monomial::new(vec![var])],
+        }
     }
 
     /// The monomials, each sorted; the list order is unspecified but
@@ -164,8 +172,11 @@ impl Dnf {
 
     /// The distinct variables, sorted ascending.
     pub fn vars(&self) -> Vec<VarId> {
-        let mut vars: Vec<VarId> =
-            self.monomials.iter().flat_map(|m| m.literals().iter().copied()).collect();
+        let mut vars: Vec<VarId> = self
+            .monomials
+            .iter()
+            .flat_map(|m| m.literals().iter().copied())
+            .collect();
         vars.sort_unstable();
         vars.dedup();
         vars
@@ -225,9 +236,8 @@ impl Dnf {
     /// monomial subsumed by a shorter one.
     fn normalize(&mut self) {
         // Sort by (length, lits) so potential subsumers precede subsumees.
-        self.monomials.sort_unstable_by(|a, b| {
-            a.len().cmp(&b.len()).then_with(|| a.cmp(b))
-        });
+        self.monomials
+            .sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
         self.monomials.dedup();
         // `true` absorbs everything.
         if self.monomials.first().is_some_and(Monomial::is_empty) {
@@ -429,8 +439,12 @@ mod tests {
     fn invariants_hold_after_operations() {
         let a = Dnf::new(vec![m(&[1, 2]), m(&[2]), m(&[3, 4]), m(&[1, 2, 3])]);
         a.check_invariants().unwrap();
-        a.or(&Dnf::new(vec![m(&[2, 3])])).check_invariants().unwrap();
-        a.and(&Dnf::new(vec![m(&[2]), m(&[9])])).check_invariants().unwrap();
+        a.or(&Dnf::new(vec![m(&[2, 3])]))
+            .check_invariants()
+            .unwrap();
+        a.and(&Dnf::new(vec![m(&[2]), m(&[9])]))
+            .check_invariants()
+            .unwrap();
         a.restrict(v(2), true).check_invariants().unwrap();
         a.restrict(v(2), false).check_invariants().unwrap();
     }

@@ -35,7 +35,10 @@ impl std::fmt::Display for ExactError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExactError::BudgetExceeded { budget } => {
-                write!(f, "exact probability exceeded budget of {budget} expansion steps")
+                write!(
+                    f,
+                    "exact probability exceeded budget of {budget} expansion steps"
+                )
             }
         }
     }
@@ -54,7 +57,12 @@ pub fn probability(dnf: &Dnf, vars: &VarTable) -> f64 {
 
 /// Exact `P[λ]`, abandoning past `budget` expansion steps.
 pub fn try_probability(dnf: &Dnf, vars: &VarTable, budget: usize) -> Result<f64, ExactError> {
-    let mut cx = Cx { vars, memo: HashMap::new(), steps: 0, budget };
+    let mut cx = Cx {
+        vars,
+        memo: HashMap::new(),
+        steps: 0,
+        budget,
+    };
     cx.prob(dnf)
 }
 
@@ -81,7 +89,9 @@ impl Cx<'_> {
         }
         self.steps += 1;
         if self.steps > self.budget {
-            return Err(ExactError::BudgetExceeded { budget: self.budget });
+            return Err(ExactError::BudgetExceeded {
+                budget: self.budget,
+            });
         }
 
         let components = components(dnf);
@@ -225,7 +235,13 @@ mod tests {
         // Compare Shannon result against 2^n enumeration on a tangled DNF.
         let probs = [0.3, 0.6, 0.5, 0.8, 0.2];
         let vars = table(&probs);
-        let dnf = Dnf::new(vec![m(&[0, 1]), m(&[1, 2]), m(&[2, 3]), m(&[3, 4]), m(&[0, 4])]);
+        let dnf = Dnf::new(vec![
+            m(&[0, 1]),
+            m(&[1, 2]),
+            m(&[2, 3]),
+            m(&[3, 4]),
+            m(&[0, 4]),
+        ]);
         let mut expected = 0.0;
         for world in 0u32..(1 << probs.len()) {
             let mut weight = 1.0;

@@ -16,7 +16,10 @@
 //! * [`mc`] — Monte-Carlo estimators: naive sampling, the Karp–Luby union
 //!   estimator, and a paired (common-random-numbers) influence estimator;
 //! * [`parallel`] — multi-threaded Monte-Carlo drivers (the paper's GPU
-//!   parallelisation, reproduced with CPU threads).
+//!   parallelisation, reproduced with CPU threads);
+//! * [`store`] — a hash-consed [`DnfStore`] interning formulas behind stable
+//!   [`DnfId`]s, with memoized restriction/disjunction/conjunction; the
+//!   foundation of `p3-core`'s shared query sessions.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,9 +30,11 @@ pub mod dnf;
 pub mod exact;
 pub mod mc;
 pub mod parallel;
+pub mod store;
 pub mod var;
 
 pub use assignment::Assignment;
 pub use dnf::{Dnf, Monomial};
 pub use mc::McConfig;
+pub use store::{DnfId, DnfStore, StoreStats};
 pub use var::{VarId, VarTable};

@@ -20,7 +20,10 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
 /// Monte-Carlo parameters.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// `Eq`/`Hash` hold because both fields are integers; session caches key
+/// probability results on `(DnfId, ProbMethod)`, which embeds this config.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct McConfig {
     /// Number of samples to draw.
     pub samples: usize,
@@ -30,14 +33,20 @@ pub struct McConfig {
 
 impl Default for McConfig {
     fn default() -> Self {
-        Self { samples: 100_000, seed: 0x7033 }
+        Self {
+            samples: 100_000,
+            seed: 0x7033,
+        }
     }
 }
 
 impl McConfig {
     /// A config with `samples` samples and the default seed.
     pub fn with_samples(samples: usize) -> Self {
-        Self { samples, ..Self::default() }
+        Self {
+            samples,
+            ..Self::default()
+        }
     }
 
     /// Returns a copy with a different seed (used to give worker threads
@@ -61,7 +70,9 @@ impl CompiledDnf {
     pub fn compile(dnf: &Dnf, vars: &VarTable) -> Self {
         let slot_vars = dnf.vars();
         let slot_of = |v: VarId| -> u32 {
-            slot_vars.binary_search(&v).expect("dnf var missing from its own var list") as u32
+            slot_vars
+                .binary_search(&v)
+                .expect("dnf var missing from its own var list") as u32
         };
         let monomials = dnf
             .monomials()
@@ -69,7 +80,11 @@ impl CompiledDnf {
             .map(|m| m.literals().iter().map(|&l| slot_of(l)).collect())
             .collect();
         let slot_probs = slot_vars.iter().map(|&v| vars.prob(v)).collect();
-        Self { monomials, slot_probs, slot_vars }
+        Self {
+            monomials,
+            slot_probs,
+            slot_vars,
+        }
     }
 
     /// Number of distinct variables.
@@ -96,15 +111,18 @@ impl CompiledDnf {
 
     #[inline]
     fn eval(&self, bits: &[bool]) -> bool {
-        self.monomials.iter().any(|m| m.iter().all(|&s| bits[s as usize]))
+        self.monomials
+            .iter()
+            .any(|m| m.iter().all(|&s| bits[s as usize]))
     }
 
     /// Evaluates with `slot` forced to `value`, ignoring its sampled bit.
     #[inline]
     fn eval_forced(&self, bits: &[bool], slot: u32, value: bool) -> bool {
-        self.monomials
-            .iter()
-            .any(|m| m.iter().all(|&s| if s == slot { value } else { bits[s as usize] }))
+        self.monomials.iter().any(|m| {
+            m.iter()
+                .all(|&s| if s == slot { value } else { bits[s as usize] })
+        })
     }
 }
 
@@ -152,12 +170,23 @@ pub fn estimate_adaptive(
     target_half_width: f64,
     max_samples: usize,
 ) -> Estimate {
-    assert!(target_half_width > 0.0, "target half-width must be positive");
+    assert!(
+        target_half_width > 0.0,
+        "target half-width must be positive"
+    );
     if dnf.is_false() {
-        return Estimate { value: 0.0, std_error: 0.0, samples: 0 };
+        return Estimate {
+            value: 0.0,
+            std_error: 0.0,
+            samples: 0,
+        };
     }
     if dnf.is_true() {
-        return Estimate { value: 1.0, std_error: 0.0, samples: 0 };
+        return Estimate {
+            value: 1.0,
+            std_error: 0.0,
+            samples: 0,
+        };
     }
     const BATCH: usize = 4096;
     let compiled = CompiledDnf::compile(dnf, vars);
@@ -176,7 +205,11 @@ pub fn estimate_adaptive(
         let p = hits as f64 / n as f64;
         let se = (p * (1.0 - p) / n as f64).sqrt();
         if 1.96 * se <= target_half_width || n >= max_samples {
-            return Estimate { value: p, std_error: se, samples: n };
+            return Estimate {
+                value: p,
+                std_error: se,
+                samples: n,
+            };
         }
     }
 }
@@ -220,7 +253,11 @@ pub fn karp_luby(dnf: &Dnf, vars: &VarTable, cfg: McConfig) -> f64 {
         return 1.0;
     }
     let compiled = CompiledDnf::compile(dnf, vars);
-    let weights: Vec<f64> = dnf.monomials().iter().map(|m| m.probability(vars)).collect();
+    let weights: Vec<f64> = dnf
+        .monomials()
+        .iter()
+        .map(|m| m.probability(vars))
+        .collect();
     let total: f64 = weights.iter().sum();
     if total == 0.0 {
         return 0.0;
@@ -267,7 +304,9 @@ pub fn influence(dnf: &Dnf, vars: &VarTable, x: VarId, cfg: McConfig) -> f64 {
 /// Paired influence estimate over an already-compiled formula. Returns 0
 /// when `x` does not occur in the formula.
 pub fn influence_compiled(compiled: &CompiledDnf, x: VarId, cfg: McConfig) -> f64 {
-    let Some(slot) = compiled.slot_of(x) else { return 0.0 };
+    let Some(slot) = compiled.slot_of(x) else {
+        return 0.0;
+    };
     let slot = slot as u32;
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut bits = vec![false; compiled.num_slots()];
@@ -300,7 +339,9 @@ pub fn influence_all(dnf: &Dnf, vars: &VarTable, cfg: McConfig) -> Vec<(VarId, f
 /// Sorts `(var, influence)` pairs by descending influence, ties by id.
 pub fn sort_by_influence(entries: &mut [(VarId, f64)]) {
     entries.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
     });
 }
 
@@ -322,7 +363,10 @@ mod tests {
         Monomial::new(lits.iter().map(|&i| VarId(i)).collect())
     }
 
-    const CFG: McConfig = McConfig { samples: 200_000, seed: 7 };
+    const CFG: McConfig = McConfig {
+        samples: 200_000,
+        seed: 7,
+    };
 
     #[test]
     fn naive_estimate_converges() {
@@ -349,7 +393,14 @@ mod tests {
         let vars = table(&[0.01, 0.01]);
         let dnf = Dnf::new(vec![m(&[0, 1])]);
         let exact = 0.0001;
-        let est = karp_luby(&dnf, &vars, McConfig { samples: 50_000, seed: 3 });
+        let est = karp_luby(
+            &dnf,
+            &vars,
+            McConfig {
+                samples: 50_000,
+                seed: 3,
+            },
+        );
         assert!((est - exact).abs() / exact < 0.05, "est={est}");
     }
 
@@ -359,7 +410,10 @@ mod tests {
         let dnf = Dnf::new(vec![m(&[0]), m(&[1])]);
         assert_eq!(estimate(&dnf, &vars, CFG), estimate(&dnf, &vars, CFG));
         assert_eq!(karp_luby(&dnf, &vars, CFG), karp_luby(&dnf, &vars, CFG));
-        assert_eq!(influence(&dnf, &vars, VarId(0), CFG), influence(&dnf, &vars, VarId(0), CFG));
+        assert_eq!(
+            influence(&dnf, &vars, VarId(0), CFG),
+            influence(&dnf, &vars, VarId(0), CFG)
+        );
     }
 
     #[test]
@@ -379,7 +433,10 @@ mod tests {
             let expected = exact::probability(&dnf.restrict(x, true), &vars)
                 - exact::probability(&dnf.restrict(x, false), &vars);
             let est = influence(&dnf, &vars, x, CFG);
-            assert!((est - expected).abs() < 0.01, "{x}: est={est} expected={expected}");
+            assert!(
+                (est - expected).abs() < 0.01,
+                "{x}: est={est} expected={expected}"
+            );
         }
     }
 
@@ -438,7 +495,11 @@ mod tests {
         let vars = table(&[0.5]);
         let dnf = Dnf::new(vec![m(&[0])]);
         let e = estimate_adaptive(&dnf, &vars, 1, 1e-9, 10_000);
-        assert!(e.samples <= 12_288, "one batch over the cap at most: {}", e.samples);
+        assert!(
+            e.samples <= 12_288,
+            "one batch over the cap at most: {}",
+            e.samples
+        );
     }
 
     #[test]

@@ -15,10 +15,34 @@ use crate::dnf::Dnf;
 use crate::mc::{self, CompiledDnf, McConfig};
 use crate::var::{VarId, VarTable};
 
-/// Number of worker threads to use by default: the available parallelism,
-/// capped at 16 (beyond that, memory bandwidth dominates for this workload).
+/// Number of worker threads to use by default.
+///
+/// Honours the `P3_THREADS` environment variable when it is set to a
+/// positive integer; otherwise uses the available parallelism, capped at 16
+/// (beyond that, memory bandwidth dominates for this workload). A thread
+/// count of `0` passed to any driver in this module means "use this
+/// default", so callers can store `0` in configs to defer the decision.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+    if let Ok(raw) = std::env::var("P3_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// Maps the `0 = use default` convention onto a concrete worker count.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
 }
 
 /// Splits `total` samples into `parts` near-equal chunks.
@@ -38,7 +62,7 @@ pub fn estimate(dnf: &Dnf, vars: &VarTable, cfg: McConfig, threads: usize) -> f6
         return 1.0;
     }
     let compiled = CompiledDnf::compile(dnf, vars);
-    let chunks = split(cfg.samples, threads);
+    let chunks = split(cfg.samples, resolve_threads(threads));
     let estimates: Vec<(usize, f64)> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
@@ -46,12 +70,17 @@ pub fn estimate(dnf: &Dnf, vars: &VarTable, cfg: McConfig, threads: usize) -> f6
             .filter(|(_, &n)| n > 0)
             .map(|(i, &n)| {
                 let compiled = &compiled;
-                let worker_cfg =
-                    McConfig { samples: n, seed: worker_seed(cfg.seed, i) };
+                let worker_cfg = McConfig {
+                    samples: n,
+                    seed: worker_seed(cfg.seed, i),
+                };
                 scope.spawn(move |_| (n, mc::estimate_compiled(compiled, worker_cfg)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("mc worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mc worker panicked"))
+            .collect()
     })
     .expect("mc scope panicked");
     weighted_mean(&estimates)
@@ -60,7 +89,7 @@ pub fn estimate(dnf: &Dnf, vars: &VarTable, cfg: McConfig, threads: usize) -> f6
 /// Parallel paired influence estimate for a single variable.
 pub fn influence(dnf: &Dnf, vars: &VarTable, x: VarId, cfg: McConfig, threads: usize) -> f64 {
     let compiled = CompiledDnf::compile(dnf, vars);
-    let chunks = split(cfg.samples, threads);
+    let chunks = split(cfg.samples, resolve_threads(threads));
     let estimates: Vec<(usize, f64)> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
@@ -68,12 +97,17 @@ pub fn influence(dnf: &Dnf, vars: &VarTable, x: VarId, cfg: McConfig, threads: u
             .filter(|(_, &n)| n > 0)
             .map(|(i, &n)| {
                 let compiled = &compiled;
-                let worker_cfg =
-                    McConfig { samples: n, seed: worker_seed(cfg.seed, i) };
+                let worker_cfg = McConfig {
+                    samples: n,
+                    seed: worker_seed(cfg.seed, i),
+                };
                 scope.spawn(move |_| (n, mc::influence_compiled(compiled, x, worker_cfg)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("mc worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mc worker panicked"))
+            .collect()
     })
     .expect("mc scope panicked");
     weighted_mean(&estimates)
@@ -91,7 +125,7 @@ pub fn influence_all(
 ) -> Vec<(VarId, f64)> {
     let compiled = CompiledDnf::compile(dnf, vars);
     let all_vars = dnf.vars();
-    let threads = threads.max(1).min(all_vars.len().max(1));
+    let threads = resolve_threads(threads).min(all_vars.len().max(1));
     let mut out: Vec<(VarId, f64)> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
@@ -165,15 +199,29 @@ mod tests {
         let vars = table(&[0.5, 0.4, 0.2]);
         let dnf = Dnf::new(vec![m(&[0, 1]), m(&[0, 2])]);
         let expected = exact::probability(&dnf, &vars);
-        let est = estimate(&dnf, &vars, McConfig { samples: 200_000, seed: 11 }, 4);
-        assert!((est - expected).abs() < 0.01, "est={est} expected={expected}");
+        let est = estimate(
+            &dnf,
+            &vars,
+            McConfig {
+                samples: 200_000,
+                seed: 11,
+            },
+            4,
+        );
+        assert!(
+            (est - expected).abs() < 0.01,
+            "est={est} expected={expected}"
+        );
     }
 
     #[test]
     fn parallel_influence_all_matches_sequential_ranking() {
         let vars = table(&[0.8, 0.4, 0.2, 1.0, 1.0, 0.4, 0.6, 1.0]);
         let dnf = Dnf::new(vec![m(&[2, 7, 0, 3, 4]), m(&[2, 7, 1, 5, 6])]);
-        let cfg = McConfig { samples: 100_000, seed: 5 };
+        let cfg = McConfig {
+            samples: 100_000,
+            seed: 5,
+        };
         let seq = mc::influence_all(&dnf, &vars, cfg);
         let par = influence_all(&dnf, &vars, cfg, 4);
         // Stripe-parallel influence uses the same per-variable estimator and
@@ -185,22 +233,70 @@ mod tests {
     fn parallel_results_are_reproducible() {
         let vars = table(&[0.5, 0.4]);
         let dnf = Dnf::new(vec![m(&[0]), m(&[1])]);
-        let cfg = McConfig { samples: 50_000, seed: 9 };
+        let cfg = McConfig {
+            samples: 50_000,
+            seed: 9,
+        };
         assert_eq!(estimate(&dnf, &vars, cfg, 3), estimate(&dnf, &vars, cfg, 3));
     }
 
     #[test]
     fn worker_seeds_are_distinct() {
-        let seeds: std::collections::HashSet<u64> =
-            (0..64).map(|i| worker_seed(42, i)).collect();
+        let seeds: std::collections::HashSet<u64> = (0..64).map(|i| worker_seed(42, i)).collect();
         assert_eq!(seeds.len(), 64);
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let vars = table(&[0.5, 0.4]);
+        let dnf = Dnf::new(vec![m(&[0]), m(&[1])]);
+        let cfg = McConfig {
+            samples: 10_000,
+            seed: 2,
+        };
+        // `0` resolves to default_threads(); the estimate must match an
+        // explicit call with that count (same seed split).
+        let dflt = default_threads();
+        assert_eq!(
+            estimate(&dnf, &vars, cfg, 0),
+            estimate(&dnf, &vars, cfg, dflt)
+        );
+        assert_eq!(
+            influence_all(&dnf, &vars, cfg, 0),
+            influence_all(&dnf, &vars, cfg, dflt)
+        );
+        assert_eq!(resolve_threads(0), dflt);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn p3_threads_env_overrides_default() {
+        // Serialised with nothing: other tests pass explicit counts, so the
+        // env var cannot leak into them.
+        std::env::set_var("P3_THREADS", "2");
+        assert_eq!(default_threads(), 2);
+        std::env::set_var("P3_THREADS", "not a number");
+        let fallback = default_threads();
+        assert!((1..=16).contains(&fallback));
+        std::env::set_var("P3_THREADS", "0");
+        assert_eq!(default_threads(), fallback, "0 is ignored, not honoured");
+        std::env::remove_var("P3_THREADS");
+        assert_eq!(default_threads(), fallback);
     }
 
     #[test]
     fn more_threads_than_samples_is_fine() {
         let vars = table(&[0.5]);
         let dnf = Dnf::new(vec![m(&[0])]);
-        let est = estimate(&dnf, &vars, McConfig { samples: 3, seed: 1 }, 8);
+        let est = estimate(
+            &dnf,
+            &vars,
+            McConfig {
+                samples: 3,
+                seed: 1,
+            },
+            8,
+        );
         assert!((0.0..=1.0).contains(&est));
     }
 }

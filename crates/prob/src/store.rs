@@ -1,0 +1,351 @@
+//! A hash-consed store of DNF formulas.
+//!
+//! [`DnfStore`] interns every distinct [`Dnf`] once and hands out stable
+//! [`DnfId`]s. Structurally equal formulas — however they were built — map
+//! to the same id and the same `Arc<Dnf>` allocation, so:
+//!
+//! * equality between stored formulas is an integer compare;
+//! * downstream caches (probability memo tables, extraction results) can key
+//!   on `DnfId` instead of hashing whole formulas;
+//! * the algebraic operations ([`DnfStore::or`], [`DnfStore::and`],
+//!   [`DnfStore::restrict`]) are memoized per *id*, so e.g. an influence
+//!   query restricting the same base formula on fifty candidate literals
+//!   normalises each restriction only once per process lifetime.
+//!
+//! The store is append-only behind an `RwLock`: interning never invalidates
+//! an id, which is what makes it safe to share one store across concurrent
+//! query sessions (see `p3-core`'s `QuerySession`).
+
+use crate::dnf::Dnf;
+use crate::var::VarId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A stable handle to an interned formula. Ids are only meaningful for the
+/// store that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DnfId(u32);
+
+impl DnfId {
+    /// The constant `false` formula — always id 0 in every store.
+    pub const FALSE: DnfId = DnfId(0);
+    /// The constant `true` formula — always id 1 in every store.
+    pub const TRUE: DnfId = DnfId(1);
+
+    /// The raw index (useful for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Counters describing store effectiveness; all monotonically increasing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct formulas interned.
+    pub formulas: usize,
+    /// `intern` calls that found an existing formula.
+    pub intern_hits: u64,
+    /// `intern` calls that added a new formula.
+    pub intern_misses: u64,
+    /// Memoized op lookups (`or`/`and`/`restrict`) answered from cache.
+    pub op_hits: u64,
+    /// Memoized op lookups that had to compute.
+    pub op_misses: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    formulas: Vec<Arc<Dnf>>,
+    index: HashMap<Arc<Dnf>, u32>,
+    restrict_cache: HashMap<(DnfId, VarId, bool), DnfId>,
+    or_cache: HashMap<(DnfId, DnfId), DnfId>,
+    and_cache: HashMap<(DnfId, DnfId), DnfId>,
+    stats: StoreStats,
+}
+
+impl Inner {
+    /// Returns the id and whether the formula was newly inserted. Hit
+    /// accounting lives in the atomic counters on [`DnfStore`], outside the
+    /// lock.
+    fn intern(&mut self, dnf: Dnf) -> (DnfId, bool) {
+        if let Some(&id) = self.index.get(&dnf) {
+            return (DnfId(id), false);
+        }
+        let id = u32::try_from(self.formulas.len()).expect("DnfStore overflow");
+        let arc = Arc::new(dnf);
+        self.formulas.push(Arc::clone(&arc));
+        self.index.insert(arc, id);
+        self.stats.intern_misses += 1;
+        self.stats.formulas = self.formulas.len();
+        (DnfId(id), true)
+    }
+}
+
+/// A thread-safe, append-only interner of [`Dnf`] formulas with memoized
+/// algebraic operations. See the module docs for the design rationale.
+///
+/// Hit counters are atomics so cache-hit paths never touch the write lock
+/// (taking it while the hit path's read guard is alive would self-deadlock).
+pub struct DnfStore {
+    inner: RwLock<Inner>,
+    intern_hits: AtomicU64,
+    op_hits: AtomicU64,
+}
+
+impl Default for DnfStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DnfStore {
+    /// An empty store with the constants pre-interned at [`DnfId::FALSE`]
+    /// and [`DnfId::TRUE`].
+    pub fn new() -> Self {
+        let mut inner = Inner::default();
+        let (zero, _) = inner.intern(Dnf::zero());
+        let (one, _) = inner.intern(Dnf::one());
+        debug_assert_eq!(zero, DnfId::FALSE);
+        debug_assert_eq!(one, DnfId::TRUE);
+        // The two constants are structural, not client traffic.
+        inner.stats.intern_misses = 0;
+        Self {
+            inner: RwLock::new(inner),
+            intern_hits: AtomicU64::new(0),
+            op_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Interns `dnf`, returning its stable id. Structurally equal formulas
+    /// always receive the same id (and share one allocation).
+    pub fn intern(&self, dnf: Dnf) -> DnfId {
+        // Fast path: a read lock suffices for formulas already present.
+        {
+            let inner = self.inner.read().unwrap();
+            if let Some(&id) = inner.index.get(&dnf) {
+                self.intern_hits.fetch_add(1, Ordering::Relaxed);
+                return DnfId(id);
+            }
+        }
+        let (id, new) = self.inner.write().unwrap().intern(dnf);
+        if !new {
+            // Lost a race: someone interned it between the two locks.
+            self.intern_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        id
+    }
+
+    /// The formula behind `id`. The `Arc` is shared with the store, so two
+    /// equal formulas are pointer-equal: `Arc::ptr_eq(&s.get(a), &s.get(a))`.
+    ///
+    /// # Panics
+    /// If `id` did not come from this store.
+    pub fn get(&self, id: DnfId) -> Arc<Dnf> {
+        Arc::clone(&self.inner.read().unwrap().formulas[id.index()])
+    }
+
+    /// Shorthand for interning a single-literal formula.
+    pub fn literal(&self, var: VarId) -> DnfId {
+        self.intern(Dnf::literal(var))
+    }
+
+    /// Memoized disjunction `a + b`.
+    pub fn or(&self, a: DnfId, b: DnfId) -> DnfId {
+        // Identities dodge both the cache and the normalisation.
+        if a == DnfId::FALSE || a == b {
+            return b;
+        }
+        if b == DnfId::FALSE {
+            return a;
+        }
+        if a == DnfId::TRUE || b == DnfId::TRUE {
+            return DnfId::TRUE;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&id) = self.inner.read().unwrap().or_cache.get(&key) {
+            self.op_hits.fetch_add(1, Ordering::Relaxed);
+            return id;
+        }
+        let (fa, fb) = (self.get(a), self.get(b));
+        let result = fa.or(&fb);
+        let mut inner = self.inner.write().unwrap();
+        let (id, _) = inner.intern(result);
+        inner.or_cache.insert(key, id);
+        inner.stats.op_misses += 1;
+        id
+    }
+
+    /// Memoized conjunction `a · b`.
+    pub fn and(&self, a: DnfId, b: DnfId) -> DnfId {
+        if a == DnfId::FALSE || b == DnfId::FALSE {
+            return DnfId::FALSE;
+        }
+        if a == DnfId::TRUE || a == b {
+            return b;
+        }
+        if b == DnfId::TRUE {
+            return a;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&id) = self.inner.read().unwrap().and_cache.get(&key) {
+            self.op_hits.fetch_add(1, Ordering::Relaxed);
+            return id;
+        }
+        let (fa, fb) = (self.get(a), self.get(b));
+        let result = fa.and(&fb);
+        let mut inner = self.inner.write().unwrap();
+        let (id, _) = inner.intern(result);
+        inner.and_cache.insert(key, id);
+        inner.stats.op_misses += 1;
+        id
+    }
+
+    /// Memoized restriction `formula | var = value`.
+    pub fn restrict(&self, id: DnfId, var: VarId, value: bool) -> DnfId {
+        if id == DnfId::FALSE || id == DnfId::TRUE {
+            return id;
+        }
+        let key = (id, var, value);
+        if let Some(&cached) = self.inner.read().unwrap().restrict_cache.get(&key) {
+            self.op_hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        let result = self.get(id).restrict(var, value);
+        let mut inner = self.inner.write().unwrap();
+        let (out, _) = inner.intern(result);
+        inner.restrict_cache.insert(key, out);
+        inner.stats.op_misses += 1;
+        out
+    }
+
+    /// Number of distinct formulas interned (including the two constants).
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().formulas.len()
+    }
+
+    /// Whether only the constants are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 2
+    }
+
+    /// A snapshot of the effectiveness counters.
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = self.inner.read().unwrap().stats;
+        stats.intern_hits = self.intern_hits.load(Ordering::Relaxed);
+        stats.op_hits = self.op_hits.load(Ordering::Relaxed);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnf::Monomial;
+
+    fn m(lits: &[u32]) -> Monomial {
+        Monomial::new(lits.iter().map(|&i| VarId(i)).collect())
+    }
+
+    #[test]
+    fn constants_have_fixed_ids() {
+        let store = DnfStore::new();
+        assert_eq!(store.intern(Dnf::zero()), DnfId::FALSE);
+        assert_eq!(store.intern(Dnf::one()), DnfId::TRUE);
+        assert!(store.get(DnfId::FALSE).is_false());
+        assert!(store.get(DnfId::TRUE).is_true());
+    }
+
+    #[test]
+    fn structurally_equal_formulas_share_an_id_and_allocation() {
+        let store = DnfStore::new();
+        let a = store.intern(Dnf::new(vec![m(&[1, 2]), m(&[3])]));
+        // Built differently (different monomial order, pre-normal input).
+        let b = store.intern(Dnf::new(vec![m(&[3]), m(&[2, 1]), m(&[1, 2, 3])]));
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&store.get(a), &store.get(b)));
+        let stats = store.stats();
+        assert_eq!(stats.intern_hits, 1);
+    }
+
+    #[test]
+    fn or_and_restrict_match_direct_operations() {
+        let store = DnfStore::new();
+        let fa = Dnf::new(vec![m(&[1, 2])]);
+        let fb = Dnf::new(vec![m(&[2, 3]), m(&[4])]);
+        let a = store.intern(fa.clone());
+        let b = store.intern(fb.clone());
+        assert_eq!(*store.get(store.or(a, b)), fa.or(&fb));
+        assert_eq!(*store.get(store.and(a, b)), fa.and(&fb));
+        assert_eq!(
+            *store.get(store.restrict(a, VarId(1), true)),
+            fa.restrict(VarId(1), true)
+        );
+        assert_eq!(
+            *store.get(store.restrict(a, VarId(1), false)),
+            fa.restrict(VarId(1), false)
+        );
+    }
+
+    #[test]
+    fn identities_short_circuit() {
+        let store = DnfStore::new();
+        let a = store.intern(Dnf::new(vec![m(&[1])]));
+        assert_eq!(store.or(a, DnfId::FALSE), a);
+        assert_eq!(store.or(DnfId::FALSE, a), a);
+        assert_eq!(store.or(a, DnfId::TRUE), DnfId::TRUE);
+        assert_eq!(store.or(a, a), a);
+        assert_eq!(store.and(a, DnfId::TRUE), a);
+        assert_eq!(store.and(DnfId::TRUE, a), a);
+        assert_eq!(store.and(a, DnfId::FALSE), DnfId::FALSE);
+        assert_eq!(store.and(a, a), a);
+        assert_eq!(store.restrict(DnfId::TRUE, VarId(0), false), DnfId::TRUE);
+        // None of the above should have populated an op cache.
+        assert_eq!(store.stats().op_misses, 0);
+    }
+
+    #[test]
+    fn ops_are_memoized() {
+        let store = DnfStore::new();
+        let a = store.intern(Dnf::new(vec![m(&[1, 2]), m(&[3])]));
+        let first = store.restrict(a, VarId(1), true);
+        let misses_after_first = store.stats().op_misses;
+        let second = store.restrict(a, VarId(1), true);
+        assert_eq!(first, second);
+        assert_eq!(store.stats().op_misses, misses_after_first);
+        assert!(store.stats().op_hits >= 1);
+        // Commutative key: or(a, b) and or(b, a) share a cache entry.
+        let b = store.intern(Dnf::new(vec![m(&[4])]));
+        let ab = store.or(a, b);
+        let hits = store.stats().op_hits;
+        assert_eq!(store.or(b, a), ab);
+        assert_eq!(store.stats().op_hits, hits + 1);
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        let store = DnfStore::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..50u32 {
+                        let id = store.intern(Dnf::new(vec![m(&[i % 10, 10 + i % 7])]));
+                        let back = store.get(id);
+                        assert_eq!(store.intern((*back).clone()), id);
+                        let _ = store.restrict(id, VarId(t % 10), t % 2 == 0);
+                    }
+                });
+            }
+        });
+        // At most: 2 constants + 50 distinct monomial pairs + restrictions.
+        let n = store.len();
+        assert!(n >= 3, "formulas were interned: {n}");
+        // Re-interning everything changes nothing.
+        let before = store.len();
+        for i in 0..50u32 {
+            store.intern(Dnf::new(vec![m(&[i % 10, 10 + i % 7])]));
+        }
+        assert_eq!(store.len(), before);
+    }
+}

@@ -42,7 +42,10 @@ impl VarTable {
     /// # Panics
     /// Panics if `prob` is outside `[0, 1]` or not finite.
     pub fn add(&mut self, name: impl Into<String>, prob: f64) -> VarId {
-        assert!(prob.is_finite() && (0.0..=1.0).contains(&prob), "probability {prob} out of range");
+        assert!(
+            prob.is_finite() && (0.0..=1.0).contains(&prob),
+            "probability {prob} out of range"
+        );
         let id = VarId(u32::try_from(self.probs.len()).expect("variable table overflow"));
         self.probs.push(prob);
         self.names.push(name.into());
@@ -57,7 +60,10 @@ impl VarTable {
 
     /// Replaces the probability of `var`. Used by modification queries.
     pub fn set_prob(&mut self, var: VarId, prob: f64) {
-        assert!(prob.is_finite() && (0.0..=1.0).contains(&prob), "probability {prob} out of range");
+        assert!(
+            prob.is_finite() && (0.0..=1.0).contains(&prob),
+            "probability {prob} out of range"
+        );
         self.probs[var.index()] = prob;
     }
 

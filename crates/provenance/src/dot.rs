@@ -13,12 +13,7 @@ use std::fmt::Write as _;
 
 /// Renders the provenance subgraph rooted at `root` in Graphviz `dot`
 /// syntax.
-pub fn to_dot(
-    graph: &ProvGraph,
-    db: &Database,
-    program: &Program,
-    root: TupleId,
-) -> String {
+pub fn to_dot(graph: &ProvGraph, db: &Database, program: &Program, root: TupleId) -> String {
     let mut out = String::new();
     let syms = program.symbols();
     out.push_str("digraph provenance {\n");

@@ -22,16 +22,22 @@
 //! **Memoisation.** Sub-polynomials of *clean* tuples — tuples whose entire
 //! downward closure is acyclic — cannot interact with the path-based skip,
 //! so they are cached per `(tuple, remaining-depth)`. Cyclic regions fall
-//! back to plain path-sensitive DFS.
+//! back to plain path-sensitive DFS. The caches live in an [`Analysis`]
+//! value that can be owned by one [`Extractor`] or shared (behind `Arc`)
+//! across many, so a query session extracting the same subgoal from
+//! different roots — or re-extracting the same root — pays for it once.
 
 use crate::graph::{Derivation, ProvGraph};
 use crate::vars::var_of;
 use p3_datalog::engine::TupleId;
 use p3_prob::Dnf;
 use std::collections::{HashMap, HashSet};
+use std::sync::RwLock;
 
 /// Options controlling extraction.
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// `Eq`/`Hash` let results be memoized per `(tuple, options)` pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct ExtractOptions {
     /// Maximum number of nested rule executions; `None` means unbounded
     /// (safe: cycle elimination guarantees termination regardless).
@@ -46,7 +52,9 @@ impl ExtractOptions {
 
     /// Extraction capped at `depth` nested rule executions.
     pub fn with_max_depth(depth: usize) -> Self {
-        Self { max_depth: Some(depth) }
+        Self {
+            max_depth: Some(depth),
+        }
     }
 }
 
@@ -58,21 +66,33 @@ pub fn extract_polynomial(graph: &ProvGraph, root: TupleId, opts: ExtractOptions
     Extractor::new(graph).polynomial(root, opts)
 }
 
-/// A reusable extractor over one provenance graph.
+/// The shareable per-graph extraction state: the cycle analysis plus the
+/// memo caches it enables.
 ///
-/// Construction analyses the graph's cycle structure (Tarjan SCC over the
-/// tuple-dependency projection) so that acyclic regions can be memoised.
-pub struct Extractor<'g> {
-    graph: &'g ProvGraph,
+/// An `Analysis` belongs to exactly one [`ProvGraph`] (the one it was built
+/// from); using it with any other graph produces garbage. It is internally
+/// synchronised, so one instance may serve concurrent extractions — the
+/// `p3-core` shared query core keeps one `Arc<Analysis>` next to its
+/// `Arc<ProvGraph>` and every session's extractor reuses both.
+pub struct Analysis {
     /// Tuples whose downward closure contains no cycle.
     clean: HashSet<TupleId>,
+    /// Sub-polynomials of clean tuples, keyed by `(tuple, remaining-depth)`
+    /// (remaining depth is `usize::MAX` when unbounded).
+    memo: RwLock<HashMap<(TupleId, usize), Dnf>>,
+    /// Finished extractions, keyed by `(root, options)`.
+    results: RwLock<HashMap<(TupleId, ExtractOptions), Dnf>>,
 }
 
-impl<'g> Extractor<'g> {
-    /// Analyses `graph` and prepares an extractor.
-    pub fn new(graph: &'g ProvGraph) -> Self {
-        let clean = compute_clean(graph);
-        Self { graph, clean }
+impl Analysis {
+    /// Analyses `graph` (Tarjan SCC over the tuple-dependency projection)
+    /// and prepares empty caches.
+    pub fn new(graph: &ProvGraph) -> Self {
+        Self {
+            clean: compute_clean(graph),
+            memo: RwLock::new(HashMap::new()),
+            results: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Whether every derivation below `tuple` is acyclic.
@@ -80,22 +100,99 @@ impl<'g> Extractor<'g> {
         self.clean.contains(&tuple)
     }
 
+    /// Number of finished extractions currently cached.
+    pub fn cached_results(&self) -> usize {
+        self.results.read().unwrap().len()
+    }
+}
+
+/// A reusable extractor over one provenance graph.
+///
+/// Construction analyses the graph's cycle structure so that acyclic
+/// regions can be memoised; see [`Analysis`]. [`Extractor::new`] owns its
+/// analysis, [`Extractor::with_analysis`] borrows a shared one so repeated
+/// extractions across extractors hit the same caches.
+pub struct Extractor<'g> {
+    graph: &'g ProvGraph,
+    analysis: AnalysisRef<'g>,
+}
+
+enum AnalysisRef<'g> {
+    Owned(Box<Analysis>),
+    Shared(&'g Analysis),
+}
+
+impl<'g> Extractor<'g> {
+    /// Analyses `graph` and prepares an extractor with its own caches.
+    pub fn new(graph: &'g ProvGraph) -> Self {
+        Self {
+            graph,
+            analysis: AnalysisRef::Owned(Box::new(Analysis::new(graph))),
+        }
+    }
+
+    /// An extractor reusing a shared [`Analysis`] (which must have been
+    /// built from this same `graph`).
+    pub fn with_analysis(graph: &'g ProvGraph, analysis: &'g Analysis) -> Self {
+        Self {
+            graph,
+            analysis: AnalysisRef::Shared(analysis),
+        }
+    }
+
+    /// The analysis in use (owned or shared).
+    pub fn analysis(&self) -> &Analysis {
+        match &self.analysis {
+            AnalysisRef::Owned(a) => a,
+            AnalysisRef::Shared(a) => a,
+        }
+    }
+
+    /// Whether every derivation below `tuple` is acyclic.
+    pub fn is_clean(&self, tuple: TupleId) -> bool {
+        self.analysis().is_clean(tuple)
+    }
+
     /// The provenance polynomial of `root`.
+    ///
+    /// Finished results are memoized per `(root, opts)` in the analysis, so
+    /// repeated calls — from this extractor or any other sharing the same
+    /// analysis — are O(1) after the first.
     pub fn polynomial(&self, root: TupleId, opts: ExtractOptions) -> Dnf {
+        let analysis = self.analysis();
+        if let Some(hit) = analysis.results.read().unwrap().get(&(root, opts)) {
+            return hit.clone();
+        }
         let mut cx = Cx {
-            extractor: self,
+            graph: self.graph,
+            analysis,
             memo: HashMap::new(),
             path: HashSet::new(),
             max_depth: opts.max_depth,
         };
-        cx.expand(root, 0)
+        let dnf = cx.expand(root, 0);
+        // Publish this call's clean-tuple sub-polynomials for later calls.
+        if !cx.memo.is_empty() {
+            let mut shared = analysis.memo.write().unwrap();
+            for (key, value) in cx.memo {
+                shared.entry(key).or_insert(value);
+            }
+        }
+        analysis
+            .results
+            .write()
+            .unwrap()
+            .insert((root, opts), dnf.clone());
+        dnf
     }
 }
 
 struct Cx<'a, 'g> {
-    extractor: &'a Extractor<'g>,
-    /// Memo for clean tuples, keyed by `(tuple, remaining_depth)`; remaining
-    /// depth is `usize::MAX` when unbounded.
+    graph: &'g ProvGraph,
+    analysis: &'a Analysis,
+    /// This call's memo for clean tuples; seeded lazily from the shared one
+    /// and merged back on completion (keeping lock traffic off the hot
+    /// recursion as much as possible).
     memo: HashMap<(TupleId, usize), Dnf>,
     path: HashSet<TupleId>,
     max_depth: Option<usize>,
@@ -112,16 +209,20 @@ impl Cx<'_, '_> {
 
     fn expand(&mut self, tuple: TupleId, depth: usize) -> Dnf {
         let remaining = self.remaining(depth);
-        let clean = self.extractor.is_clean(tuple);
+        let clean = self.analysis.is_clean(tuple);
         if clean {
             if let Some(hit) = self.memo.get(&(tuple, remaining)) {
+                return hit.clone();
+            }
+            if let Some(hit) = self.analysis.memo.read().unwrap().get(&(tuple, remaining)) {
+                self.memo.insert((tuple, remaining), hit.clone());
                 return hit.clone();
             }
         }
 
         let mut acc = Dnf::zero();
         self.path.insert(tuple);
-        'derivs: for d in self.extractor.graph.derivations(tuple) {
+        'derivs: for d in self.graph.derivations(tuple) {
             match d {
                 Derivation::Base(clause) => {
                     acc = acc.or(&Dnf::literal(var_of(*clause)));
@@ -130,7 +231,7 @@ impl Cx<'_, '_> {
                     if remaining == 0 {
                         continue; // hop limit reached
                     }
-                    let exec = self.extractor.graph.exec(*exec_id);
+                    let exec = self.graph.exec(*exec_id);
                     // Cycle elimination: a body tuple already on the current
                     // path makes this derivation contribute nothing.
                     if exec.body.iter().any(|b| self.path.contains(b)) {
@@ -194,7 +295,14 @@ fn compute_clean(graph: &ProvGraph) -> HashSet<TupleId> {
         }
         // Explicit DFS frames: (node, next-child-position).
         let mut frames: Vec<(TupleId, usize)> = vec![(start, 0)];
-        states.insert(start, NodeState { index: next_index, lowlink: next_index, on_stack: true });
+        states.insert(
+            start,
+            NodeState {
+                index: next_index,
+                lowlink: next_index,
+                on_stack: true,
+            },
+        );
         stack.push(start);
         next_index += 1;
 
@@ -440,6 +548,57 @@ mod tests {
         let p = exact::probability(&dnf, &vars);
         let oracle = worlds::success_probability_str(&program, "top(a)").unwrap();
         assert!((p - oracle).abs() < 1e-12, "dnf={p} oracle={oracle}");
+    }
+
+    #[test]
+    fn repeated_extraction_is_cached() {
+        let src = "r1 1.0: reach(X) :- src(X).
+                   r2 0.9: reach(Y) :- reach(X), edge(X,Y).
+                   t0 1.0: src(a).
+                   e1 0.5: edge(a,b).
+                   e2 0.6: edge(b,a).";
+        let program = Program::parse(src).unwrap();
+        let (db, graph) = evaluate_with_provenance(&program);
+        let (pred, args) = worlds::parse_ground_query(&program, "reach(b)").unwrap();
+        let tuple = db.lookup(pred, &args).unwrap();
+        let ex = Extractor::new(&graph);
+        let first = ex.polynomial(tuple, ExtractOptions::unbounded());
+        assert_eq!(ex.analysis().cached_results(), 1);
+        let second = ex.polynomial(tuple, ExtractOptions::unbounded());
+        assert_eq!(first, second);
+        assert_eq!(ex.analysis().cached_results(), 1, "hit, not a second entry");
+        // Different options are distinct cache entries.
+        let capped = ex.polynomial(tuple, ExtractOptions::with_max_depth(1));
+        assert_ne!(first, capped);
+        assert_eq!(ex.analysis().cached_results(), 2);
+    }
+
+    #[test]
+    fn shared_analysis_serves_multiple_extractors() {
+        let src = "r1 0.9: top(X) :- mid(X), l(X).
+                   r2 0.8: top(X) :- mid(X), r(X).
+                   r3 1.0: mid(X) :- base(X).
+                   t1 0.5: base(a). t2 0.7: l(a). t3 0.6: r(a).";
+        let program = Program::parse(src).unwrap();
+        let (db, graph) = evaluate_with_provenance(&program);
+        let analysis = Analysis::new(&graph);
+        let (pred, args) = worlds::parse_ground_query(&program, "top(a)").unwrap();
+        let tuple = db.lookup(pred, &args).unwrap();
+        let a = Extractor::with_analysis(&graph, &analysis);
+        let b = Extractor::with_analysis(&graph, &analysis);
+        let pa = a.polynomial(tuple, ExtractOptions::unbounded());
+        let pb = b.polynomial(tuple, ExtractOptions::unbounded());
+        assert_eq!(pa, pb);
+        assert_eq!(
+            analysis.cached_results(),
+            1,
+            "the second extractor hit the cache"
+        );
+        // And matches an extractor with a private analysis.
+        assert_eq!(
+            pa,
+            Extractor::new(&graph).polynomial(tuple, ExtractOptions::unbounded())
+        );
     }
 
     #[test]

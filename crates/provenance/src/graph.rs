@@ -147,7 +147,10 @@ impl ProvGraph {
     /// The derivations of `tuple` (empty slice when the tuple is unknown —
     /// e.g. a query for a non-derivable atom).
     pub fn derivations(&self, tuple: TupleId) -> &[Derivation] {
-        self.derivations.get(tuple.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.derivations
+            .get(tuple.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The rule execution `id`.
@@ -196,7 +199,9 @@ impl ProvGraph {
 
     /// Whether `tuple` has a base-clause assertion among its derivations.
     pub fn is_base(&self, tuple: TupleId) -> bool {
-        self.derivations(tuple).iter().any(|d| matches!(d, Derivation::Base(_)))
+        self.derivations(tuple)
+            .iter()
+            .any(|d| matches!(d, Derivation::Base(_)))
     }
 
     /// The set of tuple vertices in the provenance **subgraph rooted at**
@@ -235,9 +240,7 @@ impl ProvGraph {
     /// per derivation, `(tuple, clause, body)` with an empty body for base
     /// assertions. Rule bodies are never empty (validated), so the two
     /// derivation kinds cannot collide. Used to compare capture strategies.
-    pub fn signature(
-        &self,
-    ) -> std::collections::BTreeSet<(TupleId, ClauseId, Vec<TupleId>)> {
+    pub fn signature(&self) -> std::collections::BTreeSet<(TupleId, ClauseId, Vec<TupleId>)> {
         let mut out = std::collections::BTreeSet::new();
         for tuple in self.tuples() {
             for d in self.derivations(tuple) {

@@ -32,6 +32,6 @@ pub mod sld;
 pub mod vars;
 
 pub use capture::CaptureSink;
-pub use extract::{extract_polynomial, ExtractOptions};
+pub use extract::{extract_polynomial, Analysis, ExtractOptions, Extractor};
 pub use graph::{Derivation, ExecId, ProvGraph, RuleExec};
 pub use vars::clause_vars;

@@ -72,7 +72,14 @@ pub fn rewrite(program: &Program) -> Result<Rewritten, RewriteError> {
     let mut metas = Vec::new();
 
     for (id, clause) in program.iter() {
-        let ClauseKind::Rule { body, negated, constraints } = &clause.kind else { continue };
+        let ClauseKind::Rule {
+            body,
+            negated,
+            constraints,
+        } = &clause.kind
+        else {
+            continue;
+        };
         // Distinct variables in first-occurrence order (body then head; the
         // head introduces none by safety).
         let mut vars: Vec<Symbol> = Vec::new();
@@ -85,8 +92,10 @@ pub fn rewrite(program: &Program) -> Result<Rewritten, RewriteError> {
         }
         let exec_name = format!("__exec_{}", clause.label);
         let exec_pred = symbols.intern(&exec_name);
-        let exec_head =
-            Atom { pred: exec_pred, args: vars.iter().map(|&v| Term::Var(v)).collect() };
+        let exec_head = Atom {
+            pred: exec_pred,
+            args: vars.iter().map(|&v| Term::Var(v)).collect(),
+        };
         clauses.push(Clause {
             label: format!("__exec_rule_{}", clause.label),
             prob: 1.0,
@@ -97,7 +106,11 @@ pub fn rewrite(program: &Program) -> Result<Rewritten, RewriteError> {
                 constraints: constraints.clone(),
             },
         });
-        metas.push(ExecMeta { rule: id, exec_pred, vars });
+        metas.push(ExecMeta {
+            rule: id,
+            exec_pred,
+            vars,
+        });
     }
 
     let program = Program::from_clauses(clauses, symbols).map_err(RewriteError::Program)?;
@@ -107,10 +120,7 @@ pub fn rewrite(program: &Program) -> Result<Rewritten, RewriteError> {
 /// Evaluates the rewritten program (plain engine, no sink) and reconstructs
 /// the provenance graph from the bookkeeping relations. Returns the full
 /// database (including `__exec_*` relations) and the graph.
-pub fn evaluate_rewritten(
-    original: &Program,
-    rewritten: &Rewritten,
-) -> (Database, ProvGraph) {
+pub fn evaluate_rewritten(original: &Program, rewritten: &Rewritten) -> (Database, ProvGraph) {
     let mut db = Engine::new(&rewritten.program).run(&mut NoopSink);
     let graph = graph_from_rewritten(original, rewritten, &mut db);
     (db, graph)
@@ -129,8 +139,12 @@ pub fn graph_from_rewritten(
         if !clause.is_fact() {
             continue;
         }
-        let args: Vec<Const> =
-            clause.head.args.iter().map(|t| t.as_const().expect("facts are ground")).collect();
+        let args: Vec<Const> = clause
+            .head
+            .args
+            .iter()
+            .map(|t| t.as_const().expect("facts are ground"))
+            .collect();
         let tuple = db
             .lookup(clause.head.pred, &args)
             .expect("fact tuple present after evaluation");
@@ -147,7 +161,11 @@ pub fn graph_from_rewritten(
         for row in exec_rows {
             let binding: HashMap<Symbol, Const> = {
                 let stored = db.tuple(row);
-                meta.vars.iter().copied().zip(stored.args.iter().copied()).collect()
+                meta.vars
+                    .iter()
+                    .copied()
+                    .zip(stored.args.iter().copied())
+                    .collect()
             };
             let ground = |atom: &Atom, db: &Database| -> TupleId {
                 let args: Vec<Const> = atom
@@ -162,8 +180,7 @@ pub fn graph_from_rewritten(
                     .expect("grounded atom present: the original rule fired on this grounding")
             };
             let head = ground(&rule_clause.head, db);
-            let body: Vec<TupleId> =
-                rule_clause.body().iter().map(|a| ground(a, db)).collect();
+            let body: Vec<TupleId> = rule_clause.body().iter().map(|a| ground(a, db)).collect();
             graph.add_exec(meta.rule, head, &body);
         }
     }

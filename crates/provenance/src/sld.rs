@@ -42,28 +42,39 @@ pub struct SldOptions {
 
 impl Default for SldOptions {
     fn default() -> Self {
-        Self { max_depth: 16, max_proofs: 1 << 20 }
+        Self {
+            max_depth: 16,
+            max_proofs: 1 << 20,
+        }
     }
 }
 
 impl SldOptions {
     /// Options with the given depth bound.
     pub fn with_max_depth(max_depth: usize) -> Self {
-        Self { max_depth, ..Self::default() }
+        Self {
+            max_depth,
+            ..Self::default()
+        }
     }
 }
 
 /// Enumerates SLD proofs of the ground query `pred(args…)` and returns the
 /// provenance polynomial (one monomial per proof, normalised).
-pub fn sld_polynomial(
-    program: &Program,
-    pred: Symbol,
-    args: &[Const],
-    opts: SldOptions,
-) -> Dnf {
+pub fn sld_polynomial(program: &Program, pred: Symbol, args: &[Const], opts: SldOptions) -> Dnf {
     let mut cx = Cx::new(program, opts);
-    let goal = Goal { pred, args: args.iter().map(|&c| ITerm::Const(c)).collect() };
-    cx.prove(vec![Item::Atom { goal, depth: 0, ancestors: None }], Vec::new());
+    let goal = Goal {
+        pred,
+        args: args.iter().map(|&c| ITerm::Const(c)).collect(),
+    };
+    cx.prove(
+        vec![Item::Atom {
+            goal,
+            depth: 0,
+            ancestors: None,
+        }],
+        Vec::new(),
+    );
     Dnf::new(cx.proofs)
 }
 
@@ -142,7 +153,14 @@ impl<'p> Cx<'p> {
         for (id, clause) in program.iter() {
             by_pred.entry(clause.head.pred).or_default().push(id);
         }
-        Self { program, opts, by_pred, bindings: Vec::new(), trail: Vec::new(), proofs: Vec::new() }
+        Self {
+            program,
+            opts,
+            by_pred,
+            bindings: Vec::new(),
+            trail: Vec::new(),
+            proofs: Vec::new(),
+        }
     }
 
     /// Dereferences a term through the binding chain.
@@ -231,7 +249,11 @@ impl<'p> Cx<'p> {
                         None => unreachable!("constraint selected before its body grounded"),
                     }
                 }
-                Some(Item::Atom { goal, depth, ancestors }) => break (goal, depth, ancestors),
+                Some(Item::Atom {
+                    goal,
+                    depth,
+                    ancestors,
+                }) => break (goal, depth, ancestors),
             }
         };
 
@@ -267,8 +289,7 @@ impl<'p> Cx<'p> {
 
             // Rename the clause's variables freshly.
             let mut renaming: HashMap<Symbol, u32> = HashMap::new();
-            let rename = |t: &Term, cx: &mut Self, renaming: &mut HashMap<Symbol, u32>| match t
-            {
+            let rename = |t: &Term, cx: &mut Self, renaming: &mut HashMap<Symbol, u32>| match t {
                 Term::Const(c) => ITerm::Const(*c),
                 Term::Var(v) => {
                     let fresh = *renaming.entry(*v).or_insert_with(|| cx.fresh_var());
@@ -361,14 +382,11 @@ mod tests {
 
     fn both_polynomials(src: &str, query: &str, depth: usize) -> (Dnf, Dnf) {
         let program = Program::parse(src).unwrap();
-        let sld =
-            sld_polynomial_str(&program, query, SldOptions::with_max_depth(depth)).unwrap();
+        let sld = sld_polynomial_str(&program, query, SldOptions::with_max_depth(depth)).unwrap();
         let (db, graph) = evaluate_with_provenance(&program);
         let (pred, args) = worlds::parse_ground_query(&program, query).unwrap();
         let graph_dnf = match db.lookup(pred, &args) {
-            Some(tuple) => {
-                extract_polynomial(&graph, tuple, ExtractOptions::with_max_depth(depth))
-            }
+            Some(tuple) => extract_polynomial(&graph, tuple, ExtractOptions::with_max_depth(depth)),
             None => Dnf::zero(),
         };
         (sld, graph_dnf)
@@ -384,8 +402,7 @@ mod tests {
     #[test]
     fn non_derivable_query_is_false() {
         let program = Program::parse("t1 0.4: p(a). t2 1.0: q(b).").unwrap();
-        let dnf =
-            sld_polynomial_str(&program, "q(a)", SldOptions::default());
+        let dnf = sld_polynomial_str(&program, "q(a)", SldOptions::default());
         // q(a) mentions only known symbols but is not derivable.
         assert!(dnf.unwrap().is_false());
     }
@@ -429,12 +446,8 @@ mod tests {
         let src = r#"r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
                      t1 1.0: live("Steve","DC")."#;
         let program = Program::parse(src).unwrap();
-        let dnf = sld_polynomial_str(
-            &program,
-            r#"know("Steve","Steve")"#,
-            SldOptions::default(),
-        )
-        .unwrap();
+        let dnf = sld_polynomial_str(&program, r#"know("Steve","Steve")"#, SldOptions::default())
+            .unwrap();
         assert!(dnf.is_false());
     }
 
@@ -442,8 +455,7 @@ mod tests {
     fn depth_zero_only_admits_facts() {
         let src = "r1 1.0: q(X) :- p(X). t1 0.5: p(a). t2 0.7: q(a).";
         let program = Program::parse(src).unwrap();
-        let dnf =
-            sld_polynomial_str(&program, "q(a)", SldOptions::with_max_depth(0)).unwrap();
+        let dnf = sld_polynomial_str(&program, "q(a)", SldOptions::with_max_depth(0)).unwrap();
         // Only the base tuple t2 — the rule application is out of budget.
         assert_eq!(dnf.len(), 1);
         assert_eq!(dnf.monomials()[0].len(), 1);
@@ -477,17 +489,11 @@ mod tests {
                 for &t in rel.tuples() {
                     let query = format!("{}", db.display_tuple(t, syms));
                     for depth in [2usize, 4] {
-                        let sld = sld_polynomial_str(
-                            &program,
-                            &query,
-                            SldOptions::with_max_depth(depth),
-                        )
-                        .unwrap();
-                        let ext = extract_polynomial(
-                            &graph,
-                            t,
-                            ExtractOptions::with_max_depth(depth),
-                        );
+                        let sld =
+                            sld_polynomial_str(&program, &query, SldOptions::with_max_depth(depth))
+                                .unwrap();
+                        let ext =
+                            extract_polynomial(&graph, t, ExtractOptions::with_max_depth(depth));
                         assert_eq!(sld, ext, "seed {seed} {query} depth {depth}\n{src}");
                     }
                 }
@@ -498,9 +504,13 @@ mod tests {
     /// A tiny deterministic random-program generator (kept local: the
     /// `p3-workloads` generator lives upstream of this crate).
     fn tiny_random_program(seed: u64) -> String {
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut next = |n: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % n
         };
         let mut src = String::new();

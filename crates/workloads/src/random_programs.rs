@@ -27,7 +27,13 @@ pub struct RandomConfig {
 
 impl Default for RandomConfig {
     fn default() -> Self {
-        Self { domain: 3, facts: 6, rules: 4, recursion_bias: 0.5, seed: 0 }
+        Self {
+            domain: 3,
+            facts: 6,
+            rules: 4,
+            recursion_bias: 0.5,
+            seed: 0,
+        }
     }
 }
 
@@ -76,8 +82,10 @@ pub fn generate(cfg: RandomConfig) -> Program {
             _ => {
                 let b1 = body_pred(&mut rng, head, false, r, &IDB);
                 let b2 = body_pred(&mut rng, head, recursive, r, &IDB);
-                let _ =
-                    writeln!(src, "r{r} {p}: {head}(X,Z) :- {b1}(X,Y), {b2}(Y,Z), X != Z.");
+                let _ = writeln!(
+                    src,
+                    "r{r} {p}: {head}(X,Z) :- {b1}(X,Y), {b2}(Y,Z), X != Z."
+                );
             }
         }
     }
@@ -128,7 +136,10 @@ mod tests {
     #[test]
     fn generated_programs_are_valid_and_deterministic() {
         for seed in 0..20 {
-            let cfg = RandomConfig { seed, ..Default::default() };
+            let cfg = RandomConfig {
+                seed,
+                ..Default::default()
+            };
             let a = generate(cfg);
             let b = generate(cfg);
             assert_eq!(a.to_source(), b.to_source(), "seed {seed}");
@@ -139,16 +150,25 @@ mod tests {
     #[test]
     fn uncertain_clause_count_stays_oracle_sized() {
         for seed in 0..20 {
-            let p = generate(RandomConfig { seed, ..Default::default() });
-            let uncertain =
-                p.clauses().iter().filter(|c| c.prob > 0.0 && c.prob < 1.0).count();
+            let p = generate(RandomConfig {
+                seed,
+                ..Default::default()
+            });
+            let uncertain = p
+                .clauses()
+                .iter()
+                .filter(|c| c.prob > 0.0 && c.prob < 1.0)
+                .count();
             assert!(uncertain <= p3_datalog::worlds::MAX_UNCERTAIN_CLAUSES);
         }
     }
 
     #[test]
     fn derived_queries_are_derivable() {
-        let p = generate(RandomConfig { seed: 5, ..Default::default() });
+        let p = generate(RandomConfig {
+            seed: 5,
+            ..Default::default()
+        });
         for q in all_derived_queries(&p) {
             // parse_ground_query must succeed for every rendered tuple.
             p3_datalog::worlds::parse_ground_query(&p, &q).unwrap();

@@ -55,7 +55,12 @@ impl Default for NetworkConfig {
     fn default() -> Self {
         // The Bitcoin OTC dimensions from §6; reciprocity matches the
         // strong mutual-rating bias of the real dataset.
-        Self { nodes: 5_881, edges: 35_592, reciprocity: 0.4, seed: 0xb17c01 }
+        Self {
+            nodes: 5_881,
+            edges: 35_592,
+            reciprocity: 0.4,
+            seed: 0xb17c01,
+        }
     }
 }
 
@@ -74,11 +79,11 @@ pub fn generate(cfg: NetworkConfig) -> TrustNetwork {
     // degree-proportional (the classic Barabási–Albert trick).
     let mut pool: Vec<u32> = vec![0, 1];
     let push_edge = |a: u32,
-                         b: u32,
-                         edges: &mut HashSet<(u32, u32)>,
-                         out: &mut Vec<(u32, u32, f64)>,
-                         pool: &mut Vec<u32>,
-                         rng: &mut SmallRng|
+                     b: u32,
+                     edges: &mut HashSet<(u32, u32)>,
+                     out: &mut Vec<(u32, u32, f64)>,
+                     pool: &mut Vec<u32>,
+                     rng: &mut SmallRng|
      -> bool {
         if a == b || edges.contains(&(a, b)) {
             return false;
@@ -95,7 +100,11 @@ pub fn generate(cfg: NetworkConfig) -> TrustNetwork {
     // reciprocal rating follows with probability `cfg.reciprocity`.
     for v in 2..cfg.nodes as u32 {
         let target = pool[rng.random_range(0..pool.len())];
-        let (a, b) = if rng.random::<f64>() < 0.5 { (v, target) } else { (target, v) };
+        let (a, b) = if rng.random::<f64>() < 0.5 {
+            (v, target)
+        } else {
+            (target, v)
+        };
         push_edge(a, b, &mut edges, &mut out, &mut pool, &mut rng);
         if rng.random::<f64>() < cfg.reciprocity && out.len() < cfg.edges {
             push_edge(b, a, &mut edges, &mut out, &mut pool, &mut rng);
@@ -114,7 +123,10 @@ pub fn generate(cfg: NetworkConfig) -> TrustNetwork {
             push_edge(b, a, &mut edges, &mut out, &mut pool, &mut rng);
         }
     }
-    TrustNetwork { edges: out, num_nodes: cfg.nodes }
+    TrustNetwork {
+        edges: out,
+        num_nodes: cfg.nodes,
+    }
 }
 
 /// OTC-like rating in `[-10, 10]`, rescaled to `[0, 1]`.
@@ -161,7 +173,9 @@ impl TrustNetwork {
                 queue.push_back(seed_node);
             }
             let Some(u) = queue.pop_front() else { break };
-            let Some(neigh) = adjacency.get(&u) else { continue };
+            let Some(neigh) = adjacency.get(&u) else {
+                continue;
+            };
             for &(v, w, forward) in neigh {
                 if visited.len() >= target_nodes && !visited.contains(&v) {
                     continue;
@@ -176,13 +190,21 @@ impl TrustNetwork {
                 }
             }
         }
-        TrustNetwork { edges: collected, num_nodes: visited.len() }
+        TrustNetwork {
+            edges: collected,
+            num_nodes: visited.len(),
+        }
     }
 
     /// Samples a subgraph with (approximately) the given node **and** edge
     /// counts — the §6.2 "150 nodes and 150 edges" protocol: BFS discovery
     /// edges first, then cross edges until the edge budget is exhausted.
-    pub fn sample_bfs_exact(&self, target_nodes: usize, target_edges: usize, seed: u64) -> TrustNetwork {
+    pub fn sample_bfs_exact(
+        &self,
+        target_nodes: usize,
+        target_edges: usize,
+        seed: u64,
+    ) -> TrustNetwork {
         let full = self.sample_bfs(target_nodes, seed);
         if full.edges.len() <= target_edges {
             return full;
@@ -273,7 +295,12 @@ mod tests {
 
     #[test]
     fn generator_hits_the_requested_size() {
-        let net = generate(NetworkConfig { nodes: 200, edges: 1200, seed: 7, ..NetworkConfig::default() });
+        let net = generate(NetworkConfig {
+            nodes: 200,
+            edges: 1200,
+            seed: 7,
+            ..NetworkConfig::default()
+        });
         assert_eq!(net.num_nodes, 200);
         assert_eq!(net.edges.len(), 1200);
         // No duplicate edges, no self-loops.
@@ -287,16 +314,36 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic() {
-        let a = generate(NetworkConfig { nodes: 100, edges: 400, seed: 1, ..NetworkConfig::default() });
-        let b = generate(NetworkConfig { nodes: 100, edges: 400, seed: 1, ..NetworkConfig::default() });
+        let a = generate(NetworkConfig {
+            nodes: 100,
+            edges: 400,
+            seed: 1,
+            ..NetworkConfig::default()
+        });
+        let b = generate(NetworkConfig {
+            nodes: 100,
+            edges: 400,
+            seed: 1,
+            ..NetworkConfig::default()
+        });
         assert_eq!(a.edges, b.edges);
-        let c = generate(NetworkConfig { nodes: 100, edges: 400, seed: 2, ..NetworkConfig::default() });
+        let c = generate(NetworkConfig {
+            nodes: 100,
+            edges: 400,
+            seed: 2,
+            ..NetworkConfig::default()
+        });
         assert_ne!(a.edges, c.edges);
     }
 
     #[test]
     fn weights_are_skewed_positive() {
-        let net = generate(NetworkConfig { nodes: 500, edges: 3000, seed: 3, ..NetworkConfig::default() });
+        let net = generate(NetworkConfig {
+            nodes: 500,
+            edges: 3000,
+            seed: 3,
+            ..NetworkConfig::default()
+        });
         // Rescaled probability > 0.5 corresponds to a positive raw rating.
         let positive =
             net.edges.iter().filter(|&&(_, _, w)| w > 0.5).count() as f64 / net.edges.len() as f64;
@@ -305,29 +352,43 @@ mod tests {
 
     #[test]
     fn bfs_sample_has_the_right_node_count() {
-        let net = generate(NetworkConfig { nodes: 1000, edges: 6000, seed: 4, ..NetworkConfig::default() });
+        let net = generate(NetworkConfig {
+            nodes: 1000,
+            edges: 6000,
+            seed: 4,
+            ..NetworkConfig::default()
+        });
         for &n in &[50usize, 150, 300] {
             let sample = net.sample_bfs(n, 9);
             assert_eq!(sample.num_nodes, n, "sample of {n}");
             assert!(!sample.edges.is_empty());
             // Every edge endpoint is a sampled node (edges are traversed,
             // and traversal only visits sampled nodes).
-            let nodes: HashSet<u32> =
-                sample.edges.iter().flat_map(|&(a, b, _)| [a, b]).collect();
+            let nodes: HashSet<u32> = sample.edges.iter().flat_map(|&(a, b, _)| [a, b]).collect();
             assert!(nodes.len() <= n);
         }
     }
 
     #[test]
     fn bfs_exact_caps_edges() {
-        let net = generate(NetworkConfig { nodes: 1000, edges: 6000, seed: 4, ..NetworkConfig::default() });
+        let net = generate(NetworkConfig {
+            nodes: 1000,
+            edges: 6000,
+            seed: 4,
+            ..NetworkConfig::default()
+        });
         let sample = net.sample_bfs_exact(150, 150, 5);
         assert_eq!(sample.edges.len(), 150);
     }
 
     #[test]
     fn trust_program_parses_and_evaluates() {
-        let net = generate(NetworkConfig { nodes: 30, edges: 60, seed: 6, ..NetworkConfig::default() });
+        let net = generate(NetworkConfig {
+            nodes: 30,
+            edges: 60,
+            seed: 6,
+            ..NetworkConfig::default()
+        });
         let program = net.sample_bfs(10, 1).to_program();
         let mut engine = p3_datalog::engine::Engine::new(&program);
         let db = engine.run_plain();
@@ -339,8 +400,7 @@ mod tests {
         let p = case_study_program();
         let mut engine = p3_datalog::engine::Engine::new(&p);
         let db = engine.run_plain();
-        let (pred, args) =
-            p3_datalog::worlds::parse_ground_query(&p, CASE_STUDY_QUERY).unwrap();
+        let (pred, args) = p3_datalog::worlds::parse_ground_query(&p, CASE_STUDY_QUERY).unwrap();
         assert!(db.lookup(pred, &args).is_some());
     }
 
@@ -349,8 +409,7 @@ mod tests {
         // Exact: 0.8 · (0.7·0.9) · 0.75 · (1 − 0.1·(1 − 0.39)) = 0.3549420;
         // the paper reports 0.3524 from Monte-Carlo.
         let p = case_study_program();
-        let oracle =
-            p3_datalog::worlds::success_probability_str(&p, CASE_STUDY_QUERY).unwrap();
+        let oracle = p3_datalog::worlds::success_probability_str(&p, CASE_STUDY_QUERY).unwrap();
         assert!((oracle - 0.3549420).abs() < 1e-9, "got {oracle}");
     }
 }

@@ -56,10 +56,16 @@ impl VqaInstance {
     pub fn to_source(&self) -> String {
         let mut src = String::from(RULES);
         for (i, (obj, rel, region, p)) in self.scene.iter().enumerate() {
-            let _ = writeln!(src, "img_{i} {p}: hasImg(\"ID1\",\"{obj}\",\"{rel}\",\"{region}\").");
+            let _ = writeln!(
+                src,
+                "img_{i} {p}: hasImg(\"ID1\",\"{obj}\",\"{rel}\",\"{region}\")."
+            );
         }
         let (region, subject) = &self.question;
-        let _ = writeln!(src, "q_1 1.0: hasQ(\"ID1\",\"{region}\",\"{subject}\",\"WHAT\").");
+        let _ = writeln!(
+            src,
+            "q_1 1.0: hasQ(\"ID1\",\"{region}\",\"{subject}\",\"WHAT\")."
+        );
         for (word, p) in &self.words {
             let _ = writeln!(src, "w_{word} {p}: word(\"ID1\",\"{word}\").");
         }

@@ -34,17 +34,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  provenance + BDD WMC        : {bdd:.5}");
     let mc = p3.probability(
         query,
-        ProbMethod::MonteCarlo(McConfig { samples: 200_000, seed: 1 }),
+        ProbMethod::MonteCarlo(McConfig {
+            samples: 200_000,
+            seed: 1,
+        }),
     )?;
     println!("  provenance + Monte-Carlo    : {mc:.5}   (paper reports ~0.18)");
-    assert!((oracle - exact).abs() < 1e-9, "provenance must preserve the semantics");
+    assert!(
+        (oracle - exact).abs() < 1e-9,
+        "provenance must preserve the semantics"
+    );
 
     // Cycle elimination: the recursive rule r3 creates cyclic derivations
     // (know(Ben,Elena) via know(Ben,Steve)·know(Steve,Elena), where longer
     // chains would revisit tuples); the extracted polynomial stays finite.
     println!("\n--- provenance polynomial (cycles eliminated) ---");
     println!("λ = {}", p3.render_polynomial(&explanation.polynomial));
-    println!("({} derivations, {} distinct literals)",
+    println!(
+        "({} derivations, {} distinct literals)",
         explanation.polynomial.len(),
         explanation.polynomial.vars().len()
     );

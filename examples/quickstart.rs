@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let explanation = p3.explain(query)?;
     println!("--- Explanation Query ---");
     println!("derivations of {query}:\n{}", explanation.text);
-    println!("provenance polynomial: {}", p3.render_polynomial(&explanation.polynomial));
+    println!(
+        "provenance polynomial: {}",
+        p3.render_polynomial(&explanation.polynomial)
+    );
     println!("success probability:   {:.5}\n", explanation.probability);
 
     // 2. Derivation Query: the most important derivations within ε.
@@ -49,17 +52,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         suff.original_len,
         p3.render_polynomial(&suff.polynomial)
     );
-    println!("approximate probability: {:.5} (error {:.5})\n", suff.probability, suff.error);
+    println!(
+        "approximate probability: {:.5} (error {:.5})\n",
+        suff.probability, suff.error
+    );
 
     // 3. Influence Query: which clauses matter most?
     let influences = influence_query(
         &explanation.polynomial,
         p3.vars(),
-        &InfluenceOptions { method: InfluenceMethod::Exact, top_k: Some(3), ..Default::default() },
+        &InfluenceOptions {
+            method: InfluenceMethod::Exact,
+            top_k: Some(3),
+            ..Default::default()
+        },
     );
     println!("--- Influence Query (top 3) ---");
     for entry in &influences {
-        println!("  {:<4} influence = {:.4}", p3.vars().name(entry.var), entry.influence);
+        println!(
+            "  {:<4} influence = {:.4}",
+            p3.vars().name(entry.var),
+            entry.influence
+        );
     }
     println!();
 
@@ -80,6 +94,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             step.resulting_probability
         );
     }
-    println!("total cost: {:.4}; reached target: {}", plan.total_cost, plan.reached_target);
+    println!(
+        "total cost: {:.4}; reached target: {}",
+        plan.total_cost, plan.reached_target
+    );
     Ok(())
 }

@@ -7,7 +7,7 @@
 //! cargo run --example stratified_negation
 //! ```
 
-use p3::core::{P3, P3Error};
+use p3::core::{P3Error, P3};
 use p3::datalog::engine::Engine;
 use p3::datalog::worlds;
 use p3::datalog::Program;
@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         f1 1.0: firewalled(db).
     "#;
     let program = Program::parse(src)?;
-    println!("strata: {} (negation forces two evaluation passes)", program.num_strata());
+    println!(
+        "strata: {} (negation forces two evaluation passes)",
+        program.num_strata()
+    );
 
     // Deterministic view: evaluate with every clause present.
     let db = Engine::new(&program).run_plain();
@@ -40,7 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Probabilistic view: the possible-worlds semantics still applies —
     // negation is evaluated per world.
     println!("\nsuccess probabilities (possible-worlds enumeration):");
-    for q in ["exposed(gateway)", "exposed(web)", "exposed(db)", "reach(db)"] {
+    for q in [
+        "exposed(gateway)",
+        "exposed(web)",
+        "exposed(db)",
+        "reach(db)",
+    ] {
         let p = worlds::success_probability_str(&program, q)?;
         println!("  P[{q}] = {p:.4}");
     }

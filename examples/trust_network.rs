@@ -8,7 +8,7 @@
 
 use p3::core::{
     influence_query, modification_query, InfluenceMethod, InfluenceOptions, ModificationOptions,
-    P3, ProbMethod, Strategy,
+    ProbMethod, Strategy, P3,
 };
 use p3::workloads::trust;
 
@@ -20,16 +20,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- Query 2A: derivations of {query} ---");
     let explanation = p3.explain(query)?;
     println!("{}", explanation.text);
-    println!("P[{query}] = {:.4} (paper: 0.3524 by Monte-Carlo)\n", explanation.probability);
+    println!(
+        "P[{query}] = {:.4} (paper: 0.3524 by Monte-Carlo)\n",
+        explanation.probability
+    );
 
     println!("--- Query 2B: most influential trust tuples ---");
     let ranked = influence_query(
         &explanation.polynomial,
         p3.vars(),
-        &InfluenceOptions { method: InfluenceMethod::Exact, ..Default::default() },
+        &InfluenceOptions {
+            method: InfluenceMethod::Exact,
+            ..Default::default()
+        },
     );
     for entry in ranked.iter().take(4) {
-        let clause = p3.program().clause(p3::provenance::vars::clause_of(entry.var));
+        let clause = p3
+            .program()
+            .clause(p3::provenance::vars::clause_of(entry.var));
         println!(
             "  {} ({}): influence {:.4}",
             clause.head.display(p3.program().symbols()),
@@ -50,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &explanation.polynomial,
         p3.vars(),
         0.7,
-        &ModificationOptions { modifiable: Some(base_tuples.clone()), ..Default::default() },
+        &ModificationOptions {
+            modifiable: Some(base_tuples.clone()),
+            ..Default::default()
+        },
     );
     for (i, s) in greedy.steps.iter().enumerate() {
         let clause = p3.program().clause(p3::provenance::vars::clause_of(s.var));
@@ -63,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.resulting_probability
         );
     }
-    println!("  greedy total change = {:.2} (paper Table 6: 0.58)", greedy.total_cost);
+    println!(
+        "  greedy total change = {:.2} (paper Table 6: 0.58)",
+        greedy.total_cost
+    );
 
     let random = modification_query(
         &explanation.polynomial,
@@ -84,7 +98,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- synthetic Bitcoin-OTC-like sample (100 nodes) ---");
     let net = trust::generate(trust::NetworkConfig::default());
     let sample = net.sample_bfs(100, 7);
-    println!("sampled {} nodes / {} edges", sample.num_nodes, sample.edge_count());
+    println!(
+        "sampled {} nodes / {} edges",
+        sample.num_nodes,
+        sample.edge_count()
+    );
     let p3s = P3::from_program(sample.to_program()).expect("negation-free program");
     let mutual = p3s
         .program()
@@ -93,15 +111,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|pred| p3s.database().relation(pred))
         .map(|r| r.len())
         .unwrap_or(0);
-    println!("derived {} mutualTrustPath tuples in {} total tuples",
-        mutual, p3s.database().len());
+    println!(
+        "derived {} mutualTrustPath tuples in {} total tuples",
+        mutual,
+        p3s.database().len()
+    );
 
     if let Some(pred) = p3s.program().symbols().get("mutualTrustPath") {
         if let Some(rel) = p3s.database().relation(pred) {
             if let Some(&t) = rel.tuples().first() {
                 let extractor = p3s.extractor();
-                let dnf = extractor
-                    .polynomial(t, p3::provenance::extract::ExtractOptions::with_max_depth(5));
+                let dnf = extractor.polynomial(
+                    t,
+                    p3::provenance::extract::ExtractOptions::with_max_depth(5),
+                );
                 let shown = p3s.database().display_tuple(t, p3s.program().symbols());
                 let p = ProbMethod::MonteCarlo(p3::prob::McConfig::default())
                     .probability(&dnf, p3s.vars());

@@ -8,7 +8,7 @@
 
 use p3::core::{
     influence_query, modification_query, InfluenceMethod, InfluenceOptions, ModificationOptions,
-    P3, ProbMethod,
+    ProbMethod, P3,
 };
 use p3::workloads::vqa;
 
@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     for e in &ranked {
-        println!("  {:<22} influence = {:.4}", p3.vars().name(e.var), e.influence);
+        println!(
+            "  {:<22} influence = {:.4}",
+            p3.vars().name(e.var),
+            e.influence
+        );
     }
     println!();
 
@@ -75,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &church_dnf,
         p3.vars(),
         p_barn,
-        &ModificationOptions { modifiable: Some(vec![var]), ..Default::default() },
+        &ModificationOptions {
+            modifiable: Some(vec![var]),
+            ..Default::default()
+        },
     );
     println!("--- Modification Query: fix sim(church,cross) ---");
     for s in &plan.steps {
@@ -89,7 +96,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Verify on the fixed instance.
-    let fixed = P3::from_program(vqa::church_image_fixed().to_program()).expect("negation-free program");
+    let fixed =
+        P3::from_program(vqa::church_image_fixed().to_program()).expect("negation-free program");
     let p_barn2 = fixed.probability(vqa::ANS_BARN, ProbMethod::Exact)?;
     let p_church2 = fixed.probability(vqa::ANS_CHURCH, ProbMethod::Exact)?;
     println!("\n--- after the fix ---");

@@ -84,9 +84,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     };
     let mut it = args.iter().peekable();
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
-                     flag: &str|
+                 flag: &str|
      -> Result<String, String> {
-        it.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -97,8 +99,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--prob" => opts.prob = Some(value(&mut it, "--prob")?),
             "--derivation" => {
                 let v = value(&mut it, "--derivation")?;
-                opts.derivation =
-                    Some(v.parse().map_err(|_| format!("bad epsilon '{v}'"))?);
+                opts.derivation = Some(v.parse().map_err(|_| format!("bad epsilon '{v}'"))?);
             }
             "--algo" => {
                 opts.algo = match value(&mut it, "--algo")?.as_str() {
@@ -132,8 +133,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--hop-limit" => {
                 let v = value(&mut it, "--hop-limit")?;
-                opts.hop_limit =
-                    Some(v.parse().map_err(|_| format!("bad hop limit '{v}'"))?);
+                opts.hop_limit = Some(v.parse().map_err(|_| format!("bad hop limit '{v}'"))?);
             }
             "--samples" => {
                 let v = value(&mut it, "--samples")?;
@@ -165,7 +165,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn prob_method(opts: &Options) -> Result<ProbMethod, String> {
-    let cfg = McConfig { samples: opts.samples, seed: opts.seed };
+    let cfg = McConfig {
+        samples: opts.samples,
+        seed: opts.seed,
+    };
     match opts.prob.as_deref().unwrap_or("exact") {
         "exact" => Ok(ProbMethod::Exact),
         "bdd" => Ok(ProbMethod::Bdd),
@@ -202,7 +205,9 @@ fn run(opts: &Options) -> Result<(), String> {
         return Ok(());
     };
 
-    let dnf = system.provenance_with(query, extract).map_err(|e| e.to_string())?;
+    let dnf = system
+        .provenance_with(query, extract)
+        .map_err(|e| e.to_string())?;
     let p = method.probability(&dnf, system.vars());
     println!("P[{query}] = {p:.6}   ({} derivations)", dnf.len());
 
@@ -216,12 +221,8 @@ fn run(opts: &Options) -> Result<(), String> {
 
     if let Some(path) = &opts.dot {
         let tuple = system.tuple(query).map_err(|e| e.to_string())?;
-        let dot = p3::provenance::dot::to_dot(
-            system.graph(),
-            system.database(),
-            system.program(),
-            tuple,
-        );
+        let dot =
+            p3::provenance::dot::to_dot(system.graph(), system.database(), system.program(), tuple);
         std::fs::write(path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("provenance graph written to {path}");
     }
@@ -249,7 +250,10 @@ fn run(opts: &Options) -> Result<(), String> {
     };
 
     if let Some(k) = opts.influence {
-        let cfg = McConfig { samples: opts.samples, seed: opts.seed };
+        let cfg = McConfig {
+            samples: opts.samples,
+            seed: opts.seed,
+        };
         let ranked = influence_query(
             &dnf,
             system.vars(),
@@ -262,7 +266,9 @@ fn run(opts: &Options) -> Result<(), String> {
         );
         println!("\ntop-{k} influential clauses:");
         for (i, e) in ranked.iter().enumerate() {
-            let clause = system.program().clause(p3::provenance::vars::clause_of(e.var));
+            let clause = system
+                .program()
+                .clause(p3::provenance::vars::clause_of(e.var));
             println!(
                 "  {:>2}. {:<12} {}  influence = {:.4}",
                 i + 1,
@@ -423,11 +429,14 @@ mod tests {
 
     #[test]
     fn prob_method_parses_all_variants() {
-        for (name, want_exact) in
-            [("exact", true), ("bdd", false), ("mc", false), ("kl", false), ("pmc", false)]
-        {
-            let opts =
-                parse_args(&args(&["p.pl", "--prob", name])).unwrap();
+        for (name, want_exact) in [
+            ("exact", true),
+            ("bdd", false),
+            ("mc", false),
+            ("kl", false),
+            ("pmc", false),
+        ] {
+            let opts = parse_args(&args(&["p.pl", "--prob", name])).unwrap();
             let m = prob_method(&opts).unwrap();
             assert_eq!(matches!(m, ProbMethod::Exact), want_exact, "{name}");
         }

@@ -15,7 +15,10 @@ use p3::workloads::random_programs::{all_derived_queries, generate, RandomConfig
 fn extraction_matches_possible_worlds_on_random_programs() {
     let mut checked_tuples = 0usize;
     for seed in 0..25u64 {
-        let program = generate(RandomConfig { seed, ..Default::default() });
+        let program = generate(RandomConfig {
+            seed,
+            ..Default::default()
+        });
         let p3 = P3::from_program(program.clone()).expect("negation-free program");
         let extractor = Extractor::new(p3.graph());
         for query in all_derived_queries(&program) {
@@ -32,7 +35,10 @@ fn extraction_matches_possible_worlds_on_random_programs() {
             checked_tuples += 1;
         }
     }
-    assert!(checked_tuples > 100, "the sweep must exercise many tuples: {checked_tuples}");
+    assert!(
+        checked_tuples > 100,
+        "the sweep must exercise many tuples: {checked_tuples}"
+    );
 }
 
 #[test]
@@ -65,7 +71,10 @@ fn extraction_matches_possible_worlds_on_heavily_recursive_programs() {
 fn bdd_backend_agrees_with_shannon_on_random_provenance() {
     use p3::prob::bdd::Bdd;
     for seed in 0..10u64 {
-        let program = generate(RandomConfig { seed: seed + 1000, ..Default::default() });
+        let program = generate(RandomConfig {
+            seed: seed + 1000,
+            ..Default::default()
+        });
         let p3 = P3::from_program(program.clone()).expect("negation-free program");
         let extractor = Extractor::new(p3.graph());
         for query in all_derived_queries(&program) {
@@ -84,7 +93,10 @@ fn bdd_backend_agrees_with_shannon_on_random_provenance() {
 fn rewrite_capture_equals_direct_capture_on_random_programs() {
     use p3::provenance::capture::evaluate_with_provenance;
     for seed in 0..15u64 {
-        let program = generate(RandomConfig { seed: seed + 31, ..Default::default() });
+        let program = generate(RandomConfig {
+            seed: seed + 31,
+            ..Default::default()
+        });
         let (db_direct, direct) = evaluate_with_provenance(&program);
         let rewritten = rewrite::rewrite(&program).expect("rewrite succeeds");
         let (db_rw, reconstructed) = rewrite::evaluate_rewritten(&program, &rewritten);
@@ -118,7 +130,10 @@ fn rewrite_capture_equals_direct_capture_on_random_programs() {
 fn hop_limited_probability_is_a_lower_bound() {
     // Dropping derivations can only lower a monotone formula's probability.
     for seed in 0..10u64 {
-        let program = generate(RandomConfig { seed: seed + 77, ..Default::default() });
+        let program = generate(RandomConfig {
+            seed: seed + 77,
+            ..Default::default()
+        });
         let p3 = P3::from_program(program.clone()).expect("negation-free program");
         let extractor = Extractor::new(p3.graph());
         for query in all_derived_queries(&program) {

@@ -18,8 +18,16 @@ fn query1_explanation_has_two_derivations_sharing_paths() {
     let exp = p3.explain(acquaintance::QUERY).unwrap();
     // Fig 3: two derivations; both route through r3 and know(Ben,Steve).
     assert_eq!(exp.num_derivations, 2);
-    let r3 = p3.vars().ids().find(|&v| p3.vars().name(v) == "r3").unwrap();
-    let t6 = p3.vars().ids().find(|&v| p3.vars().name(v) == "t6").unwrap();
+    let r3 = p3
+        .vars()
+        .ids()
+        .find(|&v| p3.vars().name(v) == "r3")
+        .unwrap();
+    let t6 = p3
+        .vars()
+        .ids()
+        .find(|&v| p3.vars().name(v) == "t6")
+        .unwrap();
     for m in exp.polynomial.monomials() {
         assert!(m.contains(r3), "every derivation uses r3");
         assert!(m.contains(t6), "every derivation uses know(Ben,Steve)");
@@ -30,7 +38,10 @@ fn query1_explanation_has_two_derivations_sharing_paths() {
     let mc = p3
         .probability(
             acquaintance::QUERY,
-            ProbMethod::MonteCarlo(McConfig { samples: 300_000, seed: 17 }),
+            ProbMethod::MonteCarlo(McConfig {
+                samples: 300_000,
+                seed: 17,
+            }),
         )
         .unwrap();
     assert!((mc - 0.16384).abs() < 0.005, "mc={mc}");
@@ -42,15 +53,29 @@ fn query2_derivation_query_eps_behaviour() {
     let dnf = p3.provenance(acquaintance::QUERY).unwrap();
     // ε = 0.001: both derivations must stay (removing either changes P by
     // more than 0.001).
-    let tight =
-        sufficient_provenance(&dnf, p3.vars(), 0.001, DerivationAlgo::NaiveGreedy, ProbMethod::Exact);
+    let tight = sufficient_provenance(
+        &dnf,
+        p3.vars(),
+        0.001,
+        DerivationAlgo::NaiveGreedy,
+        ProbMethod::Exact,
+    );
     assert_eq!(tight.polynomial.len(), 2);
     // ε = 0.01: the like-Veggies derivation is dropped; the live-in-DC
     // derivation (via r1) remains.
-    let loose =
-        sufficient_provenance(&dnf, p3.vars(), 0.01, DerivationAlgo::NaiveGreedy, ProbMethod::Exact);
+    let loose = sufficient_provenance(
+        &dnf,
+        p3.vars(),
+        0.01,
+        DerivationAlgo::NaiveGreedy,
+        ProbMethod::Exact,
+    );
     assert_eq!(loose.polynomial.len(), 1);
-    let r1 = p3.vars().ids().find(|&v| p3.vars().name(v) == "r1").unwrap();
+    let r1 = p3
+        .vars()
+        .ids()
+        .find(|&v| p3.vars().name(v) == "r1")
+        .unwrap();
     assert!(loose.polynomial.monomials()[0].contains(r1));
 }
 
@@ -61,7 +86,11 @@ fn query3_influence_ranking_is_r3_r1_t6() {
     let top = influence_query(
         &dnf,
         p3.vars(),
-        &InfluenceOptions { method: InfluenceMethod::Exact, top_k: Some(3), ..Default::default() },
+        &InfluenceOptions {
+            method: InfluenceMethod::Exact,
+            top_k: Some(3),
+            ..Default::default()
+        },
     );
     let names: Vec<&str> = top.iter().map(|e| p3.vars().name(e.var)).collect();
     assert_eq!(names, vec!["r3", "r1", "t6"], "Table 2's ranking");
@@ -76,7 +105,10 @@ fn query4_modification_to_half() {
         &dnf,
         p3.vars(),
         0.5,
-        &ModificationOptions { tolerance: 1e-9, ..Default::default() },
+        &ModificationOptions {
+            tolerance: 1e-9,
+            ..Default::default()
+        },
     );
     // One step, on r3, exactly as §4.4 describes.
     assert!(plan.reached_target);
@@ -89,7 +121,11 @@ fn query4_modification_to_half() {
 fn explanation_artifacts_render() {
     let p3 = system();
     let exp = p3.explain(acquaintance::QUERY).unwrap();
-    assert!(exp.dot.contains("know(\\\"Ben\\\",\\\"Elena\\\")"), "dot: {}", exp.dot);
+    assert!(
+        exp.dot.contains("know(\\\"Ben\\\",\\\"Elena\\\")"),
+        "dot: {}",
+        exp.dot
+    );
     assert!(exp.text.contains("rule r3"));
     let rendered = p3.render_polynomial(&exp.polynomial);
     assert!(rendered.contains("r3"));
@@ -100,10 +136,14 @@ fn explanation_artifacts_render() {
 fn intermediate_tuples_are_queryable() {
     let p3 = system();
     // P[know(Steve,Elena)] = 1 − (1−0.8)(1−0.4·0.4·0.6) = 0.8192.
-    let p = p3.probability(r#"know("Steve","Elena")"#, ProbMethod::Exact).unwrap();
+    let p = p3
+        .probability(r#"know("Steve","Elena")"#, ProbMethod::Exact)
+        .unwrap();
     assert!((p - 0.8192).abs() < 1e-9);
     // And the symmetric direction exists too (r1/r2 are symmetric).
-    let p_rev = p3.probability(r#"know("Elena","Steve")"#, ProbMethod::Exact).unwrap();
+    let p_rev = p3
+        .probability(r#"know("Elena","Steve")"#, ProbMethod::Exact)
+        .unwrap();
     assert!((p_rev - 0.8192).abs() < 1e-9);
 }
 
@@ -115,7 +155,10 @@ fn applying_the_modification_changes_the_program() {
         &dnf,
         p3.vars(),
         0.5,
-        &ModificationOptions { tolerance: 1e-9, ..Default::default() },
+        &ModificationOptions {
+            tolerance: 1e-9,
+            ..Default::default()
+        },
     );
     // Apply the plan to the program and re-evaluate end to end.
     let mut program = p3.program().clone();
@@ -124,6 +167,8 @@ fn applying_the_modification_changes_the_program() {
         program = program.with_probability(clause, step.to).unwrap();
     }
     let p3_fixed = P3::from_program(program).expect("negation-free program");
-    let p = p3_fixed.probability(acquaintance::QUERY, ProbMethod::Exact).unwrap();
+    let p = p3_fixed
+        .probability(acquaintance::QUERY, ProbMethod::Exact)
+        .unwrap();
     assert!((p - 0.5).abs() < 1e-9, "re-evaluated probability {p}");
 }

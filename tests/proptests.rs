@@ -6,10 +6,7 @@ use proptest::prelude::*;
 
 /// Strategy: a variable table of `n` variables with arbitrary probabilities
 /// and a DNF over them.
-fn dnf_and_table(
-    max_vars: usize,
-    max_monomials: usize,
-) -> impl Strategy<Value = (Dnf, VarTable)> {
+fn dnf_and_table(max_vars: usize, max_monomials: usize) -> impl Strategy<Value = (Dnf, VarTable)> {
     (2..=max_vars).prop_flat_map(move |nvars| {
         let probs = proptest::collection::vec(0.0f64..=1.0, nvars);
         let monomials = proptest::collection::vec(

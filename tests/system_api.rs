@@ -2,7 +2,7 @@
 //! hop limits, parallel drivers, error paths, and ExSPAN-rewrite parity
 //! through the facade.
 
-use p3::core::{P3, P3Error, ProbMethod};
+use p3::core::{P3Error, ProbMethod, P3};
 use p3::prob::McConfig;
 use p3::provenance::extract::ExtractOptions;
 use p3::workloads::{acquaintance, trust};
@@ -10,10 +10,17 @@ use p3::workloads::{acquaintance, trust};
 #[test]
 fn all_probability_backends_agree_on_acquaintance() {
     let p3 = P3::from_source(acquaintance::SOURCE).unwrap();
-    let exact = p3.probability(acquaintance::QUERY, ProbMethod::Exact).unwrap();
-    let bdd = p3.probability(acquaintance::QUERY, ProbMethod::Bdd).unwrap();
+    let exact = p3
+        .probability(acquaintance::QUERY, ProbMethod::Exact)
+        .unwrap();
+    let bdd = p3
+        .probability(acquaintance::QUERY, ProbMethod::Bdd)
+        .unwrap();
     assert!((exact - bdd).abs() < 1e-12);
-    let cfg = McConfig { samples: 200_000, seed: 3 };
+    let cfg = McConfig {
+        samples: 200_000,
+        seed: 3,
+    };
     for method in [
         ProbMethod::MonteCarlo(cfg),
         ProbMethod::KarpLuby(cfg),
@@ -44,7 +51,10 @@ fn hop_limits_monotonically_reveal_derivations() {
     let mut last = 0usize;
     for depth in 0..8 {
         let dnf = p3
-            .provenance_with(trust::CASE_STUDY_QUERY, ExtractOptions::with_max_depth(depth))
+            .provenance_with(
+                trust::CASE_STUDY_QUERY,
+                ExtractOptions::with_max_depth(depth),
+            )
             .unwrap();
         assert!(dnf.len() >= last, "depth {depth}");
         last = dnf.len();
@@ -68,7 +78,10 @@ fn facade_exposes_graph_statistics() {
     let graph = p3.graph();
     assert!(graph.num_execs() > 0);
     assert!(graph.num_tuples() >= 6, "at least the base tuples");
-    assert!(graph.num_edges() > graph.num_execs(), "bodies are non-empty");
+    assert!(
+        graph.num_edges() > graph.num_execs(),
+        "bodies are non-empty"
+    );
 }
 
 #[test]
@@ -77,7 +90,9 @@ fn rewritten_execution_supports_the_same_queries() {
     // probability matches the direct-capture facade.
     let program = p3::datalog::Program::parse(acquaintance::SOURCE).unwrap();
     let direct = P3::from_program(program.clone()).expect("negation-free program");
-    let expected = direct.probability(acquaintance::QUERY, ProbMethod::Exact).unwrap();
+    let expected = direct
+        .probability(acquaintance::QUERY, ProbMethod::Exact)
+        .unwrap();
 
     let rewritten = p3::provenance::rewrite::rewrite(&program).unwrap();
     let (mut db, graph) = p3::provenance::rewrite::evaluate_rewritten(&program, &rewritten);
@@ -99,7 +114,10 @@ fn rewritten_execution_supports_the_same_queries() {
 fn parallel_influence_agrees_with_sequential_through_the_facade() {
     let p3 = P3::from_source(&trust::case_study_source()).unwrap();
     let dnf = p3.provenance(trust::CASE_STUDY_QUERY).unwrap();
-    let cfg = McConfig { samples: 50_000, seed: 21 };
+    let cfg = McConfig {
+        samples: 50_000,
+        seed: 21,
+    };
     let seq = p3::core::influence_query(
         &dnf,
         p3.vars(),
@@ -119,7 +137,10 @@ fn parallel_influence_agrees_with_sequential_through_the_facade() {
     assert_eq!(seq.len(), par.len());
     for (a, b) in seq.iter().zip(&par) {
         assert_eq!(a.var, b.var);
-        assert!((a.influence - b.influence).abs() < 1e-12, "stripe-parallel is exact-equal");
+        assert!(
+            (a.influence - b.influence).abs() < 1e-12,
+            "stripe-parallel is exact-equal"
+        );
     }
 }
 

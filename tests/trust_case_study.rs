@@ -3,7 +3,7 @@
 
 use p3::core::{
     influence_query, modification_query, InfluenceMethod, InfluenceOptions, ModificationOptions,
-    P3, Strategy,
+    Strategy, P3,
 };
 use p3::prob::VarId;
 use p3::workloads::trust;
@@ -29,7 +29,11 @@ fn query2a_provenance_graph_matches_fig8() {
     // so the polynomial has exactly two monomials.
     assert_eq!(exp.num_derivations, 2);
     // Exact probability (paper reports 0.3524 from Monte-Carlo).
-    assert!((exp.probability - 0.354942).abs() < 1e-9, "got {}", exp.probability);
+    assert!(
+        (exp.probability - 0.354942).abs() < 1e-9,
+        "got {}",
+        exp.probability
+    );
 
     let tp16 = p3.explain("trustPath(1,6)").unwrap();
     assert_eq!(tp16.num_derivations, 2, "paths 1->2->6 and 1->13->2->6");
@@ -52,12 +56,23 @@ fn query2b_influence_ranking_matches_the_paper() {
     );
     // trust(6,2) first with ~0.51, trust(2,6) second with ~0.48.
     assert_eq!(p3.vars().name(ranked[0].var), "t5", "t5 is trust(6,2)");
-    assert!((ranked[0].influence - 0.50706).abs() < 1e-5, "{}", ranked[0].influence);
+    assert!(
+        (ranked[0].influence - 0.50706).abs() < 1e-5,
+        "{}",
+        ranked[0].influence
+    );
     assert_eq!(p3.vars().name(ranked[1].var), "t4", "t4 is trust(2,6)");
-    assert!((ranked[1].influence - 0.47329).abs() < 1e-4, "{}", ranked[1].influence);
+    assert!(
+        (ranked[1].influence - 0.47329).abs() < 1e-4,
+        "{}",
+        ranked[1].influence
+    );
     // The paper's footnote: trust(6,2) outranks trust(2,1) because
     // P[trust(2,1)] = 0.9 is nearly certain already.
-    let t2_rank = ranked.iter().position(|e| p3.vars().name(e.var) == "t2").unwrap();
+    let t2_rank = ranked
+        .iter()
+        .position(|e| p3.vars().name(e.var) == "t2")
+        .unwrap();
     assert!(t2_rank > 1);
 }
 
@@ -81,9 +96,17 @@ fn query2c_greedy_plan_matches_table6() {
     assert_eq!(names, vec!["t5", "t4", "t2"], "same order as Table 6");
     assert_eq!(plan.steps[0].to, 1.0);
     assert_eq!(plan.steps[1].to, 1.0);
-    assert!((plan.steps[2].to - 0.93).abs() < 0.01, "paper: 0.93, got {}", plan.steps[2].to);
+    assert!(
+        (plan.steps[2].to - 0.93).abs() < 0.01,
+        "paper: 0.93, got {}",
+        plan.steps[2].to
+    );
     // Total change ≈ 0.58.
-    assert!((plan.total_cost - 0.58).abs() < 0.02, "paper: 0.58, got {}", plan.total_cost);
+    assert!(
+        (plan.total_cost - 0.58).abs() < 0.02,
+        "paper: 0.58, got {}",
+        plan.total_cost
+    );
 }
 
 #[test]
@@ -127,7 +150,12 @@ fn query2c_random_baseline_costs_more() {
 
 #[test]
 fn trust_rules_derive_expected_relations_on_a_synthetic_sample() {
-    let net = trust::generate(trust::NetworkConfig { nodes: 60, edges: 240, seed: 2, ..trust::NetworkConfig::default() });
+    let net = trust::generate(trust::NetworkConfig {
+        nodes: 60,
+        edges: 240,
+        seed: 2,
+        ..trust::NetworkConfig::default()
+    });
     let sample = net.sample_bfs(30, 3);
     let p3 = P3::from_program(sample.to_program()).expect("negation-free program");
     let symbols = p3.program().symbols();
@@ -135,5 +163,8 @@ fn trust_rules_derive_expected_relations_on_a_synthetic_sample() {
     let tp = symbols.get("trustPath").unwrap();
     let n_trust = p3.database().relation(trust_pred).unwrap().len();
     let n_tp = p3.database().relation(tp).map(|r| r.len()).unwrap_or(0);
-    assert!(n_tp >= n_trust, "every trust edge is a one-hop trustPath (r1)");
+    assert!(
+        n_tp >= n_trust,
+        "every trust edge is a one-hop trustPath (r1)"
+    );
 }

@@ -2,7 +2,7 @@
 
 use p3::core::{
     influence_query, modification_query, InfluenceMethod, InfluenceOptions, ModificationOptions,
-    P3, ProbMethod,
+    ProbMethod, P3,
 };
 use p3::workloads::vqa;
 
@@ -35,7 +35,10 @@ fn query1a_most_important_derivation_routes_through_the_horse() {
         .map(p3::provenance::vars::var_of)
         .unwrap();
     assert!(
-        suff.polynomial.monomials().iter().any(|m| m.contains(sim_bh)),
+        suff.polynomial
+            .monomials()
+            .iter()
+            .any(|m| m.contains(sim_bh)),
         "kept derivations use sim(barn,horse): {}",
         p3.render_polynomial(&suff.polynomial)
     );
@@ -43,7 +46,8 @@ fn query1a_most_important_derivation_routes_through_the_horse() {
 
 #[test]
 fn buggy_church_image_still_answers_barn() {
-    let p3 = P3::from_program(vqa::church_image_buggy().to_program()).expect("negation-free program");
+    let p3 =
+        P3::from_program(vqa::church_image_buggy().to_program()).expect("negation-free program");
     let p_barn = p3.probability(vqa::ANS_BARN, ProbMethod::Exact).unwrap();
     let p_church = p3.probability(vqa::ANS_CHURCH, ProbMethod::Exact).unwrap();
     assert!(
@@ -54,7 +58,8 @@ fn buggy_church_image_still_answers_barn() {
 
 #[test]
 fn table4_sim_church_cross_is_the_top_unique_influencer() {
-    let p3 = P3::from_program(vqa::church_image_buggy().to_program()).expect("negation-free program");
+    let p3 =
+        P3::from_program(vqa::church_image_buggy().to_program()).expect("negation-free program");
     let barn_dnf = p3.provenance(vqa::ANS_BARN).unwrap();
     let church_dnf = p3.provenance(vqa::ANS_CHURCH).unwrap();
     let barn_vars = barn_dnf.vars();
@@ -75,10 +80,17 @@ fn table4_sim_church_cross_is_the_top_unique_influencer() {
             ..Default::default()
         },
     );
-    assert_eq!(p3.vars().name(ranked[0].var), "sim_church_cross", "Table 4's top entry");
+    assert_eq!(
+        p3.vars().name(ranked[0].var),
+        "sim_church_cross",
+        "Table 4's top entry"
+    );
     // The Table 4 ordering: cross > horse > cloud.
     let names: Vec<&str> = ranked.iter().map(|e| p3.vars().name(e.var)).collect();
-    assert_eq!(names, vec!["sim_church_cross", "sim_church_horse", "sim_church_cloud"]);
+    assert_eq!(
+        names,
+        vec!["sim_church_cross", "sim_church_horse", "sim_church_cloud"]
+    );
 }
 
 #[test]
@@ -88,32 +100,49 @@ fn modification_fix_flips_the_answer() {
     let p_barn = p3.probability(vqa::ANS_BARN, ProbMethod::Exact).unwrap();
     let church_dnf = p3.provenance(vqa::ANS_CHURCH).unwrap();
     let label = instance.sim_label("church", "cross").unwrap();
-    let var =
-        p3::provenance::vars::var_of(p3.program().clause_by_label(&label).unwrap());
+    let var = p3::provenance::vars::var_of(p3.program().clause_by_label(&label).unwrap());
     let plan = modification_query(
         &church_dnf,
         p3.vars(),
         p_barn,
-        &ModificationOptions { modifiable: Some(vec![var]), tolerance: 0.01, ..Default::default() },
+        &ModificationOptions {
+            modifiable: Some(vec![var]),
+            tolerance: 0.01,
+            ..Default::default()
+        },
     );
     assert_eq!(plan.steps.len(), 1);
     assert_eq!(plan.steps[0].var, var);
-    assert!(plan.steps[0].to > plan.steps[0].from, "the fix raises the similarity");
+    assert!(
+        plan.steps[0].to > plan.steps[0].from,
+        "the fix raises the similarity"
+    );
 
     // Applying roughly that change (the workload's fixed instance uses the
     // paper's 0.51) flips the winner.
-    let fixed = P3::from_program(vqa::church_image_fixed().to_program()).expect("negation-free program");
+    let fixed =
+        P3::from_program(vqa::church_image_fixed().to_program()).expect("negation-free program");
     let p_barn2 = fixed.probability(vqa::ANS_BARN, ProbMethod::Exact).unwrap();
-    let p_church2 = fixed.probability(vqa::ANS_CHURCH, ProbMethod::Exact).unwrap();
-    assert!(p_church2 > p_barn2, "church {p_church2} vs barn {p_barn2} after the fix");
+    let p_church2 = fixed
+        .probability(vqa::ANS_CHURCH, ProbMethod::Exact)
+        .unwrap();
+    assert!(
+        p_church2 > p_barn2,
+        "church {p_church2} vs barn {p_barn2} after the fix"
+    );
 }
 
 #[test]
 fn vqa_polynomials_are_nontrivial() {
     // The case study only means something if the provenance has real
     // structure: multiple derivations per answer, dozens of literals.
-    let p3 = P3::from_program(vqa::church_image_buggy().to_program()).expect("negation-free program");
+    let p3 =
+        P3::from_program(vqa::church_image_buggy().to_program()).expect("negation-free program");
     let dnf = p3.provenance(vqa::ANS_BARN).unwrap();
     assert!(dnf.len() >= 3, "several derivations: {}", dnf.len());
-    assert!(dnf.vars().len() >= 8, "many participating clauses: {}", dnf.vars().len());
+    assert!(
+        dnf.vars().len() >= 8,
+        "many participating clauses: {}",
+        dnf.vars().len()
+    );
 }

@@ -1,0 +1,285 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-target API surface this workspace uses
+//! (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `criterion_group!`/`criterion_main!`)
+//! with a simple warmup-then-sample timing loop. Results are printed as
+//! mean/median per-iteration times; there is no statistical analysis,
+//! plotting, or baseline comparison.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies a benchmark within a group, e.g. `BenchmarkId::new("extract", n)`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the routine repeatedly and
+/// records the total elapsed time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Like `iter`, but times only what `routine` itself measures via the
+    /// returned duration. Provided for API parity; rarely used here.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_count: usize,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_count: 20,
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// The benchmark manager. Created via `Criterion::default()` (typically by
+/// the `criterion_group!` macro).
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_count = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.settings.measure = dur;
+        self
+    }
+
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.settings.warm_up = dur;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, self.settings, f);
+        self
+    }
+
+    /// criterion's post-run hook; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_count = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings.measure = dur;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings.warm_up = dur;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.settings, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.settings, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, mut f: F) {
+    // Warmup: run single iterations until the warmup budget is spent, using
+    // the observed cost to size the measurement batches.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut per_iter;
+    loop {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_iters += 1;
+        let spent = warm_start.elapsed();
+        if spent >= settings.warm_up || warm_iters >= 10_000 {
+            per_iter = spent / warm_iters.max(1) as u32;
+            break;
+        }
+    }
+    if per_iter.is_zero() {
+        per_iter = Duration::from_nanos(1);
+    }
+
+    // Size each sample so the whole measurement fits the time budget.
+    let samples = settings.sample_count as u64;
+    let budget_per_sample = settings.measure / samples.max(1) as u32;
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "bench: {id:<55} median {:>12}  mean {:>12}  ({} samples x {} iters)",
+        fmt_time(median),
+        fmt_time(mean),
+        samples,
+        iters_per_sample
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.3} s", secs)
+    }
+}
+
+/// Defines a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("with_input", 42), &42u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

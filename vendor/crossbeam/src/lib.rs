@@ -1,0 +1,92 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::thread::scope` API surface this workspace uses,
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63).
+//! Worker closures receive a zero-sized token in place of crossbeam's
+//! re-entrant `&Scope` argument; nested spawning from inside a worker is not
+//! supported (nothing in this workspace nests).
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// The token passed to worker closures. Crossbeam passes `&Scope` so
+    /// workers can spawn siblings; this stand-in does not support that, and
+    /// the token is inert.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WorkerScope;
+
+    static WORKER_SCOPE: WorkerScope = WorkerScope;
+
+    /// A scope handle, wrapping [`std::thread::Scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload if it panicked).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's argument mirrors
+        /// crossbeam's `&Scope` parameter and is ignored here.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&WorkerScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&WORKER_SCOPE)),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the caller.
+    ///
+    /// Mirrors crossbeam's signature: the scope's result is wrapped in
+    /// `Result`, with `Err` carrying the panic payload if the closure (or an
+    /// unjoined thread) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| -> u32 { panic!("worker boom") });
+            h.join().expect("propagate");
+        });
+        assert!(result.is_err());
+    }
+}

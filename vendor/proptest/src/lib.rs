@@ -1,0 +1,515 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of proptest's API its property tests use: the [`strategy::Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, range and regex-pattern strategies,
+//! [`collection::vec`], the [`proptest!`] macro with `proptest_config`, and
+//! the `prop_assert!`/`prop_assert_eq!`/`prop_assume!` assertion macros.
+//!
+//! Semantics: each test runs `cases` random inputs (deterministically seeded
+//! per test name, so failures reproduce). Shrinking is not implemented —
+//! a failing case panics with the assertion message directly.
+
+pub mod test_runner {
+    //! Configuration and the per-test random source.
+
+    pub use rand::rngs::SmallRng as TestRng;
+
+    /// Runner configuration (the `cases` knob only).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of accepted cases each test must execute.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Marker returned by `prop_assume!` when a case is rejected.
+    #[derive(Debug)]
+    pub struct Rejected;
+
+    /// Seeds the RNG for a named test, deterministically.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        use rand::SeedableRng;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng::seed_from_u64(h ^ 0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::string::Pattern;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    /// String-literal strategies: the pattern is a simplified regex
+    /// (character classes, `\PC`, `{m,n}` repetitions) and generates
+    /// matching strings.
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            Pattern::parse(self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// Generates `Vec`s of values from an element strategy. Built by
+    /// [`crate::collection::vec`].
+    pub struct VecStrategy<S> {
+        pub(crate) elem: S,
+        pub(crate) min: usize,
+        pub(crate) max: usize,
+        pub(crate) _marker: PhantomData<S>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.min == self.max {
+                self.min
+            } else {
+                rng.random_range(self.min..=self.max)
+            };
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::VecStrategy;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything accepted as a size specification by [`vec`].
+    pub trait IntoSizeRange {
+        /// The inclusive `(min, max)` length bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty size range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// A strategy generating vectors whose elements come from `elem` and
+    /// whose length falls in `size`.
+    pub fn vec<S>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy {
+            elem,
+            min,
+            max,
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod string {
+    //! The simplified regex-pattern string generator.
+
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// One pattern atom: a set of candidate characters plus a repetition
+    /// count range.
+    enum CharSet {
+        /// `\PC`: any printable (non-control) character.
+        Printable,
+        /// An explicit choice list from a `[...]` class or a literal.
+        Choices(Vec<char>),
+    }
+
+    struct Atom {
+        set: CharSet,
+        min: u32,
+        max: u32,
+    }
+
+    /// A parsed pattern.
+    pub struct Pattern {
+        atoms: Vec<Atom>,
+    }
+
+    impl Pattern {
+        /// Parses the supported pattern subset: literals, `[...]` classes
+        /// with ranges and escapes, `\PC`, and `{m,n}` / `{n}` repetitions.
+        pub fn parse(src: &str) -> Pattern {
+            let mut chars = src.chars().peekable();
+            let mut atoms = Vec::new();
+            while let Some(c) = chars.next() {
+                let set = match c {
+                    '\\' => match chars.next() {
+                        Some('P') => {
+                            // `\PC`: consume the category letter.
+                            let _ = chars.next();
+                            CharSet::Printable
+                        }
+                        Some(esc) => CharSet::Choices(vec![esc]),
+                        None => CharSet::Choices(vec!['\\']),
+                    },
+                    '[' => {
+                        let mut choices = Vec::new();
+                        let mut prev: Option<char> = None;
+                        loop {
+                            match chars.next() {
+                                None | Some(']') => break,
+                                Some('\\') => {
+                                    if let Some(esc) = chars.next() {
+                                        choices.push(esc);
+                                        prev = Some(esc);
+                                    }
+                                }
+                                Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                                    let lo = prev.take().expect("checked") as u32;
+                                    let hi = chars.next().expect("checked") as u32;
+                                    for code in lo..=hi {
+                                        if let Some(ch) = char::from_u32(code) {
+                                            choices.push(ch);
+                                        }
+                                    }
+                                }
+                                Some(other) => {
+                                    choices.push(other);
+                                    prev = Some(other);
+                                }
+                            }
+                        }
+                        if choices.is_empty() {
+                            choices.push('x');
+                        }
+                        CharSet::Choices(choices)
+                    }
+                    '.' => CharSet::Printable,
+                    other => CharSet::Choices(vec![other]),
+                };
+                // Optional repetition suffix.
+                let (min, max) = if chars.peek() == Some(&'{') {
+                    chars.next();
+                    let mut bounds = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        bounds.push(c);
+                    }
+                    match bounds.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().unwrap_or(0),
+                            hi.trim().parse().unwrap_or(8),
+                        ),
+                        None => {
+                            let n = bounds.trim().parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                atoms.push(Atom { set, min, max });
+            }
+            Pattern { atoms }
+        }
+
+        /// Generates one matching string.
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let count = if atom.min == atom.max {
+                    atom.min
+                } else {
+                    rng.random_range(atom.min..=atom.max)
+                };
+                for _ in 0..count {
+                    match &atom.set {
+                        CharSet::Printable => out.push(random_printable(rng)),
+                        CharSet::Choices(choices) => {
+                            out.push(choices[rng.random_range(0..choices.len())]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    fn random_printable(rng: &mut TestRng) -> char {
+        // Mostly ASCII printable, with an occasional multi-byte character to
+        // exercise UTF-8 handling.
+        const EXOTIC: &[char] = &['é', 'λ', 'Ж', '中', '‿', '🦀'];
+        if rng.random_bool(0.95) {
+            char::from_u32(rng.random_range(0x20u32..0x7F)).expect("ascii printable")
+        } else {
+            EXOTIC[rng.random_range(0..EXOTIC.len())]
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests. Supports the subset:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(pattern in strategy, other in strategy2) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $($(#[$meta:meta])+ fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let strategies = ($($strat,)+);
+                let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(1024);
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "too many rejected cases in {} ({} accepted of {} wanted)",
+                        stringify!($name), accepted, config.cases,
+                    );
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::new_value(&strategies, &mut rng);
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::core::result::Result<(), $crate::test_runner::Rejected> =
+                        (|| { { $body } ::core::result::Result::Ok(()) })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_generator_matches_classes() {
+        let mut rng = crate::test_runner::rng_for("pattern_test");
+        let pat = crate::string::Pattern::parse("[a-c]{2,4}");
+        for _ in 0..50 {
+            let s = pat.generate(&mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+        let pat = crate::string::Pattern::parse("x{3}");
+        assert_eq!(pat.generate(&mut rng), "xxx");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_generate_in_bounds(n in 3usize..10, f in 0.0f64..=1.0) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0, "only even values reach here: {n}");
+        }
+
+        #[test]
+        fn flat_map_and_vec_compose(
+            (len, values) in (1usize..5).prop_flat_map(|len| {
+                (crate::strategy::Just(len), crate::collection::vec(0u32..10, len))
+            }),
+        ) {
+            prop_assert_eq!(values.len(), len);
+        }
+    }
+}
