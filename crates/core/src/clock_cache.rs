@@ -1,0 +1,169 @@
+//! A bounded map with second-chance ("clock") eviction.
+//!
+//! [`ClockMap`] backs the [`crate::QuerySession`] memo tables. Unbounded by
+//! default (a session over a fixed workload converges to a finite set of
+//! entries), it accepts an optional `max_entries` cap for long-lived
+//! sessions — e.g. a query server that must not grow without bound.
+//!
+//! The eviction policy is the classic clock approximation of LRU: every
+//! entry carries a *reference bit* set on lookup (an `AtomicBool`, so hits
+//! only need a read lock on the surrounding `RwLock`); when an insert would
+//! exceed the cap, a hand sweeps insertion order, giving each referenced
+//! entry a second chance (clear the bit, move on) and evicting the first
+//! unreferenced one. One sweep visits each entry at most twice, so eviction
+//! is O(n) worst-case but amortised O(1) for scan-resistant workloads.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+struct Entry<V> {
+    value: V,
+    /// Set by [`ClockMap::get`]; cleared when the hand passes.
+    referenced: AtomicBool,
+}
+
+/// A hash map with an optional entry cap and second-chance eviction.
+pub(crate) struct ClockMap<K, V> {
+    map: HashMap<K, Entry<V>>,
+    /// Keys in insertion order; the front is where the clock hand points.
+    order: VecDeque<K>,
+    cap: Option<usize>,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> ClockMap<K, V> {
+    /// An empty map evicting beyond `cap` entries (`None` = unbounded).
+    pub(crate) fn with_cap(cap: Option<usize>) -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key`, marking the entry as recently used. Only needs `&self`
+    /// so callers can serve hits under a read lock.
+    pub(crate) fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|e| {
+            e.referenced.store(true, Ordering::Relaxed);
+            &e.value
+        })
+    }
+
+    /// Inserts `key → value`, evicting one entry first if the map is at
+    /// capacity (and `key` is new).
+    pub(crate) fn insert(&mut self, key: K, value: V) {
+        if let Some(existing) = self.map.get_mut(&key) {
+            existing.value = value;
+            existing.referenced.store(true, Ordering::Relaxed);
+            return;
+        }
+        if let Some(cap) = self.cap {
+            // A cap of 0 would make every insert evict itself; treat it as 1.
+            let cap = cap.max(1);
+            while self.map.len() >= cap {
+                self.evict_one();
+            }
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                referenced: AtomicBool::new(false),
+            },
+        );
+    }
+
+    /// Advances the clock hand until one entry is evicted.
+    fn evict_one(&mut self) {
+        while let Some(key) = self.order.pop_front() {
+            let Some(entry) = self.map.get(&key) else {
+                continue; // stale order slot from a prior eviction
+            };
+            if entry.referenced.swap(false, Ordering::Relaxed) {
+                // Second chance: recently used, rotate to the back.
+                self.order.push_back(key);
+            } else {
+                self.map.remove(&key);
+                self.evictions += 1;
+                return;
+            }
+        }
+    }
+
+    /// Entries currently resident.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Entries evicted over the map's lifetime.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_map_never_evicts() {
+        let mut m = ClockMap::with_cap(None);
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.evictions(), 0);
+        assert_eq!(m.get(&999), Some(&1998));
+    }
+
+    #[test]
+    fn cap_is_enforced_and_counted() {
+        let mut m = ClockMap::with_cap(Some(4));
+        for i in 0..10 {
+            m.insert(i, i);
+        }
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.evictions(), 6);
+    }
+
+    #[test]
+    fn recently_used_entries_survive_a_sweep() {
+        let mut m = ClockMap::with_cap(Some(3));
+        m.insert('a', 1);
+        m.insert('b', 2);
+        m.insert('c', 3);
+        // Touch 'a': its reference bit grants a second chance, so the
+        // unreferenced 'b' goes first.
+        assert_eq!(m.get(&'a'), Some(&1));
+        m.insert('d', 4);
+        assert!(m.get(&'a').is_some());
+        assert!(m.get(&'b').is_none());
+        assert!(m.get(&'c').is_some());
+        assert!(m.get(&'d').is_some());
+        assert_eq!(m.evictions(), 1);
+    }
+
+    #[test]
+    fn reinserting_a_key_updates_in_place() {
+        let mut m = ClockMap::with_cap(Some(2));
+        m.insert(1, 10);
+        m.insert(1, 11);
+        m.insert(2, 20);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.evictions(), 0);
+        assert_eq!(m.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn cap_zero_behaves_like_cap_one() {
+        let mut m = ClockMap::with_cap(Some(0));
+        m.insert(1, 1);
+        m.insert(2, 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&2), Some(&2));
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod clock_cache;
 pub mod error;
 pub mod prob_method;
 pub mod query;
@@ -42,5 +43,5 @@ pub use query::modification::{
     modification_query, modification_query_with, EvalMethod, ModificationEval, ModificationOptions,
     ModificationPlan, ModificationStep, Strategy,
 };
-pub use session::{QuerySession, SessionStats};
+pub use session::{QuerySession, SessionOptions, SessionStats};
 pub use system::P3;

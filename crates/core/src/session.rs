@@ -15,11 +15,14 @@
 //!
 //! Because the core a session caches over is immutable ([`P3`] never
 //! mutates after evaluation; what-if updates build a *new* `P3`), no cache
-//! here ever needs invalidation. Sessions are `Send + Sync` and cheap to
+//! here ever needs invalidation — though long-lived sessions can bound
+//! table growth with [`SessionOptions::max_entries`] (second-chance
+//! eviction, counted in [`SessionStats::evictions`]). Sessions are `Send + Sync` and cheap to
 //! clone — clones share the caches — so one session can serve concurrent
 //! queries from many threads; [`QuerySession::batch_probabilities`] does
 //! exactly that with scoped worker threads.
 
+use crate::clock_cache::ClockMap;
 use crate::error::P3Error;
 use crate::prob_method::ProbMethod;
 use crate::query::derivation::{sufficient_provenance_with, DerivationAlgo, SufficientProvenance};
@@ -34,7 +37,6 @@ use p3_datalog::engine::TupleId;
 use p3_prob::store::DnfId;
 use p3_prob::{mc, parallel, Dnf, VarId, VarTable};
 use p3_provenance::extract::ExtractOptions;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -66,18 +68,42 @@ struct SufficientKey {
     method: ProbMethod,
 }
 
-#[derive(Default)]
+/// Tuning knobs for a [`QuerySession`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionOptions {
+    /// Cap on the number of entries **per memo table** (`None` = unbounded,
+    /// the default). Long-lived sessions — e.g. the `p3-service` query
+    /// server — set this so the caches stay bounded under arbitrary
+    /// workloads; entries beyond the cap are reclaimed with second-chance
+    /// (clock) eviction and counted in [`SessionStats::evictions`].
+    pub max_entries: Option<usize>,
+}
+
 struct SessionCaches {
     /// `(tuple, extract options) → interned polynomial`.
-    dnf_ids: RwLock<HashMap<(TupleId, ExtractOptions), DnfId>>,
+    dnf_ids: RwLock<ClockMap<(TupleId, ExtractOptions), DnfId>>,
     /// `(formula, method) → P[λ]`.
-    probs: RwLock<HashMap<(DnfId, ProbMethod), f64>>,
+    probs: RwLock<ClockMap<(DnfId, ProbMethod), f64>>,
     /// `(formula, options) → ranked influence entries`.
-    influence: RwLock<HashMap<(DnfId, InfluenceKey), Vec<InfluenceEntry>>>,
+    influence: RwLock<ClockMap<(DnfId, InfluenceKey), Vec<InfluenceEntry>>>,
     /// `(formula, ε/algo/method) → sufficient provenance`.
-    sufficient: RwLock<HashMap<(DnfId, SufficientKey), SufficientProvenance>>,
+    sufficient: RwLock<ClockMap<(DnfId, SufficientKey), SufficientProvenance>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl SessionCaches {
+    fn new(opts: SessionOptions) -> Self {
+        let cap = opts.max_entries;
+        Self {
+            dnf_ids: RwLock::new(ClockMap::with_cap(cap)),
+            probs: RwLock::new(ClockMap::with_cap(cap)),
+            influence: RwLock::new(ClockMap::with_cap(cap)),
+            sufficient: RwLock::new(ClockMap::with_cap(cap)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Hit/miss counters across all of a session's memo tables.
@@ -87,6 +113,11 @@ pub struct SessionStats {
     pub hits: u64,
     /// Lookups that had to compute.
     pub misses: u64,
+    /// Entries evicted to respect [`SessionOptions::max_entries`]
+    /// (always 0 for unbounded sessions).
+    pub evictions: u64,
+    /// Entries currently resident across all memo tables.
+    pub resident: u64,
 }
 
 /// A memoizing query handle over an immutable [`P3`]. See the module docs.
@@ -98,9 +129,13 @@ pub struct QuerySession {
 
 impl QuerySession {
     pub(crate) fn new(p3: P3) -> Self {
+        Self::with_options(p3, SessionOptions::default())
+    }
+
+    pub(crate) fn with_options(p3: P3, opts: SessionOptions) -> Self {
         Self {
             p3,
-            caches: Arc::new(SessionCaches::default()),
+            caches: Arc::new(SessionCaches::new(opts)),
         }
     }
 
@@ -111,9 +146,29 @@ impl QuerySession {
 
     /// Cache effectiveness counters.
     pub fn stats(&self) -> SessionStats {
+        let tables = [
+            {
+                let t = self.caches.dnf_ids.read().unwrap();
+                (t.evictions(), t.len())
+            },
+            {
+                let t = self.caches.probs.read().unwrap();
+                (t.evictions(), t.len())
+            },
+            {
+                let t = self.caches.influence.read().unwrap();
+                (t.evictions(), t.len())
+            },
+            {
+                let t = self.caches.sufficient.read().unwrap();
+                (t.evictions(), t.len())
+            },
+        ];
         SessionStats {
             hits: self.caches.hits.load(Ordering::Relaxed),
             misses: self.caches.misses.load(Ordering::Relaxed),
+            evictions: tables.iter().map(|&(e, _)| e).sum(),
+            resident: tables.iter().map(|&(_, n)| n as u64).sum(),
         }
     }
 
@@ -588,6 +643,39 @@ mod tests {
                 Err(_) => assert!(r.is_err(), "{q}"),
             }
         }
+    }
+
+    #[test]
+    fn capped_session_evicts_but_stays_correct() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let session = p3.session_with(SessionOptions {
+            max_entries: Some(2),
+        });
+        let queries = [
+            Q,
+            r#"know("Ben","Steve")"#,
+            r#"know("Steve","Elena")"#,
+            r#"know("Elena","Steve")"#,
+        ];
+        // Two passes over four distinct queries against a 2-entry cap:
+        // eviction must kick in, and every answer must still match the
+        // uncached facade.
+        for _ in 0..2 {
+            for q in queries {
+                let expected = p3.probability(q, ProbMethod::Exact).unwrap();
+                assert_eq!(session.probability(q, ProbMethod::Exact).unwrap(), expected);
+            }
+        }
+        let stats = session.stats();
+        assert!(stats.evictions > 0, "cap of 2 over 4 queries: {stats:?}");
+        // Each table respects the cap.
+        assert!(stats.resident <= 2 * 4, "{stats:?}");
+        // An unbounded session over the same traffic never evicts.
+        let unbounded = p3.session();
+        for q in queries {
+            unbounded.probability(q, ProbMethod::Exact).unwrap();
+        }
+        assert_eq!(unbounded.stats().evictions, 0);
     }
 
     #[test]

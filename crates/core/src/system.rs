@@ -13,7 +13,7 @@
 use crate::error::P3Error;
 use crate::prob_method::ProbMethod;
 use crate::query::explanation::Explanation;
-use crate::session::QuerySession;
+use crate::session::{QuerySession, SessionOptions};
 use p3_datalog::ast::Const;
 use p3_datalog::engine::{Database, TupleId};
 use p3_datalog::program::Program;
@@ -81,10 +81,21 @@ impl P3 {
         QuerySession::new(self.clone())
     }
 
+    /// Like [`P3::session`], but with explicit [`SessionOptions`] — e.g. a
+    /// `max_entries` cap so a long-lived session's memo tables stay bounded
+    /// (entries beyond the cap are reclaimed with clock eviction).
+    pub fn session_with(&self, opts: SessionOptions) -> QuerySession {
+        QuerySession::with_options(self.clone(), opts)
+    }
+
     /// Answers many probability queries concurrently using scoped worker
-    /// threads over one shared session (`threads = 0` means
-    /// [`p3_prob::parallel::default_threads`]). Results are in query order;
-    /// each query fails or succeeds independently.
+    /// threads over one shared session. Results are in query order; each
+    /// query fails or succeeds independently.
+    ///
+    /// `threads = 0` means "auto" — the `P3_THREADS` environment variable
+    /// if set (itself honouring the same `0 = auto` convention; non-numeric
+    /// values are rejected), else the available cores capped at 16. See
+    /// [`p3_prob::parallel::default_threads`].
     pub fn batch_probabilities(
         &self,
         queries: &[&str],

@@ -15,25 +15,41 @@ use crate::dnf::Dnf;
 use crate::mc::{self, CompiledDnf, McConfig};
 use crate::var::{VarId, VarTable};
 
+/// Parses the `P3_THREADS` environment override.
+///
+/// Returns `Ok(None)` when the variable is unset, `Ok(Some(n))` for a
+/// numeric value (where `n = 0` means "auto": use the hardware default),
+/// and `Err` with a clear message for anything non-numeric — a typo'd
+/// `P3_THREADS` must fail loudly, not silently fall back to the default.
+pub fn threads_from_env() -> Result<Option<usize>, String> {
+    match std::env::var("P3_THREADS") {
+        Err(_) => Ok(None),
+        Ok(raw) => raw.trim().parse::<usize>().map(Some).map_err(|_| {
+            format!("P3_THREADS must be a non-negative integer (0 = auto), got '{raw}'")
+        }),
+    }
+}
+
 /// Number of worker threads to use by default.
 ///
-/// Honours the `P3_THREADS` environment variable when it is set to a
-/// positive integer; otherwise uses the available parallelism, capped at 16
-/// (beyond that, memory bandwidth dominates for this workload). A thread
-/// count of `0` passed to any driver in this module means "use this
-/// default", so callers can store `0` in configs to defer the decision.
+/// Honours the `P3_THREADS` environment variable (`0` = auto); otherwise
+/// uses the available parallelism, capped at 16 (beyond that, memory
+/// bandwidth dominates for this workload). A thread count of `0` passed to
+/// any driver in this module means "use this default", so callers can store
+/// `0` in configs to defer the decision.
+///
+/// # Panics
+/// If `P3_THREADS` is set to a non-numeric value; use
+/// [`threads_from_env`] to handle that case gracefully.
 pub fn default_threads() -> usize {
-    if let Ok(raw) = std::env::var("P3_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+    match threads_from_env() {
+        Ok(Some(n)) if n > 0 => n,
+        Ok(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16),
+        Err(msg) => panic!("{msg}"),
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16)
 }
 
 /// Maps the `0 = use default` convention onto a concrete worker count.
@@ -274,14 +290,25 @@ mod tests {
         // Serialised with nothing: other tests pass explicit counts, so the
         // env var cannot leak into them.
         std::env::set_var("P3_THREADS", "2");
+        assert_eq!(threads_from_env(), Ok(Some(2)));
         assert_eq!(default_threads(), 2);
+        // Non-numeric values are rejected with a clear error, not silently
+        // replaced by the hardware default.
         std::env::set_var("P3_THREADS", "not a number");
-        let fallback = default_threads();
-        assert!((1..=16).contains(&fallback));
-        std::env::set_var("P3_THREADS", "0");
-        assert_eq!(default_threads(), fallback, "0 is ignored, not honoured");
+        let err = threads_from_env().unwrap_err();
+        assert!(err.contains("P3_THREADS"), "{err}");
+        assert!(err.contains("not a number"), "{err}");
+        let panic = std::panic::catch_unwind(default_threads).unwrap_err();
+        let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("P3_THREADS"), "{msg}");
+        // 0 = auto: same as the variable being unset.
         std::env::remove_var("P3_THREADS");
-        assert_eq!(default_threads(), fallback);
+        let auto = default_threads();
+        assert!((1..=16).contains(&auto));
+        std::env::set_var("P3_THREADS", "0");
+        assert_eq!(threads_from_env(), Ok(Some(0)));
+        assert_eq!(default_threads(), auto, "0 means auto");
+        std::env::remove_var("P3_THREADS");
     }
 
     #[test]

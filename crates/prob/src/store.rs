@@ -12,15 +12,27 @@
 //!   query restricting the same base formula on fifty candidate literals
 //!   normalises each restriction only once per process lifetime.
 //!
-//! The store is append-only behind an `RwLock`: interning never invalidates
-//! an id, which is what makes it safe to share one store across concurrent
-//! query sessions (see `p3-core`'s `QuerySession`).
+//! The store is append-only: interning never invalidates an id, which is
+//! what makes it safe to share one store across concurrent query sessions
+//! (see `p3-core`'s `QuerySession`). To keep concurrent workers from
+//! serialising on one big lock, the intern index and the op caches are
+//! split into [`SHARDS`] hash-keyed shards, each behind its own `RwLock`;
+//! only the id → formula table (`formulas`) is global, because ids must be
+//! allocated from a single sequence. Lock order is always
+//! shard-then-formulas, and no two shard locks are ever held together, so
+//! the scheme is deadlock-free.
 
 use crate::dnf::Dnf;
 use crate::var::VarId;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Number of lock shards for the intern index and the op caches. A power of
+/// two so the hash → shard map is a mask.
+pub const SHARDS: usize = 16;
 
 /// A stable handle to an interned formula. Ids are only meaningful for the
 /// store that produced them.
@@ -54,43 +66,37 @@ pub struct StoreStats {
     pub op_misses: u64,
 }
 
+/// Per-shard memo tables for the algebraic operations.
 #[derive(Default)]
-struct Inner {
-    formulas: Vec<Arc<Dnf>>,
-    index: HashMap<Arc<Dnf>, u32>,
-    restrict_cache: HashMap<(DnfId, VarId, bool), DnfId>,
-    or_cache: HashMap<(DnfId, DnfId), DnfId>,
-    and_cache: HashMap<(DnfId, DnfId), DnfId>,
-    stats: StoreStats,
+struct OpCaches {
+    restrict: HashMap<(DnfId, VarId, bool), DnfId>,
+    or: HashMap<(DnfId, DnfId), DnfId>,
+    and: HashMap<(DnfId, DnfId), DnfId>,
 }
 
-impl Inner {
-    /// Returns the id and whether the formula was newly inserted. Hit
-    /// accounting lives in the atomic counters on [`DnfStore`], outside the
-    /// lock.
-    fn intern(&mut self, dnf: Dnf) -> (DnfId, bool) {
-        if let Some(&id) = self.index.get(&dnf) {
-            return (DnfId(id), false);
-        }
-        let id = u32::try_from(self.formulas.len()).expect("DnfStore overflow");
-        let arc = Arc::new(dnf);
-        self.formulas.push(Arc::clone(&arc));
-        self.index.insert(arc, id);
-        self.stats.intern_misses += 1;
-        self.stats.formulas = self.formulas.len();
-        (DnfId(id), true)
-    }
+fn shard_of<T: Hash>(key: &T) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) & (SHARDS - 1)
 }
 
 /// A thread-safe, append-only interner of [`Dnf`] formulas with memoized
 /// algebraic operations. See the module docs for the design rationale.
 ///
-/// Hit counters are atomics so cache-hit paths never touch the write lock
-/// (taking it while the hit path's read guard is alive would self-deadlock).
+/// Counters are atomics so cache-hit paths never touch a write lock, and
+/// all maps are hash-sharded so concurrent workers interning unrelated
+/// formulas proceed without contention.
 pub struct DnfStore {
-    inner: RwLock<Inner>,
+    /// Global id → formula table; the only store-wide lock.
+    formulas: RwLock<Vec<Arc<Dnf>>>,
+    /// Hash-sharded formula → id index.
+    index: [RwLock<HashMap<Arc<Dnf>, u32>>; SHARDS],
+    /// Hash-sharded op memo tables (keyed by the op's argument tuple).
+    ops: [RwLock<OpCaches>; SHARDS],
     intern_hits: AtomicU64,
+    intern_misses: AtomicU64,
     op_hits: AtomicU64,
+    op_misses: AtomicU64,
 }
 
 impl Default for DnfStore {
@@ -103,37 +109,54 @@ impl DnfStore {
     /// An empty store with the constants pre-interned at [`DnfId::FALSE`]
     /// and [`DnfId::TRUE`].
     pub fn new() -> Self {
-        let mut inner = Inner::default();
-        let (zero, _) = inner.intern(Dnf::zero());
-        let (one, _) = inner.intern(Dnf::one());
+        let store = Self {
+            formulas: RwLock::new(Vec::new()),
+            index: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            ops: std::array::from_fn(|_| RwLock::new(OpCaches::default())),
+            intern_hits: AtomicU64::new(0),
+            intern_misses: AtomicU64::new(0),
+            op_hits: AtomicU64::new(0),
+            op_misses: AtomicU64::new(0),
+        };
+        let zero = store.intern(Dnf::zero());
+        let one = store.intern(Dnf::one());
         debug_assert_eq!(zero, DnfId::FALSE);
         debug_assert_eq!(one, DnfId::TRUE);
         // The two constants are structural, not client traffic.
-        inner.stats.intern_misses = 0;
-        Self {
-            inner: RwLock::new(inner),
-            intern_hits: AtomicU64::new(0),
-            op_hits: AtomicU64::new(0),
-        }
+        store.intern_misses.store(0, Ordering::Relaxed);
+        store
     }
 
     /// Interns `dnf`, returning its stable id. Structurally equal formulas
     /// always receive the same id (and share one allocation).
     pub fn intern(&self, dnf: Dnf) -> DnfId {
-        // Fast path: a read lock suffices for formulas already present.
+        let shard = &self.index[shard_of(&dnf)];
+        // Fast path: a read lock on one shard suffices for known formulas.
         {
-            let inner = self.inner.read().unwrap();
-            if let Some(&id) = inner.index.get(&dnf) {
+            let index = shard.read().unwrap();
+            if let Some(&id) = index.get(&dnf) {
                 self.intern_hits.fetch_add(1, Ordering::Relaxed);
                 return DnfId(id);
             }
         }
-        let (id, new) = self.inner.write().unwrap().intern(dnf);
-        if !new {
+        let mut index = shard.write().unwrap();
+        if let Some(&id) = index.get(&dnf) {
             // Lost a race: someone interned it between the two locks.
             self.intern_hits.fetch_add(1, Ordering::Relaxed);
+            return DnfId(id);
         }
-        id
+        let arc = Arc::new(dnf);
+        // Id allocation is the only cross-shard step; the formulas lock is
+        // taken strictly after the shard lock, never the other way round.
+        let id = {
+            let mut formulas = self.formulas.write().unwrap();
+            let id = u32::try_from(formulas.len()).expect("DnfStore overflow");
+            formulas.push(Arc::clone(&arc));
+            id
+        };
+        index.insert(arc, id);
+        self.intern_misses.fetch_add(1, Ordering::Relaxed);
+        DnfId(id)
     }
 
     /// The formula behind `id`. The `Arc` is shared with the store, so two
@@ -142,7 +165,7 @@ impl DnfStore {
     /// # Panics
     /// If `id` did not come from this store.
     pub fn get(&self, id: DnfId) -> Arc<Dnf> {
-        Arc::clone(&self.inner.read().unwrap().formulas[id.index()])
+        Arc::clone(&self.formulas.read().unwrap()[id.index()])
     }
 
     /// Shorthand for interning a single-literal formula.
@@ -163,16 +186,15 @@ impl DnfStore {
             return DnfId::TRUE;
         }
         let key = if a <= b { (a, b) } else { (b, a) };
-        if let Some(&id) = self.inner.read().unwrap().or_cache.get(&key) {
+        let shard = &self.ops[shard_of(&("or", key))];
+        if let Some(&id) = shard.read().unwrap().or.get(&key) {
             self.op_hits.fetch_add(1, Ordering::Relaxed);
             return id;
         }
         let (fa, fb) = (self.get(a), self.get(b));
-        let result = fa.or(&fb);
-        let mut inner = self.inner.write().unwrap();
-        let (id, _) = inner.intern(result);
-        inner.or_cache.insert(key, id);
-        inner.stats.op_misses += 1;
+        let id = self.intern(fa.or(&fb));
+        shard.write().unwrap().or.insert(key, id);
+        self.op_misses.fetch_add(1, Ordering::Relaxed);
         id
     }
 
@@ -188,16 +210,15 @@ impl DnfStore {
             return a;
         }
         let key = if a <= b { (a, b) } else { (b, a) };
-        if let Some(&id) = self.inner.read().unwrap().and_cache.get(&key) {
+        let shard = &self.ops[shard_of(&("and", key))];
+        if let Some(&id) = shard.read().unwrap().and.get(&key) {
             self.op_hits.fetch_add(1, Ordering::Relaxed);
             return id;
         }
         let (fa, fb) = (self.get(a), self.get(b));
-        let result = fa.and(&fb);
-        let mut inner = self.inner.write().unwrap();
-        let (id, _) = inner.intern(result);
-        inner.and_cache.insert(key, id);
-        inner.stats.op_misses += 1;
+        let id = self.intern(fa.and(&fb));
+        shard.write().unwrap().and.insert(key, id);
+        self.op_misses.fetch_add(1, Ordering::Relaxed);
         id
     }
 
@@ -207,21 +228,21 @@ impl DnfStore {
             return id;
         }
         let key = (id, var, value);
-        if let Some(&cached) = self.inner.read().unwrap().restrict_cache.get(&key) {
+        let shard = &self.ops[shard_of(&("restrict", key))];
+        if let Some(&cached) = shard.read().unwrap().restrict.get(&key) {
             self.op_hits.fetch_add(1, Ordering::Relaxed);
             return cached;
         }
         let result = self.get(id).restrict(var, value);
-        let mut inner = self.inner.write().unwrap();
-        let (out, _) = inner.intern(result);
-        inner.restrict_cache.insert(key, out);
-        inner.stats.op_misses += 1;
+        let out = self.intern(result);
+        shard.write().unwrap().restrict.insert(key, out);
+        self.op_misses.fetch_add(1, Ordering::Relaxed);
         out
     }
 
     /// Number of distinct formulas interned (including the two constants).
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap().formulas.len()
+        self.formulas.read().unwrap().len()
     }
 
     /// Whether only the constants are present.
@@ -231,10 +252,13 @@ impl DnfStore {
 
     /// A snapshot of the effectiveness counters.
     pub fn stats(&self) -> StoreStats {
-        let mut stats = self.inner.read().unwrap().stats;
-        stats.intern_hits = self.intern_hits.load(Ordering::Relaxed);
-        stats.op_hits = self.op_hits.load(Ordering::Relaxed);
-        stats
+        StoreStats {
+            formulas: self.len(),
+            intern_hits: self.intern_hits.load(Ordering::Relaxed),
+            intern_misses: self.intern_misses.load(Ordering::Relaxed),
+            op_hits: self.op_hits.load(Ordering::Relaxed),
+            op_misses: self.op_misses.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -347,5 +371,31 @@ mod tests {
             store.intern(Dnf::new(vec![m(&[i % 10, 10 + i % 7])]));
         }
         assert_eq!(store.len(), before);
+    }
+
+    #[test]
+    fn ids_stay_dense_and_distinct_across_shards() {
+        // Interning K distinct formulas from many threads allocates exactly
+        // K consecutive ids even though the index is sharded.
+        let store = DnfStore::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..64u32 {
+                        store.intern(Dnf::new(vec![m(&[t * 64 + i])]));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 2 + 4 * 64);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u32 {
+            for t in 0..4u32 {
+                let id = store.intern(Dnf::new(vec![m(&[t * 64 + i])]));
+                assert!(seen.insert(id), "duplicate id {id:?}");
+                assert_eq!(*store.get(id), Dnf::new(vec![m(&[t * 64 + i])]));
+            }
+        }
     }
 }

@@ -1,0 +1,275 @@
+//! `p3-client` — one-shot and REPL client for `p3-serve`.
+//!
+//! ```text
+//! p3-client (--tcp ADDR | --unix PATH) <command> [options]
+//! p3-client (--tcp ADDR | --unix PATH) repl
+//! ```
+//!
+//! Commands build one protocol request, print the response's `result` (or
+//! error) and exit non-zero on `error`/`timeout`. The REPL accepts the
+//! same command syntax line by line, or raw JSON for lines starting
+//! with `{`.
+
+use p3_service::client::Client;
+use p3_service::json::Value;
+use p3_service::protocol::Status;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+p3-client — client for the p3-serve query server
+
+USAGE:
+    p3-client (--tcp ADDR | --unix PATH) <command> [options]
+
+COMMANDS:
+    probability QUERY            P[QUERY]
+    explanation QUERY            Explanation Query: derivations + polynomial
+    derivation QUERY             Derivation Query: sufficient provenance
+    influence QUERY              Influence Query: ranked influential clauses
+    modification QUERY TARGET    Modification Query: plan towards TARGET
+    load-program FILE            replace the served program (source sent inline)
+    stats                        server/session/store counters
+    ping                         liveness check
+    shutdown                     graceful server shutdown
+    raw JSON                     send one raw request line
+    repl                         interactive loop (commands or raw JSON lines)
+
+OPTIONS (where applicable):
+    --method M          exact|bdd|mc|kl|pmc     (influence: exact|mc|pmc)
+    --samples N         Monte-Carlo samples     [default: 100000]
+    --seed N            Monte-Carlo seed
+    --threads N         pmc worker threads; 0 = auto
+    --eps E             derivation error bound  [default: 0.01]
+    --algo A            greedy|resuciu          [default: greedy]
+    --top-k K           keep only the K most influential entries
+    --tolerance T       modification tolerance  [default: 1e-6]
+    --timeout-ms N      per-request deadline
+    --hop-limit N       provenance extraction depth cap
+    -h, --help          print this help
+";
+
+/// Builds one request line from command words (shared by one-shot and REPL).
+fn build_request(words: &[String]) -> Result<String, String> {
+    let cmd = words.first().ok_or("missing command")?.as_str();
+    let mut pairs: Vec<(String, Value)> = Vec::new();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut iter = words[1..].iter();
+    while let Some(word) = iter.next() {
+        let mut take = |name: &str| -> Result<&String, String> {
+            iter.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match word.as_str() {
+            "--method" => pairs.push(("method".into(), take("--method")?.as_str().into())),
+            "--algo" => pairs.push(("algo".into(), take("--algo")?.as_str().into())),
+            opt @ ("--samples" | "--seed" | "--threads" | "--top-k" | "--timeout-ms"
+            | "--hop-limit") => {
+                let key = match opt {
+                    "--samples" => "samples",
+                    "--seed" => "seed",
+                    "--threads" => "threads",
+                    "--top-k" => "top_k",
+                    "--timeout-ms" => "timeout_ms",
+                    _ => "hop_limit",
+                };
+                let n: u64 = take(opt)?.parse().map_err(|_| format!("bad {opt} value"))?;
+                pairs.push((key.into(), Value::from(n)));
+            }
+            opt @ ("--eps" | "--tolerance") => {
+                let x: f64 = take(opt)?.parse().map_err(|_| format!("bad {opt} value"))?;
+                pairs.push((opt.trim_start_matches('-').into(), Value::from(x)));
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
+            _ => positional.push(word),
+        }
+    }
+
+    let query = |positional: &[&String]| -> Result<Value, String> {
+        positional
+            .first()
+            .map(|q| Value::from(q.as_str()))
+            .ok_or_else(|| format!("{cmd} needs a QUERY argument"))
+    };
+    match cmd {
+        "ping" | "stats" | "shutdown" => pairs.insert(0, ("op".into(), cmd.into())),
+        "probability" | "explanation" | "influence" => {
+            pairs.insert(0, ("op".into(), cmd.into()));
+            pairs.insert(1, ("query".into(), query(&positional)?));
+        }
+        "derivation" => {
+            pairs.insert(0, ("op".into(), cmd.into()));
+            pairs.insert(1, ("query".into(), query(&positional)?));
+            if !pairs.iter().any(|(k, _)| k == "eps") {
+                pairs.push(("eps".into(), Value::from(0.01)));
+            }
+        }
+        "modification" => {
+            pairs.insert(0, ("op".into(), cmd.into()));
+            pairs.insert(1, ("query".into(), query(&positional)?));
+            let target: f64 = positional
+                .get(1)
+                .ok_or("modification needs QUERY and TARGET")?
+                .parse()
+                .map_err(|_| "bad TARGET value")?;
+            pairs.push(("target".into(), Value::from(target)));
+        }
+        "load-program" => {
+            let file = positional.first().ok_or("load-program needs a FILE")?;
+            let source = std::fs::read_to_string(file.as_str())
+                .map_err(|e| format!("cannot read {file}: {e}"))?;
+            pairs.insert(0, ("op".into(), "load-program".into()));
+            pairs.insert(1, ("source".into(), Value::from(source)));
+        }
+        other => return Err(format!("unknown command '{other}'")),
+    }
+    Ok(Value::Object(pairs).to_json())
+}
+
+/// Sends one line and pretty-prints the outcome; true on `status: ok`.
+fn send(client: &mut Client, line: &str) -> bool {
+    match client.request(line) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            false
+        }
+        Ok(resp) => match resp.status {
+            Status::Ok => {
+                let payload = resp.result.unwrap_or(Value::Null);
+                println!("{}", payload.to_json());
+                true
+            }
+            Status::Error => {
+                eprintln!("error: {}", resp.error.unwrap_or_default());
+                false
+            }
+            Status::Timeout => {
+                eprintln!("timeout: {}", resp.error.unwrap_or_default());
+                false
+            }
+        },
+    }
+}
+
+fn repl(client: &mut Client) -> ExitCode {
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    let _ = write!(out, "p3> ");
+    let _ = out.flush();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            let _ = write!(out, "p3> ");
+            let _ = out.flush();
+            continue;
+        }
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        if trimmed.starts_with('{') {
+            send(client, trimmed);
+        } else {
+            let words: Vec<String> = trimmed.split_whitespace().map(str::to_string).collect();
+            match build_request(&words) {
+                Ok(request) => {
+                    send(client, &request);
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        let _ = write!(out, "p3> ");
+        let _ = out.flush();
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    // Pull the connection options out; everything else is the command.
+    let mut tcp: Option<String> = None;
+    let mut unix: Option<PathBuf> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut iter = args.drain(..);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tcp" => match iter.next() {
+                Some(v) => tcp = Some(v),
+                None => {
+                    eprintln!("error: --tcp needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--unix" => match iter.next() {
+                Some(v) => unix = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("error: --unix needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => rest.push(arg),
+        }
+    }
+    drop(iter);
+
+    let mut client = match (&tcp, &unix) {
+        (Some(addr), _) => match Client::connect_tcp(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot connect to tcp {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(path)) => match Client::connect_unix(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot connect to unix {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => {
+            eprintln!("error: need --tcp ADDR or --unix PATH");
+            eprintln!("run 'p3-client --help' for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match rest.first().map(String::as_str) {
+        None => {
+            eprintln!("error: missing command");
+            eprintln!("run 'p3-client --help' for usage");
+            ExitCode::FAILURE
+        }
+        Some("repl") => repl(&mut client),
+        Some("raw") => {
+            let Some(line) = rest.get(1) else {
+                eprintln!("error: raw needs a JSON argument");
+                return ExitCode::FAILURE;
+            };
+            if send(&mut client, line) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some(_) => match build_request(&rest) {
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("run 'p3-client --help' for usage");
+                ExitCode::FAILURE
+            }
+            Ok(request) => {
+                if send(&mut client, &request) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+        },
+    }
+}

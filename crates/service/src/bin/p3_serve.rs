@@ -1,0 +1,134 @@
+//! `p3-serve` — stand up a provenance query server for one program.
+//!
+//! ```text
+//! p3-serve --program FILE [--tcp ADDR] [--unix PATH] [--workers N]
+//!          [--queue-cap N] [--cache-cap N] [--timeout-ms N]
+//! ```
+//!
+//! Prints one `listening tcp ADDR` / `listening unix PATH` line per bound
+//! endpoint (machine-parseable — the integration tests and benches read
+//! them), then serves until SIGTERM/SIGINT or a client `shutdown` request,
+//! draining queued work before exiting.
+
+use p3_service::server::{Server, ServerConfig};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+p3-serve — provenance query server (newline-delimited JSON)
+
+USAGE:
+    p3-serve --program FILE [OPTIONS]
+
+OPTIONS:
+    --program FILE     probabilistic Datalog program to serve (required)
+    --tcp ADDR         TCP bind address, e.g. 127.0.0.1:7033 (port 0 = ephemeral)
+    --unix PATH        Unix-domain socket path
+    --workers N        worker pool size; 0 = auto (P3_THREADS env var,
+                       else available cores capped at 16) [default: 0]
+    --queue-cap N      bounded request queue capacity [default: 256]
+    --cache-cap N      per-table session cache cap (entries); omit for unbounded
+    --timeout-ms N     default per-request deadline for requests without timeout_ms
+    -h, --help         print this help
+
+At least one of --tcp / --unix is required. Shut down with SIGTERM, SIGINT,
+or a client {\"op\":\"shutdown\"} request; in-flight work drains first.
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("run 'p3-serve --help' for usage");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut program: Option<PathBuf> = None;
+    let mut config = ServerConfig::default();
+
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--program" => match take("--program") {
+                Ok(v) => program = Some(PathBuf::from(v)),
+                Err(e) => return fail(&e),
+            },
+            "--tcp" => match take("--tcp") {
+                Ok(v) => config.tcp = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--unix" => match take("--unix") {
+                Ok(v) => config.unix = Some(PathBuf::from(v)),
+                Err(e) => return fail(&e),
+            },
+            "--workers" => match take("--workers")
+                .and_then(|v| v.parse().map_err(|_| format!("bad --workers value '{v}'")))
+            {
+                Ok(v) => config.workers = v,
+                Err(e) => return fail(&e),
+            },
+            "--queue-cap" => match take("--queue-cap").and_then(|v| {
+                v.parse()
+                    .map_err(|_| format!("bad --queue-cap value '{v}'"))
+            }) {
+                Ok(v) => config.queue_cap = v,
+                Err(e) => return fail(&e),
+            },
+            "--cache-cap" => match take("--cache-cap").and_then(|v| {
+                v.parse()
+                    .map_err(|_| format!("bad --cache-cap value '{v}'"))
+            }) {
+                Ok(v) => config.cache_cap = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--timeout-ms" => match take("--timeout-ms").and_then(|v| {
+                v.parse()
+                    .map_err(|_| format!("bad --timeout-ms value '{v}'"))
+            }) {
+                Ok(v) => config.default_timeout_ms = Some(v),
+                Err(e) => return fail(&e),
+            },
+            other => return fail(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let Some(program) = program else {
+        return fail("--program is required");
+    };
+    if config.tcp.is_none() && config.unix.is_none() {
+        return fail("need at least one of --tcp / --unix");
+    }
+
+    let source = match std::fs::read_to_string(&program) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {}: {e}", program.display())),
+    };
+    let p3 = match p3_core::P3::from_source(&source) {
+        Ok(p3) => p3,
+        Err(e) => return fail(&format!("cannot load {}: {e}", program.display())),
+    };
+
+    let server = match Server::start(p3, config) {
+        Ok(server) => server,
+        Err(e) => return fail(&format!("cannot start server: {e}")),
+    };
+    let mut stdout = std::io::stdout();
+    if let Some(addr) = server.tcp_addr() {
+        let _ = writeln!(stdout, "listening tcp {addr}");
+    }
+    if let Some(path) = server.unix_path() {
+        let _ = writeln!(stdout, "listening unix {}", path.display());
+    }
+    let _ = stdout.flush();
+
+    let flag = p3_service::signal::install_shutdown_flag();
+    server.serve_until_shutdown(flag);
+    ExitCode::SUCCESS
+}

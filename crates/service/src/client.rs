@@ -1,0 +1,104 @@
+//! A small blocking client for the p3 service protocol.
+//!
+//! One [`Client`] owns one connection (TCP or Unix) and does strict
+//! request/response line round-trips — the server answers in order, so no
+//! correlation machinery is needed beyond the optional `id` echo.
+
+use crate::protocol::Response;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Either transport, unified for `Read`/`Write`.
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Connects over TCP, e.g. `127.0.0.1:7033`.
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(Stream::Tcp(reader)),
+            writer: Stream::Tcp(stream),
+        })
+    }
+
+    /// Connects over a Unix-domain socket.
+    pub fn connect_unix(path: &Path) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let reader = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(Stream::Unix(reader)),
+            writer: Stream::Unix(stream),
+        })
+    }
+
+    /// Caps how long [`Client::request`] waits for a response line.
+    /// `None` restores blocking reads.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self.reader.get_ref() {
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Sends one raw request line and returns the raw response line
+    /// (without the trailing newline).
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.trim_end().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Sends one request line and parses the response envelope.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Response> {
+        let raw = self.roundtrip(line)?;
+        Response::parse(&raw).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}

@@ -1,0 +1,470 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line, in order. The grammar
+//! (documented in `DESIGN.md` §8):
+//!
+//! ```text
+//! request  = { "op": <op>, ["id": n], ["timeout_ms": n], ["hop_limit": n], ...op fields }
+//! op       = "ping" | "stats" | "shutdown" | "load-program"
+//!          | "probability" | "explanation" | "derivation"
+//!          | "influence" | "modification"
+//! response = { ["id": n], "status": "ok" | "error" | "timeout",
+//!              ["result": {...}], ["error": "..."] }
+//! ```
+//!
+//! `id` is echoed verbatim so clients can pipeline; `timeout_ms` arms the
+//! per-request deadline (see `server`); `hop_limit` caps provenance
+//! extraction depth for the query ops.
+
+use crate::json::Value;
+use p3_core::{DerivationAlgo, InfluenceMethod, ProbMethod};
+use p3_prob::McConfig;
+
+/// A query-class op, parsed and validated.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Liveness check.
+    Ping,
+    /// Server + session + store counters.
+    Stats,
+    /// Graceful shutdown: drain in-flight work, refuse new connections.
+    Shutdown,
+    /// Replace the served program (from inline source or a server-side path).
+    LoadProgram {
+        /// Inline program text (takes precedence over `path`).
+        source: Option<String>,
+        /// Server-side file to load.
+        path: Option<String>,
+    },
+    /// `P[query]` under a probability method.
+    Probability {
+        /// Ground atom, e.g. `know("Ben","Elena")`.
+        query: String,
+        /// Probability backend.
+        method: ProbMethod,
+    },
+    /// Explanation Query (§4.1): derivations + polynomial + probability.
+    Explanation {
+        /// Ground atom.
+        query: String,
+        /// Probability backend.
+        method: ProbMethod,
+    },
+    /// Derivation Query (§4.2): sufficient provenance within `eps`.
+    Derivation {
+        /// Ground atom.
+        query: String,
+        /// Error bound ε.
+        eps: f64,
+        /// Search algorithm.
+        algo: DerivationAlgo,
+        /// Probability backend.
+        method: ProbMethod,
+    },
+    /// Influence Query (§4.3): ranked influential clauses.
+    Influence {
+        /// Ground atom.
+        query: String,
+        /// Influence backend.
+        method: InfluenceMethod,
+        /// Keep only the top K entries.
+        top_k: Option<usize>,
+        /// §6.2 sufficient-provenance preprocessing bound.
+        preprocess_epsilon: Option<f64>,
+    },
+    /// Modification Query (§4.4): reach `target` at minimal cost.
+    Modification {
+        /// Ground atom.
+        query: String,
+        /// Target probability.
+        target: f64,
+        /// Stop once `|P − target| ≤ tolerance`.
+        tolerance: f64,
+    },
+}
+
+impl Op {
+    /// The stats bucket this op is accounted under.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Op::Ping => "ping",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+            Op::LoadProgram { .. } => "load-program",
+            Op::Probability { .. } => "probability",
+            Op::Explanation { .. } => "explanation",
+            Op::Derivation { .. } => "derivation",
+            Op::Influence { .. } => "influence",
+            Op::Modification { .. } => "modification",
+        }
+    }
+
+    /// Whether this op runs on the worker pool (vs. inline on the
+    /// connection handler).
+    pub fn is_query(&self) -> bool {
+        !matches!(self, Op::Ping | Op::Stats | Op::Shutdown)
+    }
+}
+
+/// A parsed request envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// Per-request deadline in milliseconds from receipt.
+    pub timeout_ms: Option<u64>,
+    /// Provenance extraction depth cap for query ops.
+    pub hop_limit: Option<usize>,
+    /// The operation.
+    pub op: Op,
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(field) => field
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a non-negative integer")),
+    }
+}
+
+fn opt_f64(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(field) => field
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a number")),
+    }
+}
+
+/// Shared Monte-Carlo knobs: `samples`, `seed`, `threads` (0 = auto).
+fn mc_config(v: &Value) -> Result<(McConfig, usize), String> {
+    let samples = opt_u64(v, "samples")?.unwrap_or(100_000) as usize;
+    let seed = opt_u64(v, "seed")?.unwrap_or(0x7033);
+    let threads = opt_u64(v, "threads")?.unwrap_or(0) as usize;
+    Ok((McConfig { samples, seed }, threads))
+}
+
+fn prob_method(v: &Value) -> Result<ProbMethod, String> {
+    let (cfg, threads) = mc_config(v)?;
+    match v.get("method").and_then(Value::as_str).unwrap_or("exact") {
+        "exact" => Ok(ProbMethod::Exact),
+        "bdd" => Ok(ProbMethod::Bdd),
+        "mc" => Ok(ProbMethod::MonteCarlo(cfg)),
+        "kl" => Ok(ProbMethod::KarpLuby(cfg)),
+        "pmc" => Ok(ProbMethod::ParallelMc(cfg, threads)),
+        other => Err(format!(
+            "unknown method '{other}' (expected exact|bdd|mc|kl|pmc)"
+        )),
+    }
+}
+
+fn influence_method(v: &Value) -> Result<InfluenceMethod, String> {
+    let (cfg, threads) = mc_config(v)?;
+    match v.get("method").and_then(Value::as_str).unwrap_or("exact") {
+        "exact" => Ok(InfluenceMethod::Exact),
+        "mc" => Ok(InfluenceMethod::Mc(cfg)),
+        "pmc" => Ok(InfluenceMethod::ParallelMc(cfg, threads)),
+        other => Err(format!(
+            "unknown influence method '{other}' (expected exact|mc|pmc)"
+        )),
+    }
+}
+
+impl Request {
+    /// Parses one request line. Errors are protocol-level (malformed JSON,
+    /// unknown op, missing fields) and never tear down the connection.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Value::parse(line.trim()).map_err(|e| format!("malformed JSON: {e}"))?;
+        if !matches!(v, Value::Object(_)) {
+            return Err("request must be a JSON object".to_string());
+        }
+        let id = opt_u64(&v, "id")?;
+        let timeout_ms = opt_u64(&v, "timeout_ms")?;
+        let hop_limit = opt_u64(&v, "hop_limit")?.map(|n| n as usize);
+        let op_name = str_field(&v, "op")?;
+        let op = match op_name.as_str() {
+            "ping" => Op::Ping,
+            "stats" => Op::Stats,
+            "shutdown" => Op::Shutdown,
+            "load-program" => {
+                let source = v.get("source").and_then(Value::as_str).map(str::to_string);
+                let path = v.get("path").and_then(Value::as_str).map(str::to_string);
+                if source.is_none() && path.is_none() {
+                    return Err("load-program needs 'source' or 'path'".to_string());
+                }
+                Op::LoadProgram { source, path }
+            }
+            "probability" => Op::Probability {
+                query: str_field(&v, "query")?,
+                method: prob_method(&v)?,
+            },
+            "explanation" => Op::Explanation {
+                query: str_field(&v, "query")?,
+                method: prob_method(&v)?,
+            },
+            "derivation" => Op::Derivation {
+                query: str_field(&v, "query")?,
+                eps: f64_field(&v, "eps")?,
+                algo: match v.get("algo").and_then(Value::as_str).unwrap_or("greedy") {
+                    "greedy" => DerivationAlgo::NaiveGreedy,
+                    "resuciu" => DerivationAlgo::ReSuciu,
+                    other => return Err(format!("unknown algo '{other}'")),
+                },
+                method: prob_method(&v)?,
+            },
+            "influence" => Op::Influence {
+                query: str_field(&v, "query")?,
+                method: influence_method(&v)?,
+                top_k: opt_u64(&v, "top_k")?.map(|n| n as usize),
+                preprocess_epsilon: opt_f64(&v, "preprocess_epsilon")?,
+            },
+            "modification" => Op::Modification {
+                query: str_field(&v, "query")?,
+                target: f64_field(&v, "target")?,
+                tolerance: opt_f64(&v, "tolerance")?.unwrap_or(1e-6),
+            },
+            other => return Err(format!("unknown op '{other}'")),
+        };
+        Ok(Request {
+            id,
+            timeout_ms,
+            hop_limit,
+            op,
+        })
+    }
+}
+
+/// Response status discriminant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// The op succeeded; `result` is set.
+    Ok,
+    /// The op failed; `error` explains why.
+    Error,
+    /// The per-request deadline expired before the answer was ready.
+    Timeout,
+}
+
+impl Status {
+    fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Error => "error",
+            Status::Timeout => "timeout",
+        }
+    }
+}
+
+/// A response envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// The request's correlation id, echoed back.
+    pub id: Option<u64>,
+    /// Outcome.
+    pub status: Status,
+    /// Payload on success.
+    pub result: Option<Value>,
+    /// Explanation on error/timeout.
+    pub error: Option<String>,
+}
+
+impl Response {
+    /// A success response.
+    pub fn ok(id: Option<u64>, result: Value) -> Response {
+        Response {
+            id,
+            status: Status::Ok,
+            result: Some(result),
+            error: None,
+        }
+    }
+
+    /// An error response.
+    pub fn error(id: Option<u64>, message: impl Into<String>) -> Response {
+        Response {
+            id,
+            status: Status::Error,
+            result: None,
+            error: Some(message.into()),
+        }
+    }
+
+    /// A deadline-expired response.
+    pub fn timeout(id: Option<u64>, message: impl Into<String>) -> Response {
+        Response {
+            id,
+            status: Status::Timeout,
+            result: None,
+            error: Some(message.into()),
+        }
+    }
+
+    /// Serialises to one compact JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        if let Some(id) = self.id {
+            pairs.push(("id".to_string(), Value::from(id)));
+        }
+        pairs.push((
+            "status".to_string(),
+            Value::from(self.status.as_str().to_string()),
+        ));
+        if let Some(result) = &self.result {
+            pairs.push(("result".to_string(), result.clone()));
+        }
+        if let Some(error) = &self.error {
+            pairs.push(("error".to_string(), Value::from(error.clone())));
+        }
+        Value::Object(pairs).to_json()
+    }
+
+    /// Parses a response line (the client side of the protocol).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let v = Value::parse(line.trim()).map_err(|e| format!("malformed response: {e}"))?;
+        let status = match v.get("status").and_then(Value::as_str) {
+            Some("ok") => Status::Ok,
+            Some("error") => Status::Error,
+            Some("timeout") => Status::Timeout,
+            other => return Err(format!("bad response status {other:?}")),
+        };
+        Ok(Response {
+            id: v.get("id").and_then(Value::as_u64),
+            status,
+            result: v.get("result").cloned(),
+            error: v.get("error").and_then(Value::as_str).map(str::to_string),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_query_class() {
+        let cases = [
+            (r#"{"op":"ping"}"#, "ping"),
+            (r#"{"op":"stats"}"#, "stats"),
+            (r#"{"op":"shutdown"}"#, "shutdown"),
+            (
+                r#"{"op":"load-program","source":"t 1.0: a(1)."}"#,
+                "load-program",
+            ),
+            (r#"{"op":"probability","query":"a(1)"}"#, "probability"),
+            (
+                r#"{"op":"explanation","query":"a(1)","method":"mc","samples":1000}"#,
+                "explanation",
+            ),
+            (
+                r#"{"op":"derivation","query":"a(1)","eps":0.01,"algo":"resuciu"}"#,
+                "derivation",
+            ),
+            (
+                r#"{"op":"influence","query":"a(1)","top_k":3,"method":"pmc"}"#,
+                "influence",
+            ),
+            (
+                r#"{"op":"modification","query":"a(1)","target":0.9}"#,
+                "modification",
+            ),
+        ];
+        for (line, class) in cases {
+            let req = Request::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(req.op.class(), class, "{line}");
+        }
+    }
+
+    #[test]
+    fn envelope_fields_are_extracted() {
+        let req = Request::parse(
+            r#"{"op":"probability","query":"a(1)","id":42,"timeout_ms":250,"hop_limit":3,"method":"pmc","threads":2,"samples":500,"seed":9}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, Some(42));
+        assert_eq!(req.timeout_ms, Some(250));
+        assert_eq!(req.hop_limit, Some(3));
+        match req.op {
+            Op::Probability { ref query, method } => {
+                assert_eq!(query, "a(1)");
+                assert_eq!(
+                    method,
+                    ProbMethod::ParallelMc(
+                        McConfig {
+                            samples: 500,
+                            seed: 9
+                        },
+                        2
+                    )
+                );
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_reasons() {
+        for (line, needle) in [
+            ("not json", "malformed JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"query":"a(1)"}"#, "op"),
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (r#"{"op":"probability"}"#, "query"),
+            (
+                r#"{"op":"probability","query":"a(1)","method":"magic"}"#,
+                "unknown method",
+            ),
+            (r#"{"op":"derivation","query":"a(1)"}"#, "eps"),
+            (r#"{"op":"modification","query":"a(1)"}"#, "target"),
+            (r#"{"op":"load-program"}"#, "source"),
+            (
+                r#"{"op":"probability","query":"a(1)","timeout_ms":-3}"#,
+                "timeout_ms",
+            ),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for resp in [
+            Response::ok(Some(7), Value::object(vec![("p", Value::from(0.5))])),
+            Response::error(None, "boom"),
+            Response::timeout(Some(1), "deadline of 10ms expired"),
+        ] {
+            let line = resp.to_line();
+            assert_eq!(Response::parse(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn query_vs_admin_split() {
+        assert!(!Request::parse(r#"{"op":"ping"}"#).unwrap().op.is_query());
+        assert!(!Request::parse(r#"{"op":"stats"}"#).unwrap().op.is_query());
+        assert!(Request::parse(r#"{"op":"probability","query":"a(1)"}"#)
+            .unwrap()
+            .op
+            .is_query());
+        assert!(Request::parse(r#"{"op":"load-program","path":"x.pl"}"#)
+            .unwrap()
+            .op
+            .is_query());
+    }
+}

@@ -1,0 +1,962 @@
+//! The query server: accept loops → bounded queue → worker pool.
+//!
+//! One [`Server`] owns one [`P3`] + [`QuerySession`] and serves the whole
+//! query suite over newline-delimited JSON on TCP and/or Unix-domain
+//! sockets. The moving parts:
+//!
+//! * **accept loops** (one thread per listener) hand each connection to a
+//!   handler thread;
+//! * **handlers** parse request lines and *admin* ops (`ping`, `stats`,
+//!   `shutdown`) are answered inline — they must work even when the queue
+//!   is saturated;
+//! * **query ops** go through a bounded [`JobQueue`] drained by a fixed
+//!   worker pool (size from `P3_THREADS` when not configured) whose workers
+//!   share the session's memo tables, so one client's computation warms
+//!   every other client's cache;
+//! * **deadlines**: a request's `timeout_ms` arms a per-request deadline.
+//!   The handler acts as the watchdog — it waits for the worker's answer
+//!   only until the deadline and then reports `"timeout"` instead of
+//!   hanging the connection; an expired job still in the queue is skipped
+//!   by the worker that dequeues it (no dead work);
+//! * **graceful shutdown** (SIGTERM in `p3-serve`, or a `shutdown`
+//!   request): new connections are refused, queued work drains, workers
+//!   and accept loops join, in that order.
+
+use crate::json::Value;
+use crate::protocol::{Op, Request, Response};
+use crate::stats::{Outcome, ServiceStats};
+use p3_core::{InfluenceOptions, ModificationOptions, QuerySession, SessionOptions, P3};
+use p3_provenance::extract::ExtractOptions;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often accept loops and shutdown polls re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Server construction options.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// TCP bind address (e.g. `127.0.0.1:0` for an ephemeral port); `None`
+    /// disables TCP.
+    pub tcp: Option<String>,
+    /// Unix-domain socket path; `None` disables the Unix listener.
+    pub unix: Option<PathBuf>,
+    /// Worker pool size; `0` = auto (the `P3_THREADS` convention, see
+    /// [`p3_prob::parallel::default_threads`]).
+    pub workers: usize,
+    /// Bounded request-queue capacity; producers block (with deadline) when
+    /// it is full.
+    pub queue_cap: usize,
+    /// Per-table session cache cap ([`SessionOptions::max_entries`]).
+    pub cache_cap: Option<usize>,
+    /// Deadline applied to requests that don't carry `timeout_ms`.
+    pub default_timeout_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            tcp: None,
+            unix: None,
+            workers: 0,
+            queue_cap: 256,
+            cache_cap: None,
+            default_timeout_ms: None,
+        }
+    }
+}
+
+/// One unit of queued work.
+struct Job {
+    op: Op,
+    hop_limit: Option<usize>,
+    deadline: Option<Instant>,
+    reply: mpsc::SyncSender<Result<Value, String>>,
+}
+
+/// A bounded MPMC queue: producers block (until a deadline) when full,
+/// workers block when empty, and `close()` lets queued work drain while
+/// refusing new pushes.
+struct JobQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+enum PushError {
+    /// The queue stayed full past the caller's deadline.
+    DeadlineExpired,
+    /// The server is shutting down.
+    Closed,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues `job`, waiting while the queue is full — but no longer than
+    /// the job's own deadline (backpressure must not outlive the request).
+    fn push(&self, job: Job) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed);
+            }
+            if inner.jobs.len() < self.cap {
+                inner.jobs.push_back(job);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let wait = match job.deadline {
+                None => {
+                    inner = self.not_full.wait(inner).unwrap();
+                    continue;
+                }
+                Some(deadline) => match deadline.checked_duration_since(Instant::now()) {
+                    Some(left) if !left.is_zero() => left,
+                    _ => return Err(PushError::DeadlineExpired),
+                },
+            };
+            let (guard, timeout) = self.not_full.wait_timeout(inner, wait).unwrap();
+            inner = guard;
+            if timeout.timed_out() && inner.jobs.len() >= self.cap {
+                return Err(PushError::DeadlineExpired);
+            }
+        }
+    }
+
+    /// Dequeues the next job; `None` once the queue is closed **and**
+    /// drained.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Refuses new pushes; queued jobs still drain.
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().unwrap().jobs.len()
+    }
+}
+
+/// State shared by handlers and workers.
+struct Shared {
+    /// Swapped wholesale by `load-program`; every request clones the
+    /// current session handle (cheap — `Arc` bumps).
+    session: RwLock<QuerySession>,
+    cache_cap: Option<usize>,
+    stats: ServiceStats,
+    queue: JobQueue,
+    shutdown: AtomicBool,
+    workers: usize,
+    queue_cap: usize,
+    default_timeout_ms: Option<u64>,
+    started: Instant,
+}
+
+impl Shared {
+    fn current_session(&self) -> QuerySession {
+        self.session.read().unwrap().clone()
+    }
+
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running query server. Dropping the handle does **not** stop it; call
+/// [`Server::shutdown`] (or let a `shutdown` request / SIGTERM do it) and
+/// then [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    accept_threads: Vec<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the configured listeners, spawns the worker pool and starts
+    /// accepting. At least one of `tcp`/`unix` must be set.
+    pub fn start(p3: P3, config: ServerConfig) -> std::io::Result<Server> {
+        if config.tcp.is_none() && config.unix.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "server needs a TCP address or a Unix socket path",
+            ));
+        }
+        let workers = if config.workers == 0 {
+            // Surface a bad P3_THREADS as a bind-time error, not a panic.
+            if let Err(msg) = p3_prob::parallel::threads_from_env() {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, msg));
+            }
+            p3_prob::parallel::default_threads()
+        } else {
+            config.workers
+        };
+        let session = p3.session_with(SessionOptions {
+            max_entries: config.cache_cap,
+        });
+        let shared = Arc::new(Shared {
+            session: RwLock::new(session),
+            cache_cap: config.cache_cap,
+            stats: ServiceStats::new(),
+            queue: JobQueue::new(config.queue_cap),
+            shutdown: AtomicBool::new(false),
+            workers,
+            queue_cap: config.queue_cap.max(1),
+            default_timeout_ms: config.default_timeout_ms,
+            started: Instant::now(),
+        });
+
+        let mut accept_threads = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &config.tcp {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            let shared = Arc::clone(&shared);
+            accept_threads.push(
+                std::thread::Builder::new()
+                    .name("p3-accept-tcp".into())
+                    .spawn(move || accept_loop_tcp(listener, shared))?,
+            );
+        }
+        let mut unix_path = None;
+        if let Some(path) = &config.unix {
+            // A stale socket file from a previous run would fail the bind.
+            if path.exists() {
+                let _ = std::fs::remove_file(path);
+            }
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path.clone());
+            let shared = Arc::clone(&shared);
+            accept_threads.push(
+                std::thread::Builder::new()
+                    .name("p3-accept-unix".into())
+                    .spawn(move || accept_loop_unix(listener, shared))?,
+            );
+        }
+
+        let worker_threads = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("p3-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        Ok(Server {
+            shared,
+            tcp_addr,
+            unix_path,
+            accept_threads,
+            worker_threads,
+        })
+    }
+
+    /// The bound TCP address (with the ephemeral port resolved), if TCP is
+    /// enabled.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The Unix socket path, if enabled.
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// Whether shutdown has been initiated (by [`Server::shutdown`] or a
+    /// client's `shutdown` request).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Initiates graceful shutdown: refuse new connections and pushes, let
+    /// queued work drain.
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Blocks until shutdown is initiated — by a client's `shutdown`
+    /// request or by `external` turning true (e.g. a SIGTERM flag) — then
+    /// drains and joins everything.
+    pub fn serve_until_shutdown(self, external: &AtomicBool) {
+        while !self.shared.shutting_down() {
+            if external.load(Ordering::Relaxed) {
+                self.shared.initiate_shutdown();
+                break;
+            }
+            std::thread::sleep(POLL);
+        }
+        self.join();
+    }
+
+    /// Waits for accept loops and workers to finish. Call after
+    /// [`Server::shutdown`] (or a client-initiated shutdown), otherwise
+    /// this blocks until one happens.
+    pub fn join(self) {
+        for t in self.accept_threads {
+            let _ = t.join();
+        }
+        for t in self.worker_threads {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn accept_loop_tcp(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("p3-conn".into())
+                    .spawn(move || {
+                        let reader = match stream.try_clone() {
+                            Ok(r) => r,
+                            Err(_) => return,
+                        };
+                        handle_connection(BufReader::new(reader), stream, shared);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn accept_loop_unix(listener: UnixListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("p3-conn".into())
+                    .spawn(move || {
+                        let reader = match stream.try_clone() {
+                            Ok(r) => r,
+                            Err(_) => return,
+                        };
+                        handle_connection(BufReader::new(reader), stream, shared);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Serves one connection until EOF, write failure, or shutdown.
+fn handle_connection<R: BufRead, W: Write>(mut reader: R, mut writer: W, shared: Arc<Shared>) {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // EOF or broken pipe
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(&line, &shared);
+        let mut payload = response.to_line();
+        payload.push('\n');
+        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        // Once shutdown is initiated the response above is the last one this
+        // connection gets; closing nudges idle clients to go away.
+        if shared.shutting_down() {
+            return;
+        }
+    }
+}
+
+/// Parses and dispatches one request line; always produces a response.
+fn handle_line(line: &str, shared: &Shared) -> Response {
+    let start = Instant::now();
+    let request = match Request::parse(line) {
+        Ok(req) => req,
+        Err(msg) => {
+            shared
+                .stats
+                .record("malformed", start.elapsed(), Outcome::Error);
+            return Response::error(None, msg);
+        }
+    };
+    let class = request.op.class();
+    let response = dispatch(&request, shared, start);
+    let outcome = match response.status {
+        crate::protocol::Status::Ok => Outcome::Ok,
+        crate::protocol::Status::Error => Outcome::Error,
+        crate::protocol::Status::Timeout => Outcome::Timeout,
+    };
+    shared.stats.record(class, start.elapsed(), outcome);
+    response
+}
+
+fn dispatch(request: &Request, shared: &Shared, received: Instant) -> Response {
+    match &request.op {
+        // Admin ops answer inline: they must work while the queue is full.
+        Op::Ping => Response::ok(request.id, Value::object(vec![("pong", Value::from(true))])),
+        Op::Stats => Response::ok(request.id, stats_snapshot(shared)),
+        Op::Shutdown => {
+            shared.initiate_shutdown();
+            Response::ok(
+                request.id,
+                Value::object(vec![("shutting_down", Value::from(true))]),
+            )
+        }
+        op => {
+            let timeout_ms = request.timeout_ms.or(shared.default_timeout_ms);
+            let deadline = timeout_ms.map(|ms| received + Duration::from_millis(ms));
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Response::timeout(
+                        request.id,
+                        format!("deadline of {}ms expired", timeout_ms.unwrap_or(0)),
+                    );
+                }
+            }
+            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+            let job = Job {
+                op: op.clone(),
+                hop_limit: request.hop_limit,
+                deadline,
+                reply: reply_tx,
+            };
+            match shared.queue.push(job) {
+                Err(PushError::Closed) => {
+                    return Response::error(request.id, "server is shutting down")
+                }
+                Err(PushError::DeadlineExpired) => {
+                    return Response::timeout(
+                        request.id,
+                        format!(
+                            "deadline of {}ms expired while queued",
+                            timeout_ms.unwrap_or(0)
+                        ),
+                    )
+                }
+                Ok(()) => {}
+            }
+            // The handler is the watchdog: wait only until the deadline.
+            let answer = match deadline {
+                None => reply_rx.recv().map_err(|_| ()),
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    reply_rx.recv_timeout(left).map_err(|_| ())
+                }
+            };
+            match answer {
+                Ok(Ok(result)) => Response::ok(request.id, result),
+                Ok(Err(msg)) => Response::error(request.id, msg),
+                Err(()) => Response::timeout(
+                    request.id,
+                    format!("deadline of {}ms expired", timeout_ms.unwrap_or(0)),
+                ),
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        // Don't burn CPU on work nobody is waiting for anymore.
+        if let Some(d) = job.deadline {
+            if Instant::now() >= d {
+                continue;
+            }
+        }
+        let session = shared.current_session();
+        let result = execute(&session, &shared, &job.op, job.hop_limit);
+        // The handler may have timed out and gone; that's fine.
+        let _ = job.reply.send(result);
+    }
+}
+
+fn extract_opts(hop_limit: Option<usize>) -> ExtractOptions {
+    match hop_limit {
+        Some(limit) => ExtractOptions::with_max_depth(limit),
+        None => ExtractOptions::unbounded(),
+    }
+}
+
+/// Runs a query op against the shared session. Every result is a JSON
+/// object; errors are strings (surfaced as `"status":"error"`).
+fn execute(
+    session: &QuerySession,
+    shared: &Shared,
+    op: &Op,
+    hop_limit: Option<usize>,
+) -> Result<Value, String> {
+    let p3 = session.p3();
+    match op {
+        Op::Ping | Op::Stats | Op::Shutdown => unreachable!("admin ops answer inline"),
+        Op::LoadProgram { source, path } => {
+            let text = match (source, path) {
+                (Some(src), _) => src.clone(),
+                (None, Some(p)) => {
+                    std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?
+                }
+                (None, None) => unreachable!("validated at parse time"),
+            };
+            let fresh = P3::from_source(&text).map_err(|e| e.to_string())?;
+            let clauses = fresh.program().len();
+            let tuples = fresh.database().len();
+            let new_session = fresh.session_with(SessionOptions {
+                max_entries: shared.cache_cap,
+            });
+            *shared.session.write().unwrap() = new_session;
+            Ok(Value::object(vec![
+                ("loaded", Value::from(true)),
+                ("clauses", Value::from(clauses)),
+                ("tuples", Value::from(tuples)),
+            ]))
+        }
+        Op::Probability { query, method } => {
+            let id = session
+                .provenance_id_with(query, extract_opts(hop_limit))
+                .map_err(|e| e.to_string())?;
+            let p = session.probability_of(id, *method);
+            Ok(Value::object(vec![
+                ("query", Value::from(query.clone())),
+                ("probability", Value::from(p)),
+                ("derivations", Value::from(session.dnf(id).len())),
+            ]))
+        }
+        Op::Explanation { query, method } => {
+            let explanation = p3
+                .explain_with(query, *method, extract_opts(hop_limit))
+                .map_err(|e| e.to_string())?;
+            Ok(Value::object(vec![
+                ("query", Value::from(query.clone())),
+                ("probability", Value::from(explanation.probability)),
+                ("num_derivations", Value::from(explanation.num_derivations)),
+                (
+                    "polynomial",
+                    Value::from(p3.render_polynomial(&explanation.polynomial)),
+                ),
+                ("text", Value::from(explanation.text)),
+                ("dot", Value::from(explanation.dot)),
+            ]))
+        }
+        Op::Derivation {
+            query,
+            eps,
+            algo,
+            method,
+        } => {
+            let id = session
+                .provenance_id_with(query, extract_opts(hop_limit))
+                .map_err(|e| e.to_string())?;
+            let s = session.sufficient_provenance_of(id, *eps, *algo, *method);
+            Ok(Value::object(vec![
+                ("query", Value::from(query.clone())),
+                ("kept", Value::from(s.polynomial.len())),
+                ("original", Value::from(s.original_len)),
+                ("probability", Value::from(s.probability)),
+                ("original_probability", Value::from(s.original_probability)),
+                ("error", Value::from(s.error)),
+                ("compression_ratio", Value::from(s.compression_ratio)),
+                (
+                    "polynomial",
+                    Value::from(p3.render_polynomial(&s.polynomial)),
+                ),
+            ]))
+        }
+        Op::Influence {
+            query,
+            method,
+            top_k,
+            preprocess_epsilon,
+        } => {
+            let id = session
+                .provenance_id_with(query, extract_opts(hop_limit))
+                .map_err(|e| e.to_string())?;
+            let entries = session.influence_of(
+                id,
+                &InfluenceOptions {
+                    method: *method,
+                    top_k: *top_k,
+                    preprocess_epsilon: *preprocess_epsilon,
+                    restrict_to: None,
+                },
+            );
+            let vars = p3.vars();
+            Ok(Value::object(vec![
+                ("query", Value::from(query.clone())),
+                (
+                    "entries",
+                    Value::Array(
+                        entries
+                            .iter()
+                            .map(|e| {
+                                Value::object(vec![
+                                    ("var", Value::from(vars.name(e.var).to_string())),
+                                    ("influence", Value::from(e.influence)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]))
+        }
+        Op::Modification {
+            query,
+            target,
+            tolerance,
+        } => {
+            let plan = session
+                .modification(
+                    query,
+                    *target,
+                    &ModificationOptions {
+                        tolerance: *tolerance,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            let vars = p3.vars();
+            Ok(Value::object(vec![
+                ("query", Value::from(query.clone())),
+                ("target", Value::from(*target)),
+                (
+                    "steps",
+                    Value::Array(
+                        plan.steps
+                            .iter()
+                            .map(|s| {
+                                Value::object(vec![
+                                    ("var", Value::from(vars.name(s.var).to_string())),
+                                    ("from", Value::from(s.from)),
+                                    ("to", Value::from(s.to)),
+                                    (
+                                        "resulting_probability",
+                                        Value::from(s.resulting_probability),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("total_cost", Value::from(plan.total_cost)),
+                ("initial_probability", Value::from(plan.initial_probability)),
+                (
+                    "achieved_probability",
+                    Value::from(plan.achieved_probability),
+                ),
+                ("reached_target", Value::from(plan.reached_target)),
+            ]))
+        }
+    }
+}
+
+/// The `stats` payload: server counters plus the shared cache counters.
+fn stats_snapshot(shared: &Shared) -> Value {
+    let session = shared.current_session();
+    let s = session.stats();
+    let store = session.p3().store().stats();
+    Value::object(vec![
+        (
+            "uptime_ms",
+            Value::from(shared.started.elapsed().as_millis() as u64),
+        ),
+        ("workers", Value::from(shared.workers)),
+        ("queue_depth", Value::from(shared.queue.depth())),
+        ("queue_capacity", Value::from(shared.queue_cap)),
+        ("total_requests", Value::from(shared.stats.total())),
+        ("requests", shared.stats.snapshot()),
+        (
+            "session",
+            Value::object(vec![
+                ("hits", Value::from(s.hits)),
+                ("misses", Value::from(s.misses)),
+                ("evictions", Value::from(s.evictions)),
+                ("resident", Value::from(s.resident)),
+            ]),
+        ),
+        (
+            "store",
+            Value::object(vec![
+                ("formulas", Value::from(store.formulas)),
+                ("intern_hits", Value::from(store.intern_hits)),
+                ("intern_misses", Value::from(store.intern_misses)),
+                ("op_hits", Value::from(store.op_hits)),
+                ("op_misses", Value::from(store.op_misses)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    const ACQ: &str = r#"
+        r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+        r2 0.4: know(P1,P2) :- like(P1,L), like(P2,L), P1 != P2.
+        r3 0.2: know(P1,P3) :- know(P1,P2), know(P2,P3), P1 != P3.
+        t1 1.0: live("Steve","DC").
+        t2 1.0: live("Elena","DC").
+        t3 1.0: live("Mary","NYC").
+        t4 0.4: like("Steve","Veggies").
+        t5 0.6: like("Elena","Veggies").
+        t6 1.0: know("Ben","Steve").
+    "#;
+
+    const Q: &str = r#"know("Ben","Elena")"#;
+
+    fn start_tcp() -> Server {
+        let p3 = P3::from_source(ACQ).unwrap();
+        Server::start(
+            p3,
+            ServerConfig {
+                tcp: Some("127.0.0.1:0".to_string()),
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tcp_round_trip_all_query_classes() {
+        let server = start_tcp();
+        let mut client = Client::connect_tcp(&server.tcp_addr().unwrap().to_string()).unwrap();
+
+        let resp = client
+            .request(&format!(
+                r#"{{"op":"probability","query":"{}","id":1}}"#,
+                Q.replace('"', "\\\"")
+            ))
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok);
+        assert_eq!(resp.id, Some(1));
+        let p = resp
+            .result
+            .unwrap()
+            .get("probability")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((p - 0.16384).abs() < 1e-9, "{p}");
+
+        for (line, field) in [
+            (
+                format!(
+                    r#"{{"op":"explanation","query":"{}"}}"#,
+                    Q.replace('"', "\\\"")
+                ),
+                "polynomial",
+            ),
+            (
+                format!(
+                    r#"{{"op":"derivation","query":"{}","eps":0.01}}"#,
+                    Q.replace('"', "\\\"")
+                ),
+                "kept",
+            ),
+            (
+                format!(
+                    r#"{{"op":"influence","query":"{}","method":"exact"}}"#,
+                    Q.replace('"', "\\\"")
+                ),
+                "entries",
+            ),
+            (
+                format!(
+                    r#"{{"op":"modification","query":"{}","target":0.5,"tolerance":1e-9}}"#,
+                    Q.replace('"', "\\\"")
+                ),
+                "steps",
+            ),
+        ] {
+            let resp = client.request(&line).unwrap();
+            assert_eq!(resp.status, crate::protocol::Status::Ok, "{line}");
+            assert!(resp.result.unwrap().get(field).is_some(), "{line}");
+        }
+
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn unix_round_trip_and_stats() {
+        let path = std::env::temp_dir().join(format!("p3-test-{}.sock", std::process::id()));
+        let p3 = P3::from_source(ACQ).unwrap();
+        let server = Server::start(
+            p3,
+            ServerConfig {
+                unix: Some(path.clone()),
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect_unix(&path).unwrap();
+        let resp = client
+            .request(&format!(
+                r#"{{"op":"probability","query":"{}"}}"#,
+                Q.replace('"', "\\\"")
+            ))
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok);
+
+        let stats = client.request(r#"{"op":"stats"}"#).unwrap();
+        let result = stats.result.unwrap();
+        assert!(result.get("total_requests").unwrap().as_u64().unwrap() >= 1);
+        assert!(result.get("session").is_some());
+        assert!(result.get("store").is_some());
+
+        server.shutdown();
+        server.join();
+        assert!(!path.exists(), "socket file cleaned up");
+    }
+
+    #[test]
+    fn expired_deadline_reports_timeout_and_keeps_connection() {
+        let server = start_tcp();
+        let mut client = Client::connect_tcp(&server.tcp_addr().unwrap().to_string()).unwrap();
+        // timeout_ms: 0 — the deadline has already expired on arrival.
+        let resp = client
+            .request(&format!(
+                r#"{{"op":"probability","query":"{}","timeout_ms":0,"id":9}}"#,
+                Q.replace('"', "\\\"")
+            ))
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Timeout);
+        assert_eq!(resp.id, Some(9));
+        // Same connection still serves.
+        let resp = client
+            .request(&format!(
+                r#"{{"op":"probability","query":"{}"}}"#,
+                Q.replace('"', "\\\"")
+            ))
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok);
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn malformed_and_failing_requests_keep_the_connection() {
+        let server = start_tcp();
+        let mut client = Client::connect_tcp(&server.tcp_addr().unwrap().to_string()).unwrap();
+        let resp = client.request("this is not json").unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Error);
+        let resp = client
+            .request(r#"{"op":"probability","query":"nonexistent(\"x\")"}"#)
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Error);
+        assert!(resp.error.unwrap().contains("bad query"));
+        let resp = client.request(r#"{"op":"ping"}"#).unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok);
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn load_program_swaps_the_session() {
+        let server = start_tcp();
+        let mut client = Client::connect_tcp(&server.tcp_addr().unwrap().to_string()).unwrap();
+        let resp = client
+            .request(r#"{"op":"load-program","source":"r 0.5: b(X) :- a(X).\nt 1.0: a(1)."}"#)
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok, "{resp:?}");
+        let resp = client
+            .request(r#"{"op":"probability","query":"b(1)"}"#)
+            .unwrap();
+        let p = resp
+            .result
+            .unwrap()
+            .get("probability")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+        // The old program is gone.
+        let resp = client
+            .request(&format!(
+                r#"{{"op":"probability","query":"{}"}}"#,
+                Q.replace('"', "\\\"")
+            ))
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Error);
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn shutdown_request_drains_and_stops() {
+        let server = start_tcp();
+        let addr = server.tcp_addr().unwrap().to_string();
+        let mut client = Client::connect_tcp(&addr).unwrap();
+        let resp = client.request(r#"{"op":"shutdown"}"#).unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok);
+        assert!(server.is_shutting_down());
+        server.join();
+        // New connections are refused (or reset) once the listener is gone.
+        std::thread::sleep(Duration::from_millis(100));
+        let refused = match Client::connect_tcp(&addr) {
+            Err(_) => true,
+            Ok(mut c) => c.request(r#"{"op":"ping"}"#).is_err(),
+        };
+        assert!(refused, "listener should be closed after shutdown");
+    }
+}

@@ -1,0 +1,339 @@
+//! End-to-end test of the real `p3-serve` binary: spawn it on ephemeral
+//! endpoints, hit it with concurrent clients mixing all four query
+//! classes, and check every answer against a direct in-process
+//! [`QuerySession`] over the same program. Also exercises the timeout,
+//! malformed-request and graceful-shutdown paths.
+
+use p3_core::{DerivationAlgo, InfluenceOptions, ProbMethod, P3};
+use p3_service::client::Client;
+use p3_service::protocol::Status;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const ACQ: &str = r#"
+    r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+    r2 0.4: know(P1,P2) :- like(P1,L), like(P2,L), P1 != P2.
+    r3 0.2: know(P1,P3) :- know(P1,P2), know(P2,P3), P1 != P3.
+    t1 1.0: live("Steve","DC").
+    t2 1.0: live("Elena","DC").
+    t3 1.0: live("Mary","NYC").
+    t4 0.4: like("Steve","Veggies").
+    t5 0.6: like("Elena","Veggies").
+    t6 1.0: know("Ben","Steve").
+"#;
+
+const QUERIES: &[&str] = &[
+    r#"know("Ben","Elena")"#,
+    r#"know("Steve","Elena")"#,
+    r#"know("Elena","Steve")"#,
+];
+
+struct Served {
+    child: Child,
+    tcp: String,
+    unix: PathBuf,
+    program: PathBuf,
+}
+
+impl Served {
+    /// Spawns `p3-serve` on an ephemeral TCP port + a temp Unix socket and
+    /// parses the `listening …` lines it prints.
+    fn spawn(extra_args: &[&str]) -> Served {
+        let dir = std::env::temp_dir();
+        let tag = format!(
+            "p3-it-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        )
+        .replace(['(', ')'], "");
+        let program = dir.join(format!("{tag}.pl"));
+        let unix = dir.join(format!("{tag}.sock"));
+        std::fs::write(&program, ACQ).unwrap();
+
+        let mut child = Command::new(env!("CARGO_BIN_EXE_p3-serve"))
+            .arg("--program")
+            .arg(&program)
+            .arg("--tcp")
+            .arg("127.0.0.1:0")
+            .arg("--unix")
+            .arg(&unix)
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn p3-serve");
+
+        let stdout = child.stdout.take().unwrap();
+        let mut reader = BufReader::new(stdout);
+        let mut tcp = None;
+        for _ in 0..2 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if let Some(addr) = line.strip_prefix("listening tcp ") {
+                tcp = Some(addr.trim().to_string());
+            }
+        }
+        Served {
+            child,
+            tcp: tcp.expect("p3-serve did not announce a TCP endpoint"),
+            unix,
+            program,
+        }
+    }
+
+    fn wait_for_exit(&mut self) -> std::process::ExitStatus {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(status) = self.child.try_wait().unwrap() {
+                return status;
+            }
+            assert!(Instant::now() < deadline, "p3-serve did not exit in time");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+impl Drop for Served {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.program);
+        let _ = std::fs::remove_file(&self.unix);
+    }
+}
+
+fn esc(query: &str) -> String {
+    query.replace('"', "\\\"")
+}
+
+/// Runs the four query classes for one query over an existing connection
+/// and checks each answer against the in-process session.
+fn check_all_classes(client: &mut Client, session: &p3_core::QuerySession, query: &str) {
+    // Probability.
+    let resp = client
+        .request(&format!(
+            r#"{{"op":"probability","query":"{}"}}"#,
+            esc(query)
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok, "probability {query}");
+    let served = resp
+        .result
+        .unwrap()
+        .get("probability")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    let direct = session.probability(query, ProbMethod::Exact).unwrap();
+    assert!(
+        (served - direct).abs() < 1e-12,
+        "{query}: {served} vs {direct}"
+    );
+
+    // Explanation.
+    let resp = client
+        .request(&format!(
+            r#"{{"op":"explanation","query":"{}"}}"#,
+            esc(query)
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok, "explanation {query}");
+    let result = resp.result.unwrap();
+    let n = result.get("num_derivations").unwrap().as_u64().unwrap();
+    let direct_n = session.provenance(query).unwrap().len() as u64;
+    assert_eq!(n, direct_n, "explanation {query}");
+    assert!((result.get("probability").unwrap().as_f64().unwrap() - direct).abs() < 1e-12);
+
+    // Derivation.
+    let resp = client
+        .request(&format!(
+            r#"{{"op":"derivation","query":"{}","eps":0.05}}"#,
+            esc(query)
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok, "derivation {query}");
+    let result = resp.result.unwrap();
+    let direct_s = session
+        .sufficient_provenance(query, 0.05, DerivationAlgo::NaiveGreedy, ProbMethod::Exact)
+        .unwrap();
+    assert_eq!(
+        result.get("kept").unwrap().as_u64().unwrap(),
+        direct_s.polynomial.len() as u64
+    );
+    assert!(
+        (result.get("probability").unwrap().as_f64().unwrap() - direct_s.probability).abs() < 1e-12
+    );
+
+    // Influence.
+    let resp = client
+        .request(&format!(
+            r#"{{"op":"influence","query":"{}","method":"exact"}}"#,
+            esc(query)
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok, "influence {query}");
+    let entries = resp.result.unwrap();
+    let entries = entries.get("entries").unwrap().as_array().unwrap().to_vec();
+    let direct_e = session
+        .influence(
+            query,
+            &InfluenceOptions {
+                method: p3_core::InfluenceMethod::Exact,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(entries.len(), direct_e.len(), "influence {query}");
+    let vars = session.p3().vars();
+    for (served, direct) in entries.iter().zip(&direct_e) {
+        assert_eq!(
+            served.get("var").unwrap().as_str().unwrap(),
+            vars.name(direct.var),
+            "influence ranking {query}"
+        );
+        assert!(
+            (served.get("influence").unwrap().as_f64().unwrap() - direct.influence).abs() < 1e-12
+        );
+    }
+
+    // Modification.
+    let resp = client
+        .request(&format!(
+            r#"{{"op":"modification","query":"{}","target":0.5,"tolerance":1e-9}}"#,
+            esc(query)
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok, "modification {query}");
+    let result = resp.result.unwrap();
+    let plan = session
+        .modification(
+            query,
+            0.5,
+            &p3_core::ModificationOptions {
+                tolerance: 1e-9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        result.get("reached_target").unwrap().as_bool().unwrap(),
+        plan.reached_target
+    );
+    assert!(
+        (result
+            .get("achieved_probability")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            - plan.achieved_probability)
+            .abs()
+            < 1e-12
+    );
+}
+
+#[test]
+fn concurrent_clients_match_direct_session_on_both_transports() {
+    let served = Served::spawn(&["--workers", "4"]);
+    let p3 = P3::from_source(ACQ).unwrap();
+    let session = p3.session();
+
+    // Warm the direct session once so the reference answers exist.
+    for q in QUERIES {
+        session.probability(q, ProbMethod::Exact).unwrap();
+    }
+
+    // ≥4 concurrent clients, mixing transports and query classes.
+    std::thread::scope(|scope| {
+        for i in 0..6 {
+            let tcp = served.tcp.clone();
+            let unix = served.unix.clone();
+            let session = &session;
+            scope.spawn(move || {
+                let mut client = if i % 2 == 0 {
+                    Client::connect_tcp(&tcp).unwrap()
+                } else {
+                    Client::connect_unix(&unix).unwrap()
+                };
+                // Each client walks the queries starting at a different
+                // offset, so classes and formulas interleave across workers.
+                for step in 0..QUERIES.len() {
+                    let query = QUERIES[(i + step) % QUERIES.len()];
+                    check_all_classes(&mut client, session, query);
+                }
+            });
+        }
+    });
+
+    // The shared session memoizes across all those clients.
+    let mut client = Client::connect_tcp(&served.tcp).unwrap();
+    let stats = client.request(r#"{"op":"stats"}"#).unwrap();
+    let result = stats.result.unwrap();
+    let hits = result
+        .get("session")
+        .unwrap()
+        .get("hits")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(hits > 0, "concurrent clients should share memoized results");
+}
+
+#[test]
+fn timeout_malformed_and_shutdown_paths() {
+    let mut served = Served::spawn(&[]);
+    let mut client = Client::connect_tcp(&served.tcp).unwrap();
+
+    // An already-expired deadline reports "timeout" and keeps the
+    // connection usable.
+    let resp = client
+        .request(&format!(
+            r#"{{"op":"probability","query":"{}","timeout_ms":0,"id":1}}"#,
+            esc(QUERIES[0])
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::Timeout);
+    assert_eq!(resp.id, Some(1));
+
+    // Malformed requests answer with an error, connection intact.
+    let resp = client.request("{{{ nope").unwrap();
+    assert_eq!(resp.status, Status::Error);
+    let resp = client.request(r#"{"op":"probability"}"#).unwrap();
+    assert_eq!(resp.status, Status::Error);
+
+    // Still serving after all that.
+    let resp = client
+        .request(&format!(
+            r#"{{"op":"probability","query":"{}"}}"#,
+            esc(QUERIES[0])
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok);
+
+    // Graceful shutdown via protocol: acknowledged, then the process
+    // exits cleanly and the socket file is removed.
+    let resp = client.request(r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    let status = served.wait_for_exit();
+    assert!(status.success(), "p3-serve exit: {status:?}");
+    assert!(!served.unix.exists(), "socket file should be cleaned up");
+}
+
+#[test]
+fn sigterm_triggers_graceful_shutdown() {
+    let mut served = Served::spawn(&[]);
+    // Make sure it serves before signalling.
+    let mut client = Client::connect_unix(&served.unix).unwrap();
+    let resp = client.request(r#"{"op":"ping"}"#).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+
+    let kill = Command::new("kill")
+        .arg("-TERM")
+        .arg(served.child.id().to_string())
+        .status()
+        .unwrap();
+    assert!(kill.success());
+    let status = served.wait_for_exit();
+    assert!(status.success(), "p3-serve exit after SIGTERM: {status:?}");
+}

@@ -38,7 +38,8 @@ OPTIONS:
     --hop-limit <N>        cap provenance extraction depth
     --samples <N>          Monte-Carlo samples (default 100000)
     --seed <N>             Monte-Carlo seed (default 7033)
-    --threads <N>          threads for pmc (default: available cores, max 16)
+    --threads <N>          threads for pmc; 0 = auto (P3_THREADS env var,
+                           else available cores capped at 16)
     --stats                print engine and provenance statistics
     --help                 show this help
 ";
@@ -64,6 +65,8 @@ struct Options {
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
+    // Surface a bad P3_THREADS as a normal CLI error, not a panic.
+    p3::prob::parallel::threads_from_env()?;
     let mut opts = Options {
         program_path: String::new(),
         query: None,
