@@ -1,0 +1,196 @@
+//! Observability overhead on the warm query path.
+//!
+//! Metric counters are always on (relaxed atomics); span collection
+//! defaults off and is only switched on by `p3-serve` or `--trace-out`.
+//! This bench measures warm-session query latency with span collection
+//! disabled and enabled, counts how many metric-hook updates one warm
+//! query triggers, microbenches the cost of a single disabled hook, and
+//! writes the headline numbers to `BENCH_obs.json` at the repository
+//! root. Acceptance: the estimated disabled-mode overhead (hook cost ×
+//! hooks per query) stays ≤ 5% of the warm query latency.
+
+use criterion::{criterion_group, Criterion};
+use p3_core::{ProbMethod, P3};
+use p3_workloads::random_programs::{all_derived_queries, generate, RandomConfig};
+use std::time::Instant;
+
+/// Same tangled random workload as the query_session bench: the derived
+/// tuple with the largest provenance polynomial.
+fn workload() -> (P3, String) {
+    let program = generate(RandomConfig {
+        domain: 4,
+        facts: 14,
+        rules: 7,
+        recursion_bias: 0.6,
+        seed: 20_200_817,
+    });
+    let queries = all_derived_queries(&program);
+    let p3 = P3::from_program(program).expect("workload program evaluates");
+    let query = queries
+        .iter()
+        .max_by_key(|q| p3.provenance(q).map(|d| d.monomials().len()).unwrap_or(0))
+        .expect("workload derives at least one tuple")
+        .clone();
+    (p3, query)
+}
+
+/// Sum of every counter sample and histogram count in the metric
+/// registry — the delta across a block of work counts its hook updates.
+fn hook_activity() -> f64 {
+    p3_obs::metrics::prometheus_text()
+        .lines()
+        .filter(|line| !line.starts_with('#') && !line.is_empty())
+        .filter(|line| {
+            let name = line.split(['{', ' ']).next().unwrap_or("");
+            name.ends_with("_total") || name.ends_with("_count")
+        })
+        .map(|line| {
+            line.rsplit(' ')
+                .next()
+                .unwrap()
+                .parse::<f64>()
+                .unwrap_or(0.0)
+        })
+        .sum()
+}
+
+/// Median wall time of `runs` executions of `f`, in nanoseconds.
+fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn bench_hooks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_hooks");
+    group.bench_function("counter_inc", |b| {
+        let counter =
+            p3_obs::counter!("bench_obs_counter_total", "obs_overhead microbench counter");
+        b.iter(|| counter.inc())
+    });
+    group.bench_function("histogram_observe", |b| {
+        let hist = p3_obs::histogram!("bench_obs_latency", "obs_overhead microbench histogram");
+        b.iter(|| hist.observe(17))
+    });
+    p3_obs::span::set_enabled(false);
+    group.bench_function("span_disabled", |b| b.iter(|| p3_obs::span::span("bench")));
+    p3_obs::span::set_enabled(true);
+    group.bench_function("span_enabled", |b| b.iter(|| p3_obs::span::span("bench")));
+    p3_obs::span::set_enabled(false);
+    p3_obs::span::clear();
+    group.finish();
+}
+
+fn bench_warm_queries(c: &mut Criterion) {
+    let (p3, query) = workload();
+    let session = p3.session();
+    session.probability(&query, ProbMethod::Exact).unwrap();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    p3_obs::span::set_enabled(false);
+    group.bench_function("warm_probability_spans_off", |b| {
+        b.iter(|| session.probability(&query, ProbMethod::Exact).unwrap())
+    });
+    p3_obs::span::set_enabled(true);
+    group.bench_function("warm_probability_spans_on", |b| {
+        b.iter(|| session.probability(&query, ProbMethod::Exact).unwrap())
+    });
+    p3_obs::span::set_enabled(false);
+    p3_obs::span::clear();
+    group.finish();
+}
+
+/// Records the headline numbers the acceptance criteria care about.
+fn record_json() {
+    let (p3, query) = workload();
+    let session = p3.session();
+    session.probability(&query, ProbMethod::Exact).unwrap();
+    const RUNS: usize = 2000;
+
+    // Hook updates one warm query triggers, measured over a block.
+    const BLOCK: usize = 1000;
+    let before = hook_activity();
+    for _ in 0..BLOCK {
+        session.probability(&query, ProbMethod::Exact).unwrap();
+    }
+    let hooks_per_query = (hook_activity() - before) / BLOCK as f64;
+
+    // Single-hook costs.
+    let counter = p3_obs::counter!("bench_obs_json_total", "obs_overhead record_json counter");
+    let counter_ns = median_ns(50, || {
+        for _ in 0..1000 {
+            counter.inc();
+        }
+    }) / 1000.0;
+    p3_obs::span::set_enabled(false);
+    let span_disabled_ns = median_ns(50, || {
+        for _ in 0..1000 {
+            drop(p3_obs::span::span("bench"));
+        }
+    }) / 1000.0;
+
+    // Warm query latency, spans off then on.
+    let warm_off = median_ns(RUNS, || {
+        session.probability(&query, ProbMethod::Exact).unwrap();
+    });
+    p3_obs::span::set_enabled(true);
+    let warm_on = median_ns(RUNS, || {
+        session.probability(&query, ProbMethod::Exact).unwrap();
+    });
+    p3_obs::span::set_enabled(false);
+    p3_obs::span::clear();
+
+    // Disabled-mode cost estimate vs a build with no hooks at all: every
+    // hook a warm query touches is a counter-class update (disabled spans
+    // are cheaper still), priced at the measured single-hook cost.
+    let hook_ns_per_query = hooks_per_query * counter_ns.max(span_disabled_ns);
+    let disabled_overhead_pct = 100.0 * hook_ns_per_query / warm_off.max(1.0);
+    let spans_on_overhead_pct = 100.0 * (warm_on - warm_off) / warm_off.max(1.0);
+
+    let json = format!(
+        r#"{{
+  "workload": {{
+    "program": "random_programs(domain=4, facts=14, rules=7, recursion_bias=0.6, seed=20200817)",
+    "query": "{query}"
+  }},
+  "warm_probability_ns": {{
+    "spans_disabled": {warm_off:.0},
+    "spans_enabled": {warm_on:.0},
+    "spans_enabled_overhead_pct": {spans_on_overhead_pct:.2}
+  }},
+  "disabled_hook_cost_ns": {{
+    "counter_inc": {counter_ns:.2},
+    "span_disabled": {span_disabled_ns:.2}
+  }},
+  "hooks_per_warm_query": {hooks_per_query:.1},
+  "acceptance": {{
+    "max_disabled_overhead_pct": 5.0,
+    "disabled_overhead_pct_estimate": {disabled_overhead_pct:.3},
+    "achieved": {achieved}
+  }}
+}}
+"#,
+        achieved = disabled_overhead_pct <= 5.0,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, &json).expect("write BENCH_obs.json");
+    println!("wrote {path}:\n{json}");
+    assert!(
+        disabled_overhead_pct <= 5.0,
+        "disabled-mode observability overhead must stay <= 5% of warm query \
+         latency (got {disabled_overhead_pct:.3}%)"
+    );
+}
+
+criterion_group!(benches, bench_hooks, bench_warm_queries);
+
+fn main() {
+    benches();
+    record_json();
+}

@@ -1,7 +1,16 @@
 //! Runs every experiment in sequence, writing all CSVs under
-//! `EXPERIMENTS-output/`. Accepts `--full` (paper-scale) and `--quick`.
+//! `EXPERIMENTS-output/`. Accepts `--full` (paper-scale), `--quick`, and
+//! `--trace-out FILE` (Chrome trace-event JSON of all pipeline spans).
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| args.get(i + 1).cloned().expect("--trace-out needs a FILE"));
+    if trace_out.is_some() {
+        p3_obs::span::set_enabled(true);
+    }
     let scale = p3_bench::Scale::from_args();
     use p3_bench::experiments as e;
     type Runner = fn(&p3_bench::Scale) -> p3_bench::report::Report;
@@ -24,5 +33,12 @@ fn main() {
         let start = std::time::Instant::now();
         run(&scale).emit();
         eprintln!("<<< {name} done in {:.1}s\n", start.elapsed().as_secs_f64());
+    }
+    if let Some(path) = trace_out {
+        let json = p3_obs::span::chrome_trace_json();
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("trace written to {path} (open in chrome://tracing)"),
+            Err(e) => p3_obs::warn!("cannot write trace", path = path, err = e),
+        }
     }
 }

@@ -103,12 +103,12 @@ impl Report {
         println!("{}", self.to_console());
         let dir = output_dir();
         if let Err(e) = std::fs::create_dir_all(&dir) {
-            eprintln!("warning: cannot create {}: {e}", dir.display());
+            p3_obs::warn!("cannot create output dir", dir = dir.display(), err = e);
             return;
         }
         let path = dir.join(format!("{}.csv", self.name));
         if let Err(e) = std::fs::write(&path, self.to_csv()) {
-            eprintln!("warning: cannot write {}: {e}", path.display());
+            p3_obs::warn!("cannot write report csv", path = path.display(), err = e);
         } else {
             println!("[written {}]", path.display());
         }

@@ -89,6 +89,11 @@ impl<K: Eq + Hash + Clone, V> ClockMap<K, V> {
             } else {
                 self.map.remove(&key);
                 self.evictions += 1;
+                p3_obs::counter!(
+                    "p3_core_cache_evictions_total",
+                    "Entries evicted from bounded session memo tables (clock sweep)"
+                )
+                .inc();
                 return;
             }
         }

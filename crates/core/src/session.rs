@@ -174,10 +174,20 @@ impl QuerySession {
 
     fn hit(&self) {
         self.caches.hits.fetch_add(1, Ordering::Relaxed);
+        p3_obs::counter!(
+            "p3_core_session_hits_total",
+            "Session memo-table lookups answered from cache"
+        )
+        .inc();
     }
 
     fn miss(&self) {
         self.caches.misses.fetch_add(1, Ordering::Relaxed);
+        p3_obs::counter!(
+            "p3_core_session_misses_total",
+            "Session memo-table lookups that had to compute"
+        )
+        .inc();
     }
 
     /// The interned provenance polynomial of a query (unbounded depth).
@@ -198,6 +208,8 @@ impl QuerySession {
             return id;
         }
         self.miss();
+        let mut span = p3_obs::span::span("session.extract");
+        span.add_field("tuple", tuple.0);
         let dnf = self.p3.extractor().polynomial(tuple, opts);
         let id = self.p3.store.intern(dnf);
         self.caches
@@ -232,6 +244,8 @@ impl QuerySession {
             return p;
         }
         self.miss();
+        let mut span = p3_obs::span::span("session.probability");
+        span.add_field("dnf", id.index());
         let p = method.probability(&self.dnf(id), &self.p3.vars);
         self.caches.probs.write().unwrap().insert((id, method), p);
         p
@@ -268,6 +282,8 @@ impl QuerySession {
             return hit.clone();
         }
         self.miss();
+        let mut span = p3_obs::span::span("session.influence");
+        span.add_field("dnf", id.index());
 
         // Optional §6.2 preprocessing, through the sufficient-provenance
         // cache; the backend matches the influence backend (see
@@ -367,6 +383,8 @@ impl QuerySession {
             return hit.clone();
         }
         self.miss();
+        let mut span = p3_obs::span::span("session.derivation");
+        span.add_field("dnf", id.index());
         let dnf = self.dnf(id);
         let result = sufficient_provenance_with(&dnf, &self.p3.vars, eps, algo, &|d| {
             self.probability_of(self.p3.store.intern(d.clone()), method)

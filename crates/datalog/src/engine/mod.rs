@@ -119,6 +119,11 @@ impl<'p> Engine<'p> {
             by_stratum[self.program.stratum(head_pred)].push(idx);
         }
 
+        let mut span = p3_obs::span::span("datalog.run");
+        let delta_hist = p3_obs::histogram!(
+            "p3_datalog_delta_tuples",
+            "New tuples per semi-naive iteration (the delta each pass joins against)"
+        );
         let mut iterations = 0usize;
         let mut firings = 0usize;
         for stratum_rules in &by_stratum {
@@ -130,6 +135,7 @@ impl<'p> Engine<'p> {
             // matter to provenance even though they add no tuples.
             while w_prev < w_cur {
                 iterations += 1;
+                delta_hist.observe(u64::from(w_cur - w_prev));
                 for &rule_idx in stratum_rules {
                     for d in 0..self.rules[rule_idx].body.len() {
                         firings += eval::eval_rule(
@@ -146,6 +152,20 @@ impl<'p> Engine<'p> {
                 w_cur = db.len() as u32;
             }
         }
+
+        p3_obs::counter!(
+            "p3_datalog_iterations_total",
+            "Semi-naive fixpoint iterations executed"
+        )
+        .add(iterations as u64);
+        p3_obs::counter!(
+            "p3_datalog_firings_total",
+            "Rule firings observed, including re-derivations"
+        )
+        .add(firings as u64);
+        span.add_field("iterations", iterations);
+        span.add_field("firings", firings);
+        span.add_field("tuples", db.len());
 
         self.stats = EngineStats {
             iterations,

@@ -1,0 +1,233 @@
+//! Leveled structured logging to stderr.
+//!
+//! The active level comes from the `P3_LOG` environment variable
+//! (`error`, `warn`, `info`, `debug`; default `warn`), read once on
+//! first use. Lines are `key=value` structured:
+//!
+//! ```text
+//! ts=1754550000.123 level=info target=p3_service::server msg="worker pool ready" workers=8
+//! ```
+//!
+//! Use the [`crate::error!`], [`crate::warn!`], [`crate::info!`] and
+//! [`crate::debug!`] macros rather than calling [`emit`] directly: the
+//! macros check [`enabled`] first, so a disabled level costs one relaxed
+//! atomic load and no formatting.
+
+use std::fmt::Display;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or operator-visible failures.
+    Error = 0,
+    /// Suspicious conditions (slow queries, fallbacks) — the default.
+    Warn = 1,
+    /// Lifecycle events: startup, shutdown, configuration.
+    Info = 2,
+    /// High-volume diagnostics for debugging sessions.
+    Debug = 3,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Sentinel meaning "not initialised yet"; real values are `Level as usize`.
+const UNSET: usize = usize::MAX;
+
+static MAX_LEVEL: AtomicUsize = AtomicUsize::new(UNSET);
+
+fn level_from_env() -> Level {
+    match std::env::var("P3_LOG").ok().as_deref() {
+        Some(s) => match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Level::Error,
+            "warn" | "warning" => Level::Warn,
+            "info" => Level::Info,
+            "debug" | "trace" => Level::Debug,
+            "" => Level::Warn,
+            other => {
+                // Can't use the logger to complain about the logger config;
+                // one plain line, then fall back to the default.
+                eprintln!("p3-obs: unknown P3_LOG value {other:?}, using \"warn\"");
+                Level::Warn
+            }
+        },
+        None => Level::Warn,
+    }
+}
+
+/// The currently active maximum level.
+pub fn max_level() -> Level {
+    let raw = MAX_LEVEL.load(Ordering::Relaxed);
+    if raw != UNSET {
+        return match raw {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        };
+    }
+    let level = level_from_env();
+    MAX_LEVEL.store(level as usize, Ordering::Relaxed);
+    level
+}
+
+/// Overrides the level picked up from `P3_LOG` (used by tests and by
+/// binaries with explicit verbosity flags).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as usize, Ordering::Relaxed);
+}
+
+/// Whether a record at `level` would be emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Quotes a value iff it contains whitespace, quotes or `=`, escaping as
+/// needed, so lines stay machine-splittable on spaces.
+fn push_value(out: &mut String, value: &str) {
+    let needs_quotes = value.is_empty()
+        || value
+            .chars()
+            .any(|c| c.is_whitespace() || c == '"' || c == '=' || c == '\\');
+    if !needs_quotes {
+        out.push_str(value);
+        return;
+    }
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats and writes one record. Prefer the macros, which gate on
+/// [`enabled`] before any formatting happens.
+pub fn emit(level: Level, target: &str, msg: &dyn Display, fields: &[(&str, &dyn Display)]) {
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default();
+    let mut line = format!(
+        "ts={}.{:03} level={} target={} msg=",
+        ts.as_secs(),
+        ts.subsec_millis(),
+        level.as_str(),
+        target
+    );
+    push_value(&mut line, &msg.to_string());
+    for (key, value) in fields {
+        line.push(' ');
+        line.push_str(key);
+        line.push('=');
+        push_value(&mut line, &value.to_string());
+    }
+    line.push('\n');
+    // Single write so concurrent threads don't interleave mid-line.
+    let stderr = std::io::stderr();
+    let _ = stderr.lock().write_all(line.as_bytes());
+}
+
+/// Logs at an explicit [`Level`]; the `error!`/`warn!`/`info!`/`debug!`
+/// macros are the usual entry points.
+#[macro_export]
+macro_rules! log {
+    ($lvl:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::log::enabled($lvl) {
+            $crate::log::emit(
+                $lvl,
+                module_path!(),
+                &$msg,
+                &[$((stringify!($key), &$val as &dyn ::std::fmt::Display)),*],
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Error`]: `error!("msg", key = value, ...)`.
+#[macro_export]
+macro_rules! error {
+    ($($t:tt)*) => { $crate::log!($crate::log::Level::Error, $($t)*) };
+}
+
+/// Logs at [`Level::Warn`]: `warn!("msg", key = value, ...)`.
+#[macro_export]
+macro_rules! warn {
+    ($($t:tt)*) => { $crate::log!($crate::log::Level::Warn, $($t)*) };
+}
+
+/// Logs at [`Level::Info`]: `info!("msg", key = value, ...)`.
+#[macro_export]
+macro_rules! info {
+    ($($t:tt)*) => { $crate::log!($crate::log::Level::Info, $($t)*) };
+}
+
+/// Logs at [`Level::Debug`]: `debug!("msg", key = value, ...)`.
+#[macro_export]
+macro_rules! debug {
+    ($($t:tt)*) => { $crate::log!($crate::log::Level::Debug, $($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_from_error_to_debug() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn set_max_level_controls_enabled() {
+        set_max_level(Level::Info);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_max_level(Level::Error);
+        assert!(!enabled(Level::Warn));
+        set_max_level(Level::Warn);
+    }
+
+    #[test]
+    fn values_with_spaces_are_quoted_and_escaped() {
+        let mut out = String::new();
+        push_value(&mut out, "plain");
+        assert_eq!(out, "plain");
+        out.clear();
+        push_value(&mut out, "two words");
+        assert_eq!(out, "\"two words\"");
+        out.clear();
+        push_value(&mut out, "say \"hi\"\n");
+        assert_eq!(out, "\"say \\\"hi\\\"\\n\"");
+        out.clear();
+        push_value(&mut out, "");
+        assert_eq!(out, "\"\"");
+    }
+
+    #[test]
+    fn macros_accept_fields_and_trailing_comma() {
+        set_max_level(Level::Error);
+        // These must compile and be cheap no-ops at level error.
+        crate::debug!("unreached", items = 3, label = "x",);
+        crate::info!("unreached");
+        set_max_level(Level::Warn);
+    }
+}

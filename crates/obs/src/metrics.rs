@@ -1,0 +1,531 @@
+//! A process-global metrics registry with Prometheus text exposition.
+//!
+//! Three instrument kinds, all updated with relaxed atomics so hot paths
+//! pay a few nanoseconds per update:
+//!
+//! * [`Counter`] — monotone `u64`.
+//! * [`Gauge`] — signed point-in-time value, typically refreshed at
+//!   scrape time for resident-size style readings.
+//! * [`Histogram`] — log₂-bucketed distribution (powers of two up to
+//!   `2^26`, then `+Inf`), suited to microsecond latencies and formula
+//!   node counts alike.
+//!
+//! Instruments are registered once by `(name, labels)` and shared via
+//! `Arc`; call sites cache the handle in a `OnceLock` static — the
+//! [`crate::counter!`], [`crate::gauge!`] and [`crate::histogram!`]
+//! macros do exactly that. [`prometheus_text`] renders every registered
+//! instrument in Prometheus text exposition format 0.0.4.
+//!
+//! [`RingHistogram`] is the odd one out: a bounded window of recent raw
+//! samples supporting exact quantiles over that window. It backs the
+//! service's per-class latency reporting, where "p99 over the last 1024
+//! requests" is more useful than an all-time distribution.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets: `le=1, 2, 4, …, 2^26` plus `+Inf`.
+const BUCKETS: usize = 28;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram: bucket `i` counts observations with
+/// `value <= 2^i`, with one final `+Inf` overflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_index(value: u64) -> usize {
+        // Smallest i with value <= 2^i, capped at the +Inf bucket.
+        let idx = (64 - value.saturating_sub(1).leading_zeros()) as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Renders the `_bucket`/`_sum`/`_count` sample lines. `labels` is
+    /// either empty or a pre-rendered `key="value"` list to merge with
+    /// the `le` label.
+    fn render(&self, out: &mut String, name: &str, labels: &str) {
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            let le = if i == BUCKETS - 1 {
+                "+Inf".to_string()
+            } else {
+                (1u64 << i).to_string()
+            };
+            if labels.is_empty() {
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            } else {
+                out.push_str(&format!(
+                    "{name}_bucket{{{labels},le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+        }
+        let suffix = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        out.push_str(&format!("{name}_sum{suffix} {}\n", self.sum()));
+        out.push_str(&format!("{name}_count{suffix} {}\n", self.count()));
+    }
+}
+
+/// A bounded window of the most recent raw samples with exact quantiles
+/// over that window. Unlike [`Histogram`] this takes a lock per record,
+/// so use it at request granularity, not in per-tuple loops.
+#[derive(Debug)]
+pub struct RingHistogram {
+    cap: usize,
+    inner: Mutex<RingInner>,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    samples: Vec<u64>,
+    /// Next slot to overwrite once the ring is full.
+    next: usize,
+}
+
+impl RingHistogram {
+    /// Creates a window keeping the `cap` most recent samples (`cap ≥ 1`).
+    pub fn new(cap: usize) -> RingHistogram {
+        RingHistogram {
+            cap: cap.max(1),
+            inner: Mutex::new(RingInner {
+                samples: Vec::new(),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Records one sample, evicting the oldest when the window is full.
+    pub fn record(&self, value: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.samples.len() < self.cap {
+            inner.samples.push(value);
+        } else {
+            let slot = inner.next;
+            inner.samples[slot] = value;
+            inner.next = (slot + 1) % self.cap;
+        }
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().samples.len()
+    }
+
+    /// Whether the window holds no samples yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact quantile over the window by nearest-rank on the sorted
+    /// samples; `None` when the window is empty. `q` is clamped to
+    /// `[0, 1]`: `quantile(0.0)` is the window minimum, `quantile(1.0)`
+    /// the maximum.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let mut sorted = self.inner.lock().unwrap().samples.clone();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// Largest sample in the window, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.inner.lock().unwrap().samples.iter().copied().max()
+    }
+
+    /// Mean of the window samples, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let inner = self.inner.lock().unwrap();
+        if inner.samples.is_empty() {
+            return None;
+        }
+        Some(inner.samples.iter().sum::<u64>() as f64 / inner.samples.len() as f64)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    /// Pre-rendered `key="value",…` list; empty for unlabeled instruments.
+    labels: String,
+    instrument: Instrument,
+}
+
+fn registry() -> &'static Mutex<Vec<Entry>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn register(
+    name: &'static str,
+    help: &'static str,
+    labels: &str,
+    kind: &'static str,
+) -> Instrument {
+    let mut entries = registry().lock().unwrap();
+    if let Some(entry) = entries
+        .iter()
+        .find(|e| e.name == name && e.labels == labels)
+    {
+        assert_eq!(
+            entry.instrument.kind(),
+            kind,
+            "metric {name} re-registered as a different kind"
+        );
+        return entry.instrument.clone();
+    }
+    let instrument = match kind {
+        "counter" => Instrument::Counter(Arc::new(Counter::default())),
+        "gauge" => Instrument::Gauge(Arc::new(Gauge::default())),
+        _ => Instrument::Histogram(Arc::new(Histogram::default())),
+    };
+    entries.push(Entry {
+        name,
+        help,
+        labels: labels.to_string(),
+        instrument: instrument.clone(),
+    });
+    instrument
+}
+
+/// Registers (or retrieves) the unlabeled counter `name`.
+pub fn counter(name: &'static str, help: &'static str) -> Arc<Counter> {
+    labeled_counter(name, help, "")
+}
+
+/// Registers (or retrieves) a counter with a pre-rendered label list
+/// such as `class="probability"`.
+pub fn labeled_counter(name: &'static str, help: &'static str, labels: &str) -> Arc<Counter> {
+    match register(name, help, labels, "counter") {
+        Instrument::Counter(c) => c,
+        _ => unreachable!(),
+    }
+}
+
+/// Registers (or retrieves) the unlabeled gauge `name`.
+pub fn gauge(name: &'static str, help: &'static str) -> Arc<Gauge> {
+    labeled_gauge(name, help, "")
+}
+
+/// Registers (or retrieves) a gauge with a pre-rendered label list.
+pub fn labeled_gauge(name: &'static str, help: &'static str, labels: &str) -> Arc<Gauge> {
+    match register(name, help, labels, "gauge") {
+        Instrument::Gauge(g) => g,
+        _ => unreachable!(),
+    }
+}
+
+/// Registers (or retrieves) the unlabeled histogram `name`.
+pub fn histogram(name: &'static str, help: &'static str) -> Arc<Histogram> {
+    labeled_histogram(name, help, "")
+}
+
+/// Registers (or retrieves) a histogram with a pre-rendered label list.
+pub fn labeled_histogram(name: &'static str, help: &'static str, labels: &str) -> Arc<Histogram> {
+    match register(name, help, labels, "histogram") {
+        Instrument::Histogram(h) => h,
+        _ => unreachable!(),
+    }
+}
+
+/// Renders every registered instrument in Prometheus text exposition
+/// format (version 0.0.4). `# HELP`/`# TYPE` headers are emitted once
+/// per family, followed by one sample line per label set.
+pub fn prometheus_text() -> String {
+    let entries = registry().lock().unwrap();
+    let mut out = String::new();
+    let mut order: Vec<&'static str> = Vec::new();
+    for entry in entries.iter() {
+        if !order.contains(&entry.name) {
+            order.push(entry.name);
+        }
+    }
+    for name in order {
+        let family: Vec<&Entry> = entries.iter().filter(|e| e.name == name).collect();
+        let first = family[0];
+        out.push_str(&format!("# HELP {name} {}\n", first.help));
+        out.push_str(&format!("# TYPE {name} {}\n", first.instrument.kind()));
+        for entry in family {
+            match &entry.instrument {
+                Instrument::Counter(c) => {
+                    let suffix = if entry.labels.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{{{}}}", entry.labels)
+                    };
+                    out.push_str(&format!("{name}{suffix} {}\n", c.get()));
+                }
+                Instrument::Gauge(g) => {
+                    let suffix = if entry.labels.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{{{}}}", entry.labels)
+                    };
+                    out.push_str(&format!("{name}{suffix} {}\n", g.get()));
+                }
+                Instrument::Histogram(h) => h.render(&mut out, name, &entry.labels),
+            }
+        }
+    }
+    out
+}
+
+/// Caches and returns a `&'static Counter` for a literal name/help pair:
+/// `counter!("p3_x_total", "help").inc()`.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal, $help:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::metrics::counter($name, $help))
+    }};
+}
+
+/// Caches and returns a `&'static Gauge` for a literal name/help pair.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal, $help:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::metrics::gauge($name, $help))
+    }};
+}
+
+/// Caches and returns a `&'static Histogram` for a literal name/help pair.
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal, $help:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::metrics::histogram($name, $help))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_accumulate() {
+        let a = counter("p3_obs_test_counter_total", "test counter");
+        let b = counter("p3_obs_test_counter_total", "test counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same name must share one instrument");
+
+        let g = gauge("p3_obs_test_gauge", "test gauge");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_and_cumulative() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+
+        let h = Histogram::default();
+        h.observe(1);
+        h.observe(3);
+        h.observe(1_000_000_000); // lands in +Inf
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1_000_000_004);
+        let mut out = String::new();
+        h.render(&mut out, "x", "");
+        assert!(out.contains("x_bucket{le=\"1\"} 1\n"));
+        assert!(out.contains("x_bucket{le=\"4\"} 2\n"));
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("x_count 3\n"));
+    }
+
+    #[test]
+    fn labeled_instruments_render_label_sets_under_one_family() {
+        let a = labeled_counter("p3_obs_test_labeled_total", "labeled", "class=\"a\"");
+        let b = labeled_counter("p3_obs_test_labeled_total", "labeled", "class=\"b\"");
+        a.inc();
+        b.add(2);
+        let text = prometheus_text();
+        let helps = text.matches("# HELP p3_obs_test_labeled_total").count();
+        assert_eq!(helps, 1, "one HELP line per family");
+        assert!(text.contains("p3_obs_test_labeled_total{class=\"a\"} 1\n"));
+        assert!(text.contains("p3_obs_test_labeled_total{class=\"b\"} 2\n"));
+    }
+
+    #[test]
+    fn labeled_histogram_merges_labels_with_le() {
+        let h = labeled_histogram("p3_obs_test_lhist_us", "labeled hist", "class=\"q\"");
+        h.observe(2);
+        let text = prometheus_text();
+        assert!(text.contains("p3_obs_test_lhist_us_bucket{class=\"q\",le=\"2\"} 1\n"));
+        assert!(text.contains("p3_obs_test_lhist_us_sum{class=\"q\"} 2\n"));
+        assert!(text.contains("p3_obs_test_lhist_us_count{class=\"q\"} 1\n"));
+    }
+
+    #[test]
+    fn ring_histogram_empty_window_has_no_quantiles() {
+        let r = RingHistogram::new(8);
+        assert!(r.is_empty());
+        assert_eq!(r.quantile(0.5), None);
+        assert_eq!(r.max(), None);
+        assert_eq!(r.mean(), None);
+    }
+
+    #[test]
+    fn ring_histogram_single_sample_is_every_quantile() {
+        let r = RingHistogram::new(8);
+        r.record(42);
+        assert_eq!(r.len(), 1);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(r.quantile(q), Some(42));
+        }
+        assert_eq!(r.max(), Some(42));
+        assert_eq!(r.mean(), Some(42.0));
+    }
+
+    #[test]
+    fn ring_histogram_wraps_and_keeps_only_recent() {
+        let r = RingHistogram::new(4);
+        for v in 1..=10 {
+            r.record(v);
+        }
+        // Window holds 7..=10; the early samples are gone.
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.quantile(0.0), Some(7));
+        assert_eq!(r.quantile(1.0), Some(10));
+        assert_eq!(r.max(), Some(10));
+        assert_eq!(r.mean(), Some(8.5));
+    }
+
+    #[test]
+    fn ring_histogram_quantiles_use_nearest_rank() {
+        let r = RingHistogram::new(100);
+        for v in 1..=100 {
+            r.record(v);
+        }
+        // Nearest rank: idx = round((len-1) * q), matching the service's
+        // historical quantile definition.
+        assert_eq!(r.quantile(0.5), Some(51));
+        assert_eq!(r.quantile(0.9), Some(90));
+        assert_eq!(r.quantile(0.99), Some(99));
+    }
+
+    #[test]
+    fn macro_handles_are_static_and_shared() {
+        let c = crate::counter!("p3_obs_test_macro_total", "macro counter");
+        c.inc();
+        let c2 = crate::counter!("p3_obs_test_macro_total", "macro counter");
+        assert_eq!(c2.get(), c.get());
+        crate::gauge!("p3_obs_test_macro_gauge", "macro gauge").set(1);
+        crate::histogram!("p3_obs_test_macro_hist", "macro hist").observe(9);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE p3_obs_test_macro_total counter"));
+        assert!(text.contains("# TYPE p3_obs_test_macro_gauge gauge"));
+        assert!(text.contains("# TYPE p3_obs_test_macro_hist histogram"));
+    }
+}

@@ -172,6 +172,11 @@ impl Bdd {
             }
             acc = self.or(acc, cube);
         }
+        p3_obs::histogram!(
+            "p3_prob_bdd_nodes",
+            "ROBDD node count after compiling a DNF formula"
+        )
+        .observe(self.node_count() as u64);
         acc
     }
 

@@ -66,6 +66,22 @@ pub struct StoreStats {
     pub op_misses: u64,
 }
 
+/// A snapshot of one shard's counters and occupancy, for per-shard
+/// gauges (balance across shards is what these exist to reveal).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Formulas interned via this shard's index.
+    pub entries: usize,
+    /// Intern lookups answered by this shard's index.
+    pub intern_hits: u64,
+    /// Intern lookups that inserted into this shard's index.
+    pub intern_misses: u64,
+    /// Op-cache lookups answered by this shard.
+    pub op_hits: u64,
+    /// Op-cache lookups that had to compute.
+    pub op_misses: u64,
+}
+
 /// Per-shard memo tables for the algebraic operations.
 #[derive(Default)]
 struct OpCaches {
@@ -74,10 +90,42 @@ struct OpCaches {
     and: HashMap<(DnfId, DnfId), DnfId>,
 }
 
+/// Per-shard hit/miss counters (atomics so hit paths stay read-locked).
+#[derive(Default)]
+struct ShardCounters {
+    intern_hits: AtomicU64,
+    intern_misses: AtomicU64,
+    op_hits: AtomicU64,
+    op_misses: AtomicU64,
+}
+
 fn shard_of<T: Hash>(key: &T) -> usize {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     (h.finish() as usize) & (SHARDS - 1)
+}
+
+// Cached process-wide metric handles for the hot paths (the per-shard
+// atomics above are store-local; these aggregate across stores).
+fn intern_hits_metric() -> &'static p3_obs::metrics::Counter {
+    p3_obs::counter!(
+        "p3_prob_store_intern_hits_total",
+        "DnfStore intern calls answered by the hash-cons index"
+    )
+}
+
+fn op_hits_metric() -> &'static p3_obs::metrics::Counter {
+    p3_obs::counter!(
+        "p3_prob_store_op_hits_total",
+        "Memoized DNF or/and/restrict lookups answered from cache"
+    )
+}
+
+fn op_misses_metric() -> &'static p3_obs::metrics::Counter {
+    p3_obs::counter!(
+        "p3_prob_store_op_misses_total",
+        "Memoized DNF or/and/restrict lookups that had to compute"
+    )
 }
 
 /// A thread-safe, append-only interner of [`Dnf`] formulas with memoized
@@ -93,10 +141,8 @@ pub struct DnfStore {
     index: [RwLock<HashMap<Arc<Dnf>, u32>>; SHARDS],
     /// Hash-sharded op memo tables (keyed by the op's argument tuple).
     ops: [RwLock<OpCaches>; SHARDS],
-    intern_hits: AtomicU64,
-    intern_misses: AtomicU64,
-    op_hits: AtomicU64,
-    op_misses: AtomicU64,
+    /// Hit/miss counters, sharded like the maps they describe.
+    counters: [ShardCounters; SHARDS],
 }
 
 impl Default for DnfStore {
@@ -113,36 +159,44 @@ impl DnfStore {
             formulas: RwLock::new(Vec::new()),
             index: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             ops: std::array::from_fn(|_| RwLock::new(OpCaches::default())),
-            intern_hits: AtomicU64::new(0),
-            intern_misses: AtomicU64::new(0),
-            op_hits: AtomicU64::new(0),
-            op_misses: AtomicU64::new(0),
+            counters: std::array::from_fn(|_| ShardCounters::default()),
         };
         let zero = store.intern(Dnf::zero());
         let one = store.intern(Dnf::one());
         debug_assert_eq!(zero, DnfId::FALSE);
         debug_assert_eq!(one, DnfId::TRUE);
         // The two constants are structural, not client traffic.
-        store.intern_misses.store(0, Ordering::Relaxed);
+        for shard in &store.counters {
+            shard.intern_misses.store(0, Ordering::Relaxed);
+        }
+        // Register the hit-side families up front so a scrape lists them
+        // even before any workload produces a cache hit.
+        intern_hits_metric();
+        op_hits_metric();
+        op_misses_metric();
         store
     }
 
     /// Interns `dnf`, returning its stable id. Structurally equal formulas
     /// always receive the same id (and share one allocation).
     pub fn intern(&self, dnf: Dnf) -> DnfId {
-        let shard = &self.index[shard_of(&dnf)];
+        let shard_idx = shard_of(&dnf);
+        let shard = &self.index[shard_idx];
+        let counters = &self.counters[shard_idx];
         // Fast path: a read lock on one shard suffices for known formulas.
         {
             let index = shard.read().unwrap();
             if let Some(&id) = index.get(&dnf) {
-                self.intern_hits.fetch_add(1, Ordering::Relaxed);
+                counters.intern_hits.fetch_add(1, Ordering::Relaxed);
+                intern_hits_metric().inc();
                 return DnfId(id);
             }
         }
         let mut index = shard.write().unwrap();
         if let Some(&id) = index.get(&dnf) {
             // Lost a race: someone interned it between the two locks.
-            self.intern_hits.fetch_add(1, Ordering::Relaxed);
+            counters.intern_hits.fetch_add(1, Ordering::Relaxed);
+            intern_hits_metric().inc();
             return DnfId(id);
         }
         let arc = Arc::new(dnf);
@@ -155,7 +209,12 @@ impl DnfStore {
             id
         };
         index.insert(arc, id);
-        self.intern_misses.fetch_add(1, Ordering::Relaxed);
+        counters.intern_misses.fetch_add(1, Ordering::Relaxed);
+        p3_obs::counter!(
+            "p3_prob_store_intern_misses_total",
+            "DnfStore intern calls that added a new formula"
+        )
+        .inc();
         DnfId(id)
     }
 
@@ -186,15 +245,22 @@ impl DnfStore {
             return DnfId::TRUE;
         }
         let key = if a <= b { (a, b) } else { (b, a) };
-        let shard = &self.ops[shard_of(&("or", key))];
+        let shard_idx = shard_of(&("or", key));
+        let shard = &self.ops[shard_idx];
         if let Some(&id) = shard.read().unwrap().or.get(&key) {
-            self.op_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters[shard_idx]
+                .op_hits
+                .fetch_add(1, Ordering::Relaxed);
+            op_hits_metric().inc();
             return id;
         }
         let (fa, fb) = (self.get(a), self.get(b));
         let id = self.intern(fa.or(&fb));
         shard.write().unwrap().or.insert(key, id);
-        self.op_misses.fetch_add(1, Ordering::Relaxed);
+        self.counters[shard_idx]
+            .op_misses
+            .fetch_add(1, Ordering::Relaxed);
+        op_misses_metric().inc();
         id
     }
 
@@ -210,15 +276,22 @@ impl DnfStore {
             return a;
         }
         let key = if a <= b { (a, b) } else { (b, a) };
-        let shard = &self.ops[shard_of(&("and", key))];
+        let shard_idx = shard_of(&("and", key));
+        let shard = &self.ops[shard_idx];
         if let Some(&id) = shard.read().unwrap().and.get(&key) {
-            self.op_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters[shard_idx]
+                .op_hits
+                .fetch_add(1, Ordering::Relaxed);
+            op_hits_metric().inc();
             return id;
         }
         let (fa, fb) = (self.get(a), self.get(b));
         let id = self.intern(fa.and(&fb));
         shard.write().unwrap().and.insert(key, id);
-        self.op_misses.fetch_add(1, Ordering::Relaxed);
+        self.counters[shard_idx]
+            .op_misses
+            .fetch_add(1, Ordering::Relaxed);
+        op_misses_metric().inc();
         id
     }
 
@@ -228,15 +301,22 @@ impl DnfStore {
             return id;
         }
         let key = (id, var, value);
-        let shard = &self.ops[shard_of(&("restrict", key))];
+        let shard_idx = shard_of(&("restrict", key));
+        let shard = &self.ops[shard_idx];
         if let Some(&cached) = shard.read().unwrap().restrict.get(&key) {
-            self.op_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters[shard_idx]
+                .op_hits
+                .fetch_add(1, Ordering::Relaxed);
+            op_hits_metric().inc();
             return cached;
         }
         let result = self.get(id).restrict(var, value);
         let out = self.intern(result);
         shard.write().unwrap().restrict.insert(key, out);
-        self.op_misses.fetch_add(1, Ordering::Relaxed);
+        self.counters[shard_idx]
+            .op_misses
+            .fetch_add(1, Ordering::Relaxed);
+        op_misses_metric().inc();
         out
     }
 
@@ -250,15 +330,34 @@ impl DnfStore {
         self.len() <= 2
     }
 
-    /// A snapshot of the effectiveness counters.
+    /// A snapshot of the effectiveness counters (summed across shards).
     pub fn stats(&self) -> StoreStats {
-        StoreStats {
+        let mut stats = StoreStats {
             formulas: self.len(),
-            intern_hits: self.intern_hits.load(Ordering::Relaxed),
-            intern_misses: self.intern_misses.load(Ordering::Relaxed),
-            op_hits: self.op_hits.load(Ordering::Relaxed),
-            op_misses: self.op_misses.load(Ordering::Relaxed),
+            ..StoreStats::default()
+        };
+        for shard in &self.counters {
+            stats.intern_hits += shard.intern_hits.load(Ordering::Relaxed);
+            stats.intern_misses += shard.intern_misses.load(Ordering::Relaxed);
+            stats.op_hits += shard.op_hits.load(Ordering::Relaxed);
+            stats.op_misses += shard.op_misses.load(Ordering::Relaxed);
         }
+        stats
+    }
+
+    /// Per-shard counters and index occupancy, in shard order. Feeds the
+    /// service's per-shard gauges; a skewed `entries` distribution means
+    /// the shard hash is funnelling contention onto a few locks.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        (0..SHARDS)
+            .map(|i| ShardStats {
+                entries: self.index[i].read().unwrap().len(),
+                intern_hits: self.counters[i].intern_hits.load(Ordering::Relaxed),
+                intern_misses: self.counters[i].intern_misses.load(Ordering::Relaxed),
+                op_hits: self.counters[i].op_hits.load(Ordering::Relaxed),
+                op_misses: self.counters[i].op_misses.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 
@@ -344,6 +443,37 @@ mod tests {
         let hits = store.stats().op_hits;
         assert_eq!(store.or(b, a), ab);
         assert_eq!(store.stats().op_hits, hits + 1);
+    }
+
+    #[test]
+    fn shard_stats_sum_to_store_stats() {
+        let store = DnfStore::new();
+        for i in 0..40u32 {
+            let id = store.intern(Dnf::new(vec![m(&[i, i + 1])]));
+            let _ = store.restrict(id, VarId(i), true);
+            store.intern(Dnf::new(vec![m(&[i, i + 1])])); // guaranteed hit
+        }
+        let total = store.stats();
+        let shards = store.shard_stats();
+        assert_eq!(shards.len(), SHARDS);
+        assert_eq!(
+            shards.iter().map(|s| s.intern_hits).sum::<u64>(),
+            total.intern_hits
+        );
+        assert_eq!(
+            shards.iter().map(|s| s.intern_misses).sum::<u64>(),
+            total.intern_misses
+        );
+        assert_eq!(shards.iter().map(|s| s.op_hits).sum::<u64>(), total.op_hits);
+        assert_eq!(
+            shards.iter().map(|s| s.op_misses).sum::<u64>(),
+            total.op_misses
+        );
+        assert_eq!(
+            shards.iter().map(|s| s.entries).sum::<usize>(),
+            total.formulas,
+            "every interned formula lives in exactly one shard index"
+        );
     }
 
     #[test]

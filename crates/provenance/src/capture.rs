@@ -49,9 +49,18 @@ impl DerivationSink for CaptureSink {
 /// Evaluates `program` with provenance maintenance, returning the database
 /// and the provenance graph. This is the P3 execution mode.
 pub fn evaluate_with_provenance(program: &Program) -> (Database, ProvGraph) {
+    let mut span = p3_obs::span::span("provenance.capture");
     let mut sink = CaptureSink::new();
     let db = Engine::new(program).run(&mut sink);
-    (db, sink.into_graph())
+    let graph = sink.into_graph();
+    span.add_field("tuples", db.len());
+    span.add_field("execs", graph.num_execs());
+    p3_obs::counter!(
+        "p3_provenance_captured_execs_total",
+        "Rule executions recorded into provenance graphs"
+    )
+    .add(graph.num_execs() as u64);
+    (db, graph)
 }
 
 #[cfg(test)]

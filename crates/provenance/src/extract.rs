@@ -161,16 +161,29 @@ impl<'g> Extractor<'g> {
     pub fn polynomial(&self, root: TupleId, opts: ExtractOptions) -> Dnf {
         let analysis = self.analysis();
         if let Some(hit) = analysis.results.read().unwrap().get(&(root, opts)) {
+            p3_obs::counter!(
+                "p3_provenance_result_hits_total",
+                "Finished extractions served from the shared result cache"
+            )
+            .inc();
             return hit.clone();
         }
+        let mut span = p3_obs::span::span("provenance.extract");
+        span.add_field("root", root.0);
         let mut cx = Cx {
             graph: self.graph,
             analysis,
             memo: HashMap::new(),
             path: HashSet::new(),
             max_depth: opts.max_depth,
+            memo_hits: 0,
+            memo_misses: 0,
+            cycle_skips: 0,
+            hop_truncations: 0,
         };
         let dnf = cx.expand(root, 0);
+        cx.flush_counters(&mut span);
+        span.add_field("monomials", dnf.len());
         // Publish this call's clean-tuple sub-polynomials for later calls.
         if !cx.memo.is_empty() {
             let mut shared = analysis.memo.write().unwrap();
@@ -196,9 +209,43 @@ struct Cx<'a, 'g> {
     memo: HashMap<(TupleId, usize), Dnf>,
     path: HashSet<TupleId>,
     max_depth: Option<usize>,
+    /// Per-call tallies, flushed to the global metrics once per
+    /// extraction so the recursion itself touches no shared state.
+    memo_hits: u64,
+    memo_misses: u64,
+    cycle_skips: u64,
+    hop_truncations: u64,
 }
 
 impl Cx<'_, '_> {
+    /// Publishes this call's tallies to the metrics registry and the
+    /// extraction span.
+    fn flush_counters(&self, span: &mut p3_obs::span::Span) {
+        p3_obs::counter!(
+            "p3_provenance_memo_hits_total",
+            "Clean-tuple sub-polynomials served from the extraction memo"
+        )
+        .add(self.memo_hits);
+        p3_obs::counter!(
+            "p3_provenance_memo_misses_total",
+            "Clean-tuple sub-polynomials computed and inserted into the memo"
+        )
+        .add(self.memo_misses);
+        p3_obs::counter!(
+            "p3_provenance_cycle_skips_total",
+            "Derivations skipped by path-based cycle elimination"
+        )
+        .add(self.cycle_skips);
+        p3_obs::counter!(
+            "p3_provenance_hop_truncations_total",
+            "Derivations dropped because the hop limit was exhausted"
+        )
+        .add(self.hop_truncations);
+        span.add_field("memo_hits", self.memo_hits);
+        span.add_field("cycle_skips", self.cycle_skips);
+        span.add_field("hop_truncations", self.hop_truncations);
+    }
+
     /// Remaining rule-nesting budget at `depth`.
     fn remaining(&self, depth: usize) -> usize {
         match self.max_depth {
@@ -212,9 +259,11 @@ impl Cx<'_, '_> {
         let clean = self.analysis.is_clean(tuple);
         if clean {
             if let Some(hit) = self.memo.get(&(tuple, remaining)) {
+                self.memo_hits += 1;
                 return hit.clone();
             }
             if let Some(hit) = self.analysis.memo.read().unwrap().get(&(tuple, remaining)) {
+                self.memo_hits += 1;
                 self.memo.insert((tuple, remaining), hit.clone());
                 return hit.clone();
             }
@@ -229,12 +278,14 @@ impl Cx<'_, '_> {
                 }
                 Derivation::Rule(exec_id) => {
                     if remaining == 0 {
+                        self.hop_truncations += 1;
                         continue; // hop limit reached
                     }
                     let exec = self.graph.exec(*exec_id);
                     // Cycle elimination: a body tuple already on the current
                     // path makes this derivation contribute nothing.
                     if exec.body.iter().any(|b| self.path.contains(b)) {
+                        self.cycle_skips += 1;
                         continue 'derivs;
                     }
                     let mut product = Dnf::literal(var_of(exec.rule));
@@ -252,6 +303,7 @@ impl Cx<'_, '_> {
         self.path.remove(&tuple);
 
         if clean {
+            self.memo_misses += 1;
             self.memo.insert((tuple, remaining), acc.clone());
         }
         acc

@@ -31,6 +31,8 @@ COMMANDS:
     modification QUERY TARGET    Modification Query: plan towards TARGET
     load-program FILE            replace the served program (source sent inline)
     stats                        server/session/store counters
+    metrics                      Prometheus text exposition of all metrics
+    trace [N]                    the N most recent request span trees [default: 10]
     ping                         liveness check
     shutdown                     graceful server shutdown
     raw JSON                     send one raw request line
@@ -92,7 +94,14 @@ fn build_request(words: &[String]) -> Result<String, String> {
             .ok_or_else(|| format!("{cmd} needs a QUERY argument"))
     };
     match cmd {
-        "ping" | "stats" | "shutdown" => pairs.insert(0, ("op".into(), cmd.into())),
+        "ping" | "stats" | "metrics" | "shutdown" => pairs.insert(0, ("op".into(), cmd.into())),
+        "trace" => {
+            pairs.insert(0, ("op".into(), cmd.into()));
+            if let Some(n) = positional.first() {
+                let n: u64 = n.parse().map_err(|_| "bad trace count")?;
+                pairs.push(("n".into(), Value::from(n)));
+            }
+        }
         "probability" | "explanation" | "influence" => {
             pairs.insert(0, ("op".into(), cmd.into()));
             pairs.insert(1, ("query".into(), query(&positional)?));
@@ -127,24 +136,33 @@ fn build_request(words: &[String]) -> Result<String, String> {
 }
 
 /// Sends one line and pretty-prints the outcome; true on `status: ok`.
+/// Text-typed payloads (e.g. the `metrics` exposition) print raw, not as
+/// JSON, so the output pipes straight into Prometheus tooling.
 fn send(client: &mut Client, line: &str) -> bool {
     match client.request(line) {
         Err(e) => {
-            eprintln!("error: {e}");
+            p3_obs::error!("request failed", err = e);
             false
         }
         Ok(resp) => match resp.status {
             Status::Ok => {
                 let payload = resp.result.unwrap_or(Value::Null);
-                println!("{}", payload.to_json());
+                let is_text = payload
+                    .get("content_type")
+                    .and_then(Value::as_str)
+                    .is_some_and(|ct| ct.starts_with("text/plain"));
+                match payload.get("text").and_then(Value::as_str) {
+                    Some(text) if is_text => print!("{text}"),
+                    _ => println!("{}", payload.to_json()),
+                }
                 true
             }
             Status::Error => {
-                eprintln!("error: {}", resp.error.unwrap_or_default());
+                p3_obs::error!(resp.error.unwrap_or_default());
                 false
             }
             Status::Timeout => {
-                eprintln!("timeout: {}", resp.error.unwrap_or_default());
+                p3_obs::warn!("request timed out", detail = resp.error.unwrap_or_default());
                 false
             }
         },
@@ -175,7 +193,7 @@ fn repl(client: &mut Client) -> ExitCode {
                 Ok(request) => {
                     send(client, &request);
                 }
-                Err(e) => eprintln!("error: {e}"),
+                Err(e) => p3_obs::error!(e),
             }
         }
         let _ = write!(out, "p3> ");
@@ -201,14 +219,14 @@ fn main() -> ExitCode {
             "--tcp" => match iter.next() {
                 Some(v) => tcp = Some(v),
                 None => {
-                    eprintln!("error: --tcp needs a value");
+                    p3_obs::error!("--tcp needs a value");
                     return ExitCode::FAILURE;
                 }
             },
             "--unix" => match iter.next() {
                 Some(v) => unix = Some(PathBuf::from(v)),
                 None => {
-                    eprintln!("error: --unix needs a value");
+                    p3_obs::error!("--unix needs a value");
                     return ExitCode::FAILURE;
                 }
             },
@@ -221,19 +239,19 @@ fn main() -> ExitCode {
         (Some(addr), _) => match Client::connect_tcp(addr) {
             Ok(c) => c,
             Err(e) => {
-                eprintln!("error: cannot connect to tcp {addr}: {e}");
+                p3_obs::error!("cannot connect", tcp = addr, err = e);
                 return ExitCode::FAILURE;
             }
         },
         (None, Some(path)) => match Client::connect_unix(path) {
             Ok(c) => c,
             Err(e) => {
-                eprintln!("error: cannot connect to unix {}: {e}", path.display());
+                p3_obs::error!("cannot connect", unix = path.display(), err = e);
                 return ExitCode::FAILURE;
             }
         },
         (None, None) => {
-            eprintln!("error: need --tcp ADDR or --unix PATH");
+            p3_obs::error!("need --tcp ADDR or --unix PATH");
             eprintln!("run 'p3-client --help' for usage");
             return ExitCode::FAILURE;
         }
@@ -241,14 +259,14 @@ fn main() -> ExitCode {
 
     match rest.first().map(String::as_str) {
         None => {
-            eprintln!("error: missing command");
+            p3_obs::error!("missing command");
             eprintln!("run 'p3-client --help' for usage");
             ExitCode::FAILURE
         }
         Some("repl") => repl(&mut client),
         Some("raw") => {
             let Some(line) = rest.get(1) else {
-                eprintln!("error: raw needs a JSON argument");
+                p3_obs::error!("raw needs a JSON argument");
                 return ExitCode::FAILURE;
             };
             if send(&mut client, line) {
@@ -259,7 +277,7 @@ fn main() -> ExitCode {
         }
         Some(_) => match build_request(&rest) {
             Err(e) => {
-                eprintln!("error: {e}");
+                p3_obs::error!(e);
                 eprintln!("run 'p3-client --help' for usage");
                 ExitCode::FAILURE
             }

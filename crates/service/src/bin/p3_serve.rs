@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! p3-serve --program FILE [--tcp ADDR] [--unix PATH] [--workers N]
-//!          [--queue-cap N] [--cache-cap N] [--timeout-ms N]
+//!          [--queue-cap N] [--cache-cap N] [--timeout-ms N] [--slow-ms N]
 //! ```
 //!
 //! Prints one `listening tcp ADDR` / `listening unix PATH` line per bound
@@ -30,19 +30,24 @@ OPTIONS:
     --queue-cap N      bounded request queue capacity [default: 256]
     --cache-cap N      per-table session cache cap (entries); omit for unbounded
     --timeout-ms N     default per-request deadline for requests without timeout_ms
+    --slow-ms N        log requests slower than N ms at warn level
     -h, --help         print this help
 
 At least one of --tcp / --unix is required. Shut down with SIGTERM, SIGINT,
 or a client {\"op\":\"shutdown\"} request; in-flight work drains first.
+Set P3_LOG=error|warn|info|debug to control log verbosity (default warn).
 ";
 
 fn fail(msg: &str) -> ExitCode {
-    eprintln!("error: {msg}");
+    p3_obs::error!(msg);
     eprintln!("run 'p3-serve --help' for usage");
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
+    // Span collection is on for the server's lifetime: the ring holds the
+    // most recent spans for `trace` requests at a bounded memory cost.
+    p3_obs::span::set_enabled(true);
     let mut args = std::env::args().skip(1);
     let mut program: Option<PathBuf> = None;
     let mut config = ServerConfig::default();
@@ -95,6 +100,12 @@ fn main() -> ExitCode {
                 Ok(v) => config.default_timeout_ms = Some(v),
                 Err(e) => return fail(&e),
             },
+            "--slow-ms" => match take("--slow-ms")
+                .and_then(|v| v.parse().map_err(|_| format!("bad --slow-ms value '{v}'")))
+            {
+                Ok(v) => config.slow_ms = Some(v),
+                Err(e) => return fail(&e),
+            },
             other => return fail(&format!("unknown argument '{other}'")),
         }
     }
@@ -127,8 +138,10 @@ fn main() -> ExitCode {
         let _ = writeln!(stdout, "listening unix {}", path.display());
     }
     let _ = stdout.flush();
+    p3_obs::info!("server started", program = program.display());
 
     let flag = p3_service::signal::install_shutdown_flag();
     server.serve_until_shutdown(flag);
+    p3_obs::info!("server stopped");
     ExitCode::SUCCESS
 }

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! request  = { "op": <op>, ["id": n], ["timeout_ms": n], ["hop_limit": n], ...op fields }
-//! op       = "ping" | "stats" | "shutdown" | "load-program"
+//! op       = "ping" | "stats" | "metrics" | "trace" | "shutdown"
+//!          | "load-program"
 //!          | "probability" | "explanation" | "derivation"
 //!          | "influence" | "modification"
 //! response = { ["id": n], "status": "ok" | "error" | "timeout",
@@ -27,6 +28,13 @@ pub enum Op {
     Ping,
     /// Server + session + store counters.
     Stats,
+    /// Prometheus text exposition of the process metrics registry.
+    Metrics,
+    /// The `n` most recent request span trees.
+    Trace {
+        /// How many request trees to return.
+        n: usize,
+    },
     /// Graceful shutdown: drain in-flight work, refuse new connections.
     Shutdown,
     /// Replace the served program (from inline source or a server-side path).
@@ -89,6 +97,8 @@ impl Op {
         match self {
             Op::Ping => "ping",
             Op::Stats => "stats",
+            Op::Metrics => "metrics",
+            Op::Trace { .. } => "trace",
             Op::Shutdown => "shutdown",
             Op::LoadProgram { .. } => "load-program",
             Op::Probability { .. } => "probability",
@@ -102,7 +112,10 @@ impl Op {
     /// Whether this op runs on the worker pool (vs. inline on the
     /// connection handler).
     pub fn is_query(&self) -> bool {
-        !matches!(self, Op::Ping | Op::Stats | Op::Shutdown)
+        !matches!(
+            self,
+            Op::Ping | Op::Stats | Op::Metrics | Op::Trace { .. } | Op::Shutdown
+        )
     }
 }
 
@@ -201,6 +214,10 @@ impl Request {
         let op = match op_name.as_str() {
             "ping" => Op::Ping,
             "stats" => Op::Stats,
+            "metrics" => Op::Metrics,
+            "trace" => Op::Trace {
+                n: opt_u64(&v, "n")?.unwrap_or(10) as usize,
+            },
             "shutdown" => Op::Shutdown,
             "load-program" => {
                 let source = v.get("source").and_then(Value::as_str).map(str::to_string);
@@ -361,6 +378,8 @@ mod tests {
         let cases = [
             (r#"{"op":"ping"}"#, "ping"),
             (r#"{"op":"stats"}"#, "stats"),
+            (r#"{"op":"metrics"}"#, "metrics"),
+            (r#"{"op":"trace","n":5}"#, "trace"),
             (r#"{"op":"shutdown"}"#, "shutdown"),
             (
                 r#"{"op":"load-program","source":"t 1.0: a(1)."}"#,
@@ -455,9 +474,24 @@ mod tests {
     }
 
     #[test]
+    fn trace_defaults_to_ten_trees() {
+        match Request::parse(r#"{"op":"trace"}"#).unwrap().op {
+            Op::Trace { n } => assert_eq!(n, 10),
+            ref other => panic!("{other:?}"),
+        }
+        match Request::parse(r#"{"op":"trace","n":3}"#).unwrap().op {
+            Op::Trace { n } => assert_eq!(n, 3),
+            ref other => panic!("{other:?}"),
+        }
+        assert!(Request::parse(r#"{"op":"trace","n":-1}"#).is_err());
+    }
+
+    #[test]
     fn query_vs_admin_split() {
         assert!(!Request::parse(r#"{"op":"ping"}"#).unwrap().op.is_query());
         assert!(!Request::parse(r#"{"op":"stats"}"#).unwrap().op.is_query());
+        assert!(!Request::parse(r#"{"op":"metrics"}"#).unwrap().op.is_query());
+        assert!(!Request::parse(r#"{"op":"trace"}"#).unwrap().op.is_query());
         assert!(Request::parse(r#"{"op":"probability","query":"a(1)"}"#)
             .unwrap()
             .op

@@ -58,6 +58,10 @@ pub struct ServerConfig {
     pub cache_cap: Option<usize>,
     /// Deadline applied to requests that don't carry `timeout_ms`.
     pub default_timeout_ms: Option<u64>,
+    /// Requests slower than this many milliseconds are logged at `warn`
+    /// level and counted in `p3_service_slow_requests_total`; `None`
+    /// disables the slow-query log.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +73,7 @@ impl Default for ServerConfig {
             queue_cap: 256,
             cache_cap: None,
             default_timeout_ms: None,
+            slow_ms: None,
         }
     }
 }
@@ -78,6 +83,9 @@ struct Job {
     op: Op,
     hop_limit: Option<usize>,
     deadline: Option<Instant>,
+    /// Id of the request's root span, so the worker can parent its
+    /// `execute` span across the thread hop (0 = tracing disabled).
+    root_span: u64,
     reply: mpsc::SyncSender<Result<Value, String>>,
 }
 
@@ -187,6 +195,7 @@ struct Shared {
     workers: usize,
     queue_cap: usize,
     default_timeout_ms: Option<u64>,
+    slow_ms: Option<u64>,
     started: Instant,
 }
 
@@ -247,6 +256,7 @@ impl Server {
             workers,
             queue_cap: config.queue_cap.max(1),
             default_timeout_ms: config.default_timeout_ms,
+            slow_ms: config.slow_ms,
             started: Instant::now(),
         });
 
@@ -426,6 +436,23 @@ fn handle_connection<R: BufRead, W: Write>(mut reader: R, mut writer: W, shared:
     }
 }
 
+/// Records one finished request in the process-wide metric registry.
+fn record_request_metrics(class: &str, latency: Duration) {
+    let labels = format!("class=\"{class}\"");
+    p3_obs::metrics::labeled_counter(
+        "p3_service_requests_total",
+        "Requests handled, by op class (including malformed lines)",
+        &labels,
+    )
+    .inc();
+    p3_obs::metrics::labeled_histogram(
+        "p3_service_request_latency_us",
+        "End-to-end request latency in microseconds (queue wait + execution)",
+        &labels,
+    )
+    .observe(latency.as_micros().min(u64::MAX as u128) as u64);
+}
+
 /// Parses and dispatches one request line; always produces a response.
 fn handle_line(line: &str, shared: &Shared) -> Response {
     let start = Instant::now();
@@ -435,6 +462,7 @@ fn handle_line(line: &str, shared: &Shared) -> Response {
             shared
                 .stats
                 .record("malformed", start.elapsed(), Outcome::Error);
+            record_request_metrics("malformed", start.elapsed());
             return Response::error(None, msg);
         }
     };
@@ -445,15 +473,47 @@ fn handle_line(line: &str, shared: &Shared) -> Response {
         crate::protocol::Status::Error => Outcome::Error,
         crate::protocol::Status::Timeout => Outcome::Timeout,
     };
-    shared.stats.record(class, start.elapsed(), outcome);
+    let elapsed = start.elapsed();
+    shared.stats.record(class, elapsed, outcome);
+    record_request_metrics(class, elapsed);
+    p3_obs::debug!(
+        "request served",
+        class = class,
+        outcome = format!("{outcome:?}"),
+        latency_us = elapsed.as_micros(),
+    );
+    if let Some(slow_ms) = shared.slow_ms {
+        if elapsed >= Duration::from_millis(slow_ms) {
+            p3_obs::counter!(
+                "p3_service_slow_requests_total",
+                "Requests that exceeded the --slow-ms threshold"
+            )
+            .inc();
+            p3_obs::warn!(
+                "slow request",
+                class = class,
+                latency_ms = elapsed.as_millis(),
+                threshold_ms = slow_ms,
+            );
+        }
+    }
     response
 }
 
 fn dispatch(request: &Request, shared: &Shared, received: Instant) -> Response {
+    // The root span covers the request's whole server-side life: parse is
+    // already done, so this is queue wait + execution + reply marshalling.
+    let mut span = p3_obs::span::span("request");
+    span.add_field("class", request.op.class());
+    if let Some(id) = request.id {
+        span.add_field("request_id", id);
+    }
     match &request.op {
         // Admin ops answer inline: they must work while the queue is full.
         Op::Ping => Response::ok(request.id, Value::object(vec![("pong", Value::from(true))])),
         Op::Stats => Response::ok(request.id, stats_snapshot(shared)),
+        Op::Metrics => Response::ok(request.id, metrics_snapshot(shared)),
+        Op::Trace { n } => Response::ok(request.id, trace_snapshot(*n)),
         Op::Shutdown => {
             shared.initiate_shutdown();
             Response::ok(
@@ -477,6 +537,7 @@ fn dispatch(request: &Request, shared: &Shared, received: Instant) -> Response {
                 op: op.clone(),
                 hop_limit: request.hop_limit,
                 deadline,
+                root_span: span.id(),
                 reply: reply_tx,
             };
             match shared.queue.push(job) {
@@ -522,8 +583,18 @@ fn worker_loop(shared: Arc<Shared>) {
                 continue;
             }
         }
-        let session = shared.current_session();
-        let result = execute(&session, &shared, &job.op, job.hop_limit);
+        // Parent the worker-side span under the handler's request span:
+        // the id travelled with the job across the thread hop. The span
+        // must finish (and land in the ring) before the reply is sent, or
+        // an immediate `trace` request could miss it.
+        let result = {
+            let mut span = p3_obs::span::child_of("execute", job.root_span);
+            span.add_field("class", job.op.class());
+            let session = shared.current_session();
+            let result = execute(&session, &shared, &job.op, job.hop_limit);
+            span.add_field("ok", result.is_ok());
+            result
+        };
         // The handler may have timed out and gone; that's fine.
         let _ = job.reply.send(result);
     }
@@ -546,7 +617,9 @@ fn execute(
 ) -> Result<Value, String> {
     let p3 = session.p3();
     match op {
-        Op::Ping | Op::Stats | Op::Shutdown => unreachable!("admin ops answer inline"),
+        Op::Ping | Op::Stats | Op::Metrics | Op::Trace { .. } | Op::Shutdown => {
+            unreachable!("admin ops answer inline")
+        }
         Op::LoadProgram { source, path } => {
             let text = match (source, path) {
                 (Some(src), _) => src.clone(),
@@ -739,6 +812,113 @@ fn stats_snapshot(shared: &Shared) -> Value {
                 ("op_hits", Value::from(store.op_hits)),
                 ("op_misses", Value::from(store.op_misses)),
             ]),
+        ),
+    ])
+}
+
+/// The `metrics` payload: refreshes scrape-time gauges from live state,
+/// then renders the whole process registry as Prometheus text exposition
+/// (version 0.0.4).
+fn metrics_snapshot(shared: &Shared) -> Value {
+    let session = shared.current_session();
+    let s = session.stats();
+    let store = session.p3().store();
+
+    p3_obs::gauge!(
+        "p3_service_queue_depth",
+        "Jobs currently waiting in the bounded request queue"
+    )
+    .set(shared.queue.depth() as i64);
+    p3_obs::gauge!("p3_service_workers", "Worker pool size").set(shared.workers as i64);
+    p3_obs::gauge!(
+        "p3_service_uptime_seconds",
+        "Seconds since the server started"
+    )
+    .set(shared.started.elapsed().as_secs() as i64);
+    p3_obs::gauge!(
+        "p3_core_session_resident",
+        "Entries resident across the shared session memo tables"
+    )
+    .set(s.resident as i64);
+    p3_obs::gauge!(
+        "p3_prob_store_formulas",
+        "Interned DNF formulas in the hash-consed store"
+    )
+    .set(store.stats().formulas as i64);
+    for (i, shard) in store.shard_stats().iter().enumerate() {
+        let labels = format!("shard=\"{i}\"");
+        let set = |name, help, value: u64| {
+            p3_obs::metrics::labeled_gauge(name, help, &labels).set(value as i64);
+        };
+        set(
+            "p3_prob_store_shard_entries",
+            "Interned nodes held by each DnfStore shard",
+            shard.entries as u64,
+        );
+        set(
+            "p3_prob_store_shard_intern_hits",
+            "Hash-cons intern hits per DnfStore shard",
+            shard.intern_hits,
+        );
+        set(
+            "p3_prob_store_shard_intern_misses",
+            "Hash-cons intern misses per DnfStore shard",
+            shard.intern_misses,
+        );
+        set(
+            "p3_prob_store_shard_op_hits",
+            "Memoized or/and/restrict hits per DnfStore shard",
+            shard.op_hits,
+        );
+        set(
+            "p3_prob_store_shard_op_misses",
+            "Memoized or/and/restrict misses per DnfStore shard",
+            shard.op_misses,
+        );
+    }
+
+    Value::object(vec![
+        (
+            "content_type",
+            Value::from("text/plain; version=0.0.4".to_string()),
+        ),
+        ("text", Value::from(p3_obs::metrics::prometheus_text())),
+    ])
+}
+
+fn span_tree_value(tree: &p3_obs::span::SpanTree) -> Value {
+    let r = &tree.record;
+    Value::object(vec![
+        ("name", Value::from(r.name.to_string())),
+        ("span_id", Value::from(r.id)),
+        ("start_us", Value::from(r.start_us)),
+        ("dur_us", Value::from(r.dur_us)),
+        (
+            "fields",
+            Value::Object(
+                r.fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), Value::from(v.clone())))
+                    .collect(),
+            ),
+        ),
+        (
+            "children",
+            Value::Array(tree.children.iter().map(span_tree_value).collect()),
+        ),
+    ])
+}
+
+/// The `trace` payload: the `n` most recent completed request span trees
+/// (newest first). Empty unless span collection is enabled (`p3-serve`
+/// turns it on at startup).
+fn trace_snapshot(n: usize) -> Value {
+    let trees = p3_obs::span::recent_roots(Some("request"), n);
+    Value::object(vec![
+        ("enabled", Value::from(p3_obs::span::enabled())),
+        (
+            "trees",
+            Value::Array(trees.iter().map(span_tree_value).collect()),
         ),
     ])
 }

@@ -1,12 +1,13 @@
 //! Service-side request accounting: per-class counters and latency
 //! quantiles, cheap enough to update on every request.
 //!
-//! Latencies are kept in a fixed ring of the most recent [`RING`] samples
-//! per query class; quantiles are computed over that window on demand
-//! (`stats` requests are rare, so the snapshot sorts a copy). Counters are
-//! lifetime totals.
+//! Latencies are kept in a [`RingHistogram`] window of the most recent
+//! [`RING`] samples per query class; quantiles are computed over that
+//! window on demand (`stats` requests are rare, so the snapshot sorts a
+//! copy). Counters are lifetime totals.
 
 use crate::json::Value;
+use p3_obs::metrics::RingHistogram;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -14,15 +15,25 @@ use std::time::Duration;
 /// Latency window per query class.
 const RING: usize = 1024;
 
-#[derive(Default)]
 struct ClassStats {
     count: u64,
     errors: u64,
     timeouts: u64,
     sum_us: u64,
     /// Most recent latencies, microseconds, ring-buffered.
-    recent_us: Vec<u64>,
-    next: usize,
+    recent_us: RingHistogram,
+}
+
+impl Default for ClassStats {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            errors: 0,
+            timeouts: 0,
+            sum_us: 0,
+            recent_us: RingHistogram::new(RING),
+        }
+    }
 }
 
 impl ClassStats {
@@ -35,24 +46,11 @@ impl ClassStats {
         }
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
         self.sum_us += us;
-        if self.recent_us.len() < RING {
-            self.recent_us.push(us);
-        } else {
-            self.recent_us[self.next] = us;
-            self.next = (self.next + 1) % RING;
-        }
+        self.recent_us.record(us);
     }
 
     fn snapshot(&self) -> Value {
-        let mut window = self.recent_us.clone();
-        window.sort_unstable();
-        let q = |p: f64| -> f64 {
-            if window.is_empty() {
-                return 0.0;
-            }
-            let idx = ((window.len() - 1) as f64 * p).round() as usize;
-            window[idx] as f64 / 1000.0
-        };
+        let q = |p: f64| -> f64 { self.recent_us.quantile(p).unwrap_or(0) as f64 / 1000.0 };
         let mean_ms = if self.count == 0 {
             0.0
         } else {
@@ -70,7 +68,7 @@ impl ClassStats {
                     ("p99", Value::from(q(0.99))),
                     (
                         "max",
-                        Value::from(window.last().copied().unwrap_or(0) as f64 / 1000.0),
+                        Value::from(self.recent_us.max().unwrap_or(0) as f64 / 1000.0),
                     ),
                     ("mean", Value::from(mean_ms)),
                 ]),
@@ -194,5 +192,51 @@ mod tests {
         let stats = ServiceStats::new();
         assert_eq!(stats.snapshot(), Value::Object(vec![]));
         assert_eq!(stats.total(), 0);
+    }
+
+    /// A class with zero latency samples would only arise if `record` were
+    /// skipped, but the snapshot math must not divide by zero regardless.
+    #[test]
+    fn empty_window_quantiles_are_zero() {
+        let stats = ClassStats::default();
+        let snap = stats.snapshot();
+        let lat = snap.get("latency_ms").unwrap();
+        for key in ["p50", "p90", "p99", "max", "mean"] {
+            assert_eq!(lat.get(key).unwrap().as_f64(), Some(0.0), "{key}");
+        }
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let stats = ServiceStats::new();
+        stats.record("ping", Duration::from_millis(7), Outcome::Ok);
+        let snap = stats.snapshot();
+        let lat = snap.get("ping").unwrap().get("latency_ms").unwrap();
+        for key in ["p50", "p90", "p99", "max", "mean"] {
+            let v = lat.get(key).unwrap().as_f64().unwrap();
+            assert!((v - 7.0).abs() < 1e-9, "{key} = {v}");
+        }
+    }
+
+    #[test]
+    fn wrapped_ring_drops_the_oldest_sample_first() {
+        let stats = ServiceStats::new();
+        // One slow outlier followed by RING fast samples: the wrap evicts
+        // exactly the outlier, so even the max reflects recent traffic.
+        stats.record("ping", Duration::from_millis(900), Outcome::Ok);
+        for _ in 0..RING {
+            stats.record("ping", Duration::from_micros(500), Outcome::Ok);
+        }
+        let snap = stats.snapshot();
+        let max = snap
+            .get("ping")
+            .unwrap()
+            .get("latency_ms")
+            .unwrap()
+            .get("max")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(max < 1.0, "outlier should have been overwritten: {max}");
     }
 }

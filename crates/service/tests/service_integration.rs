@@ -320,6 +320,146 @@ fn timeout_malformed_and_shutdown_paths() {
     assert!(!served.unix.exists(), "socket file should be cleaned up");
 }
 
+/// Requests the `metrics` op and returns the Prometheus exposition text.
+fn scrape(client: &mut Client) -> String {
+    let resp = client.request(r#"{"op":"metrics"}"#).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    let result = resp.result.unwrap();
+    assert_eq!(
+        result.get("content_type").unwrap().as_str().unwrap(),
+        "text/plain; version=0.0.4"
+    );
+    result.get("text").unwrap().as_str().unwrap().to_string()
+}
+
+/// Sums every sample of one family (across label sets) in an exposition.
+fn family_sum(text: &str, family: &str) -> f64 {
+    text.lines()
+        .filter(|line| !line.starts_with('#') && !line.is_empty())
+        .filter(|line| {
+            let name = line.split(['{', ' ']).next().unwrap_or_default();
+            name == family
+        })
+        .map(|line| line.rsplit(' ').next().unwrap().parse::<f64>().unwrap())
+        .sum()
+}
+
+#[test]
+fn metrics_op_emits_valid_prometheus_text_with_monotone_counters() {
+    let served = Served::spawn(&[]);
+    let mut client = Client::connect_tcp(&served.tcp).unwrap();
+
+    // Two identical queries: the second hits the session memo, so both
+    // hit- and miss-side metric families are registered.
+    for _ in 0..2 {
+        let resp = client
+            .request(&format!(
+                r#"{{"op":"probability","query":"{}"}}"#,
+                esc(QUERIES[0])
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    let text = scrape(&mut client);
+
+    // Every line is a comment or a `name[{labels}] value` sample, and
+    // every family carries both a HELP and a TYPE line.
+    let mut help = std::collections::BTreeSet::new();
+    let mut types = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            help.insert(rest.split(' ').next().unwrap().to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            types.insert(it.next().unwrap().to_string());
+            let kind = it.next().unwrap();
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "bad TYPE: {line}"
+            );
+        } else if !line.is_empty() {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable sample line: {line}"
+            );
+        }
+    }
+    assert_eq!(help, types, "HELP/TYPE lines must pair up");
+    assert!(help.len() >= 10, "want ≥10 metric families, got {help:?}");
+
+    // Families from every layer of the pipeline are present.
+    for family in [
+        "p3_datalog_iterations_total",     // datalog
+        "p3_datalog_delta_tuples",         // datalog (histogram)
+        "p3_provenance_memo_misses_total", // provenance
+        "p3_prob_store_intern_hits_total", // prob
+        "p3_prob_store_shard_entries",     // prob (per-shard gauges)
+        "p3_core_session_misses_total",    // core
+        "p3_service_requests_total",       // service
+        "p3_service_request_latency_us",   // service (histogram)
+    ] {
+        assert!(help.contains(family), "missing {family} in:\n{text}");
+    }
+
+    // Counters are monotone across scrapes.
+    let before = family_sum(&text, "p3_service_requests_total");
+    let resp = client
+        .request(&format!(
+            r#"{{"op":"probability","query":"{}"}}"#,
+            esc(QUERIES[1])
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    let after = family_sum(&scrape(&mut client), "p3_service_requests_total");
+    assert!(
+        after >= before + 1.0,
+        "requests_total should grow: {before} -> {after}"
+    );
+}
+
+#[test]
+fn trace_op_returns_request_span_trees() {
+    let served = Served::spawn(&[]);
+    let mut client = Client::connect_tcp(&served.tcp).unwrap();
+
+    let resp = client
+        .request(&format!(
+            r#"{{"op":"probability","query":"{}","id":77}}"#,
+            esc(QUERIES[0])
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok);
+
+    let resp = client.request(r#"{"op":"trace","n":5}"#).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    let result = resp.result.unwrap();
+    assert_eq!(result.get("enabled").unwrap().as_bool(), Some(true));
+    let trees = result.get("trees").unwrap().as_array().unwrap().to_vec();
+    assert!(
+        !trees.is_empty() && trees.len() <= 5,
+        "{} trees",
+        trees.len()
+    );
+
+    // Newest first: the root is the probability request we just sent,
+    // carrying its request id, with the worker's execute span as a child.
+    let root = &trees[0];
+    assert_eq!(root.get("name").unwrap().as_str(), Some("request"));
+    let fields = root.get("fields").unwrap();
+    assert_eq!(fields.get("request_id").unwrap().as_str(), Some("77"));
+    assert_eq!(fields.get("class").unwrap().as_str(), Some("probability"));
+    let children = root.get("children").unwrap().as_array().unwrap();
+    assert!(
+        children
+            .iter()
+            .any(|c| c.get("name").unwrap().as_str() == Some("execute")),
+        "request span should have an execute child: {:?}",
+        root.to_json()
+    );
+}
+
 #[test]
 fn sigterm_triggers_graceful_shutdown() {
     let mut served = Served::spawn(&[]);

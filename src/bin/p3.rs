@@ -40,6 +40,8 @@ OPTIONS:
     --seed <N>             Monte-Carlo seed (default 7033)
     --threads <N>          threads for pmc; 0 = auto (P3_THREADS env var,
                            else available cores capped at 16)
+    --trace-out <FILE>     record pipeline spans and write Chrome trace-event
+                           JSON (load in chrome://tracing or Perfetto)
     --stats                print engine and provenance statistics
     --help                 show this help
 ";
@@ -61,6 +63,7 @@ struct Options {
     samples: usize,
     seed: u64,
     threads: usize,
+    trace_out: Option<String>,
     stats: bool,
 }
 
@@ -83,6 +86,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         samples: 100_000,
         seed: 0x7033,
         threads: p3::prob::parallel::default_threads(),
+        trace_out: None,
         stats: false,
     };
     let mut it = args.iter().peekable();
@@ -150,6 +154,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = value(&mut it, "--threads")?;
                 opts.threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
             }
+            "--trace-out" => opts.trace_out = Some(value(&mut it, "--trace-out")?),
             "--stats" => opts.stats = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             path => {
@@ -183,6 +188,11 @@ fn prob_method(opts: &Options) -> Result<ProbMethod, String> {
 }
 
 fn run(opts: &Options) -> Result<(), String> {
+    if opts.trace_out.is_some() {
+        // Enable before loading the program so engine/provenance spans
+        // from the initial evaluation land in the trace too.
+        p3::obs::span::set_enabled(true);
+    }
     let source = std::fs::read_to_string(&opts.program_path)
         .map_err(|e| format!("cannot read {}: {e}", opts.program_path))?;
     let system = P3::from_source(&source).map_err(|e| e.to_string())?;
@@ -309,6 +319,12 @@ fn run(opts: &Options) -> Result<(), String> {
             plan.total_cost, plan.achieved_probability, plan.reached_target
         );
     }
+
+    if let Some(path) = &opts.trace_out {
+        let json = p3::obs::span::chrome_trace_json();
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace written to {path} (open in chrome://tracing)");
+    }
     Ok(())
 }
 
@@ -421,6 +437,33 @@ mod tests {
         run(&opts).unwrap();
         let rendered = std::fs::read_to_string(&dot).unwrap();
         assert!(rendered.starts_with("digraph"));
+    }
+
+    #[test]
+    fn trace_out_writes_chrome_trace_json() {
+        let dir = std::env::temp_dir().join("p3_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let program = dir.join("t.pl");
+        std::fs::write(
+            &program,
+            r#"r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+               t1 1.0: live("Steve","DC").
+               t2 1.0: live("Elena","DC")."#,
+        )
+        .unwrap();
+        let trace = dir.join("trace.json");
+        let opts = parse_args(&args(&[
+            program.to_str().unwrap(),
+            "--query",
+            r#"know("Steve","Elena")"#,
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&opts).unwrap();
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.starts_with(r#"{"traceEvents":["#), "{json}");
+        assert!(json.contains(r#""name":"datalog.run""#), "{json}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! | [`provenance`] | `p3-provenance` | graph capture, ExSPAN-style rewriting, cycle-eliminating extraction, SLD resolution |
 //! | [`core`] | `p3-core` | the [`core::P3`] system facade and the four query types |
 //! | [`workloads`] | `p3-workloads` | Acquaintance, synthetic Bitcoin-OTC trust network, synthetic VQA |
+//! | [`obs`] | `p3-obs` | leveled logging, Prometheus-style metrics, hierarchical spans |
 //!
 //! Start with [`core::P3`]:
 //!
@@ -33,6 +34,7 @@
 
 pub use p3_core as core;
 pub use p3_datalog as datalog;
+pub use p3_obs as obs;
 pub use p3_prob as prob;
 pub use p3_provenance as provenance;
 pub use p3_workloads as workloads;
