@@ -43,5 +43,7 @@ pub use query::modification::{
     modification_query, modification_query_with, EvalMethod, ModificationEval, ModificationOptions,
     ModificationPlan, ModificationStep, Strategy,
 };
-pub use session::{QuerySession, SessionOptions, SessionStats};
+pub use session::{
+    ProfileStage, ProfileTarget, QueryProfile, QuerySession, SessionOptions, SessionStats,
+};
 pub use system::P3;

@@ -39,6 +39,7 @@ use p3_prob::{mc, parallel, Dnf, VarId, VarTable};
 use p3_provenance::extract::ExtractOptions;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// Hashable image of [`InfluenceOptions`] (`f64` keyed by bit pattern).
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -118,6 +119,107 @@ pub struct SessionStats {
     pub evictions: u64,
     /// Entries currently resident across all memo tables.
     pub resident: u64,
+}
+
+/// Which query class a [`QuerySession::profile`] run executes.
+#[derive(Clone, Debug)]
+pub enum ProfileTarget {
+    /// `P[query]` under a probability backend.
+    Probability(ProbMethod),
+    /// Explanation Query: probability plus derivation-tree rendering.
+    Explanation(ProbMethod),
+    /// Derivation Query: ε-sufficient provenance.
+    Derivation {
+        /// Error bound ε.
+        eps: f64,
+        /// Search algorithm.
+        algo: DerivationAlgo,
+        /// Probability backend.
+        method: ProbMethod,
+    },
+    /// Influence Query: ranked influential clauses.
+    Influence(InfluenceOptions),
+    /// Modification Query: reach `target` at minimal cost.
+    Modification {
+        /// Target probability.
+        target: f64,
+        /// Search options.
+        opts: ModificationOptions,
+    },
+}
+
+impl ProfileTarget {
+    /// The query-class name (matches the service op classes).
+    pub fn class(&self) -> &'static str {
+        match self {
+            ProfileTarget::Probability(_) => "probability",
+            ProfileTarget::Explanation(_) => "explanation",
+            ProfileTarget::Derivation { .. } => "derivation",
+            ProfileTarget::Influence(_) => "influence",
+            ProfileTarget::Modification { .. } => "modification",
+        }
+    }
+}
+
+/// One pipeline stage of a profiled query: wall time plus cache hit/miss
+/// deltas taken around the stage.
+///
+/// Session deltas count only this session's memo tables; store and
+/// extraction-memo deltas read shared (store-wide / process-global)
+/// counters, so under concurrent load they can include other queries'
+/// traffic — attribution is exact when the session is driven serially.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProfileStage {
+    /// Stage name: `parse`, `extract`, then one per query class
+    /// (plus `render` for explanations).
+    pub name: &'static str,
+    /// Wall-clock time spent in the stage, microseconds.
+    pub wall_us: u64,
+    /// Session memo-table hits during the stage.
+    pub session_hits: u64,
+    /// Session memo-table misses during the stage.
+    pub session_misses: u64,
+    /// Hash-cons intern hits in the shared [`DnfStore`](p3_prob::store::DnfStore).
+    pub store_intern_hits: u64,
+    /// Hash-cons intern misses in the shared store.
+    pub store_intern_misses: u64,
+    /// Memoized or/and/restrict hits in the shared store.
+    pub store_op_hits: u64,
+    /// Memoized or/and/restrict misses in the shared store.
+    pub store_op_misses: u64,
+    /// Clean-tuple extraction-memo hits (process-global counter).
+    pub extract_memo_hits: u64,
+    /// Clean-tuple extraction-memo misses (process-global counter).
+    pub extract_memo_misses: u64,
+}
+
+/// A stage-by-stage breakdown of one query, from [`QuerySession::profile`].
+#[derive(Clone, Debug)]
+pub struct QueryProfile {
+    /// The profiled ground atom.
+    pub query: String,
+    /// The query class that ran (see [`ProfileTarget::class`]).
+    pub class: &'static str,
+    /// End-to-end wall time, microseconds.
+    pub total_us: u64,
+    /// The resulting probability, when the class produces one
+    /// (`None` for influence rankings).
+    pub probability: Option<f64>,
+    /// The stages, in execution order.
+    pub stages: Vec<ProfileStage>,
+}
+
+/// A point-in-time reading of every counter a [`ProfileStage`] reports.
+#[derive(Clone, Copy)]
+struct CounterSnapshot {
+    session_hits: u64,
+    session_misses: u64,
+    store_intern_hits: u64,
+    store_intern_misses: u64,
+    store_op_hits: u64,
+    store_op_misses: u64,
+    extract_memo_hits: u64,
+    extract_memo_misses: u64,
 }
 
 /// A memoizing query handle over an immutable [`P3`]. See the module docs.
@@ -443,6 +545,133 @@ impl QuerySession {
         ))
     }
 
+    fn counters(&self) -> CounterSnapshot {
+        let store = self.p3.store.stats();
+        let (extract_memo_hits, extract_memo_misses) = p3_provenance::extract::memo_counters();
+        CounterSnapshot {
+            session_hits: self.caches.hits.load(Ordering::Relaxed),
+            session_misses: self.caches.misses.load(Ordering::Relaxed),
+            store_intern_hits: store.intern_hits,
+            store_intern_misses: store.intern_misses,
+            store_op_hits: store.op_hits,
+            store_op_misses: store.op_misses,
+            extract_memo_hits,
+            extract_memo_misses,
+        }
+    }
+
+    /// Runs `f` as one named profile stage, recording wall time and the
+    /// counter deltas around it.
+    fn stage<R>(
+        &self,
+        name: &'static str,
+        stages: &mut Vec<ProfileStage>,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let before = self.counters();
+        let start = Instant::now();
+        let out = f();
+        let wall_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let after = self.counters();
+        stages.push(ProfileStage {
+            name,
+            wall_us,
+            session_hits: after.session_hits.saturating_sub(before.session_hits),
+            session_misses: after.session_misses.saturating_sub(before.session_misses),
+            store_intern_hits: after
+                .store_intern_hits
+                .saturating_sub(before.store_intern_hits),
+            store_intern_misses: after
+                .store_intern_misses
+                .saturating_sub(before.store_intern_misses),
+            store_op_hits: after.store_op_hits.saturating_sub(before.store_op_hits),
+            store_op_misses: after.store_op_misses.saturating_sub(before.store_op_misses),
+            extract_memo_hits: after
+                .extract_memo_hits
+                .saturating_sub(before.extract_memo_hits),
+            extract_memo_misses: after
+                .extract_memo_misses
+                .saturating_sub(before.extract_memo_misses),
+        });
+        out
+    }
+
+    /// Runs one query class with a stage-by-stage breakdown: wall time and
+    /// cache hit/miss deltas per pipeline stage (parse, extraction, then
+    /// the class-specific computation), sourced from the session, store
+    /// and extraction-memo instrumentation already in place. The profiled
+    /// run is a *real* run — results land in (and are served from) the
+    /// session caches exactly as they would unprofiled, so profiling the
+    /// same query twice shows the warm path on the second run.
+    pub fn profile(
+        &self,
+        query: &str,
+        target: &ProfileTarget,
+        opts: ExtractOptions,
+    ) -> Result<QueryProfile, P3Error> {
+        let started = Instant::now();
+        let mut stages = Vec::new();
+        let tuple = self.stage("parse", &mut stages, || self.p3.tuple(query))?;
+        let id = self.stage("extract", &mut stages, || self.tuple_dnf(tuple, opts));
+        let probability = match target {
+            ProfileTarget::Probability(method) => {
+                Some(self.stage("probability", &mut stages, || {
+                    self.probability_of(id, *method)
+                }))
+            }
+            ProfileTarget::Explanation(method) => {
+                let p = self.stage("probability", &mut stages, || {
+                    self.probability_of(id, *method)
+                });
+                self.stage("render", &mut stages, || {
+                    let text = p3_provenance::explain::explain(
+                        &self.p3.graph,
+                        &self.p3.db,
+                        &self.p3.program,
+                        tuple,
+                        opts.max_depth,
+                    );
+                    let dot = p3_provenance::dot::to_dot(
+                        &self.p3.graph,
+                        &self.p3.db,
+                        &self.p3.program,
+                        tuple,
+                    );
+                    (text, dot)
+                });
+                Some(p)
+            }
+            ProfileTarget::Derivation { eps, algo, method } => {
+                let s = self.stage("derivation", &mut stages, || {
+                    self.sufficient_provenance_of(id, *eps, *algo, *method)
+                });
+                Some(s.probability)
+            }
+            ProfileTarget::Influence(influence_opts) => {
+                self.stage("influence", &mut stages, || {
+                    self.influence_of(id, influence_opts)
+                });
+                None
+            }
+            ProfileTarget::Modification {
+                target: goal,
+                opts: mod_opts,
+            } => {
+                let plan = self.stage("modification", &mut stages, || {
+                    self.modification(query, *goal, mod_opts)
+                })?;
+                Some(plan.achieved_probability)
+            }
+        };
+        Ok(QueryProfile {
+            query: query.to_string(),
+            class: target.class(),
+            total_us: started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            probability,
+            stages,
+        })
+    }
+
     /// Answers many probability queries concurrently over this session
     /// (`threads = 0` means [`parallel::default_threads`]). Results are in
     /// query order; all workers share this session's caches, so duplicate
@@ -694,6 +923,99 @@ mod tests {
             unbounded.probability(q, ProbMethod::Exact).unwrap();
         }
         assert_eq!(unbounded.stats().evictions, 0);
+    }
+
+    #[test]
+    fn profile_reports_stages_and_matches_unprofiled_result() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let session = p3.session();
+        let profile = session
+            .profile(
+                Q,
+                &ProfileTarget::Probability(ProbMethod::Exact),
+                ExtractOptions::unbounded(),
+            )
+            .unwrap();
+        assert_eq!(profile.class, "probability");
+        assert_eq!(profile.query, Q);
+        assert!((profile.probability.unwrap() - 0.16384).abs() < 1e-12);
+        let names: Vec<&str> = profile.stages.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["parse", "extract", "probability"]);
+        // The cold run misses in extract and probability; a second profiled
+        // run of the same query is served from the session caches.
+        let cold_misses: u64 = profile.stages.iter().map(|s| s.session_misses).sum();
+        assert!(cold_misses >= 2, "{profile:?}");
+        let warm = session
+            .profile(
+                Q,
+                &ProfileTarget::Probability(ProbMethod::Exact),
+                ExtractOptions::unbounded(),
+            )
+            .unwrap();
+        assert_eq!(warm.probability, profile.probability);
+        let warm_misses: u64 = warm.stages.iter().map(|s| s.session_misses).sum();
+        let warm_hits: u64 = warm.stages.iter().map(|s| s.session_hits).sum();
+        assert_eq!(warm_misses, 0, "{warm:?}");
+        assert!(warm_hits >= 2, "{warm:?}");
+    }
+
+    #[test]
+    fn profile_covers_every_query_class() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let session = p3.session();
+        let targets: Vec<(ProfileTarget, &str, &str)> = vec![
+            (
+                ProfileTarget::Explanation(ProbMethod::Exact),
+                "explanation",
+                "render",
+            ),
+            (
+                ProfileTarget::Derivation {
+                    eps: 0.01,
+                    algo: DerivationAlgo::NaiveGreedy,
+                    method: ProbMethod::Exact,
+                },
+                "derivation",
+                "derivation",
+            ),
+            (
+                ProfileTarget::Influence(InfluenceOptions {
+                    method: InfluenceMethod::Exact,
+                    ..Default::default()
+                }),
+                "influence",
+                "influence",
+            ),
+            (
+                ProfileTarget::Modification {
+                    target: 0.5,
+                    opts: ModificationOptions {
+                        tolerance: 1e-9,
+                        ..Default::default()
+                    },
+                },
+                "modification",
+                "modification",
+            ),
+        ];
+        for (target, class, last_stage) in targets {
+            let profile = session
+                .profile(Q, &target, ExtractOptions::unbounded())
+                .unwrap();
+            assert_eq!(profile.class, class);
+            assert_eq!(profile.stages.last().unwrap().name, last_stage, "{class}");
+            assert!(profile.stages.len() >= 3, "{class}: {profile:?}");
+            // Influence has no single probability; every other class does.
+            assert_eq!(profile.probability.is_none(), class == "influence");
+        }
+        // Bad queries surface the parse error, not a panic.
+        assert!(session
+            .profile(
+                "bogus(",
+                &ProfileTarget::Probability(ProbMethod::Exact),
+                ExtractOptions::unbounded(),
+            )
+            .is_err());
     }
 
     #[test]

@@ -14,10 +14,14 @@
 //!   gate (default off → one relaxed atomic load per call site), with a
 //!   thread-safe ring-buffer collector, span-tree reconstruction, and
 //!   Chrome trace-event JSON export for chrome://tracing.
+//! * [`profile`]: a sampling wall-clock profiler over the live span
+//!   stacks, emitting folded-stack lines for `flamegraph.pl`/speedscope
+//!   (the admin plane's `GET /profile` endpoint).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod log;
 pub mod metrics;
+pub mod profile;
 pub mod span;

@@ -329,6 +329,39 @@ pub fn labeled_histogram(name: &'static str, help: &'static str, labels: &str) -
     }
 }
 
+/// Escapes a label *value* per the Prometheus text exposition rules:
+/// backslash, double-quote and newline become `\\`, `\"` and `\n`. All
+/// other characters pass through (label values are full UTF-8).
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a `key="value",…` label list with properly escaped values —
+/// the safe way to build the `labels` argument of [`labeled_counter`] and
+/// friends from runtime strings.
+pub fn render_labels(pairs: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (key, value)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(value));
+        out.push('"');
+    }
+    out
+}
+
 /// Renders every registered instrument in Prometheus text exposition
 /// format (version 0.0.4). `# HELP`/`# TYPE` headers are emitted once
 /// per family, followed by one sample line per label set.
@@ -465,6 +498,56 @@ mod tests {
         assert!(text.contains("p3_obs_test_lhist_us_bucket{class=\"q\",le=\"2\"} 1\n"));
         assert!(text.contains("p3_obs_test_lhist_us_sum{class=\"q\"} 2\n"));
         assert!(text.contains("p3_obs_test_lhist_us_count{class=\"q\"} 1\n"));
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value(r#"a\b"#), r#"a\\b"#);
+        assert_eq!(escape_label_value(r#"say "hi""#), r#"say \"hi\""#);
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        assert_eq!(
+            render_labels(&[("class", r#"we"ird\"#), ("shard", "0")]),
+            r#"class="we\"ird\\",shard="0""#
+        );
+    }
+
+    #[test]
+    fn hostile_label_values_render_as_single_escaped_sample_lines() {
+        // A query string is the realistic hostile input: quotes from atom
+        // arguments, backslashes from escapes, newlines from raw lines.
+        let hostile = "know(\"Ben\",\"Elena\")\\\nend";
+        let labels = render_labels(&[("query", hostile)]);
+        labeled_counter("p3_obs_test_hostile_total", "hostile labels", &labels).add(3);
+        let text = prometheus_text();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("p3_obs_test_hostile_total{"))
+            .expect("sample line present");
+        // One physical line: the newline in the value must be escaped.
+        assert_eq!(
+            line,
+            "p3_obs_test_hostile_total{query=\"know(\\\"Ben\\\",\\\"Elena\\\")\\\\\\nend\"} 3"
+        );
+        // Unescaping the label value recovers the original input, i.e. the
+        // exposition round-trips under the 0.0.4 escaping rules.
+        let start = line.find("query=\"").unwrap() + "query=\"".len();
+        let end = line.rfind("\"}").unwrap();
+        let escaped = &line[start..end];
+        let mut unescaped = String::new();
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => unescaped.push('\n'),
+                    Some(other) => unescaped.push(other),
+                    None => panic!("dangling escape"),
+                }
+            } else {
+                unescaped.push(c);
+            }
+        }
+        assert_eq!(unescaped, hostile);
     }
 
     #[test]

@@ -16,12 +16,16 @@
 //! [`recent_roots`] rebuilds the most recent span trees for the service
 //! `trace` op; [`chrome_trace_json`] renders the whole ring as Chrome
 //! trace-event JSON for chrome://tracing.
+//!
+//! While enabled, each thread additionally maintains a stack of its *live*
+//! (unfinished) span names, published through [`live_stacks`] — the raw
+//! material of the sampling wall-clock profiler in [`crate::profile`].
 
-use std::cell::Cell;
+use std::cell::{Cell, OnceCell};
 use std::collections::VecDeque;
 use std::fmt::Display;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
 /// Maximum finished spans retained; older records are dropped.
@@ -36,6 +40,58 @@ thread_local! {
     static CURRENT: Cell<u64> = const { Cell::new(0) };
     /// Small stable per-thread id for trace output (0 = unassigned).
     static TID: Cell<u64> = const { Cell::new(0) };
+    /// This thread's stack of *live* span names, shared with the sampling
+    /// profiler through [`live_stacks`].
+    static LIVE: OnceCell<Arc<LiveStack>> = const { OnceCell::new() };
+}
+
+/// The names of the spans currently open on one thread, innermost last.
+type LiveStack = Mutex<Vec<&'static str>>;
+
+/// The global live-stack registry's entries: `(thread id, stack)`.
+type LiveRegistry = Mutex<Vec<(u64, Weak<LiveStack>)>>;
+
+/// Registry of every thread's live-span stack. Entries are weak: a stack
+/// dies with its thread and is pruned on the next [`live_stacks`] call.
+fn live_registry() -> &'static LiveRegistry {
+    static REGISTRY: OnceLock<LiveRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Runs `f` on this thread's live-span stack, registering it globally on
+/// first use.
+fn with_live_stack<R>(f: impl FnOnce(&LiveStack) -> R) -> R {
+    LIVE.with(|cell| {
+        let stack = cell.get_or_init(|| {
+            let stack = Arc::new(Mutex::new(Vec::new()));
+            live_registry()
+                .lock()
+                .unwrap()
+                .push((thread_id(), Arc::downgrade(&stack)));
+            stack
+        });
+        f(stack)
+    })
+}
+
+/// A point-in-time snapshot of every thread's open spans: `(thread id,
+/// span names outermost→innermost)`. Threads with no open span are
+/// skipped; dead threads are pruned. This is the input of the sampling
+/// wall-clock profiler in [`crate::profile`].
+pub fn live_stacks() -> Vec<(u64, Vec<&'static str>)> {
+    let mut registry = live_registry().lock().unwrap();
+    let mut out = Vec::new();
+    registry.retain(|(tid, weak)| match weak.upgrade() {
+        Some(stack) => {
+            let names = stack.lock().unwrap();
+            if !names.is_empty() {
+                out.push((*tid, names.clone()));
+            }
+            true
+        }
+        None => false,
+    });
+    out
 }
 
 /// Turns span collection on or off process-wide.
@@ -120,6 +176,7 @@ impl Span {
             c.set(id);
             prev
         });
+        with_live_stack(|s| s.lock().unwrap().push(name));
         Span {
             data: Some(SpanData {
                 id,
@@ -152,6 +209,9 @@ impl Drop for Span {
             return;
         };
         CURRENT.with(|c| c.set(data.prev));
+        with_live_stack(|s| {
+            s.lock().unwrap().pop();
+        });
         let record = SpanRecord {
             id: data.id,
             parent: data.parent,
@@ -275,12 +335,9 @@ fn push_event(out: &mut String, record: &SpanRecord) {
     out.push_str("}}");
 }
 
-/// Renders every span in the ring as Chrome trace-event JSON ("complete"
-/// `ph:"X"` events), loadable in chrome://tracing or Perfetto.
-pub fn chrome_trace_json() -> String {
-    let all = snapshot();
+fn render_chrome<'a>(records: impl IntoIterator<Item = &'a SpanRecord>) -> String {
     let mut out = String::from("{\"traceEvents\":[");
-    for (i, record) in all.iter().enumerate() {
+    for (i, record) in records.into_iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -288,6 +345,30 @@ pub fn chrome_trace_json() -> String {
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
+}
+
+/// Renders every span in the ring as Chrome trace-event JSON ("complete"
+/// `ph:"X"` events), loadable in chrome://tracing or Perfetto.
+pub fn chrome_trace_json() -> String {
+    let all = snapshot();
+    render_chrome(all.iter())
+}
+
+/// Renders only the given span trees (e.g. from [`recent_roots`]) as
+/// Chrome trace-event JSON — the admin plane's `GET /traces` payload.
+pub fn chrome_trace_json_for(trees: &[SpanTree]) -> String {
+    fn walk<'t>(tree: &'t SpanTree, out: &mut Vec<&'t SpanRecord>) {
+        out.push(&tree.record);
+        for child in &tree.children {
+            walk(child, out);
+        }
+    }
+    let mut records = Vec::new();
+    for tree in trees {
+        walk(tree, &mut records);
+    }
+    records.sort_by_key(|r| r.start_us);
+    render_chrome(records)
 }
 
 #[cfg(test)]
@@ -381,6 +462,48 @@ mod tests {
         assert!(trees.iter().all(|t| t.record.name == "request"));
         let unfiltered = recent_roots(None, 100);
         assert_eq!(unfiltered.len(), 10);
+    }
+
+    #[test]
+    fn live_stacks_tracks_open_spans_and_unwinds() {
+        let _guard = serial();
+        set_enabled(true);
+        clear();
+        let own_tid = thread_id();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+            let ours: Vec<_> = live_stacks()
+                .into_iter()
+                .filter(|(tid, _)| *tid == own_tid)
+                .collect();
+            assert_eq!(ours.len(), 1);
+            assert_eq!(ours[0].1, vec!["outer", "inner"]);
+        }
+        // Closed spans are gone; an empty stack is not reported.
+        assert!(!live_stacks().iter().any(|(tid, _)| *tid == own_tid));
+        set_enabled(false);
+        // Disabled spans never touch the stack.
+        let _noop = span("noop");
+        assert!(!live_stacks().iter().any(|(tid, _)| *tid == own_tid));
+    }
+
+    #[test]
+    fn chrome_trace_json_for_renders_only_the_given_trees() {
+        let _guard = serial();
+        set_enabled(true);
+        clear();
+        {
+            let root = span("request");
+            let _child = child_of("execute", root.id());
+        }
+        drop(span("unrelated"));
+        set_enabled(false);
+        let trees = recent_roots(Some("request"), 10);
+        let json = chrome_trace_json_for(&trees);
+        assert!(json.contains("\"name\":\"request\""));
+        assert!(json.contains("\"name\":\"execute\""));
+        assert!(!json.contains("\"name\":\"unrelated\""));
     }
 
     #[test]

@@ -57,6 +57,8 @@ pub fn probability(dnf: &Dnf, vars: &VarTable) -> f64 {
 
 /// Exact `P[λ]`, abandoning past `budget` expansion steps.
 pub fn try_probability(dnf: &Dnf, vars: &VarTable, budget: usize) -> Result<f64, ExactError> {
+    let mut span = p3_obs::span::span("prob.exact");
+    span.add_field("monomials", dnf.len() as u64);
     let mut cx = Cx {
         vars,
         memo: HashMap::new(),

@@ -148,6 +148,8 @@ impl Estimate {
 
 /// Naive estimate with sampling statistics.
 pub fn estimate_with_stats(dnf: &Dnf, vars: &VarTable, cfg: McConfig) -> Estimate {
+    let mut span = p3_obs::span::span("prob.mc");
+    span.add_field("samples", cfg.samples as u64);
     let value = estimate(dnf, vars, cfg);
     let n = cfg.samples.max(1);
     Estimate {
@@ -246,6 +248,8 @@ pub fn estimate_compiled(compiled: &CompiledDnf, cfg: McConfig) -> f64 {
 /// then a world conditioned on `m_i` being true; the unbiased estimate is
 /// `U · E[1/N]` with `N` the number of satisfied monomials in that world.
 pub fn karp_luby(dnf: &Dnf, vars: &VarTable, cfg: McConfig) -> f64 {
+    let mut span = p3_obs::span::span("prob.karp_luby");
+    span.add_field("samples", cfg.samples as u64);
     if dnf.is_false() {
         return 0.0;
     }

@@ -200,6 +200,25 @@ impl<'g> Extractor<'g> {
     }
 }
 
+/// Current process-global extraction-memo tallies as `(hits, misses)` —
+/// the same counters [`Cx::flush_counters`] publishes, read back so
+/// stage profilers can report per-stage deltas without re-deriving the
+/// counter names. Global (not per-call): deltas taken around a stage
+/// are approximate under concurrent extraction.
+pub fn memo_counters() -> (u64, u64) {
+    let hits = p3_obs::counter!(
+        "p3_provenance_memo_hits_total",
+        "Clean-tuple sub-polynomials served from the extraction memo"
+    )
+    .get();
+    let misses = p3_obs::counter!(
+        "p3_provenance_memo_misses_total",
+        "Clean-tuple sub-polynomials computed and inserted into the memo"
+    )
+    .get();
+    (hits, misses)
+}
+
 struct Cx<'a, 'g> {
     graph: &'g ProvGraph,
     analysis: &'a Analysis,

@@ -1,0 +1,292 @@
+//! The HTTP admin plane: a minimal, std-only HTTP/1.1 listener serving
+//! the observability surface on `--admin-addr`, hand-rolled in the same
+//! spirit as the NDJSON codec (no HTTP library, no TLS, GET only).
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition (version 0.0.4) of the
+//!   whole process registry, gauges refreshed at scrape time;
+//! * `GET /healthz` — liveness: 200 as long as the process can answer;
+//! * `GET /readyz` — readiness: 200 while the server should receive
+//!   traffic, 503 (with the reason in the body) when shutting down, when
+//!   the worker pool is gone, or when saturated — queue at its high-water
+//!   mark with every worker busy (see `Shared::readiness`);
+//! * `GET /traces?n=N` — the `N` most recent request span trees as
+//!   chrome://tracing JSON (load in `chrome://tracing` or Perfetto);
+//! * `GET /profile?secs=S` — samples the worker pool's live span stacks
+//!   for `S` seconds (clamped to 1..=30) and returns folded-stack lines
+//!   for `flamegraph.pl` or speedscope.
+//!
+//! Every response carries `Content-Length` and `Connection: close`; one
+//! request per connection keeps the loop trivial and is plenty for
+//! scrapers and probes. Unknown paths get 404, non-GET methods 405 with
+//! an `Allow: GET` header.
+
+use crate::server::{refresh_gauges, Shared};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often the accept loop re-checks the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Longest `/profile` sampling window, seconds.
+const MAX_PROFILE_SECS: u64 = 30;
+
+/// Largest request head we will buffer before giving up on a client.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One HTTP response, ready to serialize.
+pub(crate) struct HttpResponse {
+    pub(crate) status: u16,
+    pub(crate) content_type: &'static str,
+    pub(crate) body: String,
+    /// `Allow` header value, set on 405 responses.
+    pub(crate) allow: Option<&'static str>,
+}
+
+impl HttpResponse {
+    fn ok(content_type: &'static str, body: String) -> Self {
+        Self {
+            status: 200,
+            content_type,
+            body,
+            allow: None,
+        }
+    }
+
+    fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            allow: None,
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Accepts admin connections until shutdown; one short-lived thread per
+/// connection (probes and scrapers are low-rate, `/profile` blocks for
+/// its sampling window).
+pub(crate) fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("p3-admin-conn".into())
+                    .spawn(move || handle(stream, shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Serves exactly one request on `stream`.
+fn handle(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let head = match read_head(&mut stream) {
+        Some(head) => head,
+        None => return,
+    };
+    let response = match parse_request_line(&head) {
+        Some((method, target)) => respond(&method, &target, &shared),
+        None => HttpResponse::text(400, "malformed request line\n"),
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+/// Reads the request head (request line + headers) up to the blank line.
+/// Any body is ignored — every route is a GET.
+fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return None;
+        }
+        match stream.read(&mut byte) {
+            Ok(1) => head.push(byte[0]),
+            _ => return None,
+        }
+    }
+    String::from_utf8(head).ok()
+}
+
+/// Splits `GET /path?query HTTP/1.1` into `("GET", "/path?query")`.
+fn parse_request_line(head: &str) -> Option<(String, String)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?.to_string();
+    Some((method, target))
+}
+
+/// The value of query parameter `key` in `target`, if present.
+fn query_param(target: &str, key: &str) -> Option<String> {
+    let (_, query) = target.split_once('?')?;
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v.to_string())
+}
+
+/// Routes one request. Pure (modulo reading server state), so tests can
+/// exercise every path without a socket.
+pub(crate) fn respond(method: &str, target: &str, shared: &Shared) -> HttpResponse {
+    if method != "GET" {
+        return HttpResponse {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: "only GET is supported\n".to_string(),
+            allow: Some("GET"),
+        };
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/healthz" => HttpResponse::text(200, "ok\n"),
+        "/readyz" => match shared.readiness() {
+            Ok(()) => HttpResponse::text(200, "ready\n"),
+            Err(why) => HttpResponse::text(503, format!("not ready: {why}\n")),
+        },
+        "/metrics" => {
+            refresh_gauges(shared);
+            HttpResponse::ok(
+                "text/plain; version=0.0.4",
+                p3_obs::metrics::prometheus_text(),
+            )
+        }
+        "/traces" => {
+            let n = query_param(target, "n")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(10);
+            let trees = p3_obs::span::recent_roots(Some("request"), n);
+            HttpResponse::ok(
+                "application/json",
+                p3_obs::span::chrome_trace_json_for(&trees),
+            )
+        }
+        "/profile" => {
+            let secs = query_param(target, "secs")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(1)
+                .clamp(1, MAX_PROFILE_SECS);
+            let folded = p3_obs::profile::sample_folded(
+                Duration::from_secs(secs),
+                p3_obs::profile::DEFAULT_INTERVAL,
+            );
+            HttpResponse::ok("text/plain; charset=utf-8", folded)
+        }
+        _ => HttpResponse::text(404, format!("no such route: {path}\n")),
+    }
+}
+
+/// Serializes `response` with `Content-Length` and `Connection: close`.
+fn write_response(stream: &mut TcpStream, response: &HttpResponse) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    if let Some(allow) = response.allow {
+        out.push_str("Allow: ");
+        out.push_str(allow);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    out.push_str(&response.body);
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::test_shared;
+
+    #[test]
+    fn routes_and_status_codes() {
+        let shared = test_shared(2, 10);
+        let health = respond("GET", "/healthz", &shared);
+        assert_eq!(health.status, 200);
+        assert_eq!(health.body, "ok\n");
+
+        let ready = respond("GET", "/readyz", &shared);
+        assert_eq!(ready.status, 200);
+
+        let metrics = respond("GET", "/metrics", &shared);
+        assert_eq!(metrics.status, 200);
+        assert_eq!(metrics.content_type, "text/plain; version=0.0.4");
+        assert!(
+            metrics.body.contains("# TYPE p3_service_queue_depth gauge"),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics
+                .body
+                .contains("# TYPE p3_service_workers_busy gauge"),
+            "{}",
+            metrics.body
+        );
+
+        let traces = respond("GET", "/traces?n=5", &shared);
+        assert_eq!(traces.status, 200);
+        assert_eq!(traces.content_type, "application/json");
+        assert!(traces.body.contains("traceEvents"), "{}", traces.body);
+
+        let missing = respond("GET", "/nope", &shared);
+        assert_eq!(missing.status, 404);
+
+        let post = respond("POST", "/metrics", &shared);
+        assert_eq!(post.status, 405);
+        assert_eq!(post.allow, Some("GET"));
+    }
+
+    #[test]
+    fn readyz_reports_the_reason_when_unready() {
+        let shared = test_shared(0, 10);
+        let ready = respond("GET", "/readyz", &shared);
+        assert_eq!(ready.status, 503);
+        assert!(ready.body.contains("no workers"), "{}", ready.body);
+    }
+
+    #[test]
+    fn query_params_parse_and_default() {
+        assert_eq!(query_param("/traces?n=7", "n").as_deref(), Some("7"));
+        assert_eq!(
+            query_param("/profile?secs=3&x=1", "secs").as_deref(),
+            Some("3")
+        );
+        assert_eq!(query_param("/traces", "n"), None);
+        assert_eq!(query_param("/traces?m=2", "n"), None);
+    }
+
+    #[test]
+    fn request_lines_parse() {
+        assert_eq!(
+            parse_request_line("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Some(("GET".to_string(), "/metrics".to_string()))
+        );
+        assert_eq!(parse_request_line("\r\n"), None);
+    }
+}

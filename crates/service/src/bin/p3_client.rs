@@ -29,6 +29,9 @@ COMMANDS:
     derivation QUERY             Derivation Query: sufficient provenance
     influence QUERY              Influence Query: ranked influential clauses
     modification QUERY TARGET    Modification Query: plan towards TARGET
+    profile QUERY [TARGET]       stage-by-stage breakdown of one query
+                                 (--class picks the query class; TARGET is
+                                 required for --class modification)
     load-program FILE            replace the served program (source sent inline)
     stats                        server/session/store counters
     metrics                      Prometheus text exposition of all metrics
@@ -39,6 +42,8 @@ COMMANDS:
     repl                         interactive loop (commands or raw JSON lines)
 
 OPTIONS (where applicable):
+    --class C           profiled query class: probability|explanation|
+                        derivation|influence|modification [default: probability]
     --method M          exact|bdd|mc|kl|pmc     (influence: exact|mc|pmc)
     --samples N         Monte-Carlo samples     [default: 100000]
     --seed N            Monte-Carlo seed
@@ -49,6 +54,9 @@ OPTIONS (where applicable):
     --tolerance T       modification tolerance  [default: 1e-6]
     --timeout-ms N      per-request deadline
     --hop-limit N       provenance extraction depth cap
+    --trace-out FILE    record client-side spans under a fresh trace id,
+                        propagate the id to the server, and write the
+                        client's chrome://tracing JSON to FILE on exit
     -h, --help          print this help
 ";
 
@@ -65,6 +73,7 @@ fn build_request(words: &[String]) -> Result<String, String> {
         match word.as_str() {
             "--method" => pairs.push(("method".into(), take("--method")?.as_str().into())),
             "--algo" => pairs.push(("algo".into(), take("--algo")?.as_str().into())),
+            "--class" => pairs.push(("class".into(), take("--class")?.as_str().into())),
             opt @ ("--samples" | "--seed" | "--threads" | "--top-k" | "--timeout-ms"
             | "--hop-limit") => {
                 let key = match opt {
@@ -123,6 +132,28 @@ fn build_request(words: &[String]) -> Result<String, String> {
                 .map_err(|_| "bad TARGET value")?;
             pairs.push(("target".into(), Value::from(target)));
         }
+        "profile" => {
+            pairs.insert(0, ("op".into(), cmd.into()));
+            pairs.insert(1, ("query".into(), query(&positional)?));
+            let class = pairs
+                .iter()
+                .find(|(k, _)| k == "class")
+                .and_then(|(_, v)| v.as_str())
+                .unwrap_or("probability")
+                .to_string();
+            // The wrapped class keeps its own required fields and defaults.
+            if class == "derivation" && !pairs.iter().any(|(k, _)| k == "eps") {
+                pairs.push(("eps".into(), Value::from(0.01)));
+            }
+            if class == "modification" {
+                let target: f64 = positional
+                    .get(1)
+                    .ok_or("profile --class modification needs QUERY and TARGET")?
+                    .parse()
+                    .map_err(|_| "bad TARGET value")?;
+                pairs.push(("target".into(), Value::from(target)));
+            }
+        }
         "load-program" => {
             let file = positional.first().ok_or("load-program needs a FILE")?;
             let source = std::fs::read_to_string(file.as_str())
@@ -135,11 +166,29 @@ fn build_request(words: &[String]) -> Result<String, String> {
     Ok(Value::Object(pairs).to_json())
 }
 
+/// Injects the propagated trace id into a request line (unless the line
+/// already carries one, or isn't a JSON object).
+fn with_trace(line: &str, trace: Option<&str>) -> String {
+    let Some(id) = trace else {
+        return line.to_string();
+    };
+    match Value::parse(line.trim()) {
+        Ok(Value::Object(mut pairs)) => {
+            if !pairs.iter().any(|(k, _)| k == "trace") {
+                pairs.push(("trace".to_string(), Value::from(id)));
+            }
+            Value::Object(pairs).to_json()
+        }
+        _ => line.to_string(),
+    }
+}
+
 /// Sends one line and pretty-prints the outcome; true on `status: ok`.
 /// Text-typed payloads (e.g. the `metrics` exposition) print raw, not as
 /// JSON, so the output pipes straight into Prometheus tooling.
-fn send(client: &mut Client, line: &str) -> bool {
-    match client.request(line) {
+fn send(client: &mut Client, line: &str, trace: Option<&str>) -> bool {
+    let line = with_trace(line, trace);
+    match client.request(&line) {
         Err(e) => {
             p3_obs::error!("request failed", err = e);
             false
@@ -169,7 +218,7 @@ fn send(client: &mut Client, line: &str) -> bool {
     }
 }
 
-fn repl(client: &mut Client) -> ExitCode {
+fn repl(client: &mut Client, trace: Option<&str>) -> ExitCode {
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     let _ = write!(out, "p3> ");
@@ -186,12 +235,12 @@ fn repl(client: &mut Client) -> ExitCode {
             break;
         }
         if trimmed.starts_with('{') {
-            send(client, trimmed);
+            send(client, trimmed, trace);
         } else {
             let words: Vec<String> = trimmed.split_whitespace().map(str::to_string).collect();
             match build_request(&words) {
                 Ok(request) => {
-                    send(client, &request);
+                    send(client, &request, trace);
                 }
                 Err(e) => p3_obs::error!(e),
             }
@@ -212,6 +261,7 @@ fn main() -> ExitCode {
     // Pull the connection options out; everything else is the command.
     let mut tcp: Option<String> = None;
     let mut unix: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut iter = args.drain(..);
     while let Some(arg) = iter.next() {
@@ -230,10 +280,31 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace-out" => match iter.next() {
+                Some(v) => trace_out = Some(PathBuf::from(v)),
+                None => {
+                    p3_obs::error!("--trace-out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
             _ => rest.push(arg),
         }
     }
     drop(iter);
+
+    // With --trace-out, everything from connect to the last reply nests
+    // under one root "client" span carrying a fresh 128-bit trace id; the
+    // same id rides each request envelope, so the server's request trees
+    // carry it too — one trace across both processes.
+    let trace_id = trace_out.as_ref().map(|_| {
+        p3_obs::span::set_enabled(true);
+        p3_service::protocol::new_trace_id()
+    });
+    let root_span = trace_id.as_ref().map(|id| {
+        let mut span = p3_obs::span::span("client");
+        span.add_field("trace", id);
+        span
+    });
 
     let mut client = match (&tcp, &unix) {
         (Some(addr), _) => match Client::connect_tcp(addr) {
@@ -257,19 +328,20 @@ fn main() -> ExitCode {
         }
     };
 
-    match rest.first().map(String::as_str) {
+    let trace = trace_id.as_deref();
+    let code = match rest.first().map(String::as_str) {
         None => {
             p3_obs::error!("missing command");
             eprintln!("run 'p3-client --help' for usage");
             ExitCode::FAILURE
         }
-        Some("repl") => repl(&mut client),
+        Some("repl") => repl(&mut client, trace),
         Some("raw") => {
             let Some(line) = rest.get(1) else {
                 p3_obs::error!("raw needs a JSON argument");
                 return ExitCode::FAILURE;
             };
-            if send(&mut client, line) {
+            if send(&mut client, line, trace) {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -282,12 +354,28 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
             Ok(request) => {
-                if send(&mut client, &request) {
+                if send(&mut client, &request, trace) {
                     ExitCode::SUCCESS
                 } else {
                     ExitCode::FAILURE
                 }
             }
         },
+    };
+
+    // Close the root span (it only lands in the ring on drop), then write
+    // the client-side tree as chrome://tracing JSON.
+    drop(root_span);
+    if let (Some(path), Some(id)) = (&trace_out, &trace_id) {
+        let trees = p3_obs::span::recent_roots(Some("client"), 1);
+        let json = p3_obs::span::chrome_trace_json_for(&trees);
+        match std::fs::write(path, json) {
+            Ok(()) => p3_obs::info!("trace written", path = path.display(), trace = id),
+            Err(e) => {
+                p3_obs::error!("cannot write trace", path = path.display(), err = e);
+                return ExitCode::FAILURE;
+            }
+        }
     }
+    code
 }

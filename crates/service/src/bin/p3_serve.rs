@@ -1,14 +1,17 @@
 //! `p3-serve` — stand up a provenance query server for one program.
 //!
 //! ```text
-//! p3-serve --program FILE [--tcp ADDR] [--unix PATH] [--workers N]
-//!          [--queue-cap N] [--cache-cap N] [--timeout-ms N] [--slow-ms N]
+//! p3-serve --program FILE [--tcp ADDR] [--unix PATH] [--admin-addr ADDR]
+//!          [--workers N] [--queue-cap N] [--cache-cap N] [--timeout-ms N]
+//!          [--slow-ms N]
 //! ```
 //!
-//! Prints one `listening tcp ADDR` / `listening unix PATH` line per bound
-//! endpoint (machine-parseable — the integration tests and benches read
-//! them), then serves until SIGTERM/SIGINT or a client `shutdown` request,
-//! draining queued work before exiting.
+//! Prints one `listening tcp ADDR` / `listening unix PATH` /
+//! `listening admin ADDR` line per bound endpoint (machine-parseable — the
+//! integration tests and benches read them), then serves until
+//! SIGTERM/SIGINT or a client `shutdown` request, draining queued work
+//! before exiting. `--admin-addr` binds the HTTP observability plane:
+//! `/metrics`, `/healthz`, `/readyz`, `/traces`, `/profile`.
 
 use p3_service::server::{Server, ServerConfig};
 use std::io::Write;
@@ -25,6 +28,8 @@ OPTIONS:
     --program FILE     probabilistic Datalog program to serve (required)
     --tcp ADDR         TCP bind address, e.g. 127.0.0.1:7033 (port 0 = ephemeral)
     --unix PATH        Unix-domain socket path
+    --admin-addr ADDR  HTTP observability plane bind address (GET /metrics,
+                       /healthz, /readyz, /traces?n=N, /profile?secs=S)
     --workers N        worker pool size; 0 = auto (P3_THREADS env var,
                        else available cores capped at 16) [default: 0]
     --queue-cap N      bounded request queue capacity [default: 256]
@@ -71,6 +76,10 @@ fn main() -> ExitCode {
             },
             "--unix" => match take("--unix") {
                 Ok(v) => config.unix = Some(PathBuf::from(v)),
+                Err(e) => return fail(&e),
+            },
+            "--admin-addr" => match take("--admin-addr") {
+                Ok(v) => config.admin = Some(v),
                 Err(e) => return fail(&e),
             },
             "--workers" => match take("--workers")
@@ -136,6 +145,9 @@ fn main() -> ExitCode {
     }
     if let Some(path) = server.unix_path() {
         let _ = writeln!(stdout, "listening unix {}", path.display());
+    }
+    if let Some(addr) = server.admin_addr() {
+        let _ = writeln!(stdout, "listening admin {addr}");
     }
     let _ = stdout.flush();
     p3_obs::info!("server started", program = program.display());

@@ -51,6 +51,8 @@ pub struct Client {
 impl Client {
     /// Connects over TCP, e.g. `127.0.0.1:7033`.
     pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        let mut span = p3_obs::span::span("client.connect");
+        span.add_field("transport", "tcp");
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         let reader = stream.try_clone()?;
@@ -62,6 +64,8 @@ impl Client {
 
     /// Connects over a Unix-domain socket.
     pub fn connect_unix(path: &Path) -> std::io::Result<Client> {
+        let mut span = p3_obs::span::span("client.connect");
+        span.add_field("transport", "unix");
         let stream = UnixStream::connect(path)?;
         let reader = stream.try_clone()?;
         Ok(Client {
@@ -82,9 +86,13 @@ impl Client {
     /// Sends one raw request line and returns the raw response line
     /// (without the trailing newline).
     pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
-        self.writer.write_all(line.trim_end().as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        {
+            let _send = p3_obs::span::span("client.send");
+            self.writer.write_all(line.trim_end().as_bytes())?;
+            self.writer.write_all(b"\n")?;
+            self.writer.flush()?;
+        }
+        let _recv = p3_obs::span::span("client.recv");
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {

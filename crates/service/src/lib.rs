@@ -11,9 +11,10 @@
 //! Everything is hand-rolled on `std::net` / `std::os::unix::net`: the
 //! [`json`] module is a minimal JSON codec, [`protocol`] the request and
 //! response envelopes, [`server`] the accept-loop → bounded-queue →
-//! worker-pool machinery (deadlines, graceful shutdown, stats), and
-//! [`client`] a small blocking client used by `p3-client`, the tests and
-//! the benches.
+//! worker-pool machinery (deadlines, graceful shutdown, stats), `admin`
+//! the HTTP observability plane (`/metrics`, `/healthz`, `/readyz`,
+//! `/traces`, `/profile` on `--admin-addr`), and [`client`] a small
+//! blocking client used by `p3-client`, the tests and the benches.
 //!
 //! ```no_run
 //! use p3_service::server::{Server, ServerConfig};
@@ -32,6 +33,7 @@
 //! server.join();
 //! ```
 
+mod admin;
 pub mod client;
 pub mod json;
 pub mod protocol;

@@ -4,18 +4,23 @@
 //! (documented in `DESIGN.md` §8):
 //!
 //! ```text
-//! request  = { "op": <op>, ["id": n], ["timeout_ms": n], ["hop_limit": n], ...op fields }
+//! request  = { "op": <op>, ["id": n], ["timeout_ms": n], ["hop_limit": n],
+//!              ["trace": "32-hex"], ...op fields }
 //! op       = "ping" | "stats" | "metrics" | "trace" | "shutdown"
 //!          | "load-program"
 //!          | "probability" | "explanation" | "derivation"
 //!          | "influence" | "modification"
+//!          | "profile"      (wraps a query class, "class": <op>)
 //! response = { ["id": n], "status": "ok" | "error" | "timeout",
 //!              ["result": {...}], ["error": "..."] }
 //! ```
 //!
 //! `id` is echoed verbatim so clients can pipeline; `timeout_ms` arms the
 //! per-request deadline (see `server`); `hop_limit` caps provenance
-//! extraction depth for the query ops.
+//! extraction depth for the query ops. `trace` is an optional
+//! client-generated 128-bit trace id (lowercase hex): the server adopts
+//! it as a field on the request's root span so one id links client-side
+//! connect/send/recv spans with the server-side execution tree.
 
 use crate::json::Value;
 use p3_core::{DerivationAlgo, InfluenceMethod, ProbMethod};
@@ -89,6 +94,12 @@ pub enum Op {
         /// Stop once `|P − target| ≤ tolerance`.
         tolerance: f64,
     },
+    /// Per-query profile: run `inner` (any query class) and return a
+    /// stage-by-stage breakdown with cache hit/miss deltas.
+    Profile {
+        /// The profiled query op.
+        inner: Box<Op>,
+    },
 }
 
 impl Op {
@@ -106,6 +117,7 @@ impl Op {
             Op::Derivation { .. } => "derivation",
             Op::Influence { .. } => "influence",
             Op::Modification { .. } => "modification",
+            Op::Profile { .. } => "profile",
         }
     }
 
@@ -128,8 +140,36 @@ pub struct Request {
     pub timeout_ms: Option<u64>,
     /// Provenance extraction depth cap for query ops.
     pub hop_limit: Option<usize>,
+    /// Client-generated trace id (lowercase hex), adopted on the
+    /// server-side root span for cross-process trace assembly.
+    pub trace: Option<String>,
     /// The operation.
     pub op: Op,
+}
+
+/// Generates a fresh 128-bit trace id as 32 lowercase hex characters.
+///
+/// Mixes wall-clock nanoseconds, the process id, and a process-local
+/// counter through two rounds of splitmix64 — not cryptographic, but
+/// collision-free in practice for correlating client and server spans.
+pub fn new_trace_id() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let seed =
+        nanos ^ (u64::from(std::process::id()) << 32) ^ COUNTER.fetch_add(1, Ordering::Relaxed);
+    let hi = splitmix64(seed);
+    let lo = splitmix64(hi ^ seed.rotate_left(17));
+    format!("{hi:016x}{lo:016x}")
 }
 
 fn str_field(v: &Value, key: &str) -> Result<String, String> {
@@ -199,6 +239,46 @@ fn influence_method(v: &Value) -> Result<InfluenceMethod, String> {
     }
 }
 
+/// Parses one of the five query-class ops from the fields of `v`.
+/// Shared by the top-level dispatch and the `profile` wrapper (which
+/// profiles exactly these classes).
+fn parse_query_op(name: &str, v: &Value) -> Result<Op, String> {
+    match name {
+        "probability" => Ok(Op::Probability {
+            query: str_field(v, "query")?,
+            method: prob_method(v)?,
+        }),
+        "explanation" => Ok(Op::Explanation {
+            query: str_field(v, "query")?,
+            method: prob_method(v)?,
+        }),
+        "derivation" => Ok(Op::Derivation {
+            query: str_field(v, "query")?,
+            eps: f64_field(v, "eps")?,
+            algo: match v.get("algo").and_then(Value::as_str).unwrap_or("greedy") {
+                "greedy" => DerivationAlgo::NaiveGreedy,
+                "resuciu" => DerivationAlgo::ReSuciu,
+                other => return Err(format!("unknown algo '{other}'")),
+            },
+            method: prob_method(v)?,
+        }),
+        "influence" => Ok(Op::Influence {
+            query: str_field(v, "query")?,
+            method: influence_method(v)?,
+            top_k: opt_u64(v, "top_k")?.map(|n| n as usize),
+            preprocess_epsilon: opt_f64(v, "preprocess_epsilon")?,
+        }),
+        "modification" => Ok(Op::Modification {
+            query: str_field(v, "query")?,
+            target: f64_field(v, "target")?,
+            tolerance: opt_f64(v, "tolerance")?.unwrap_or(1e-6),
+        }),
+        other => Err(format!(
+            "unknown query class '{other}' (expected probability|explanation|derivation|influence|modification)"
+        )),
+    }
+}
+
 impl Request {
     /// Parses one request line. Errors are protocol-level (malformed JSON,
     /// unknown op, missing fields) and never tear down the connection.
@@ -210,6 +290,13 @@ impl Request {
         let id = opt_u64(&v, "id")?;
         let timeout_ms = opt_u64(&v, "timeout_ms")?;
         let hop_limit = opt_u64(&v, "hop_limit")?.map(|n| n as usize);
+        let trace = match v.get("trace") {
+            None | Some(Value::Null) => None,
+            Some(field) => match field.as_str() {
+                Some(s) if !s.is_empty() => Some(s.to_string()),
+                _ => return Err("field 'trace' must be a non-empty string".to_string()),
+            },
+        };
         let op_name = str_field(&v, "op")?;
         let op = match op_name.as_str() {
             "ping" => Op::Ping,
@@ -227,41 +314,28 @@ impl Request {
                 }
                 Op::LoadProgram { source, path }
             }
-            "probability" => Op::Probability {
-                query: str_field(&v, "query")?,
-                method: prob_method(&v)?,
-            },
-            "explanation" => Op::Explanation {
-                query: str_field(&v, "query")?,
-                method: prob_method(&v)?,
-            },
-            "derivation" => Op::Derivation {
-                query: str_field(&v, "query")?,
-                eps: f64_field(&v, "eps")?,
-                algo: match v.get("algo").and_then(Value::as_str).unwrap_or("greedy") {
-                    "greedy" => DerivationAlgo::NaiveGreedy,
-                    "resuciu" => DerivationAlgo::ReSuciu,
-                    other => return Err(format!("unknown algo '{other}'")),
-                },
-                method: prob_method(&v)?,
-            },
-            "influence" => Op::Influence {
-                query: str_field(&v, "query")?,
-                method: influence_method(&v)?,
-                top_k: opt_u64(&v, "top_k")?.map(|n| n as usize),
-                preprocess_epsilon: opt_f64(&v, "preprocess_epsilon")?,
-            },
-            "modification" => Op::Modification {
-                query: str_field(&v, "query")?,
-                target: f64_field(&v, "target")?,
-                tolerance: opt_f64(&v, "tolerance")?.unwrap_or(1e-6),
-            },
-            other => return Err(format!("unknown op '{other}'")),
+            "profile" => {
+                let class = v
+                    .get("class")
+                    .and_then(Value::as_str)
+                    .unwrap_or("probability");
+                Op::Profile {
+                    inner: Box::new(parse_query_op(class, &v)?),
+                }
+            }
+            other => parse_query_op(other, &v).map_err(|e| {
+                if e.starts_with("unknown query class") {
+                    format!("unknown op '{other}'")
+                } else {
+                    e
+                }
+            })?,
         };
         Ok(Request {
             id,
             timeout_ms,
             hop_limit,
+            trace,
             op,
         })
     }
@@ -484,6 +558,89 @@ mod tests {
             ref other => panic!("{other:?}"),
         }
         assert!(Request::parse(r#"{"op":"trace","n":-1}"#).is_err());
+    }
+
+    #[test]
+    fn profile_wraps_a_query_class() {
+        // Defaults to profiling a probability query.
+        match Request::parse(r#"{"op":"profile","query":"a(1)"}"#)
+            .unwrap()
+            .op
+        {
+            Op::Profile { inner } => assert_eq!(
+                *inner,
+                Op::Probability {
+                    query: "a(1)".to_string(),
+                    method: ProbMethod::Exact,
+                }
+            ),
+            ref other => panic!("{other:?}"),
+        }
+        // Inner-class fields are parsed from the same envelope.
+        match Request::parse(
+            r#"{"op":"profile","class":"derivation","query":"a(1)","eps":0.05,"algo":"resuciu"}"#,
+        )
+        .unwrap()
+        .op
+        {
+            Op::Profile { inner } => match *inner {
+                Op::Derivation { eps, algo, .. } => {
+                    assert_eq!(eps, 0.05);
+                    assert_eq!(algo, DerivationAlgo::ReSuciu);
+                }
+                other => panic!("{other:?}"),
+            },
+            ref other => panic!("{other:?}"),
+        }
+        let req = Request::parse(r#"{"op":"profile","query":"a(1)"}"#).unwrap();
+        assert_eq!(req.op.class(), "profile");
+        assert!(req.op.is_query());
+        // Only query classes can be profiled.
+        for line in [
+            r#"{"op":"profile","class":"ping"}"#,
+            r#"{"op":"profile","class":"profile","query":"a(1)"}"#,
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains("unknown query class"), "{line} -> {err}");
+        }
+        // Missing inner fields surface the inner error.
+        let err = Request::parse(r#"{"op":"profile","class":"modification","query":"a(1)"}"#)
+            .unwrap_err();
+        assert!(err.contains("target"), "{err}");
+    }
+
+    #[test]
+    fn trace_field_is_extracted_and_validated() {
+        let req =
+            Request::parse(r#"{"op":"ping","trace":"00ff00ff00ff00ff00ff00ff00ff00ff"}"#).unwrap();
+        assert_eq!(
+            req.trace.as_deref(),
+            Some("00ff00ff00ff00ff00ff00ff00ff00ff")
+        );
+        assert_eq!(Request::parse(r#"{"op":"ping"}"#).unwrap().trace, None);
+        assert_eq!(
+            Request::parse(r#"{"op":"ping","trace":null}"#)
+                .unwrap()
+                .trace,
+            None
+        );
+        for line in [r#"{"op":"ping","trace":""}"#, r#"{"op":"ping","trace":7}"#] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains("trace"), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_well_formed_and_distinct() {
+        let a = new_trace_id();
+        let b = new_trace_id();
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 32, "{id}");
+            assert!(id
+                .chars()
+                .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        }
+        assert_ne!(a, b);
     }
 
     #[test]

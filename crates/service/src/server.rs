@@ -25,14 +25,17 @@
 use crate::json::Value;
 use crate::protocol::{Op, Request, Response};
 use crate::stats::{Outcome, ServiceStats};
-use p3_core::{InfluenceOptions, ModificationOptions, QuerySession, SessionOptions, P3};
+use p3_core::{
+    InfluenceOptions, ModificationOptions, ProfileTarget, QueryProfile, QuerySession,
+    SessionOptions, P3,
+};
 use p3_provenance::extract::ExtractOptions;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::os::unix::net::UnixListener;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -48,6 +51,9 @@ pub struct ServerConfig {
     pub tcp: Option<String>,
     /// Unix-domain socket path; `None` disables the Unix listener.
     pub unix: Option<PathBuf>,
+    /// HTTP admin-plane bind address (`/metrics`, `/healthz`, `/readyz`,
+    /// `/traces`, `/profile` — see the `admin` module); `None` disables it.
+    pub admin: Option<String>,
     /// Worker pool size; `0` = auto (the `P3_THREADS` convention, see
     /// [`p3_prob::parallel::default_threads`]).
     pub workers: usize,
@@ -69,6 +75,7 @@ impl Default for ServerConfig {
         Self {
             tcp: None,
             unix: None,
+            admin: None,
             workers: 0,
             queue_cap: 256,
             cache_cap: None,
@@ -83,10 +90,46 @@ struct Job {
     op: Op,
     hop_limit: Option<usize>,
     deadline: Option<Instant>,
+    /// When the handler enqueued the job, for the queue-wait/execute
+    /// split in the slow-request log.
+    enqueued: Instant,
     /// Id of the request's root span, so the worker can parent its
     /// `execute` span across the thread hop (0 = tracing disabled).
     root_span: u64,
-    reply: mpsc::SyncSender<Result<Value, String>>,
+    reply: mpsc::SyncSender<Answer>,
+}
+
+/// A worker's reply: the op result plus the timing/cache facts the handler
+/// needs to make a slow request diagnosable from one log line.
+struct Answer {
+    result: Result<Value, String>,
+    /// Time the job sat in the queue before a worker picked it up.
+    queue_wait_us: u64,
+    /// Time the worker spent executing the op.
+    execute_us: u64,
+    /// Session memo-table hits while the op ran (shared session: under
+    /// concurrent load this includes other requests' traffic).
+    session_hits: u64,
+    /// Session memo-table misses while the op ran.
+    session_misses: u64,
+}
+
+/// Sets the queue-depth saturation gauge (also a `readyz` input).
+fn set_queue_depth_gauge(depth: usize) {
+    p3_obs::gauge!(
+        "p3_service_queue_depth",
+        "Jobs currently waiting in the bounded request queue"
+    )
+    .set(depth as i64);
+}
+
+/// Sets the busy-workers saturation gauge (also a `readyz` input).
+fn set_workers_busy_gauge(busy: usize) {
+    p3_obs::gauge!(
+        "p3_service_workers_busy",
+        "Workers currently executing a job"
+    )
+    .set(busy as i64);
 }
 
 /// A bounded MPMC queue: producers block (until a deadline) when full,
@@ -134,6 +177,7 @@ impl JobQueue {
             }
             if inner.jobs.len() < self.cap {
                 inner.jobs.push_back(job);
+                set_queue_depth_gauge(inner.jobs.len());
                 self.not_empty.notify_one();
                 return Ok(());
             }
@@ -161,6 +205,7 @@ impl JobQueue {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if let Some(job) = inner.jobs.pop_front() {
+                set_queue_depth_gauge(inner.jobs.len());
                 self.not_full.notify_one();
                 return Some(job);
             }
@@ -183,8 +228,8 @@ impl JobQueue {
     }
 }
 
-/// State shared by handlers and workers.
-struct Shared {
+/// State shared by handlers, workers, and the HTTP admin plane.
+pub(crate) struct Shared {
     /// Swapped wholesale by `load-program`; every request clones the
     /// current session handle (cheap — `Arc` bumps).
     session: RwLock<QuerySession>,
@@ -194,13 +239,15 @@ struct Shared {
     shutdown: AtomicBool,
     workers: usize,
     queue_cap: usize,
+    /// Workers currently executing a job (not blocked on `pop`).
+    workers_busy: AtomicUsize,
     default_timeout_ms: Option<u64>,
     slow_ms: Option<u64>,
     started: Instant,
 }
 
 impl Shared {
-    fn current_session(&self) -> QuerySession {
+    pub(crate) fn current_session(&self) -> QuerySession {
         self.session.read().unwrap().clone()
     }
 
@@ -209,8 +256,39 @@ impl Shared {
         self.queue.close();
     }
 
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The queue depth at which the server stops advertising readiness:
+    /// 90% of capacity, so load balancers drain traffic *before* pushes
+    /// start blocking.
+    fn queue_high_water(&self) -> usize {
+        (self.queue_cap * 9 / 10).max(1)
+    }
+
+    /// The `readyz` decision: ready unless shutting down, the worker pool
+    /// is gone, or the server is saturated (queue at its high-water mark
+    /// **and** every worker busy — a deep queue alone is fine while
+    /// workers are still picking jobs up).
+    pub(crate) fn readiness(&self) -> Result<(), String> {
+        if self.shutting_down() {
+            return Err("shutting down".to_string());
+        }
+        if self.workers == 0 {
+            return Err("no workers".to_string());
+        }
+        let depth = self.queue.depth();
+        let busy = self.workers_busy.load(Ordering::SeqCst);
+        let high_water = self.queue_high_water();
+        if depth >= high_water && busy >= self.workers {
+            return Err(format!(
+                "saturated: queue_depth={depth} >= high_water={high_water}, \
+                 workers_busy={busy}/{}",
+                self.workers
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -221,6 +299,7 @@ pub struct Server {
     shared: Arc<Shared>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
+    admin_addr: Option<SocketAddr>,
     accept_threads: Vec<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
 }
@@ -255,10 +334,14 @@ impl Server {
             shutdown: AtomicBool::new(false),
             workers,
             queue_cap: config.queue_cap.max(1),
+            workers_busy: AtomicUsize::new(0),
             default_timeout_ms: config.default_timeout_ms,
             slow_ms: config.slow_ms,
             started: Instant::now(),
         });
+        // Register every gauge family up front so the first scrape sees
+        // them even before the first request.
+        refresh_gauges(&shared);
 
         let mut accept_threads = Vec::new();
         let mut tcp_addr = None;
@@ -290,6 +373,19 @@ impl Server {
             );
         }
 
+        let mut admin_addr = None;
+        if let Some(addr) = &config.admin {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            admin_addr = Some(listener.local_addr()?);
+            let shared = Arc::clone(&shared);
+            accept_threads.push(
+                std::thread::Builder::new()
+                    .name("p3-admin".into())
+                    .spawn(move || crate::admin::accept_loop(listener, shared))?,
+            );
+        }
+
         let worker_threads = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -303,9 +399,16 @@ impl Server {
             shared,
             tcp_addr,
             unix_path,
+            admin_addr,
             accept_threads,
             worker_threads,
         })
+    }
+
+    /// The bound admin-plane address (with the ephemeral port resolved),
+    /// if the HTTP admin plane is enabled.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
     }
 
     /// The bound TCP address (with the ephemeral port resolved), if TCP is
@@ -438,7 +541,7 @@ fn handle_connection<R: BufRead, W: Write>(mut reader: R, mut writer: W, shared:
 
 /// Records one finished request in the process-wide metric registry.
 fn record_request_metrics(class: &str, latency: Duration) {
-    let labels = format!("class=\"{class}\"");
+    let labels = p3_obs::metrics::render_labels(&[("class", class)]);
     p3_obs::metrics::labeled_counter(
         "p3_service_requests_total",
         "Requests handled, by op class (including malformed lines)",
@@ -451,6 +554,16 @@ fn record_request_metrics(class: &str, latency: Duration) {
         &labels,
     )
     .observe(latency.as_micros().min(u64::MAX as u128) as u64);
+}
+
+/// Worker-side facts about a finished request, filled in by `dispatch`
+/// for the slow-request log (zero for inline admin ops).
+#[derive(Default)]
+struct RequestMeta {
+    queue_wait_us: u64,
+    execute_us: u64,
+    session_hits: u64,
+    session_misses: u64,
 }
 
 /// Parses and dispatches one request line; always produces a response.
@@ -467,7 +580,8 @@ fn handle_line(line: &str, shared: &Shared) -> Response {
         }
     };
     let class = request.op.class();
-    let response = dispatch(&request, shared, start);
+    let mut meta = RequestMeta::default();
+    let response = dispatch(&request, shared, start, &mut meta);
     let outcome = match response.status {
         crate::protocol::Status::Ok => Outcome::Ok,
         crate::protocol::Status::Error => Outcome::Error,
@@ -494,19 +608,33 @@ fn handle_line(line: &str, shared: &Shared) -> Response {
                 class = class,
                 latency_ms = elapsed.as_millis(),
                 threshold_ms = slow_ms,
+                queue_wait_us = meta.queue_wait_us,
+                execute_us = meta.execute_us,
+                session_hits = meta.session_hits,
+                session_misses = meta.session_misses,
             );
         }
     }
     response
 }
 
-fn dispatch(request: &Request, shared: &Shared, received: Instant) -> Response {
+fn dispatch(
+    request: &Request,
+    shared: &Shared,
+    received: Instant,
+    meta: &mut RequestMeta,
+) -> Response {
     // The root span covers the request's whole server-side life: parse is
     // already done, so this is queue wait + execution + reply marshalling.
     let mut span = p3_obs::span::span("request");
     span.add_field("class", request.op.class());
     if let Some(id) = request.id {
         span.add_field("request_id", id);
+    }
+    // Adopt the client's trace id: the one field that links this tree with
+    // the client-side connect/send/recv spans recorded in another process.
+    if let Some(trace) = &request.trace {
+        span.add_field("trace", trace);
     }
     match &request.op {
         // Admin ops answer inline: they must work while the queue is full.
@@ -537,6 +665,7 @@ fn dispatch(request: &Request, shared: &Shared, received: Instant) -> Response {
                 op: op.clone(),
                 hop_limit: request.hop_limit,
                 deadline,
+                enqueued: Instant::now(),
                 root_span: span.id(),
                 reply: reply_tx,
             };
@@ -564,8 +693,16 @@ fn dispatch(request: &Request, shared: &Shared, received: Instant) -> Response {
                 }
             };
             match answer {
-                Ok(Ok(result)) => Response::ok(request.id, result),
-                Ok(Err(msg)) => Response::error(request.id, msg),
+                Ok(answer) => {
+                    meta.queue_wait_us = answer.queue_wait_us;
+                    meta.execute_us = answer.execute_us;
+                    meta.session_hits = answer.session_hits;
+                    meta.session_misses = answer.session_misses;
+                    match answer.result {
+                        Ok(result) => Response::ok(request.id, result),
+                        Err(msg) => Response::error(request.id, msg),
+                    }
+                }
                 Err(()) => Response::timeout(
                     request.id,
                     format!("deadline of {}ms expired", timeout_ms.unwrap_or(0)),
@@ -577,26 +714,43 @@ fn dispatch(request: &Request, shared: &Shared, received: Instant) -> Response {
 
 fn worker_loop(shared: Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        let queue_wait_us = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
         // Don't burn CPU on work nobody is waiting for anymore.
         if let Some(d) = job.deadline {
             if Instant::now() >= d {
                 continue;
             }
         }
+        set_workers_busy_gauge(shared.workers_busy.fetch_add(1, Ordering::SeqCst) + 1);
         // Parent the worker-side span under the handler's request span:
         // the id travelled with the job across the thread hop. The span
         // must finish (and land in the ring) before the reply is sent, or
         // an immediate `trace` request could miss it.
+        let executing = Instant::now();
+        let session = shared.current_session();
+        let stats_before = session.stats();
         let result = {
             let mut span = p3_obs::span::child_of("execute", job.root_span);
             span.add_field("class", job.op.class());
-            let session = shared.current_session();
             let result = execute(&session, &shared, &job.op, job.hop_limit);
             span.add_field("ok", result.is_ok());
             result
         };
+        let stats_after = session.stats();
+        set_workers_busy_gauge(
+            shared
+                .workers_busy
+                .fetch_sub(1, Ordering::SeqCst)
+                .saturating_sub(1),
+        );
         // The handler may have timed out and gone; that's fine.
-        let _ = job.reply.send(result);
+        let _ = job.reply.send(Answer {
+            result,
+            queue_wait_us,
+            execute_us: executing.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            session_hits: stats_after.hits.saturating_sub(stats_before.hits),
+            session_misses: stats_after.misses.saturating_sub(stats_before.misses),
+        });
     }
 }
 
@@ -776,7 +930,103 @@ fn execute(
                 ("reached_target", Value::from(plan.reached_target)),
             ]))
         }
+        Op::Profile { inner } => {
+            let (query, target) = match &**inner {
+                Op::Probability { query, method } => (query, ProfileTarget::Probability(*method)),
+                Op::Explanation { query, method } => (query, ProfileTarget::Explanation(*method)),
+                Op::Derivation {
+                    query,
+                    eps,
+                    algo,
+                    method,
+                } => (
+                    query,
+                    ProfileTarget::Derivation {
+                        eps: *eps,
+                        algo: *algo,
+                        method: *method,
+                    },
+                ),
+                Op::Influence {
+                    query,
+                    method,
+                    top_k,
+                    preprocess_epsilon,
+                } => (
+                    query,
+                    ProfileTarget::Influence(InfluenceOptions {
+                        method: *method,
+                        top_k: *top_k,
+                        preprocess_epsilon: *preprocess_epsilon,
+                        restrict_to: None,
+                    }),
+                ),
+                Op::Modification {
+                    query,
+                    target,
+                    tolerance,
+                } => (
+                    query,
+                    ProfileTarget::Modification {
+                        target: *target,
+                        opts: ModificationOptions {
+                            tolerance: *tolerance,
+                            ..Default::default()
+                        },
+                    },
+                ),
+                other => return Err(format!("cannot profile op class '{}'", other.class())),
+            };
+            let profile = session
+                .profile(query, &target, extract_opts(hop_limit))
+                .map_err(|e| e.to_string())?;
+            Ok(profile_value(&profile))
+        }
     }
+}
+
+/// Renders a [`QueryProfile`] as the `profile` op's result payload.
+fn profile_value(profile: &QueryProfile) -> Value {
+    Value::object(vec![
+        ("query", Value::from(profile.query.clone())),
+        ("class", Value::from(profile.class.to_string())),
+        ("total_us", Value::from(profile.total_us)),
+        (
+            "probability",
+            profile.probability.map(Value::from).unwrap_or(Value::Null),
+        ),
+        (
+            "stages",
+            Value::Array(
+                profile
+                    .stages
+                    .iter()
+                    .map(|s| {
+                        let pair = |hits: u64, misses: u64| {
+                            Value::object(vec![
+                                ("hits", Value::from(hits)),
+                                ("misses", Value::from(misses)),
+                            ])
+                        };
+                        Value::object(vec![
+                            ("name", Value::from(s.name.to_string())),
+                            ("wall_us", Value::from(s.wall_us)),
+                            ("session", pair(s.session_hits, s.session_misses)),
+                            (
+                                "store_intern",
+                                pair(s.store_intern_hits, s.store_intern_misses),
+                            ),
+                            ("store_ops", pair(s.store_op_hits, s.store_op_misses)),
+                            (
+                                "extract_memo",
+                                pair(s.extract_memo_hits, s.extract_memo_misses),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// The `stats` payload: server counters plus the shared cache counters.
@@ -816,19 +1066,16 @@ fn stats_snapshot(shared: &Shared) -> Value {
     ])
 }
 
-/// The `metrics` payload: refreshes scrape-time gauges from live state,
-/// then renders the whole process registry as Prometheus text exposition
-/// (version 0.0.4).
-fn metrics_snapshot(shared: &Shared) -> Value {
+/// Refreshes scrape-time gauges from live server state. Called on every
+/// exposition — the NDJSON `metrics` op and the HTTP `GET /metrics` — and
+/// once at startup so the families exist before the first request.
+pub(crate) fn refresh_gauges(shared: &Shared) {
     let session = shared.current_session();
     let s = session.stats();
     let store = session.p3().store();
 
-    p3_obs::gauge!(
-        "p3_service_queue_depth",
-        "Jobs currently waiting in the bounded request queue"
-    )
-    .set(shared.queue.depth() as i64);
+    set_queue_depth_gauge(shared.queue.depth());
+    set_workers_busy_gauge(shared.workers_busy.load(Ordering::SeqCst));
     p3_obs::gauge!("p3_service_workers", "Worker pool size").set(shared.workers as i64);
     p3_obs::gauge!(
         "p3_service_uptime_seconds",
@@ -876,7 +1123,13 @@ fn metrics_snapshot(shared: &Shared) -> Value {
             shard.op_misses,
         );
     }
+}
 
+/// The `metrics` payload: refreshes scrape-time gauges from live state,
+/// then renders the whole process registry as Prometheus text exposition
+/// (version 0.0.4).
+fn metrics_snapshot(shared: &Shared) -> Value {
+    refresh_gauges(shared);
     Value::object(vec![
         (
             "content_type",
@@ -921,6 +1174,52 @@ fn trace_snapshot(n: usize) -> Value {
             Value::Array(trees.iter().map(span_tree_value).collect()),
         ),
     ])
+}
+
+/// A standalone [`Shared`] for exercising readiness and HTTP routing in
+/// tests — no listeners, no worker threads.
+#[cfg(test)]
+pub(crate) fn test_shared(workers: usize, queue_cap: usize) -> Arc<Shared> {
+    let p3 = P3::from_source("t 1.0: a(1).").unwrap();
+    Arc::new(Shared {
+        session: RwLock::new(p3.session()),
+        cache_cap: None,
+        stats: ServiceStats::new(),
+        queue: JobQueue::new(queue_cap),
+        shutdown: AtomicBool::new(false),
+        workers,
+        queue_cap: queue_cap.max(1),
+        workers_busy: AtomicUsize::new(0),
+        default_timeout_ms: None,
+        slow_ms: None,
+        started: Instant::now(),
+    })
+}
+
+#[cfg(test)]
+impl Shared {
+    /// Forces the busy-worker count (tests only).
+    pub(crate) fn test_set_busy(&self, n: usize) {
+        self.workers_busy.store(n, Ordering::SeqCst);
+    }
+
+    /// Fills the queue with `n` inert jobs (tests only). Panics if the
+    /// queue cannot take them without blocking.
+    pub(crate) fn test_fill_queue(&self, n: usize) {
+        for _ in 0..n {
+            let (reply, _rx) = mpsc::sync_channel(1);
+            self.queue
+                .push(Job {
+                    op: Op::Ping,
+                    hop_limit: None,
+                    deadline: Some(Instant::now()),
+                    enqueued: Instant::now(),
+                    root_span: 0,
+                    reply,
+                })
+                .unwrap_or_else(|_| panic!("test queue full"));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1120,6 +1419,97 @@ mod tests {
         assert_eq!(resp.status, crate::protocol::Status::Error);
         server.shutdown();
         server.join();
+    }
+
+    #[test]
+    fn readiness_flips_under_saturation_and_back() {
+        let shared = test_shared(2, 10); // high water = 9
+        assert!(shared.readiness().is_ok());
+
+        // All workers busy but the queue is shallow: still ready.
+        shared.test_set_busy(2);
+        assert!(shared.readiness().is_ok());
+
+        // Queue at the high-water mark with every worker busy: not ready.
+        shared.test_fill_queue(9);
+        let why = shared.readiness().unwrap_err();
+        assert!(why.contains("saturated"), "{why}");
+        assert!(why.contains("queue_depth=9"), "{why}");
+
+        // A free worker means the backlog is draining: ready again.
+        shared.test_set_busy(1);
+        assert!(shared.readiness().is_ok());
+
+        // Shutdown trumps everything.
+        shared.initiate_shutdown();
+        assert!(shared.readiness().unwrap_err().contains("shutting down"));
+    }
+
+    #[test]
+    fn profile_op_reports_stage_breakdown() {
+        let server = start_tcp();
+        let mut client = Client::connect_tcp(&server.tcp_addr().unwrap().to_string()).unwrap();
+        let resp = client
+            .request(&format!(
+                r#"{{"op":"profile","query":"{}"}}"#,
+                Q.replace('"', "\\\"")
+            ))
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok, "{resp:?}");
+        let result = resp.result.unwrap();
+        assert_eq!(
+            result.get("class").unwrap().as_str().unwrap(),
+            "probability"
+        );
+        let p = result.get("probability").unwrap().as_f64().unwrap();
+        assert!((p - 0.16384).abs() < 1e-9, "{p}");
+        let stages = match result.get("stages").unwrap() {
+            Value::Array(stages) => stages,
+            other => panic!("{other:?}"),
+        };
+        let names: Vec<&str> = stages
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["parse", "extract", "probability"]);
+        for stage in stages {
+            assert!(stage.get("wall_us").unwrap().as_u64().is_some());
+            assert!(stage.get("session").unwrap().get("hits").is_some());
+            assert!(stage.get("store_ops").unwrap().get("misses").is_some());
+            assert!(stage.get("extract_memo").is_some());
+        }
+        // A profiled derivation ends in its class stage.
+        let resp = client
+            .request(&format!(
+                r#"{{"op":"profile","class":"derivation","query":"{}","eps":0.01}}"#,
+                Q.replace('"', "\\\"")
+            ))
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok, "{resp:?}");
+        let result = resp.result.unwrap();
+        assert_eq!(result.get("class").unwrap().as_str().unwrap(), "derivation");
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn request_span_adopts_the_client_trace_id() {
+        p3_obs::span::set_enabled(true);
+        let server = start_tcp();
+        let mut client = Client::connect_tcp(&server.tcp_addr().unwrap().to_string()).unwrap();
+        let trace_id = crate::protocol::new_trace_id();
+        let resp = client
+            .request(&format!(r#"{{"op":"ping","trace":"{trace_id}"}}"#))
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok);
+        // The server's request tree carries the adopted id as a field,
+        // visible through the trace op (and GET /traces).
+        let resp = client.request(r#"{"op":"trace","n":5}"#).unwrap();
+        let trees = resp.result.unwrap().to_json();
+        assert!(trees.contains(&trace_id), "{trees}");
+        server.shutdown();
+        server.join();
+        p3_obs::span::set_enabled(false);
     }
 
     #[test]

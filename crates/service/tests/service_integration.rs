@@ -34,6 +34,7 @@ struct Served {
     child: Child,
     tcp: String,
     unix: PathBuf,
+    admin: Option<String>,
     program: PathBuf,
 }
 
@@ -68,17 +69,25 @@ impl Served {
         let stdout = child.stdout.take().unwrap();
         let mut reader = BufReader::new(stdout);
         let mut tcp = None;
-        for _ in 0..2 {
+        let mut admin = None;
+        let expects_admin = extra_args.contains(&"--admin-addr");
+        for _ in 0..2 + usize::from(expects_admin) {
             let mut line = String::new();
             reader.read_line(&mut line).unwrap();
             if let Some(addr) = line.strip_prefix("listening tcp ") {
                 tcp = Some(addr.trim().to_string());
+            } else if let Some(addr) = line.strip_prefix("listening admin ") {
+                admin = Some(addr.trim().to_string());
             }
+        }
+        if expects_admin {
+            admin.as_deref().expect("p3-serve did not announce admin");
         }
         Served {
             child,
             tcp: tcp.expect("p3-serve did not announce a TCP endpoint"),
             unix,
+            admin,
             program,
         }
     }
@@ -458,6 +467,269 @@ fn trace_op_returns_request_span_trees() {
         "request span should have an execute child: {:?}",
         root.to_json()
     );
+}
+
+/// One raw HTTP/1.1 request against the admin plane; returns
+/// `(status, headers, body)` with lowercased header names.
+fn http_request(addr: &str, method: &str, target: &str) -> (u16, Vec<(String, String)>, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: p3\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("no header/body split");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let headers = lines
+        .filter_map(|line| line.split_once(": "))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn http_get(addr: &str, target: &str) -> (u16, Vec<(String, String)>, String) {
+    http_request(addr, "GET", target)
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn admin_plane_serves_probes_metrics_and_traces_over_http() {
+    let served = Served::spawn(&["--admin-addr", "127.0.0.1:0"]);
+    let admin = served.admin.as_deref().unwrap();
+
+    // One query so request metrics and a request span tree exist.
+    let mut client = Client::connect_tcp(&served.tcp).unwrap();
+    let resp = client
+        .request(&format!(
+            r#"{{"op":"probability","query":"{}"}}"#,
+            esc(QUERIES[0])
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok);
+
+    let (status, _, body) = http_get(admin, "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, _, body) = http_get(admin, "/readyz");
+    assert_eq!((status, body.as_str()), (200, "ready\n"));
+
+    let (status, headers, body) = http_get(admin, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    for family in [
+        "p3_service_requests_total",
+        "p3_service_queue_depth",
+        "p3_service_workers_busy",
+    ] {
+        assert!(body.contains(family), "missing {family} in:\n{body}");
+    }
+    assert_eq!(
+        header(&headers, "content-length").and_then(|v| v.parse::<usize>().ok()),
+        Some(body.len())
+    );
+
+    let (status, headers, body) = http_get(admin, "/traces?n=5");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "content-type"), Some("application/json"));
+    assert!(body.contains("traceEvents"), "{body}");
+    assert!(body.contains("request"), "{body}");
+
+    let (status, _, _) = http_get(admin, "/no-such-route");
+    assert_eq!(status, 404);
+
+    let (status, headers, _) = http_request(admin, "POST", "/metrics");
+    assert_eq!(status, 405);
+    assert_eq!(header(&headers, "allow"), Some("GET"));
+}
+
+#[test]
+fn one_trace_id_links_client_binary_and_server_spans() {
+    let served = Served::spawn(&["--admin-addr", "127.0.0.1:0"]);
+    let admin = served.admin.as_deref().unwrap();
+    let trace_file = std::env::temp_dir().join(format!("p3-it-trace-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&trace_file);
+
+    // Run the real p3-client with --trace-out: it mints a trace id,
+    // propagates it to the server, and records its own spans under it.
+    let status = Command::new(env!("CARGO_BIN_EXE_p3-client"))
+        .arg("--tcp")
+        .arg(&served.tcp)
+        .arg("--trace-out")
+        .arg(&trace_file)
+        .arg("probability")
+        .arg(QUERIES[0])
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "p3-client exit: {status:?}");
+
+    // The client-side chrome trace carries the id and the client spans.
+    let client_trace = std::fs::read_to_string(&trace_file).unwrap();
+    let _ = std::fs::remove_file(&trace_file);
+    let at = client_trace.find("\"trace\":\"").expect("no trace id") + "\"trace\":\"".len();
+    let id = &client_trace[at..at + 32];
+    assert!(
+        id.len() == 32 && id.chars().all(|c| c.is_ascii_hexdigit()),
+        "bad trace id {id:?} in {client_trace}"
+    );
+    for name in ["client.connect", "client.send", "client.recv"] {
+        assert!(
+            client_trace.contains(name),
+            "missing {name}:\n{client_trace}"
+        );
+    }
+
+    // The server's request span adopted the same id: /traces shows it.
+    let (status, _, body) = http_get(admin, "/traces?n=20");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(id),
+        "server traces do not carry client trace id {id}:\n{body}"
+    );
+}
+
+#[test]
+fn readyz_flips_to_503_under_a_saturated_queue_and_recovers() {
+    // One worker + a tiny queue: three outstanding slow Monte-Carlo
+    // requests (distinct seeds, so the session cache cannot shortcut
+    // them) keep the worker busy with the queue at its high-water mark.
+    let served = Served::spawn(&[
+        "--workers",
+        "1",
+        "--queue-cap",
+        "2",
+        "--admin-addr",
+        "127.0.0.1:0",
+    ]);
+    let admin = served.admin.as_deref().unwrap().to_string();
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let seed = std::sync::atomic::AtomicU64::new(1);
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let tcp = served.tcp.clone();
+            let stop = &stop;
+            let seed = &seed;
+            scope.spawn(move || {
+                let mut client = Client::connect_tcp(&tcp).unwrap();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let s = seed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let resp = client
+                        .request(&format!(
+                            r#"{{"op":"probability","query":"{}","method":"mc","samples":2000000,"seed":{s}}}"#,
+                            esc(QUERIES[0])
+                        ))
+                        .unwrap();
+                    assert_eq!(resp.status, Status::Ok);
+                }
+            });
+        }
+
+        // Poll until saturation is visible, then release the producers.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (status, _, body) = http_get(&admin, "/readyz");
+            if status == 503 {
+                assert!(body.contains("not ready: saturated"), "{body}");
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "readyz never reported saturation"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    // Producers are gone and the queue has drained: ready again.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, _, _) = http_get(&admin, "/readyz");
+        if status == 200 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "readyz never recovered");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn profile_endpoint_emits_folded_stacks_under_load() {
+    let served = Served::spawn(&["--workers", "2", "--admin-addr", "127.0.0.1:0"]);
+    let admin = served.admin.as_deref().unwrap().to_string();
+
+    // Keep the server busy for the whole sampling window with fresh
+    // Monte-Carlo work (distinct seeds defeat the session cache).
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let seed = std::sync::atomic::AtomicU64::new(1_000);
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let tcp = served.tcp.clone();
+            let stop = &stop;
+            let seed = &seed;
+            scope.spawn(move || {
+                let mut client = Client::connect_tcp(&tcp).unwrap();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let s = seed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let resp = client
+                        .request(&format!(
+                            r#"{{"op":"probability","query":"{}","method":"mc","samples":500000,"seed":{s}}}"#,
+                            esc(QUERIES[0])
+                        ))
+                        .unwrap();
+                    assert_eq!(resp.status, Status::Ok);
+                }
+            });
+        }
+
+        let (status, headers, body) = http_get(&admin, "/profile?secs=1");
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+
+        assert_eq!(status, 200);
+        assert!(header(&headers, "content-type")
+            .unwrap()
+            .starts_with("text/plain"));
+        // Every line is `frame;frame;… count` — the folded-stack format
+        // flamegraph.pl and speedscope ingest directly.
+        let mut lines = 0;
+        for line in body.lines().filter(|l| !l.is_empty()) {
+            lines += 1;
+            let (stack, count) = line.rsplit_once(' ').expect("no count field");
+            assert!(!stack.is_empty(), "empty stack in {line:?}");
+            assert!(
+                count.parse::<u64>().is_ok(),
+                "unparseable count in {line:?}"
+            );
+        }
+        assert!(lines > 0, "no samples despite constant load:\n{body}");
+        // The NDJSON handler threads hold an open `request` span for the
+        // whole round-trip, so the profile must have caught one.
+        assert!(body.contains("request"), "{body}");
+    });
 }
 
 #[test]
