@@ -1,5 +1,6 @@
 //! Errors surfaced by the P3 facade.
 
+use p3_datalog::diag::Diagnostic;
 use p3_datalog::program::ProgramError;
 use p3_datalog::worlds::WorldsError;
 use std::error::Error;
@@ -10,6 +11,10 @@ use std::fmt;
 pub enum P3Error {
     /// The program failed to parse or validate.
     Program(ProgramError),
+    /// The lint pre-flight gate rejected the program. Holds the
+    /// error-severity findings, each with a stable `P3xxx` code and (for
+    /// parsed sources) a span. See `QuerySession::load_program`.
+    Lint(Vec<Diagnostic>),
     /// The query string is not a ground atom over known symbols.
     BadQuery(String),
     /// The queried tuple is not derivable from the program.
@@ -23,6 +28,13 @@ impl fmt::Display for P3Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             P3Error::Program(e) => write!(f, "{e}"),
+            P3Error::Lint(diags) => {
+                write!(f, "program rejected by lint: {} error(s)", diags.len())?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             P3Error::BadQuery(q) => write!(f, "bad query: {q}"),
             P3Error::NotDerivable(q) => write!(f, "tuple {q} is not derivable"),
             P3Error::UnsupportedNegation => write!(

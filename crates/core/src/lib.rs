@@ -44,6 +44,7 @@ pub use query::modification::{
     ModificationPlan, ModificationStep, Strategy,
 };
 pub use session::{
-    ProfileStage, ProfileTarget, QueryProfile, QuerySession, SessionOptions, SessionStats,
+    LoadOptions, ProfileStage, ProfileTarget, QueryProfile, QuerySession, SessionOptions,
+    SessionStats,
 };
 pub use system::P3;

@@ -69,6 +69,27 @@ struct SufficientKey {
     method: ProbMethod,
 }
 
+/// Options for [`QuerySession::load_program_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadOptions {
+    /// Run the `p3-lint` pre-flight gate and reject the program when it has
+    /// error-severity findings (default `true`). Disabling skips straight to
+    /// parse + validate, which stops at the *first* defect and reports less
+    /// context.
+    pub lint: bool,
+    /// Session cache tuning, as for [`P3::session_with`].
+    pub session: SessionOptions,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self {
+            lint: true,
+            session: SessionOptions::default(),
+        }
+    }
+}
+
 /// Tuning knobs for a [`QuerySession`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionOptions {
@@ -239,6 +260,32 @@ impl QuerySession {
             p3,
             caches: Arc::new(SessionCaches::new(opts)),
         }
+    }
+
+    /// Loads `src` into a fresh session with the lint pre-flight gate on:
+    /// the program is statically analyzed first, and any error-severity
+    /// finding rejects it — with *every* defect reported, each carrying a
+    /// `P3xxx` code and source span — before evaluation starts.
+    pub fn load_program(src: &str) -> Result<Self, P3Error> {
+        Self::load_program_with(src, LoadOptions::default())
+    }
+
+    /// Like [`QuerySession::load_program`], with explicit [`LoadOptions`]
+    /// (lint opt-out and session cache tuning).
+    pub fn load_program_with(src: &str, opts: LoadOptions) -> Result<Self, P3Error> {
+        if opts.lint {
+            let report = p3_lint::lint_source(src);
+            if report.has_errors() {
+                let errors = report
+                    .diagnostics
+                    .into_iter()
+                    .filter(|d| d.severity == p3_lint::Severity::Error)
+                    .collect();
+                return Err(P3Error::Lint(errors));
+            }
+        }
+        let p3 = P3::from_source(src)?;
+        Ok(p3.session_with(opts.session))
     }
 
     /// The underlying system.
@@ -1016,6 +1063,64 @@ mod tests {
                 ExtractOptions::unbounded(),
             )
             .is_err());
+    }
+
+    #[test]
+    fn load_program_gate_rejects_unsafe_programs_with_spanned_diagnostics() {
+        let src = "t1 0.5: edge(a,b).\nr1 0.9: path(X,Y) :- edge(X,Z), Y != Z.\n";
+        let err = match QuerySession::load_program(src) {
+            Err(e) => e,
+            Ok(_) => panic!("unsafe program must be rejected"),
+        };
+        match err {
+            P3Error::Lint(diags) => {
+                assert!(!diags.is_empty());
+                assert_eq!(diags[0].code, "P3101");
+                let span = diags[0].span.expect("spanned");
+                assert_eq!(&src[span.start..span.end], "path(X,Y)");
+                assert!(diags[0].line > 0, "located");
+            }
+            other => panic!("expected lint rejection, got {other}"),
+        }
+    }
+
+    #[test]
+    fn load_program_gate_rejects_unstratified_negation() {
+        let src = "t1 0.5: p(a).\nr1 0.9: win(X) :- p(X), \\+ win(X).\n";
+        let err = match QuerySession::load_program(src) {
+            Err(e) => e,
+            Ok(_) => panic!("unstratified program must be rejected"),
+        };
+        match err {
+            P3Error::Lint(diags) => {
+                assert!(diags.iter().any(|d| d.code == "P3201"), "{diags:?}");
+            }
+            other => panic!("expected lint rejection, got {other}"),
+        }
+    }
+
+    #[test]
+    fn load_program_gate_opt_out_falls_back_to_validation() {
+        let src = "t1 0.5: edge(a,b).\nr1 0.9: path(X,Y) :- edge(X,Z), Y != Z.\n";
+        let opts = LoadOptions {
+            lint: false,
+            session: SessionOptions::default(),
+        };
+        let err = match QuerySession::load_program_with(src, opts) {
+            Err(e) => e,
+            Ok(_) => panic!("validation must still reject"),
+        };
+        assert!(
+            matches!(err, P3Error::Program(_)),
+            "validation still rejects: {err}"
+        );
+    }
+
+    #[test]
+    fn load_program_accepts_clean_sources_and_answers_queries() {
+        let session = QuerySession::load_program(ACQ).unwrap();
+        let p = session.probability(Q, ProbMethod::Exact).unwrap();
+        assert!((p - 0.16384).abs() < 1e-12);
     }
 
     #[test]

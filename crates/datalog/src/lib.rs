@@ -30,6 +30,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ast;
+pub mod diag;
 pub mod engine;
 pub mod parser;
 pub mod program;
@@ -37,5 +38,7 @@ pub mod symbol;
 pub mod worlds;
 
 pub use ast::{Atom, Clause, ClauseId, ClauseKind, CmpOp, Const, Constraint, Term};
+pub use diag::{Diagnostic, Severity};
+pub use parser::{ClauseSpans, Span};
 pub use program::{Program, ProgramError};
 pub use symbol::{Symbol, SymbolTable};

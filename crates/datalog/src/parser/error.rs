@@ -1,6 +1,7 @@
 //! Parse errors with source positions.
 
 use super::lexer::Span;
+use crate::diag::Diagnostic;
 use std::error::Error;
 use std::fmt;
 
@@ -48,45 +49,56 @@ impl ParseError {
             column,
         }
     }
+
+    /// The stable diagnostic code. Most parse failures are `P3001`; an
+    /// out-of-range probability literal is the same defect the validator
+    /// and linter call `P3301`, so it reports under that code.
+    pub fn code(&self) -> &'static str {
+        match self.kind {
+            ParseErrorKind::ProbabilityOutOfRange(_) => "P3301",
+            _ => "P3001",
+        }
+    }
+
+    /// Converts to the shared [`Diagnostic`] structure, keeping the
+    /// already-resolved line and column.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let mut d = Diagnostic::error(self.code(), self.describe()).with_span(Some(self.span));
+        d.line = self.line;
+        d.column = self.column;
+        d
+    }
+
+    /// The message text without the location prefix.
+    fn describe(&self) -> String {
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar(c) => format!("unexpected character '{c}'"),
+            ParseErrorKind::UnterminatedString => "unterminated string literal".to_string(),
+            ParseErrorKind::Expected { expected, found } => {
+                format!("expected {expected}, found {found}")
+            }
+            ParseErrorKind::BadNumber(text) => format!("malformed number '{text}'"),
+            ParseErrorKind::ProbabilityOutOfRange(p) => {
+                format!("probability {p} is outside [0, 1]")
+            }
+        }
+    }
 }
 
 /// Computes the 1-based (line, column) of byte `offset` in `src`.
 fn position(src: &str, offset: usize) -> (usize, usize) {
-    let clamped = offset.min(src.len());
-    let mut line = 1;
-    let mut col = 1;
-    for (i, ch) in src.char_indices() {
-        if i >= clamped {
-            break;
-        }
-        if ch == '\n' {
-            line += 1;
-            col = 1;
-        } else {
-            col += 1;
-        }
-    }
-    (line, col)
+    crate::diag::line_col(src, offset)
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "parse error at line {}, column {}: ",
-            self.line, self.column
-        )?;
-        match &self.kind {
-            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character '{c}'"),
-            ParseErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
-            ParseErrorKind::Expected { expected, found } => {
-                write!(f, "expected {expected}, found {found}")
-            }
-            ParseErrorKind::BadNumber(text) => write!(f, "malformed number '{text}'"),
-            ParseErrorKind::ProbabilityOutOfRange(p) => {
-                write!(f, "probability {p} is outside [0, 1]")
-            }
-        }
+            "parse error at line {}, column {}: {}",
+            self.line,
+            self.column,
+            self.describe()
+        )
     }
 }
 

@@ -3,7 +3,7 @@
 use super::error::{ParseError, ParseErrorKind};
 
 /// A byte range into the source text.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
 pub struct Span {
     /// Inclusive start byte offset.
     pub start: usize,
@@ -12,8 +12,14 @@ pub struct Span {
 }
 
 impl Span {
-    pub(crate) fn new(start: usize, end: usize) -> Self {
+    /// A span covering bytes `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
         Self { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
     }
 }
 

@@ -25,6 +25,27 @@ pub use lexer::{Lexer, Span, Token, TokenKind};
 use crate::ast::{Atom, Clause, ClauseKind, CmpOp, Const, Constraint, Term};
 use crate::symbol::SymbolTable;
 
+/// Source locations of one clause's parts, parallel to the AST (which
+/// itself stays span-free so programmatic construction and comparison
+/// remain cheap). Index `i` of [`ParsedSource::spans`] describes clause
+/// `i` of [`ParsedSource::clauses`].
+#[derive(Clone, Debug, Default)]
+pub struct ClauseSpans {
+    /// The whole clause, from the label/probability prefix through the
+    /// final `.`.
+    pub clause: Span,
+    /// The probability literal, when the clause spells one.
+    pub prob: Option<Span>,
+    /// The head atom.
+    pub head: Span,
+    /// Positive body atoms, in source order.
+    pub body: Vec<Span>,
+    /// Negated body atoms (including the `\+`/`not` marker), in order.
+    pub negated: Vec<Span>,
+    /// Body constraints, in order.
+    pub constraints: Vec<Span>,
+}
+
 /// A parsed source file: clauses plus the symbol table that interned their
 /// identifiers.
 #[derive(Debug)]
@@ -33,22 +54,30 @@ pub struct ParsedSource {
     pub clauses: Vec<Clause>,
     /// Interner for all identifiers, strings and variables.
     pub symbols: SymbolTable,
+    /// Byte spans of each clause's parts, parallel to `clauses`.
+    pub spans: Vec<ClauseSpans>,
 }
 
 /// Parses ProbLog-like source text.
 pub fn parse(src: &str) -> Result<ParsedSource, ParseError> {
     let mut symbols = SymbolTable::new();
-    let clauses = Parser::new(src, &mut symbols)?.parse_program()?;
-    Ok(ParsedSource { clauses, symbols })
+    let parsed = Parser::new(src, &mut symbols)?.parse_program()?;
+    let (clauses, spans) = parsed.into_iter().unzip();
+    Ok(ParsedSource {
+        clauses,
+        symbols,
+        spans,
+    })
 }
 
 /// Parses source text, interning into a caller-provided symbol table. Used
 /// when multiple sources must share one namespace.
 pub fn parse_into(src: &str, symbols: &mut SymbolTable) -> Result<Vec<Clause>, ParseError> {
-    Parser::new(src, symbols)?.parse_program()
+    let parsed = Parser::new(src, symbols)?.parse_program()?;
+    Ok(parsed.into_iter().map(|(clause, _)| clause).collect())
 }
 
-/// `(positive atoms, negated atoms, constraints)` of one rule body.
+/// The three body element kinds: positive atoms, negated atoms, constraints.
 type ParsedBody = (Vec<Atom>, Vec<Atom>, Vec<Constraint>);
 
 struct Parser<'a> {
@@ -112,7 +141,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_program(&mut self) -> Result<Vec<Clause>, ParseError> {
+    fn parse_program(&mut self) -> Result<Vec<(Clause, ClauseSpans)>, ParseError> {
         let mut clauses = Vec::new();
         while self.peek().kind != TokenKind::Eof {
             clauses.push(self.parse_clause()?);
@@ -121,12 +150,16 @@ impl<'a> Parser<'a> {
     }
 
     /// Parses one clause in either spelling.
-    fn parse_clause(&mut self) -> Result<Clause, ParseError> {
-        let (label, prob) = self.parse_clause_prefix()?;
-        let head = self.parse_atom()?;
+    fn parse_clause(&mut self) -> Result<(Clause, ClauseSpans), ParseError> {
+        let start = self.peek().span;
+        let mut spans = ClauseSpans::default();
+        let (label, prob, prob_span) = self.parse_clause_prefix()?;
+        spans.prob = prob_span;
+        let (head, head_span) = self.parse_atom()?;
+        spans.head = head_span;
         let kind = if self.peek().kind == TokenKind::Implies {
             self.advance();
-            let (body, negated, constraints) = self.parse_body()?;
+            let (body, negated, constraints) = self.parse_body(&mut spans)?;
             ClauseKind::Rule {
                 body,
                 negated,
@@ -135,7 +168,8 @@ impl<'a> Parser<'a> {
         } else {
             ClauseKind::Fact
         };
-        self.expect(TokenKind::Dot)?;
+        let dot = self.expect(TokenKind::Dot)?;
+        spans.clause = start.to(dot.span);
         let label = label.unwrap_or_else(|| match kind {
             ClauseKind::Fact => {
                 self.fact_counter += 1;
@@ -146,23 +180,28 @@ impl<'a> Parser<'a> {
                 format!("r{}", self.rule_counter)
             }
         });
-        Ok(Clause {
-            label,
-            prob,
-            head,
-            kind,
-        })
+        Ok((
+            Clause {
+                label,
+                prob,
+                head,
+                kind,
+            },
+            spans,
+        ))
     }
 
     /// Parses the optional `label prob:` or `prob::` prefix, returning the
-    /// explicit label (if any) and the probability (1.0 when omitted).
-    fn parse_clause_prefix(&mut self) -> Result<(Option<String>, f64), ParseError> {
+    /// explicit label (if any), the probability (1.0 when omitted), and the
+    /// span of the probability literal (when one was written).
+    fn parse_clause_prefix(&mut self) -> Result<(Option<String>, f64, Option<Span>), ParseError> {
         // `prob :: head` — ProbLog spelling.
         if self.peek().kind == TokenKind::Number && self.peek2().kind == TokenKind::ColonColon {
             let num = self.advance();
+            let num_span = num.span;
             self.advance(); // '::'
             let prob = self.parse_probability(num)?;
-            return Ok((None, prob));
+            return Ok((None, prob, Some(num_span)));
         }
         // `label prob : head` — the paper's spelling. Requires ident followed
         // by a number to disambiguate from a clause head `ident(...)`.
@@ -170,11 +209,12 @@ impl<'a> Parser<'a> {
             let label_tok = self.advance();
             let label = self.text(label_tok.span).to_string();
             let num = self.advance();
+            let num_span = num.span;
             let prob = self.parse_probability(num)?;
             self.expect(TokenKind::Colon)?;
-            return Ok((Some(label), prob));
+            return Ok((Some(label), prob, Some(num_span)));
         }
-        Ok((None, 1.0))
+        Ok((None, 1.0, None))
     }
 
     fn parse_probability(&self, tok: Token) -> Result<f64, ParseError> {
@@ -189,19 +229,25 @@ impl<'a> Parser<'a> {
     }
 
     /// Parses a comma-separated rule body of atoms, negated atoms and
-    /// constraints.
-    fn parse_body(&mut self) -> Result<ParsedBody, ParseError> {
+    /// constraints, recording each element's span into `spans`.
+    fn parse_body(&mut self, spans: &mut ClauseSpans) -> Result<ParsedBody, ParseError> {
         let mut body = Vec::new();
         let mut negated = Vec::new();
         let mut constraints = Vec::new();
         loop {
             if self.starts_negation() {
-                self.advance(); // `\+` or `not`
-                negated.push(self.parse_atom()?);
+                let marker = self.advance(); // `\+` or `not`
+                let (atom, span) = self.parse_atom()?;
+                spans.negated.push(marker.span.to(span));
+                negated.push(atom);
             } else if self.starts_constraint() {
-                constraints.push(self.parse_constraint()?);
+                let (constraint, span) = self.parse_constraint()?;
+                spans.constraints.push(span);
+                constraints.push(constraint);
             } else {
-                body.push(self.parse_atom()?);
+                let (atom, span) = self.parse_atom()?;
+                spans.body.push(span);
+                body.push(atom);
             }
             if self.peek().kind == TokenKind::Comma {
                 self.advance();
@@ -241,8 +287,8 @@ impl<'a> Parser<'a> {
         )
     }
 
-    fn parse_constraint(&mut self) -> Result<Constraint, ParseError> {
-        let lhs = self.parse_term()?;
+    fn parse_constraint(&mut self) -> Result<(Constraint, Span), ParseError> {
+        let (lhs, lhs_span) = self.parse_term()?;
         let op_tok = self.advance();
         let op = match op_tok.kind {
             TokenKind::Eq => CmpOp::Eq,
@@ -261,11 +307,11 @@ impl<'a> Parser<'a> {
                 ))
             }
         };
-        let rhs = self.parse_term()?;
-        Ok(Constraint { op, lhs, rhs })
+        let (rhs, rhs_span) = self.parse_term()?;
+        Ok((Constraint { op, lhs, rhs }, lhs_span.to(rhs_span)))
     }
 
-    fn parse_atom(&mut self) -> Result<Atom, ParseError> {
+    fn parse_atom(&mut self) -> Result<(Atom, Span), ParseError> {
         let name_tok = self.expect(TokenKind::LowerIdent)?;
         let pred = self
             .symbols
@@ -274,7 +320,7 @@ impl<'a> Parser<'a> {
         let mut args = Vec::new();
         if self.peek().kind != TokenKind::RParen {
             loop {
-                args.push(self.parse_term()?);
+                args.push(self.parse_term()?.0);
                 if self.peek().kind == TokenKind::Comma {
                     self.advance();
                 } else {
@@ -282,42 +328,45 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        self.expect(TokenKind::RParen)?;
-        Ok(Atom { pred, args })
+        let rparen = self.expect(TokenKind::RParen)?;
+        Ok((Atom { pred, args }, name_tok.span.to(rparen.span)))
     }
 
-    fn parse_term(&mut self) -> Result<Term, ParseError> {
+    fn parse_term(&mut self) -> Result<(Term, Span), ParseError> {
         let tok = self.advance();
-        match tok.kind {
+        let term = match tok.kind {
             TokenKind::UpperIdent => {
                 let name = &self.src[tok.span.start..tok.span.end];
-                Ok(Term::Var(self.symbols.intern(name)))
+                Term::Var(self.symbols.intern(name))
             }
             TokenKind::LowerIdent => {
                 let name = &self.src[tok.span.start..tok.span.end];
-                Ok(Term::Const(Const::Sym(self.symbols.intern(name))))
+                Term::Const(Const::Sym(self.symbols.intern(name)))
             }
             TokenKind::Str => {
                 // Strip the surrounding quotes; the lexer guarantees them.
                 let raw = &self.src[tok.span.start..tok.span.end];
                 let inner = &raw[1..raw.len() - 1];
-                Ok(Term::Const(Const::Sym(self.symbols.intern(inner))))
+                Term::Const(Const::Sym(self.symbols.intern(inner)))
             }
             TokenKind::Number => {
                 let text = self.text(tok.span);
                 let value: i64 = text.parse().map_err(|_| {
                     self.error(ParseErrorKind::BadNumber(text.to_string()), tok.span)
                 })?;
-                Ok(Term::Const(Const::Int(value)))
+                Term::Const(Const::Int(value))
             }
-            other => Err(self.error(
-                ParseErrorKind::Expected {
-                    expected: "term",
-                    found: other.describe(),
-                },
-                tok.span,
-            )),
-        }
+            other => {
+                return Err(self.error(
+                    ParseErrorKind::Expected {
+                        expected: "term",
+                        found: other.describe(),
+                    },
+                    tok.span,
+                ))
+            }
+        };
+        Ok((term, tok.span))
     }
 }
 
@@ -436,6 +485,49 @@ mod tests {
         let err = parse("edge(a,b).\nedge(a,.\n").unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.column > 1);
+    }
+
+    #[test]
+    fn clause_spans_point_into_the_source() {
+        let src = "t1 0.5: live(\"Steve\",\"DC\").\nr1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.";
+        let p = parse(src).unwrap();
+        assert_eq!(p.spans.len(), 2);
+        let fact = &p.spans[0];
+        let slice = |s: Span| &src[s.start..s.end];
+        assert_eq!(slice(fact.clause), "t1 0.5: live(\"Steve\",\"DC\").");
+        assert_eq!(slice(fact.head), "live(\"Steve\",\"DC\")");
+        assert_eq!(slice(fact.prob.unwrap()), "0.5");
+        let rule = &p.spans[1];
+        assert_eq!(rule.body.len(), 2);
+        assert_eq!(slice(rule.body[0]), "live(P1,C)");
+        assert_eq!(slice(rule.body[1]), "live(P2,C)");
+        assert_eq!(rule.constraints.len(), 1);
+        assert_eq!(slice(rule.constraints[0]), "P1 != P2");
+        assert_eq!(slice(rule.head), "know(P1,P2)");
+    }
+
+    #[test]
+    fn negated_atom_span_includes_the_marker() {
+        let src = r"r1 1.0: p(X) :- q(X), \+ r(X).";
+        let p = parse(src).unwrap();
+        let spans = &p.spans[0];
+        assert_eq!(spans.negated.len(), 1);
+        let neg = spans.negated[0];
+        assert_eq!(&src[neg.start..neg.end], r"\+ r(X)");
+    }
+
+    #[test]
+    fn multi_line_error_reports_line_and_column() {
+        // Regression: errors past line 1 must resolve to line:column, not
+        // surface as a bare byte offset.
+        let src = "% header comment\nedge(a,b).\npath(X,Y) :-\n    edge(X,).\n";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert_eq!(err.column, 12);
+        let msg = err.to_string();
+        assert!(msg.contains("line 4"), "{msg}");
+        assert!(msg.contains("column 12"), "{msg}");
+        assert!(!msg.contains("offset"), "{msg}");
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! * clause probabilities lie in `[0, 1]`.
 
 use crate::ast::{Atom, Clause, ClauseId, ClauseKind, CmpOp, Const, Constraint, Term};
-use crate::parser::{self, ParseError};
+use crate::diag::Diagnostic;
+use crate::parser::{self, ClauseSpans, ParseError, Span};
 use crate::symbol::{Symbol, SymbolTable};
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
@@ -25,9 +26,18 @@ pub struct Program {
     labels: HashMap<String, ClauseId>,
     arities: HashMap<Symbol, usize>,
     strata: HashMap<Symbol, usize>,
+    /// Byte spans per clause; empty for programmatically built programs.
+    spans: Vec<ClauseSpans>,
+    /// The original source text, when the program was parsed from text.
+    source: Option<String>,
 }
 
 /// Errors raised by program validation (or the parser, wrapped).
+///
+/// Every variant maps onto the shared [`Diagnostic`] structure — stable
+/// `P3xxx` code, severity, optional source span — via
+/// [`ProgramError::to_diagnostic`], so validation failures and `p3-lint`
+/// findings render through one path.
 #[derive(Debug)]
 pub enum ProgramError {
     /// The source text failed to parse.
@@ -36,6 +46,8 @@ pub enum ProgramError {
     NonGroundFact {
         /// The offending clause's label.
         label: String,
+        /// The fact's head span, when parsed from source.
+        span: Option<Span>,
     },
     /// A head or constraint variable is not bound by any body atom.
     UnsafeVariable {
@@ -43,6 +55,8 @@ pub enum ProgramError {
         label: String,
         /// The unbound variable's name.
         var: String,
+        /// The span of the clause part using the unbound variable.
+        span: Option<Span>,
     },
     /// A predicate is used with two different arities.
     ArityMismatch {
@@ -52,11 +66,15 @@ pub enum ProgramError {
         expected: usize,
         /// Conflicting arity.
         found: usize,
+        /// The conflicting atom's span, when parsed from source.
+        span: Option<Span>,
     },
     /// Two clauses share a label.
     DuplicateLabel {
         /// The repeated label.
         label: String,
+        /// The second clause's span, when parsed from source.
+        span: Option<Span>,
     },
     /// A clause probability outside `[0, 1]` (programmatic construction).
     BadProbability {
@@ -64,54 +82,121 @@ pub enum ProgramError {
         label: String,
         /// The out-of-range value.
         prob: f64,
+        /// The probability literal's span, when parsed from source.
+        span: Option<Span>,
     },
     /// A rule whose body contains no atoms (only constraints, or nothing).
     EmptyBody {
         /// The offending clause's label.
         label: String,
+        /// The rule's span, when parsed from source.
+        span: Option<Span>,
     },
     /// Negation occurs inside a recursive cycle, so no stratification
     /// exists.
     NotStratified {
         /// A predicate on the offending negative cycle.
         pred: String,
+        /// The span of a rule on the cycle, when parsed from source.
+        span: Option<Span>,
     },
 }
 
-impl fmt::Display for ProgramError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl ProgramError {
+    /// The stable diagnostic code (`P3xxx`) for this error.
+    pub fn code(&self) -> &'static str {
         match self {
-            ProgramError::Parse(e) => write!(f, "{e}"),
-            ProgramError::NonGroundFact { label } => {
-                write!(f, "base tuple '{label}' contains a variable")
+            ProgramError::Parse(e) => e.code(),
+            ProgramError::UnsafeVariable { .. } => "P3101",
+            ProgramError::NonGroundFact { .. } => "P3102",
+            ProgramError::EmptyBody { .. } => "P3103",
+            ProgramError::DuplicateLabel { .. } => "P3104",
+            ProgramError::ArityMismatch { .. } => "P3105",
+            ProgramError::NotStratified { .. } => "P3201",
+            ProgramError::BadProbability { .. } => "P3301",
+        }
+    }
+
+    /// The source span of the offending construct, when known.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            ProgramError::Parse(e) => Some(e.span),
+            ProgramError::NonGroundFact { span, .. }
+            | ProgramError::UnsafeVariable { span, .. }
+            | ProgramError::ArityMismatch { span, .. }
+            | ProgramError::DuplicateLabel { span, .. }
+            | ProgramError::BadProbability { span, .. }
+            | ProgramError::EmptyBody { span, .. }
+            | ProgramError::NotStratified { span, .. } => *span,
+        }
+    }
+
+    /// The label of the offending clause, when the error concerns one.
+    pub fn clause_label(&self) -> Option<&str> {
+        match self {
+            ProgramError::NonGroundFact { label, .. }
+            | ProgramError::UnsafeVariable { label, .. }
+            | ProgramError::DuplicateLabel { label, .. }
+            | ProgramError::BadProbability { label, .. }
+            | ProgramError::EmptyBody { label, .. } => Some(label),
+            _ => None,
+        }
+    }
+
+    /// The human message, without code or location.
+    pub fn message(&self) -> String {
+        match self {
+            ProgramError::Parse(e) => e.to_diagnostic().message,
+            ProgramError::NonGroundFact { label, .. } => {
+                format!("base tuple '{label}' contains a variable")
             }
-            ProgramError::UnsafeVariable { label, var } => write!(
-                f,
+            ProgramError::UnsafeVariable { label, var, .. } => format!(
                 "clause '{label}' is unsafe: variable {var} does not occur in any body atom"
             ),
             ProgramError::ArityMismatch {
                 pred,
                 expected,
                 found,
-            } => write!(
-                f,
+                ..
+            } => format!(
                 "predicate '{pred}' used with arity {found} but previously with arity {expected}"
             ),
-            ProgramError::DuplicateLabel { label } => {
-                write!(f, "duplicate clause label '{label}'")
+            ProgramError::DuplicateLabel { label, .. } => {
+                format!("duplicate clause label '{label}'")
             }
-            ProgramError::BadProbability { label, prob } => {
-                write!(f, "clause '{label}' has probability {prob} outside [0, 1]")
+            ProgramError::BadProbability { label, prob, .. } => {
+                format!("clause '{label}' has probability {prob} outside [0, 1]")
             }
-            ProgramError::EmptyBody { label } => {
-                write!(f, "rule '{label}' has no body atoms")
+            ProgramError::EmptyBody { label, .. } => {
+                format!("rule '{label}' has no body atoms")
             }
-            ProgramError::NotStratified { pred } => write!(
-                f,
+            ProgramError::NotStratified { pred, .. } => format!(
                 "program is not stratified: predicate '{pred}' is negated within a \
                  recursive cycle"
             ),
         }
+    }
+
+    /// Converts to the shared diagnostic structure. All validation errors
+    /// are error severity; the span (when present) still needs
+    /// [`Diagnostic::locate`] against the source to resolve line/column.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        if let ProgramError::Parse(e) = self {
+            return e.to_diagnostic();
+        }
+        let mut d = Diagnostic::error(self.code(), self.message()).with_span(self.span());
+        if let Some(label) = self.clause_label() {
+            d = d.with_clause(label);
+        }
+        d
+    }
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // One formatting path for parse, validation, and lint findings:
+        // everything renders through `Diagnostic`.
+        write!(f, "{}", self.to_diagnostic())
     }
 }
 
@@ -131,40 +216,59 @@ impl From<ParseError> for ProgramError {
 }
 
 impl Program {
-    /// Parses and validates source text.
+    /// Parses and validates source text, retaining clause spans and the
+    /// source itself so later diagnostics can render rustc-style excerpts.
     pub fn parse(src: &str) -> Result<Self, ProgramError> {
         let parsed = parser::parse(src)?;
-        Self::from_clauses(parsed.clauses, parsed.symbols)
+        Self::validated(
+            parsed.clauses,
+            parsed.symbols,
+            parsed.spans,
+            Some(src.to_string()),
+        )
     }
 
     /// Validates clauses constructed programmatically (for example by a
-    /// [`ProgramBuilder`]).
+    /// [`ProgramBuilder`]). Such programs carry no spans.
     pub fn from_clauses(clauses: Vec<Clause>, symbols: SymbolTable) -> Result<Self, ProgramError> {
+        Self::validated(clauses, symbols, Vec::new(), None)
+    }
+
+    fn validated(
+        clauses: Vec<Clause>,
+        symbols: SymbolTable,
+        spans: Vec<ClauseSpans>,
+        source: Option<String>,
+    ) -> Result<Self, ProgramError> {
         let mut labels = HashMap::new();
         let mut arities: HashMap<Symbol, usize> = HashMap::new();
 
-        let mut check_arity = |atom: &Atom, syms: &SymbolTable| -> Result<(), ProgramError> {
-            match arities.get(&atom.pred) {
-                Some(&expected) if expected != atom.args.len() => {
-                    Err(ProgramError::ArityMismatch {
-                        pred: syms.resolve(atom.pred).to_string(),
-                        expected,
-                        found: atom.args.len(),
-                    })
+        let mut check_arity =
+            |atom: &Atom, span: Option<Span>, syms: &SymbolTable| -> Result<(), ProgramError> {
+                match arities.get(&atom.pred) {
+                    Some(&expected) if expected != atom.args.len() => {
+                        Err(ProgramError::ArityMismatch {
+                            pred: syms.resolve(atom.pred).to_string(),
+                            expected,
+                            found: atom.args.len(),
+                            span,
+                        })
+                    }
+                    Some(_) => Ok(()),
+                    None => {
+                        arities.insert(atom.pred, atom.args.len());
+                        Ok(())
+                    }
                 }
-                Some(_) => Ok(()),
-                None => {
-                    arities.insert(atom.pred, atom.args.len());
-                    Ok(())
-                }
-            }
-        };
+            };
 
         for (i, clause) in clauses.iter().enumerate() {
+            let cspans = spans.get(i);
             if !(0.0..=1.0).contains(&clause.prob) {
                 return Err(ProgramError::BadProbability {
                     label: clause.label.clone(),
                     prob: clause.prob,
+                    span: cspans.map(|s| s.prob.unwrap_or(s.clause)),
                 });
             }
             if labels
@@ -173,14 +277,16 @@ impl Program {
             {
                 return Err(ProgramError::DuplicateLabel {
                     label: clause.label.clone(),
+                    span: cspans.map(|s| s.clause),
                 });
             }
-            check_arity(&clause.head, &symbols)?;
+            check_arity(&clause.head, cspans.map(|s| s.head), &symbols)?;
             match &clause.kind {
                 ClauseKind::Fact => {
                     if !clause.head.is_ground() {
                         return Err(ProgramError::NonGroundFact {
                             label: clause.label.clone(),
+                            span: cspans.map(|s| s.head),
                         });
                     }
                 }
@@ -192,29 +298,46 @@ impl Program {
                     if body.is_empty() {
                         return Err(ProgramError::EmptyBody {
                             label: clause.label.clone(),
+                            span: cspans.map(|s| s.clause),
                         });
                     }
                     let mut bound: HashSet<Symbol> = HashSet::new();
-                    for atom in body {
-                        check_arity(atom, &symbols)?;
+                    for (j, atom) in body.iter().enumerate() {
+                        check_arity(atom, cspans.and_then(|s| s.body.get(j).copied()), &symbols)?;
                         bound.extend(atom.vars());
                     }
-                    let negated_vars = negated.iter().flat_map(Atom::vars);
-                    for var in clause
-                        .head
-                        .vars()
-                        .chain(constraints.iter().flat_map(|c| c.vars()))
-                        .chain(negated_vars)
-                    {
+                    // Safety: each unbound use is reported at the span of
+                    // the clause part (head, constraint, negated atom)
+                    // that uses the variable.
+                    let unsafe_var =
+                        |var: Symbol, span: Option<Span>| ProgramError::UnsafeVariable {
+                            label: clause.label.clone(),
+                            var: symbols.resolve(var).to_string(),
+                            span,
+                        };
+                    for var in clause.head.vars() {
                         if !bound.contains(&var) {
-                            return Err(ProgramError::UnsafeVariable {
-                                label: clause.label.clone(),
-                                var: symbols.resolve(var).to_string(),
-                            });
+                            return Err(unsafe_var(var, cspans.map(|s| s.head)));
                         }
                     }
-                    for atom in negated {
-                        check_arity(atom, &symbols)?;
+                    for (j, constraint) in constraints.iter().enumerate() {
+                        for var in constraint.vars() {
+                            if !bound.contains(&var) {
+                                return Err(unsafe_var(
+                                    var,
+                                    cspans.and_then(|s| s.constraints.get(j).copied()),
+                                ));
+                            }
+                        }
+                    }
+                    for (j, atom) in negated.iter().enumerate() {
+                        let span = cspans.and_then(|s| s.negated.get(j).copied());
+                        for var in atom.vars() {
+                            if !bound.contains(&var) {
+                                return Err(unsafe_var(var, span));
+                            }
+                        }
+                        check_arity(atom, span, &symbols)?;
                     }
                 }
             }
@@ -231,13 +354,15 @@ impl Program {
             }
         }
 
-        let strata = compute_strata(&clauses, &symbols)?;
+        let strata = compute_strata(&clauses, &symbols, &spans)?;
         Ok(Self {
             clauses,
             symbols,
             labels,
             arities: arities_final,
             strata,
+            spans,
+            source,
         })
     }
 
@@ -314,10 +439,32 @@ impl Program {
 
     /// Returns a copy of this program with the probability of clause `id`
     /// replaced by `prob`. Used by modification queries to apply a fix.
+    /// Spans and source are preserved so diagnostics keep their locations.
     pub fn with_probability(&self, id: ClauseId, prob: f64) -> Result<Self, ProgramError> {
         let mut clauses = self.clauses.clone();
         clauses[id.index()].prob = prob;
-        Self::from_clauses(clauses, self.symbols.clone())
+        Self::validated(
+            clauses,
+            self.symbols.clone(),
+            self.spans.clone(),
+            self.source.clone(),
+        )
+    }
+
+    /// The original source text, when the program was parsed from text.
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
+    }
+
+    /// Byte spans of every clause's parts, parallel to [`Self::clauses`].
+    /// Empty for programmatically built programs.
+    pub fn spans(&self) -> &[ClauseSpans] {
+        &self.spans
+    }
+
+    /// The spans of clause `id`, when the program was parsed from text.
+    pub fn clause_spans(&self, id: ClauseId) -> Option<&ClauseSpans> {
+        self.spans.get(id.index())
     }
 }
 
@@ -328,6 +475,7 @@ impl Program {
 fn compute_strata(
     clauses: &[Clause],
     symbols: &SymbolTable,
+    spans: &[ClauseSpans],
 ) -> Result<HashMap<Symbol, usize>, ProgramError> {
     let mut strata: HashMap<Symbol, usize> = HashMap::new();
     for clause in clauses {
@@ -340,7 +488,7 @@ fn compute_strata(
     let mut changed = true;
     while changed {
         changed = false;
-        for clause in clauses {
+        for (i, clause) in clauses.iter().enumerate() {
             if clause.is_fact() {
                 continue;
             }
@@ -356,6 +504,7 @@ fn compute_strata(
                 if required >= num_preds {
                     return Err(ProgramError::NotStratified {
                         pred: symbols.resolve(clause.head.pred).to_string(),
+                        span: spans.get(i).map(|s| s.clause),
                     });
                 }
                 *head = required;
@@ -610,6 +759,44 @@ mod tests {
         let p = Program::parse(src).unwrap();
         let p2 = Program::parse(&p.to_source()).unwrap();
         assert_eq!(p.to_source(), p2.to_source());
+    }
+
+    #[test]
+    fn validation_errors_carry_spans_and_codes() {
+        // Multi-line program: the error is on line 3 and must resolve there.
+        let src = "t1 1.0: p(a).\nt2 1.0: p(b).\nr1 0.5: q(X) :- p(X), X != Z.\n";
+        let err = Program::parse(src).unwrap_err();
+        assert_eq!(err.code(), "P3101");
+        let span = err.span().expect("parsed programs have spans");
+        assert_eq!(&src[span.start..span.end], "X != Z");
+        let d = err.to_diagnostic().locate(src);
+        assert_eq!(d.line, 3);
+        assert!(d.column > 1);
+        let rendered = d.render(Some(src), Some("bad.pl"));
+        assert!(rendered.contains("error[P3101]"), "{rendered}");
+        assert!(rendered.contains("bad.pl:3:"), "{rendered}");
+        assert!(rendered.contains("^"), "{rendered}");
+    }
+
+    #[test]
+    fn builder_errors_have_no_span_but_keep_codes() {
+        let mut b = ProgramBuilder::new();
+        b.fact("t1", 1.5, "p", &[T::sym("a")]);
+        let err = b.build().unwrap_err();
+        assert_eq!(err.code(), "P3301");
+        assert!(err.span().is_none());
+        assert!(err.to_string().contains("P3301"), "{err}");
+    }
+
+    #[test]
+    fn parsed_program_retains_source_and_spans() {
+        let src = "t1 0.5: p(a).\nr1 1.0: q(X) :- p(X).\n";
+        let p = Program::parse(src).unwrap();
+        assert_eq!(p.source(), Some(src));
+        assert_eq!(p.spans().len(), 2);
+        let id = p.clause_by_label("r1").unwrap();
+        let spans = p.clause_spans(id).unwrap();
+        assert_eq!(&src[spans.head.start..spans.head.end], "q(X)");
     }
 
     #[test]

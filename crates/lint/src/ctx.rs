@@ -1,0 +1,67 @@
+//! The shared pass context: the parsed program plus span lookups and the
+//! accumulating diagnostic list.
+
+use p3_datalog::ast::Clause;
+use p3_datalog::diag::Diagnostic;
+use p3_datalog::parser::{ClauseSpans, Span};
+use p3_datalog::symbol::{Symbol, SymbolTable};
+
+/// Everything a pass needs: clauses, names, spans, and the sink.
+pub(crate) struct Ctx<'a> {
+    pub clauses: &'a [Clause],
+    pub symbols: &'a SymbolTable,
+    spans: &'a [ClauseSpans],
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn new(clauses: &'a [Clause], symbols: &'a SymbolTable, spans: &'a [ClauseSpans]) -> Self {
+        Self {
+            clauses,
+            symbols,
+            spans,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Resolves a predicate or variable symbol to its name.
+    pub fn name(&self, sym: Symbol) -> &str {
+        self.symbols.resolve(sym)
+    }
+
+    /// Records one finding.
+    pub fn emit(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Span accessors: all return `None` for programmatically built
+    /// programs, which carry no spans.
+    pub fn clause_span(&self, i: usize) -> Option<Span> {
+        self.spans.get(i).map(|s| s.clause)
+    }
+
+    pub fn head_span(&self, i: usize) -> Option<Span> {
+        self.spans.get(i).map(|s| s.head)
+    }
+
+    pub fn prob_span(&self, i: usize) -> Option<Span> {
+        self.spans
+            .get(i)
+            .and_then(|s| s.prob)
+            .or_else(|| self.clause_span(i))
+    }
+
+    pub fn body_span(&self, i: usize, j: usize) -> Option<Span> {
+        self.spans.get(i).and_then(|s| s.body.get(j).copied())
+    }
+
+    pub fn negated_span(&self, i: usize, j: usize) -> Option<Span> {
+        self.spans.get(i).and_then(|s| s.negated.get(j).copied())
+    }
+
+    pub fn constraint_span(&self, i: usize, j: usize) -> Option<Span> {
+        self.spans
+            .get(i)
+            .and_then(|s| s.constraints.get(j).copied())
+    }
+}

@@ -1,0 +1,187 @@
+//! Predicate dependency graph and strongly connected components.
+//!
+//! Nodes are predicate symbols; there is an edge `head -> p` for every
+//! predicate `p` occurring in the body of a rule defining `head`. Positive
+//! and negative occurrences are tracked separately so the stratification
+//! pass can tell which SCC-internal edges go through negation.
+
+use p3_datalog::ast::Clause;
+use p3_datalog::symbol::Symbol;
+use std::collections::{HashMap, HashSet};
+
+/// The predicate dependency graph of a program.
+pub(crate) struct DepGraph {
+    /// Dense node ids, in first-occurrence order (heads first, then bodies).
+    pub preds: Vec<Symbol>,
+    index: HashMap<Symbol, usize>,
+    /// `succ[u]` lists every node reachable by one (positive or negative)
+    /// dependency edge from `u`, deduplicated.
+    succ: Vec<Vec<usize>>,
+    /// Edges induced by negated body atoms, as `(head, body_pred)` node pairs.
+    pub neg_edges: HashSet<(usize, usize)>,
+}
+
+impl DepGraph {
+    pub fn build(clauses: &[Clause]) -> Self {
+        let mut graph = DepGraph {
+            preds: Vec::new(),
+            index: HashMap::new(),
+            succ: Vec::new(),
+            neg_edges: HashSet::new(),
+        };
+        for clause in clauses {
+            graph.node(clause.head.pred);
+        }
+        for clause in clauses {
+            let head = graph.node(clause.head.pred);
+            for atom in clause.body() {
+                let dep = graph.node(atom.pred);
+                graph.edge(head, dep);
+            }
+            for atom in clause.negated() {
+                let dep = graph.node(atom.pred);
+                graph.edge(head, dep);
+                graph.neg_edges.insert((head, dep));
+            }
+        }
+        graph
+    }
+
+    /// The dense id for `pred`, if it occurs anywhere in the program.
+    pub fn id(&self, pred: Symbol) -> Option<usize> {
+        self.index.get(&pred).copied()
+    }
+
+    fn node(&mut self, pred: Symbol) -> usize {
+        if let Some(&i) = self.index.get(&pred) {
+            return i;
+        }
+        let i = self.preds.len();
+        self.preds.push(pred);
+        self.index.insert(pred, i);
+        self.succ.push(Vec::new());
+        i
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.succ[from].contains(&to) {
+            self.succ[from].push(to);
+        }
+    }
+
+    /// Strongly connected components via iterative Tarjan, in reverse
+    /// topological order (callees before callers). Each component lists its
+    /// member node ids.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        const UNVISITED: usize = usize::MAX;
+        let n = self.preds.len();
+        let mut order = vec![UNVISITED; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_order = 0usize;
+        let mut components = Vec::new();
+        // Explicit DFS frames: (node, index of next successor to visit).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+
+        for root in 0..n {
+            if order[root] != UNVISITED {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&mut (v, ref mut next)) = frames.last_mut() {
+                if *next == 0 {
+                    order[v] = next_order;
+                    low[v] = next_order;
+                    next_order += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = self.succ[v].get(*next) {
+                    *next += 1;
+                    if order[w] == UNVISITED {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(order[w]);
+                    }
+                    continue;
+                }
+                // All successors done: pop the frame, maybe emit an SCC.
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == order[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(component);
+                }
+            }
+        }
+        components
+    }
+
+    /// True when node `v` sits on a cycle: its SCC has more than one member,
+    /// or it has a self-loop.
+    pub fn self_loop(&self, v: usize) -> bool {
+        self.succ[v].contains(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3_datalog::Program;
+
+    fn graph_of(src: &str) -> (DepGraph, Program) {
+        let program = Program::parse(src).expect("parse");
+        let graph = DepGraph::build(program.clauses());
+        (graph, program)
+    }
+
+    #[test]
+    fn sccs_group_mutual_recursion() {
+        let (graph, program) = graph_of(
+            "f(a).\n\
+             p(X) :- q(X).\n\
+             q(X) :- p(X).\n\
+             r(X) :- p(X), f(X).\n",
+        );
+        let p = program.symbols().get("p").unwrap();
+        let q = program.symbols().get("q").unwrap();
+        let sccs = graph.sccs();
+        let pq = sccs
+            .iter()
+            .find(|c| c.iter().any(|&v| graph.preds[v] == p))
+            .unwrap();
+        assert_eq!(pq.len(), 2);
+        assert!(pq.iter().any(|&v| graph.preds[v] == q));
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let (graph, program) = graph_of("e(a,b).\nt(X,Y) :- e(X,Y).\nt(X,Y) :- t(X,Z), e(Z,Y).\n");
+        let t = program.symbols().get("t").unwrap();
+        let id = graph.id(t).unwrap();
+        assert!(graph.self_loop(id));
+        let sccs = graph.sccs();
+        let t_scc = sccs.iter().find(|c| c.contains(&id)).unwrap();
+        assert_eq!(t_scc.len(), 1, "self-recursive pred is its own SCC");
+    }
+
+    #[test]
+    fn neg_edges_are_recorded() {
+        let (graph, program) = graph_of("a(x).\nb(x).\ns(X) :- a(X), \\+ b(X).\n");
+        let s = graph.id(program.symbols().get("s").unwrap()).unwrap();
+        let b = graph.id(program.symbols().get("b").unwrap()).unwrap();
+        assert!(graph.neg_edges.contains(&(s, b)));
+        assert_eq!(graph.neg_edges.len(), 1);
+    }
+}

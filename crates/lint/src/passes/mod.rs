@@ -1,0 +1,7 @@
+//! The lint passes, run in pipeline order by [`crate::lint_source`].
+
+pub(crate) mod names;
+pub(crate) mod prob;
+pub(crate) mod reach;
+pub(crate) mod safety;
+pub(crate) mod strata;

@@ -1,0 +1,184 @@
+//! Name hygiene: duplicate labels (P3104), arity mismatches (P3105) and
+//! undefined predicates with typo suggestions (P3501).
+
+use crate::ctx::Ctx;
+use p3_datalog::diag::Diagnostic;
+use p3_datalog::parser::Span;
+use p3_datalog::symbol::Symbol;
+use std::collections::{HashMap, HashSet};
+
+pub(crate) fn run(ctx: &mut Ctx<'_>) {
+    duplicate_labels(ctx);
+    arities(ctx);
+    undefined_predicates(ctx);
+}
+
+fn duplicate_labels(ctx: &mut Ctx<'_>) {
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    let mut findings = Vec::new();
+    for (i, clause) in ctx.clauses.iter().enumerate() {
+        if let Some(&first) = seen.get(clause.label.as_str()) {
+            findings.push((i, first, clause.label.clone()));
+        } else {
+            seen.insert(&clause.label, i);
+        }
+    }
+    for (i, first, label) in findings {
+        let d = Diagnostic::error("P3104", format!("duplicate clause label '{label}'"))
+            .with_span(ctx.clause_span(i))
+            .with_clause(&label)
+            .with_help(format!(
+                "the label was first used by clause {}; labels name the Boolean \
+                 random variables, so each must be unique",
+                first + 1
+            ));
+        ctx.emit(d);
+    }
+}
+
+fn arities(ctx: &mut Ctx<'_>) {
+    let mut arities: HashMap<Symbol, usize> = HashMap::new();
+    let mut findings: Vec<(Symbol, usize, usize, Option<Span>, String)> = Vec::new();
+    let mut check = |arities: &mut HashMap<Symbol, usize>,
+                     pred: Symbol,
+                     arity: usize,
+                     span: Option<Span>,
+                     label: &str| {
+        match arities.get(&pred) {
+            Some(&expected) if expected != arity => {
+                findings.push((pred, expected, arity, span, label.to_string()));
+            }
+            Some(_) => {}
+            None => {
+                arities.insert(pred, arity);
+            }
+        }
+    };
+    for (i, clause) in ctx.clauses.iter().enumerate() {
+        check(
+            &mut arities,
+            clause.head.pred,
+            clause.head.args.len(),
+            ctx.head_span(i),
+            &clause.label,
+        );
+        for (j, atom) in clause.body().iter().enumerate() {
+            check(
+                &mut arities,
+                atom.pred,
+                atom.args.len(),
+                ctx.body_span(i, j),
+                &clause.label,
+            );
+        }
+        for (j, atom) in clause.negated().iter().enumerate() {
+            check(
+                &mut arities,
+                atom.pred,
+                atom.args.len(),
+                ctx.negated_span(i, j),
+                &clause.label,
+            );
+        }
+    }
+    for (pred, expected, found, span, label) in findings {
+        let d = Diagnostic::error(
+            "P3105",
+            format!(
+                "predicate '{}' used with arity {found} but previously with arity {expected}",
+                ctx.name(pred)
+            ),
+        )
+        .with_span(span)
+        .with_clause(&label);
+        ctx.emit(d);
+    }
+}
+
+fn undefined_predicates(ctx: &mut Ctx<'_>) {
+    let defined: HashSet<Symbol> = ctx.clauses.iter().map(|c| c.head.pred).collect();
+    let mut reported: HashSet<Symbol> = HashSet::new();
+    let mut findings = Vec::new();
+    for (i, clause) in ctx.clauses.iter().enumerate() {
+        let atoms = clause
+            .body()
+            .iter()
+            .enumerate()
+            .map(|(j, a)| (a, ctx.body_span(i, j)))
+            .chain(
+                clause
+                    .negated()
+                    .iter()
+                    .enumerate()
+                    .map(|(j, a)| (a, ctx.negated_span(i, j))),
+            );
+        for (atom, span) in atoms {
+            if !defined.contains(&atom.pred) && reported.insert(atom.pred) {
+                findings.push((atom.pred, span, clause.label.clone()));
+            }
+        }
+    }
+    for (pred, span, label) in findings {
+        let name = ctx.name(pred);
+        let suggestion = defined
+            .iter()
+            .map(|&d| ctx.name(d))
+            .filter(|cand| edit_distance_at_most_one(name, cand))
+            .min()
+            .map(str::to_string);
+        let mut d = Diagnostic::warn(
+            "P3501",
+            format!("predicate '{name}' is used in a body but never defined by any fact or rule"),
+        )
+        .with_span(span)
+        .with_clause(&label);
+        if let Some(candidate) = suggestion {
+            d = d.with_help(format!("did you mean '{candidate}'?"));
+        }
+        ctx.emit(d);
+    }
+}
+
+/// True when `a` and `b` differ by at most one insertion, deletion or
+/// substitution (and are not equal).
+fn edit_distance_at_most_one(a: &str, b: &str) -> bool {
+    if a == b {
+        return false;
+    }
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
+    if long.len() - short.len() > 1 {
+        return false;
+    }
+    let mut i = 0;
+    while i < short.len() && short[i] == long[i] {
+        i += 1;
+    }
+    if short.len() == long.len() {
+        // One substitution: tails after the mismatch must agree.
+        short[i + 1..] == long[i + 1..]
+    } else {
+        // One insertion in `long`: skip the extra char and compare tails.
+        short[i..] == long[i + 1..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::edit_distance_at_most_one;
+
+    #[test]
+    fn edit_distance_one() {
+        assert!(edit_distance_at_most_one("edge", "edgs"));
+        assert!(edit_distance_at_most_one("edge", "edg"));
+        assert!(edit_distance_at_most_one("edg", "edge"));
+        assert!(edit_distance_at_most_one("edge", "ledge"));
+        assert!(!edit_distance_at_most_one("edge", "edge"));
+        assert!(!edit_distance_at_most_one("edge", "node"));
+        assert!(!edit_distance_at_most_one("edge", "ed"));
+    }
+}

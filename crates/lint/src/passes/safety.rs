@@ -1,0 +1,88 @@
+//! Range-restriction (safety) checks: P3101, P3102, P3103.
+//!
+//! These mirror `Program` validation but keep going after the first
+//! finding, so one lint run reports every violation in the file.
+
+use crate::ctx::Ctx;
+use p3_datalog::ast::ClauseKind;
+use p3_datalog::diag::Diagnostic;
+use p3_datalog::symbol::Symbol;
+use std::collections::HashSet;
+
+pub(crate) fn run(ctx: &mut Ctx<'_>) {
+    for (i, clause) in ctx.clauses.iter().enumerate() {
+        match &clause.kind {
+            ClauseKind::Fact => {
+                if !clause.head.is_ground() {
+                    let d = Diagnostic::error(
+                        "P3102",
+                        format!("base tuple '{}' contains a variable", clause.label),
+                    )
+                    .with_span(ctx.head_span(i))
+                    .with_clause(&clause.label)
+                    .with_help("facts must be ground: replace each variable with a constant");
+                    ctx.emit(d);
+                }
+            }
+            ClauseKind::Rule {
+                body,
+                negated,
+                constraints,
+            } => {
+                if body.is_empty() {
+                    let d = Diagnostic::error(
+                        "P3103",
+                        format!("rule '{}' has no body atoms", clause.label),
+                    )
+                    .with_span(ctx.clause_span(i))
+                    .with_clause(&clause.label)
+                    .with_help(
+                        "a rule needs at least one positive body atom to bind its variables",
+                    );
+                    ctx.emit(d);
+                }
+                let bound: HashSet<Symbol> = body.iter().flat_map(|a| a.vars()).collect();
+                // Report each unbound variable once per clause, at the span
+                // of the first part that uses it.
+                let mut reported: HashSet<Symbol> = HashSet::new();
+                let mut findings = Vec::new();
+                for var in clause.head.vars() {
+                    if !bound.contains(&var) && reported.insert(var) {
+                        findings.push((var, ctx.head_span(i)));
+                    }
+                }
+                for (j, constraint) in constraints.iter().enumerate() {
+                    for var in constraint.vars() {
+                        if !bound.contains(&var) && reported.insert(var) {
+                            findings.push((var, ctx.constraint_span(i, j)));
+                        }
+                    }
+                }
+                for (j, atom) in negated.iter().enumerate() {
+                    for var in atom.vars() {
+                        if !bound.contains(&var) && reported.insert(var) {
+                            findings.push((var, ctx.negated_span(i, j)));
+                        }
+                    }
+                }
+                for (var, span) in findings {
+                    let d = Diagnostic::error(
+                        "P3101",
+                        format!(
+                            "clause '{}' is unsafe: variable {} does not occur in any body atom",
+                            clause.label,
+                            ctx.name(var)
+                        ),
+                    )
+                    .with_span(span)
+                    .with_clause(&clause.label)
+                    .with_help(
+                        "every head, constraint and negated-atom variable must also appear \
+                         in a positive body atom",
+                    );
+                    ctx.emit(d);
+                }
+            }
+        }
+    }
+}

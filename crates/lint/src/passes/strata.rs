@@ -1,0 +1,138 @@
+//! Graph-level checks: unstratified negation (P3201), negation outside the
+//! provenance model (P3202), recursive-SCC cost notes (P3601) and high rule
+//! fan-in (P3602).
+
+use crate::ctx::Ctx;
+use crate::graph::DepGraph;
+use p3_datalog::diag::Diagnostic;
+use p3_datalog::symbol::Symbol;
+use std::collections::HashMap;
+
+pub(crate) fn run(ctx: &mut Ctx<'_>) {
+    let graph = DepGraph::build(ctx.clauses);
+    let sccs = graph.sccs();
+    let mut scc_of: HashMap<usize, usize> = HashMap::new();
+    for (k, component) in sccs.iter().enumerate() {
+        for &v in component {
+            scc_of.insert(v, k);
+        }
+    }
+
+    negation(ctx, &graph, &scc_of);
+    recursive_cost(ctx, &graph, &sccs);
+    fan_in(ctx);
+}
+
+fn negation(ctx: &mut Ctx<'_>, graph: &DepGraph, scc_of: &HashMap<usize, usize>) {
+    let mut first_negated: Option<(usize, usize)> = None;
+    let mut unstratified = Vec::new();
+    for (i, clause) in ctx.clauses.iter().enumerate() {
+        for (j, atom) in clause.negated().iter().enumerate() {
+            if first_negated.is_none() {
+                first_negated = Some((i, j));
+            }
+            let head = graph.id(clause.head.pred);
+            let dep = graph.id(atom.pred);
+            if let (Some(h), Some(d)) = (head, dep) {
+                if scc_of.get(&h) == scc_of.get(&d) {
+                    unstratified.push((i, j, atom.pred, clause.label.clone()));
+                }
+            }
+        }
+    }
+    for (i, j, pred, label) in unstratified {
+        let d = Diagnostic::error(
+            "P3201",
+            format!(
+                "program is not stratified: predicate '{}' is negated within a recursive cycle",
+                ctx.name(pred)
+            ),
+        )
+        .with_span(ctx.negated_span(i, j))
+        .with_clause(&label)
+        .with_help(
+            "negation through recursion has no least fixpoint; break the cycle or \
+             move the negated predicate to a lower stratum",
+        );
+        ctx.emit(d);
+    }
+    if let Some((i, j)) = first_negated {
+        let d = Diagnostic::warn(
+            "P3202",
+            "program uses negation: provenance queries will be rejected (the P3 model \
+             is negation-free)"
+                .to_string(),
+        )
+        .with_span(ctx.negated_span(i, j))
+        .with_help(
+            "the engine evaluates stratified negation, but Boolean provenance and all \
+             probability computations require a positive program",
+        );
+        ctx.emit(d);
+    }
+}
+
+fn recursive_cost(ctx: &mut Ctx<'_>, graph: &DepGraph, sccs: &[Vec<usize>]) {
+    for component in sccs {
+        let recursive = component.len() > 1 || graph.self_loop(component[0]);
+        if !recursive {
+            continue;
+        }
+        let mut names: Vec<&str> = component
+            .iter()
+            .map(|&v| ctx.name(graph.preds[v]))
+            .collect();
+        names.sort_unstable();
+        let listed = names.join(", ");
+        // Anchor the note at the first rule whose head is in this SCC.
+        let anchor = ctx
+            .clauses
+            .iter()
+            .position(|c| c.is_rule() && component.iter().any(|&v| graph.preds[v] == c.head.pred));
+        let (span, label) = match anchor {
+            Some(i) => (ctx.clause_span(i), Some(ctx.clauses[i].label.clone())),
+            None => (None, None),
+        };
+        let mut d = Diagnostic::info("P3601", format!("recursive cycle through {{{listed}}}"))
+            .with_span(span)
+            .with_help(
+                "cyclic derivations are cut by the hop-limited cycle elimination of \u{a7}3.3; \
+             deep recursion grows grounding time and provenance size",
+            );
+        if let Some(label) = label {
+            d = d.with_clause(&label);
+        }
+        ctx.emit(d);
+    }
+}
+
+fn fan_in(ctx: &mut Ctx<'_>) {
+    const FAN_IN_NOTE: usize = 4;
+    let mut rule_counts: HashMap<Symbol, usize> = HashMap::new();
+    for clause in ctx.clauses.iter().filter(|c| c.is_rule()) {
+        *rule_counts.entry(clause.head.pred).or_insert(0) += 1;
+    }
+    let mut flagged: Vec<(usize, Symbol, usize, String)> = Vec::new();
+    for (i, clause) in ctx.clauses.iter().enumerate() {
+        if !clause.is_rule() {
+            continue;
+        }
+        let count = rule_counts[&clause.head.pred];
+        if count >= FAN_IN_NOTE && !flagged.iter().any(|f| f.1 == clause.head.pred) {
+            flagged.push((i, clause.head.pred, count, clause.label.clone()));
+        }
+    }
+    for (i, pred, count, label) in flagged {
+        let d = Diagnostic::info(
+            "P3602",
+            format!("predicate '{}' is defined by {count} rules", ctx.name(pred)),
+        )
+        .with_span(ctx.head_span(i))
+        .with_clause(&label)
+        .with_help(
+            "each alternative multiplies the derivation DNF; consider splitting the \
+             predicate if provenance extraction slows down",
+        );
+        ctx.emit(d);
+    }
+}

@@ -1,0 +1,115 @@
+//! Corpus tests: every lint code has a triggering program under
+//! `tests/corpus/bad/` (with a snapshot of its expected diagnostics in the
+//! matching `.expected` file) and a clean counterpart under
+//! `tests/corpus/clean/` that must not produce the code.
+//!
+//! Regenerate snapshots after an intentional diagnostic change with
+//! `P3_UPDATE_EXPECTED=1 cargo test -p p3-lint --test corpus`.
+
+use p3_lint::{lint_source, LintReport};
+use std::path::{Path, PathBuf};
+
+/// All codes the analyzer can emit, one corpus pair each.
+const CODES: &[&str] = &[
+    "P3001", "P3101", "P3102", "P3103", "P3104", "P3105", "P3201", "P3202", "P3301", "P3302",
+    "P3303", "P3401", "P3402", "P3501", "P3601", "P3602",
+];
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// A compact, line-oriented snapshot of a report: one finding per line.
+fn brief(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&format!(
+            "{}[{}] {}:{} {}\n",
+            d.severity.as_str(),
+            d.code,
+            d.line,
+            d.column,
+            d.message
+        ));
+    }
+    out
+}
+
+#[test]
+fn every_code_has_a_triggering_program_matching_its_snapshot() {
+    let update = std::env::var_os("P3_UPDATE_EXPECTED").is_some();
+    for code in CODES {
+        let program = corpus_dir().join("bad").join(format!("{code}.pl"));
+        let src = std::fs::read_to_string(&program)
+            .unwrap_or_else(|e| panic!("missing corpus program {}: {e}", program.display()));
+        let report = lint_source(&src);
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == *code),
+            "{code}: corpus program did not trigger its code; got:\n{}",
+            brief(&report)
+        );
+        let snapshot = corpus_dir().join("bad").join(format!("{code}.expected"));
+        let actual = brief(&report);
+        if update {
+            std::fs::write(&snapshot, &actual).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&snapshot).unwrap_or_else(|e| {
+            panic!(
+                "missing snapshot {} (set P3_UPDATE_EXPECTED=1 to create): {e}",
+                snapshot.display()
+            )
+        });
+        assert_eq!(
+            actual,
+            expected,
+            "{code}: diagnostics drifted from snapshot {}",
+            snapshot.display()
+        );
+    }
+}
+
+#[test]
+fn every_code_has_a_clean_counterpart() {
+    for code in CODES {
+        let program = corpus_dir().join("clean").join(format!("{code}.pl"));
+        let src = std::fs::read_to_string(&program)
+            .unwrap_or_else(|e| panic!("missing clean program {}: {e}", program.display()));
+        let report = lint_source(&src);
+        assert!(
+            report.diagnostics.iter().all(|d| d.code != *code),
+            "{code}: clean counterpart still triggers the code:\n{}",
+            brief(&report)
+        );
+        assert!(
+            report.is_clean(),
+            "{code}: clean counterpart has error findings:\n{}",
+            brief(&report)
+        );
+    }
+}
+
+#[test]
+fn typo_findings_carry_a_suggestion() {
+    let program = corpus_dir().join("bad").join("P3501.pl");
+    let src = std::fs::read_to_string(&program).unwrap();
+    let report = lint_source(&src);
+    let typo = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "P3501")
+        .expect("P3501 finding");
+    assert_eq!(typo.help.as_deref(), Some("did you mean 'edge'?"));
+}
+
+#[test]
+fn bad_programs_render_with_source_excerpts() {
+    // Spot-check the rustc-style rendering on a spanned corpus finding.
+    let program = corpus_dir().join("bad").join("P3101.pl");
+    let src = std::fs::read_to_string(&program).unwrap();
+    let report = lint_source(&src);
+    let text = report.render(Some(&src), Some("P3101.pl"));
+    assert!(text.contains("error[P3101]"), "{text}");
+    assert!(text.contains("P3101.pl:3:"), "{text}");
+    assert!(text.contains('^'), "caret underline expected:\n{text}");
+}

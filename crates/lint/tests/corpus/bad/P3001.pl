@@ -1,0 +1,3 @@
+% A clause that stops mid-rule: parse error.
+t1 0.5: p(a).
+r1 0.9: q(X) :- .

@@ -1,0 +1,3 @@
+% Y never occurs in a positive body atom: the rule is unsafe.
+t1 0.5: e(a).
+r1 0.9: p(X,Y) :- e(X), Y != b.

@@ -1,0 +1,2 @@
+% A base tuple must be ground.
+t1 0.5: p(X).

@@ -1,0 +1,2 @@
+% A rule body needs at least one positive atom.
+r1 0.9: q(a) :- a = a.

@@ -1,0 +1,4 @@
+% Labels name the Boolean random variables; t1 is used twice.
+t1 0.5: p(a).
+t1 0.5: p(b).
+r1 0.9: q(X) :- p(X).

@@ -1,0 +1,3 @@
+% p is unary in the fact but binary in the rule body.
+t1 0.5: p(a).
+r1 0.9: q(X) :- p(X,X).

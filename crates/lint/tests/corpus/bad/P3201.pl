@@ -1,0 +1,3 @@
+% Negation inside a recursive cycle: no stratification exists.
+t1 0.5: p(a).
+r1 0.9: win(X) :- p(X), \+ win(X).

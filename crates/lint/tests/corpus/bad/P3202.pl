@@ -1,0 +1,4 @@
+% Stratified negation: evaluable, but outside the provenance model.
+t1 0.5: p(a).
+t2 0.5: q(a).
+r1 0.9: s(X) :- p(X), \+ q(X).

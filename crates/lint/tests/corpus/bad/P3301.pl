@@ -1,0 +1,2 @@
+% A probability literal outside [0, 1].
+t1 1.5: p(a).

@@ -1,0 +1,3 @@
+% Probability 0: the clause can never be present.
+t1 0.0: p(a).
+r1 0.9: q(X) :- p(X).

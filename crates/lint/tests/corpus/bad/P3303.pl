@@ -1,0 +1,4 @@
+% The same ground tuple asserted twice (noisy-or combines them).
+t1 0.5: p(a).
+t2 0.6: p(a).
+r1 0.9: q(X) :- p(X).

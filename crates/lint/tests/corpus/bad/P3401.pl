@@ -1,0 +1,4 @@
+% ghost has no base case, so neither rule can ever fire.
+t1 0.5: p(a).
+r1 0.9: q(X) :- p(X), ghost(X).
+r2 0.9: ghost(X) :- ghost(X), p(X).

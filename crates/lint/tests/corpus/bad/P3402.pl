@@ -1,0 +1,4 @@
+% orphan's tuples are never read by any rule body.
+t1 0.5: p(a).
+t2 0.5: orphan(b).
+r1 0.9: q(X) :- p(X).

@@ -1,0 +1,3 @@
+% edgs is a typo for edge (edit distance 1).
+t1 0.5: edge(a,b).
+r1 0.9: path(X,Y) :- edgs(X,Y).

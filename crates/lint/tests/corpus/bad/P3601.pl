@@ -1,0 +1,4 @@
+% Transitive closure: a recursive SCC, cut by the hop limit.
+t1 0.5: e(a,b).
+r1 0.9: t(X,Y) :- e(X,Y).
+r2 0.9: t(X,Y) :- t(X,Z), e(Z,Y).

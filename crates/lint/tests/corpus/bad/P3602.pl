@@ -1,0 +1,6 @@
+% Four alternatives for p: derivation DNF fan-in.
+t1 0.5: a(x).
+r1 0.9: p(X) :- a(X).
+r2 0.8: p(X) :- a(X).
+r3 0.7: p(X) :- a(X).
+r4 0.6: p(X) :- a(X).

@@ -1,0 +1,3 @@
+t1 0.5: e(a).
+t2 0.5: e(b).
+r1 0.9: p(X,Y) :- e(X), e(Y), Y != b.

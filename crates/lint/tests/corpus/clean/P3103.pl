@@ -1,0 +1,2 @@
+t1 0.5: w(a).
+r1 0.9: q(X) :- w(X), X = a.

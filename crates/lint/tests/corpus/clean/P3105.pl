@@ -1,0 +1,2 @@
+t1 0.5: p(a,a).
+r1 0.9: q(X) :- p(X,X).

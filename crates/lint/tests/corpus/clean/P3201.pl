@@ -1,0 +1,3 @@
+t1 0.5: p(a).
+t2 0.5: lost(a).
+r1 0.9: win(X) :- p(X), \+ lost(X).

@@ -1,0 +1,4 @@
+t1 0.5: p(a).
+t2 0.5: orphan(b).
+r1 0.9: q(X) :- p(X).
+r2 0.9: q(X) :- orphan(X).

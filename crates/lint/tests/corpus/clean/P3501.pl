@@ -1,0 +1,2 @@
+t1 0.5: edge(a,b).
+r1 0.9: path(X,Y) :- edge(X,Y).

@@ -1,0 +1,2 @@
+t1 0.5: e(a,b).
+r1 0.9: t(X,Y) :- e(X,Y).

@@ -1,0 +1,51 @@
+//! Property-based tests: the analyzer must never panic, whatever program it
+//! is handed, and generated workload programs must pass the error-severity
+//! gate (they are valid by construction — warnings such as duplicate ground
+//! facts are acceptable).
+
+use p3_lint::{lint_program, lint_source};
+use p3_workloads::random_programs::{generate, RandomConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_workloads_lint_clean_at_error_severity(
+        domain in 2usize..6,
+        facts in 1usize..30,
+        rules in 0usize..12,
+        recursion_bias in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let program = generate(RandomConfig { domain, facts, rules, recursion_bias, seed });
+
+        // Lint the structured program (spanless path)...
+        let report = lint_program(&program);
+        prop_assert!(
+            !report.has_errors(),
+            "generated program has lint errors (seed {seed}):\n{}",
+            report.render(program.source(), None)
+        );
+
+        // ...and its rendered source (full parse → lint pipeline). Both views
+        // must agree that the program passes the gate.
+        let src = program.source().expect("generated programs carry source");
+        let report = lint_source(src);
+        prop_assert!(
+            !report.has_errors(),
+            "generated source has lint errors (seed {seed}):\n{}",
+            report.render(Some(src), None)
+        );
+    }
+
+    #[test]
+    fn linting_arbitrary_text_never_panics(src in "[a-zA-Z0-9_ (),.:%\\-\\\\+!=<>\n]{0,160}") {
+        // Any byte soup must produce a report, not a panic: worst case is a
+        // single P3001 parse diagnostic.
+        let report = lint_source(&src);
+        for d in &report.diagnostics {
+            prop_assert!(!d.code.is_empty());
+        }
+    }
+}

@@ -32,7 +32,9 @@ COMMANDS:
     profile QUERY [TARGET]       stage-by-stage breakdown of one query
                                  (--class picks the query class; TARGET is
                                  required for --class modification)
-    load-program FILE            replace the served program (source sent inline)
+    load-program FILE            replace the served program (source sent inline;
+                                 --no-lint skips the pre-flight gate)
+    lint FILE                    static analysis of FILE without loading it
     stats                        server/session/store counters
     metrics                      Prometheus text exposition of all metrics
     trace [N]                    the N most recent request span trees [default: 10]
@@ -91,6 +93,7 @@ fn build_request(words: &[String]) -> Result<String, String> {
                 let x: f64 = take(opt)?.parse().map_err(|_| format!("bad {opt} value"))?;
                 pairs.push((opt.trim_start_matches('-').into(), Value::from(x)));
             }
+            "--no-lint" => pairs.push(("lint".into(), Value::Bool(false))),
             other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
             _ => positional.push(word),
         }
@@ -154,11 +157,13 @@ fn build_request(words: &[String]) -> Result<String, String> {
                 pairs.push(("target".into(), Value::from(target)));
             }
         }
-        "load-program" => {
-            let file = positional.first().ok_or("load-program needs a FILE")?;
+        "load-program" | "lint" => {
+            let file = positional
+                .first()
+                .ok_or_else(|| format!("{cmd} needs a FILE"))?;
             let source = std::fs::read_to_string(file.as_str())
                 .map_err(|e| format!("cannot read {file}: {e}"))?;
-            pairs.insert(0, ("op".into(), "load-program".into()));
+            pairs.insert(0, ("op".into(), cmd.into()));
             pairs.insert(1, ("source".into(), Value::from(source)));
         }
         other => return Err(format!("unknown command '{other}'")),

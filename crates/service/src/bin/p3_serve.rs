@@ -36,6 +36,7 @@ OPTIONS:
     --cache-cap N      per-table session cache cap (entries); omit for unbounded
     --timeout-ms N     default per-request deadline for requests without timeout_ms
     --slow-ms N        log requests slower than N ms at warn level
+    --no-lint          skip the lint pre-flight gate on the boot-time program
     -h, --help         print this help
 
 At least one of --tcp / --unix is required. Shut down with SIGTERM, SIGINT,
@@ -55,6 +56,7 @@ fn main() -> ExitCode {
     p3_obs::span::set_enabled(true);
     let mut args = std::env::args().skip(1);
     let mut program: Option<PathBuf> = None;
+    let mut lint = true;
     let mut config = ServerConfig::default();
 
     while let Some(arg) = args.next() {
@@ -115,6 +117,7 @@ fn main() -> ExitCode {
                 Ok(v) => config.slow_ms = Some(v),
                 Err(e) => return fail(&e),
             },
+            "--no-lint" => lint = false,
             other => return fail(&format!("unknown argument '{other}'")),
         }
     }
@@ -130,6 +133,21 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail(&format!("cannot read {}: {e}", program.display())),
     };
+    if lint {
+        // Same gate the load-program op applies: every error-severity
+        // finding is reported (with source excerpts) before refusing to
+        // serve; --no-lint falls back to plain parse + validate.
+        let report = p3_lint::lint_source(&source);
+        if report.has_errors() {
+            let name = program.display().to_string();
+            eprint!("{}", report.render(Some(&source), Some(&name)));
+            return fail(&format!(
+                "{} failed lint pre-flight ({}); pass --no-lint to skip the gate",
+                name,
+                report.summary_line()
+            ));
+        }
+    }
     let p3 = match p3_core::P3::from_source(&source) {
         Ok(p3) => p3,
         Err(e) => return fail(&format!("cannot load {}: {e}", program.display())),

@@ -48,6 +48,16 @@ pub enum Op {
         source: Option<String>,
         /// Server-side file to load.
         path: Option<String>,
+        /// Run the lint pre-flight gate (default `true`); error-severity
+        /// findings reject the program. `"lint": false` opts out.
+        lint: bool,
+    },
+    /// Static analysis: lint a program without loading it.
+    Lint {
+        /// Inline program text (takes precedence over `path`).
+        source: Option<String>,
+        /// Server-side file to lint.
+        path: Option<String>,
     },
     /// `P[query]` under a probability method.
     Probability {
@@ -112,6 +122,7 @@ impl Op {
             Op::Trace { .. } => "trace",
             Op::Shutdown => "shutdown",
             Op::LoadProgram { .. } => "load-program",
+            Op::Lint { .. } => "lint",
             Op::Probability { .. } => "probability",
             Op::Explanation { .. } => "explanation",
             Op::Derivation { .. } => "derivation",
@@ -312,7 +323,20 @@ impl Request {
                 if source.is_none() && path.is_none() {
                     return Err("load-program needs 'source' or 'path'".to_string());
                 }
-                Op::LoadProgram { source, path }
+                let lint = match v.get("lint") {
+                    None | Some(Value::Null) => true,
+                    Some(Value::Bool(b)) => *b,
+                    Some(_) => return Err("field 'lint' must be a boolean".to_string()),
+                };
+                Op::LoadProgram { source, path, lint }
+            }
+            "lint" => {
+                let source = v.get("source").and_then(Value::as_str).map(str::to_string);
+                let path = v.get("path").and_then(Value::as_str).map(str::to_string);
+                if source.is_none() && path.is_none() {
+                    return Err("lint needs 'source' or 'path'".to_string());
+                }
+                Op::Lint { source, path }
             }
             "profile" => {
                 let class = v
@@ -459,6 +483,7 @@ mod tests {
                 r#"{"op":"load-program","source":"t 1.0: a(1)."}"#,
                 "load-program",
             ),
+            (r#"{"op":"lint","source":"t 1.0: a(1)."}"#, "lint"),
             (r#"{"op":"probability","query":"a(1)"}"#, "probability"),
             (
                 r#"{"op":"explanation","query":"a(1)","method":"mc","samples":1000}"#,
@@ -525,6 +550,11 @@ mod tests {
             (r#"{"op":"derivation","query":"a(1)"}"#, "eps"),
             (r#"{"op":"modification","query":"a(1)"}"#, "target"),
             (r#"{"op":"load-program"}"#, "source"),
+            (r#"{"op":"lint"}"#, "source"),
+            (
+                r#"{"op":"load-program","source":"x.","lint":"yes"}"#,
+                "lint",
+            ),
             (
                 r#"{"op":"probability","query":"a(1)","timeout_ms":-3}"#,
                 "timeout_ms",
@@ -657,5 +687,27 @@ mod tests {
             .unwrap()
             .op
             .is_query());
+        assert!(Request::parse(r#"{"op":"lint","path":"x.pl"}"#)
+            .unwrap()
+            .op
+            .is_query());
+    }
+
+    #[test]
+    fn load_program_lint_gate_defaults_on_and_opts_out() {
+        match Request::parse(r#"{"op":"load-program","source":"t 1.0: a(1)."}"#)
+            .unwrap()
+            .op
+        {
+            Op::LoadProgram { lint, .. } => assert!(lint, "gate defaults on"),
+            ref other => panic!("{other:?}"),
+        }
+        match Request::parse(r#"{"op":"load-program","source":"t 1.0: a(1).","lint":false}"#)
+            .unwrap()
+            .op
+        {
+            Op::LoadProgram { lint, .. } => assert!(!lint),
+            ref other => panic!("{other:?}"),
+        }
     }
 }

@@ -774,7 +774,7 @@ fn execute(
         Op::Ping | Op::Stats | Op::Metrics | Op::Trace { .. } | Op::Shutdown => {
             unreachable!("admin ops answer inline")
         }
-        Op::LoadProgram { source, path } => {
+        Op::LoadProgram { source, path, lint } => {
             let text = match (source, path) {
                 (Some(src), _) => src.clone(),
                 (None, Some(p)) => {
@@ -782,6 +782,27 @@ fn execute(
                 }
                 (None, None) => unreachable!("validated at parse time"),
             };
+            // Pre-flight lint: findings go to the structured log either
+            // way; error-severity findings reject the program unless the
+            // request opted out with `"lint": false`.
+            let report = p3_lint::lint_source(&text);
+            for d in &report.diagnostics {
+                p3_obs::info!(
+                    "lint finding on load-program",
+                    code = d.code,
+                    severity = d.severity.as_str(),
+                    line = d.line,
+                    column = d.column,
+                    message = d.message
+                );
+            }
+            if *lint && report.has_errors() {
+                let mut msg = format!("program rejected by lint: {}", report.summary_line());
+                for d in report.at_least(p3_lint::Severity::Error) {
+                    msg.push_str(&format!("; {d}"));
+                }
+                return Err(msg);
+            }
             let fresh = P3::from_source(&text).map_err(|e| e.to_string())?;
             let clauses = fresh.program().len();
             let tuples = fresh.database().len();
@@ -793,6 +814,34 @@ fn execute(
                 ("loaded", Value::from(true)),
                 ("clauses", Value::from(clauses)),
                 ("tuples", Value::from(tuples)),
+                ("lint_errors", Value::from(report.error_count())),
+                ("lint_warnings", Value::from(report.warn_count())),
+                ("lint_notes", Value::from(report.info_count())),
+            ]))
+        }
+        Op::Lint { source, path } => {
+            let (text, name) = match (source, path) {
+                (Some(src), _) => (src.clone(), "<inline>".to_string()),
+                (None, Some(p)) => (
+                    std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?,
+                    p.clone(),
+                ),
+                (None, None) => unreachable!("validated at parse time"),
+            };
+            let report = p3_lint::lint_source(&text);
+            let findings = Value::parse(&report.to_json())
+                .map_err(|e| format!("internal: bad findings JSON: {e}"))?;
+            Ok(Value::object(vec![
+                ("clean", Value::from(report.is_clean())),
+                ("errors", Value::from(report.error_count())),
+                ("warnings", Value::from(report.warn_count())),
+                ("notes", Value::from(report.info_count())),
+                ("findings", findings),
+                (
+                    "content_type",
+                    Value::from("text/plain; lint=p3".to_string()),
+                ),
+                ("text", Value::from(report.render(Some(&text), Some(&name)))),
             ]))
         }
         Op::Probability { query, method } => {

@@ -329,6 +329,75 @@ fn timeout_malformed_and_shutdown_paths() {
     assert!(!served.unix.exists(), "socket file should be cleaned up");
 }
 
+#[test]
+fn lint_op_and_load_program_gate() {
+    let served = Served::spawn(&[]);
+    let mut client = Client::connect_tcp(&served.tcp).unwrap();
+
+    // The lint op analyzes without loading: findings, counts, and a
+    // rendered text payload come back.
+    let resp = client
+        .request(r#"{"op":"lint","source":"f(X).\n"}"#)
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    let result = resp.result.unwrap();
+    assert_eq!(
+        result
+            .get("clean")
+            .and_then(p3_service::json::Value::as_bool),
+        Some(false)
+    );
+    let text = result
+        .get("text")
+        .and_then(p3_service::json::Value::as_str)
+        .unwrap();
+    assert!(text.contains("error[P3102]"), "{text}");
+    let findings = result.get("findings").unwrap().to_json();
+    assert!(findings.contains("\"code\":\"P3102\""), "{findings}");
+
+    // The served program is untouched by linting.
+    let resp = client
+        .request(&format!(
+            r#"{{"op":"probability","query":"{}"}}"#,
+            esc(QUERIES[0])
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok);
+
+    // load-program rejects error-severity findings by default...
+    let resp = client
+        .request(r#"{"op":"load-program","source":"f(X).\n"}"#)
+        .unwrap();
+    assert_eq!(resp.status, Status::Error);
+    let err = resp.error.unwrap();
+    assert!(err.contains("rejected by lint"), "{err}");
+    assert!(err.contains("P3102"), "{err}");
+
+    // ...and "lint": false falls back to plain validation (still an error
+    // for this program, but the validator's single-error report).
+    let resp = client
+        .request(r#"{"op":"load-program","source":"f(X).\n","lint":false}"#)
+        .unwrap();
+    assert_eq!(resp.status, Status::Error);
+    let err = resp.error.unwrap();
+    assert!(!err.contains("rejected by lint"), "{err}");
+
+    // A program with only warning-level findings loads, and the response
+    // reports the lint counts.
+    let resp = client
+        .request(
+            r#"{"op":"load-program","source":"t1 0.5: p(a).\nt2 0.5: p(a).\nr1 0.9: q(X) :- p(X).\n"}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok, "{:?}", resp.error);
+    let result = resp.result.unwrap();
+    let warnings = result
+        .get("lint_warnings")
+        .and_then(p3_service::json::Value::as_u64)
+        .unwrap();
+    assert!(warnings >= 1, "duplicate fact should warn: {result:?}");
+}
+
 /// Requests the `metrics` op and returns the Prometheus exposition text.
 fn scrape(client: &mut Client) -> String {
     let resp = client.request(r#"{"op":"metrics"}"#).unwrap();

@@ -1,0 +1,17 @@
+% The Acquaintance running example (Fig 2 of "Provenance for Probabilistic
+% Logic Programs", EDBT 2020).
+%
+% Try:
+%   p3 lint examples/acquaintance.pl
+%   p3 query examples/acquaintance.pl 'know("Ben","Elena")'
+
+r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+r2 0.4: know(P1,P2) :- like(P1,L), like(P2,L), P1 != P2.
+r3 0.2: know(P1,P3) :- know(P1,P2), know(P2,P3), P1 != P3.
+
+t1 1.0: live("Steve","DC").
+t2 1.0: live("Elena","DC").
+t3 1.0: live("Mary","NYC").
+t4 0.4: like("Steve","Veggies").
+t5 0.6: like("Elena","Veggies").
+t6 1.0: know("Ben","Steve").

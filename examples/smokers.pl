@@ -1,0 +1,16 @@
+% A small social-influence program in the style of the classic "friends &
+% smokers" ProbLog example: smoking spreads along (probabilistic) friendship
+% edges, with a per-person stress prior.
+%
+% Try:
+%   p3 lint examples/smokers.pl
+%   p3 query examples/smokers.pl 'smokes("carol")'
+
+r1 0.3: smokes(X) :- stress(X).
+r2 0.2: smokes(Y) :- friend(X,Y), smokes(X).
+
+t1 0.8: stress("alice").
+t2 0.4: stress("bob").
+t3 0.9: friend("alice","bob").
+t4 0.7: friend("bob","carol").
+t5 0.5: friend("carol","alice").

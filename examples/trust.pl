@@ -1,0 +1,17 @@
+% The Trust-network case study (Fig 7): transitive trust paths with a
+% mutual-trust head rule, over the six-edge excerpt used in §6.
+%
+% Try:
+%   p3 lint examples/trust.pl
+%   p3 query examples/trust.pl 'mutualTrustPath(1,2)'
+
+r1 1.0: trustPath(P1,P2) :- trust(P1,P2).
+r2 1.0: trustPath(P1,P3) :- trust(P1,P2), trustPath(P2,P3), P1 != P3.
+r3 0.8: mutualTrustPath(P1,P2) :- trustPath(P1,P2), trustPath(P2,P1).
+
+t1 0.9: trust(1,2).
+t2 0.9: trust(2,1).
+t3 0.65: trust(1,13).
+t4 0.75: trust(2,6).
+t5 0.7: trust(6,2).
+t6 0.6: trust(13,2).

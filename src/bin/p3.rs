@@ -23,6 +23,7 @@ p3 — provenance queries for probabilistic logic programs
 
 USAGE:
     p3 <PROGRAM.pl> [OPTIONS]
+    p3 lint <PROGRAM.pl>... [--json] [--workloads <N>]
 
 OPTIONS:
     --query <ATOM>         ground atom to analyse, e.g. 'know(\"Ben\",\"Elena\")'
@@ -44,6 +45,11 @@ OPTIONS:
                            JSON (load in chrome://tracing or Perfetto)
     --stats                print engine and provenance statistics
     --help                 show this help
+
+LINT OPTIONS (after 'p3 lint'):
+    --json                 one JSON line per program instead of rustc-style text
+    --workloads <N>        also lint N generated random workload programs
+    (exit status is 1 when any program has error-severity findings)
 ";
 
 #[derive(Debug)]
@@ -328,8 +334,105 @@ fn run(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Options for the `p3 lint` subcommand.
+#[derive(Debug, PartialEq)]
+struct LintOptions {
+    paths: Vec<String>,
+    json: bool,
+    workloads: usize,
+}
+
+fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
+    let mut opts = LintOptions {
+        paths: Vec::new(),
+        json: false,
+        workloads: 0,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--json" => opts.json = true,
+            "--workloads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--workloads requires a value".to_string())?;
+                opts.workloads = v.parse().map_err(|_| format!("bad workload count '{v}'"))?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            path => opts.paths.push(path.to_string()),
+        }
+    }
+    if opts.paths.is_empty() && opts.workloads == 0 {
+        return Err("p3 lint: no programs given\n\n".to_string() + USAGE);
+    }
+    Ok(opts)
+}
+
+/// Lints one named source, printing findings; returns whether it is free of
+/// error-severity findings.
+fn lint_one(name: &str, src: &str, json: bool, out: &mut String) -> bool {
+    let report = p3::lint::lint_source(src);
+    if json {
+        out.push_str(&format!(
+            "{{\"file\":{name:?},\"clean\":{},\"findings\":{}}}\n",
+            report.is_clean(),
+            report.to_json()
+        ));
+    } else if report.diagnostics.is_empty() {
+        out.push_str(&format!("{name}: clean\n"));
+    } else {
+        out.push_str(&format!("{name}: {}\n", report.summary_line()));
+        out.push_str(&report.render(Some(src), Some(name)));
+    }
+    report.is_clean()
+}
+
+fn run_lint(opts: &LintOptions) -> Result<(String, bool), String> {
+    let mut out = String::new();
+    let mut all_clean = true;
+    for path in &opts.paths {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        all_clean &= lint_one(path, &src, opts.json, &mut out);
+    }
+    for seed in 0..opts.workloads as u64 {
+        let program = p3::workloads::random_programs::generate(
+            p3::workloads::random_programs::RandomConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        let src = program.source().unwrap_or("").to_string();
+        all_clean &= lint_one(&format!("workload(seed={seed})"), &src, opts.json, &mut out);
+    }
+    Ok((out, all_clean))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("lint") {
+        let opts = match parse_lint_args(&args[1..]) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match run_lint(&opts) {
+            Ok((out, clean)) => {
+                print!("{out}");
+                if clean {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_args(&args) {
         Ok(opts) => opts,
         Err(msg) => {
@@ -471,6 +574,51 @@ mod tests {
         let opts = parse_args(&args(&["/definitely/not/a/file.pl", "--stats"])).unwrap();
         let err = run(&opts).unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn lint_args_parse_flags_and_paths() {
+        let opts = parse_lint_args(&args(&["a.pl", "b.pl", "--json", "--workloads", "3"])).unwrap();
+        assert_eq!(opts.paths, vec!["a.pl", "b.pl"]);
+        assert!(opts.json);
+        assert_eq!(opts.workloads, 3);
+        assert!(parse_lint_args(&args(&[])).is_err());
+        assert!(parse_lint_args(&args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn lint_reports_findings_and_exit_status() {
+        let dir = std::env::temp_dir().join("p3_cli_lint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.pl");
+        std::fs::write(&bad, "f(X).\n").unwrap();
+        let good = dir.join("good.pl");
+        std::fs::write(&good, "t1 0.5: p(a).\nr1 0.9: q(X) :- p(X).\n").unwrap();
+
+        let opts = parse_lint_args(&args(&[bad.to_str().unwrap()])).unwrap();
+        let (out, clean) = run_lint(&opts).unwrap();
+        assert!(!clean);
+        assert!(out.contains("error[P3102]"), "{out}");
+        assert!(out.contains("bad.pl:1:"), "{out}");
+
+        let opts = parse_lint_args(&args(&[good.to_str().unwrap()])).unwrap();
+        let (out, clean) = run_lint(&opts).unwrap();
+        assert!(clean, "{out}");
+        assert!(out.contains("clean"), "{out}");
+
+        let opts = parse_lint_args(&args(&[bad.to_str().unwrap(), "--json"])).unwrap();
+        let (out, clean) = run_lint(&opts).unwrap();
+        assert!(!clean);
+        assert!(out.contains("\"clean\":false"), "{out}");
+        assert!(out.contains("\"code\":\"P3102\""), "{out}");
+    }
+
+    #[test]
+    fn lint_covers_generated_workloads() {
+        let opts = parse_lint_args(&args(&["--workloads", "3"])).unwrap();
+        let (out, clean) = run_lint(&opts).unwrap();
+        assert!(clean, "generated workloads must lint clean:\n{out}");
+        assert!(out.contains("workload(seed=0)"), "{out}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! | [`datalog`] | `p3-datalog` | ProbLog-like language, parser, semi-naive engine, possible-worlds oracle, stratified negation |
 //! | [`prob`] | `p3-prob` | DNF provenance polynomials, exact (Shannon/BDD) and Monte-Carlo probability |
 //! | [`provenance`] | `p3-provenance` | graph capture, ExSPAN-style rewriting, cycle-eliminating extraction, SLD resolution |
+//! | [`lint`] | `p3-lint` | multi-pass static analysis with `P3xxx` diagnostics |
 //! | [`core`] | `p3-core` | the [`core::P3`] system facade and the four query types |
 //! | [`workloads`] | `p3-workloads` | Acquaintance, synthetic Bitcoin-OTC trust network, synthetic VQA |
 //! | [`obs`] | `p3-obs` | leveled logging, Prometheus-style metrics, hierarchical spans |
@@ -34,6 +35,7 @@
 
 pub use p3_core as core;
 pub use p3_datalog as datalog;
+pub use p3_lint as lint;
 pub use p3_obs as obs;
 pub use p3_prob as prob;
 pub use p3_provenance as provenance;
