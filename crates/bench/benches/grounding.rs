@@ -1,0 +1,159 @@
+//! Grounding workload: naive whole-model evaluation versus query-directed
+//! (demand) evaluation on the synthetic trust network, at growing BFS
+//! sample sizes.
+//!
+//! Naive evaluation materializes the full transitive-closure model —
+//! every `trustPath` pair — before any query can be answered; demand
+//! evaluation magic-transforms the program for one ground query and only
+//! derives the query-relevant fragment (plus the magic/demand tuples that
+//! steer it). Besides the criterion groups, `main` records derived-tuple
+//! counts and wall times per size to `BENCH_grounding.json` at the
+//! repository root; at the largest size the demand engine must derive at
+//! most half the tuples of the naive engine, in less wall time.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use p3_datalog::ast::Const;
+use p3_datalog::engine::Database;
+use p3_datalog::program::Program;
+use p3_datalog::symbol::Symbol;
+use p3_provenance::capture::evaluate_with_provenance;
+use p3_provenance::demand::evaluate_query_with_provenance;
+use p3_workloads::trust::{self, NetworkConfig};
+use std::time::Instant;
+
+const SIZES: &[usize] = &[30, 60, 90];
+
+fn programs() -> Vec<(usize, Program)> {
+    let net = trust::generate(NetworkConfig {
+        nodes: 2000,
+        edges: 10_000,
+        seed: 5,
+        ..NetworkConfig::default()
+    });
+    SIZES
+        .iter()
+        .map(|&size| (size, net.sample_bfs(size, 11).to_program()))
+        .collect()
+}
+
+/// The benchmark query for one program: the last `trustPath` tuple the
+/// naive engine derives — deterministically the "deepest" entry in
+/// insertion order, so demand evaluation cannot shortcut via a base fact.
+fn pick_query(program: &Program, db: &Database) -> (Symbol, Vec<Const>) {
+    let pred = program.symbols().get("trustPath").expect("trust rules");
+    let tuples = db.relation(pred).expect("closure is non-empty").tuples();
+    let last = *tuples.last().expect("closure is non-empty");
+    (pred, db.tuple(last).args.to_vec())
+}
+
+fn bench_grounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grounding");
+    group.sample_size(10);
+    for (size, program) in programs() {
+        let (naive_db, _) = evaluate_with_provenance(&program);
+        let (pred, args) = pick_query(&program, &naive_db);
+        group.bench_with_input(BenchmarkId::new("naive", size), &size, |b, _| {
+            b.iter(|| evaluate_with_provenance(&program))
+        });
+        group.bench_with_input(BenchmarkId::new("demand", size), &size, |b, _| {
+            b.iter(|| evaluate_query_with_provenance(&program, pred, &args).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Median wall time of `runs` executions of `f`, in nanoseconds.
+fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Records the headline numbers the acceptance criteria care about.
+fn record_json() {
+    const RUNS: usize = 9;
+    let mut entries = Vec::new();
+    let mut largest_ratio = 0.0f64;
+    let mut largest_speedup = 0.0f64;
+    for (size, program) in programs() {
+        let (naive_db, _) = evaluate_with_provenance(&program);
+        let (pred, args) = pick_query(&program, &naive_db);
+        let demand = evaluate_query_with_provenance(&program, pred, &args).unwrap();
+
+        let naive_tuples = naive_db.len();
+        // Everything the demand engine materialized: the query-relevant
+        // source fragment plus the magic tuples that steered it.
+        let demand_tuples = demand.stats.relevant_tuples + demand.stats.magic_tuples;
+        let naive_ns = median_ns(RUNS, || {
+            evaluate_with_provenance(&program);
+        });
+        let demand_ns = median_ns(RUNS, || {
+            evaluate_query_with_provenance(&program, pred, &args).unwrap();
+        });
+        let ratio = naive_tuples as f64 / demand_tuples.max(1) as f64;
+        let speedup = naive_ns / demand_ns.max(1.0);
+        entries.push(format!(
+            r#"    {{
+      "nodes": {size},
+      "naive": {{ "derived_tuples": {naive_tuples}, "wall_ns": {naive_ns:.0} }},
+      "demand": {{
+        "derived_tuples": {demand_tuples},
+        "relevant_tuples": {relevant},
+        "magic_tuples": {magic},
+        "wall_ns": {demand_ns:.0}
+      }},
+      "tuple_ratio": {ratio:.1},
+      "speedup": {speedup:.1}
+    }}"#,
+            relevant = demand.stats.relevant_tuples,
+            magic = demand.stats.magic_tuples,
+        ));
+        largest_ratio = ratio;
+        largest_speedup = speedup;
+    }
+
+    let achieved = largest_ratio >= 2.0 && largest_speedup > 1.0;
+    let json = format!(
+        r#"{{
+  "workload": "trust network sample_bfs(seed=11) of a 2000-node/10000-edge synthetic OTC graph",
+  "query": "deepest naive-derived trustPath tuple per size",
+  "sizes": [
+{sizes}
+  ],
+  "acceptance": {{
+    "required_tuple_ratio": 2.0,
+    "largest_size_tuple_ratio": {largest_ratio:.1},
+    "largest_size_speedup": {largest_speedup:.1},
+    "achieved": {achieved}
+  }}
+}}
+"#,
+        sizes = entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_grounding.json");
+    std::fs::write(path, &json).expect("write BENCH_grounding.json");
+    println!("wrote {path}:\n{json}");
+    assert!(
+        largest_ratio >= 2.0,
+        "demand must derive at most half the tuples of naive at the \
+         largest size (got {largest_ratio:.1}x)"
+    );
+    assert!(
+        largest_speedup > 1.0,
+        "demand must be faster than naive at the largest size \
+         (got {largest_speedup:.1}x)"
+    );
+}
+
+criterion_group!(benches, bench_grounding);
+
+fn main() {
+    benches();
+    record_json();
+}

@@ -1,0 +1,111 @@
+//! Evaluation-mode selection: naive bottom-up vs query-directed (demand).
+//!
+//! Naive evaluation materialises the *entire* model once and answers every
+//! query from it; demand evaluation magic-transforms the program per query
+//! (see [`p3_datalog::transform`]) and derives only the query-relevant
+//! fragment. Both produce identical answers, polynomials and probabilities
+//! — the choice is purely a performance trade-off, which [`EvalMode::Auto`]
+//! resolves from the program's shape.
+
+use p3_datalog::program::Program;
+use p3_datalog::transform::has_recursive_idb;
+use std::fmt;
+use std::str::FromStr;
+
+/// How a [`crate::QuerySession`] evaluates the program for each query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EvalMode {
+    /// Pick per program: [`EvalMode::Demand`] when the program has a
+    /// recursive IDB predicate (where naive evaluation derives whole
+    /// transitive closures a single query never looks at), otherwise
+    /// [`EvalMode::Naive`] (non-recursive models are small and evaluating
+    /// them once serves every subsequent query for free).
+    #[default]
+    Auto,
+    /// Evaluate the full program bottom-up once; all queries share the one
+    /// materialised model and provenance graph.
+    Naive,
+    /// Magic-transform the program for each queried atom and evaluate only
+    /// the demanded fragment, with provenance mapped back onto the source
+    /// program. Per-query results are cached, so repeating a query is free.
+    Demand,
+}
+
+impl EvalMode {
+    /// Resolves [`EvalMode::Auto`] against a program; `Naive` and `Demand`
+    /// return themselves.
+    pub fn resolve(self, program: &Program) -> EvalMode {
+        match self {
+            EvalMode::Auto => {
+                if has_recursive_idb(program) {
+                    EvalMode::Demand
+                } else {
+                    EvalMode::Naive
+                }
+            }
+            mode => mode,
+        }
+    }
+
+    /// The wire/CLI spelling: `auto`, `naive` or `demand`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EvalMode::Auto => "auto",
+            EvalMode::Naive => "naive",
+            EvalMode::Demand => "demand",
+        }
+    }
+}
+
+impl fmt::Display for EvalMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for EvalMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(EvalMode::Auto),
+            "naive" => Ok(EvalMode::Naive),
+            "demand" => Ok(EvalMode::Demand),
+            other => Err(format!(
+                "unknown eval mode '{other}' (expected auto|naive|demand)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_resolves_by_recursion() {
+        let recursive = Program::parse(
+            "r1 1.0: path(X,Y) :- edge(X,Y).
+             r2 0.9: path(X,Z) :- edge(X,Y), path(Y,Z).
+             e1 0.5: edge(a,b).",
+        )
+        .unwrap();
+        let flat = Program::parse(
+            "r1 0.8: q(X) :- p(X).
+             t1 0.5: p(a).",
+        )
+        .unwrap();
+        assert_eq!(EvalMode::Auto.resolve(&recursive), EvalMode::Demand);
+        assert_eq!(EvalMode::Auto.resolve(&flat), EvalMode::Naive);
+        assert_eq!(EvalMode::Naive.resolve(&recursive), EvalMode::Naive);
+        assert_eq!(EvalMode::Demand.resolve(&flat), EvalMode::Demand);
+    }
+
+    #[test]
+    fn round_trips_through_strings() {
+        for mode in [EvalMode::Auto, EvalMode::Naive, EvalMode::Demand] {
+            assert_eq!(mode.as_str().parse::<EvalMode>().unwrap(), mode);
+        }
+        assert!("magic".parse::<EvalMode>().is_err());
+    }
+}

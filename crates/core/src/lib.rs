@@ -27,12 +27,14 @@
 
 mod clock_cache;
 pub mod error;
+pub mod eval_mode;
 pub mod prob_method;
 pub mod query;
 pub mod session;
 pub mod system;
 
 pub use error::P3Error;
+pub use eval_mode::EvalMode;
 pub use prob_method::ProbMethod;
 pub use query::derivation::{
     sufficient_provenance, sufficient_provenance_with, DerivationAlgo, SufficientProvenance,

@@ -24,6 +24,7 @@
 
 use crate::clock_cache::ClockMap;
 use crate::error::P3Error;
+use crate::eval_mode::EvalMode;
 use crate::prob_method::ProbMethod;
 use crate::query::derivation::{sufficient_provenance_with, DerivationAlgo, SufficientProvenance};
 use crate::query::influence::{
@@ -32,11 +33,14 @@ use crate::query::influence::{
 use crate::query::modification::{
     modification_query_with, EvalMethod, ModificationEval, ModificationOptions, ModificationPlan,
 };
-use crate::system::P3;
+use crate::system::{DemandCore, P3};
+use p3_datalog::ast::Const;
 use p3_datalog::engine::TupleId;
+use p3_datalog::symbol::Symbol;
+use p3_datalog::worlds;
 use p3_prob::store::DnfId;
 use p3_prob::{mc, parallel, Dnf, VarId, VarTable};
-use p3_provenance::extract::ExtractOptions;
+use p3_provenance::extract::{ExtractOptions, Extractor};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
@@ -99,11 +103,28 @@ pub struct SessionOptions {
     /// workloads; entries beyond the cap are reclaimed with second-chance
     /// (clock) eviction and counted in [`SessionStats::evictions`].
     pub max_entries: Option<usize>,
+    /// How queries are evaluated: [`EvalMode::Naive`] forces (and then
+    /// shares) one whole-program evaluation; [`EvalMode::Demand`]
+    /// magic-transforms the program per queried atom and evaluates only the
+    /// demanded fragment; [`EvalMode::Auto`] (the default) picks demand for
+    /// recursive programs. Both modes produce identical polynomials and
+    /// probabilities — see [`p3_provenance::demand`].
+    pub eval_mode: EvalMode,
+}
+
+/// How a cached polynomial was obtained. Full-evaluation entries are keyed
+/// by tuple id in the one shared database; demand entries are keyed by the
+/// ground query atom (each demand evaluation has its own database, so its
+/// tuple ids don't survive across queries).
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum DnfKey {
+    Full(TupleId),
+    Demand(Symbol, Box<[Const]>),
 }
 
 struct SessionCaches {
-    /// `(tuple, extract options) → interned polynomial`.
-    dnf_ids: RwLock<ClockMap<(TupleId, ExtractOptions), DnfId>>,
+    /// `(resolved query, extract options) → interned polynomial`.
+    dnf_ids: RwLock<ClockMap<(DnfKey, ExtractOptions), DnfId>>,
     /// `(formula, method) → P[λ]`.
     probs: RwLock<ClockMap<(DnfId, ProbMethod), f64>>,
     /// `(formula, options) → ranked influence entries`.
@@ -191,8 +212,9 @@ impl ProfileTarget {
 /// traffic — attribution is exact when the session is driven serially.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProfileStage {
-    /// Stage name: `parse`, `extract`, then one per query class
-    /// (plus `render` for explanations).
+    /// Stage name: `parse`, `transform` (demand-mode sessions only),
+    /// `extract`, then one per query class (plus `render` for
+    /// explanations).
     pub name: &'static str,
     /// Wall-clock time spent in the stage, microseconds.
     pub wall_us: u64,
@@ -248,6 +270,8 @@ struct CounterSnapshot {
 pub struct QuerySession {
     p3: P3,
     caches: Arc<SessionCaches>,
+    /// The resolved evaluation mode (never [`EvalMode::Auto`]).
+    mode: EvalMode,
 }
 
 impl QuerySession {
@@ -256,10 +280,18 @@ impl QuerySession {
     }
 
     pub(crate) fn with_options(p3: P3, opts: SessionOptions) -> Self {
+        let mode = opts.eval_mode.resolve(p3.program());
         Self {
             p3,
             caches: Arc::new(SessionCaches::new(opts)),
+            mode,
         }
+    }
+
+    /// The evaluation mode this session resolved to — [`EvalMode::Naive`]
+    /// or [`EvalMode::Demand`], never [`EvalMode::Auto`].
+    pub fn eval_mode(&self) -> EvalMode {
+        self.mode
     }
 
     /// Loads `src` into a fresh session with the lint pre-flight gate on:
@@ -345,14 +377,29 @@ impl QuerySession {
     }
 
     /// The interned provenance polynomial with explicit extraction options.
+    /// Routed by the session's [`EvalMode`]; both modes intern the *same*
+    /// canonical polynomial, so downstream `DnfId`-keyed caches are shared
+    /// across modes.
     pub fn provenance_id_with(&self, query: &str, opts: ExtractOptions) -> Result<DnfId, P3Error> {
-        let tuple = self.p3.tuple(query)?;
-        Ok(self.tuple_dnf(tuple, opts))
+        match self.mode {
+            EvalMode::Demand => {
+                let (pred, args) = worlds::parse_ground_query(self.p3.program(), query)?;
+                self.demand_dnf(query, pred, &args, opts)
+            }
+            _ => {
+                let tuple = self.p3.tuple(query)?;
+                Ok(self.tuple_dnf(tuple, opts))
+            }
+        }
     }
 
-    /// The interned polynomial of a resolved tuple.
+    /// The interned polynomial of a tuple resolved against the **full**
+    /// database (forces the full naive evaluation regardless of the
+    /// session's mode — demand-mode callers resolve queries by atom, see
+    /// [`QuerySession::provenance_id_with`]).
     pub fn tuple_dnf(&self, tuple: TupleId, opts: ExtractOptions) -> DnfId {
-        if let Some(&id) = self.caches.dnf_ids.read().unwrap().get(&(tuple, opts)) {
+        let key = (DnfKey::Full(tuple), opts);
+        if let Some(&id) = self.caches.dnf_ids.read().unwrap().get(&key) {
             self.hit();
             return id;
         }
@@ -361,12 +408,37 @@ impl QuerySession {
         span.add_field("tuple", tuple.0);
         let dnf = self.p3.extractor().polynomial(tuple, opts);
         let id = self.p3.store.intern(dnf);
-        self.caches
-            .dnf_ids
-            .write()
-            .unwrap()
-            .insert((tuple, opts), id);
+        self.caches.dnf_ids.write().unwrap().insert(key, id);
         id
+    }
+
+    /// The interned polynomial of a ground query atom under demand
+    /// evaluation: forces (or reuses) the per-query demand core and
+    /// extracts from its projected provenance graph.
+    fn demand_dnf(
+        &self,
+        query: &str,
+        pred: Symbol,
+        args: &[Const],
+        opts: ExtractOptions,
+    ) -> Result<DnfId, P3Error> {
+        let key = (DnfKey::Demand(pred, args.to_vec().into_boxed_slice()), opts);
+        if let Some(&id) = self.caches.dnf_ids.read().unwrap().get(&key) {
+            self.hit();
+            return Ok(id);
+        }
+        self.miss();
+        let mut span = p3_obs::span::span("session.extract");
+        span.add_field("mode", "demand");
+        let core = self.p3.demand_core(pred, args)?;
+        let tuple = core
+            .tuple
+            .ok_or_else(|| P3Error::NotDerivable(query.to_string()))?;
+        span.add_field("tuple", tuple.0);
+        let dnf = Extractor::with_analysis(&core.graph, &core.analysis).polynomial(tuple, opts);
+        let id = self.p3.store.intern(dnf);
+        self.caches.dnf_ids.write().unwrap().insert(key, id);
+        Ok(id)
     }
 
     /// The formula behind an id (shared allocation with the store).
@@ -658,8 +730,31 @@ impl QuerySession {
     ) -> Result<QueryProfile, P3Error> {
         let started = Instant::now();
         let mut stages = Vec::new();
-        let tuple = self.stage("parse", &mut stages, || self.p3.tuple(query))?;
-        let id = self.stage("extract", &mut stages, || self.tuple_dnf(tuple, opts));
+        // Resolve the query and extract its polynomial, mode-dependently.
+        // `resolved` keeps whichever graph/database the render stage needs.
+        enum Resolved {
+            Full(TupleId),
+            Demand(Arc<DemandCore>),
+        }
+        let (id, resolved) = match self.mode {
+            EvalMode::Demand => {
+                let (pred, args) = self.stage("parse", &mut stages, || {
+                    worlds::parse_ground_query(self.p3.program(), query)
+                })?;
+                let core = self.stage("transform", &mut stages, || {
+                    self.p3.demand_core(pred, &args)
+                })?;
+                let id = self.stage("extract", &mut stages, || {
+                    self.demand_dnf(query, pred, &args, opts)
+                })?;
+                (id, Resolved::Demand(core))
+            }
+            _ => {
+                let tuple = self.stage("parse", &mut stages, || self.p3.tuple(query))?;
+                let id = self.stage("extract", &mut stages, || self.tuple_dnf(tuple, opts));
+                (id, Resolved::Full(tuple))
+            }
+        };
         let probability = match target {
             ProfileTarget::Probability(method) => {
                 Some(self.stage("probability", &mut stages, || {
@@ -671,19 +766,18 @@ impl QuerySession {
                     self.probability_of(id, *method)
                 });
                 self.stage("render", &mut stages, || {
-                    let text = p3_provenance::explain::explain(
-                        &self.p3.graph,
-                        &self.p3.db,
-                        &self.p3.program,
-                        tuple,
-                        opts.max_depth,
-                    );
-                    let dot = p3_provenance::dot::to_dot(
-                        &self.p3.graph,
-                        &self.p3.db,
-                        &self.p3.program,
-                        tuple,
-                    );
+                    let program = self.p3.program();
+                    let (graph, db, tuple) = match &resolved {
+                        Resolved::Full(tuple) => (self.p3.graph(), self.p3.database(), *tuple),
+                        Resolved::Demand(core) => (
+                            &core.graph,
+                            &core.db,
+                            core.tuple.expect("extraction succeeded above"),
+                        ),
+                    };
+                    let text =
+                        p3_provenance::explain::explain(graph, db, program, tuple, opts.max_depth);
+                    let dot = p3_provenance::dot::to_dot(graph, db, program, tuple);
                     (text, dot)
                 });
                 Some(p)
@@ -944,6 +1038,7 @@ mod tests {
         let p3 = P3::from_source(ACQ).unwrap();
         let session = p3.session_with(SessionOptions {
             max_entries: Some(2),
+            ..Default::default()
         });
         let queries = [
             Q,
@@ -975,7 +1070,10 @@ mod tests {
     #[test]
     fn profile_reports_stages_and_matches_unprofiled_result() {
         let p3 = P3::from_source(ACQ).unwrap();
+        // ACQ is recursive, so the default (auto) session runs in demand
+        // mode and the profile carries a `transform` stage.
         let session = p3.session();
+        assert_eq!(session.eval_mode(), EvalMode::Demand);
         let profile = session
             .profile(
                 Q,
@@ -987,7 +1085,22 @@ mod tests {
         assert_eq!(profile.query, Q);
         assert!((profile.probability.unwrap() - 0.16384).abs() < 1e-12);
         let names: Vec<&str> = profile.stages.iter().map(|s| s.name).collect();
-        assert_eq!(names, ["parse", "extract", "probability"]);
+        assert_eq!(names, ["parse", "transform", "extract", "probability"]);
+        // A naive session profiles without the transform stage.
+        let naive = p3.session_with(SessionOptions {
+            eval_mode: EvalMode::Naive,
+            ..Default::default()
+        });
+        let naive_profile = naive
+            .profile(
+                Q,
+                &ProfileTarget::Probability(ProbMethod::Exact),
+                ExtractOptions::unbounded(),
+            )
+            .unwrap();
+        let naive_names: Vec<&str> = naive_profile.stages.iter().map(|s| s.name).collect();
+        assert_eq!(naive_names, ["parse", "extract", "probability"]);
+        assert_eq!(naive_profile.probability, profile.probability);
         // The cold run misses in extract and probability; a second profiled
         // run of the same query is served from the session caches.
         let cold_misses: u64 = profile.stages.iter().map(|s| s.session_misses).sum();
@@ -1121,6 +1234,59 @@ mod tests {
         let session = QuerySession::load_program(ACQ).unwrap();
         let p = session.probability(Q, ProbMethod::Exact).unwrap();
         assert!((p - 0.16384).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_session_answers_without_forcing_full_evaluation() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let session = p3.session_with(SessionOptions {
+            eval_mode: EvalMode::Demand,
+            ..Default::default()
+        });
+        let p = session.probability(Q, ProbMethod::Exact).unwrap();
+        assert!((p - 0.16384).abs() < 1e-12);
+        assert!(
+            !p3.fully_evaluated(),
+            "demand queries must not materialise the full model"
+        );
+        assert_eq!(p3.demand_evaluations(), 1);
+        // Underivable and malformed queries keep their error types.
+        assert!(matches!(
+            session.probability(r#"know("Mary","Elena")"#, ProbMethod::Exact),
+            Err(P3Error::NotDerivable(_))
+        ));
+        assert!(matches!(
+            session.probability("know(", ProbMethod::Exact),
+            Err(P3Error::BadQuery(_))
+        ));
+    }
+
+    #[test]
+    fn demand_and_naive_sessions_intern_the_same_polynomial() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        let demand = p3.session_with(SessionOptions {
+            eval_mode: EvalMode::Demand,
+            ..Default::default()
+        });
+        let naive = p3.session_with(SessionOptions {
+            eval_mode: EvalMode::Naive,
+            ..Default::default()
+        });
+        // Same canonical polynomial → same id in the shared store, so
+        // DnfId-keyed caches (probability, influence, …) are shared
+        // across modes.
+        let d = demand.provenance_id(Q).unwrap();
+        let n = naive.provenance_id(Q).unwrap();
+        assert_eq!(d, n);
+        // Hop limits behave identically too.
+        for depth in 0..4 {
+            let opts = ExtractOptions::with_max_depth(depth);
+            assert_eq!(
+                demand.provenance_id_with(Q, opts).unwrap(),
+                naive.provenance_id_with(Q, opts).unwrap(),
+                "depth {depth}"
+            );
+        }
     }
 
     #[test]

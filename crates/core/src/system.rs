@@ -1,16 +1,26 @@
-//! The P3 system facade: evaluate once with provenance, query many times.
+//! The P3 system facade: evaluate lazily with provenance, query many times.
 //!
 //! [`P3`] is split into cheap-to-clone `Arc` handles over an immutable
-//! evaluated core (program, database, provenance graph, variable table)
-//! plus two shared structural caches — the extraction [`Analysis`] and the
-//! hash-consed [`DnfStore`] — that are probability-independent and
-//! therefore survive what-if updates ([`P3::with_probabilities`]) intact.
-//! Everything behind the `Arc`s is immutable or internally synchronised,
-//! so `P3` is `Send + Sync`: clone it into threads, or use
-//! [`P3::session`] / [`P3::batch_probabilities`] for memoized concurrent
-//! querying.
+//! program plus two lazily-forced evaluation cores:
+//!
+//! * the **full core** — one naive bottom-up evaluation of the whole
+//!   program (database, provenance graph, extraction [`Analysis`]), forced
+//!   on first use by any whole-model consumer ([`P3::database`],
+//!   [`P3::graph`], [`P3::explain`], …) and then shared forever;
+//! * the **demand cores** — one magic-transformed, query-directed
+//!   evaluation per queried atom (see [`p3_provenance::demand`]), cached by
+//!   `(predicate, arguments)` and used by sessions running in
+//!   [`EvalMode::Demand`].
+//!
+//! Both cores are probability-independent, so they survive what-if updates
+//! ([`P3::with_probabilities`]) intact, as do the shared structural caches
+//! (the hash-consed [`DnfStore`]). Everything behind the `Arc`s is
+//! immutable or internally synchronised, so `P3` is `Send + Sync`: clone it
+//! into threads, or use [`P3::session`] / [`P3::batch_probabilities`] for
+//! memoized concurrent querying.
 
 use crate::error::P3Error;
+use crate::eval_mode::EvalMode;
 use crate::prob_method::ProbMethod;
 use crate::query::explanation::Explanation;
 use crate::session::{QuerySession, SessionOptions};
@@ -18,38 +28,66 @@ use p3_datalog::ast::Const;
 use p3_datalog::engine::{Database, TupleId};
 use p3_datalog::program::Program;
 use p3_datalog::symbol::Symbol;
+use p3_datalog::transform::TransformError;
 use p3_datalog::worlds;
 use p3_prob::store::DnfStore;
 use p3_prob::{Dnf, VarTable};
 use p3_provenance::extract::{Analysis, ExtractOptions, Extractor};
 use p3_provenance::graph::ProvGraph;
-use p3_provenance::{capture, clause_vars, dot, explain};
-use std::sync::Arc;
+use p3_provenance::{capture, clause_vars, dot, explain, DemandStats};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
 
-/// A loaded-and-evaluated PLP program with its provenance, ready for
-/// querying.
+/// The naive whole-program evaluation: database, provenance graph and
+/// extraction analysis, forced at most once per [`P3`] lineage.
+pub(crate) struct FullCore {
+    pub(crate) db: Database,
+    pub(crate) graph: ProvGraph,
+    pub(crate) analysis: Analysis,
+}
+
+/// One query-directed evaluation: the demanded fragment of the model with
+/// provenance already projected back onto the source program.
+pub(crate) struct DemandCore {
+    pub(crate) db: Database,
+    pub(crate) graph: ProvGraph,
+    pub(crate) analysis: Analysis,
+    /// The queried tuple, when derivable.
+    pub(crate) tuple: Option<TupleId>,
+    /// Transform + engine counters for this evaluation.
+    pub(crate) stats: DemandStats,
+}
+
+/// Demand evaluations are cached per ground query atom.
+type DemandKey = (Symbol, Box<[Const]>);
+
+/// A loaded PLP program with lazily-forced provenance, ready for querying.
 ///
 /// Cloning is cheap (a handful of `Arc` bumps) and clones share the
-/// structural caches; see the module docs.
+/// evaluation cores and structural caches; see the module docs.
 #[derive(Clone)]
 pub struct P3 {
     pub(crate) program: Arc<Program>,
-    pub(crate) db: Arc<Database>,
-    pub(crate) graph: Arc<ProvGraph>,
     pub(crate) vars: Arc<VarTable>,
-    /// Cycle analysis + extraction memo caches; probability-independent.
-    pub(crate) analysis: Arc<Analysis>,
     /// Hash-consed formula store; probability-independent.
     pub(crate) store: Arc<DnfStore>,
+    /// Lazily-forced naive evaluation; probability-independent, shared
+    /// across what-if copies.
+    full: Arc<OnceLock<FullCore>>,
+    /// Per-query demand evaluations; probability-independent, shared
+    /// across what-if copies.
+    demand: Arc<RwLock<HashMap<DemandKey, Arc<DemandCore>>>>,
 }
 
 impl P3 {
-    /// Parses, validates and evaluates `src` with provenance maintenance.
+    /// Parses and validates `src`; evaluation is deferred to first use.
     pub fn from_source(src: &str) -> Result<Self, P3Error> {
         Self::from_program(Program::parse(src)?)
     }
 
-    /// Evaluates an already-validated program with provenance maintenance.
+    /// Wraps an already-validated program; evaluation is deferred to first
+    /// use (whole-model accessors force one naive evaluation, demand-mode
+    /// sessions evaluate per query).
     ///
     /// Programs using stratified negation are rejected: the engine can
     /// evaluate them, but the P3 provenance model (monotone DNF polynomials
@@ -59,17 +97,75 @@ impl P3 {
         if program.has_negation() {
             return Err(P3Error::UnsupportedNegation);
         }
-        let (db, graph) = capture::evaluate_with_provenance(&program);
         let vars = clause_vars(&program);
-        let analysis = Analysis::new(&graph);
         Ok(Self {
             program: Arc::new(program),
-            db: Arc::new(db),
-            graph: Arc::new(graph),
             vars: Arc::new(vars),
-            analysis: Arc::new(analysis),
             store: Arc::new(DnfStore::new()),
+            full: Arc::new(OnceLock::new()),
+            demand: Arc::new(RwLock::new(HashMap::new())),
         })
+    }
+
+    /// Forces (or retrieves) the naive whole-program evaluation.
+    pub(crate) fn full(&self) -> &FullCore {
+        self.full.get_or_init(|| {
+            let (db, graph) = capture::evaluate_with_provenance(&self.program);
+            let analysis = Analysis::new(&graph);
+            FullCore {
+                db,
+                graph,
+                analysis,
+            }
+        })
+    }
+
+    /// Forces (or retrieves) the demand evaluation for one ground query.
+    pub(crate) fn demand_core(
+        &self,
+        pred: Symbol,
+        args: &[Const],
+    ) -> Result<Arc<DemandCore>, P3Error> {
+        let key: DemandKey = (pred, args.to_vec().into_boxed_slice());
+        if let Some(core) = self.demand.read().unwrap().get(&key) {
+            return Ok(Arc::clone(core));
+        }
+        let eval = p3_provenance::evaluate_query_with_provenance(&self.program, pred, args)
+            .map_err(|e| match e {
+                TransformError::Negation => P3Error::UnsupportedNegation,
+                other => P3Error::BadQuery(other.to_string()),
+            })?;
+        let analysis = Analysis::new(&eval.graph);
+        let tuple = eval.db.lookup(pred, args);
+        let core = Arc::new(DemandCore {
+            db: eval.db,
+            graph: eval.graph,
+            analysis,
+            tuple,
+            stats: eval.stats,
+        });
+        // Two threads may race to evaluate the same query; the first insert
+        // wins and both observe one core.
+        Ok(Arc::clone(
+            self.demand.write().unwrap().entry(key).or_insert(core),
+        ))
+    }
+
+    /// How many distinct queries have been demand-evaluated on this system.
+    pub fn demand_evaluations(&self) -> usize {
+        self.demand.read().unwrap().len()
+    }
+
+    /// Transform + engine counters for an already demand-evaluated query
+    /// (`None` when the query has not been demand-evaluated yet).
+    pub fn demand_stats(&self, pred: Symbol, args: &[Const]) -> Option<DemandStats> {
+        let key: DemandKey = (pred, args.to_vec().into_boxed_slice());
+        self.demand.read().unwrap().get(&key).map(|c| c.stats)
+    }
+
+    /// Whether the naive whole-program evaluation has been forced yet.
+    pub fn fully_evaluated(&self) -> bool {
+        self.full.get().is_some()
     }
 
     /// Opens a query session: a cheap handle with memo tables for
@@ -82,8 +178,9 @@ impl P3 {
     }
 
     /// Like [`P3::session`], but with explicit [`SessionOptions`] — e.g. a
-    /// `max_entries` cap so a long-lived session's memo tables stay bounded
-    /// (entries beyond the cap are reclaimed with clock eviction).
+    /// `max_entries` cap so a long-lived session's memo tables stay
+    /// bounded, or an explicit [`EvalMode`] (the default, `auto`, picks
+    /// demand evaluation for recursive programs).
     pub fn session_with(&self, opts: SessionOptions) -> QuerySession {
         QuerySession::with_options(self.clone(), opts)
     }
@@ -110,14 +207,15 @@ impl P3 {
         &self.program
     }
 
-    /// The evaluated database (all derivable tuples).
+    /// The evaluated database (all derivable tuples). Forces the full
+    /// naive evaluation.
     pub fn database(&self) -> &Database {
-        &self.db
+        &self.full().db
     }
 
-    /// The captured provenance graph.
+    /// The captured provenance graph. Forces the full naive evaluation.
     pub fn graph(&self) -> &ProvGraph {
-        &self.graph
+        &self.full().graph
     }
 
     /// The clause-variable table (one Boolean variable per clause).
@@ -126,16 +224,17 @@ impl P3 {
     }
 
     /// Resolves a ground-atom query string (e.g. `know("Ben","Elena")`) to
-    /// the tuple id it denotes.
+    /// the tuple id it denotes in the full database.
     pub fn tuple(&self, query: &str) -> Result<TupleId, P3Error> {
         let (pred, args) = worlds::parse_ground_query(&self.program, query)?;
         self.tuple_of(pred, &args)
             .ok_or_else(|| P3Error::NotDerivable(query.to_string()))
     }
 
-    /// Resolves a predicate + constant arguments to a tuple id.
+    /// Resolves a predicate + constant arguments to a full-database tuple
+    /// id.
     pub fn tuple_of(&self, pred: Symbol, args: &[Const]) -> Option<TupleId> {
-        self.db.lookup(pred, args)
+        self.full().db.lookup(pred, args)
     }
 
     /// Extracts the provenance polynomial of a queried tuple (unbounded
@@ -152,9 +251,10 @@ impl P3 {
 
     /// Builds an extractor sharing this system's [`Analysis`], so repeated
     /// polynomial extraction — across extractors, sessions and threads —
-    /// hits the same memo caches.
+    /// hits the same memo caches. Forces the full naive evaluation.
     pub fn extractor(&self) -> Extractor<'_> {
-        Extractor::with_analysis(&self.graph, &self.analysis)
+        let full = self.full();
+        Extractor::with_analysis(&full.graph, &full.analysis)
     }
 
     /// The shared hash-consed formula store.
@@ -163,8 +263,14 @@ impl P3 {
     }
 
     /// The shared extraction analysis (cycle structure + memo caches).
+    /// Forces the full naive evaluation.
     pub fn analysis(&self) -> &Analysis {
-        &self.analysis
+        &self.full().analysis
+    }
+
+    /// The evaluation mode [`EvalMode::Auto`] resolves to for this program.
+    pub fn auto_eval_mode(&self) -> EvalMode {
+        EvalMode::Auto.resolve(&self.program)
     }
 
     /// The success probability of a queried tuple, using `method`.
@@ -193,8 +299,9 @@ impl P3 {
         let tuple = self.tuple(query)?;
         let polynomial = self.extractor().polynomial(tuple, opts);
         let probability = method.probability(&polynomial, &self.vars);
-        let text = explain::explain(&self.graph, &self.db, &self.program, tuple, opts.max_depth);
-        let dot = dot::to_dot(&self.graph, &self.db, &self.program, tuple);
+        let full = self.full();
+        let text = explain::explain(&full.graph, &full.db, &self.program, tuple, opts.max_depth);
+        let dot = dot::to_dot(&full.graph, &full.db, &self.program, tuple);
         Ok(Explanation {
             query: query.to_string(),
             tuple,
@@ -226,15 +333,14 @@ impl P3 {
             program = program.with_probability(p3_provenance::vars::clause_of(var), prob)?;
             vars.set_prob(var, prob);
         }
-        // The database, graph, analysis and formula store are all
+        // The evaluation cores and formula store are all
         // probability-independent, so the copy shares them.
         Ok(Self {
             program: Arc::new(program),
-            db: Arc::clone(&self.db),
-            graph: Arc::clone(&self.graph),
             vars: Arc::new(vars),
-            analysis: Arc::clone(&self.analysis),
             store: Arc::clone(&self.store),
+            full: Arc::clone(&self.full),
+            demand: Arc::clone(&self.demand),
         })
     }
 
@@ -250,7 +356,8 @@ impl P3 {
     /// scores" view the VQA case study ranks over (§5.1).
     ///
     /// Returns `(tuple, rendered atom, probability)` triples. Extraction is
-    /// shared across tuples via one [`Extractor`].
+    /// shared across tuples via one [`Extractor`]. Forces the full naive
+    /// evaluation (the query names a whole relation, not one atom).
     pub fn relation_probabilities(
         &self,
         pred_name: &str,
@@ -260,7 +367,8 @@ impl P3 {
         let Some(pred) = self.program.symbols().get(pred_name) else {
             return Vec::new();
         };
-        let Some(rel) = self.db.relation(pred) else {
+        let full = self.full();
+        let Some(rel) = full.db.relation(pred) else {
             return Vec::new();
         };
         let extractor = self.extractor();
@@ -271,7 +379,7 @@ impl P3 {
             .map(|&t| {
                 let dnf = extractor.polynomial(t, opts);
                 let p = method.probability(&dnf, &self.vars);
-                (t, format!("{}", self.db.display_tuple(t, syms)), p)
+                (t, format!("{}", full.db.display_tuple(t, syms)), p)
             })
             .collect();
         out.sort_by(|a, b| {
@@ -306,6 +414,27 @@ mod tests {
             .probability(r#"know("Ben","Elena")"#, ProbMethod::Exact)
             .unwrap();
         assert!((p - 0.16384).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn evaluation_is_lazy_and_forced_once() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        assert!(!p3.fully_evaluated(), "loading must not evaluate");
+        let copy = p3.clone();
+        let _ = p3.database();
+        assert!(p3.fully_evaluated());
+        assert!(copy.fully_evaluated(), "clones share the forced core");
+        // Demand evaluations are independent of the full core.
+        assert_eq!(p3.demand_evaluations(), 0);
+        let (pred, args) =
+            worlds::parse_ground_query(p3.program(), r#"know("Ben","Elena")"#).unwrap();
+        let core = p3.demand_core(pred, &args).unwrap();
+        assert!(core.tuple.is_some());
+        assert_eq!(p3.demand_evaluations(), 1);
+        // Repeating the query hits the cache.
+        let again = p3.demand_core(pred, &args).unwrap();
+        assert!(Arc::ptr_eq(&core, &again));
+        assert_eq!(copy.demand_evaluations(), 1, "cache is shared");
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub struct CompiledRule {
     pub constraints: Vec<CConstraint>,
     /// Number of variable slots.
     pub num_vars: usize,
+    /// Per body position: the columns that are bound when the atom is
+    /// probed under left-to-right evaluation — constant columns plus
+    /// columns whose variable first occurs in an earlier body atom. These
+    /// are exactly the (predicate, column-set) indexes the join loop needs;
+    /// the engine registers them on the database before evaluation.
+    pub probe_cols: Vec<Box<[usize]>>,
 }
 
 impl CompiledRule {
@@ -153,6 +159,32 @@ impl CompiledRule {
             .collect();
 
         let num_vars = numbering.len();
+
+        // Plan the probe of each body atom: a column is bound at probe time
+        // iff it holds a constant or a variable bound by an earlier atom.
+        // (A variable repeated *within* one atom is unbound at probe time
+        // for both occurrences; the join loop filters it while binding.)
+        let mut seen_vars: std::collections::HashSet<u16> = std::collections::HashSet::new();
+        let probe_cols: Vec<Box<[usize]>> = body
+            .iter()
+            .map(|atom| {
+                let cols: Box<[usize]> = atom
+                    .args
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| match t {
+                        CTerm::Const(_) => Some(i),
+                        CTerm::Var(v) => seen_vars.contains(v).then_some(i),
+                    })
+                    .collect();
+                seen_vars.extend(atom.args.iter().filter_map(|t| match t {
+                    CTerm::Var(v) => Some(*v),
+                    CTerm::Const(_) => None,
+                }));
+                cols
+            })
+            .collect();
+
         CompiledRule {
             clause: id,
             head,
@@ -160,7 +192,17 @@ impl CompiledRule {
             negated,
             constraints,
             num_vars,
+            probe_cols,
         }
+    }
+
+    /// The (predicate, column-set) indexes this rule's probes require.
+    pub fn index_specs(&self) -> impl Iterator<Item = (Symbol, &[usize])> + '_ {
+        self.body
+            .iter()
+            .zip(&self.probe_cols)
+            .filter(|(_, cols)| !cols.is_empty())
+            .map(|(atom, cols)| (atom.pred, &**cols))
     }
 }
 

@@ -5,6 +5,12 @@
 //! [`TupleId`]. Relations are append-only lists of tuple ids, which makes
 //! semi-naive deltas representable as index ranges, and gives provenance a
 //! stable, compact vertex identifier for every tuple.
+//!
+//! Hash indexes on column subsets are *planned*: the engine registers every
+//! (predicate, bound-column-set) pair its compiled rules will probe before
+//! evaluation starts, and [`Database::insert`] maintains the registered
+//! indexes incrementally. Probing is then a read-only lookup — no lazy
+//! rebuild inside the join loop.
 
 use crate::ast::Const;
 use crate::symbol::{Symbol, SymbolTable};
@@ -32,19 +38,15 @@ pub struct StoredTuple {
     pub args: Box<[Const]>,
 }
 
-/// A relation: the tuples of one predicate, in insertion order, plus lazy
-/// hash indices on column subsets.
+/// One hash index: tuples grouped by their values at a fixed column subset.
+type Index = HashMap<Box<[Const]>, Vec<TupleId>>;
+
+/// A relation: the tuples of one predicate, in insertion order, plus the
+/// registered hash indexes on column subsets.
 #[derive(Default, Debug, Clone)]
 pub struct Relation {
     tuples: Vec<TupleId>,
-    indices: HashMap<Box<[usize]>, ColumnIndex>,
-}
-
-#[derive(Default, Debug, Clone)]
-struct ColumnIndex {
-    /// Number of `tuples` entries already folded into `map`.
-    synced: usize,
-    map: HashMap<Box<[Const]>, Vec<TupleId>>,
+    indices: HashMap<Box<[usize]>, Index>,
 }
 
 impl Relation {
@@ -81,6 +83,46 @@ impl Database {
         Self::default()
     }
 
+    /// Creates an empty database carrying a symbol-table snapshot, enabling
+    /// name-based lookups like [`Self::relation_by_name`] on databases
+    /// assembled outside the engine (e.g. demand-mode re-interning).
+    pub fn with_symbols(symbols: SymbolTable) -> Self {
+        Self {
+            symbols_hint: Some(symbols),
+            ..Self::default()
+        }
+    }
+
+    /// Registers a hash index on `cols` of `pred`, backfilling any tuples
+    /// already stored. Subsequent [`Self::insert`]s maintain it
+    /// incrementally; [`Self::probe`] requires it. Registering twice is a
+    /// no-op, as is registering the empty column set (a full scan).
+    pub fn register_index(&mut self, pred: Symbol, cols: &[usize]) {
+        if cols.is_empty() {
+            return;
+        }
+        if self
+            .relations
+            .get(&pred)
+            .is_some_and(|r| r.indices.contains_key(cols))
+        {
+            return;
+        }
+        let mut map: HashMap<Box<[Const]>, Vec<TupleId>> = HashMap::new();
+        if let Some(rel) = self.relations.get(&pred) {
+            for &id in &rel.tuples {
+                let args = &self.tuples[id.index()].args;
+                let key: Box<[Const]> = cols.iter().map(|&c| args[c]).collect();
+                map.entry(key).or_default().push(id);
+            }
+        }
+        self.relations
+            .entry(pred)
+            .or_default()
+            .indices
+            .insert(cols.to_vec().into_boxed_slice(), map);
+    }
+
     /// Interns a tuple, returning its id and whether it was newly inserted.
     pub fn insert(&mut self, pred: Symbol, args: Box<[Const]>) -> (TupleId, bool) {
         if let Some(&id) = self.intern.get(&(pred, args.clone())) {
@@ -91,8 +133,13 @@ impl Database {
             pred,
             args: args.clone(),
         });
+        let rel = self.relations.entry(pred).or_default();
+        rel.tuples.push(id);
+        for (cols, map) in rel.indices.iter_mut() {
+            let key: Box<[Const]> = cols.iter().map(|&c| args[c]).collect();
+            map.entry(key).or_default().push(id);
+        }
         self.intern.insert((pred, args), id);
-        self.relations.entry(pred).or_default().tuples.push(id);
         (id, true)
     }
 
@@ -111,7 +158,8 @@ impl Database {
         &self.tuples[id.index()]
     }
 
-    /// The relation for `pred`, if any tuple of it exists.
+    /// The relation for `pred`, if any tuple of it exists (or an index on it
+    /// was registered).
     pub fn relation(&self, pred: Symbol) -> Option<&Relation> {
         self.relations.get(&pred)
     }
@@ -145,29 +193,53 @@ impl Database {
 
     /// All predicates with at least one tuple.
     pub fn predicates(&self) -> impl Iterator<Item = Symbol> + '_ {
-        self.relations.keys().copied()
+        self.relations
+            .iter()
+            .filter(|(_, rel)| !rel.tuples.is_empty())
+            .map(|(&sym, _)| sym)
     }
 
-    /// Tuples of `pred` whose columns `cols` equal `key`, using (and lazily
-    /// maintaining) a hash index.
-    pub fn probe(&mut self, pred: Symbol, cols: &[usize], key: &[Const]) -> &[TupleId] {
+    /// Tuples of `pred` whose columns `cols` equal `key`, via a registered
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// If `cols` is non-empty and no index on it was registered for a
+    /// non-empty `pred` — the engine plans every probe it performs; ad-hoc
+    /// callers should use [`Self::matching`].
+    pub fn probe(&self, pred: Symbol, cols: &[usize], key: &[Const]) -> &[TupleId] {
         debug_assert_eq!(cols.len(), key.len());
-        let Some(rel) = self.relations.get_mut(&pred) else {
+        let Some(rel) = self.relations.get(&pred) else {
             return &[];
         };
+        if cols.is_empty() {
+            return &rel.tuples;
+        }
         let index = rel
             .indices
-            .entry(cols.to_vec().into_boxed_slice())
-            .or_default();
-        // Fold in tuples appended since the last probe.
-        while index.synced < rel.tuples.len() {
-            let id = rel.tuples[index.synced];
-            index.synced += 1;
-            let tuple = &self.tuples[id.index()];
-            let k: Box<[Const]> = cols.iter().map(|&c| tuple.args[c]).collect();
-            index.map.entry(k).or_default().push(id);
+            .get(cols)
+            .unwrap_or_else(|| panic!("probe on unregistered index {cols:?}"));
+        index.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Tuples of `pred` whose columns `cols` equal `key`, using a registered
+    /// index when one exists and a relation scan otherwise.
+    pub fn matching(&self, pred: Symbol, cols: &[usize], key: &[Const]) -> Vec<TupleId> {
+        debug_assert_eq!(cols.len(), key.len());
+        let Some(rel) = self.relations.get(&pred) else {
+            return Vec::new();
+        };
+        if let Some(index) = rel.indices.get(cols) {
+            return index.get(key).cloned().unwrap_or_default();
         }
-        index.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+        rel.tuples
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let args = &self.tuples[id.index()].args;
+                cols.iter().zip(key).all(|(&c, k)| args[c] == *k)
+            })
+            .collect()
     }
 
     /// Renders a tuple as `pred(arg,...)`.
@@ -227,7 +299,7 @@ mod tests {
     }
 
     #[test]
-    fn probe_returns_matching_tuples_and_tracks_appends() {
+    fn registered_probe_tracks_appends() {
         let mut t = syms();
         let e = t.intern("edge");
         let n = |i| Const::Int(i);
@@ -236,13 +308,25 @@ mod tests {
         let (t13, _) = db.insert(e, vec![n(1), n(3)].into_boxed_slice());
         db.insert(e, vec![n(2), n(3)].into_boxed_slice());
 
-        let hits = db.probe(e, &[0], &[n(1)]).to_vec();
-        assert_eq!(hits, vec![t12, t13]);
+        // Registration backfills the existing tuples…
+        db.register_index(e, &[0]);
+        assert_eq!(db.probe(e, &[0], &[n(1)]), &[t12, t13]);
 
-        // Appending after an index exists must keep the index in sync.
+        // …and inserts maintain the index from then on.
         let (t14, _) = db.insert(e, vec![n(1), n(4)].into_boxed_slice());
-        let hits = db.probe(e, &[0], &[n(1)]).to_vec();
-        assert_eq!(hits, vec![t12, t13, t14]);
+        assert_eq!(db.probe(e, &[0], &[n(1)]), &[t12, t13, t14]);
+    }
+
+    #[test]
+    fn register_before_any_tuple_exists() {
+        let mut t = syms();
+        let e = t.intern("edge");
+        let n = |i| Const::Int(i);
+        let mut db = Database::new();
+        db.register_index(e, &[1]);
+        assert!(db.probe(e, &[1], &[n(2)]).is_empty());
+        let (t12, _) = db.insert(e, vec![n(1), n(2)].into_boxed_slice());
+        assert_eq!(db.probe(e, &[1], &[n(2)]), &[t12]);
     }
 
     #[test]
@@ -251,17 +335,41 @@ mod tests {
         let e = t.intern("edge");
         let n = |i| Const::Int(i);
         let mut db = Database::new();
+        db.register_index(e, &[0, 1]);
         let (t12, _) = db.insert(e, vec![n(1), n(2)].into_boxed_slice());
         db.insert(e, vec![n(1), n(3)].into_boxed_slice());
-        let hits = db.probe(e, &[0, 1], &[n(1), n(2)]).to_vec();
-        assert_eq!(hits, vec![t12]);
+        assert_eq!(db.probe(e, &[0, 1], &[n(1), n(2)]), &[t12]);
     }
 
     #[test]
     fn probe_unknown_predicate_is_empty() {
         let mut t = syms();
         let p = t.intern("p");
-        let mut db = Database::new();
+        let db = Database::new();
         assert!(db.probe(p, &[0], &[Const::Int(1)]).is_empty());
+    }
+
+    #[test]
+    fn matching_scans_without_an_index() {
+        let mut t = syms();
+        let e = t.intern("edge");
+        let n = |i| Const::Int(i);
+        let mut db = Database::new();
+        let (t12, _) = db.insert(e, vec![n(1), n(2)].into_boxed_slice());
+        let (t13, _) = db.insert(e, vec![n(1), n(3)].into_boxed_slice());
+        db.insert(e, vec![n(2), n(3)].into_boxed_slice());
+        assert_eq!(db.matching(e, &[0], &[n(1)]), vec![t12, t13]);
+        // Registered path returns the same answer.
+        db.register_index(e, &[0]);
+        assert_eq!(db.matching(e, &[0], &[n(1)]), vec![t12, t13]);
+    }
+
+    #[test]
+    fn empty_registered_relations_are_not_reported_as_predicates() {
+        let mut t = syms();
+        let e = t.intern("edge");
+        let mut db = Database::new();
+        db.register_index(e, &[0]);
+        assert_eq!(db.predicates().count(), 0);
     }
 }

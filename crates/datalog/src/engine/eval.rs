@@ -27,9 +27,9 @@ pub(super) fn eval_rule(
         body_ids: Vec::with_capacity(rule.body.len()),
         sink,
         firings: 0,
-        scratch_cols: Vec::new(),
         scratch_key: Vec::new(),
         scratch_args: Vec::new(),
+        cand_bufs: vec![Vec::new(); rule.body.len()],
     };
     cx.join(0);
     cx.firings
@@ -48,9 +48,13 @@ struct JoinCx<'a> {
     body_ids: Vec<TupleId>,
     sink: &'a mut dyn DerivationSink,
     firings: usize,
-    scratch_cols: Vec<usize>,
     scratch_key: Vec<Const>,
     scratch_args: Vec<Const>,
+    /// Per body position, a reusable buffer for the candidate tuples of
+    /// that position. Candidates must be copied out of the database before
+    /// recursing (derived heads are inserted below us), but the allocation
+    /// is amortised across the whole join.
+    cand_bufs: Vec<Vec<TupleId>>,
 }
 
 impl JoinCx<'_> {
@@ -74,43 +78,31 @@ impl JoinCx<'_> {
         let atom = &self.rule.body[pos];
         let (lo, hi) = self.id_range(pos);
 
-        // Split the atom's arguments into bound columns (probe key) and the
-        // rest (checked/bound during the scan).
-        self.scratch_cols.clear();
+        // The bound columns were planned at compile time and their indexes
+        // registered before evaluation; build the probe key from the
+        // current bindings. (Planned columns hold constants or variables
+        // bound by earlier atoms, so every lookup below succeeds.)
+        let cols = &self.rule.probe_cols[pos];
         self.scratch_key.clear();
-        for (col, term) in atom.args.iter().enumerate() {
-            match term {
-                CTerm::Const(c) => {
-                    self.scratch_cols.push(col);
-                    self.scratch_key.push(*c);
-                }
-                CTerm::Var(v) => {
-                    if let Some(c) = self.env[*v as usize] {
-                        self.scratch_cols.push(col);
-                        self.scratch_key.push(c);
-                    }
-                }
-            }
+        for &col in cols.iter() {
+            let value = match atom.args[col] {
+                CTerm::Const(c) => c,
+                CTerm::Var(v) => self.env[v as usize].expect("planned probe column is bound"),
+            };
+            self.scratch_key.push(value);
         }
 
-        // Collect candidates. The probe borrows `db` mutably (indices are
-        // built lazily), so copy the matching id range out before recursing.
-        let candidates: Vec<TupleId> = if self.scratch_cols.is_empty() {
-            match self.db.relation(atom.pred) {
-                Some(rel) => in_range(rel.tuples(), lo, hi).to_vec(),
-                None => return,
-            }
-        } else {
-            let cols = std::mem::take(&mut self.scratch_cols);
-            let key = std::mem::take(&mut self.scratch_key);
-            let hits = self.db.probe(atom.pred, &cols, &key);
-            let out = in_range(hits, lo, hi).to_vec();
-            self.scratch_cols = cols;
-            self.scratch_key = key;
-            out
-        };
+        // Copy the matching id range out before recursing: derived heads
+        // are inserted into `db` below us.
+        let mut candidates = std::mem::take(&mut self.cand_bufs[pos]);
+        candidates.clear();
+        candidates.extend_from_slice(in_range(
+            self.db.probe(atom.pred, cols, &self.scratch_key),
+            lo,
+            hi,
+        ));
 
-        for id in candidates {
+        for &id in &candidates {
             if let Some(mark) = self.bind(atom, id) {
                 if self.constraints_hold(pos) && self.negations_hold(pos) {
                     self.body_ids.push(id);
@@ -120,6 +112,7 @@ impl JoinCx<'_> {
                 self.rollback(mark);
             }
         }
+        self.cand_bufs[pos] = candidates;
     }
 
     /// Binds `atom`'s unbound variables against tuple `id`. Returns the

@@ -64,11 +64,26 @@ pub struct EngineStats {
     pub tuples: usize,
 }
 
+/// Counters for one stratum of a run.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct StratumStats {
+    /// Fixpoint iterations this stratum executed.
+    pub iterations: usize,
+    /// Rule firings observed in this stratum.
+    pub firings: usize,
+    /// Tuples this stratum's rules derived.
+    pub derived_tuples: usize,
+}
+
 /// The evaluation engine for one program.
 pub struct Engine<'p> {
     program: &'p Program,
     rules: Vec<CompiledRule>,
     stats: EngineStats,
+    per_stratum: Vec<StratumStats>,
+    /// Evaluation-mode label for metrics (`naive` unless the caller runs a
+    /// demand-transformed program and says so).
+    mode_label: &'static str,
 }
 
 impl<'p> Engine<'p> {
@@ -83,13 +98,28 @@ impl<'p> Engine<'p> {
             program,
             rules,
             stats: EngineStats::default(),
+            per_stratum: Vec::new(),
+            mode_label: "naive",
         }
+    }
+
+    /// Labels this run's metrics with an evaluation mode (`naive`/`demand`).
+    pub fn set_mode_label(&mut self, label: &'static str) {
+        self.mode_label = label;
     }
 
     /// Runs to fixpoint, reporting derivations to `sink`.
     pub fn run(&mut self, sink: &mut dyn DerivationSink) -> Database {
         let mut db = Database::new();
         db.symbols_hint = Some(self.program.symbols().clone());
+
+        // Register the indexes planned at compile time, once, before any
+        // tuple exists; inserts keep them current for the whole run.
+        for rule in &self.rules {
+            for (pred, cols) in rule.index_specs() {
+                db.register_index(pred, cols);
+            }
+        }
 
         // Seed base tuples. Facts are ground by validation.
         for (id, clause) in self.program.iter() {
@@ -124,9 +154,13 @@ impl<'p> Engine<'p> {
             "p3_datalog_delta_tuples",
             "New tuples per semi-naive iteration (the delta each pass joins against)"
         );
+        let base_tuples = db.len();
         let mut iterations = 0usize;
         let mut firings = 0usize;
+        self.per_stratum = Vec::with_capacity(by_stratum.len());
         for stratum_rules in &by_stratum {
+            let stratum_start = db.len();
+            let mut stratum_stats = StratumStats::default();
             // Every tuple derived so far is "new" to this stratum's rules.
             let mut w_prev = 0u32;
             let mut w_cur = db.len() as u32;
@@ -135,10 +169,11 @@ impl<'p> Engine<'p> {
             // matter to provenance even though they add no tuples.
             while w_prev < w_cur {
                 iterations += 1;
+                stratum_stats.iterations += 1;
                 delta_hist.observe(u64::from(w_cur - w_prev));
                 for &rule_idx in stratum_rules {
                     for d in 0..self.rules[rule_idx].body.len() {
-                        firings += eval::eval_rule(
+                        stratum_stats.firings += eval::eval_rule(
                             &mut db,
                             &self.rules[rule_idx],
                             d,
@@ -151,6 +186,9 @@ impl<'p> Engine<'p> {
                 w_prev = w_cur;
                 w_cur = db.len() as u32;
             }
+            firings += stratum_stats.firings;
+            stratum_stats.derived_tuples = db.len() - stratum_start;
+            self.per_stratum.push(stratum_stats);
         }
 
         p3_obs::counter!(
@@ -163,6 +201,18 @@ impl<'p> Engine<'p> {
             "Rule firings observed, including re-derivations"
         )
         .add(firings as u64);
+        p3_obs::counter!(
+            "p3_engine_strata_iterations_total",
+            "Fixpoint iterations executed, summed across strata"
+        )
+        .add(iterations as u64);
+        let mode = p3_obs::metrics::render_labels(&[("mode", self.mode_label)]);
+        p3_obs::metrics::labeled_counter(
+            "p3_engine_derived_tuples_total",
+            "Tuples derived by rule evaluation, by evaluation mode",
+            &mode,
+        )
+        .add((db.len() - base_tuples) as u64);
         span.add_field("iterations", iterations);
         span.add_field("firings", firings);
         span.add_field("tuples", db.len());
@@ -183,6 +233,12 @@ impl<'p> Engine<'p> {
     /// Counters from the most recent run.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Per-stratum counters from the most recent run, in stratum order.
+    /// Negation-free programs have a single stratum.
+    pub fn stratum_stats(&self) -> &[StratumStats] {
+        &self.per_stratum
     }
 
     /// The program being evaluated.

@@ -35,6 +35,7 @@ pub mod engine;
 pub mod parser;
 pub mod program;
 pub mod symbol;
+pub mod transform;
 pub mod worlds;
 
 pub use ast::{Atom, Clause, ClauseId, ClauseKind, CmpOp, Const, Constraint, Term};

@@ -1,6 +1,6 @@
 //! Graph-level checks: unstratified negation (P3201), negation outside the
-//! provenance model (P3202), recursive-SCC cost notes (P3601) and high rule
-//! fan-in (P3602).
+//! provenance model (P3202), recursive-SCC cost notes (P3601), high rule
+//! fan-in (P3602) and the demand-mode recommendation (P3603).
 
 use crate::ctx::Ctx;
 use crate::graph::DepGraph;
@@ -20,7 +20,8 @@ pub(crate) fn run(ctx: &mut Ctx<'_>) {
 
     negation(ctx, &graph, &scc_of);
     recursive_cost(ctx, &graph, &sccs);
-    fan_in(ctx);
+    let heavy_fan_in = fan_in(ctx);
+    demand_hint(ctx, &graph, &sccs, heavy_fan_in);
 }
 
 fn negation(ctx: &mut Ctx<'_>, graph: &DepGraph, scc_of: &HashMap<usize, usize>) {
@@ -93,11 +94,15 @@ fn recursive_cost(ctx: &mut Ctx<'_>, graph: &DepGraph, sccs: &[Vec<usize>]) {
             Some(i) => (ctx.clause_span(i), Some(ctx.clauses[i].label.clone())),
             None => (None, None),
         };
+        // Softened since demand evaluation became the default for recursive
+        // programs: the full-model cost described here is only paid under
+        // --eval-mode naive.
         let mut d = Diagnostic::info("P3601", format!("recursive cycle through {{{listed}}}"))
             .with_span(span)
             .with_help(
                 "cyclic derivations are cut by the hop-limited cycle elimination of \u{a7}3.3; \
-             deep recursion grows grounding time and provenance size",
+             deep recursion grows grounding time and provenance size under naive \
+             evaluation (auto mode already evaluates recursive programs on demand)",
             );
         if let Some(label) = label {
             d = d.with_clause(&label);
@@ -106,7 +111,9 @@ fn recursive_cost(ctx: &mut Ctx<'_>, graph: &DepGraph, sccs: &[Vec<usize>]) {
     }
 }
 
-fn fan_in(ctx: &mut Ctx<'_>) {
+/// Emits P3602 for high-fan-in predicates; returns whether any were found
+/// (an input to the P3603 demand-mode recommendation).
+fn fan_in(ctx: &mut Ctx<'_>) -> bool {
     const FAN_IN_NOTE: usize = 4;
     let mut rule_counts: HashMap<Symbol, usize> = HashMap::new();
     for clause in ctx.clauses.iter().filter(|c| c.is_rule()) {
@@ -122,6 +129,7 @@ fn fan_in(ctx: &mut Ctx<'_>) {
             flagged.push((i, clause.head.pred, count, clause.label.clone()));
         }
     }
+    let any = !flagged.is_empty();
     for (i, pred, count, label) in flagged {
         let d = Diagnostic::info(
             "P3602",
@@ -135,4 +143,40 @@ fn fan_in(ctx: &mut Ctx<'_>) {
         );
         ctx.emit(d);
     }
+    any
+}
+
+/// P3603: one note per program when its shape (recursive SCCs or heavy rule
+/// fan-in) makes query-directed evaluation pay off.
+fn demand_hint(ctx: &mut Ctx<'_>, graph: &DepGraph, sccs: &[Vec<usize>], heavy_fan_in: bool) {
+    let recursive = sccs.iter().any(|c| c.len() > 1 || graph.self_loop(c[0]));
+    if !recursive && !heavy_fan_in {
+        return;
+    }
+    let shape = match (recursive, heavy_fan_in) {
+        (true, true) => "recursive cycles and high rule fan-in",
+        (true, false) => "recursive cycles",
+        (false, true) => "high rule fan-in",
+        (false, false) => unreachable!(),
+    };
+    // Anchor at the first rule so the note lands on executable logic.
+    let anchor = ctx.clauses.iter().position(|c| c.is_rule());
+    let (span, label) = match anchor {
+        Some(i) => (ctx.clause_span(i), Some(ctx.clauses[i].label.clone())),
+        None => (None, None),
+    };
+    let mut d = Diagnostic::info(
+        "P3603",
+        format!("program shape ({shape}) benefits from query-directed evaluation"),
+    )
+    .with_span(span)
+    .with_help(
+        "demand mode magic-transforms the program per query and derives only the \
+         query-relevant fragment; pass --eval-mode demand (the CLI/service auto \
+         mode already selects it for recursive programs)",
+    );
+    if let Some(label) = label {
+        d = d.with_clause(&label);
+    }
+    ctx.emit(d);
 }

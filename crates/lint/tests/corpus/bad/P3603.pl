@@ -1,0 +1,5 @@
+% Recursive closure: a query-directed (demand) evaluation candidate.
+t1 0.5: e(a,b).
+t2 0.5: e(b,c).
+r1 0.9: t(X,Y) :- e(X,Y).
+r2 0.9: t(X,Y) :- t(X,Z), e(Z,Y).

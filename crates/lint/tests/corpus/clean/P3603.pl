@@ -1,0 +1,5 @@
+% Flat program, low fan-in: naive evaluation is already cheap.
+t1 0.5: p(a).
+t2 0.5: q(b).
+r1 0.9: r(X) :- p(X).
+r2 0.8: r(X) :- q(X).

@@ -23,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod capture;
+pub mod demand;
 pub mod dot;
 pub mod explain;
 pub mod extract;
@@ -32,6 +33,7 @@ pub mod sld;
 pub mod vars;
 
 pub use capture::CaptureSink;
+pub use demand::{evaluate_query_with_provenance, DemandEvaluation, DemandStats};
 pub use extract::{extract_polynomial, Analysis, ExtractOptions, Extractor};
 pub use graph::{Derivation, ExecId, ProvGraph, RuleExec};
 pub use vars::clause_vars;

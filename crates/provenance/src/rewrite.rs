@@ -121,17 +121,13 @@ pub fn rewrite(program: &Program) -> Result<Rewritten, RewriteError> {
 /// the provenance graph from the bookkeeping relations. Returns the full
 /// database (including `__exec_*` relations) and the graph.
 pub fn evaluate_rewritten(original: &Program, rewritten: &Rewritten) -> (Database, ProvGraph) {
-    let mut db = Engine::new(&rewritten.program).run(&mut NoopSink);
-    let graph = graph_from_rewritten(original, rewritten, &mut db);
+    let db = Engine::new(&rewritten.program).run(&mut NoopSink);
+    let graph = graph_from_rewritten(original, rewritten, &db);
     (db, graph)
 }
 
 /// Projects the `__exec_*` relations back into a [`ProvGraph`].
-pub fn graph_from_rewritten(
-    original: &Program,
-    rewritten: &Rewritten,
-    db: &mut Database,
-) -> ProvGraph {
+pub fn graph_from_rewritten(original: &Program, rewritten: &Rewritten, db: &Database) -> ProvGraph {
     let mut graph = ProvGraph::new();
 
     // Base assertions come straight from the fact clauses.

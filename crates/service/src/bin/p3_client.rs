@@ -54,6 +54,7 @@ OPTIONS (where applicable):
     --algo A            greedy|resuciu          [default: greedy]
     --top-k K           keep only the K most influential entries
     --tolerance T       modification tolerance  [default: 1e-6]
+    --eval-mode M       evaluation mode override: auto|naive|demand
     --timeout-ms N      per-request deadline
     --hop-limit N       provenance extraction depth cap
     --trace-out FILE    record client-side spans under a fresh trace id,
@@ -74,6 +75,7 @@ fn build_request(words: &[String]) -> Result<String, String> {
         };
         match word.as_str() {
             "--method" => pairs.push(("method".into(), take("--method")?.as_str().into())),
+            "--eval-mode" => pairs.push(("eval_mode".into(), take("--eval-mode")?.as_str().into())),
             "--algo" => pairs.push(("algo".into(), take("--algo")?.as_str().into())),
             "--class" => pairs.push(("class".into(), take("--class")?.as_str().into())),
             opt @ ("--samples" | "--seed" | "--threads" | "--top-k" | "--timeout-ms"

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! p3-serve --program FILE [--tcp ADDR] [--unix PATH] [--admin-addr ADDR]
-//!          [--workers N] [--queue-cap N] [--cache-cap N] [--timeout-ms N]
-//!          [--slow-ms N]
+//!          [--workers N] [--queue-cap N] [--cache-cap N] [--eval-mode M]
+//!          [--timeout-ms N] [--slow-ms N]
 //! ```
 //!
 //! Prints one `listening tcp ADDR` / `listening unix PATH` /
@@ -34,6 +34,8 @@ OPTIONS:
                        else available cores capped at 16) [default: 0]
     --queue-cap N      bounded request queue capacity [default: 256]
     --cache-cap N      per-table session cache cap (entries); omit for unbounded
+    --eval-mode M      default evaluation mode: auto|naive|demand [default: auto];
+                       requests override per-query with \"eval_mode\"
     --timeout-ms N     default per-request deadline for requests without timeout_ms
     --slow-ms N        log requests slower than N ms at warn level
     --no-lint          skip the lint pre-flight gate on the boot-time program
@@ -102,6 +104,10 @@ fn main() -> ExitCode {
                     .map_err(|_| format!("bad --cache-cap value '{v}'"))
             }) {
                 Ok(v) => config.cache_cap = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--eval-mode" => match take("--eval-mode").and_then(|v| v.parse()) {
+                Ok(v) => config.eval_mode = v,
                 Err(e) => return fail(&e),
             },
             "--timeout-ms" => match take("--timeout-ms").and_then(|v| {

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! request  = { "op": <op>, ["id": n], ["timeout_ms": n], ["hop_limit": n],
+//!              ["eval_mode": "auto"|"naive"|"demand"],
 //!              ["trace": "32-hex"], ...op fields }
 //! op       = "ping" | "stats" | "metrics" | "trace" | "shutdown"
 //!          | "load-program"
@@ -17,13 +18,15 @@
 //!
 //! `id` is echoed verbatim so clients can pipeline; `timeout_ms` arms the
 //! per-request deadline (see `server`); `hop_limit` caps provenance
-//! extraction depth for the query ops. `trace` is an optional
+//! extraction depth for the query ops; `eval_mode` overrides the server's
+//! default evaluation strategy (naive whole-model vs query-directed demand,
+//! see `p3_core::EvalMode`) for one request. `trace` is an optional
 //! client-generated 128-bit trace id (lowercase hex): the server adopts
 //! it as a field on the request's root span so one id links client-side
 //! connect/send/recv spans with the server-side execution tree.
 
 use crate::json::Value;
-use p3_core::{DerivationAlgo, InfluenceMethod, ProbMethod};
+use p3_core::{DerivationAlgo, EvalMode, InfluenceMethod, ProbMethod};
 use p3_prob::McConfig;
 
 /// A query-class op, parsed and validated.
@@ -151,6 +154,9 @@ pub struct Request {
     pub timeout_ms: Option<u64>,
     /// Provenance extraction depth cap for query ops.
     pub hop_limit: Option<usize>,
+    /// Per-request evaluation-mode override for query ops; `None` uses the
+    /// server's configured default.
+    pub eval_mode: Option<EvalMode>,
     /// Client-generated trace id (lowercase hex), adopted on the
     /// server-side root span for cross-process trace assembly.
     pub trace: Option<String>,
@@ -301,6 +307,16 @@ impl Request {
         let id = opt_u64(&v, "id")?;
         let timeout_ms = opt_u64(&v, "timeout_ms")?;
         let hop_limit = opt_u64(&v, "hop_limit")?.map(|n| n as usize);
+        let eval_mode = match v.get("eval_mode") {
+            None | Some(Value::Null) => None,
+            Some(field) => match field.as_str() {
+                Some(s) => Some(
+                    s.parse::<EvalMode>()
+                        .map_err(|e| format!("eval_mode: {e}"))?,
+                ),
+                None => return Err("field 'eval_mode' must be a string".to_string()),
+            },
+        };
         let trace = match v.get("trace") {
             None | Some(Value::Null) => None,
             Some(field) => match field.as_str() {
@@ -359,6 +375,7 @@ impl Request {
             id,
             timeout_ms,
             hop_limit,
+            eval_mode,
             trace,
             op,
         })
@@ -511,12 +528,13 @@ mod tests {
     #[test]
     fn envelope_fields_are_extracted() {
         let req = Request::parse(
-            r#"{"op":"probability","query":"a(1)","id":42,"timeout_ms":250,"hop_limit":3,"method":"pmc","threads":2,"samples":500,"seed":9}"#,
+            r#"{"op":"probability","query":"a(1)","id":42,"timeout_ms":250,"hop_limit":3,"eval_mode":"demand","method":"pmc","threads":2,"samples":500,"seed":9}"#,
         )
         .unwrap();
         assert_eq!(req.id, Some(42));
         assert_eq!(req.timeout_ms, Some(250));
         assert_eq!(req.hop_limit, Some(3));
+        assert_eq!(req.eval_mode, Some(EvalMode::Demand));
         match req.op {
             Op::Probability { ref query, method } => {
                 assert_eq!(query, "a(1)");
@@ -558,6 +576,14 @@ mod tests {
             (
                 r#"{"op":"probability","query":"a(1)","timeout_ms":-3}"#,
                 "timeout_ms",
+            ),
+            (
+                r#"{"op":"probability","query":"a(1)","eval_mode":"magic"}"#,
+                "eval_mode",
+            ),
+            (
+                r#"{"op":"probability","query":"a(1)","eval_mode":7}"#,
+                "eval_mode",
             ),
         ] {
             let err = Request::parse(line).unwrap_err();
@@ -637,6 +663,30 @@ mod tests {
         let err = Request::parse(r#"{"op":"profile","class":"modification","query":"a(1)"}"#)
             .unwrap_err();
         assert!(err.contains("target"), "{err}");
+    }
+
+    #[test]
+    fn eval_mode_field_is_optional_and_parsed() {
+        assert_eq!(
+            Request::parse(r#"{"op":"probability","query":"a(1)"}"#)
+                .unwrap()
+                .eval_mode,
+            None
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"probability","query":"a(1)","eval_mode":null}"#)
+                .unwrap()
+                .eval_mode,
+            None
+        );
+        for (spelling, mode) in [
+            ("auto", EvalMode::Auto),
+            ("naive", EvalMode::Naive),
+            ("demand", EvalMode::Demand),
+        ] {
+            let line = format!(r#"{{"op":"probability","query":"a(1)","eval_mode":"{spelling}"}}"#);
+            assert_eq!(Request::parse(&line).unwrap().eval_mode, Some(mode));
+        }
     }
 
     #[test]

@@ -26,11 +26,11 @@ use crate::json::Value;
 use crate::protocol::{Op, Request, Response};
 use crate::stats::{Outcome, ServiceStats};
 use p3_core::{
-    InfluenceOptions, ModificationOptions, ProfileTarget, QueryProfile, QuerySession,
+    EvalMode, InfluenceOptions, ModificationOptions, ProfileTarget, QueryProfile, QuerySession,
     SessionOptions, P3,
 };
 use p3_provenance::extract::ExtractOptions;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::os::unix::net::UnixListener;
@@ -62,6 +62,9 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// Per-table session cache cap ([`SessionOptions::max_entries`]).
     pub cache_cap: Option<usize>,
+    /// Default evaluation mode for query ops ([`SessionOptions::eval_mode`]);
+    /// requests override it per-query with `"eval_mode"`.
+    pub eval_mode: EvalMode,
     /// Deadline applied to requests that don't carry `timeout_ms`.
     pub default_timeout_ms: Option<u64>,
     /// Requests slower than this many milliseconds are logged at `warn`
@@ -79,6 +82,7 @@ impl Default for ServerConfig {
             workers: 0,
             queue_cap: 256,
             cache_cap: None,
+            eval_mode: EvalMode::Auto,
             default_timeout_ms: None,
             slow_ms: None,
         }
@@ -89,6 +93,7 @@ impl Default for ServerConfig {
 struct Job {
     op: Op,
     hop_limit: Option<usize>,
+    eval_mode: Option<EvalMode>,
     deadline: Option<Instant>,
     /// When the handler enqueued the job, for the queue-wait/execute
     /// split in the slow-request log.
@@ -233,7 +238,14 @@ pub(crate) struct Shared {
     /// Swapped wholesale by `load-program`; every request clones the
     /// current session handle (cheap — `Arc` bumps).
     session: RwLock<QuerySession>,
+    /// Sessions for per-request `eval_mode` overrides, created lazily over
+    /// the *same* `P3` as the default session (so evaluation results and
+    /// the DNF store are shared); cleared by `load-program`.
+    sessions_by_mode: RwLock<HashMap<EvalMode, QuerySession>>,
     cache_cap: Option<usize>,
+    /// The configured default evaluation mode, applied to the session built
+    /// at startup and after every `load-program`.
+    eval_mode: EvalMode,
     stats: ServiceStats,
     queue: JobQueue,
     shutdown: AtomicBool,
@@ -249,6 +261,37 @@ pub(crate) struct Shared {
 impl Shared {
     pub(crate) fn current_session(&self) -> QuerySession {
         self.session.read().unwrap().clone()
+    }
+
+    /// The session a query op runs against: the default session, unless the
+    /// request carried an `eval_mode` override — then a session with that
+    /// mode over the same `P3` (created on first use, cached until the next
+    /// `load-program`).
+    fn session_for(&self, mode: Option<EvalMode>) -> QuerySession {
+        let Some(mode) = mode else {
+            return self.current_session();
+        };
+        if let Some(session) = self.sessions_by_mode.read().unwrap().get(&mode) {
+            return session.clone();
+        }
+        let session = self.current_session().p3().session_with(SessionOptions {
+            max_entries: self.cache_cap,
+            eval_mode: mode,
+        });
+        self.sessions_by_mode
+            .write()
+            .unwrap()
+            .entry(mode)
+            .or_insert(session)
+            .clone()
+    }
+
+    /// Installs a freshly loaded program: swaps the default session and
+    /// drops the per-mode override sessions (they wrap the old `P3`).
+    fn install_session(&self, session: QuerySession) {
+        let mut current = self.session.write().unwrap();
+        self.sessions_by_mode.write().unwrap().clear();
+        *current = session;
     }
 
     fn initiate_shutdown(&self) {
@@ -325,10 +368,13 @@ impl Server {
         };
         let session = p3.session_with(SessionOptions {
             max_entries: config.cache_cap,
+            eval_mode: config.eval_mode,
         });
         let shared = Arc::new(Shared {
             session: RwLock::new(session),
+            sessions_by_mode: RwLock::new(HashMap::new()),
             cache_cap: config.cache_cap,
+            eval_mode: config.eval_mode,
             stats: ServiceStats::new(),
             queue: JobQueue::new(config.queue_cap),
             shutdown: AtomicBool::new(false),
@@ -664,6 +710,7 @@ fn dispatch(
             let job = Job {
                 op: op.clone(),
                 hop_limit: request.hop_limit,
+                eval_mode: request.eval_mode,
                 deadline,
                 enqueued: Instant::now(),
                 root_span: span.id(),
@@ -727,7 +774,7 @@ fn worker_loop(shared: Arc<Shared>) {
         // must finish (and land in the ring) before the reply is sent, or
         // an immediate `trace` request could miss it.
         let executing = Instant::now();
-        let session = shared.current_session();
+        let session = shared.session_for(job.eval_mode);
         let stats_before = session.stats();
         let result = {
             let mut span = p3_obs::span::child_of("execute", job.root_span);
@@ -805,15 +852,24 @@ fn execute(
             }
             let fresh = P3::from_source(&text).map_err(|e| e.to_string())?;
             let clauses = fresh.program().len();
-            let tuples = fresh.database().len();
             let new_session = fresh.session_with(SessionOptions {
                 max_entries: shared.cache_cap,
+                eval_mode: shared.eval_mode,
             });
-            *shared.session.write().unwrap() = new_session;
+            // Forcing the whole model here would defeat a demand-mode
+            // server, so the materialised size is reported only when the
+            // session evaluates naively (`null` otherwise).
+            let tuples = match new_session.eval_mode() {
+                EvalMode::Demand => Value::Null,
+                _ => Value::from(fresh.database().len()),
+            };
+            let eval_mode = new_session.eval_mode().as_str();
+            shared.install_session(new_session);
             Ok(Value::object(vec![
                 ("loaded", Value::from(true)),
                 ("clauses", Value::from(clauses)),
-                ("tuples", Value::from(tuples)),
+                ("tuples", tuples),
+                ("eval_mode", Value::from(eval_mode.to_string())),
                 ("lint_errors", Value::from(report.error_count())),
                 ("lint_warnings", Value::from(report.warn_count())),
                 ("lint_notes", Value::from(report.info_count())),
@@ -1089,6 +1145,10 @@ fn stats_snapshot(shared: &Shared) -> Value {
             Value::from(shared.started.elapsed().as_millis() as u64),
         ),
         ("workers", Value::from(shared.workers)),
+        (
+            "eval_mode",
+            Value::from(session.eval_mode().as_str().to_string()),
+        ),
         ("queue_depth", Value::from(shared.queue.depth())),
         ("queue_capacity", Value::from(shared.queue_cap)),
         ("total_requests", Value::from(shared.stats.total())),
@@ -1232,7 +1292,9 @@ pub(crate) fn test_shared(workers: usize, queue_cap: usize) -> Arc<Shared> {
     let p3 = P3::from_source("t 1.0: a(1).").unwrap();
     Arc::new(Shared {
         session: RwLock::new(p3.session()),
+        sessions_by_mode: RwLock::new(HashMap::new()),
         cache_cap: None,
+        eval_mode: EvalMode::Auto,
         stats: ServiceStats::new(),
         queue: JobQueue::new(queue_cap),
         shutdown: AtomicBool::new(false),
@@ -1261,6 +1323,7 @@ impl Shared {
                 .push(Job {
                     op: Op::Ping,
                     hop_limit: None,
+                    eval_mode: None,
                     deadline: Some(Instant::now()),
                     enqueued: Instant::now(),
                     root_span: 0,
@@ -1520,7 +1583,9 @@ mod tests {
             .iter()
             .map(|s| s.get("name").unwrap().as_str().unwrap())
             .collect();
-        assert_eq!(names, ["parse", "extract", "probability"]);
+        // ACQ is recursive, so the default (auto) session evaluates on
+        // demand and the profile grows a transform stage.
+        assert_eq!(names, ["parse", "transform", "extract", "probability"]);
         for stage in stages {
             assert!(stage.get("wall_us").unwrap().as_u64().is_some());
             assert!(stage.get("session").unwrap().get("hits").is_some());
@@ -1537,6 +1602,49 @@ mod tests {
         assert_eq!(resp.status, crate::protocol::Status::Ok, "{resp:?}");
         let result = resp.result.unwrap();
         assert_eq!(result.get("class").unwrap().as_str().unwrap(), "derivation");
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn eval_mode_override_answers_identically() {
+        let server = start_tcp();
+        let mut client = Client::connect_tcp(&server.tcp_addr().unwrap().to_string()).unwrap();
+        let mut probabilities = Vec::new();
+        for mode in ["auto", "naive", "demand"] {
+            let resp = client
+                .request(&format!(
+                    r#"{{"op":"probability","query":"{}","eval_mode":"{mode}"}}"#,
+                    Q.replace('"', "\\\"")
+                ))
+                .unwrap();
+            assert_eq!(resp.status, crate::protocol::Status::Ok, "{mode}: {resp:?}");
+            probabilities.push(
+                resp.result
+                    .unwrap()
+                    .get("probability")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap(),
+            );
+        }
+        assert!(probabilities.iter().all(|p| (p - 0.16384).abs() < 1e-9));
+
+        // ACQ is recursive: the default session resolves auto -> demand,
+        // and `stats` reports the resolved mode.
+        let stats = client.request(r#"{"op":"stats"}"#).unwrap();
+        let mode = stats.result.unwrap();
+        assert_eq!(mode.get("eval_mode").unwrap().as_str().unwrap(), "demand");
+
+        // Loading a non-recursive program resolves to naive and reports
+        // the materialised model size; a recursive one stays unforced.
+        let resp = client
+            .request(r#"{"op":"load-program","source":"r 0.5: b(X) :- a(X).\nt 1.0: a(1)."}"#)
+            .unwrap();
+        let result = resp.result.unwrap();
+        assert_eq!(result.get("eval_mode").unwrap().as_str().unwrap(), "naive");
+        assert!(result.get("tuples").unwrap().as_u64().is_some());
+
         server.shutdown();
         server.join();
     }

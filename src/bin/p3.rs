@@ -11,8 +11,9 @@
 //! ```
 
 use p3::core::{
-    influence_query, modification_query, sufficient_provenance, DerivationAlgo, InfluenceMethod,
-    InfluenceOptions, ModificationOptions, ProbMethod, Strategy, P3,
+    influence_query, modification_query, sufficient_provenance, DerivationAlgo, EvalMode,
+    InfluenceMethod, InfluenceOptions, ModificationOptions, ProbMethod, SessionOptions, Strategy,
+    P3,
 };
 use p3::prob::McConfig;
 use p3::provenance::extract::ExtractOptions;
@@ -37,6 +38,9 @@ OPTIONS:
     --facts-only           restrict modification/influence to base tuples
     --strategy <S>         modification strategy: greedy (default) | random
     --hop-limit <N>        cap provenance extraction depth
+    --eval-mode <M>        auto (default) | naive | demand. Demand magic-transforms
+                           the program per query and derives only the relevant
+                           fragment; auto picks demand for recursive programs
     --samples <N>          Monte-Carlo samples (default 100000)
     --seed <N>             Monte-Carlo seed (default 7033)
     --threads <N>          threads for pmc; 0 = auto (P3_THREADS env var,
@@ -66,6 +70,7 @@ struct Options {
     facts_only: bool,
     strategy: Strategy,
     hop_limit: Option<usize>,
+    eval_mode: EvalMode,
     samples: usize,
     seed: u64,
     threads: usize,
@@ -89,6 +94,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         facts_only: false,
         strategy: Strategy::Greedy,
         hop_limit: None,
+        eval_mode: EvalMode::Auto,
         samples: 100_000,
         seed: 0x7033,
         threads: p3::prob::parallel::default_threads(),
@@ -147,6 +153,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--hop-limit" => {
                 let v = value(&mut it, "--hop-limit")?;
                 opts.hop_limit = Some(v.parse().map_err(|_| format!("bad hop limit '{v}'"))?);
+            }
+            "--eval-mode" => {
+                let v = value(&mut it, "--eval-mode")?;
+                opts.eval_mode = v.parse()?;
             }
             "--samples" => {
                 let v = value(&mut it, "--samples")?;
@@ -224,9 +234,16 @@ fn run(opts: &Options) -> Result<(), String> {
         return Ok(());
     };
 
-    let dnf = system
-        .provenance_with(query, extract)
+    // The session resolves --eval-mode against the program and, in demand
+    // mode, magic-transforms per query instead of forcing the whole model.
+    let session = system.session_with(SessionOptions {
+        eval_mode: opts.eval_mode,
+        ..Default::default()
+    });
+    let id = session
+        .provenance_id_with(query, extract)
         .map_err(|e| e.to_string())?;
+    let dnf = (*session.dnf(id)).clone();
     let p = method.probability(&dnf, system.vars());
     println!("P[{query}] = {p:.6}   ({} derivations)", dnf.len());
 
@@ -475,6 +492,8 @@ mod tests {
             "--facts-only",
             "--hop-limit",
             "4",
+            "--eval-mode",
+            "naive",
         ]))
         .unwrap();
         assert_eq!(opts.program_path, "prog.pl");
@@ -486,6 +505,43 @@ mod tests {
         assert_eq!(opts.modify, Some(0.5));
         assert!(opts.facts_only);
         assert_eq!(opts.hop_limit, Some(4));
+        assert_eq!(opts.eval_mode, EvalMode::Naive);
+    }
+
+    #[test]
+    fn eval_mode_defaults_to_auto_and_rejects_junk() {
+        let opts = parse_args(&args(&["p.pl"])).unwrap();
+        assert_eq!(opts.eval_mode, EvalMode::Auto);
+        let opts = parse_args(&args(&["p.pl", "--eval-mode", "demand"])).unwrap();
+        assert_eq!(opts.eval_mode, EvalMode::Demand);
+        let err = parse_args(&args(&["p.pl", "--eval-mode", "magic"])).unwrap_err();
+        assert!(err.contains("unknown eval mode"), "{err}");
+    }
+
+    #[test]
+    fn run_answers_in_every_eval_mode() {
+        let dir = std::env::temp_dir().join("p3_cli_eval_mode_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let program = dir.join("trust.pl");
+        std::fs::write(
+            &program,
+            "r1 1.0: trustPath(P1,P2) :- trust(P1,P2).
+             r2 1.0: trustPath(P1,P3) :- trust(P1,P2), trustPath(P2,P3), P1 != P3.
+             t1 0.9: trust(1,2).
+             t2 0.8: trust(2,3).",
+        )
+        .unwrap();
+        for mode in ["auto", "naive", "demand"] {
+            let opts = parse_args(&args(&[
+                program.to_str().unwrap(),
+                "--query",
+                "trustPath(1,3)",
+                "--eval-mode",
+                mode,
+            ]))
+            .unwrap();
+            run(&opts).unwrap_or_else(|e| panic!("{mode}: {e}"));
+        }
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Demand/naive equivalence over generated workloads: for random PLP
+//! programs (recursive ones included), a demand-mode session must intern
+//! the *same* canonical DNF as a naive-mode session for every derived
+//! tuple — same `DnfId`, hence identical polynomials and probabilities —
+//! while never forcing the whole model, and both modes must reject
+//! underivable queries the same way.
+
+use p3::core::{EvalMode, P3Error, ProbMethod, SessionOptions, P3};
+use p3::provenance::extract::ExtractOptions;
+use p3::workloads::random_programs::{all_derived_queries, generate, RandomConfig};
+use proptest::prelude::*;
+
+fn assert_modes_agree(config: RandomConfig) {
+    let seed = config.seed;
+    let program = generate(config);
+    let queries = all_derived_queries(&program);
+    if queries.is_empty() {
+        return;
+    }
+
+    let p3 = P3::from_program(program.clone()).expect("negation-free program");
+    let naive = p3.session_with(SessionOptions {
+        eval_mode: EvalMode::Naive,
+        ..Default::default()
+    });
+    let demand = p3.session_with(SessionOptions {
+        eval_mode: EvalMode::Demand,
+        ..Default::default()
+    });
+
+    for query in &queries {
+        let opts = ExtractOptions::unbounded();
+        let d = demand.provenance_id_with(query, opts).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}: demand mode cannot answer {query}: {e}\nprogram:\n{}",
+                program.to_source()
+            )
+        });
+        let n = naive.provenance_id_with(query, opts).unwrap();
+        // Both modes intern into the shared store, so identical polynomials
+        // collapse to the same id.
+        assert_eq!(
+            n,
+            d,
+            "seed {seed}, {query}: demand DNF diverges from naive\nprogram:\n{}",
+            program.to_source()
+        );
+        let pn = naive.probability_of(n, ProbMethod::Exact);
+        let pd = demand.probability_of(d, ProbMethod::Exact);
+        assert!(
+            (pn - pd).abs() < 1e-12,
+            "seed {seed}, {query}: {pn} vs {pd}"
+        );
+    }
+
+    // Neither mode derives what the other cannot: a fresh ground atom over
+    // an existing predicate is underivable in both.
+    if let Some(first) = queries.first() {
+        let pred = first.split('(').next().unwrap();
+        let bogus = format!("{pred}(99991,99992)");
+        let opts = ExtractOptions::unbounded();
+        let nd = naive.provenance_id_with(&bogus, opts);
+        let dd = demand.provenance_id_with(&bogus, opts);
+        match (&nd, &dd) {
+            (Err(P3Error::NotDerivable(_)), Err(P3Error::NotDerivable(_)))
+            | (Err(P3Error::BadQuery(_)), Err(P3Error::BadQuery(_))) => {}
+            other => panic!("seed {seed}: {bogus} -> {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn demand_matches_naive_on_generated_workloads(seed in 0u64..400) {
+        assert_modes_agree(RandomConfig { seed, ..Default::default() });
+    }
+
+    #[test]
+    fn demand_matches_naive_on_heavily_recursive_workloads(seed in 0u64..200) {
+        assert_modes_agree(RandomConfig {
+            seed: seed.wrapping_mul(7919),
+            recursion_bias: 0.9,
+            rules: 5,
+            facts: 7,
+            ..Default::default()
+        });
+    }
+}
+
+#[test]
+fn demand_sessions_never_force_the_full_model() {
+    // A spot check outside proptest: answering through a demand session
+    // leaves the shared whole-model core untouched.
+    let program = generate(RandomConfig {
+        seed: 7,
+        ..Default::default()
+    });
+    let queries = all_derived_queries(&program);
+    let p3 = P3::from_program(program).unwrap();
+    let session = p3.session_with(SessionOptions {
+        eval_mode: EvalMode::Demand,
+        ..Default::default()
+    });
+    for query in &queries {
+        session
+            .provenance_id_with(query, ExtractOptions::unbounded())
+            .unwrap();
+    }
+    if !queries.is_empty() {
+        assert!(!p3.fully_evaluated(), "demand answers forced naive eval");
+        assert!(p3.demand_evaluations() > 0);
+    }
+}

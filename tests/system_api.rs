@@ -95,7 +95,7 @@ fn rewritten_execution_supports_the_same_queries() {
         .unwrap();
 
     let rewritten = p3::provenance::rewrite::rewrite(&program).unwrap();
-    let (mut db, graph) = p3::provenance::rewrite::evaluate_rewritten(&program, &rewritten);
+    let (db, graph) = p3::provenance::rewrite::evaluate_rewritten(&program, &rewritten);
     let (pred, args) =
         p3::datalog::worlds::parse_ground_query(&program, acquaintance::QUERY).unwrap();
     let tuple = db.lookup(pred, &args).unwrap();
@@ -103,11 +103,11 @@ fn rewritten_execution_supports_the_same_queries() {
     let vars = p3::provenance::clause_vars(&program);
     let p = p3::prob::exact::probability(&dnf, &vars);
     assert!((p - expected).abs() < 1e-12);
-    // Touch the database mutably (probe) to make sure the rewritten run's
-    // indices behave after reconstruction.
+    // Ad-hoc column matching works on the rewritten run's database even for
+    // column sets the engine never planned an index for.
     let know = program.symbols().get("know").unwrap();
     let ben = p3::datalog::ast::Const::Sym(program.symbols().get("Ben").unwrap());
-    assert!(!db.probe(know, &[0], &[ben]).is_empty());
+    assert!(!db.matching(know, &[0], &[ben]).is_empty());
 }
 
 #[test]
