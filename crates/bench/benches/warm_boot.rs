@@ -1,0 +1,193 @@
+//! Warm-restart workload: first-query latency of a cold session (full
+//! extraction + exact probability) versus a session warm-booted from a
+//! `p3-store` file backend written by a previous "process" (same directory,
+//! same program fingerprint — exactly what `p3-serve --store-dir` replays).
+//!
+//! Besides the criterion group, `main` records cold-vs-warm first-query
+//! wall times to `BENCH_warm_boot.json` at the repository root; the warm
+//! first query must be ≥ 5× faster than the cold one.
+
+use criterion::{criterion_group, Criterion};
+use p3_core::{ProbMethod, QuerySession, P3};
+use p3_store::{FileBackend, Record, StorageBackend};
+use p3_workloads::random_programs::{all_derived_queries, generate, RandomConfig};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const CFG: RandomConfig = RandomConfig {
+    domain: 4,
+    facts: 14,
+    rules: 7,
+    recursion_bias: 0.6,
+    seed: 20_200_817,
+};
+
+/// Stands in for the program content hash `p3-serve` would compute; the
+/// writer and every reader agree on it, so the store is never stale.
+const FINGERPRINT: u64 = 0x7033;
+
+/// A fresh engine + session over the generated program, plus its derived
+/// queries with the most tangled one (largest polynomial) first.
+fn workload() -> (P3, Vec<String>) {
+    let program = generate(CFG);
+    let mut queries = all_derived_queries(&program);
+    let p3 = P3::from_program(program).expect("workload program evaluates");
+    queries.sort_by_key(|q| {
+        std::cmp::Reverse(p3.provenance(q).map(|d| d.monomials().len()).unwrap_or(0))
+    });
+    assert!(!queries.is_empty(), "workload derives at least one tuple");
+    (p3, queries)
+}
+
+/// Simulates the previous server run: journal every query through a file
+/// backend in `dir`, compact, and return the records a warm boot replays.
+fn write_store(dir: &PathBuf) -> Vec<Record> {
+    let _ = std::fs::remove_dir_all(dir);
+    let (p3, queries) = workload();
+    let session = p3.session();
+    let opened = FileBackend::open(dir, FINGERPRINT).expect("open store");
+    let backend = std::sync::Arc::new(opened.backend);
+    session.attach_store(backend.clone());
+    for q in &queries {
+        session.probability(q, ProbMethod::Exact).unwrap();
+    }
+    backend.flush().unwrap();
+    let records = session.export_records();
+    backend.snapshot(&records).unwrap();
+
+    // What the next boot actually reads back off disk.
+    let reopened = FileBackend::open(dir, FINGERPRINT).expect("reopen store");
+    assert!(
+        reopened.report.snapshot_records > 0,
+        "compaction left no snapshot"
+    );
+    reopened.records
+}
+
+fn cold_session() -> QuerySession {
+    let (p3, _) = workload();
+    p3.session()
+}
+
+fn warm_session(records: &[Record]) -> QuerySession {
+    let session = cold_session();
+    let restored = session.restore_records(records);
+    assert!(restored.memos() > 0, "warm boot restored no memos");
+    session
+}
+
+fn bench_warm_boot(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("p3-bench-warm-{}", std::process::id()));
+    let records = write_store(&dir);
+    let (_, queries) = workload();
+    let query = queries[0].clone();
+
+    let mut group = c.benchmark_group("warm_boot");
+    group.bench_function("first_query_cold", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let session = cold_session();
+                let start = Instant::now();
+                session.probability(&query, ProbMethod::Exact).unwrap();
+                total += start.elapsed();
+            }
+            total
+        })
+    });
+    group.bench_function("first_query_warm", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let session = warm_session(&records);
+                let start = Instant::now();
+                session.probability(&query, ProbMethod::Exact).unwrap();
+                total += start.elapsed();
+            }
+            total
+        })
+    });
+    group.bench_function("replay_records", |b| b.iter(|| warm_session(&records)));
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Median wall time of `runs` executions of `f`, in nanoseconds.
+fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Records the headline numbers the acceptance criteria care about.
+fn record_json() {
+    let dir = std::env::temp_dir().join(format!("p3-bench-warm-json-{}", std::process::id()));
+    let records = write_store(&dir);
+    let (_, queries) = workload();
+    let query = queries[0].clone();
+    const RUNS: usize = 25;
+
+    // Cold: a fresh engine answers its first query from scratch.
+    let mut sessions: Vec<QuerySession> = (0..RUNS).map(|_| cold_session()).collect();
+    let cold_first = median_ns(RUNS, || {
+        let session = sessions.pop().unwrap();
+        session.probability(&query, ProbMethod::Exact).unwrap();
+    });
+
+    // Warm: the replay itself, and the first query after it (a memo hit).
+    let replay = median_ns(RUNS, || {
+        warm_session(&records);
+    });
+    let mut sessions: Vec<QuerySession> = (0..RUNS).map(|_| warm_session(&records)).collect();
+    let warm_first = median_ns(RUNS, || {
+        let session = sessions.pop().unwrap();
+        session.probability(&query, ProbMethod::Exact).unwrap();
+    });
+
+    let speedup = cold_first / warm_first.max(1.0);
+    let json = format!(
+        r#"{{
+  "workload": {{
+    "program": "random_programs(domain=4, facts=14, rules=7, recursion_bias=0.6, seed=20200817)",
+    "query": "{query}",
+    "queries_journaled": {journaled},
+    "records_replayed": {replayed}
+  }},
+  "first_query_exact_ns": {{
+    "cold": {cold_first:.0},
+    "warm": {warm_first:.0},
+    "replay_records": {replay:.0},
+    "speedup_warm_vs_cold": {speedup:.1}
+  }},
+  "acceptance": {{
+    "required_speedup": 5.0,
+    "achieved": {achieved}
+  }}
+}}
+"#,
+        journaled = queries.len(),
+        replayed = records.len(),
+        achieved = speedup >= 5.0,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_warm_boot.json");
+    std::fs::write(path, &json).expect("write BENCH_warm_boot.json");
+    println!("wrote {path}:\n{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        speedup >= 5.0,
+        "warm first query must be >= 5x faster than cold (got {speedup:.1}x)"
+    );
+}
+
+criterion_group!(benches, bench_warm_boot);
+
+fn main() {
+    benches();
+    record_json();
+}

@@ -108,6 +108,14 @@ impl<K: Eq + Hash + Clone, V> ClockMap<K, V> {
     pub(crate) fn evictions(&self) -> u64 {
         self.evictions
     }
+
+    /// Iterates resident entries in no particular order, without touching
+    /// reference bits (iteration is bookkeeping — e.g. store compaction
+    /// exporting the probability memo — not workload access, so it must
+    /// not grant every entry a second chance).
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, e)| (k, &e.value))
+    }
 }
 
 #[cfg(test)]

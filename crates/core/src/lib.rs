@@ -28,6 +28,7 @@
 mod clock_cache;
 pub mod error;
 pub mod eval_mode;
+pub mod persist;
 pub mod prob_method;
 pub mod query;
 pub mod session;
@@ -35,6 +36,7 @@ pub mod system;
 
 pub use error::P3Error;
 pub use eval_mode::EvalMode;
+pub use persist::WarmRestore;
 pub use prob_method::ProbMethod;
 pub use query::derivation::{
     sufficient_provenance, sufficient_provenance_with, DerivationAlgo, SufficientProvenance,

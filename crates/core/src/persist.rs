@@ -1,0 +1,165 @@
+//! Mapping between session/provenance state and `p3-store` records.
+//!
+//! `p3-store` speaks plain integers and strings; this module owns the
+//! (lossless, total) translation from the engine's types:
+//!
+//! * a [`Dnf`] ⇄ `Record::Intern` as raw `VarId` values per monomial;
+//! * [`ExtractOptions`] ⇄ a `u64` depth code (`u64::MAX` = unbounded);
+//! * [`ProbMethod`] ⇄ [`MethodCode`] covering every variant, so a
+//!   probability memoized under any backend survives a restart.
+//!
+//! The session-facing save/restore entry points live on
+//! [`crate::QuerySession`] (see `session.rs`); everything here is pure.
+
+use crate::prob_method::ProbMethod;
+use p3_prob::{Dnf, McConfig, Monomial, VarId};
+use p3_provenance::extract::ExtractOptions;
+use p3_store::{MethodCode, Record};
+
+/// Counts of what a store replay restored into a session, returned by
+/// [`crate::QuerySession::restore_records`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmRestore {
+    /// Intern records replayed into the shared `DnfStore`.
+    pub formulas: usize,
+    /// Query → polynomial memo entries restored.
+    pub dnf_memos: usize,
+    /// (polynomial, method) → probability memo entries restored.
+    pub prob_memos: usize,
+    /// Records dropped as unusable (id out of range, unknown method tag) —
+    /// expected to be 0; non-zero means the log outlived the format.
+    pub skipped: usize,
+}
+
+impl WarmRestore {
+    /// Total memo entries restored (what `SessionStats::warm_restored`
+    /// reports).
+    pub fn memos(&self) -> usize {
+        self.dnf_memos + self.prob_memos
+    }
+}
+
+/// `ExtractOptions` → depth code.
+pub(crate) fn depth_code(opts: ExtractOptions) -> u64 {
+    match opts.max_depth {
+        None => u64::MAX,
+        Some(d) => d as u64,
+    }
+}
+
+/// A formula → its intern record (raw var ids per monomial).
+pub(crate) fn dnf_record(dnf: &Dnf) -> Record {
+    Record::Intern {
+        monomials: dnf
+            .monomials()
+            .iter()
+            .map(|m| m.literals().iter().map(|v| v.0).collect())
+            .collect(),
+    }
+}
+
+/// An intern record → its formula. `Dnf::new` re-normalises, which is a
+/// no-op on records written by [`dnf_record`] (they were normalised when
+/// interned), so the round trip is exact.
+pub(crate) fn dnf_from_record(monomials: &[Vec<u32>]) -> Dnf {
+    Dnf::new(
+        monomials
+            .iter()
+            .map(|lits| Monomial::new(lits.iter().map(|&v| VarId(v)).collect()))
+            .collect(),
+    )
+}
+
+const METHOD_EXACT: u8 = 0;
+const METHOD_BDD: u8 = 1;
+const METHOD_MC: u8 = 2;
+const METHOD_KL: u8 = 3;
+const METHOD_PMC: u8 = 4;
+
+/// `ProbMethod` → wire code; total over every variant.
+pub(crate) fn method_code(method: ProbMethod) -> MethodCode {
+    let (tag, cfg, threads) = match method {
+        ProbMethod::Exact => (METHOD_EXACT, None, 0),
+        ProbMethod::Bdd => (METHOD_BDD, None, 0),
+        ProbMethod::MonteCarlo(cfg) => (METHOD_MC, Some(cfg), 0),
+        ProbMethod::KarpLuby(cfg) => (METHOD_KL, Some(cfg), 0),
+        ProbMethod::ParallelMc(cfg, threads) => (METHOD_PMC, Some(cfg), threads as u64),
+    };
+    MethodCode {
+        tag,
+        samples: cfg.map_or(0, |c| c.samples as u64),
+        seed: cfg.map_or(0, |c| c.seed),
+        threads,
+    }
+}
+
+/// Wire code → `ProbMethod`; `None` for tags from a future format.
+pub(crate) fn method_from_code(code: MethodCode) -> Option<ProbMethod> {
+    let cfg = McConfig {
+        samples: code.samples as usize,
+        seed: code.seed,
+    };
+    Some(match code.tag {
+        METHOD_EXACT => ProbMethod::Exact,
+        METHOD_BDD => ProbMethod::Bdd,
+        METHOD_MC => ProbMethod::MonteCarlo(cfg),
+        METHOD_KL => ProbMethod::KarpLuby(cfg),
+        METHOD_PMC => ProbMethod::ParallelMc(cfg, code.threads as usize),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_prob_method_round_trips() {
+        let cfg = McConfig {
+            samples: 12_345,
+            seed: 99,
+        };
+        for method in [
+            ProbMethod::Exact,
+            ProbMethod::Bdd,
+            ProbMethod::MonteCarlo(cfg),
+            ProbMethod::KarpLuby(cfg),
+            ProbMethod::ParallelMc(cfg, 7),
+        ] {
+            assert_eq!(method_from_code(method_code(method)), Some(method));
+        }
+        assert_eq!(
+            method_from_code(MethodCode {
+                tag: 250,
+                samples: 0,
+                seed: 0,
+                threads: 0
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn depth_codes_are_injective() {
+        assert_eq!(depth_code(ExtractOptions::unbounded()), u64::MAX);
+        assert_eq!(depth_code(ExtractOptions::with_max_depth(0)), 0);
+        assert_eq!(depth_code(ExtractOptions::with_max_depth(9)), 9);
+    }
+
+    #[test]
+    fn constants_and_formulas_round_trip() {
+        for dnf in [
+            Dnf::zero(),
+            Dnf::one(),
+            Dnf::new(vec![
+                Monomial::new(vec![VarId(0), VarId(3)]),
+                Monomial::new(vec![VarId(7)]),
+            ]),
+        ] {
+            let Record::Intern { monomials } = dnf_record(&dnf) else {
+                panic!("wrong record kind");
+            };
+            assert_eq!(dnf_from_record(&monomials), dnf);
+        }
+    }
+}

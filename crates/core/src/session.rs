@@ -25,6 +25,7 @@
 use crate::clock_cache::ClockMap;
 use crate::error::P3Error;
 use crate::eval_mode::EvalMode;
+use crate::persist::{self, WarmRestore};
 use crate::prob_method::ProbMethod;
 use crate::query::derivation::{sufficient_provenance_with, DerivationAlgo, SufficientProvenance};
 use crate::query::influence::{
@@ -41,6 +42,8 @@ use p3_datalog::worlds;
 use p3_prob::store::DnfId;
 use p3_prob::{mc, parallel, Dnf, VarId, VarTable};
 use p3_provenance::extract::{ExtractOptions, Extractor};
+use p3_store::{Record, StorageBackend};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
@@ -131,6 +134,16 @@ struct SessionCaches {
     influence: RwLock<ClockMap<(DnfId, InfluenceKey), Vec<InfluenceEntry>>>,
     /// `(formula, ε/algo/method) → sufficient provenance`.
     sufficient: RwLock<ClockMap<(DnfId, SufficientKey), SufficientProvenance>>,
+    /// The persistence-facing mirror of `dnf_ids`, keyed by the query
+    /// *string* plus depth code so entries survive a restart (tuple ids and
+    /// interned symbols don't). The `bool` marks entries restored from the
+    /// store, as opposed to journaled at runtime. Empty (and skipped in a
+    /// handful of instructions) unless a store is attached or restored.
+    warm: RwLock<HashMap<(String, u64), (DnfId, bool)>>,
+    /// Memo entries restored from a store at boot.
+    warm_restored: AtomicU64,
+    /// The journal sink for runtime memo traffic, when persistence is on.
+    persist: RwLock<Option<Arc<dyn StorageBackend>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -143,9 +156,25 @@ impl SessionCaches {
             probs: RwLock::new(ClockMap::with_cap(cap)),
             influence: RwLock::new(ClockMap::with_cap(cap)),
             sufficient: RwLock::new(ClockMap::with_cap(cap)),
+            warm: RwLock::new(HashMap::new()),
+            warm_restored: AtomicU64::new(0),
+            persist: RwLock::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+}
+
+/// Adapter streaming every new `DnfStore` intern into the storage backend.
+/// Installed by [`QuerySession::attach_store`] *after* restore, so replayed
+/// formulas are not re-journaled.
+struct StoreJournal(Arc<dyn StorageBackend>);
+
+impl p3_prob::InternJournal for StoreJournal {
+    fn on_intern(&self, _id: DnfId, dnf: &Dnf) {
+        // Called in id-allocation order (under the store's id lock), and
+        // `append` only queues in memory — no I/O on the intern path.
+        self.0.append(persist::dnf_record(dnf));
     }
 }
 
@@ -161,6 +190,12 @@ pub struct SessionStats {
     pub evictions: u64,
     /// Entries currently resident across all memo tables.
     pub resident: u64,
+    /// Memo entries restored from a persistent store at warm boot (0 when
+    /// the session booted cold). Distinguishes store-restore provenance
+    /// from runtime memoization: `hits` counts both, but only a session
+    /// with `warm_restored > 0` can answer its *first* occurrence of a
+    /// query from cache.
+    pub warm_restored: u64,
 }
 
 /// Which query class a [`QuerySession::profile`] run executes.
@@ -345,12 +380,123 @@ impl QuerySession {
                 (t.evictions(), t.len())
             },
         ];
+        let warm = self.caches.warm.read().unwrap().len() as u64;
         SessionStats {
             hits: self.caches.hits.load(Ordering::Relaxed),
             misses: self.caches.misses.load(Ordering::Relaxed),
             evictions: tables.iter().map(|&(e, _)| e).sum(),
-            resident: tables.iter().map(|&(_, n)| n as u64).sum(),
+            resident: tables.iter().map(|&(_, n)| n as u64).sum::<u64>() + warm,
+            warm_restored: self.caches.warm_restored.load(Ordering::Relaxed),
         }
+    }
+
+    /// Replays records recovered from a persistent store into this session:
+    /// intern records rebuild the shared [`DnfStore`] (in allocation order,
+    /// so every persisted `DnfId` stays valid), memo records land in the
+    /// warm query layer and the probability cache. Re-interning is
+    /// idempotent, so records duplicated between a snapshot and the log
+    /// tail are harmless.
+    ///
+    /// Call **before** [`QuerySession::attach_store`] (nothing replayed
+    /// here is journaled) and before serving traffic. Memos whose id falls
+    /// outside the replayed store, or whose method tag is unknown, are
+    /// counted in [`WarmRestore::skipped`] and dropped — a defense in depth
+    /// on top of the store's checksums and program fingerprint.
+    pub fn restore_records(&self, records: &[Record]) -> WarmRestore {
+        let mut out = WarmRestore::default();
+        for record in records {
+            match record {
+                Record::Intern { monomials } => {
+                    self.p3.store.intern(persist::dnf_from_record(monomials));
+                    out.formulas += 1;
+                }
+                Record::DnfMemo { query, depth, id } => {
+                    if (*id as usize) < self.p3.store.len() {
+                        self.caches.warm.write().unwrap().insert(
+                            (query.clone(), *depth),
+                            (DnfId::from_index(*id as usize), true),
+                        );
+                        out.dnf_memos += 1;
+                    } else {
+                        out.skipped += 1;
+                    }
+                }
+                Record::ProbMemo { id, method, prob } => {
+                    match ((*id as usize) < self.p3.store.len())
+                        .then(|| persist::method_from_code(*method))
+                        .flatten()
+                    {
+                        Some(method) => {
+                            self.caches
+                                .probs
+                                .write()
+                                .unwrap()
+                                .insert((DnfId::from_index(*id as usize), method), *prob);
+                            out.prob_memos += 1;
+                        }
+                        None => out.skipped += 1,
+                    }
+                }
+            }
+        }
+        self.caches
+            .warm_restored
+            .fetch_add(out.memos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Attaches `backend` as this session's journal: from now on every new
+    /// store intern, every first `query → DnfId` resolution and every
+    /// probability memo miss is appended to it. The caller owns durability
+    /// (`backend.flush()`) and compaction
+    /// ([`QuerySession::export_records`] → `backend.snapshot(..)`).
+    pub fn attach_store(&self, backend: Arc<dyn StorageBackend>) {
+        self.p3
+            .store
+            .set_journal(Arc::new(StoreJournal(Arc::clone(&backend))));
+        *self.caches.persist.write().unwrap() = Some(backend);
+    }
+
+    /// Detaches the journal installed by [`QuerySession::attach_store`].
+    /// Restored warm entries keep serving; new work is simply no longer
+    /// persisted (used when `load-program` swaps the served program out
+    /// from under a store keyed to the old one).
+    pub fn detach_store(&self) {
+        self.p3.store.clear_journal();
+        *self.caches.persist.write().unwrap() = None;
+    }
+
+    /// The attached storage backend, if any.
+    pub fn store_backend(&self) -> Option<Arc<dyn StorageBackend>> {
+        self.caches.persist.read().unwrap().clone()
+    }
+
+    /// The full persistable state — every interned formula in id order,
+    /// then every warm query memo and memoized probability — as the record
+    /// sequence a snapshot stores. Replaying the result into a fresh
+    /// session over the same program reproduces identical ids and
+    /// probabilities.
+    pub fn export_records(&self) -> Vec<Record> {
+        let formulas = self.p3.store.export_formulas();
+        let mut out = Vec::with_capacity(formulas.len());
+        for dnf in &formulas {
+            out.push(persist::dnf_record(dnf));
+        }
+        for ((query, depth), (id, _)) in self.caches.warm.read().unwrap().iter() {
+            out.push(Record::DnfMemo {
+                query: query.clone(),
+                depth: *depth,
+                id: id.index() as u32,
+            });
+        }
+        for ((id, method), p) in self.caches.probs.read().unwrap().entries() {
+            out.push(Record::ProbMemo {
+                id: id.index() as u32,
+                method: persist::method_code(*method),
+                prob: *p,
+            });
+        }
+        out
     }
 
     fn hit(&self) {
@@ -381,16 +527,51 @@ impl QuerySession {
     /// canonical polynomial, so downstream `DnfId`-keyed caches are shared
     /// across modes.
     pub fn provenance_id_with(&self, query: &str, opts: ExtractOptions) -> Result<DnfId, P3Error> {
-        match self.mode {
+        let depth = persist::depth_code(opts);
+        // The warm layer answers before any parsing or tuple resolution:
+        // entries restored from a store (or journaled earlier this run)
+        // are keyed by the query string itself.
+        {
+            let warm = self.caches.warm.read().unwrap();
+            if !warm.is_empty() {
+                if let Some(&(id, restored)) = warm.get(&(query.to_string(), depth)) {
+                    self.hit();
+                    if restored {
+                        p3_store::warm_boot_hits_metric().inc();
+                    }
+                    return Ok(id);
+                }
+            }
+        }
+        let id = match self.mode {
             EvalMode::Demand => {
                 let (pred, args) = worlds::parse_ground_query(self.p3.program(), query)?;
-                self.demand_dnf(query, pred, &args, opts)
+                self.demand_dnf(query, pred, &args, opts)?
             }
             _ => {
                 let tuple = self.p3.tuple(query)?;
-                Ok(self.tuple_dnf(tuple, opts))
+                self.tuple_dnf(tuple, opts)
+            }
+        };
+        // With persistence on, mirror the memo into the warm layer and the
+        // journal so the *next* process boots with it.
+        if let Some(backend) = self.caches.persist.read().unwrap().as_ref() {
+            let fresh = self
+                .caches
+                .warm
+                .write()
+                .unwrap()
+                .insert((query.to_string(), depth), (id, false))
+                .is_none();
+            if fresh {
+                backend.append(Record::DnfMemo {
+                    query: query.to_string(),
+                    depth,
+                    id: id.index() as u32,
+                });
             }
         }
+        Ok(id)
     }
 
     /// The interned polynomial of a tuple resolved against the **full**
@@ -469,6 +650,13 @@ impl QuerySession {
         span.add_field("dnf", id.index());
         let p = method.probability(&self.dnf(id), &self.p3.vars);
         self.caches.probs.write().unwrap().insert((id, method), p);
+        if let Some(backend) = self.caches.persist.read().unwrap().as_ref() {
+            backend.append(Record::ProbMemo {
+                id: id.index() as u32,
+                method: persist::method_code(method),
+                prob: p,
+            });
+        }
         p
     }
 

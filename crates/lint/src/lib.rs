@@ -15,7 +15,9 @@
 //! 5. **strata** — unstratified negation via Tarjan SCCs (`P3201`), negation
 //!    outside the provenance model (`P3202`), recursive-SCC cost notes
 //!    (`P3601`), high rule fan-in (`P3602`), demand-mode recommendation for
-//!    programs whose shape suits query-directed evaluation (`P3603`).
+//!    programs whose shape suits query-directed evaluation (`P3603`),
+//!    persistent-store recommendation for recursion-heavy programs whose
+//!    provenance is worth journaling across restarts (`P3604`).
 //!
 //! Unlike [`Program`](p3_datalog::Program) validation — which stops at the
 //! first error — a lint run reports *every* finding, each with a source

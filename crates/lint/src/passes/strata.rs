@@ -1,6 +1,7 @@
 //! Graph-level checks: unstratified negation (P3201), negation outside the
 //! provenance model (P3202), recursive-SCC cost notes (P3601), high rule
-//! fan-in (P3602) and the demand-mode recommendation (P3603).
+//! fan-in (P3602), the demand-mode recommendation (P3603) and the
+//! persistent-store recommendation (P3604).
 
 use crate::ctx::Ctx;
 use crate::graph::DepGraph;
@@ -22,6 +23,7 @@ pub(crate) fn run(ctx: &mut Ctx<'_>) {
     recursive_cost(ctx, &graph, &sccs);
     let heavy_fan_in = fan_in(ctx);
     demand_hint(ctx, &graph, &sccs, heavy_fan_in);
+    store_hint(ctx, &graph, &sccs);
 }
 
 fn negation(ctx: &mut Ctx<'_>, graph: &DepGraph, scc_of: &HashMap<usize, usize>) {
@@ -174,6 +176,47 @@ fn demand_hint(ctx: &mut Ctx<'_>, graph: &DepGraph, sccs: &[Vec<usize>], heavy_f
         "demand mode magic-transforms the program per query and derives only the \
          query-relevant fragment; pass --eval-mode demand (the CLI/service auto \
          mode already selects it for recursive programs)",
+    );
+    if let Some(label) = label {
+        d = d.with_clause(&label);
+    }
+    ctx.emit(d);
+}
+
+/// P3604: one note per program when its recursion is heavy enough (several
+/// recursive SCCs, or one spanning ≥ 3 predicates) that re-deriving
+/// provenance on every process start is the dominant cost of a restart —
+/// recommend the persistent store, mirroring the P3603 demand-mode hint.
+fn store_hint(ctx: &mut Ctx<'_>, graph: &DepGraph, sccs: &[Vec<usize>]) {
+    let recursive: Vec<usize> = sccs
+        .iter()
+        .filter(|c| c.len() > 1 || graph.self_loop(c[0]))
+        .map(|c| c.len())
+        .collect();
+    let widest = recursive.iter().copied().max().unwrap_or(0);
+    if recursive.len() < 2 && widest < 3 {
+        return;
+    }
+    let shape = if recursive.len() >= 2 {
+        format!("{} recursive cycles", recursive.len())
+    } else {
+        format!("a recursive cycle spanning {widest} predicates")
+    };
+    // Anchor at the first rule so the note lands on executable logic.
+    let anchor = ctx.clauses.iter().position(|c| c.is_rule());
+    let (span, label) = match anchor {
+        Some(i) => (ctx.clause_span(i), Some(ctx.clauses[i].label.clone())),
+        None => (None, None),
+    };
+    let mut d = Diagnostic::info(
+        "P3604",
+        format!("program shape ({shape}) makes warm restarts worthwhile"),
+    )
+    .with_span(span)
+    .with_help(
+        "recursive provenance is re-derived from scratch on every process start; \
+         p3-serve --store-dir DIR journals interned formulas and query memos and \
+         replays them on the next boot",
     );
     if let Some(label) = label {
         d = d.with_clause(&label);

@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 /// All codes the analyzer can emit, one corpus pair each.
 const CODES: &[&str] = &[
     "P3001", "P3101", "P3102", "P3103", "P3104", "P3105", "P3201", "P3202", "P3301", "P3302",
-    "P3303", "P3401", "P3402", "P3501", "P3601", "P3602", "P3603",
+    "P3303", "P3401", "P3402", "P3501", "P3601", "P3602", "P3603", "P3604",
 ];
 
 fn corpus_dir() -> PathBuf {

@@ -1,0 +1,7 @@
+t1 0.9: edge(a, b).
+t2 0.8: edge(b, c).
+t3 0.9: link(a, b).
+r1 0.5: path(X, Y) :- edge(X, Y).
+r2 0.5: path(X, Z) :- path(X, Y), edge(Y, Z).
+r3 0.5: reach(X, Y) :- link(X, Y).
+r4 0.5: reach(X, Z) :- reach(X, Y), link(Y, Z).

@@ -1,0 +1,4 @@
+t1 0.9: edge(a, b).
+t2 0.8: edge(b, c).
+r1 0.5: path(X, Y) :- edge(X, Y).
+r2 0.5: path(X, Z) :- path(X, Y), edge(Y, Z).

@@ -36,5 +36,5 @@ pub mod var;
 pub use assignment::Assignment;
 pub use dnf::{Dnf, Monomial};
 pub use mc::McConfig;
-pub use store::{DnfId, DnfStore, ShardStats, StoreStats};
+pub use store::{DnfId, DnfStore, InternJournal, ShardStats, StoreStats};
 pub use var::{VarId, VarTable};

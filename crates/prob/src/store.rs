@@ -49,6 +49,24 @@ impl DnfId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds an id from a raw index. The caller must guarantee the
+    /// index identifies a formula in the store the id will be used with —
+    /// this exists for replaying persisted ids (`p3-store`), where that
+    /// guarantee comes from replaying the intern log in allocation order.
+    pub fn from_index(index: usize) -> DnfId {
+        DnfId(u32::try_from(index).expect("DnfId overflow"))
+    }
+}
+
+/// A sink observing every *new* formula interned into a [`DnfStore`], in
+/// `DnfId` allocation order (the call happens while the id sequence lock
+/// is held, so observed order == id order — the property a durable log
+/// needs to replay ids faithfully). Implementations must be cheap and
+/// must never call back into the store.
+pub trait InternJournal: Send + Sync {
+    /// Called once per newly allocated id, never for intern cache hits.
+    fn on_intern(&self, id: DnfId, dnf: &Dnf);
 }
 
 /// Counters describing store effectiveness; all monotonically increasing.
@@ -143,6 +161,9 @@ pub struct DnfStore {
     ops: [RwLock<OpCaches>; SHARDS],
     /// Hit/miss counters, sharded like the maps they describe.
     counters: [ShardCounters; SHARDS],
+    /// Optional observer of new interns (the persistence journal). Lock
+    /// order: formulas, then journal; set/clear take only the journal lock.
+    journal: RwLock<Option<Arc<dyn InternJournal>>>,
 }
 
 impl Default for DnfStore {
@@ -160,6 +181,7 @@ impl DnfStore {
             index: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             ops: std::array::from_fn(|_| RwLock::new(OpCaches::default())),
             counters: std::array::from_fn(|_| ShardCounters::default()),
+            journal: RwLock::new(None),
         };
         let zero = store.intern(Dnf::zero());
         let one = store.intern(Dnf::one());
@@ -206,6 +228,12 @@ impl DnfStore {
             let mut formulas = self.formulas.write().unwrap();
             let id = u32::try_from(formulas.len()).expect("DnfStore overflow");
             formulas.push(Arc::clone(&arc));
+            // Journal inside the id-sequence lock: the log then receives
+            // interns in exactly allocation order, which is what lets a
+            // replay reproduce identical ids.
+            if let Some(journal) = self.journal.read().unwrap().as_ref() {
+                journal.on_intern(DnfId(id), &arc);
+            }
             id
         };
         index.insert(arc, id);
@@ -318,6 +346,25 @@ impl DnfStore {
             .fetch_add(1, Ordering::Relaxed);
         op_misses_metric().inc();
         out
+    }
+
+    /// Installs `journal` as the intern observer. Formulas already present
+    /// are NOT replayed to it — persistence restores state *before*
+    /// installing the journal, so nothing is double-logged.
+    pub fn set_journal(&self, journal: Arc<dyn InternJournal>) {
+        *self.journal.write().unwrap() = Some(journal);
+    }
+
+    /// Removes the intern observer, if any.
+    pub fn clear_journal(&self) {
+        *self.journal.write().unwrap() = None;
+    }
+
+    /// A point-in-time copy of every interned formula, in id order
+    /// (`result[i]` is the formula behind `DnfId` `i`). Compaction walks
+    /// this to rebuild a snapshot.
+    pub fn export_formulas(&self) -> Vec<Arc<Dnf>> {
+        self.formulas.read().unwrap().clone()
     }
 
     /// Number of distinct formulas interned (including the two constants).
@@ -501,6 +548,40 @@ mod tests {
             store.intern(Dnf::new(vec![m(&[i % 10, 10 + i % 7])]));
         }
         assert_eq!(store.len(), before);
+    }
+
+    #[test]
+    fn journal_sees_new_interns_in_id_order_and_no_hits() {
+        struct Tape(std::sync::Mutex<Vec<(DnfId, Dnf)>>);
+        impl InternJournal for Tape {
+            fn on_intern(&self, id: DnfId, dnf: &Dnf) {
+                self.0.lock().unwrap().push((id, dnf.clone()));
+            }
+        }
+        let store = DnfStore::new();
+        let pre = store.intern(Dnf::new(vec![m(&[9])])); // before the journal
+        let tape = Arc::new(Tape(std::sync::Mutex::new(Vec::new())));
+        store.set_journal(Arc::clone(&tape) as Arc<dyn InternJournal>);
+        let a = store.intern(Dnf::new(vec![m(&[1, 2])]));
+        let b = store.intern(Dnf::new(vec![m(&[3])]));
+        assert_eq!(store.intern(Dnf::new(vec![m(&[1, 2])])), a); // hit: not journaled
+        assert_eq!(store.intern(Dnf::new(vec![m(&[9])])), pre); // hit: not journaled
+        let seen = tape.0.lock().unwrap().clone();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].0, a);
+        assert_eq!(seen[1].0, b);
+        assert_eq!(seen[0].1, *store.get(a));
+        // Ids arrive in allocation order.
+        assert!(seen[0].0 < seen[1].0);
+        store.clear_journal();
+        store.intern(Dnf::new(vec![m(&[4])]));
+        assert_eq!(tape.0.lock().unwrap().len(), 2);
+        // Export is in id order and covers everything incl. constants.
+        let all = store.export_formulas();
+        assert_eq!(all.len(), store.len());
+        assert!(all[0].is_false() && all[1].is_true());
+        assert_eq!(*all[a.index()], *store.get(a));
+        assert_eq!(DnfId::from_index(a.index()), a);
     }
 
     #[test]

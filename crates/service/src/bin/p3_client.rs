@@ -39,6 +39,9 @@ COMMANDS:
     metrics                      Prometheus text exposition of all metrics
     trace [N]                    the N most recent request span trees [default: 10]
     ping                         liveness check
+    persist                      compact the persistent store to a fresh snapshot
+    warm                         what the store restored at boot (warm-boot report)
+    store-stats                  persistent-store backend counters
     shutdown                     graceful server shutdown
     raw JSON                     send one raw request line
     repl                         interactive loop (commands or raw JSON lines)
@@ -108,7 +111,9 @@ fn build_request(words: &[String]) -> Result<String, String> {
             .ok_or_else(|| format!("{cmd} needs a QUERY argument"))
     };
     match cmd {
-        "ping" | "stats" | "metrics" | "shutdown" => pairs.insert(0, ("op".into(), cmd.into())),
+        "ping" | "stats" | "metrics" | "shutdown" | "persist" | "warm" | "store-stats" => {
+            pairs.insert(0, ("op".into(), cmd.into()))
+        }
         "trace" => {
             pairs.insert(0, ("op".into(), cmd.into()));
             if let Some(n) = positional.first() {

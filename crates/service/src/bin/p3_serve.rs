@@ -3,7 +3,7 @@
 //! ```text
 //! p3-serve --program FILE [--tcp ADDR] [--unix PATH] [--admin-addr ADDR]
 //!          [--workers N] [--queue-cap N] [--cache-cap N] [--eval-mode M]
-//!          [--timeout-ms N] [--slow-ms N]
+//!          [--timeout-ms N] [--slow-ms N] [--store-dir DIR]
 //! ```
 //!
 //! Prints one `listening tcp ADDR` / `listening unix PATH` /
@@ -38,6 +38,10 @@ OPTIONS:
                        requests override per-query with \"eval_mode\"
     --timeout-ms N     default per-request deadline for requests without timeout_ms
     --slow-ms N        log requests slower than N ms at warn level
+    --store-dir DIR    persistent provenance store: journal interned formulas
+                       and query memos to DIR and replay them on the next
+                       start for a warm boot (stale stores — a different
+                       program text — are discarded automatically)
     --no-lint          skip the lint pre-flight gate on the boot-time program
     -h, --help         print this help
 
@@ -123,6 +127,10 @@ fn main() -> ExitCode {
                 Ok(v) => config.slow_ms = Some(v),
                 Err(e) => return fail(&e),
             },
+            "--store-dir" => match take("--store-dir") {
+                Ok(v) => config.store_dir = Some(PathBuf::from(v)),
+                Err(e) => return fail(&e),
+            },
             "--no-lint" => lint = false,
             other => return fail(&format!("unknown argument '{other}'")),
         }
@@ -158,6 +166,11 @@ fn main() -> ExitCode {
         Ok(p3) => p3,
         Err(e) => return fail(&format!("cannot load {}: {e}", program.display())),
     };
+    if config.store_dir.is_some() {
+        // The store is keyed to the exact program text: a store directory
+        // written for any other text is detected and discarded at open.
+        config.store_fingerprint = Some(p3_store::content_hash(&source));
+    }
 
     let server = match Server::start(p3, config) {
         Ok(server) => server,

@@ -8,6 +8,7 @@
 //!              ["eval_mode": "auto"|"naive"|"demand"],
 //!              ["trace": "32-hex"], ...op fields }
 //! op       = "ping" | "stats" | "metrics" | "trace" | "shutdown"
+//!          | "persist" | "warm" | "store-stats"
 //!          | "load-program"
 //!          | "probability" | "explanation" | "derivation"
 //!          | "influence" | "modification"
@@ -45,6 +46,17 @@ pub enum Op {
     },
     /// Graceful shutdown: drain in-flight work, refuse new connections.
     Shutdown,
+    /// Force a compaction of the persistent store: export the session's
+    /// full provenance state as a snapshot and truncate the intern log.
+    /// Runs on the worker pool — it reads the same session the queries
+    /// mutate.
+    Persist,
+    /// Warm-boot report: what the persistent store restored at startup
+    /// (formulas, memos, recovery truncations, staleness).
+    Warm,
+    /// Persistent-store backend counters (records written, pending buffer,
+    /// snapshot size).
+    StoreStats,
     /// Replace the served program (from inline source or a server-side path).
     LoadProgram {
         /// Inline program text (takes precedence over `path`).
@@ -124,6 +136,9 @@ impl Op {
             Op::Metrics => "metrics",
             Op::Trace { .. } => "trace",
             Op::Shutdown => "shutdown",
+            Op::Persist => "persist",
+            Op::Warm => "warm",
+            Op::StoreStats => "store-stats",
             Op::LoadProgram { .. } => "load-program",
             Op::Lint { .. } => "lint",
             Op::Probability { .. } => "probability",
@@ -140,7 +155,13 @@ impl Op {
     pub fn is_query(&self) -> bool {
         !matches!(
             self,
-            Op::Ping | Op::Stats | Op::Metrics | Op::Trace { .. } | Op::Shutdown
+            Op::Ping
+                | Op::Stats
+                | Op::Metrics
+                | Op::Trace { .. }
+                | Op::Shutdown
+                | Op::Warm
+                | Op::StoreStats
         )
     }
 }
@@ -333,6 +354,9 @@ impl Request {
                 n: opt_u64(&v, "n")?.unwrap_or(10) as usize,
             },
             "shutdown" => Op::Shutdown,
+            "persist" => Op::Persist,
+            "warm" => Op::Warm,
+            "store-stats" => Op::StoreStats,
             "load-program" => {
                 let source = v.get("source").and_then(Value::as_str).map(str::to_string);
                 let path = v.get("path").and_then(Value::as_str).map(str::to_string);
@@ -496,6 +520,9 @@ mod tests {
             (r#"{"op":"metrics"}"#, "metrics"),
             (r#"{"op":"trace","n":5}"#, "trace"),
             (r#"{"op":"shutdown"}"#, "shutdown"),
+            (r#"{"op":"persist"}"#, "persist"),
+            (r#"{"op":"warm"}"#, "warm"),
+            (r#"{"op":"store-stats"}"#, "store-stats"),
             (
                 r#"{"op":"load-program","source":"t 1.0: a(1)."}"#,
                 "load-program",
@@ -729,6 +756,12 @@ mod tests {
         assert!(!Request::parse(r#"{"op":"stats"}"#).unwrap().op.is_query());
         assert!(!Request::parse(r#"{"op":"metrics"}"#).unwrap().op.is_query());
         assert!(!Request::parse(r#"{"op":"trace"}"#).unwrap().op.is_query());
+        assert!(!Request::parse(r#"{"op":"warm"}"#).unwrap().op.is_query());
+        assert!(!Request::parse(r#"{"op":"store-stats"}"#)
+            .unwrap()
+            .op
+            .is_query());
+        assert!(Request::parse(r#"{"op":"persist"}"#).unwrap().op.is_query());
         assert!(Request::parse(r#"{"op":"probability","query":"a(1)"}"#)
             .unwrap()
             .op

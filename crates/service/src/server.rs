@@ -27,9 +27,10 @@ use crate::protocol::{Op, Request, Response};
 use crate::stats::{Outcome, ServiceStats};
 use p3_core::{
     EvalMode, InfluenceOptions, ModificationOptions, ProfileTarget, QueryProfile, QuerySession,
-    SessionOptions, P3,
+    SessionOptions, WarmRestore, P3,
 };
 use p3_provenance::extract::ExtractOptions;
+use p3_store::{FileBackend, RecoveryReport, StorageBackend};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener};
@@ -71,6 +72,14 @@ pub struct ServerConfig {
     /// level and counted in `p3_service_slow_requests_total`; `None`
     /// disables the slow-query log.
     pub slow_ms: Option<u64>,
+    /// Persistent-store directory (`p3-serve --store-dir`): provenance
+    /// state is journaled there and replayed on the next start for a warm
+    /// boot. `None` serves from memory only.
+    pub store_dir: Option<PathBuf>,
+    /// Content hash of the served program (see [`p3_store::content_hash`]);
+    /// a store written for a different hash is discarded as stale rather
+    /// than replayed. Only read when `store_dir` is set.
+    pub store_fingerprint: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +94,8 @@ impl Default for ServerConfig {
             eval_mode: EvalMode::Auto,
             default_timeout_ms: None,
             slow_ms: None,
+            store_dir: None,
+            store_fingerprint: None,
         }
     }
 }
@@ -256,11 +267,34 @@ pub(crate) struct Shared {
     default_timeout_ms: Option<u64>,
     slow_ms: Option<u64>,
     started: Instant,
+    /// The persistent provenance store, when `--store-dir` is configured.
+    store: Option<StoreCtx>,
+}
+
+/// The persistent store attached at startup, plus what its recovery and
+/// warm-boot replay found — frozen so `warm` can report it later.
+pub(crate) struct StoreCtx {
+    backend: Arc<dyn StorageBackend>,
+    dir: PathBuf,
+    report: RecoveryReport,
+    restore: WarmRestore,
+    /// Cleared by `load-program`: the store is keyed to the boot-time
+    /// program's content hash, so journaling stops once the server is
+    /// given a different program.
+    active: AtomicBool,
 }
 
 impl Shared {
     pub(crate) fn current_session(&self) -> QuerySession {
         self.session.read().unwrap().clone()
+    }
+
+    /// The store, unless it was never configured or `load-program`
+    /// detached it.
+    fn active_store(&self) -> Option<&StoreCtx> {
+        self.store
+            .as_ref()
+            .filter(|s| s.active.load(Ordering::SeqCst))
     }
 
     /// The session a query op runs against: the default session, unless the
@@ -370,6 +404,30 @@ impl Server {
             max_entries: config.cache_cap,
             eval_mode: config.eval_mode,
         });
+        let mut store = None;
+        if let Some(dir) = &config.store_dir {
+            let opened = FileBackend::open(dir, config.store_fingerprint.unwrap_or(0))?;
+            let restore = session.restore_records(&opened.records);
+            let backend: Arc<dyn StorageBackend> = Arc::new(opened.backend);
+            session.attach_store(Arc::clone(&backend));
+            p3_obs::info!(
+                "store warm boot",
+                dir = dir.display(),
+                formulas = restore.formulas,
+                dnf_memos = restore.dnf_memos,
+                prob_memos = restore.prob_memos,
+                skipped = restore.skipped,
+                stale = opened.report.stale,
+                truncations = opened.report.truncations
+            );
+            store = Some(StoreCtx {
+                backend,
+                dir: dir.clone(),
+                report: opened.report,
+                restore,
+                active: AtomicBool::new(true),
+            });
+        }
         let shared = Arc::new(Shared {
             session: RwLock::new(session),
             sessions_by_mode: RwLock::new(HashMap::new()),
@@ -384,6 +442,7 @@ impl Server {
             default_timeout_ms: config.default_timeout_ms,
             slow_ms: config.slow_ms,
             started: Instant::now(),
+            store,
         });
         // Register every gauge family up front so the first scrape sees
         // them even before the first request.
@@ -503,6 +562,23 @@ impl Server {
         }
         for t in self.worker_threads {
             let _ = t.join();
+        }
+        // Workers are gone, so the session is quiescent: compact the
+        // persistent store so the next boot replays one clean snapshot
+        // instead of the whole journal tail.
+        if let Some(store) = self.shared.active_store() {
+            let records = self.shared.current_session().export_records();
+            if let Err(e) = store
+                .backend
+                .snapshot(&records)
+                .and_then(|()| store.backend.flush())
+            {
+                p3_obs::warn!(
+                    "final store compaction failed",
+                    dir = store.dir.display(),
+                    error = e.to_string()
+                );
+            }
         }
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
@@ -688,6 +764,8 @@ fn dispatch(
         Op::Stats => Response::ok(request.id, stats_snapshot(shared)),
         Op::Metrics => Response::ok(request.id, metrics_snapshot(shared)),
         Op::Trace { n } => Response::ok(request.id, trace_snapshot(*n)),
+        Op::Warm => Response::ok(request.id, warm_snapshot(shared)),
+        Op::StoreStats => Response::ok(request.id, store_stats_snapshot(shared)),
         Op::Shutdown => {
             shared.initiate_shutdown();
             Response::ok(
@@ -784,6 +862,17 @@ fn worker_loop(shared: Arc<Shared>) {
             result
         };
         let stats_after = session.stats();
+        // Make whatever the op journaled durable before the client hears
+        // the answer: a SIGKILL after the reply then replays this state.
+        if let Some(store) = shared.active_store() {
+            if let Err(e) = store.backend.flush() {
+                p3_obs::error!(
+                    "store flush failed",
+                    dir = store.dir.display(),
+                    error = e.to_string()
+                );
+            }
+        }
         set_workers_busy_gauge(
             shared
                 .workers_busy
@@ -818,8 +907,35 @@ fn execute(
 ) -> Result<Value, String> {
     let p3 = session.p3();
     match op {
-        Op::Ping | Op::Stats | Op::Metrics | Op::Trace { .. } | Op::Shutdown => {
+        Op::Ping
+        | Op::Stats
+        | Op::Metrics
+        | Op::Trace { .. }
+        | Op::Shutdown
+        | Op::Warm
+        | Op::StoreStats => {
             unreachable!("admin ops answer inline")
+        }
+        Op::Persist => {
+            let store = shared.active_store().ok_or_else(|| {
+                "no active store: start the server with --store-dir \
+                 (load-program detaches the store)"
+                    .to_string()
+            })?;
+            // Export from the default session — that is the one the store
+            // journals; per-mode override sessions share its DnfStore.
+            let records = shared.current_session().export_records();
+            store
+                .backend
+                .snapshot(&records)
+                .and_then(|()| store.backend.flush())
+                .map_err(|e| format!("store compaction failed: {e}"))?;
+            let stats = store.backend.stats();
+            Ok(Value::object(vec![
+                ("persisted", Value::from(true)),
+                ("records", Value::from(records.len())),
+                ("snapshot_bytes", Value::from(stats.snapshot_bytes)),
+            ]))
         }
         Op::LoadProgram { source, path, lint } => {
             let text = match (source, path) {
@@ -864,6 +980,18 @@ fn execute(
                 _ => Value::from(fresh.database().len()),
             };
             let eval_mode = new_session.eval_mode().as_str();
+            // The store is keyed to the boot-time program's content hash;
+            // a different program must not journal into it (or warm-boot
+            // from it), so detach before the swap. Restart with
+            // --store-dir to persist the new program.
+            if let Some(store) = shared.active_store() {
+                store.active.store(false, Ordering::SeqCst);
+                shared.current_session().detach_store();
+                p3_obs::warn!(
+                    "persistent store detached: load-program changed the program",
+                    dir = store.dir.display()
+                );
+            }
             shared.install_session(new_session);
             Ok(Value::object(vec![
                 ("loaded", Value::from(true)),
@@ -1160,7 +1288,23 @@ fn stats_snapshot(shared: &Shared) -> Value {
                 ("misses", Value::from(s.misses)),
                 ("evictions", Value::from(s.evictions)),
                 ("resident", Value::from(s.resident)),
+                ("warm_restored", Value::from(s.warm_restored)),
             ]),
+        ),
+        (
+            "persist",
+            match &shared.store {
+                None => Value::object(vec![("enabled", Value::from(false))]),
+                Some(store) => Value::object(vec![
+                    ("enabled", Value::from(true)),
+                    ("active", Value::from(store.active.load(Ordering::SeqCst))),
+                    (
+                        "records_written",
+                        Value::from(store.backend.stats().records_written),
+                    ),
+                    ("warm_restored", Value::from(store.restore.memos())),
+                ]),
+            },
         ),
         (
             "store",
@@ -1171,6 +1315,59 @@ fn stats_snapshot(shared: &Shared) -> Value {
                 ("op_hits", Value::from(store.op_hits)),
                 ("op_misses", Value::from(store.op_misses)),
             ]),
+        ),
+    ])
+}
+
+/// The `warm` payload: what the persistent store's recovery and warm-boot
+/// replay found at startup (frozen at boot — live counters are under
+/// `store-stats`).
+fn warm_snapshot(shared: &Shared) -> Value {
+    let Some(store) = &shared.store else {
+        return Value::object(vec![("enabled", Value::from(false))]);
+    };
+    Value::object(vec![
+        ("enabled", Value::from(true)),
+        ("active", Value::from(store.active.load(Ordering::SeqCst))),
+        ("dir", Value::from(store.dir.display().to_string())),
+        ("stale", Value::from(store.report.stale)),
+        (
+            "recovery_truncations",
+            Value::from(u64::from(store.report.truncations)),
+        ),
+        (
+            "recovery_truncated_bytes",
+            Value::from(store.report.truncated_bytes),
+        ),
+        (
+            "snapshot_records",
+            Value::from(store.report.snapshot_records),
+        ),
+        ("log_records", Value::from(store.report.log_records)),
+        ("restored_formulas", Value::from(store.restore.formulas)),
+        ("restored_dnf_memos", Value::from(store.restore.dnf_memos)),
+        ("restored_prob_memos", Value::from(store.restore.prob_memos)),
+        ("restored_skipped", Value::from(store.restore.skipped)),
+    ])
+}
+
+/// The `store-stats` payload: live backend counters.
+fn store_stats_snapshot(shared: &Shared) -> Value {
+    let Some(store) = &shared.store else {
+        return Value::object(vec![("enabled", Value::from(false))]);
+    };
+    let stats = store.backend.stats();
+    Value::object(vec![
+        ("enabled", Value::from(true)),
+        ("active", Value::from(store.active.load(Ordering::SeqCst))),
+        ("kind", Value::from(stats.kind.to_string())),
+        ("records_written", Value::from(stats.records_written)),
+        ("pending_records", Value::from(stats.pending_records)),
+        ("snapshot_records", Value::from(stats.snapshot_records)),
+        ("snapshot_bytes", Value::from(stats.snapshot_bytes)),
+        (
+            "recovery_truncations",
+            Value::from(stats.recovery_truncations),
         ),
     ])
 }
@@ -1304,6 +1501,7 @@ pub(crate) fn test_shared(workers: usize, queue_cap: usize) -> Arc<Shared> {
         default_timeout_ms: None,
         slow_ms: None,
         started: Instant::now(),
+        store: None,
     })
 }
 

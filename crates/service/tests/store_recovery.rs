@@ -1,0 +1,266 @@
+//! Crash recovery of `p3-serve --store-dir`: kill the server with SIGKILL,
+//! tear the intern log mid-record, restart on the same directory, and the
+//! server must (a) log the truncation, (b) report it over the `warm` op,
+//! and (c) answer the same queries with identical probabilities.
+
+use p3_service::client::Client;
+use p3_service::protocol::Status;
+use std::io::{BufRead, BufReader, Read};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const ACQ: &str = r#"
+    r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1 != P2.
+    r2 0.4: know(P1,P2) :- like(P1,L), like(P2,L), P1 != P2.
+    r3 0.2: know(P1,P3) :- know(P1,P2), know(P2,P3), P1 != P3.
+    t1 1.0: live("Steve","DC").
+    t2 1.0: live("Elena","DC").
+    t3 1.0: live("Mary","NYC").
+    t4 0.4: like("Steve","Veggies").
+    t5 0.6: like("Elena","Veggies").
+    t6 1.0: know("Ben","Steve").
+"#;
+
+const QUERIES: &[&str] = &[
+    r#"know("Ben","Elena")"#,
+    r#"know("Steve","Elena")"#,
+    r#"know("Elena","Steve")"#,
+];
+
+/// A spawned `p3-serve --store-dir` with stderr piped so tests can assert
+/// on recovery log lines.
+struct Served {
+    child: Child,
+    tcp: String,
+    stderr: Option<std::process::ChildStderr>,
+}
+
+impl Served {
+    fn spawn(program: &PathBuf, store_dir: &PathBuf) -> Served {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_p3-serve"))
+            .arg("--program")
+            .arg(program)
+            .arg("--tcp")
+            .arg("127.0.0.1:0")
+            .arg("--store-dir")
+            .arg(store_dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn p3-serve");
+        let stdout = child.stdout.take().unwrap();
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let tcp = line
+            .strip_prefix("listening tcp ")
+            .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+            .trim()
+            .to_string();
+        let stderr = child.stderr.take();
+        Served { child, tcp, stderr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_tcp(&self.tcp).unwrap()
+    }
+
+    fn wait_for_exit(&mut self) -> std::process::ExitStatus {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(status) = self.child.try_wait().unwrap() {
+                return status;
+            }
+            assert!(Instant::now() < deadline, "p3-serve did not exit in time");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Everything the process wrote to stderr; call after it exited.
+    fn drain_stderr(&mut self) -> String {
+        let mut out = String::new();
+        if let Some(mut pipe) = self.stderr.take() {
+            let _ = pipe.read_to_string(&mut out);
+        }
+        out
+    }
+}
+
+impl Drop for Served {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("p3-store-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn esc(query: &str) -> String {
+    query.replace('"', "\\\"")
+}
+
+fn probability(client: &mut Client, query: &str) -> f64 {
+    let resp = client
+        .request(&format!(
+            r#"{{"op":"probability","query":"{}"}}"#,
+            esc(query)
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok, "{query}: {:?}", resp.error);
+    resp.result
+        .unwrap()
+        .get("probability")
+        .unwrap()
+        .as_f64()
+        .unwrap()
+}
+
+#[test]
+fn sigkill_plus_torn_log_recovers_with_identical_probabilities() {
+    let work = tmpdir("crash");
+    std::fs::create_dir_all(&work).unwrap();
+    let program = work.join("acq.pl");
+    let store = work.join("store");
+    std::fs::write(&program, ACQ).unwrap();
+
+    // Boot 1: cold. Answer the queries (flushed to the journal after each
+    // request), then die without any chance to clean up.
+    let served = Served::spawn(&program, &store);
+    let mut client = served.client();
+    let cold: Vec<f64> = QUERIES
+        .iter()
+        .map(|q| probability(&mut client, q))
+        .collect();
+    drop(client);
+    drop(served); // Drop sends SIGKILL: no graceful shutdown, no snapshot.
+
+    // Tear the journal mid-record, as a crash mid-write would.
+    let log = store.join("intern.log");
+    let len = std::fs::metadata(&log).unwrap().len();
+    assert!(len > 8, "journal should hold the session's records");
+    let f = std::fs::OpenOptions::new().write(true).open(&log).unwrap();
+    f.set_len(len - 3).unwrap();
+    drop(f);
+
+    // Boot 2: recovery must truncate the bad tail, warm-boot from the
+    // survivors, and keep serving.
+    let mut served = Served::spawn(&program, &store);
+    let mut client = served.client();
+
+    let resp = client.request(r#"{"op":"warm"}"#).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    let warm = resp.result.unwrap();
+    assert_eq!(warm.get("enabled").unwrap().as_bool(), Some(true));
+    assert_eq!(warm.get("stale").unwrap().as_bool(), Some(false));
+    assert!(
+        warm.get("recovery_truncations").unwrap().as_u64().unwrap() >= 1,
+        "recovery should report the torn tail: {}",
+        warm.to_json()
+    );
+    assert!(
+        warm.get("restored_formulas").unwrap().as_u64().unwrap() > 0,
+        "records before the tear must survive: {}",
+        warm.to_json()
+    );
+
+    // Identical probabilities — restored memos answer most of them, and
+    // whatever the tear dropped is recomputed to the same exact value.
+    let warm_probs: Vec<f64> = QUERIES
+        .iter()
+        .map(|q| probability(&mut client, q))
+        .collect();
+    for ((q, cold), warm) in QUERIES.iter().zip(&cold).zip(&warm_probs) {
+        assert_eq!(cold.to_bits(), warm.to_bits(), "{q}: {cold} vs {warm}");
+    }
+
+    // The session reports the restored memos, and the store-stats op sees
+    // the file backend.
+    let resp = client.request(r#"{"op":"stats"}"#).unwrap();
+    let result = resp.result.unwrap();
+    let restored = result
+        .get("session")
+        .unwrap()
+        .get("warm_restored")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(restored > 0, "no warm-restored memos: {}", result.to_json());
+    let resp = client.request(r#"{"op":"store-stats"}"#).unwrap();
+    let result = resp.result.unwrap();
+    assert_eq!(result.get("kind").unwrap().as_str(), Some("file"));
+
+    // The recovery left a warning in the log.
+    let resp = client.request(r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    assert!(served.wait_for_exit().success());
+    let stderr = served.drain_stderr();
+    assert!(
+        stderr.contains("bad tail"),
+        "no truncation warning in stderr:\n{stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn graceful_shutdown_compacts_and_the_next_boot_replays_the_snapshot() {
+    let work = tmpdir("compact");
+    std::fs::create_dir_all(&work).unwrap();
+    let program = work.join("acq.pl");
+    let store = work.join("store");
+    std::fs::write(&program, ACQ).unwrap();
+
+    let mut served = Served::spawn(&program, &store);
+    let mut client = served.client();
+    let cold: Vec<f64> = QUERIES
+        .iter()
+        .map(|q| probability(&mut client, q))
+        .collect();
+
+    // An explicit persist compacts on demand...
+    let resp = client.request(r#"{"op":"persist"}"#).unwrap();
+    assert_eq!(resp.status, Status::Ok, "{:?}", resp.error);
+    let result = resp.result.unwrap();
+    assert!(result.get("records").unwrap().as_u64().unwrap() > 0);
+
+    // ...and graceful shutdown compacts once more on the way out.
+    let resp = client.request(r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    assert!(served.wait_for_exit().success());
+    drop(served);
+
+    assert!(
+        std::fs::metadata(store.join("snapshot.log")).unwrap().len() > 0,
+        "shutdown should leave a compacted snapshot"
+    );
+    assert_eq!(
+        std::fs::metadata(store.join("intern.log")).unwrap().len(),
+        0,
+        "compaction should reset the journal tail"
+    );
+
+    // Boot 2 replays the snapshot: zero recovery noise, warm answers.
+    let served = Served::spawn(&program, &store);
+    let mut client = served.client();
+    let resp = client.request(r#"{"op":"warm"}"#).unwrap();
+    let warm = resp.result.unwrap();
+    assert_eq!(warm.get("enabled").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        warm.get("recovery_truncations").unwrap().as_u64(),
+        Some(0),
+        "{}",
+        warm.to_json()
+    );
+    assert!(warm.get("snapshot_records").unwrap().as_u64().unwrap() > 0);
+    for (q, cold) in QUERIES.iter().zip(&cold) {
+        let warm_p = probability(&mut client, q);
+        assert_eq!(cold.to_bits(), warm_p.to_bits(), "{q}");
+    }
+
+    let _ = std::fs::remove_dir_all(&work);
+}

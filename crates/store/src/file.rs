@@ -1,0 +1,390 @@
+//! The durable file-backed storage backend.
+//!
+//! On-disk layout inside the store directory:
+//!
+//! * `store.meta` — 16 bytes: magic `P3STORE1` + the program content hash
+//!   (u64 LE). A missing or mismatching meta file marks the whole store
+//!   stale: its contents were produced for a different program, so both
+//!   logs are discarded rather than replayed.
+//! * `snapshot.log` — the last compaction: the full provenance state as a
+//!   framed record sequence, rewritten atomically (tmp + rename).
+//! * `intern.log` — the append-only tail: every record since the snapshot.
+//!
+//! Boot replays `snapshot.log` then `intern.log` front to back. A torn or
+//! corrupt frame stops the scan of its file; the file is truncated to the
+//! last good frame, a warning is logged, and serving continues with
+//! whatever replayed — losing the tail of a log is always safe because
+//! records are append-only facts, never updates.
+//!
+//! `append` only queues the encoded frame in memory (it is called from
+//! inside `DnfStore`'s formula lock, which must never wait on I/O);
+//! `flush` drains the queue to `intern.log`. The queue preserves append
+//! order, and intern records are appended in `DnfId` order, so the log
+//! replays ids exactly. Compaction may race interns: a record can end up
+//! in both the snapshot and the tail, which replay tolerates because
+//! re-interning is idempotent — but never in neither.
+
+use crate::record::{encode_frame, scan_frames, Record, Scan, ScanStop};
+use crate::{records_written_metric, snapshot_bytes_metric, truncations_metric, BackendStats};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const META_MAGIC: &[u8; 8] = b"P3STORE1";
+const META_FILE: &str = "store.meta";
+const SNAPSHOT_FILE: &str = "snapshot.log";
+const LOG_FILE: &str = "intern.log";
+
+/// What `FileBackend::open` found and did while recovering the directory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The directory held a store for a different program; it was wiped.
+    pub stale: bool,
+    /// Bad tails truncated (0, 1 per file, so at most 2).
+    pub truncations: u32,
+    /// Bytes dropped by tail truncation.
+    pub truncated_bytes: u64,
+    /// Records recovered from the snapshot.
+    pub snapshot_records: usize,
+    /// Records recovered from the append log.
+    pub log_records: usize,
+}
+
+/// A freshly opened store directory: the backend plus everything that must
+/// be replayed into the engine before the backend starts journaling.
+pub struct Opened {
+    /// The backend, ready for `append`/`flush`/`snapshot`.
+    pub backend: FileBackend,
+    /// Recovered records in replay order (snapshot first, then log).
+    pub records: Vec<Record>,
+    /// What recovery found.
+    pub report: RecoveryReport,
+}
+
+/// Append-only log + compacted snapshot in one directory. See the module
+/// docs for the layout and crash-safety argument.
+pub struct FileBackend {
+    dir: PathBuf,
+    /// Encoded frames queued by `append`, drained by `flush`. Frames are
+    /// queued (not written) because `append` runs under `DnfStore`'s
+    /// formula lock.
+    pending: Mutex<Vec<u8>>,
+    /// Records queued but not yet flushed (for stats; frames are opaque).
+    pending_records: AtomicU64,
+    /// Serialises file writes: log appends vs snapshot rewrite.
+    io: Mutex<()>,
+    records_written: AtomicU64,
+    snapshot_records: AtomicU64,
+    snapshot_bytes: AtomicU64,
+    truncations: AtomicU64,
+}
+
+fn read_or_empty(path: &Path) -> io::Result<Vec<u8>> {
+    match File::open(path) {
+        Ok(mut f) => {
+            let mut buf = Vec::new();
+            f.read_to_end(&mut buf)?;
+            Ok(buf)
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Scans one log file; truncates it to the last good frame if the tail is
+/// bad, so the next append writes over garbage instead of after it.
+fn recover_file(path: &Path, report: &mut RecoveryReport) -> io::Result<Vec<Record>> {
+    let buf = read_or_empty(path)?;
+    let Scan {
+        records,
+        valid_len,
+        stop,
+    } = scan_frames(&buf);
+    if stop != ScanStop::Clean {
+        let dropped = buf.len() as u64 - valid_len;
+        p3_obs::warn!(
+            "store log has a bad tail; truncating",
+            file = path.display(),
+            reason = stop,
+            dropped_bytes = dropped,
+            kept_records = records.len()
+        );
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(valid_len)?;
+        report.truncations += 1;
+        report.truncated_bytes += dropped;
+        truncations_metric().inc();
+    }
+    Ok(records)
+}
+
+impl FileBackend {
+    /// Opens (creating if needed) the store directory for a program whose
+    /// content hash is `fingerprint`, recovering any previous state.
+    pub fn open(dir: impl Into<PathBuf>, fingerprint: u64) -> io::Result<Opened> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        // Register the whole metric family up front so /metrics lists it
+        // from the first scrape, before any traffic.
+        crate::register_metrics();
+
+        let meta_path = dir.join(META_FILE);
+        let meta = read_or_empty(&meta_path)?;
+        let mut report = RecoveryReport::default();
+        let fresh = meta.is_empty();
+        let matches = meta.len() == 16
+            && &meta[..8] == META_MAGIC
+            && u64::from_le_bytes(meta[8..16].try_into().unwrap()) == fingerprint;
+        if !matches {
+            if !fresh {
+                report.stale = true;
+                p3_obs::warn!(
+                    "store is stale (program changed or unreadable meta); discarding",
+                    dir = dir.display()
+                );
+            }
+            let _ = std::fs::remove_file(dir.join(SNAPSHOT_FILE));
+            let _ = std::fs::remove_file(dir.join(LOG_FILE));
+            let mut bytes = Vec::with_capacity(16);
+            bytes.extend_from_slice(META_MAGIC);
+            bytes.extend_from_slice(&fingerprint.to_le_bytes());
+            std::fs::write(&meta_path, bytes)?;
+        }
+
+        let mut records = recover_file(&dir.join(SNAPSHOT_FILE), &mut report)?;
+        report.snapshot_records = records.len();
+        let log_records = recover_file(&dir.join(LOG_FILE), &mut report)?;
+        report.log_records = log_records.len();
+        records.extend(log_records);
+
+        let backend = FileBackend {
+            dir,
+            pending: Mutex::new(Vec::new()),
+            pending_records: AtomicU64::new(0),
+            io: Mutex::new(()),
+            records_written: AtomicU64::new(0),
+            snapshot_records: AtomicU64::new(report.snapshot_records as u64),
+            snapshot_bytes: AtomicU64::new(0),
+            truncations: AtomicU64::new(u64::from(report.truncations)),
+        };
+        if let Ok(meta) = std::fs::metadata(backend.dir.join(SNAPSHOT_FILE)) {
+            backend.snapshot_bytes.store(meta.len(), Ordering::Relaxed);
+            snapshot_bytes_metric().set(meta.len() as i64);
+        }
+        Ok(Opened {
+            backend,
+            records,
+            report,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl crate::StorageBackend for FileBackend {
+    fn append(&self, record: Record) {
+        let mut pending = self.pending.lock().unwrap();
+        encode_frame(&record, &mut pending);
+        self.pending_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        let frames = {
+            let mut pending = self.pending.lock().unwrap();
+            if pending.is_empty() {
+                return Ok(());
+            }
+            std::mem::take(&mut *pending)
+        };
+        let drained = self.pending_records.swap(0, Ordering::Relaxed);
+        let _io = self.io.lock().unwrap();
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(LOG_FILE))?;
+        f.write_all(&frames)?;
+        self.records_written.fetch_add(drained, Ordering::Relaxed);
+        records_written_metric().add(drained);
+        Ok(())
+    }
+
+    fn snapshot(&self, records: &[Record]) -> io::Result<()> {
+        let mut buf = Vec::new();
+        for record in records {
+            encode_frame(record, &mut buf);
+        }
+        let _io = self.io.lock().unwrap();
+        let tmp = self.dir.join("snapshot.tmp");
+        std::fs::write(&tmp, &buf)?;
+        std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        // The snapshot now covers everything the log held (compaction runs
+        // after the caller collected full state), so reset the tail.
+        OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(self.dir.join(LOG_FILE))?;
+        self.snapshot_records
+            .store(records.len() as u64, Ordering::Relaxed);
+        self.snapshot_bytes
+            .store(buf.len() as u64, Ordering::Relaxed);
+        snapshot_bytes_metric().set(buf.len() as i64);
+        p3_obs::info!(
+            "store snapshot written",
+            dir = self.dir.display(),
+            records = records.len(),
+            bytes = buf.len()
+        );
+        Ok(())
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            kind: "file",
+            records_written: self.records_written.load(Ordering::Relaxed),
+            pending_records: self.pending_records.load(Ordering::Relaxed),
+            snapshot_records: self.snapshot_records.load(Ordering::Relaxed),
+            snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
+            recovery_truncations: self.truncations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "file"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MethodCode;
+    use crate::StorageBackend;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("p3-store-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn intern(lits: &[u32]) -> Record {
+        Record::Intern {
+            monomials: vec![lits.to_vec()],
+        }
+    }
+
+    #[test]
+    fn append_flush_reopen_replays_in_order() {
+        let dir = tmpdir("replay");
+        let records = vec![
+            intern(&[]),
+            intern(&[1, 2]),
+            Record::DnfMemo {
+                query: "q(a)".into(),
+                depth: u64::MAX,
+                id: 2,
+            },
+            Record::ProbMemo {
+                id: 2,
+                method: MethodCode {
+                    tag: 0,
+                    samples: 0,
+                    seed: 0,
+                    threads: 0,
+                },
+                prob: 0.25,
+            },
+        ];
+        {
+            let opened = FileBackend::open(&dir, 7).unwrap();
+            assert!(opened.records.is_empty());
+            assert!(!opened.report.stale);
+            for r in &records {
+                opened.backend.append(r.clone());
+            }
+            opened.backend.flush().unwrap();
+            assert_eq!(opened.backend.stats().records_written, 4);
+        }
+        let opened = FileBackend::open(&dir, 7).unwrap();
+        assert_eq!(opened.records, records);
+        assert_eq!(opened.report.log_records, 4);
+        assert_eq!(opened.report.truncations, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_discards_the_store() {
+        let dir = tmpdir("stale");
+        {
+            let opened = FileBackend::open(&dir, 7).unwrap();
+            opened.backend.append(intern(&[1]));
+            opened.backend.flush().unwrap();
+        }
+        let opened = FileBackend::open(&dir, 8).unwrap();
+        assert!(opened.report.stale);
+        assert!(opened.records.is_empty());
+        // And the new fingerprint sticks.
+        let opened = FileBackend::open(&dir, 8).unwrap();
+        assert!(!opened.report.stale);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_survivors_replay() {
+        let dir = tmpdir("torn");
+        {
+            let opened = FileBackend::open(&dir, 7).unwrap();
+            opened.backend.append(intern(&[1]));
+            opened.backend.append(intern(&[2, 3]));
+            opened.backend.flush().unwrap();
+        }
+        let log = dir.join(LOG_FILE);
+        let len = std::fs::metadata(&log).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&log).unwrap();
+        f.set_len(len - 3).unwrap(); // tear into the last record
+        drop(f);
+        let opened = FileBackend::open(&dir, 7).unwrap();
+        assert_eq!(opened.records, vec![intern(&[1])]);
+        assert_eq!(opened.report.truncations, 1);
+        assert_eq!(opened.report.truncated_bytes, len - 3 - opened_len(&log));
+        // After truncation the log is clean again.
+        let opened = FileBackend::open(&dir, 7).unwrap();
+        assert_eq!(opened.report.truncations, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn opened_len(path: &Path) -> u64 {
+        std::fs::metadata(path).unwrap().len()
+    }
+
+    #[test]
+    fn snapshot_compacts_and_resets_the_log() {
+        let dir = tmpdir("snapshot");
+        {
+            let opened = FileBackend::open(&dir, 7).unwrap();
+            opened.backend.append(intern(&[1]));
+            opened.backend.append(intern(&[2]));
+            opened.backend.flush().unwrap();
+            opened
+                .backend
+                .snapshot(&[intern(&[1]), intern(&[2])])
+                .unwrap();
+            // Post-snapshot traffic lands in the fresh log.
+            opened.backend.append(intern(&[3]));
+            opened.backend.flush().unwrap();
+            assert!(opened.backend.stats().snapshot_bytes > 0);
+        }
+        let opened = FileBackend::open(&dir, 7).unwrap();
+        assert_eq!(opened.report.snapshot_records, 2);
+        assert_eq!(opened.report.log_records, 1);
+        assert_eq!(
+            opened.records,
+            vec![intern(&[1]), intern(&[2]), intern(&[3])]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
