@@ -1,0 +1,559 @@
+//! The on-disk audit log: a bounded ring of framed segment files.
+//!
+//! ## Layout
+//!
+//! One directory holds numbered segments:
+//!
+//! ```text
+//! <dir>/audit-00000000.log
+//! <dir>/audit-00000001.log
+//! ...
+//! ```
+//!
+//! Appends always go to the highest-numbered segment. When the active
+//! segment exceeds the size cap or age cap, the writer rotates: opens
+//! `audit-<seq+1>.log` and, if the ring now exceeds `max_segments`,
+//! unlinks the oldest. The log is therefore bounded by roughly
+//! `max_segments × max_segment_bytes` on disk no matter how long the
+//! server runs.
+//!
+//! ## Crash safety
+//!
+//! Every append is one synchronous `write_all` of a checksummed frame
+//! (`p3-store`'s shared `[len][crc][payload]` format) straight to the
+//! file — no user-space buffering. A SIGKILL can therefore lose at most
+//! the frame being written at that instant; recovery scans forward,
+//! keeps every whole valid frame, and truncates the torn tail. No
+//! fsync is issued: the durability target is process death, not power
+//! loss, matching the store's journal.
+
+use crate::record::AuditRecord;
+use p3_store::frame::{scan_with, write_frame, ScanStop};
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Sizing and rotation knobs for an [`AuditLog`].
+#[derive(Clone, Debug)]
+pub struct AuditConfig {
+    /// Directory holding the segment ring; created if absent.
+    pub dir: PathBuf,
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub max_segment_bytes: u64,
+    /// Rotate the active segment once it is older than this many seconds
+    /// (0 disables age-based rotation).
+    pub max_segment_age_secs: u64,
+    /// Keep at most this many segments; the oldest is unlinked beyond it.
+    pub max_segments: usize,
+    /// In-memory ring of recent records backing `recent`/`top` reads.
+    pub recent_cap: usize,
+}
+
+impl AuditConfig {
+    /// Defaults: 4 MiB segments, hourly rotation, 8-segment ring, 1024
+    /// recent records in memory.
+    pub fn new(dir: impl Into<PathBuf>) -> AuditConfig {
+        AuditConfig {
+            dir: dir.into(),
+            max_segment_bytes: 4 << 20,
+            max_segment_age_secs: 3600,
+            max_segments: 8,
+            recent_cap: 1024,
+        }
+    }
+}
+
+/// Counters reported by [`AuditLog::stats`] and `/audit` responses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditStats {
+    /// Records appended since open.
+    pub records_appended: u64,
+    /// Records recovered from existing segments at open.
+    pub records_recovered: u64,
+    /// Segments currently on disk.
+    pub segments: u64,
+    /// Total bytes across all segments.
+    pub total_bytes: u64,
+    /// Segment rotations since open.
+    pub rotations: u64,
+    /// Old segments pruned since open.
+    pub pruned: u64,
+    /// Bad tails truncated during recovery at open.
+    pub recovery_truncations: u64,
+}
+
+struct ActiveSegment {
+    file: File,
+    seq: u64,
+    bytes: u64,
+    opened: Instant,
+}
+
+struct Inner {
+    active: ActiveSegment,
+    /// Segment paths on disk, oldest first, including the active one.
+    segments: VecDeque<(u64, PathBuf, u64)>, // (seq, path, bytes)
+    recent: VecDeque<AuditRecord>,
+    stats: AuditStats,
+    /// Reusable encode buffers: the append hot path allocates nothing
+    /// once these reach steady-state capacity.
+    payload_buf: Vec<u8>,
+    frame_buf: Vec<u8>,
+}
+
+/// A bounded, crash-safe audit log over a directory of framed segments.
+pub struct AuditLog {
+    config: AuditConfig,
+    inner: Mutex<Inner>,
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("audit-{seq:08}.log"))
+}
+
+fn parse_segment_seq(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("audit-")?.strip_suffix(".log")?;
+    if rest.len() != 8 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// Scans one segment file, returning its valid records and truncating any
+/// bad tail in place (mirrors the store's journal recovery).
+fn recover_segment(path: &Path) -> io::Result<(Vec<AuditRecord>, bool)> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    let mut records = Vec::new();
+    let scan = scan_with(&buf, |payload| match AuditRecord::decode_payload(payload) {
+        Some(r) => {
+            records.push(r);
+            true
+        }
+        None => false,
+    });
+    let truncated = scan.stop != ScanStop::Clean;
+    if truncated {
+        p3_obs::warn!(
+            "audit segment has a bad tail; truncating",
+            file = path.display(),
+            reason = scan.stop,
+            dropped_bytes = buf.len() as u64 - scan.valid_len,
+            kept_records = records.len()
+        );
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(scan.valid_len)?;
+    }
+    Ok((records, truncated))
+}
+
+impl AuditLog {
+    /// Opens (or creates) the audit log in `config.dir`, recovering every
+    /// existing segment: whole valid frames survive, bad tails are
+    /// truncated, and the most recent records are loaded into the
+    /// in-memory ring. Appends continue in the highest-numbered segment.
+    pub fn open(config: AuditConfig) -> io::Result<AuditLog> {
+        std::fs::create_dir_all(&config.dir)?;
+        register_metrics();
+
+        let mut seqs: Vec<u64> = std::fs::read_dir(&config.dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| parse_segment_seq(&e.file_name().to_string_lossy()))
+            .collect();
+        seqs.sort_unstable();
+
+        let mut stats = AuditStats::default();
+        let mut segments = VecDeque::new();
+        let mut recent = VecDeque::new();
+        for &seq in &seqs {
+            let path = segment_path(&config.dir, seq);
+            let (records, truncated) = recover_segment(&path)?;
+            if truncated {
+                stats.recovery_truncations += 1;
+            }
+            stats.records_recovered += records.len() as u64;
+            let bytes = std::fs::metadata(&path)?.len();
+            segments.push_back((seq, path, bytes));
+            for r in records {
+                if recent.len() == config.recent_cap {
+                    recent.pop_front();
+                }
+                recent.push_back(r);
+            }
+        }
+
+        let seq = seqs.last().copied().unwrap_or(0);
+        let path = segment_path(&config.dir, seq);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let bytes = file.metadata()?.len();
+        if segments.is_empty() {
+            segments.push_back((seq, path.clone(), bytes));
+        }
+        stats.segments = segments.len() as u64;
+        stats.total_bytes = segments.iter().map(|(_, _, b)| b).sum();
+
+        let log = AuditLog {
+            config,
+            inner: Mutex::new(Inner {
+                active: ActiveSegment {
+                    file,
+                    seq,
+                    bytes,
+                    opened: Instant::now(),
+                },
+                segments,
+                recent,
+                stats,
+                payload_buf: Vec::with_capacity(256),
+                frame_buf: Vec::with_capacity(256),
+            }),
+        };
+        log.publish_gauges(&log.inner.lock().unwrap().stats);
+        Ok(log)
+    }
+
+    /// Appends one record: a single synchronous framed write, then
+    /// rotation/pruning bookkeeping. Returns any I/O error; the caller
+    /// decides whether that is fatal (the service logs and keeps serving).
+    /// This sits on every request's latency path, so it stays allocation-
+    /// free and defers gauge publication to [`AuditLog::publish_metrics`].
+    pub fn append(&self, record: AuditRecord) -> io::Result<()> {
+        let mut guard = self.inner.lock().unwrap();
+        let Inner {
+            active,
+            segments,
+            recent,
+            stats,
+            payload_buf,
+            frame_buf,
+        } = &mut *guard;
+        payload_buf.clear();
+        record.encode_payload_into(payload_buf);
+        frame_buf.clear();
+        write_frame(payload_buf, frame_buf);
+        active.file.write_all(frame_buf)?;
+        active.bytes += frame_buf.len() as u64;
+        stats.total_bytes += frame_buf.len() as u64;
+        stats.records_appended += 1;
+        if let Some(back) = segments.back_mut() {
+            back.2 = active.bytes;
+        }
+        records_total_metric().add(1);
+
+        if self.config.recent_cap > 0 {
+            if recent.len() == self.config.recent_cap {
+                recent.pop_front();
+            }
+            recent.push_back(record);
+        }
+
+        let over_size = active.bytes >= self.config.max_segment_bytes;
+        let over_age = self.config.max_segment_age_secs > 0
+            && active.opened.elapsed().as_secs() >= self.config.max_segment_age_secs;
+        if over_size || over_age {
+            let inner = &mut *guard;
+            self.rotate(inner)?;
+            inner.stats.segments = inner.segments.len() as u64;
+            inner.stats.total_bytes = inner.segments.iter().map(|(_, _, b)| b).sum();
+            self.publish_gauges(&inner.stats);
+        }
+        Ok(())
+    }
+
+    fn rotate(&self, inner: &mut Inner) -> io::Result<()> {
+        let seq = inner.active.seq + 1;
+        let path = segment_path(&self.config.dir, seq);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        inner.active = ActiveSegment {
+            file,
+            seq,
+            bytes: 0,
+            opened: Instant::now(),
+        };
+        inner.segments.push_back((seq, path, 0));
+        inner.stats.rotations += 1;
+        rotations_total_metric().add(1);
+        while inner.segments.len() > self.config.max_segments.max(1) {
+            if let Some((_, old, _)) = inner.segments.pop_front() {
+                // Best-effort: a failed unlink only delays pruning.
+                let _ = std::fs::remove_file(old);
+                inner.stats.pruned += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The most recent `n` records, newest first.
+    pub fn recent(&self, n: usize) -> Vec<AuditRecord> {
+        let inner = self.inner.lock().unwrap();
+        inner.recent.iter().rev().take(n).cloned().collect()
+    }
+
+    /// The `n` worst offenders among recent records, sorted descending by
+    /// `key`. Ties keep the newer record first.
+    pub fn top(&self, n: usize, key: impl Fn(&AuditRecord) -> u64) -> Vec<AuditRecord> {
+        let inner = self.inner.lock().unwrap();
+        let mut rows: Vec<&AuditRecord> = inner.recent.iter().collect();
+        // Stable sort over newest-first order keeps newer exemplars on ties.
+        rows.reverse();
+        rows.sort_by_key(|r| std::cmp::Reverse(key(r)));
+        rows.into_iter().take(n).cloned().collect()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> AuditStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Re-publishes the segment/byte gauges from the current stats.
+    /// Appends defer this to scrape time to stay off the latency path;
+    /// call it before rendering `/metrics`.
+    pub fn publish_metrics(&self) {
+        let stats = self.inner.lock().unwrap().stats;
+        self.publish_gauges(&stats);
+    }
+
+    /// The directory this log writes to.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    fn publish_gauges(&self, stats: &AuditStats) {
+        segments_metric().set(stats.segments as i64);
+        bytes_metric().set(stats.total_bytes as i64);
+    }
+}
+
+/// Offline reader for `p3 audit DIR`: scans every segment in sequence
+/// order WITHOUT truncating bad tails (read-only), returning all valid
+/// records plus the number of segments whose scan stopped dirty.
+pub fn read_dir(dir: &Path) -> io::Result<(Vec<AuditRecord>, u64)> {
+    let mut seqs: Vec<u64> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| parse_segment_seq(&e.file_name().to_string_lossy()))
+        .collect();
+    seqs.sort_unstable();
+    let mut records = Vec::new();
+    let mut dirty = 0u64;
+    for seq in seqs {
+        let mut buf = Vec::new();
+        File::open(segment_path(dir, seq))?.read_to_end(&mut buf)?;
+        let scan = scan_with(&buf, |payload| match AuditRecord::decode_payload(payload) {
+            Some(r) => {
+                records.push(r);
+                true
+            }
+            None => false,
+        });
+        if scan.stop != ScanStop::Clean {
+            dirty += 1;
+        }
+    }
+    Ok((records, dirty))
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+fn records_total_metric() -> &'static p3_obs::metrics::Counter {
+    p3_obs::counter!(
+        "p3_audit_records_total",
+        "Audit records appended to the on-disk audit log"
+    )
+}
+
+fn rotations_total_metric() -> &'static p3_obs::metrics::Counter {
+    p3_obs::counter!(
+        "p3_audit_rotations_total",
+        "Audit segment rotations (size- or age-triggered)"
+    )
+}
+
+fn segments_metric() -> &'static p3_obs::metrics::Gauge {
+    p3_obs::gauge!("p3_audit_segments", "Audit segments currently on disk")
+}
+
+fn bytes_metric() -> &'static p3_obs::metrics::Gauge {
+    p3_obs::gauge!(
+        "p3_audit_log_bytes",
+        "Total bytes across all audit segments"
+    )
+}
+
+/// Registers every `p3_audit_*` metric family with the global registry.
+pub fn register_metrics() {
+    records_total_metric();
+    rotations_total_metric();
+    segments_metric();
+    bytes_metric();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Outcome, StageTiming};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "p3-audit-test-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(i: u64) -> AuditRecord {
+        AuditRecord {
+            ts_ms: 1_000 + i,
+            trace: format!("tr-{i}"),
+            class: "probability".into(),
+            eval_mode: "naive".into(),
+            query_hash: i,
+            outcome: Outcome::Ok,
+            queue_wait_us: i,
+            execute_us: 10 * i,
+            total_us: 11 * i,
+            stages: vec![StageTiming {
+                name: "extract".into(),
+                wall_us: 9 * i,
+            }],
+            derived_tuples: 100 - i.min(100),
+            dnf_monomials: i % 7,
+            dnf_literals: i % 13,
+            ..AuditRecord::default()
+        }
+    }
+
+    #[test]
+    fn append_recover_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let log = AuditLog::open(AuditConfig::new(&dir)).unwrap();
+        for i in 0..20 {
+            log.append(rec(i)).unwrap();
+        }
+        assert_eq!(log.stats().records_appended, 20);
+        drop(log);
+
+        let log = AuditLog::open(AuditConfig::new(&dir)).unwrap();
+        let stats = log.stats();
+        assert_eq!(stats.records_recovered, 20);
+        assert_eq!(stats.recovery_truncations, 0);
+        let recent = log.recent(5);
+        assert_eq!(recent.len(), 5);
+        assert_eq!(recent[0], rec(19), "newest first");
+        assert_eq!(recent[4], rec(15));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmpdir("torn");
+        let log = AuditLog::open(AuditConfig::new(&dir)).unwrap();
+        for i in 0..5 {
+            log.append(rec(i)).unwrap();
+        }
+        drop(log);
+
+        let seg = segment_path(&dir, 0);
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let log = AuditLog::open(AuditConfig::new(&dir)).unwrap();
+        let stats = log.stats();
+        assert_eq!(stats.records_recovered, 4, "whole frames survive");
+        assert_eq!(stats.recovery_truncations, 1);
+        // The log keeps appending cleanly after truncation.
+        log.append(rec(99)).unwrap();
+        drop(log);
+        let log = AuditLog::open(AuditConfig::new(&dir)).unwrap();
+        assert_eq!(log.stats().records_recovered, 5);
+        assert_eq!(log.stats().recovery_truncations, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_bounds_the_ring() {
+        let dir = tmpdir("ring");
+        let mut config = AuditConfig::new(&dir);
+        config.max_segment_bytes = 256;
+        config.max_segments = 3;
+        let log = AuditLog::open(config).unwrap();
+        for i in 0..100 {
+            log.append(rec(i)).unwrap();
+        }
+        let stats = log.stats();
+        assert!(stats.rotations > 0, "{stats:?}");
+        assert!(stats.pruned > 0, "{stats:?}");
+        assert!(stats.segments <= 3, "{stats:?}");
+        let on_disk = std::fs::read_dir(&dir).unwrap().count();
+        assert!(on_disk <= 3, "ring leaked segments: {on_disk}");
+        // Recovery over the ring sees only retained records.
+        drop(log);
+        let log = AuditLog::open(AuditConfig::new(&dir)).unwrap();
+        let recovered = log.stats().records_recovered;
+        assert!(recovered < 100 && recovered > 0, "{recovered}");
+        let recent = log.recent(1);
+        assert_eq!(recent[0].trace, "tr-99", "newest record survives the ring");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn top_sorts_by_key_descending() {
+        let dir = tmpdir("top");
+        let log = AuditLog::open(AuditConfig::new(&dir)).unwrap();
+        for i in 0..10 {
+            log.append(rec(i)).unwrap();
+        }
+        let top = log.top(3, |r| r.execute_us);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].execute_us, 90);
+        assert_eq!(top[1].execute_us, 80);
+        assert_eq!(top[2].execute_us, 70);
+        let by_tuples = log.top(2, |r| r.derived_tuples);
+        assert_eq!(by_tuples[0].derived_tuples, 100);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_trace_survives_disk_round_trip() {
+        let dir = tmpdir("hostile");
+        let log = AuditLog::open(AuditConfig::new(&dir)).unwrap();
+        let mut r = rec(0);
+        r.trace = "tr\n\"inject\":1}\u{7}\u{1F980} \\".into();
+        log.append(r.clone()).unwrap();
+        log.append(rec(1)).unwrap();
+        drop(log);
+        let log = AuditLog::open(AuditConfig::new(&dir)).unwrap();
+        assert_eq!(log.stats().records_recovered, 2, "framing survived");
+        assert_eq!(log.stats().recovery_truncations, 0);
+        assert_eq!(log.recent(2)[1], r);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_dir_is_read_only() {
+        let dir = tmpdir("readdir");
+        let log = AuditLog::open(AuditConfig::new(&dir)).unwrap();
+        for i in 0..3 {
+            log.append(rec(i)).unwrap();
+        }
+        drop(log);
+        let seg = segment_path(&dir, 0);
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 1).unwrap();
+        drop(f);
+        let (records, dirty) = read_dir(&dir).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(dirty, 1);
+        // File untouched by the reader.
+        assert_eq!(std::fs::metadata(&seg).unwrap().len(), len - 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,11 +17,18 @@
 //! * [`profile`]: a sampling wall-clock profiler over the live span
 //!   stacks, emitting folded-stack lines for `flamegraph.pl`/speedscope
 //!   (the admin plane's `GET /profile` endpoint).
+//! * [`slo`]: a rolling-window SLO engine — per-class latency
+//!   objectives, multi-window burn rates, error-budget accounting
+//!   (the admin plane's `GET /slo` endpoint and `/readyz` gate).
+//! * [`process`]: `p3_build_info` and process self-metrics (RSS, open
+//!   fds, uptime) sampled from `/proc/self`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod log;
 pub mod metrics;
+pub mod process;
 pub mod profile;
+pub mod slo;
 pub mod span;

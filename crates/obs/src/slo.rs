@@ -1,0 +1,425 @@
+//! Rolling-window SLO engine: per-class latency objectives, multi-window
+//! burn rates, and error-budget accounting.
+//!
+//! An objective says "fraction `objective` of CLASS requests finish OK
+//! within `target_ms`". Every finished request becomes one event (good
+//! or bad) timestamped in unix milliseconds; timestamps are passed in by
+//! the caller so tests can drive window boundaries deterministically.
+//!
+//! Burn rate is the classic SRE ratio: `bad_fraction / (1 − objective)`.
+//! Burning at rate 1 spends exactly the error budget; rate 10 exhausts a
+//! 30-day budget in 3 days. Two windows are tracked per class:
+//!
+//! * **fast** — 5 minutes, paging threshold 14.4 (2% of a 30-day budget
+//!   in one hour). This is the window that can 503 `/readyz`.
+//! * **slow** — 1 hour, ticket threshold 6.0.
+//!
+//! A window with fewer than [`MIN_EVENTS`] events never trips: one bad
+//! request in an idle minute is not an incident. Windows are half-open
+//! `(now − w, now]`, so an event exactly `w` ms old has just left.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Fast (paging) window length in milliseconds: 5 minutes.
+pub const FAST_WINDOW_MS: u64 = 5 * 60 * 1000;
+/// Slow (ticket) window length in milliseconds: 1 hour.
+pub const SLOW_WINDOW_MS: u64 = 60 * 60 * 1000;
+/// Fast-window burn rate at or above which the objective trips.
+pub const FAST_BURN_TRIP: f64 = 14.4;
+/// Slow-window burn rate at or above which the objective trips.
+pub const SLOW_BURN_TRIP: f64 = 6.0;
+/// Minimum events in a window before its burn rate can trip.
+pub const MIN_EVENTS: u64 = 10;
+/// Hard cap on retained events per class (memory bound).
+const MAX_EVENTS: usize = 65_536;
+
+/// One latency objective: "`objective` of `class` requests finish OK
+/// within `target_ms`".
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloConfig {
+    /// Request class the objective applies to (`probability`, ...).
+    pub class: String,
+    /// Latency target in milliseconds.
+    pub target_ms: u64,
+    /// Good-request objective as a fraction in (0, 1), e.g. `0.99`.
+    pub objective: f64,
+}
+
+impl SloConfig {
+    /// Parses the CLI form `CLASS:TARGET_MS:OBJECTIVE`, e.g.
+    /// `probability:500:0.99`.
+    pub fn parse(spec: &str) -> Result<SloConfig, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let [class, target, objective] = parts.as_slice() else {
+            return Err(format!(
+                "bad SLO spec {spec:?}: want CLASS:TARGET_MS:OBJECTIVE"
+            ));
+        };
+        if class.is_empty() {
+            return Err(format!("bad SLO spec {spec:?}: empty class"));
+        }
+        let target_ms: u64 = target
+            .parse()
+            .map_err(|_| format!("bad SLO spec {spec:?}: target {target:?} is not an integer"))?;
+        if target_ms == 0 {
+            return Err(format!("bad SLO spec {spec:?}: target must be positive"));
+        }
+        let objective: f64 = objective.parse().map_err(|_| {
+            format!("bad SLO spec {spec:?}: objective {objective:?} is not a number")
+        })?;
+        if !(objective > 0.0 && objective < 1.0) {
+            return Err(format!(
+                "bad SLO spec {spec:?}: objective must be in (0, 1)"
+            ));
+        }
+        Ok(SloConfig {
+            class: class.to_string(),
+            target_ms,
+            objective,
+        })
+    }
+}
+
+/// One window's burn accounting at a point in time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowBurn {
+    /// Events inside the window.
+    pub events: u64,
+    /// Bad events (failed or over-target) inside the window.
+    pub bad: u64,
+    /// `bad_fraction / (1 − objective)`; 0.0 for an empty window.
+    pub burn_rate: f64,
+    /// Whether this window is at or over its trip threshold (respecting
+    /// the [`MIN_EVENTS`] guard).
+    pub tripped: bool,
+}
+
+/// One class objective's full status snapshot.
+#[derive(Clone, Debug)]
+pub struct SloStatus {
+    /// The objective being reported.
+    pub config: SloConfig,
+    /// 5-minute window burn.
+    pub fast: WindowBurn,
+    /// 1-hour window burn.
+    pub slow: WindowBurn,
+    /// Fraction of the slow window's error budget still unspent:
+    /// `1 − slow.burn_rate`, clamped below at −… no clamp — negative
+    /// means the budget is overspent by that multiple.
+    pub budget_remaining: f64,
+}
+
+#[derive(Clone, Copy)]
+struct Event {
+    ts_ms: u64,
+    good: bool,
+}
+
+struct ClassTrack {
+    config: SloConfig,
+    events: VecDeque<Event>,
+}
+
+/// Thread-safe rolling-window SLO tracker for a fixed set of objectives.
+pub struct SloEngine {
+    classes: Mutex<Vec<ClassTrack>>,
+}
+
+impl SloEngine {
+    /// An engine tracking `configs`. Later duplicates of a class replace
+    /// earlier ones, so CLI overrides can follow built-in defaults.
+    pub fn new(configs: Vec<SloConfig>) -> SloEngine {
+        let mut by_class: HashMap<String, SloConfig> = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for c in configs {
+            if !by_class.contains_key(&c.class) {
+                order.push(c.class.clone());
+            }
+            by_class.insert(c.class.clone(), c);
+        }
+        let classes = order
+            .into_iter()
+            .map(|name| ClassTrack {
+                config: by_class.remove(&name).unwrap(),
+                events: VecDeque::new(),
+            })
+            .collect();
+        SloEngine {
+            classes: Mutex::new(classes),
+        }
+    }
+
+    /// The tracked objectives, in registration order.
+    pub fn configs(&self) -> Vec<SloConfig> {
+        self.classes
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|t| t.config.clone())
+            .collect()
+    }
+
+    /// Records one finished request for `class` at `now_ms`. `ok` is the
+    /// request outcome; the event is *good* iff `ok` and `latency_ms`
+    /// is within the class target. Classes without an objective are
+    /// ignored. Timestamps may arrive slightly out of order; pruning
+    /// only trusts the newest timestamp seen.
+    pub fn record(&self, class: &str, now_ms: u64, ok: bool, latency_ms: u64) {
+        let mut classes = self.classes.lock().unwrap();
+        let Some(track) = classes.iter_mut().find(|t| t.config.class == class) else {
+            return;
+        };
+        let good = ok && latency_ms <= track.config.target_ms;
+        track.events.push_back(Event {
+            ts_ms: now_ms,
+            good,
+        });
+        // Bound memory: time-based pruning against the slow window, plus a
+        // hard cap for pathological event rates.
+        let cutoff = now_ms.saturating_sub(SLOW_WINDOW_MS);
+        while let Some(front) = track.events.front() {
+            if front.ts_ms <= cutoff || track.events.len() > MAX_EVENTS {
+                track.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Snapshot of every objective's burn state at `now_ms`.
+    pub fn status(&self, now_ms: u64) -> Vec<SloStatus> {
+        let classes = self.classes.lock().unwrap();
+        classes
+            .iter()
+            .map(|track| {
+                let fast = window_burn(track, now_ms, FAST_WINDOW_MS, FAST_BURN_TRIP);
+                let slow = window_burn(track, now_ms, SLOW_WINDOW_MS, SLOW_BURN_TRIP);
+                SloStatus {
+                    config: track.config.clone(),
+                    fast,
+                    slow,
+                    budget_remaining: 1.0 - slow.burn_rate,
+                }
+            })
+            .collect()
+    }
+
+    /// True when any objective's fast window is tripped — the signal
+    /// `/readyz` turns into a 503 under `--slo-readyz`.
+    pub fn any_fast_trip(&self, now_ms: u64) -> bool {
+        self.status(now_ms).iter().any(|s| s.fast.tripped)
+    }
+
+    /// Publishes per-class burn-rate gauges (milli-units, since gauges
+    /// are integers) to the global metrics registry.
+    pub fn publish(&self, now_ms: u64) {
+        for s in self.status(now_ms) {
+            let labels = crate::metrics::render_labels(&[("class", &s.config.class)]);
+            crate::metrics::labeled_gauge(
+                "p3_slo_fast_burn_milli",
+                "5-minute SLO burn rate x1000, per request class",
+                &labels,
+            )
+            .set((s.fast.burn_rate * 1000.0) as i64);
+            crate::metrics::labeled_gauge(
+                "p3_slo_slow_burn_milli",
+                "1-hour SLO burn rate x1000, per request class",
+                &labels,
+            )
+            .set((s.slow.burn_rate * 1000.0) as i64);
+        }
+    }
+}
+
+fn window_burn(track: &ClassTrack, now_ms: u64, window_ms: u64, trip: f64) -> WindowBurn {
+    let cutoff = now_ms.saturating_sub(window_ms);
+    let mut events = 0u64;
+    let mut bad = 0u64;
+    // Newest events live at the back; stop at the first one past the cutoff.
+    for e in track.events.iter().rev() {
+        if e.ts_ms <= cutoff || e.ts_ms > now_ms {
+            if e.ts_ms <= cutoff {
+                break;
+            }
+            continue; // future-stamped event (clock skew): not in window
+        }
+        events += 1;
+        if !e.good {
+            bad += 1;
+        }
+    }
+    let burn_rate = if events == 0 {
+        0.0
+    } else {
+        let bad_fraction = bad as f64 / events as f64;
+        bad_fraction / (1.0 - track.config.objective)
+    };
+    WindowBurn {
+        events,
+        bad,
+        burn_rate,
+        tripped: events >= MIN_EVENTS && burn_rate >= trip,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(objective: f64, target_ms: u64) -> SloEngine {
+        SloEngine::new(vec![SloConfig {
+            class: "probability".into(),
+            target_ms,
+            objective,
+        }])
+    }
+
+    #[test]
+    fn spec_parsing() {
+        let c = SloConfig::parse("probability:500:0.99").unwrap();
+        assert_eq!(c.class, "probability");
+        assert_eq!(c.target_ms, 500);
+        assert!((c.objective - 0.99).abs() < 1e-12);
+        for bad in [
+            "",
+            "probability",
+            "probability:500",
+            "p:0:0.99",
+            "p:x:0.99",
+            "p:500:1.0",
+            "p:500:0",
+            "p:500:nan",
+            ":500:0.99",
+            "p:500:0.99:extra",
+        ] {
+            assert!(SloConfig::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn empty_window_has_zero_burn_and_no_trip() {
+        let e = engine(0.99, 500);
+        let status = &e.status(1_000_000)[0];
+        assert_eq!(status.fast.events, 0);
+        assert_eq!(status.fast.burn_rate, 0.0);
+        assert!(!status.fast.tripped);
+        assert!(!status.slow.tripped);
+        assert_eq!(status.budget_remaining, 1.0);
+        assert!(!e.any_fast_trip(1_000_000));
+    }
+
+    #[test]
+    fn single_bad_sample_never_trips() {
+        let e = engine(0.99, 500);
+        e.record("probability", 1_000, false, 10);
+        let status = &e.status(1_000)[0];
+        assert_eq!(status.fast.events, 1);
+        assert_eq!(status.fast.bad, 1);
+        // 100% bad over a 1% budget = burn 100, but one event is below
+        // the MIN_EVENTS guard.
+        assert!((status.fast.burn_rate - 100.0).abs() < 1e-9);
+        assert!(!status.fast.tripped, "min-events guard must hold");
+    }
+
+    #[test]
+    fn sustained_badness_trips_fast_window() {
+        let e = engine(0.99, 500);
+        for i in 0..20 {
+            e.record("probability", 1_000 + i, false, 1_000);
+        }
+        let status = &e.status(2_000)[0];
+        assert_eq!(status.fast.events, 20);
+        assert!(status.fast.tripped);
+        assert!(e.any_fast_trip(2_000));
+        assert!(status.budget_remaining < 0.0, "budget overspent");
+    }
+
+    #[test]
+    fn slow_latency_is_bad_even_when_ok() {
+        let e = engine(0.5, 100);
+        for i in 0..10 {
+            e.record("probability", 1_000 + i, true, 500); // ok but over target
+        }
+        let status = &e.status(2_000)[0];
+        assert_eq!(status.fast.bad, 10, "over-target latency counts as bad");
+        // bad_fraction 1.0 over a 50% budget = burn 2.0, under both trips.
+        assert!((status.fast.burn_rate - 2.0).abs() < 1e-9);
+        assert!(!status.fast.tripped);
+    }
+
+    #[test]
+    fn window_boundary_is_half_open() {
+        let e = engine(0.99, 500);
+        let now = 10_000_000;
+        // Exactly FAST_WINDOW_MS old: just outside the fast window.
+        e.record("probability", now - FAST_WINDOW_MS, false, 10);
+        // One ms younger: inside.
+        e.record("probability", now - FAST_WINDOW_MS + 1, false, 10);
+        let status = &e.status(now)[0];
+        assert_eq!(status.fast.events, 1, "boundary event must be excluded");
+        assert_eq!(status.slow.events, 2, "both inside the slow window");
+    }
+
+    #[test]
+    fn events_age_out_of_all_windows() {
+        let e = engine(0.99, 500);
+        for i in 0..50 {
+            e.record("probability", 1_000 + i, false, 10);
+        }
+        // Far future: everything has aged out.
+        let later = 1_000 + SLOW_WINDOW_MS + 10_000;
+        let status = &e.status(later)[0];
+        assert_eq!(status.fast.events, 0);
+        assert_eq!(status.slow.events, 0);
+        assert_eq!(status.slow.burn_rate, 0.0);
+        assert!(!e.any_fast_trip(later));
+        // And a new record at `later` prunes the stale queue.
+        e.record("probability", later, true, 10);
+        let status = &e.status(later)[0];
+        assert_eq!(status.slow.events, 1);
+    }
+
+    #[test]
+    fn good_traffic_dilutes_burn_below_trip() {
+        let e = engine(0.9, 500);
+        // 10% bad over a 10% budget: burn rate exactly 1.0 — healthy.
+        for i in 0..90 {
+            e.record("probability", 5_000 + i, true, 10);
+        }
+        for i in 0..10 {
+            e.record("probability", 5_100 + i, false, 10);
+        }
+        let status = &e.status(6_000)[0];
+        assert!((status.fast.burn_rate - 1.0).abs() < 1e-9);
+        assert!(!status.fast.tripped);
+        assert!((status.budget_remaining - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_class_is_ignored() {
+        let e = engine(0.99, 500);
+        e.record("no-such-class", 1_000, false, 10);
+        assert_eq!(e.status(1_000)[0].slow.events, 0);
+    }
+
+    #[test]
+    fn duplicate_configs_last_wins() {
+        let e = SloEngine::new(vec![
+            SloConfig {
+                class: "probability".into(),
+                target_ms: 500,
+                objective: 0.99,
+            },
+            SloConfig {
+                class: "probability".into(),
+                target_ms: 100,
+                objective: 0.5,
+            },
+        ]);
+        let configs = e.configs();
+        assert_eq!(configs.len(), 1);
+        assert_eq!(configs[0].target_ms, 100);
+    }
+}

@@ -14,15 +14,31 @@
 //! * `GET /traces?n=N` — the `N` most recent request span trees as
 //!   chrome://tracing JSON (load in `chrome://tracing` or Perfetto);
 //! * `GET /profile?secs=S` — samples the worker pool's live span stacks
-//!   for `S` seconds (clamped to 1..=30) and returns folded-stack lines
-//!   for `flamegraph.pl` or speedscope.
+//!   for `S` seconds (1..=30) and returns folded-stack lines for
+//!   `flamegraph.pl` or speedscope;
+//! * `GET /audit?n=N` — the `N` most recent audit records (newest first)
+//!   with the audit log's counters;
+//! * `GET /audit/top?by=latency|tuples|dnf_width&n=N` — worst offenders
+//!   from the audit ring, each carrying its trace id as the exemplar
+//!   link into `/traces`;
+//! * `GET /slo` — per-class burn rates, window trip state, and error
+//!   budgets (503s `/readyz` when fast-burn trips under `--slo-readyz`).
+//!
+//! Integer query parameters are validated, not silently defaulted: a
+//! non-numeric or out-of-range `n`/`secs` is a 400 with a JSON error
+//! body naming the parameter and its documented range (`n` ≤ 256 on
+//! `/traces`, `secs` ≤ 30 on `/profile`, `n` ≤ 1000 on the audit
+//! routes). An *absent* parameter takes the documented default.
 //!
 //! Every response carries `Content-Length` and `Connection: close`; one
 //! request per connection keeps the loop trivial and is plenty for
 //! scrapers and probes. Unknown paths get 404, non-GET methods 405 with
 //! an `Allow: GET` header.
 
-use crate::server::{refresh_gauges, Shared};
+use crate::protocol::AuditKey;
+use crate::server::{
+    audit_tail_snapshot, audit_top_snapshot, refresh_gauges, slo_snapshot, Shared,
+};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
@@ -33,6 +49,12 @@ const POLL: Duration = Duration::from_millis(25);
 
 /// Longest `/profile` sampling window, seconds.
 const MAX_PROFILE_SECS: u64 = 30;
+
+/// Largest `n` accepted by `/traces`.
+const MAX_TRACE_N: u64 = 256;
+
+/// Largest `n` accepted by `/audit` and `/audit/top`.
+const MAX_AUDIT_N: u64 = 1000;
 
 /// Largest request head we will buffer before giving up on a client.
 const MAX_HEAD_BYTES: usize = 8 * 1024;
@@ -148,6 +170,42 @@ fn query_param(target: &str, key: &str) -> Option<String> {
         .map(|(_, v)| v.to_string())
 }
 
+/// A 400 with a JSON error body naming the offending parameter. The raw
+/// value is client-controlled, so it is echoed as its own JSON string
+/// field (`json_escape` quotes as well as escapes), never spliced into
+/// the error message.
+fn bad_param(key: &str, raw: &str, min: u64, max: u64) -> HttpResponse {
+    HttpResponse {
+        status: 400,
+        content_type: "application/json",
+        body: format!(
+            "{{\"error\":\"query parameter '{key}' must be an integer in \
+             {min}..={max}\",\"got\":{}}}\n",
+            p3_audit::json_escape(raw)
+        ),
+        allow: None,
+    }
+}
+
+/// Parses integer query parameter `key`: absent means `default`;
+/// non-numeric or outside `min..=max` is a 400 (never a silent default
+/// or clamp — a typo in a dashboard URL should fail loudly).
+fn parse_count(
+    target: &str,
+    key: &str,
+    default: u64,
+    min: u64,
+    max: u64,
+) -> Result<u64, HttpResponse> {
+    let Some(raw) = query_param(target, key) else {
+        return Ok(default);
+    };
+    match raw.parse::<u64>() {
+        Ok(v) if (min..=max).contains(&v) => Ok(v),
+        _ => Err(bad_param(key, &raw, min, max)),
+    }
+}
+
 /// Routes one request. Pure (modulo reading server state), so tests can
 /// exercise every path without a socket.
 pub(crate) fn respond(method: &str, target: &str, shared: &Shared) -> HttpResponse {
@@ -174,9 +232,10 @@ pub(crate) fn respond(method: &str, target: &str, shared: &Shared) -> HttpRespon
             )
         }
         "/traces" => {
-            let n = query_param(target, "n")
-                .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or(10);
+            let n = match parse_count(target, "n", 10, 1, MAX_TRACE_N) {
+                Ok(n) => n as usize,
+                Err(resp) => return resp,
+            };
             let trees = p3_obs::span::recent_roots(Some("request"), n);
             HttpResponse::ok(
                 "application/json",
@@ -184,16 +243,55 @@ pub(crate) fn respond(method: &str, target: &str, shared: &Shared) -> HttpRespon
             )
         }
         "/profile" => {
-            let secs = query_param(target, "secs")
-                .and_then(|v| v.parse::<u64>().ok())
-                .unwrap_or(1)
-                .clamp(1, MAX_PROFILE_SECS);
+            let secs = match parse_count(target, "secs", 1, 1, MAX_PROFILE_SECS) {
+                Ok(secs) => secs,
+                Err(resp) => return resp,
+            };
             let folded = p3_obs::profile::sample_folded(
                 Duration::from_secs(secs),
                 p3_obs::profile::DEFAULT_INTERVAL,
             );
             HttpResponse::ok("text/plain; charset=utf-8", folded)
         }
+        "/audit" => {
+            let n = match parse_count(target, "n", 100, 1, MAX_AUDIT_N) {
+                Ok(n) => n as usize,
+                Err(resp) => return resp,
+            };
+            HttpResponse::ok(
+                "application/json",
+                audit_tail_snapshot(shared, n).to_json() + "\n",
+            )
+        }
+        "/audit/top" => {
+            let n = match parse_count(target, "n", 10, 1, MAX_AUDIT_N) {
+                Ok(n) => n as usize,
+                Err(resp) => return resp,
+            };
+            let by = match query_param(target, "by").as_deref() {
+                None => AuditKey::Latency,
+                Some(raw) => match AuditKey::parse(raw) {
+                    Ok(by) => by,
+                    Err(_) => {
+                        return HttpResponse {
+                            status: 400,
+                            content_type: "application/json",
+                            body: format!(
+                                "{{\"error\":\"query parameter 'by' must be \
+                                 latency, tuples or dnf_width\",\"got\":{}}}\n",
+                                p3_audit::json_escape(raw)
+                            ),
+                            allow: None,
+                        }
+                    }
+                },
+            };
+            HttpResponse::ok(
+                "application/json",
+                audit_top_snapshot(shared, by, n).to_json() + "\n",
+            )
+        }
+        "/slo" => HttpResponse::ok("application/json", slo_snapshot(shared).to_json() + "\n"),
         _ => HttpResponse::text(404, format!("no such route: {path}\n")),
     }
 }
@@ -279,6 +377,96 @@ mod tests {
         );
         assert_eq!(query_param("/traces", "n"), None);
         assert_eq!(query_param("/traces?m=2", "n"), None);
+    }
+
+    #[test]
+    fn bad_integer_params_are_400_with_json_bodies() {
+        let shared = test_shared(2, 10);
+        for target in [
+            "/traces?n=abc",
+            "/traces?n=-1",
+            "/traces?n=0",
+            "/traces?n=999999",
+            "/profile?secs=abc",
+            "/profile?secs=0",
+            "/profile?secs=31",
+            "/audit?n=xyz",
+            "/audit?n=1001",
+            "/audit/top?n=huge",
+        ] {
+            let resp = respond("GET", target, &shared);
+            assert_eq!(resp.status, 400, "{target}");
+            assert_eq!(resp.content_type, "application/json", "{target}");
+            assert!(resp.body.contains("\"error\""), "{target}: {}", resp.body);
+        }
+        // Hostile parameter values are escaped, not echoed raw.
+        let resp = respond("GET", "/traces?n=\"quoted\"", &shared);
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("\\\"quoted\\\""), "{}", resp.body);
+        // Absent parameters still take the documented defaults.
+        assert_eq!(respond("GET", "/traces", &shared).status, 200);
+        assert_eq!(respond("GET", "/audit", &shared).status, 200);
+    }
+
+    #[test]
+    fn audit_routes_report_disabled_without_a_log() {
+        let shared = test_shared(2, 10);
+        for target in ["/audit", "/audit/top?by=latency"] {
+            let resp = respond("GET", target, &shared);
+            assert_eq!(resp.status, 200, "{target}");
+            assert_eq!(resp.content_type, "application/json");
+            assert!(
+                resp.body.contains("\"enabled\":false"),
+                "{target}: {}",
+                resp.body
+            );
+        }
+        let resp = respond("GET", "/audit/top?by=bogus", &shared);
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("'by'"), "{}", resp.body);
+    }
+
+    #[test]
+    fn slo_route_reports_default_objectives() {
+        let shared = test_shared(2, 10);
+        let resp = respond("GET", "/slo", &shared);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "application/json");
+        for needle in [
+            "\"objectives\"",
+            "\"probability\"",
+            "\"modification\"",
+            "\"burn_rate\"",
+            "\"budget_remaining\"",
+            "\"any_fast_trip\":false",
+        ] {
+            assert!(resp.body.contains(needle), "{needle}: {}", resp.body);
+        }
+    }
+
+    #[test]
+    fn audit_routes_serve_records_when_enabled() {
+        let dir = std::env::temp_dir().join(format!(
+            "p3-admin-audit-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let shared =
+            crate::server::test_shared_with_audit(2, 10, Some(p3_audit::AuditConfig::new(&dir)));
+        // An inline admin op still funnels through handle_line, so it
+        // must leave exactly one audit record behind.
+        let _ = crate::server::test_handle_line(r#"{"op":"ping"}"#, &shared);
+        let resp = respond("GET", "/audit?n=5", &shared);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"enabled\":true"), "{}", resp.body);
+        assert!(resp.body.contains("\"class\":\"ping\""), "{}", resp.body);
+        let resp = respond("GET", "/audit/top?by=latency&n=5", &shared);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"by\":\"latency\""), "{}", resp.body);
+        assert!(resp.body.contains("\"class\":\"ping\""), "{}", resp.body);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -38,6 +38,10 @@ COMMANDS:
     stats                        server/session/store counters
     metrics                      Prometheus text exposition of all metrics
     trace [N]                    the N most recent request span trees [default: 10]
+    audit-tail [N]               the N most recent audit records [default: 20]
+    audit-top [N]                the N costliest audit records [default: 10]
+                                 (--by picks the ranking key)
+    slo                          per-class burn rates and error budgets
     ping                         liveness check
     persist                      compact the persistent store to a fresh snapshot
     warm                         what the store restored at boot (warm-boot report)
@@ -55,6 +59,8 @@ OPTIONS (where applicable):
     --threads N         pmc worker threads; 0 = auto
     --eps E             derivation error bound  [default: 0.01]
     --algo A            greedy|resuciu          [default: greedy]
+    --by K              audit-top ranking key: latency|tuples|dnf_width
+                        [default: latency]
     --top-k K           keep only the K most influential entries
     --tolerance T       modification tolerance  [default: 1e-6]
     --eval-mode M       evaluation mode override: auto|naive|demand
@@ -81,6 +87,7 @@ fn build_request(words: &[String]) -> Result<String, String> {
             "--eval-mode" => pairs.push(("eval_mode".into(), take("--eval-mode")?.as_str().into())),
             "--algo" => pairs.push(("algo".into(), take("--algo")?.as_str().into())),
             "--class" => pairs.push(("class".into(), take("--class")?.as_str().into())),
+            "--by" => pairs.push(("by".into(), take("--by")?.as_str().into())),
             opt @ ("--samples" | "--seed" | "--threads" | "--top-k" | "--timeout-ms"
             | "--hop-limit") => {
                 let key = match opt {
@@ -111,13 +118,13 @@ fn build_request(words: &[String]) -> Result<String, String> {
             .ok_or_else(|| format!("{cmd} needs a QUERY argument"))
     };
     match cmd {
-        "ping" | "stats" | "metrics" | "shutdown" | "persist" | "warm" | "store-stats" => {
+        "ping" | "stats" | "metrics" | "shutdown" | "persist" | "warm" | "store-stats" | "slo" => {
             pairs.insert(0, ("op".into(), cmd.into()))
         }
-        "trace" => {
+        "trace" | "audit-tail" | "audit-top" => {
             pairs.insert(0, ("op".into(), cmd.into()));
             if let Some(n) = positional.first() {
-                let n: u64 = n.parse().map_err(|_| "bad trace count")?;
+                let n: u64 = n.parse().map_err(|_| format!("bad {cmd} count"))?;
                 pairs.push(("n".into(), Value::from(n)));
             }
         }

@@ -4,6 +4,7 @@
 //! p3-serve --program FILE [--tcp ADDR] [--unix PATH] [--admin-addr ADDR]
 //!          [--workers N] [--queue-cap N] [--cache-cap N] [--eval-mode M]
 //!          [--timeout-ms N] [--slow-ms N] [--store-dir DIR]
+//!          [--audit-dir DIR] [--slo CLASS:TARGET_MS:OBJECTIVE]... [--slo-readyz]
 //! ```
 //!
 //! Prints one `listening tcp ADDR` / `listening unix PATH` /
@@ -42,6 +43,18 @@ OPTIONS:
                        and query memos to DIR and replay them on the next
                        start for a warm boot (stale stores — a different
                        program text — are discarded automatically)
+    --audit-dir DIR    per-request audit log: append one crash-safe record per
+                       request to a bounded segment ring in DIR (read back via
+                       audit-tail/audit-top ops, GET /audit, or `p3 audit DIR`)
+    --audit-segment-bytes N   rotate audit segments at N bytes [default: 4194304]
+    --audit-max-segments N    keep at most N audit segments [default: 8]
+    --audit-segment-age-secs N  also rotate segments older than N seconds;
+                       0 disables age-based rotation [default: 3600]
+    --slo SPEC         latency objective CLASS:TARGET_MS:OBJECTIVE, e.g.
+                       probability:500:0.99; repeatable, overrides the
+                       built-in 500ms/0.99 default for that class
+    --slo-readyz       turn a tripped 5-minute SLO burn window into a 503
+                       on GET /readyz (off by default)
     --no-lint          skip the lint pre-flight gate on the boot-time program
     -h, --help         print this help
 
@@ -64,6 +77,10 @@ fn main() -> ExitCode {
     let mut program: Option<PathBuf> = None;
     let mut lint = true;
     let mut config = ServerConfig::default();
+    let mut audit: Option<p3_audit::AuditConfig> = None;
+    let mut audit_segment_bytes: Option<u64> = None;
+    let mut audit_max_segments: Option<usize> = None;
+    let mut audit_segment_age_secs: Option<u64> = None;
 
     while let Some(arg) = args.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -131,6 +148,36 @@ fn main() -> ExitCode {
                 Ok(v) => config.store_dir = Some(PathBuf::from(v)),
                 Err(e) => return fail(&e),
             },
+            "--audit-dir" => match take("--audit-dir") {
+                Ok(v) => audit = Some(p3_audit::AuditConfig::new(v)),
+                Err(e) => return fail(&e),
+            },
+            "--audit-segment-bytes" => match take("--audit-segment-bytes").and_then(|v| {
+                v.parse()
+                    .map_err(|_| format!("bad --audit-segment-bytes value '{v}'"))
+            }) {
+                Ok(v) => audit_segment_bytes = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--audit-max-segments" => match take("--audit-max-segments").and_then(|v| {
+                v.parse()
+                    .map_err(|_| format!("bad --audit-max-segments value '{v}'"))
+            }) {
+                Ok(v) => audit_max_segments = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--audit-segment-age-secs" => match take("--audit-segment-age-secs").and_then(|v| {
+                v.parse()
+                    .map_err(|_| format!("bad --audit-segment-age-secs value '{v}'"))
+            }) {
+                Ok(v) => audit_segment_age_secs = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--slo" => match take("--slo").and_then(|v| p3_obs::slo::SloConfig::parse(&v)) {
+                Ok(v) => config.slos.push(v),
+                Err(e) => return fail(&e),
+            },
+            "--slo-readyz" => config.slo_readyz = true,
             "--no-lint" => lint = false,
             other => return fail(&format!("unknown argument '{other}'")),
         }
@@ -141,6 +188,23 @@ fn main() -> ExitCode {
     };
     if config.tcp.is_none() && config.unix.is_none() {
         return fail("need at least one of --tcp / --unix");
+    }
+    if let Some(mut cfg) = audit {
+        if let Some(bytes) = audit_segment_bytes {
+            cfg.max_segment_bytes = bytes;
+        }
+        if let Some(n) = audit_max_segments {
+            cfg.max_segments = n;
+        }
+        if let Some(secs) = audit_segment_age_secs {
+            cfg.max_segment_age_secs = secs;
+        }
+        config.audit = Some(cfg);
+    } else if audit_segment_bytes.is_some()
+        || audit_max_segments.is_some()
+        || audit_segment_age_secs.is_some()
+    {
+        return fail("--audit-segment-* options need --audit-dir");
     }
 
     let source = match std::fs::read_to_string(&program) {

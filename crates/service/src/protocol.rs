@@ -9,6 +9,7 @@
 //!              ["trace": "32-hex"], ...op fields }
 //! op       = "ping" | "stats" | "metrics" | "trace" | "shutdown"
 //!          | "persist" | "warm" | "store-stats"
+//!          | "audit-tail" | "audit-top" | "slo"
 //!          | "load-program"
 //!          | "probability" | "explanation" | "derivation"
 //!          | "influence" | "modification"
@@ -125,6 +126,54 @@ pub enum Op {
         /// The profiled query op.
         inner: Box<Op>,
     },
+    /// The `n` most recent audit records, newest first.
+    AuditTail {
+        /// How many records to return.
+        n: usize,
+    },
+    /// Worst offenders from the audit ring, ranked by a cost key.
+    AuditTop {
+        /// Ranking key: `latency`, `tuples`, or `dnf_width`.
+        by: AuditKey,
+        /// How many records to return.
+        n: usize,
+    },
+    /// SLO burn-rate and error-budget snapshot per request class.
+    Slo,
+}
+
+/// Ranking key for `audit-top` / `GET /audit/top`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditKey {
+    /// Total request latency (queue wait + execute), µs.
+    Latency,
+    /// Derived tuples materialised while answering.
+    Tuples,
+    /// DNF width: total literal count across monomials.
+    DnfWidth,
+}
+
+impl AuditKey {
+    /// Parses the wire/query-string spelling.
+    pub fn parse(s: &str) -> Result<AuditKey, String> {
+        match s {
+            "latency" => Ok(AuditKey::Latency),
+            "tuples" => Ok(AuditKey::Tuples),
+            "dnf_width" => Ok(AuditKey::DnfWidth),
+            other => Err(format!(
+                "unknown audit key '{other}' (expected latency|tuples|dnf_width)"
+            )),
+        }
+    }
+
+    /// The canonical spelling, echoed back in responses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AuditKey::Latency => "latency",
+            AuditKey::Tuples => "tuples",
+            AuditKey::DnfWidth => "dnf_width",
+        }
+    }
 }
 
 impl Op {
@@ -147,6 +196,25 @@ impl Op {
             Op::Influence { .. } => "influence",
             Op::Modification { .. } => "modification",
             Op::Profile { .. } => "profile",
+            Op::AuditTail { .. } => "audit-tail",
+            Op::AuditTop { .. } => "audit-top",
+            Op::Slo => "slo",
+        }
+    }
+
+    /// The query text carried by this op, when it has one — the five
+    /// query classes plus `profile` (which reports its inner query).
+    /// Used for audit-record query hashing; the text itself is never
+    /// persisted.
+    pub fn query_text(&self) -> Option<&str> {
+        match self {
+            Op::Probability { query, .. }
+            | Op::Explanation { query, .. }
+            | Op::Derivation { query, .. }
+            | Op::Influence { query, .. }
+            | Op::Modification { query, .. } => Some(query),
+            Op::Profile { inner } => inner.query_text(),
+            _ => None,
         }
     }
 
@@ -162,6 +230,9 @@ impl Op {
                 | Op::Shutdown
                 | Op::Warm
                 | Op::StoreStats
+                | Op::AuditTail { .. }
+                | Op::AuditTop { .. }
+                | Op::Slo
         )
     }
 }
@@ -357,6 +428,20 @@ impl Request {
             "persist" => Op::Persist,
             "warm" => Op::Warm,
             "store-stats" => Op::StoreStats,
+            "audit-tail" => Op::AuditTail {
+                n: opt_u64(&v, "n")?.unwrap_or(20) as usize,
+            },
+            "audit-top" => Op::AuditTop {
+                by: match v.get("by") {
+                    None | Some(Value::Null) => AuditKey::Latency,
+                    Some(field) => match field.as_str() {
+                        Some(s) => AuditKey::parse(s)?,
+                        None => return Err("field 'by' must be a string".to_string()),
+                    },
+                },
+                n: opt_u64(&v, "n")?.unwrap_or(10) as usize,
+            },
+            "slo" => Op::Slo,
             "load-program" => {
                 let source = v.get("source").and_then(Value::as_str).map(str::to_string);
                 let path = v.get("path").and_then(Value::as_str).map(str::to_string);
@@ -523,6 +608,9 @@ mod tests {
             (r#"{"op":"persist"}"#, "persist"),
             (r#"{"op":"warm"}"#, "warm"),
             (r#"{"op":"store-stats"}"#, "store-stats"),
+            (r#"{"op":"audit-tail","n":5}"#, "audit-tail"),
+            (r#"{"op":"audit-top","by":"tuples"}"#, "audit-top"),
+            (r#"{"op":"slo"}"#, "slo"),
             (
                 r#"{"op":"load-program","source":"t 1.0: a(1)."}"#,
                 "load-program",
@@ -761,6 +849,15 @@ mod tests {
             .unwrap()
             .op
             .is_query());
+        assert!(!Request::parse(r#"{"op":"audit-tail"}"#)
+            .unwrap()
+            .op
+            .is_query());
+        assert!(!Request::parse(r#"{"op":"audit-top"}"#)
+            .unwrap()
+            .op
+            .is_query());
+        assert!(!Request::parse(r#"{"op":"slo"}"#).unwrap().op.is_query());
         assert!(Request::parse(r#"{"op":"persist"}"#).unwrap().op.is_query());
         assert!(Request::parse(r#"{"op":"probability","query":"a(1)"}"#)
             .unwrap()
@@ -774,6 +871,57 @@ mod tests {
             .unwrap()
             .op
             .is_query());
+    }
+
+    #[test]
+    fn audit_ops_parse_with_defaults_and_reject_bad_keys() {
+        match Request::parse(r#"{"op":"audit-tail"}"#).unwrap().op {
+            Op::AuditTail { n } => assert_eq!(n, 20),
+            ref other => panic!("{other:?}"),
+        }
+        match Request::parse(r#"{"op":"audit-top"}"#).unwrap().op {
+            Op::AuditTop { by, n } => {
+                assert_eq!(by, AuditKey::Latency);
+                assert_eq!(n, 10);
+            }
+            ref other => panic!("{other:?}"),
+        }
+        match Request::parse(r#"{"op":"audit-top","by":"dnf_width","n":3}"#)
+            .unwrap()
+            .op
+        {
+            Op::AuditTop { by, n } => {
+                assert_eq!(by, AuditKey::DnfWidth);
+                assert_eq!(n, 3);
+            }
+            ref other => panic!("{other:?}"),
+        }
+        for line in [
+            r#"{"op":"audit-top","by":"magic"}"#,
+            r#"{"op":"audit-top","by":7}"#,
+            r#"{"op":"audit-tail","n":-1}"#,
+        ] {
+            assert!(Request::parse(line).is_err(), "{line}");
+        }
+    }
+
+    #[test]
+    fn query_text_covers_query_classes_only() {
+        let q = Request::parse(r#"{"op":"probability","query":"a(1)"}"#).unwrap();
+        assert_eq!(q.op.query_text(), Some("a(1)"));
+        let p = Request::parse(r#"{"op":"profile","query":"a(2)"}"#).unwrap();
+        assert_eq!(p.op.query_text(), Some("a(2)"));
+        for line in [
+            r#"{"op":"ping"}"#,
+            r#"{"op":"slo"}"#,
+            r#"{"op":"lint","source":"t 1.0: a(1)."}"#,
+        ] {
+            assert_eq!(
+                Request::parse(line).unwrap().op.query_text(),
+                None,
+                "{line}"
+            );
+        }
     }
 
     #[test]

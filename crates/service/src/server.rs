@@ -23,12 +23,14 @@
 //!   and accept loops join, in that order.
 
 use crate::json::Value;
-use crate::protocol::{Op, Request, Response};
+use crate::protocol::{AuditKey, Op, Request, Response};
 use crate::stats::{Outcome, ServiceStats};
+use p3_audit::{AuditLog, AuditRecord, StageTiming};
 use p3_core::{
     EvalMode, InfluenceOptions, ModificationOptions, ProfileTarget, QueryProfile, QuerySession,
     SessionOptions, WarmRestore, P3,
 };
+use p3_obs::slo::{SloConfig, SloEngine};
 use p3_provenance::extract::ExtractOptions;
 use p3_store::{FileBackend, RecoveryReport, StorageBackend};
 use std::collections::{HashMap, VecDeque};
@@ -80,6 +82,38 @@ pub struct ServerConfig {
     /// a store written for a different hash is discarded as stale rather
     /// than replayed. Only read when `store_dir` is set.
     pub store_fingerprint: Option<u64>,
+    /// Per-request audit log (`p3-serve --audit-dir`): every request
+    /// appends one crash-safe [`AuditRecord`] to a bounded segment ring.
+    /// `None` disables auditing (the in-memory SLO engine still runs).
+    pub audit: Option<p3_audit::AuditConfig>,
+    /// Latency objectives tracked by the SLO engine, one per request
+    /// class. Defaults to [`default_slos`]; later entries override
+    /// earlier ones per class, so CLI `--slo` specs layer on top.
+    pub slos: Vec<SloConfig>,
+    /// When set, a tripped 5-minute (fast) burn window turns `/readyz`
+    /// into a 503 so load balancers shed traffic. Off by default —
+    /// flipping readiness on an SLO is an operator's opt-in call.
+    pub slo_readyz: bool,
+}
+
+/// The built-in latency objectives: each query class gets 99% of
+/// requests OK within 500 ms. `--slo CLASS:TARGET_MS:OBJECTIVE` specs
+/// replace the matching class (last wins).
+pub fn default_slos() -> Vec<SloConfig> {
+    [
+        "probability",
+        "explanation",
+        "derivation",
+        "influence",
+        "modification",
+    ]
+    .iter()
+    .map(|class| SloConfig {
+        class: (*class).to_string(),
+        target_ms: 500,
+        objective: 0.99,
+    })
+    .collect()
 }
 
 impl Default for ServerConfig {
@@ -96,8 +130,20 @@ impl Default for ServerConfig {
             slow_ms: None,
             store_dir: None,
             store_fingerprint: None,
+            audit: None,
+            slos: default_slos(),
+            slo_readyz: false,
         }
     }
+}
+
+/// Milliseconds since the unix epoch — the timestamp domain shared by
+/// audit records and the SLO engine's rolling windows.
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
 }
 
 /// One unit of queued work.
@@ -116,7 +162,8 @@ struct Job {
 }
 
 /// A worker's reply: the op result plus the timing/cache facts the handler
-/// needs to make a slow request diagnosable from one log line.
+/// needs to make a slow request diagnosable from one log line and to
+/// build the request's audit record.
 struct Answer {
     result: Result<Value, String>,
     /// Time the job sat in the queue before a worker picked it up.
@@ -128,6 +175,64 @@ struct Answer {
     session_hits: u64,
     /// Session memo-table misses while the op ran.
     session_misses: u64,
+    /// Per-op facts collected inside `execute`.
+    facts: ExecFacts,
+    /// Tuples derived by rule evaluation while the op ran (global-counter
+    /// delta across both eval modes; approximate under concurrency).
+    derived_tuples: u64,
+    /// Persistent-store records journaled while the op ran.
+    store_records: u64,
+    /// Extraction-memo hits while the op ran.
+    extract_memo_hits: u64,
+    /// Extraction-memo misses while the op ran.
+    extract_memo_misses: u64,
+}
+
+/// Facts `execute` collects as it runs an op: coarse per-stage wall
+/// timings, the DNF shape where a formula id is in hand, and whether a
+/// `load-program` failure was the lint gate (vs. a real error).
+#[derive(Default)]
+struct ExecFacts {
+    stages: Vec<StageTiming>,
+    dnf_monomials: u64,
+    dnf_literals: u64,
+    lint_reject: bool,
+}
+
+impl ExecFacts {
+    /// Records one stage's wall time around `f`.
+    fn timed<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.stages.push(StageTiming {
+            name: name.to_string(),
+            wall_us: start.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        });
+        out
+    }
+
+    /// Notes the DNF width of the formula the op answered from.
+    fn note_dnf(&mut self, dnf: &p3_prob::Dnf) {
+        self.dnf_monomials = dnf.len() as u64;
+        self.dnf_literals = dnf.monomials().iter().map(|m| m.len() as u64).sum();
+    }
+}
+
+/// Reads the process-global derived-tuples tally: the mode-labeled
+/// engine counters summed, so a delta spans naive and demand evaluation.
+fn derived_tuples_total() -> u64 {
+    ["naive", "demand"]
+        .iter()
+        .map(|mode| {
+            let labels = p3_obs::metrics::render_labels(&[("mode", mode)]);
+            p3_obs::metrics::labeled_counter(
+                "p3_engine_derived_tuples_total",
+                "Tuples derived by rule evaluation, by evaluation mode",
+                &labels,
+            )
+            .get()
+        })
+        .sum()
 }
 
 /// Sets the queue-depth saturation gauge (also a `readyz` input).
@@ -269,6 +374,12 @@ pub(crate) struct Shared {
     started: Instant,
     /// The persistent provenance store, when `--store-dir` is configured.
     store: Option<StoreCtx>,
+    /// The per-request audit log, when `--audit-dir` is configured.
+    audit: Option<AuditLog>,
+    /// Rolling-window latency objectives; always on (in-memory only).
+    slo: SloEngine,
+    /// Whether a tripped fast-burn window fails `readyz`.
+    slo_readyz: bool,
 }
 
 /// The persistent store attached at startup, plus what its recovery and
@@ -365,6 +476,9 @@ impl Shared {
                 self.workers
             ));
         }
+        if self.slo_readyz && self.slo.any_fast_trip(unix_ms()) {
+            return Err("SLO fast-burn window tripped (--slo-readyz)".to_string());
+        }
         Ok(())
     }
 }
@@ -399,6 +513,26 @@ impl Server {
             p3_prob::parallel::default_threads()
         } else {
             config.workers
+        };
+        p3_obs::process::init(
+            env!("CARGO_PKG_VERSION"),
+            option_env!("P3_BUILD_GIT").unwrap_or("unknown"),
+        );
+        let audit = match &config.audit {
+            None => None,
+            Some(cfg) => {
+                p3_audit::log::register_metrics();
+                let log = AuditLog::open(cfg.clone())?;
+                let stats = log.stats();
+                p3_obs::info!(
+                    "audit log open",
+                    dir = cfg.dir.display(),
+                    recovered = stats.records_recovered,
+                    segments = stats.segments,
+                    truncations = stats.recovery_truncations
+                );
+                Some(log)
+            }
         };
         let session = p3.session_with(SessionOptions {
             max_entries: config.cache_cap,
@@ -443,6 +577,9 @@ impl Server {
             slow_ms: config.slow_ms,
             started: Instant::now(),
             store,
+            audit,
+            slo: SloEngine::new(config.slos.clone()),
+            slo_readyz: config.slo_readyz,
         });
         // Register every gauge family up front so the first scrape sees
         // them even before the first request.
@@ -679,13 +816,78 @@ fn record_request_metrics(class: &str, latency: Duration) {
 }
 
 /// Worker-side facts about a finished request, filled in by `dispatch`
-/// for the slow-request log (zero for inline admin ops).
+/// for the slow-request log and the audit record (zero for inline admin
+/// ops, which have no queue wait or execution split).
 #[derive(Default)]
 struct RequestMeta {
     queue_wait_us: u64,
     execute_us: u64,
     session_hits: u64,
     session_misses: u64,
+    stages: Vec<StageTiming>,
+    derived_tuples: u64,
+    dnf_monomials: u64,
+    dnf_literals: u64,
+    store_records: u64,
+    extract_memo_hits: u64,
+    extract_memo_misses: u64,
+    lint_reject: bool,
+}
+
+/// Builds this request's audit record, feeds the SLO engine, and appends
+/// to the audit log when one is configured. Called exactly once per
+/// request line — queries, inline admin ops, and malformed lines alike —
+/// which is what makes "one request, one record" an invariant rather
+/// than a convention.
+#[allow(clippy::too_many_arguments)]
+fn audit_request(
+    shared: &Shared,
+    class: &str,
+    trace: &str,
+    eval_mode: EvalMode,
+    query_hash: u64,
+    outcome: p3_audit::Outcome,
+    elapsed: Duration,
+    meta: RequestMeta,
+) {
+    let now_ms = unix_ms();
+    let ok = outcome == p3_audit::Outcome::Ok;
+    shared.slo.record(
+        class,
+        now_ms,
+        ok,
+        elapsed.as_millis().min(u64::MAX as u128) as u64,
+    );
+    let Some(audit) = &shared.audit else {
+        return;
+    };
+    let record = AuditRecord {
+        ts_ms: now_ms,
+        trace: trace.to_string(),
+        class: class.to_string(),
+        eval_mode: eval_mode.as_str().to_string(),
+        query_hash,
+        outcome,
+        queue_wait_us: meta.queue_wait_us,
+        execute_us: meta.execute_us,
+        total_us: elapsed.as_micros().min(u64::MAX as u128) as u64,
+        stages: meta.stages,
+        derived_tuples: meta.derived_tuples,
+        dnf_monomials: meta.dnf_monomials,
+        dnf_literals: meta.dnf_literals,
+        session_hits: meta.session_hits,
+        session_misses: meta.session_misses,
+        store_records: meta.store_records,
+        extract_memo_hits: meta.extract_memo_hits,
+        extract_memo_misses: meta.extract_memo_misses,
+    };
+    if let Err(e) = audit.append(record) {
+        p3_obs::warn!(
+            "audit append failed",
+            dir = audit.dir().display(),
+            error = e.to_string()
+        );
+    }
 }
 
 /// Parses and dispatches one request line; always produces a response.
@@ -694,10 +896,19 @@ fn handle_line(line: &str, shared: &Shared) -> Response {
     let request = match Request::parse(line) {
         Ok(req) => req,
         Err(msg) => {
-            shared
-                .stats
-                .record("malformed", start.elapsed(), Outcome::Error);
-            record_request_metrics("malformed", start.elapsed());
+            let elapsed = start.elapsed();
+            shared.stats.record("malformed", elapsed, Outcome::Error);
+            record_request_metrics("malformed", elapsed);
+            audit_request(
+                shared,
+                "malformed",
+                "",
+                shared.eval_mode,
+                0,
+                p3_audit::Outcome::Error,
+                elapsed,
+                RequestMeta::default(),
+            );
             return Response::error(None, msg);
         }
     };
@@ -712,6 +923,30 @@ fn handle_line(line: &str, shared: &Shared) -> Response {
     let elapsed = start.elapsed();
     shared.stats.record(class, elapsed, outcome);
     record_request_metrics(class, elapsed);
+    let audit_outcome = match response.status {
+        crate::protocol::Status::Ok => p3_audit::Outcome::Ok,
+        crate::protocol::Status::Timeout => p3_audit::Outcome::Timeout,
+        crate::protocol::Status::Error if meta.lint_reject => p3_audit::Outcome::LintReject,
+        crate::protocol::Status::Error => p3_audit::Outcome::Error,
+    };
+    let query_hash = request.op.query_text().map(p3_audit::fnv1a_64).unwrap_or(0);
+    let slow_meta = (
+        meta.queue_wait_us,
+        meta.execute_us,
+        meta.session_hits,
+        meta.session_misses,
+    );
+    audit_request(
+        shared,
+        class,
+        request.trace.as_deref().unwrap_or(""),
+        request.eval_mode.unwrap_or(shared.eval_mode),
+        query_hash,
+        audit_outcome,
+        elapsed,
+        meta,
+    );
+    let (queue_wait_us, execute_us, session_hits, session_misses) = slow_meta;
     p3_obs::debug!(
         "request served",
         class = class,
@@ -730,10 +965,10 @@ fn handle_line(line: &str, shared: &Shared) -> Response {
                 class = class,
                 latency_ms = elapsed.as_millis(),
                 threshold_ms = slow_ms,
-                queue_wait_us = meta.queue_wait_us,
-                execute_us = meta.execute_us,
-                session_hits = meta.session_hits,
-                session_misses = meta.session_misses,
+                queue_wait_us = queue_wait_us,
+                execute_us = execute_us,
+                session_hits = session_hits,
+                session_misses = session_misses,
             );
         }
     }
@@ -766,6 +1001,9 @@ fn dispatch(
         Op::Trace { n } => Response::ok(request.id, trace_snapshot(*n)),
         Op::Warm => Response::ok(request.id, warm_snapshot(shared)),
         Op::StoreStats => Response::ok(request.id, store_stats_snapshot(shared)),
+        Op::AuditTail { n } => Response::ok(request.id, audit_tail_snapshot(shared, *n)),
+        Op::AuditTop { by, n } => Response::ok(request.id, audit_top_snapshot(shared, *by, *n)),
+        Op::Slo => Response::ok(request.id, slo_snapshot(shared)),
         Op::Shutdown => {
             shared.initiate_shutdown();
             Response::ok(
@@ -823,6 +1061,14 @@ fn dispatch(
                     meta.execute_us = answer.execute_us;
                     meta.session_hits = answer.session_hits;
                     meta.session_misses = answer.session_misses;
+                    meta.stages = answer.facts.stages;
+                    meta.dnf_monomials = answer.facts.dnf_monomials;
+                    meta.dnf_literals = answer.facts.dnf_literals;
+                    meta.lint_reject = answer.facts.lint_reject;
+                    meta.derived_tuples = answer.derived_tuples;
+                    meta.store_records = answer.store_records;
+                    meta.extract_memo_hits = answer.extract_memo_hits;
+                    meta.extract_memo_misses = answer.extract_memo_misses;
                     match answer.result {
                         Ok(result) => Response::ok(request.id, result),
                         Err(msg) => Response::error(request.id, msg),
@@ -854,10 +1100,20 @@ fn worker_loop(shared: Arc<Shared>) {
         let executing = Instant::now();
         let session = shared.session_for(job.eval_mode);
         let stats_before = session.stats();
+        // Process-global counter snapshots bracketing the execution: the
+        // deltas are this op's cost, give or take concurrent requests'
+        // traffic on the same counters (documented as approximate).
+        let tuples_before = derived_tuples_total();
+        let (extract_hits_before, extract_misses_before) = p3_provenance::extract::memo_counters();
+        let store_records_before = shared
+            .active_store()
+            .map(|s| s.backend.stats().records_written)
+            .unwrap_or(0);
+        let mut facts = ExecFacts::default();
         let result = {
             let mut span = p3_obs::span::child_of("execute", job.root_span);
             span.add_field("class", job.op.class());
-            let result = execute(&session, &shared, &job.op, job.hop_limit);
+            let result = execute(&session, &shared, &job.op, job.hop_limit, &mut facts);
             span.add_field("ok", result.is_ok());
             result
         };
@@ -879,6 +1135,11 @@ fn worker_loop(shared: Arc<Shared>) {
                 .fetch_sub(1, Ordering::SeqCst)
                 .saturating_sub(1),
         );
+        let (extract_hits_after, extract_misses_after) = p3_provenance::extract::memo_counters();
+        let store_records_after = shared
+            .active_store()
+            .map(|s| s.backend.stats().records_written)
+            .unwrap_or(store_records_before);
         // The handler may have timed out and gone; that's fine.
         let _ = job.reply.send(Answer {
             result,
@@ -886,6 +1147,11 @@ fn worker_loop(shared: Arc<Shared>) {
             execute_us: executing.elapsed().as_micros().min(u64::MAX as u128) as u64,
             session_hits: stats_after.hits.saturating_sub(stats_before.hits),
             session_misses: stats_after.misses.saturating_sub(stats_before.misses),
+            facts,
+            derived_tuples: derived_tuples_total().saturating_sub(tuples_before),
+            store_records: store_records_after.saturating_sub(store_records_before),
+            extract_memo_hits: extract_hits_after.saturating_sub(extract_hits_before),
+            extract_memo_misses: extract_misses_after.saturating_sub(extract_misses_before),
         });
     }
 }
@@ -904,6 +1170,7 @@ fn execute(
     shared: &Shared,
     op: &Op,
     hop_limit: Option<usize>,
+    facts: &mut ExecFacts,
 ) -> Result<Value, String> {
     let p3 = session.p3();
     match op {
@@ -913,7 +1180,10 @@ fn execute(
         | Op::Trace { .. }
         | Op::Shutdown
         | Op::Warm
-        | Op::StoreStats => {
+        | Op::StoreStats
+        | Op::AuditTail { .. }
+        | Op::AuditTop { .. }
+        | Op::Slo => {
             unreachable!("admin ops answer inline")
         }
         Op::Persist => {
@@ -925,10 +1195,13 @@ fn execute(
             // Export from the default session — that is the one the store
             // journals; per-mode override sessions share its DnfStore.
             let records = shared.current_session().export_records();
-            store
-                .backend
-                .snapshot(&records)
-                .and_then(|()| store.backend.flush())
+            facts
+                .timed("persist", || {
+                    store
+                        .backend
+                        .snapshot(&records)
+                        .and_then(|()| store.backend.flush())
+                })
                 .map_err(|e| format!("store compaction failed: {e}"))?;
             let stats = store.backend.stats();
             Ok(Value::object(vec![
@@ -948,7 +1221,7 @@ fn execute(
             // Pre-flight lint: findings go to the structured log either
             // way; error-severity findings reject the program unless the
             // request opted out with `"lint": false`.
-            let report = p3_lint::lint_source(&text);
+            let report = facts.timed("lint", || p3_lint::lint_source(&text));
             for d in &report.diagnostics {
                 p3_obs::info!(
                     "lint finding on load-program",
@@ -960,13 +1233,16 @@ fn execute(
                 );
             }
             if *lint && report.has_errors() {
+                facts.lint_reject = true;
                 let mut msg = format!("program rejected by lint: {}", report.summary_line());
                 for d in report.at_least(p3_lint::Severity::Error) {
                     msg.push_str(&format!("; {d}"));
                 }
                 return Err(msg);
             }
-            let fresh = P3::from_source(&text).map_err(|e| e.to_string())?;
+            let fresh = facts
+                .timed("load", || P3::from_source(&text))
+                .map_err(|e| e.to_string())?;
             let clauses = fresh.program().len();
             let new_session = fresh.session_with(SessionOptions {
                 max_entries: shared.cache_cap,
@@ -1012,7 +1288,7 @@ fn execute(
                 ),
                 (None, None) => unreachable!("validated at parse time"),
             };
-            let report = p3_lint::lint_source(&text);
+            let report = facts.timed("lint", || p3_lint::lint_source(&text));
             let findings = Value::parse(&report.to_json())
                 .map_err(|e| format!("internal: bad findings JSON: {e}"))?;
             Ok(Value::object(vec![
@@ -1029,10 +1305,13 @@ fn execute(
             ]))
         }
         Op::Probability { query, method } => {
-            let id = session
-                .provenance_id_with(query, extract_opts(hop_limit))
+            let id = facts
+                .timed("extract", || {
+                    session.provenance_id_with(query, extract_opts(hop_limit))
+                })
                 .map_err(|e| e.to_string())?;
-            let p = session.probability_of(id, *method);
+            let p = facts.timed("probability", || session.probability_of(id, *method));
+            facts.note_dnf(&session.dnf(id));
             Ok(Value::object(vec![
                 ("query", Value::from(query.clone())),
                 ("probability", Value::from(p)),
@@ -1040,9 +1319,12 @@ fn execute(
             ]))
         }
         Op::Explanation { query, method } => {
-            let explanation = p3
-                .explain_with(query, *method, extract_opts(hop_limit))
+            let explanation = facts
+                .timed("explanation", || {
+                    p3.explain_with(query, *method, extract_opts(hop_limit))
+                })
                 .map_err(|e| e.to_string())?;
+            facts.note_dnf(&explanation.polynomial);
             Ok(Value::object(vec![
                 ("query", Value::from(query.clone())),
                 ("probability", Value::from(explanation.probability)),
@@ -1061,10 +1343,15 @@ fn execute(
             algo,
             method,
         } => {
-            let id = session
-                .provenance_id_with(query, extract_opts(hop_limit))
+            let id = facts
+                .timed("extract", || {
+                    session.provenance_id_with(query, extract_opts(hop_limit))
+                })
                 .map_err(|e| e.to_string())?;
-            let s = session.sufficient_provenance_of(id, *eps, *algo, *method);
+            facts.note_dnf(&session.dnf(id));
+            let s = facts.timed("derivation", || {
+                session.sufficient_provenance_of(id, *eps, *algo, *method)
+            });
             Ok(Value::object(vec![
                 ("query", Value::from(query.clone())),
                 ("kept", Value::from(s.polynomial.len())),
@@ -1085,18 +1372,23 @@ fn execute(
             top_k,
             preprocess_epsilon,
         } => {
-            let id = session
-                .provenance_id_with(query, extract_opts(hop_limit))
+            let id = facts
+                .timed("extract", || {
+                    session.provenance_id_with(query, extract_opts(hop_limit))
+                })
                 .map_err(|e| e.to_string())?;
-            let entries = session.influence_of(
-                id,
-                &InfluenceOptions {
-                    method: *method,
-                    top_k: *top_k,
-                    preprocess_epsilon: *preprocess_epsilon,
-                    restrict_to: None,
-                },
-            );
+            facts.note_dnf(&session.dnf(id));
+            let entries = facts.timed("influence", || {
+                session.influence_of(
+                    id,
+                    &InfluenceOptions {
+                        method: *method,
+                        top_k: *top_k,
+                        preprocess_epsilon: *preprocess_epsilon,
+                        restrict_to: None,
+                    },
+                )
+            });
             let vars = p3.vars();
             Ok(Value::object(vec![
                 ("query", Value::from(query.clone())),
@@ -1121,15 +1413,17 @@ fn execute(
             target,
             tolerance,
         } => {
-            let plan = session
-                .modification(
-                    query,
-                    *target,
-                    &ModificationOptions {
-                        tolerance: *tolerance,
-                        ..Default::default()
-                    },
-                )
+            let plan = facts
+                .timed("modification", || {
+                    session.modification(
+                        query,
+                        *target,
+                        &ModificationOptions {
+                            tolerance: *tolerance,
+                            ..Default::default()
+                        },
+                    )
+                })
                 .map_err(|e| e.to_string())?;
             let vars = p3.vars();
             Ok(Value::object(vec![
@@ -1213,6 +1507,16 @@ fn execute(
             let profile = session
                 .profile(query, &target, extract_opts(hop_limit))
                 .map_err(|e| e.to_string())?;
+            // The profiler already split the run into stages; adopt its
+            // breakdown verbatim for the audit record.
+            facts.stages = profile
+                .stages
+                .iter()
+                .map(|s| StageTiming {
+                    name: s.name.to_string(),
+                    wall_us: s.wall_us,
+                })
+                .collect();
             Ok(profile_value(&profile))
         }
     }
@@ -1372,10 +1676,121 @@ fn store_stats_snapshot(shared: &Shared) -> Value {
     ])
 }
 
+/// One audit record as a JSON value — the audit crate owns the canonical
+/// JSON shape; the service parses it back rather than re-encoding.
+fn audit_record_value(record: &AuditRecord) -> Value {
+    Value::parse(&record.to_json_string()).unwrap_or(Value::Null)
+}
+
+/// The audit log's live counters as a JSON object.
+fn audit_stats_value(stats: &p3_audit::AuditStats) -> Value {
+    Value::object(vec![
+        ("records_appended", Value::from(stats.records_appended)),
+        ("records_recovered", Value::from(stats.records_recovered)),
+        ("segments", Value::from(stats.segments)),
+        ("total_bytes", Value::from(stats.total_bytes)),
+        ("rotations", Value::from(stats.rotations)),
+        ("pruned", Value::from(stats.pruned)),
+        (
+            "recovery_truncations",
+            Value::from(stats.recovery_truncations),
+        ),
+    ])
+}
+
+/// The `audit-tail` payload (and `GET /audit`): the `n` most recent
+/// audit records, newest first, plus the log's counters.
+pub(crate) fn audit_tail_snapshot(shared: &Shared, n: usize) -> Value {
+    let Some(audit) = &shared.audit else {
+        return Value::object(vec![("enabled", Value::from(false))]);
+    };
+    let records = audit.recent(n);
+    Value::object(vec![
+        ("enabled", Value::from(true)),
+        (
+            "records",
+            Value::Array(records.iter().map(audit_record_value).collect()),
+        ),
+        ("stats", audit_stats_value(&audit.stats())),
+    ])
+}
+
+/// The `audit-top` payload (and `GET /audit/top`): worst offenders from
+/// the in-memory audit ring ranked by `by`, each with its trace id as
+/// the exemplar link into `/traces`.
+pub(crate) fn audit_top_snapshot(shared: &Shared, by: AuditKey, n: usize) -> Value {
+    let Some(audit) = &shared.audit else {
+        return Value::object(vec![("enabled", Value::from(false))]);
+    };
+    let key: fn(&AuditRecord) -> u64 = match by {
+        AuditKey::Latency => |r| r.total_us,
+        AuditKey::Tuples => |r| r.derived_tuples,
+        AuditKey::DnfWidth => |r| r.dnf_literals,
+    };
+    let records = audit.top(n, key);
+    Value::object(vec![
+        ("enabled", Value::from(true)),
+        ("by", Value::from(by.as_str().to_string())),
+        (
+            "records",
+            Value::Array(records.iter().map(audit_record_value).collect()),
+        ),
+    ])
+}
+
+/// One window's burn accounting as a JSON object.
+fn window_burn_value(w: &p3_obs::slo::WindowBurn) -> Value {
+    Value::object(vec![
+        ("events", Value::from(w.events)),
+        ("bad", Value::from(w.bad)),
+        ("burn_rate", Value::from(w.burn_rate)),
+        ("tripped", Value::from(w.tripped)),
+    ])
+}
+
+/// The `slo` payload (and `GET /slo`): every objective's burn state over
+/// the fast (5 min) and slow (1 h) windows, plus whether any fast window
+/// is currently tripped (the `/readyz` gate under `--slo-readyz`).
+pub(crate) fn slo_snapshot(shared: &Shared) -> Value {
+    let now_ms = unix_ms();
+    let statuses = shared.slo.status(now_ms);
+    Value::object(vec![
+        ("now_ms", Value::from(now_ms)),
+        (
+            "any_fast_trip",
+            Value::from(statuses.iter().any(|s| s.fast.tripped)),
+        ),
+        ("readyz_gated", Value::from(shared.slo_readyz)),
+        (
+            "objectives",
+            Value::Array(
+                statuses
+                    .iter()
+                    .map(|s| {
+                        Value::object(vec![
+                            ("class", Value::from(s.config.class.clone())),
+                            ("target_ms", Value::from(s.config.target_ms)),
+                            ("objective", Value::from(s.config.objective)),
+                            ("fast", window_burn_value(&s.fast)),
+                            ("slow", window_burn_value(&s.slow)),
+                            ("budget_remaining", Value::from(s.budget_remaining)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Refreshes scrape-time gauges from live server state. Called on every
 /// exposition — the NDJSON `metrics` op and the HTTP `GET /metrics` — and
 /// once at startup so the families exist before the first request.
 pub(crate) fn refresh_gauges(shared: &Shared) {
+    p3_obs::process::refresh();
+    shared.slo.publish(unix_ms());
+    if let Some(audit) = &shared.audit {
+        audit.publish_metrics();
+    }
     let session = shared.current_session();
     let s = session.stats();
     let store = session.p3().store();
@@ -1486,6 +1901,16 @@ fn trace_snapshot(n: usize) -> Value {
 /// tests — no listeners, no worker threads.
 #[cfg(test)]
 pub(crate) fn test_shared(workers: usize, queue_cap: usize) -> Arc<Shared> {
+    test_shared_with_audit(workers, queue_cap, None)
+}
+
+/// Like [`test_shared`], with an audit log attached (tests only).
+#[cfg(test)]
+pub(crate) fn test_shared_with_audit(
+    workers: usize,
+    queue_cap: usize,
+    audit: Option<p3_audit::AuditConfig>,
+) -> Arc<Shared> {
     let p3 = P3::from_source("t 1.0: a(1).").unwrap();
     Arc::new(Shared {
         session: RwLock::new(p3.session()),
@@ -1502,7 +1927,16 @@ pub(crate) fn test_shared(workers: usize, queue_cap: usize) -> Arc<Shared> {
         slow_ms: None,
         started: Instant::now(),
         store: None,
+        audit: audit.map(|cfg| AuditLog::open(cfg).unwrap()),
+        slo: SloEngine::new(default_slos()),
+        slo_readyz: false,
     })
+}
+
+/// Exposes the request funnel to sibling modules' tests (tests only).
+#[cfg(test)]
+pub(crate) fn test_handle_line(line: &str, shared: &Shared) -> Response {
+    handle_line(line, shared)
 }
 
 #[cfg(test)]
@@ -1865,6 +2299,81 @@ mod tests {
         server.shutdown();
         server.join();
         p3_obs::span::set_enabled(false);
+    }
+
+    #[test]
+    fn audit_ops_round_trip_with_an_audit_log() {
+        let dir = std::env::temp_dir().join(format!("p3-audit-ops-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let p3 = P3::from_source(ACQ).unwrap();
+        let server = Server::start(
+            p3,
+            ServerConfig {
+                tcp: Some("127.0.0.1:0".to_string()),
+                workers: 2,
+                audit: Some(p3_audit::AuditConfig::new(&dir)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect_tcp(&server.tcp_addr().unwrap().to_string()).unwrap();
+        let resp = client
+            .request(&format!(
+                r#"{{"op":"probability","query":"{}"}}"#,
+                Q.replace('"', "\\\"")
+            ))
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok);
+
+        // The probability request is on the tail, with its cost facts.
+        let resp = client.request(r#"{"op":"audit-tail","n":10}"#).unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok, "{resp:?}");
+        let result = resp.result.unwrap();
+        assert!(result.get("enabled").unwrap().as_bool().unwrap());
+        let records = match result.get("records").unwrap() {
+            Value::Array(records) => records,
+            other => panic!("{other:?}"),
+        };
+        let prob = records
+            .iter()
+            .find(|r| r.get("class").unwrap().as_str() == Some("probability"))
+            .expect("probability record on the tail");
+        assert_eq!(prob.get("outcome").unwrap().as_str(), Some("ok"));
+        assert!(prob.get("total_us").unwrap().as_u64().unwrap() > 0);
+        assert!(prob.get("dnf_monomials").unwrap().as_u64().unwrap() > 0);
+        let stages = match prob.get("stages").unwrap() {
+            Value::Array(stages) => stages,
+            other => panic!("{other:?}"),
+        };
+        let names: Vec<&str> = stages
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["extract", "probability"]);
+
+        // audit-top ranks by the requested key.
+        let resp = client
+            .request(r#"{"op":"audit-top","by":"latency","n":3}"#)
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok, "{resp:?}");
+        let result = resp.result.unwrap();
+        assert_eq!(result.get("by").unwrap().as_str(), Some("latency"));
+
+        // slo reports the default objectives.
+        let resp = client.request(r#"{"op":"slo"}"#).unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok, "{resp:?}");
+        let result = resp.result.unwrap();
+        assert_eq!(result.get("any_fast_trip").unwrap().as_bool(), Some(false));
+        let objectives = match result.get("objectives").unwrap() {
+            Value::Array(objectives) => objectives,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(objectives.len(), 5, "five default query-class SLOs");
+
+        server.shutdown();
+        server.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod file;
+pub mod frame;
 pub mod record;
 
 pub use file::{FileBackend, Opened, RecoveryReport};

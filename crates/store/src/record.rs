@@ -1,13 +1,12 @@
 //! The durable record vocabulary and its wire codec.
 //!
-//! Every record is framed as `[len: u32 LE][crc: u32 LE][payload]` where
-//! `crc` is FNV-1a-32 over the payload bytes. The payload starts with a
-//! one-byte record tag; all integers are little-endian. The format is
-//! deliberately dumb — no compression, no back-references — so a torn or
-//! corrupt frame can never damage anything before it, and replay is a
-//! single forward scan.
+//! Records ride inside the shared `[len: u32 LE][crc: u32 LE][payload]`
+//! frames of [`crate::frame`]; this module owns only the payload format.
+//! A payload starts with a one-byte record tag; all integers are
+//! little-endian.
 
-use std::fmt;
+pub use crate::frame::{fnv1a_32, ScanStop, FRAME_HEADER};
+use crate::frame::{scan_with, write_frame};
 
 /// Payload tag for [`Record::Intern`].
 const TAG_INTERN: u8 = 1;
@@ -15,13 +14,6 @@ const TAG_INTERN: u8 = 1;
 const TAG_DNF_MEMO: u8 = 2;
 /// Payload tag for [`Record::ProbMemo`].
 const TAG_PROB_MEMO: u8 = 3;
-
-/// Frame header size: length + checksum.
-pub const FRAME_HEADER: usize = 8;
-
-/// Upper bound on a single payload, to reject absurd lengths from a
-/// corrupt header before allocating.
-const MAX_PAYLOAD: u32 = 64 << 20;
 
 /// A probability method, flattened to plain integers so `p3-store` does not
 /// depend on `p3-core`'s `ProbMethod` enum. The mapping lives in `p3-core`.
@@ -78,27 +70,12 @@ impl Record {
     }
 }
 
-/// FNV-1a 32-bit, the frame checksum.
-pub fn fnv1a_32(bytes: &[u8]) -> u32 {
-    let mut h: u32 = 0x811c_9dc5;
-    for &b in bytes {
-        h ^= u32::from(b);
-        h = h.wrapping_mul(0x0100_0193);
-    }
-    h
-}
-
 /// FNV-1a 64-bit over program source text — the store's staleness
 /// fingerprint. Any textual change to the program (even whitespace)
 /// invalidates the store, which errs on the side of never replaying
 /// memos against a program they were not computed for.
 pub fn content_hash(source: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in source.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    crate::frame::fnv1a_64(source)
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -141,30 +118,7 @@ pub fn encode_frame(record: &Record, out: &mut Vec<u8>) {
             put_u64(&mut payload, prob.to_bits());
         }
     }
-    put_u32(out, payload.len() as u32);
-    put_u32(out, fnv1a_32(&payload));
-    out.extend_from_slice(&payload);
-}
-
-/// Why a forward scan stopped before the end of the buffer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ScanStop {
-    /// Clean end of buffer: every byte belonged to a whole, valid frame.
-    Clean,
-    /// The final frame is incomplete (torn tail from a crash mid-write).
-    TornTail,
-    /// A frame failed its checksum or carried a malformed payload.
-    Corrupt,
-}
-
-impl fmt::Display for ScanStop {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ScanStop::Clean => write!(f, "clean"),
-            ScanStop::TornTail => write!(f, "torn tail"),
-            ScanStop::Corrupt => write!(f, "corrupt frame"),
-        }
-    }
+    write_frame(&payload, out);
 }
 
 /// Result of scanning a log buffer: the decoded records, the byte offset
@@ -263,55 +217,17 @@ fn decode_payload(payload: &[u8]) -> Option<Record> {
 /// Never panics on arbitrary input.
 pub fn scan_frames(buf: &[u8]) -> Scan {
     let mut records = Vec::new();
-    let mut pos = 0usize;
-    loop {
-        if pos == buf.len() {
-            return Scan {
-                records,
-                valid_len: pos as u64,
-                stop: ScanStop::Clean,
-            };
+    let scan = scan_with(buf, |payload| match decode_payload(payload) {
+        Some(record) => {
+            records.push(record);
+            true
         }
-        let Some(header) = buf.get(pos..pos + FRAME_HEADER) else {
-            return Scan {
-                records,
-                valid_len: pos as u64,
-                stop: ScanStop::TornTail,
-            };
-        };
-        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
-        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
-        if len > MAX_PAYLOAD {
-            return Scan {
-                records,
-                valid_len: pos as u64,
-                stop: ScanStop::Corrupt,
-            };
-        }
-        let start = pos + FRAME_HEADER;
-        let Some(payload) = buf.get(start..start + len as usize) else {
-            return Scan {
-                records,
-                valid_len: pos as u64,
-                stop: ScanStop::TornTail,
-            };
-        };
-        if fnv1a_32(payload) != crc {
-            return Scan {
-                records,
-                valid_len: pos as u64,
-                stop: ScanStop::Corrupt,
-            };
-        }
-        let Some(record) = decode_payload(payload) else {
-            return Scan {
-                records,
-                valid_len: pos as u64,
-                stop: ScanStop::Corrupt,
-            };
-        };
-        records.push(record);
-        pos = start + len as usize;
+        None => false,
+    });
+    Scan {
+        records,
+        valid_len: scan.valid_len,
+        stop: scan.stop,
     }
 }
 

@@ -25,6 +25,7 @@ p3 — provenance queries for probabilistic logic programs
 USAGE:
     p3 <PROGRAM.pl> [OPTIONS]
     p3 lint <PROGRAM.pl>... [--json] [--workloads <N>]
+    p3 audit <DIR> [--json] [--top <N>] [--by <K>]
 
 OPTIONS:
     --query <ATOM>         ground atom to analyse, e.g. 'know(\"Ben\",\"Elena\")'
@@ -54,6 +55,14 @@ LINT OPTIONS (after 'p3 lint'):
     --json                 one JSON line per program instead of rustc-style text
     --workloads <N>        also lint N generated random workload programs
     (exit status is 1 when any program has error-severity findings)
+
+AUDIT OPTIONS (after 'p3 audit'):
+    --json                 one JSON line per record (the canonical /audit shape)
+    --top <N>              print only the N costliest records
+    --by <K>               ranking key for --top: latency (default) | tuples |
+                           dnf_width
+    (reads a p3-serve --audit-dir segment ring offline, without truncating
+    torn tails; exit status is 1 when any segment scan stopped dirty)
 ";
 
 #[derive(Debug)]
@@ -425,8 +434,124 @@ fn run_lint(opts: &LintOptions) -> Result<(String, bool), String> {
     Ok((out, all_clean))
 }
 
+/// Options for the `p3 audit` subcommand.
+#[derive(Debug, PartialEq)]
+struct AuditOptions {
+    dir: String,
+    json: bool,
+    top: Option<usize>,
+    by: String,
+}
+
+fn parse_audit_args(args: &[String]) -> Result<AuditOptions, String> {
+    let mut opts = AuditOptions {
+        dir: String::new(),
+        json: false,
+        top: None,
+        by: "latency".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--json" => opts.json = true,
+            "--top" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--top requires a value".to_string())?;
+                opts.top = Some(v.parse().map_err(|_| format!("bad --top value '{v}'"))?);
+            }
+            "--by" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--by requires a value".to_string())?;
+                match v.as_str() {
+                    "latency" | "tuples" | "dnf_width" => opts.by = v.clone(),
+                    other => {
+                        return Err(format!(
+                            "unknown --by key '{other}' (expected latency, tuples, or dnf_width)"
+                        ))
+                    }
+                }
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            path if opts.dir.is_empty() => opts.dir = path.to_string(),
+            path => return Err(format!("unexpected argument '{path}'")),
+        }
+    }
+    if opts.dir.is_empty() {
+        return Err("p3 audit: no directory given\n\n".to_string() + USAGE);
+    }
+    Ok(opts)
+}
+
+fn run_audit(opts: &AuditOptions) -> Result<(String, bool), String> {
+    let (mut records, dirty) = p3::audit::read_dir(std::path::Path::new(&opts.dir))
+        .map_err(|e| format!("cannot read audit dir {}: {e}", opts.dir))?;
+    if let Some(n) = opts.top {
+        let key: fn(&p3::audit::AuditRecord) -> u64 = match opts.by.as_str() {
+            "tuples" => |r| r.derived_tuples,
+            "dnf_width" => |r| r.dnf_literals,
+            _ => |r| r.total_us,
+        };
+        records.sort_by_key(|r| std::cmp::Reverse(key(r)));
+        records.truncate(n);
+    }
+    let mut out = String::new();
+    if opts.json {
+        for r in &records {
+            out.push_str(&r.to_json_string());
+            out.push('\n');
+        }
+    } else {
+        for r in &records {
+            out.push_str(&format!(
+                "{:>13}  {:<12} {:<11} {:>9} us  tuples={:<6} dnf={}x{}  trace={}\n",
+                r.ts_ms,
+                r.class,
+                r.outcome.label(),
+                r.total_us,
+                r.derived_tuples,
+                r.dnf_monomials,
+                r.dnf_literals,
+                // Trace ids are client-supplied; escape before terminal output.
+                p3::audit::json_escape(&r.trace),
+            ));
+        }
+        out.push_str(&format!(
+            "{} record(s); {} segment(s) with dirty tails\n",
+            records.len(),
+            dirty
+        ));
+    }
+    Ok((out, dirty == 0))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("audit") {
+        let opts = match parse_audit_args(&args[1..]) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match run_audit(&opts) {
+            Ok((out, clean)) => {
+                print!("{out}");
+                if clean {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("lint") {
         let opts = match parse_lint_args(&args[1..]) {
             Ok(opts) => opts,
@@ -675,6 +800,49 @@ mod tests {
         let (out, clean) = run_lint(&opts).unwrap();
         assert!(clean, "generated workloads must lint clean:\n{out}");
         assert!(out.contains("workload(seed=0)"), "{out}");
+    }
+
+    #[test]
+    fn audit_args_parse_flags_and_reject_bad_keys() {
+        let opts =
+            parse_audit_args(&args(&["/tmp/a", "--json", "--top", "5", "--by", "tuples"])).unwrap();
+        assert_eq!(opts.dir, "/tmp/a");
+        assert!(opts.json);
+        assert_eq!(opts.top, Some(5));
+        assert_eq!(opts.by, "tuples");
+        assert!(parse_audit_args(&args(&[])).is_err());
+        let err = parse_audit_args(&args(&["/tmp/a", "--by", "bogus"])).unwrap_err();
+        assert!(err.contains("unknown --by key"), "{err}");
+    }
+
+    #[test]
+    fn audit_reads_a_log_dir_offline() {
+        let dir = std::env::temp_dir().join("p3_cli_audit_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = p3::audit::AuditLog::open(p3::audit::AuditConfig::new(&dir)).unwrap();
+        for (class, total_us) in [("probability", 900u64), ("explanation", 40)] {
+            log.append(p3::audit::AuditRecord {
+                class: class.to_string(),
+                total_us,
+                ..Default::default()
+            })
+            .unwrap();
+        }
+        drop(log);
+
+        let opts = parse_audit_args(&args(&[dir.to_str().unwrap()])).unwrap();
+        let (out, clean) = run_audit(&opts).unwrap();
+        assert!(clean, "{out}");
+        assert!(out.contains("2 record(s)"), "{out}");
+        assert!(out.contains("probability"), "{out}");
+
+        // --top 1 --by latency keeps only the slow probability record.
+        let opts =
+            parse_audit_args(&args(&[dir.to_str().unwrap(), "--json", "--top", "1"])).unwrap();
+        let (out, _) = run_audit(&opts).unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
+        assert!(out.contains("\"class\":\"probability\""), "{out}");
     }
 
     #[test]

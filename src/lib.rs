@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub use p3_audit as audit;
 pub use p3_core as core;
 pub use p3_datalog as datalog;
 pub use p3_lint as lint;
