@@ -30,4 +30,4 @@ pub mod log;
 pub mod record;
 
 pub use log::{read_dir, AuditConfig, AuditLog, AuditStats};
-pub use record::{fnv1a_64, json_escape, AuditRecord, Outcome, StageTiming};
+pub use record::{fnv1a_64, json_escape, AuditRecord, Outcome, StageTiming, MAX_TOP_RULES};

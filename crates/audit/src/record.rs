@@ -13,8 +13,17 @@
 
 pub use p3_store::frame::fnv1a_64;
 
-/// Payload version tag for the current record layout.
+/// First payload layout (PR: audit plane). Still decodable; `rule_cost`
+/// and `top_rules` default to empty on V1 records.
 const TAG_V1: u8 = 1;
+
+/// Current payload layout: V1 plus per-rule cost attribution (the total
+/// measured rule cost this request triggered and the top rules by cost).
+const TAG_V2: u8 = 2;
+
+/// Cap on `top_rules` entries stored per record — the audit log records
+/// the headline, `GET /explain` has the full ranking.
+pub const MAX_TOP_RULES: usize = 3;
 
 /// How a request ended, from the operator's point of view.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,6 +121,13 @@ pub struct AuditRecord {
     pub extract_memo_hits: u64,
     /// Extraction-memo misses during this request.
     pub extract_memo_misses: u64,
+    /// Measured rule cost (join candidates + firings + derived tuples)
+    /// this request added — nonzero only when the request forced an
+    /// evaluation, so cold queries rank high under `--by rule_cost`.
+    pub rule_cost: u64,
+    /// The costliest source rules of the evaluations this request forced,
+    /// as `(label, cost)` pairs, at most [`MAX_TOP_RULES`].
+    pub top_rules: Vec<(String, u64)>,
 }
 
 impl Default for AuditRecord {
@@ -135,6 +151,8 @@ impl Default for AuditRecord {
             store_records: 0,
             extract_memo_hits: 0,
             extract_memo_misses: 0,
+            rule_cost: 0,
+            top_rules: Vec::new(),
         }
     }
 }
@@ -163,7 +181,7 @@ impl AuditRecord {
     /// Appends the encoded payload to `p` — the allocation-free form the
     /// log's hot append path uses with a reusable scratch buffer.
     pub fn encode_payload_into(&self, p: &mut Vec<u8>) {
-        p.push(TAG_V1);
+        p.push(TAG_V2);
         put_u64(p, self.ts_ms);
         put_u64(p, self.query_hash);
         p.push(self.outcome.code());
@@ -186,6 +204,13 @@ impl AuditRecord {
             put_str(p, &stage.name);
             put_u64(p, stage.wall_us);
         }
+        // V2 extension: rule-cost attribution.
+        put_u64(p, self.rule_cost);
+        put_u32(p, self.top_rules.len().min(MAX_TOP_RULES) as u32);
+        for (label, cost) in self.top_rules.iter().take(MAX_TOP_RULES) {
+            put_str(p, label);
+            put_u64(p, *cost);
+        }
     }
 
     /// Decodes a payload produced by [`AuditRecord::encode_payload`].
@@ -196,7 +221,8 @@ impl AuditRecord {
             buf: payload,
             pos: 0,
         };
-        if r.u8()? != TAG_V1 {
+        let tag = r.u8()?;
+        if tag != TAG_V1 && tag != TAG_V2 {
             return None;
         }
         let ts_ms = r.u64()?;
@@ -223,6 +249,22 @@ impl AuditRecord {
             let wall_us = r.u64()?;
             stages.push(StageTiming { name, wall_us });
         }
+        let (rule_cost, top_rules) = if tag >= TAG_V2 {
+            let rule_cost = r.u64()?;
+            let n = r.u32()? as usize;
+            if n > MAX_TOP_RULES {
+                return None;
+            }
+            let mut top_rules = Vec::with_capacity(n);
+            for _ in 0..n {
+                let label = r.string()?;
+                let cost = r.u64()?;
+                top_rules.push((label, cost));
+            }
+            (rule_cost, top_rules)
+        } else {
+            (0, Vec::new())
+        };
         let record = AuditRecord {
             ts_ms,
             trace,
@@ -242,6 +284,8 @@ impl AuditRecord {
             store_records,
             extract_memo_hits,
             extract_memo_misses,
+            rule_cost,
+            top_rules,
         };
         r.done().then_some(record)
     }
@@ -287,7 +331,19 @@ impl AuditRecord {
             ",\"extract_memo_misses\":{}",
             self.extract_memo_misses
         ));
-        out.push('}');
+        out.push_str(&format!(",\"rule_cost\":{}", self.rule_cost));
+        out.push_str(",\"top_rules\":[");
+        for (i, (label, cost)) in self.top_rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"cost\":{}}}",
+                json_escape(label),
+                cost
+            ));
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -382,6 +438,8 @@ mod tests {
             store_records: 4,
             extract_memo_hits: 10,
             extract_memo_misses: 5,
+            rule_cost: 312,
+            top_rules: vec![("r3".into(), 200), ("r1".into(), 80)],
         }
     }
 
@@ -410,6 +468,47 @@ mod tests {
                 "cut at {cut} decoded"
             );
         }
+    }
+
+    #[test]
+    fn v1_payloads_still_decode_with_default_rule_cost() {
+        // Re-encode the sample in the V1 layout by hand: V2 minus the
+        // trailing rule-cost block, with a V1 tag.
+        let record = sample();
+        let v2 = record.encode_payload();
+        let mut rule_block = Vec::new();
+        put_u64(&mut rule_block, record.rule_cost);
+        put_u32(&mut rule_block, record.top_rules.len() as u32);
+        for (label, cost) in &record.top_rules {
+            put_str(&mut rule_block, label);
+            put_u64(&mut rule_block, *cost);
+        }
+        let mut v1 = v2[..v2.len() - rule_block.len()].to_vec();
+        v1[0] = TAG_V1;
+        let decoded = AuditRecord::decode_payload(&v1).unwrap();
+        assert_eq!(decoded.rule_cost, 0);
+        assert!(decoded.top_rules.is_empty());
+        assert_eq!(decoded.class, record.class);
+        assert_eq!(decoded.stages, record.stages);
+    }
+
+    #[test]
+    fn oversized_top_rules_list_is_rejected_and_encode_caps() {
+        let mut record = sample();
+        record.top_rules = (0..10).map(|i| (format!("r{i}"), i as u64)).collect();
+        let decoded = AuditRecord::decode_payload(&record.encode_payload()).unwrap();
+        assert_eq!(decoded.top_rules.len(), MAX_TOP_RULES, "encode caps");
+        // A payload claiming more than MAX_TOP_RULES entries is corrupt.
+        let mut payload = sample().encode_payload();
+        let count_at = payload.len()
+            - sample()
+                .top_rules
+                .iter()
+                .map(|(l, _)| 4 + l.len() + 8)
+                .sum::<usize>()
+            - 4;
+        payload[count_at..count_at + 4].copy_from_slice(&(MAX_TOP_RULES as u32 + 1).to_le_bytes());
+        assert!(AuditRecord::decode_payload(&payload).is_none());
     }
 
     #[test]

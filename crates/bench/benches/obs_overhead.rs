@@ -73,6 +73,8 @@ fn audit_record() -> AuditRecord {
         store_records: 0,
         extract_memo_hits: 3,
         extract_memo_misses: 1,
+        rule_cost: 120,
+        top_rules: vec![("r2".into(), 90), ("r1".into(), 30)],
     }
 }
 

@@ -41,6 +41,7 @@ pub use prob_method::ProbMethod;
 pub use query::derivation::{
     sufficient_provenance, sufficient_provenance_with, DerivationAlgo, SufficientProvenance,
 };
+pub use query::explain::QueryExplain;
 pub use query::explanation::Explanation;
 pub use query::influence::{influence_query, InfluenceEntry, InfluenceMethod, InfluenceOptions};
 pub use query::modification::{

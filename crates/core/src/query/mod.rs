@@ -1,6 +1,7 @@
 //! The four provenance query types (Table 1 of the paper).
 
 pub mod derivation;
+pub mod explain;
 pub mod explanation;
 pub mod influence;
 pub mod modification;

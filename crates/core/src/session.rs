@@ -28,6 +28,7 @@ use crate::eval_mode::EvalMode;
 use crate::persist::{self, WarmRestore};
 use crate::prob_method::ProbMethod;
 use crate::query::derivation::{sufficient_provenance_with, DerivationAlgo, SufficientProvenance};
+use crate::query::explain::QueryExplain;
 use crate::query::influence::{
     exact_influence, finalize_entries, InfluenceEntry, InfluenceMethod, InfluenceOptions,
 };
@@ -1001,6 +1002,59 @@ impl QuerySession {
         })
     }
 
+    /// Explains a query's evaluation cost: resolves the query exactly as
+    /// an unexplained run would (same caches, same evaluation cores) and
+    /// returns the per-rule [`ExplainPlan`](p3_datalog::explain::ExplainPlan)
+    /// of the evaluation that answers it, the answer's DNF shape, the
+    /// cache deltas around this call, and any measured P3603/P3604
+    /// recommendations the numbers justify.
+    ///
+    /// Observation-only: explaining a query changes no answer — the DnfId
+    /// it extracts and any probabilities computed afterwards are
+    /// bit-identical with and without the explain call.
+    pub fn explain(&self, query: &str) -> Result<QueryExplain, P3Error> {
+        let opts = ExtractOptions::unbounded();
+        let before = self.counters();
+        let (id, plan) = match self.mode {
+            EvalMode::Demand => {
+                let (pred, args) = worlds::parse_ground_query(self.p3.program(), query)?;
+                let core = self.p3.demand_core(pred, &args)?;
+                let id = self.demand_dnf(query, pred, &args, opts)?;
+                (id, core.plan.clone())
+            }
+            _ => {
+                let tuple = self.p3.tuple(query)?;
+                let id = self.tuple_dnf(tuple, opts);
+                (id, self.p3.full().plan.clone())
+            }
+        };
+        let after = self.counters();
+        let shape = self.dnf(id).shape();
+        let recommendations = QueryExplain::recommend(&plan);
+        Ok(QueryExplain {
+            query: query.to_string(),
+            plan,
+            shape,
+            session_hits: after.session_hits.saturating_sub(before.session_hits),
+            session_misses: after.session_misses.saturating_sub(before.session_misses),
+            store_intern_hits: after
+                .store_intern_hits
+                .saturating_sub(before.store_intern_hits),
+            store_intern_misses: after
+                .store_intern_misses
+                .saturating_sub(before.store_intern_misses),
+            store_op_hits: after.store_op_hits.saturating_sub(before.store_op_hits),
+            store_op_misses: after.store_op_misses.saturating_sub(before.store_op_misses),
+            extract_memo_hits: after
+                .extract_memo_hits
+                .saturating_sub(before.extract_memo_hits),
+            extract_memo_misses: after
+                .extract_memo_misses
+                .saturating_sub(before.extract_memo_misses),
+            recommendations,
+        })
+    }
+
     /// Answers many probability queries concurrently over this session
     /// (`threads = 0` means [`parallel::default_threads`]). Results are in
     /// query order; all workers share this session's caches, so duplicate
@@ -1253,6 +1307,57 @@ mod tests {
             unbounded.probability(q, ProbMethod::Exact).unwrap();
         }
         assert_eq!(unbounded.stats().evictions, 0);
+    }
+
+    #[test]
+    fn explain_attributes_cost_in_both_modes_without_changing_answers() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        // ACQ is recursive, so the default session explains in demand mode.
+        let session = p3.session();
+        assert_eq!(session.eval_mode(), EvalMode::Demand);
+        let ex = session.explain(Q).unwrap();
+        assert_eq!(ex.mode(), "demand");
+        assert_eq!(ex.query, Q);
+        assert!(ex.plan.total_cost() > 0);
+        assert!(
+            ex.plan.magic.is_some(),
+            "demand plans report magic overhead"
+        );
+        // The recursive closure rule r3 does the join work in ACQ.
+        assert_eq!(ex.plan.rules[0].label, "r3", "{:?}", ex.plan.rules);
+        assert!(ex.plan.rules[0].recursive);
+        // know(Ben,Elena) has two derivations (via r1/live and r2/like).
+        assert_eq!(ex.shape.monomials, 2);
+        // Explaining is observation-only: the session still answers
+        // exactly as an unexplained run.
+        let p = session.probability(Q, ProbMethod::Exact).unwrap();
+        assert!((p - 0.16384).abs() < 1e-12);
+        // Naive-mode explain carries the whole-program plan, no magic.
+        let naive = p3.session_with(SessionOptions {
+            eval_mode: EvalMode::Naive,
+            ..Default::default()
+        });
+        let nex = naive.explain(Q).unwrap();
+        assert_eq!(nex.mode(), "naive");
+        assert!(nex.plan.magic.is_none());
+        assert_eq!(nex.shape, ex.shape, "shape is mode-independent");
+        // Renderings cover the three surfaces.
+        let text = nex.render_text();
+        assert!(text.contains("explain: know"), "{text}");
+        assert!(text.contains("r3"), "{text}");
+        let folded = nex.to_folded();
+        assert!(
+            folded.lines().any(|l| l.starts_with("p3;naive;r3 ")),
+            "{folded}"
+        );
+        let json = ex.to_json_string();
+        assert!(json.contains("\"mode\":\"demand\""), "{json}");
+        assert!(json.contains("\"rule\":\"r3\""), "{json}");
+        assert!(json.contains("\"magic\":{"), "{json}");
+        // Second explain of the same query hits the session caches.
+        let warm = session.explain(Q).unwrap();
+        assert!(warm.session_hits > 0, "{warm:?}");
+        assert_eq!(warm.plan.total_cost(), ex.plan.total_cost());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::query::explanation::Explanation;
 use crate::session::{QuerySession, SessionOptions};
 use p3_datalog::ast::Const;
 use p3_datalog::engine::{Database, TupleId};
+use p3_datalog::explain::ExplainPlan;
 use p3_datalog::program::Program;
 use p3_datalog::symbol::Symbol;
 use p3_datalog::transform::TransformError;
@@ -44,6 +45,8 @@ pub(crate) struct FullCore {
     pub(crate) db: Database,
     pub(crate) graph: ProvGraph,
     pub(crate) analysis: Analysis,
+    /// Per-rule cost attribution for the one naive evaluation.
+    pub(crate) plan: ExplainPlan,
 }
 
 /// One query-directed evaluation: the demanded fragment of the model with
@@ -56,6 +59,8 @@ pub(crate) struct DemandCore {
     pub(crate) tuple: Option<TupleId>,
     /// Transform + engine counters for this evaluation.
     pub(crate) stats: DemandStats,
+    /// Per-rule cost attribution, projected onto source clauses.
+    pub(crate) plan: ExplainPlan,
 }
 
 /// Demand evaluations are cached per ground query atom.
@@ -110,12 +115,13 @@ impl P3 {
     /// Forces (or retrieves) the naive whole-program evaluation.
     pub(crate) fn full(&self) -> &FullCore {
         self.full.get_or_init(|| {
-            let (db, graph) = capture::evaluate_with_provenance(&self.program);
+            let (db, graph, plan) = capture::evaluate_with_provenance_plan(&self.program);
             let analysis = Analysis::new(&graph);
             FullCore {
                 db,
                 graph,
                 analysis,
+                plan,
             }
         })
     }
@@ -143,6 +149,7 @@ impl P3 {
             analysis,
             tuple,
             stats: eval.stats,
+            plan: eval.plan,
         });
         // Two threads may race to evaluate the same query; the first insert
         // wins and both observe one core.
@@ -166,6 +173,58 @@ impl P3 {
     /// Whether the naive whole-program evaluation has been forced yet.
     pub fn fully_evaluated(&self) -> bool {
         self.full.get().is_some()
+    }
+
+    /// Snapshots the [`ExplainPlan`] of every evaluation forced so far:
+    /// the naive full core (if forced) followed by the demand cores.
+    /// Evaluation is never forced here — an unqueried system returns an
+    /// empty vector.
+    pub fn explain_plans(&self) -> Vec<ExplainPlan> {
+        let mut out = Vec::new();
+        if let Some(full) = self.full.get() {
+            out.push(full.plan.clone());
+        }
+        for core in self.demand.read().unwrap().values() {
+            out.push(core.plan.clone());
+        }
+        out
+    }
+
+    /// Total measured rule cost (candidates + firings + new tuples)
+    /// across every forced evaluation. Monotone over a system's lifetime,
+    /// so deltas around a request attribute evaluation cost to it: cold
+    /// evaluations move this counter, memo hits don't.
+    pub fn rule_cost_total(&self) -> u64 {
+        let mut total = 0;
+        if let Some(full) = self.full.get() {
+            total += full.plan.total_cost();
+        }
+        for core in self.demand.read().unwrap().values() {
+            total += core.plan.total_cost();
+        }
+        total
+    }
+
+    /// The `n` costliest source rules aggregated across every forced
+    /// evaluation, as `(label, cost)` pairs sorted by descending cost
+    /// (ties broken by label).
+    pub fn top_rules(&self, n: usize) -> Vec<(String, u64)> {
+        let mut by_label: HashMap<String, u64> = HashMap::new();
+        let mut add = |plan: &ExplainPlan| {
+            for rule in &plan.rules {
+                *by_label.entry(rule.label.clone()).or_insert(0) += rule.cost();
+            }
+        };
+        if let Some(full) = self.full.get() {
+            add(&full.plan);
+        }
+        for core in self.demand.read().unwrap().values() {
+            add(&core.plan);
+        }
+        let mut out: Vec<(String, u64)> = by_label.into_iter().filter(|&(_, c)| c > 0).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(n);
+        out
     }
 
     /// Opens a query session: a cheap handle with memo tables for
@@ -435,6 +494,29 @@ mod tests {
         let again = p3.demand_core(pred, &args).unwrap();
         assert!(Arc::ptr_eq(&core, &again));
         assert_eq!(copy.demand_evaluations(), 1, "cache is shared");
+    }
+
+    #[test]
+    fn explain_plans_accumulate_per_forced_evaluation() {
+        let p3 = P3::from_source(ACQ).unwrap();
+        assert!(p3.explain_plans().is_empty(), "nothing forced yet");
+        assert_eq!(p3.rule_cost_total(), 0);
+        let _ = p3.database();
+        let plans = p3.explain_plans();
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].mode, "naive");
+        let naive_cost = p3.rule_cost_total();
+        assert!(naive_cost > 0);
+        let (pred, args) =
+            worlds::parse_ground_query(p3.program(), r#"know("Ben","Elena")"#).unwrap();
+        p3.demand_core(pred, &args).unwrap();
+        assert_eq!(p3.explain_plans().len(), 2);
+        assert!(p3.rule_cost_total() > naive_cost);
+        // The recursive closure rule r3 does the joins; it must appear in
+        // the aggregated top rules.
+        let top = p3.top_rules(3);
+        assert!(top.iter().any(|(l, _)| l == "r3"), "{top:?}");
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
     }
 
     #[test]

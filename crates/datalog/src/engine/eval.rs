@@ -5,9 +5,33 @@ use super::database::{Database, TupleId};
 use super::DerivationSink;
 use crate::ast::Const;
 
+/// Join-work counters from one `eval_rule` call. `firings` drives the
+/// fixpoint accounting; `candidates` (tuples pulled from index probes, the
+/// join fan-out) and `new_tuples` (head inserts that were not already
+/// known) feed per-rule cost attribution.
+#[derive(Clone, Copy, Default)]
+pub(super) struct EvalDelta {
+    pub firings: usize,
+    pub candidates: u64,
+    pub new_tuples: u64,
+}
+
+impl EvalDelta {
+    /// Total join work: non-zero iff the rule did anything this call.
+    pub fn work(&self) -> u64 {
+        self.firings as u64 + self.candidates
+    }
+
+    pub fn merge(&mut self, other: EvalDelta) {
+        self.firings += other.firings;
+        self.candidates += other.candidates;
+        self.new_tuples += other.new_tuples;
+    }
+}
+
 /// Evaluates `rule` with delta position `d` against watermarks
 /// `[w_prev, w_cur)`, inserting derived heads into `db` and reporting each
-/// firing to `sink`. Returns the number of firings.
+/// firing to `sink`. Returns the join-work counters of the call.
 pub(super) fn eval_rule(
     db: &mut Database,
     rule: &CompiledRule,
@@ -15,7 +39,7 @@ pub(super) fn eval_rule(
     w_prev: TupleId,
     w_cur: TupleId,
     sink: &mut dyn DerivationSink,
-) -> usize {
+) -> EvalDelta {
     let mut cx = JoinCx {
         db,
         rule,
@@ -26,13 +50,13 @@ pub(super) fn eval_rule(
         trail: Vec::with_capacity(rule.num_vars),
         body_ids: Vec::with_capacity(rule.body.len()),
         sink,
-        firings: 0,
+        delta: EvalDelta::default(),
         scratch_key: Vec::new(),
         scratch_args: Vec::new(),
         cand_bufs: vec![Vec::new(); rule.body.len()],
     };
     cx.join(0);
-    cx.firings
+    cx.delta
 }
 
 struct JoinCx<'a> {
@@ -47,7 +71,7 @@ struct JoinCx<'a> {
     trail: Vec<u16>,
     body_ids: Vec<TupleId>,
     sink: &'a mut dyn DerivationSink,
-    firings: usize,
+    delta: EvalDelta,
     scratch_key: Vec<Const>,
     scratch_args: Vec<Const>,
     /// Per body position, a reusable buffer for the candidate tuples of
@@ -101,6 +125,7 @@ impl JoinCx<'_> {
             lo,
             hi,
         ));
+        self.delta.candidates += candidates.len() as u64;
 
         for &id in &candidates {
             if let Some(mark) = self.bind(atom, id) {
@@ -213,9 +238,12 @@ impl JoinCx<'_> {
     /// All body atoms matched: ground the head, insert, and report.
     fn fire(&mut self) {
         let args: Box<[Const]> = self.rule.head.args.iter().map(|t| self.value(*t)).collect();
-        let (head_id, _) = self.db.insert(self.rule.head.pred, args);
+        let (head_id, inserted) = self.db.insert(self.rule.head.pred, args);
         self.sink.derived(self.rule.clause, head_id, &self.body_ids);
-        self.firings += 1;
+        self.delta.firings += 1;
+        if inserted {
+            self.delta.new_tuples += 1;
+        }
     }
 }
 

@@ -29,6 +29,23 @@ pub use database::{Database, Relation, StoredTuple, TupleId};
 
 use crate::ast::{ClauseId, Term};
 use crate::program::Program;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-global switch for per-rule cost collection (the EXPLAIN plane's
+/// raw data). On by default — the per-call accumulation is a handful of
+/// integer adds per rule evaluation — but the overhead bench flips it off
+/// to measure exactly what enabling explain costs.
+static RULE_STAT_COLLECTION: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables per-rule cost collection for subsequent runs.
+pub fn set_rule_stat_collection(on: bool) {
+    RULE_STAT_COLLECTION.store(on, Ordering::Relaxed);
+}
+
+/// Whether per-rule cost collection is currently enabled.
+pub fn rule_stat_collection() -> bool {
+    RULE_STAT_COLLECTION.load(Ordering::Relaxed)
+}
 
 /// Observes derivations during evaluation. Implemented by provenance
 /// capture; [`NoopSink`] discards everything (the paper's "without
@@ -75,12 +92,49 @@ pub struct StratumStats {
     pub derived_tuples: usize,
 }
 
+/// Evaluation cost attributed to one compiled rule across a run — the raw
+/// material of the EXPLAIN plane. Indexed like `Engine`'s compiled-rule
+/// list; `clause` ties the row back to the program clause (a transformed
+/// clause under demand evaluation, projected onto its source clause by
+/// `explain::ExplainPlan::project_demand`).
+#[derive(Clone, Debug)]
+pub struct RuleStats {
+    /// The program clause this rule was compiled from.
+    pub clause: ClauseId,
+    /// Rule firings, including re-derivations.
+    pub firings: u64,
+    /// Head inserts that created a previously unknown tuple.
+    pub new_tuples: u64,
+    /// Join fan-out: candidate tuples pulled from index probes across all
+    /// body positions and delta passes.
+    pub candidates: u64,
+    /// Fixpoint iterations in which this rule did any join work.
+    pub iterations: u64,
+    /// Body positions probed through a planned column index.
+    pub indexed_probes: u32,
+    /// Body positions scanned without an index (no bound columns).
+    pub scanned_probes: u32,
+}
+
+impl RuleStats {
+    /// The scalar cost used for ranking: join fan-out plus firing and
+    /// insert work. Candidates dominate because each one is a tuple copy +
+    /// bind attempt; firings and new tuples add head grounding and insert
+    /// cost on top.
+    pub fn cost(&self) -> u64 {
+        self.candidates + self.firings + self.new_tuples
+    }
+}
+
 /// The evaluation engine for one program.
 pub struct Engine<'p> {
     program: &'p Program,
     rules: Vec<CompiledRule>,
     stats: EngineStats,
     per_stratum: Vec<StratumStats>,
+    rule_stats: Vec<RuleStats>,
+    /// New tuples per semi-naive iteration, across strata in run order.
+    deltas: Vec<u32>,
     /// Evaluation-mode label for metrics (`naive` unless the caller runs a
     /// demand-transformed program and says so).
     mode_label: &'static str,
@@ -99,6 +153,8 @@ impl<'p> Engine<'p> {
             rules,
             stats: EngineStats::default(),
             per_stratum: Vec::new(),
+            rule_stats: Vec::new(),
+            deltas: Vec::new(),
             mode_label: "naive",
         }
     }
@@ -157,7 +213,25 @@ impl<'p> Engine<'p> {
         let base_tuples = db.len();
         let mut iterations = 0usize;
         let mut firings = 0usize;
+        let collect = rule_stat_collection();
         self.per_stratum = Vec::with_capacity(by_stratum.len());
+        self.deltas = Vec::new();
+        self.rule_stats = self
+            .rules
+            .iter()
+            .map(|rule| {
+                let indexed = rule.index_specs().count() as u32;
+                RuleStats {
+                    clause: rule.clause,
+                    firings: 0,
+                    new_tuples: 0,
+                    candidates: 0,
+                    iterations: 0,
+                    indexed_probes: indexed,
+                    scanned_probes: rule.body.len() as u32 - indexed,
+                }
+            })
+            .collect();
         for stratum_rules in &by_stratum {
             let stratum_start = db.len();
             let mut stratum_stats = StratumStats::default();
@@ -171,16 +245,30 @@ impl<'p> Engine<'p> {
                 iterations += 1;
                 stratum_stats.iterations += 1;
                 delta_hist.observe(u64::from(w_cur - w_prev));
+                if collect {
+                    self.deltas.push(w_cur - w_prev);
+                }
                 for &rule_idx in stratum_rules {
+                    let mut rule_delta = eval::EvalDelta::default();
                     for d in 0..self.rules[rule_idx].body.len() {
-                        stratum_stats.firings += eval::eval_rule(
+                        rule_delta.merge(eval::eval_rule(
                             &mut db,
                             &self.rules[rule_idx],
                             d,
                             TupleId(w_prev),
                             TupleId(w_cur),
                             sink,
-                        );
+                        ));
+                    }
+                    stratum_stats.firings += rule_delta.firings;
+                    if collect {
+                        let rs = &mut self.rule_stats[rule_idx];
+                        rs.firings += rule_delta.firings as u64;
+                        rs.candidates += rule_delta.candidates;
+                        rs.new_tuples += rule_delta.new_tuples;
+                        if rule_delta.work() > 0 {
+                            rs.iterations += 1;
+                        }
                     }
                 }
                 w_prev = w_cur;
@@ -213,6 +301,26 @@ impl<'p> Engine<'p> {
             &mode,
         )
         .add((db.len() - base_tuples) as u64);
+        // Per-stratum counters: stratum indexes are small and bounded by
+        // the program's negation structure, so the label set stays tiny.
+        for (i, s) in self.per_stratum.iter().enumerate() {
+            let labels = p3_obs::metrics::render_labels(&[
+                ("stratum", &i.to_string()),
+                ("mode", self.mode_label),
+            ]);
+            p3_obs::metrics::labeled_counter(
+                "p3_engine_stratum_firings_total",
+                "Rule firings per stratum, by evaluation mode",
+                &labels,
+            )
+            .add(s.firings as u64);
+            p3_obs::metrics::labeled_counter(
+                "p3_engine_stratum_tuples_total",
+                "Tuples derived per stratum, by evaluation mode",
+                &labels,
+            )
+            .add(s.derived_tuples as u64);
+        }
         span.add_field("iterations", iterations);
         span.add_field("firings", firings);
         span.add_field("tuples", db.len());
@@ -239,6 +347,23 @@ impl<'p> Engine<'p> {
     /// Negation-free programs have a single stratum.
     pub fn stratum_stats(&self) -> &[StratumStats] {
         &self.per_stratum
+    }
+
+    /// Per-rule cost counters from the most recent run, in compiled-rule
+    /// order. Empty when rule-stat collection was disabled for the run.
+    pub fn rule_stats(&self) -> &[RuleStats] {
+        &self.rule_stats
+    }
+
+    /// New tuples per semi-naive iteration of the most recent run, across
+    /// strata in run order. Empty when collection was disabled.
+    pub fn deltas(&self) -> &[u32] {
+        &self.deltas
+    }
+
+    /// The evaluation-mode label of this engine (`naive`/`demand`).
+    pub fn mode_label(&self) -> &'static str {
+        self.mode_label
     }
 
     /// The program being evaluated.

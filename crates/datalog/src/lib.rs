@@ -32,6 +32,7 @@
 pub mod ast;
 pub mod diag;
 pub mod engine;
+pub mod explain;
 pub mod parser;
 pub mod program;
 pub mod symbol;

@@ -1,0 +1,156 @@
+//! The EXPLAIN cost model: turns measured per-rule evaluation cost into
+//! the same `P3603`/`P3604` recommendations the static passes emit — but
+//! with numbers instead of shape heuristics.
+//!
+//! The static strata pass guesses from program structure ("this program
+//! has recursive cycles, demand mode probably pays off"). After a run the
+//! guess is unnecessary: the [`ExplainPlan`] says exactly which rule
+//! burned how many join candidates over how many iterations. These
+//! recommendations quote those measurements, so `p3 explain` can tell a
+//! user *this* rule is the cost cliff and *this* flag removes it.
+
+use p3_datalog::diag::Diagnostic;
+use p3_datalog::explain::{ExplainPlan, RuleCost};
+
+/// Fraction of total plan cost a single recursive rule must account for
+/// before the measured P3603 demand-mode recommendation fires.
+const HOT_RULE_SHARE: f64 = 0.25;
+
+/// Minimum fixpoint iterations (and minimum recursive cost) before the
+/// measured P3604 warm-restart recommendation fires: below this,
+/// re-deriving on boot is too cheap to bother journaling.
+const STORE_MIN_ITERATIONS: usize = 3;
+const STORE_MIN_COST: u64 = 64;
+
+/// Recommendations derived from one evaluation's measured cost, most
+/// impactful first. Diagnostics carry the hot rule's clause label but no
+/// source span — the plan attributes cost, not text positions.
+pub fn cost_recommendations(plan: &ExplainPlan) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let total = plan.total_cost();
+    if total == 0 {
+        return out;
+    }
+
+    let hot_recursive: Option<&RuleCost> = plan.rules.iter().find(|r| r.recursive && r.cost() > 0);
+    let share = |cost: u64| 100.0 * cost as f64 / total as f64;
+
+    if plan.mode == "naive" {
+        if let Some(rule) = hot_recursive {
+            if rule.cost() as f64 >= HOT_RULE_SHARE * total as f64 {
+                out.push(
+                    Diagnostic::info(
+                        "P3603",
+                        format!(
+                            "recursive rule '{}' dominates naive evaluation: {} firings \
+                             scanning {} join candidates over {} iterations ({:.0}% of \
+                             measured cost)",
+                            rule.label,
+                            rule.firings,
+                            rule.candidates,
+                            rule.iterations,
+                            share(rule.cost()),
+                        ),
+                    )
+                    .with_clause(&rule.label)
+                    .with_help(
+                        "query-directed evaluation derives only the query-relevant \
+                         fragment of this rule's fixpoint; pass --eval-mode demand \
+                         (auto mode already selects it for recursive programs)",
+                    ),
+                );
+            }
+        }
+    }
+
+    let recursive_cost: u64 = plan
+        .rules
+        .iter()
+        .filter(|r| r.recursive)
+        .map(RuleCost::cost)
+        .sum();
+    let recursive_tuples: u64 = plan
+        .rules
+        .iter()
+        .filter(|r| r.recursive)
+        .map(|r| r.new_tuples)
+        .sum();
+    if plan.stats.iterations >= STORE_MIN_ITERATIONS && recursive_cost >= STORE_MIN_COST {
+        let labels: Vec<&str> = plan
+            .rules
+            .iter()
+            .filter(|r| r.recursive && r.cost() > 0)
+            .map(|r| r.label.as_str())
+            .collect();
+        let mut d = Diagnostic::info(
+            "P3604",
+            format!(
+                "recursive rules {{{}}} took {} fixpoint iterations deriving {} tuples \
+                 ({:.0}% of measured cost) — work re-paid on every cold start",
+                labels.join(", "),
+                plan.stats.iterations,
+                recursive_tuples,
+                share(recursive_cost),
+            ),
+        )
+        .with_help(
+            "p3-serve --store-dir DIR journals interned formulas and query memos \
+             and replays them on the next boot, skipping this re-derivation",
+        );
+        if let Some(first) = labels.first() {
+            d = d.with_clause(*first);
+        }
+        out.push(d);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3_datalog::engine::Engine;
+    use p3_datalog::program::Program;
+
+    fn naive_plan(src: &str) -> ExplainPlan {
+        let p = Program::parse(src).unwrap();
+        let mut e = Engine::new(&p);
+        e.run_plain();
+        ExplainPlan::from_engine(&e)
+    }
+
+    #[test]
+    fn hot_recursive_rule_yields_measured_p3603_and_p3604() {
+        // A 10-node cycle: the recursive rule burns the vast majority of
+        // the join work and fixpoint depth is well past the threshold.
+        let mut src = String::from(
+            "r1 1.0: path(X,Y) :- edge(X,Y).
+             r2 1.0: path(X,Z) :- edge(X,Y), path(Y,Z).\n",
+        );
+        for i in 0..10 {
+            src.push_str(&format!("e{i} 0.5: edge({i},{}).\n", (i + 1) % 10));
+        }
+        let plan = naive_plan(&src);
+        let recs = cost_recommendations(&plan);
+        let codes: Vec<_> = recs.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["P3603", "P3604"], "{recs:?}");
+        let p3603 = &recs[0];
+        assert!(p3603.message.contains("'r2'"), "{}", p3603.message);
+        assert!(p3603.message.contains("firings"), "{}", p3603.message);
+        assert_eq!(p3603.clause.as_deref(), Some("r2"));
+    }
+
+    #[test]
+    fn flat_programs_get_no_recommendations() {
+        let plan = naive_plan(
+            "r1 1.0: q(X) :- p(X).
+             t1 0.5: p(a). t2 0.5: p(b).",
+        );
+        assert!(cost_recommendations(&plan).is_empty());
+    }
+
+    #[test]
+    fn fact_only_plan_is_silent() {
+        let plan = naive_plan("t1 0.5: p(a).");
+        assert!(cost_recommendations(&plan).is_empty());
+    }
+}

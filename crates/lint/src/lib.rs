@@ -25,6 +25,7 @@
 //! produces rustc-style text; [`LintReport::to_json`] a machine-readable
 //! array.
 
+pub mod cost;
 mod ctx;
 mod graph;
 mod passes;

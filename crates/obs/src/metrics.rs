@@ -345,6 +345,21 @@ pub fn escape_label_value(value: &str) -> String {
     out
 }
 
+/// Caps a high-cardinality label value (a rule label, a query string) at
+/// `max_bytes`, backing down to a `char` boundary so multi-byte UTF-8 is
+/// never split. Pair with [`render_labels`] — capping bounds the *size*
+/// of each label value, escaping keeps whatever survives well-formed.
+pub fn cap_label_value(value: &str, max_bytes: usize) -> &str {
+    if value.len() <= max_bytes {
+        return value;
+    }
+    let mut end = max_bytes;
+    while !value.is_char_boundary(end) {
+        end -= 1;
+    }
+    &value[..end]
+}
+
 /// Renders a `key="value",…` label list with properly escaped values —
 /// the safe way to build the `labels` argument of [`labeled_counter`] and
 /// friends from runtime strings.
@@ -548,6 +563,31 @@ mod tests {
             }
         }
         assert_eq!(unescaped, hostile);
+    }
+
+    #[test]
+    fn hostile_rule_names_cap_then_escape_into_one_sample_line() {
+        // A rule label is attacker-ish input too: the program text chooses
+        // it. Long labels must cap on a char boundary *before* escaping
+        // (capping after could split an escape sequence), and the capped
+        // remainder must still render as a single well-formed line.
+        let hostile = format!("r\"evil\\\n{}é", "x".repeat(60));
+        let capped = cap_label_value(&hostile, 48);
+        assert!(capped.len() <= 48);
+        assert!(hostile.starts_with(capped));
+        // Multi-byte tail: capping backs off rather than splitting 'é'.
+        let multi = format!("{}é", "x".repeat(47));
+        assert_eq!(cap_label_value(&multi, 48), "x".repeat(47));
+        let labels = render_labels(&[("rule", capped), ("mode", "naive")]);
+        labeled_counter("p3_obs_test_rule_cap_total", "hostile rule labels", &labels).add(1);
+        let text = prometheus_text();
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("p3_obs_test_rule_cap_total{"))
+            .collect();
+        assert_eq!(lines.len(), 1, "capped+escaped label stays one sample line");
+        assert!(lines[0].ends_with("\"} 1"));
+        assert!(lines[0].contains("mode=\"naive\""));
     }
 
     #[test]

@@ -115,6 +115,20 @@ pub struct Dnf {
     monomials: Vec<Monomial>,
 }
 
+/// Shape counters of one DNF: how big the provenance polynomial is, the
+/// number every probability backend's cost scales with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DnfShape {
+    /// Monomials (derivations surviving absorption).
+    pub monomials: usize,
+    /// Literal occurrences across all monomials.
+    pub literals: usize,
+    /// Widest monomial (literals in the longest derivation).
+    pub max_width: usize,
+    /// Distinct variables mentioned.
+    pub distinct_vars: usize,
+}
+
 impl Dnf {
     /// The constant `false` (no derivations).
     pub fn zero() -> Self {
@@ -259,6 +273,17 @@ impl Dnf {
     /// Total number of literal occurrences (the paper's "k-literal" size).
     pub fn literal_occurrences(&self) -> usize {
         self.monomials.iter().map(Monomial::len).sum()
+    }
+
+    /// The formula's shape counters — the EXPLAIN plane's goal-level view
+    /// of provenance size (exact probability is exponential in these).
+    pub fn shape(&self) -> DnfShape {
+        DnfShape {
+            monomials: self.len(),
+            literals: self.literal_occurrences(),
+            max_width: self.monomials.iter().map(Monomial::len).max().unwrap_or(0),
+            distinct_vars: self.vars().len(),
+        }
     }
 
     /// Renders the formula as e.g. `x0·x2 + x1`.

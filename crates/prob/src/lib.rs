@@ -34,7 +34,7 @@ pub mod store;
 pub mod var;
 
 pub use assignment::Assignment;
-pub use dnf::{Dnf, Monomial};
+pub use dnf::{Dnf, DnfShape, Monomial};
 pub use mc::McConfig;
 pub use store::{DnfId, DnfStore, InternJournal, ShardStats, StoreStats};
 pub use var::{VarId, VarTable};

@@ -9,6 +9,7 @@
 use crate::graph::ProvGraph;
 use p3_datalog::ast::ClauseId;
 use p3_datalog::engine::{Database, DerivationSink, Engine, TupleId};
+use p3_datalog::explain::{self, ExplainPlan};
 use p3_datalog::program::Program;
 
 /// A [`DerivationSink`] that builds a [`ProvGraph`].
@@ -49,9 +50,21 @@ impl DerivationSink for CaptureSink {
 /// Evaluates `program` with provenance maintenance, returning the database
 /// and the provenance graph. This is the P3 execution mode.
 pub fn evaluate_with_provenance(program: &Program) -> (Database, ProvGraph) {
+    let (db, graph, _) = evaluate_with_provenance_plan(program);
+    (db, graph)
+}
+
+/// Like [`evaluate_with_provenance`], but also returns the run's
+/// [`ExplainPlan`] — per-rule cost attribution the engine would otherwise
+/// drop with its stack frame. The plan's top rules are published to the
+/// `p3_engine_rule_*` metric families as a side effect.
+pub fn evaluate_with_provenance_plan(program: &Program) -> (Database, ProvGraph, ExplainPlan) {
     let mut span = p3_obs::span::span("provenance.capture");
     let mut sink = CaptureSink::new();
-    let db = Engine::new(program).run(&mut sink);
+    let mut engine = Engine::new(program);
+    let db = engine.run(&mut sink);
+    let plan = ExplainPlan::from_engine(&engine);
+    explain::publish_rule_metrics(&plan, explain::METRIC_TOP_RULES);
     let graph = sink.into_graph();
     span.add_field("tuples", db.len());
     span.add_field("execs", graph.num_execs());
@@ -60,7 +73,7 @@ pub fn evaluate_with_provenance(program: &Program) -> (Database, ProvGraph) {
         "Rule executions recorded into provenance graphs"
     )
     .add(graph.num_execs() as u64);
-    (db, graph)
+    (db, graph, plan)
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ use crate::capture::CaptureSink;
 use crate::graph::{Derivation, ProvGraph};
 use p3_datalog::ast::Const;
 use p3_datalog::engine::{Database, Engine, EngineStats, TupleId};
+use p3_datalog::explain::{self, ExplainPlan};
 use p3_datalog::program::Program;
 use p3_datalog::symbol::Symbol;
 use p3_datalog::transform::{magic_transform, TransformError, TransformStats};
@@ -52,6 +53,9 @@ pub struct DemandEvaluation {
     pub graph: ProvGraph,
     /// Evaluation counters.
     pub stats: DemandStats,
+    /// Per-rule cost attribution, projected onto source clauses (magic
+    /// work in the plan's `magic` bucket).
+    pub plan: ExplainPlan,
 }
 
 /// Magic-transforms `program` for the ground query `pred(args)`, evaluates
@@ -121,10 +125,17 @@ pub fn evaluate_query_with_provenance(
         relevant_tuples: db.len(),
         magic_tuples: raw_db.len() - db.len(),
     };
+    let plan = ExplainPlan::project_demand(&engine, &dp, program);
+    explain::publish_rule_metrics(&plan, explain::METRIC_TOP_RULES);
     span.add_field("relevant_tuples", stats.relevant_tuples);
     span.add_field("magic_tuples", stats.magic_tuples);
     span.add_field("execs", graph.num_execs());
-    Ok(DemandEvaluation { db, graph, stats })
+    Ok(DemandEvaluation {
+        db,
+        graph,
+        stats,
+        plan,
+    })
 }
 
 #[cfg(test)]

@@ -18,11 +18,14 @@
 //!   `flamegraph.pl` or speedscope;
 //! * `GET /audit?n=N` — the `N` most recent audit records (newest first)
 //!   with the audit log's counters;
-//! * `GET /audit/top?by=latency|tuples|dnf_width&n=N` — worst offenders
-//!   from the audit ring, each carrying its trace id as the exemplar
-//!   link into `/traces`;
+//! * `GET /audit/top?by=latency|tuples|dnf_width|rule_cost&n=N` — worst
+//!   offenders from the audit ring, each carrying its trace id as the
+//!   exemplar link into `/traces`;
 //! * `GET /slo` — per-class burn rates, window trip state, and error
-//!   budgets (503s `/readyz` when fast-burn trips under `--slo-readyz`).
+//!   budgets (503s `/readyz` when fast-burn trips under `--slo-readyz`);
+//! * `GET /explain` — the current session's accumulated per-rule cost
+//!   attribution: every retained evaluation plan plus the cross-plan
+//!   top-rules ranking.
 //!
 //! Integer query parameters are validated, not silently defaulted: a
 //! non-numeric or out-of-range `n`/`secs` is a 400 with a JSON error
@@ -37,7 +40,7 @@
 
 use crate::protocol::AuditKey;
 use crate::server::{
-    audit_tail_snapshot, audit_top_snapshot, refresh_gauges, slo_snapshot, Shared,
+    audit_tail_snapshot, audit_top_snapshot, explain_snapshot, refresh_gauges, slo_snapshot, Shared,
 };
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -278,7 +281,7 @@ pub(crate) fn respond(method: &str, target: &str, shared: &Shared) -> HttpRespon
                             content_type: "application/json",
                             body: format!(
                                 "{{\"error\":\"query parameter 'by' must be \
-                                 latency, tuples or dnf_width\",\"got\":{}}}\n",
+                                 latency, tuples, dnf_width or rule_cost\",\"got\":{}}}\n",
                                 p3_audit::json_escape(raw)
                             ),
                             allow: None,
@@ -292,6 +295,10 @@ pub(crate) fn respond(method: &str, target: &str, shared: &Shared) -> HttpRespon
             )
         }
         "/slo" => HttpResponse::ok("application/json", slo_snapshot(shared).to_json() + "\n"),
+        "/explain" => HttpResponse::ok(
+            "application/json",
+            explain_snapshot(shared).to_json() + "\n",
+        ),
         _ => HttpResponse::text(404, format!("no such route: {path}\n")),
     }
 }
@@ -424,6 +431,36 @@ mod tests {
         let resp = respond("GET", "/audit/top?by=bogus", &shared);
         assert_eq!(resp.status, 400);
         assert!(resp.body.contains("'by'"), "{}", resp.body);
+        assert!(resp.body.contains("rule_cost"), "{}", resp.body);
+        // rule_cost is a valid ranking key even without a log.
+        let resp = respond("GET", "/audit/top?by=rule_cost", &shared);
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn explain_route_reports_accumulated_plans() {
+        let shared = test_shared(2, 10);
+        // No query has forced an evaluation yet: the route still answers
+        // with an empty accumulation rather than erroring.
+        let resp = respond("GET", "/explain", &shared);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "application/json");
+        for needle in [
+            "\"evaluations\"",
+            "\"rule_cost_total\"",
+            "\"top_rules\"",
+            "\"plans\"",
+        ] {
+            assert!(resp.body.contains(needle), "{needle}: {}", resp.body);
+        }
+        // Force an evaluation through the session, then the plans show up.
+        let session = shared.current_session();
+        let _ = session
+            .probability("a(1)", p3_core::ProbMethod::Exact)
+            .unwrap();
+        let resp = respond("GET", "/explain", &shared);
+        assert!(resp.body.contains("\"mode\":\"naive\""), "{}", resp.body);
+        assert!(resp.body.contains("\"total_cost\""), "{}", resp.body);
     }
 
     #[test]

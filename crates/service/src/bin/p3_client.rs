@@ -32,6 +32,8 @@ COMMANDS:
     profile QUERY [TARGET]       stage-by-stage breakdown of one query
                                  (--class picks the query class; TARGET is
                                  required for --class modification)
+    explain QUERY                per-rule cost attribution of the evaluation
+                                 answering QUERY (EXPLAIN plane)
     load-program FILE            replace the served program (source sent inline;
                                  --no-lint skips the pre-flight gate)
     lint FILE                    static analysis of FILE without loading it
@@ -59,8 +61,8 @@ OPTIONS (where applicable):
     --threads N         pmc worker threads; 0 = auto
     --eps E             derivation error bound  [default: 0.01]
     --algo A            greedy|resuciu          [default: greedy]
-    --by K              audit-top ranking key: latency|tuples|dnf_width
-                        [default: latency]
+    --by K              audit-top ranking key: latency|tuples|dnf_width|
+                        rule_cost [default: latency]
     --top-k K           keep only the K most influential entries
     --tolerance T       modification tolerance  [default: 1e-6]
     --eval-mode M       evaluation mode override: auto|naive|demand
@@ -128,7 +130,7 @@ fn build_request(words: &[String]) -> Result<String, String> {
                 pairs.push(("n".into(), Value::from(n)));
             }
         }
-        "probability" | "explanation" | "influence" => {
+        "probability" | "explanation" | "influence" | "explain" => {
             pairs.insert(0, ("op".into(), cmd.into()));
             pairs.insert(1, ("query".into(), query(&positional)?));
         }

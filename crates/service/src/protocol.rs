@@ -14,6 +14,7 @@
 //!          | "probability" | "explanation" | "derivation"
 //!          | "influence" | "modification"
 //!          | "profile"      (wraps a query class, "class": <op>)
+//!          | "explain"      (per-rule cost attribution for a query)
 //! response = { ["id": n], "status": "ok" | "error" | "timeout",
 //!              ["result": {...}], ["error": "..."] }
 //! ```
@@ -126,6 +127,13 @@ pub enum Op {
         /// The profiled query op.
         inner: Box<Op>,
     },
+    /// Query EXPLAIN plane: per-rule cost attribution of the evaluation
+    /// that answers `query` (engine plan, DNF shape, cache deltas,
+    /// measured lint recommendations). Observation-only.
+    Explain {
+        /// Ground atom to explain.
+        query: String,
+    },
     /// The `n` most recent audit records, newest first.
     AuditTail {
         /// How many records to return.
@@ -151,6 +159,9 @@ pub enum AuditKey {
     Tuples,
     /// DNF width: total literal count across monomials.
     DnfWidth,
+    /// Measured rule cost the request added (join candidates + firings +
+    /// derived tuples) — ranks requests that forced evaluations.
+    RuleCost,
 }
 
 impl AuditKey {
@@ -160,8 +171,9 @@ impl AuditKey {
             "latency" => Ok(AuditKey::Latency),
             "tuples" => Ok(AuditKey::Tuples),
             "dnf_width" => Ok(AuditKey::DnfWidth),
+            "rule_cost" => Ok(AuditKey::RuleCost),
             other => Err(format!(
-                "unknown audit key '{other}' (expected latency|tuples|dnf_width)"
+                "unknown audit key '{other}' (expected latency|tuples|dnf_width|rule_cost)"
             )),
         }
     }
@@ -172,6 +184,7 @@ impl AuditKey {
             AuditKey::Latency => "latency",
             AuditKey::Tuples => "tuples",
             AuditKey::DnfWidth => "dnf_width",
+            AuditKey::RuleCost => "rule_cost",
         }
     }
 }
@@ -196,6 +209,7 @@ impl Op {
             Op::Influence { .. } => "influence",
             Op::Modification { .. } => "modification",
             Op::Profile { .. } => "profile",
+            Op::Explain { .. } => "explain",
             Op::AuditTail { .. } => "audit-tail",
             Op::AuditTop { .. } => "audit-top",
             Op::Slo => "slo",
@@ -212,7 +226,8 @@ impl Op {
             | Op::Explanation { query, .. }
             | Op::Derivation { query, .. }
             | Op::Influence { query, .. }
-            | Op::Modification { query, .. } => Some(query),
+            | Op::Modification { query, .. }
+            | Op::Explain { query } => Some(query),
             Op::Profile { inner } => inner.query_text(),
             _ => None,
         }
@@ -472,6 +487,9 @@ impl Request {
                     inner: Box::new(parse_query_op(class, &v)?),
                 }
             }
+            "explain" => Op::Explain {
+                query: str_field(&v, "query")?,
+            },
             other => parse_query_op(other, &v).map_err(|e| {
                 if e.starts_with("unknown query class") {
                     format!("unknown op '{other}'")
@@ -633,6 +651,7 @@ mod tests {
                 r#"{"op":"modification","query":"a(1)","target":0.9}"#,
                 "modification",
             ),
+            (r#"{"op":"explain","query":"a(1)"}"#, "explain"),
         ];
         for (line, class) in cases {
             let req = Request::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
@@ -871,6 +890,11 @@ mod tests {
             .unwrap()
             .op
             .is_query());
+        // Explain forces an evaluation, so it runs on the worker pool.
+        assert!(Request::parse(r#"{"op":"explain","query":"a(1)"}"#)
+            .unwrap()
+            .op
+            .is_query());
     }
 
     #[test]
@@ -896,6 +920,14 @@ mod tests {
             }
             ref other => panic!("{other:?}"),
         }
+        match Request::parse(r#"{"op":"audit-top","by":"rule_cost"}"#)
+            .unwrap()
+            .op
+        {
+            Op::AuditTop { by, .. } => assert_eq!(by, AuditKey::RuleCost),
+            ref other => panic!("{other:?}"),
+        }
+        assert_eq!(AuditKey::RuleCost.as_str(), "rule_cost");
         for line in [
             r#"{"op":"audit-top","by":"magic"}"#,
             r#"{"op":"audit-top","by":7}"#,

@@ -186,6 +186,13 @@ struct Answer {
     extract_memo_hits: u64,
     /// Extraction-memo misses while the op ran.
     extract_memo_misses: u64,
+    /// Rule-evaluation cost (candidates + firings + new tuples) attributed
+    /// to forced evaluations while the op ran (delta of the session
+    /// system's monotone tally; approximate under concurrency).
+    rule_cost: u64,
+    /// The costliest rules of the session's accumulated plans after the
+    /// op — populated only when the op forced evaluation (`rule_cost > 0`).
+    top_rules: Vec<(String, u64)>,
 }
 
 /// Facts `execute` collects as it runs an op: coarse per-stage wall
@@ -832,6 +839,8 @@ struct RequestMeta {
     extract_memo_hits: u64,
     extract_memo_misses: u64,
     lint_reject: bool,
+    rule_cost: u64,
+    top_rules: Vec<(String, u64)>,
 }
 
 /// Builds this request's audit record, feeds the SLO engine, and appends
@@ -880,6 +889,8 @@ fn audit_request(
         store_records: meta.store_records,
         extract_memo_hits: meta.extract_memo_hits,
         extract_memo_misses: meta.extract_memo_misses,
+        rule_cost: meta.rule_cost,
+        top_rules: meta.top_rules,
     };
     if let Err(e) = audit.append(record) {
         p3_obs::warn!(
@@ -1069,6 +1080,8 @@ fn dispatch(
                     meta.store_records = answer.store_records;
                     meta.extract_memo_hits = answer.extract_memo_hits;
                     meta.extract_memo_misses = answer.extract_memo_misses;
+                    meta.rule_cost = answer.rule_cost;
+                    meta.top_rules = answer.top_rules;
                     match answer.result {
                         Ok(result) => Response::ok(request.id, result),
                         Err(msg) => Response::error(request.id, msg),
@@ -1104,6 +1117,7 @@ fn worker_loop(shared: Arc<Shared>) {
         // deltas are this op's cost, give or take concurrent requests'
         // traffic on the same counters (documented as approximate).
         let tuples_before = derived_tuples_total();
+        let rule_cost_before = session.p3().rule_cost_total();
         let (extract_hits_before, extract_misses_before) = p3_provenance::extract::memo_counters();
         let store_records_before = shared
             .active_store()
@@ -1140,6 +1154,17 @@ fn worker_loop(shared: Arc<Shared>) {
             .active_store()
             .map(|s| s.backend.stats().records_written)
             .unwrap_or(store_records_before);
+        // Rule-cost attribution: only ops that forced an evaluation moved
+        // the tally, so only those carry a top-rules exemplar.
+        let rule_cost = session
+            .p3()
+            .rule_cost_total()
+            .saturating_sub(rule_cost_before);
+        let top_rules = if rule_cost > 0 {
+            session.p3().top_rules(p3_audit::MAX_TOP_RULES)
+        } else {
+            Vec::new()
+        };
         // The handler may have timed out and gone; that's fine.
         let _ = job.reply.send(Answer {
             result,
@@ -1152,6 +1177,8 @@ fn worker_loop(shared: Arc<Shared>) {
             store_records: store_records_after.saturating_sub(store_records_before),
             extract_memo_hits: extract_hits_after.saturating_sub(extract_hits_before),
             extract_memo_misses: extract_misses_after.saturating_sub(extract_misses_before),
+            rule_cost,
+            top_rules,
         });
     }
 }
@@ -1519,6 +1546,17 @@ fn execute(
                 .collect();
             Ok(profile_value(&profile))
         }
+        Op::Explain { query } => {
+            let explained = facts
+                .timed("explain", || session.explain(query))
+                .map_err(|e| e.to_string())?;
+            facts.dnf_monomials = explained.shape.monomials as u64;
+            facts.dnf_literals = explained.shape.literals as u64;
+            // The explain type owns the canonical JSON shape (shared with
+            // `p3 explain --json`); parse it back rather than re-encoding.
+            Value::parse(&explained.to_json_string())
+                .map_err(|e| format!("explain payload encoding: {e}"))
+        }
     }
 }
 
@@ -1619,6 +1657,136 @@ fn stats_snapshot(shared: &Shared) -> Value {
                 ("op_hits", Value::from(store.op_hits)),
                 ("op_misses", Value::from(store.op_misses)),
             ]),
+        ),
+        ("engine", engine_stats_value(&session)),
+    ])
+}
+
+/// The `stats` payload's `engine` section: run-level [`EngineStats`] and
+/// per-stratum [`StratumStats`] aggregated over every evaluation the
+/// session's system has retained a plan for.
+///
+/// [`EngineStats`]: p3_datalog::engine::EngineStats
+/// [`StratumStats`]: p3_datalog::engine::StratumStats
+fn engine_stats_value(session: &QuerySession) -> Value {
+    let plans = session.p3().explain_plans();
+    let (mut iterations, mut firings, mut tuples) = (0u64, 0u64, 0u64);
+    // Strata aggregate positionally: stratum i of every retained plan is
+    // the same program layer, so its counters sum meaningfully.
+    let mut strata: Vec<(u64, u64, u64)> = Vec::new();
+    for plan in &plans {
+        iterations += plan.stats.iterations as u64;
+        firings += plan.stats.firings as u64;
+        tuples += plan.stats.tuples as u64;
+        for (i, st) in plan.strata.iter().enumerate() {
+            if strata.len() <= i {
+                strata.resize(i + 1, (0, 0, 0));
+            }
+            strata[i].0 += st.iterations as u64;
+            strata[i].1 += st.firings as u64;
+            strata[i].2 += st.derived_tuples as u64;
+        }
+    }
+    Value::object(vec![
+        ("evaluations", Value::from(plans.len())),
+        (
+            "rule_cost_total",
+            Value::from(session.p3().rule_cost_total()),
+        ),
+        ("iterations", Value::from(iterations)),
+        ("firings", Value::from(firings)),
+        ("derived_tuples", Value::from(tuples)),
+        (
+            "strata",
+            Value::Array(
+                strata
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (it, fi, tu))| {
+                        Value::object(vec![
+                            ("stratum", Value::from(i)),
+                            ("iterations", Value::from(*it)),
+                            ("firings", Value::from(*fi)),
+                            ("derived_tuples", Value::from(*tu)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The `GET /explain` payload: the current session's accumulated cost
+/// attribution — every retained [`ExplainPlan`] plus the cross-plan
+/// top-rules ranking — for operators who want "which rules are burning
+/// the CPU?" without crafting a query.
+///
+/// [`ExplainPlan`]: p3_datalog::explain::ExplainPlan
+pub(crate) fn explain_snapshot(shared: &Shared) -> Value {
+    let session = shared.current_session();
+    let p3 = session.p3();
+    let plans = p3.explain_plans();
+    Value::object(vec![
+        (
+            "eval_mode",
+            Value::from(session.eval_mode().as_str().to_string()),
+        ),
+        ("evaluations", Value::from(plans.len())),
+        ("rule_cost_total", Value::from(p3.rule_cost_total())),
+        (
+            "top_rules",
+            Value::Array(
+                p3.top_rules(p3_datalog::explain::METRIC_TOP_RULES)
+                    .into_iter()
+                    .map(|(rule, cost)| {
+                        Value::object(vec![
+                            ("rule", Value::from(rule)),
+                            ("cost", Value::from(cost)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "plans",
+            Value::Array(plans.iter().map(explain_plan_value).collect()),
+        ),
+    ])
+}
+
+/// One retained [`ExplainPlan`](p3_datalog::explain::ExplainPlan) as JSON
+/// (the per-evaluation entries of `GET /explain`).
+fn explain_plan_value(plan: &p3_datalog::explain::ExplainPlan) -> Value {
+    Value::object(vec![
+        ("mode", Value::from(plan.mode.to_string())),
+        ("total_cost", Value::from(plan.total_cost())),
+        ("iterations", Value::from(plan.stats.iterations)),
+        ("firings", Value::from(plan.stats.firings)),
+        ("tuples", Value::from(plan.stats.tuples)),
+        (
+            "rules",
+            Value::Array(
+                plan.rules
+                    .iter()
+                    .map(|r| {
+                        Value::object(vec![
+                            ("rule", Value::from(r.label.clone())),
+                            ("head", Value::from(r.head.clone())),
+                            ("recursive", Value::from(r.recursive)),
+                            ("cost", Value::from(r.cost())),
+                            ("firings", Value::from(r.firings)),
+                            ("new_tuples", Value::from(r.new_tuples)),
+                            ("candidates", Value::from(r.candidates)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "magic_cost",
+            plan.magic
+                .map(|m| Value::from(m.cost()))
+                .unwrap_or(Value::Null),
         ),
     ])
 }
@@ -1726,6 +1894,7 @@ pub(crate) fn audit_top_snapshot(shared: &Shared, by: AuditKey, n: usize) -> Val
         AuditKey::Latency => |r| r.total_us,
         AuditKey::Tuples => |r| r.derived_tuples,
         AuditKey::DnfWidth => |r| r.dnf_literals,
+        AuditKey::RuleCost => |r| r.rule_cost,
     };
     let records = audit.top(n, key);
     Value::object(vec![
@@ -2370,6 +2539,114 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert_eq!(objectives.len(), 5, "five default query-class SLOs");
+
+        server.shutdown();
+        server.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explain_op_attributes_cost_and_audits_rule_cost() {
+        let dir = std::env::temp_dir().join(format!("p3-explain-ops-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let p3 = P3::from_source(ACQ).unwrap();
+        let server = Server::start(
+            p3,
+            ServerConfig {
+                tcp: Some("127.0.0.1:0".to_string()),
+                workers: 2,
+                audit: Some(p3_audit::AuditConfig::new(&dir)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect_tcp(&server.tcp_addr().unwrap().to_string()).unwrap();
+
+        // ACQ is recursive, so the default session explains on demand.
+        let resp = client
+            .request(&format!(
+                r#"{{"op":"explain","query":"{}"}}"#,
+                Q.replace('"', "\\\"")
+            ))
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok, "{resp:?}");
+        let result = resp.result.unwrap();
+        assert_eq!(result.get("mode").unwrap().as_str(), Some("demand"));
+        assert!(result.get("total_cost").unwrap().as_u64().unwrap() > 0);
+        assert!(
+            result.get("magic").is_some(),
+            "demand plans carry a magic bucket"
+        );
+        assert!(result.get("caches").is_some());
+        assert!(result.get("recommendations").is_some());
+        let rules = match result.get("rules").unwrap() {
+            Value::Array(rules) => rules,
+            other => panic!("{other:?}"),
+        };
+        assert!(!rules.is_empty());
+        assert_eq!(
+            rules[0].get("rule").unwrap().as_str(),
+            Some("r3"),
+            "the recursive rule ranks first: {rules:?}"
+        );
+
+        // The naive override explains the whole-program evaluation.
+        let resp = client
+            .request(&format!(
+                r#"{{"op":"explain","query":"{}","eval_mode":"naive"}}"#,
+                Q.replace('"', "\\\"")
+            ))
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok, "{resp:?}");
+        let result = resp.result.unwrap();
+        assert_eq!(result.get("mode").unwrap().as_str(), Some("naive"));
+        assert!(result.get("magic").is_none(), "no transform under naive");
+
+        // The stats op surfaces the engine's run-level and per-stratum
+        // counters for the evaluations the session has retained.
+        let stats = client.request(r#"{"op":"stats"}"#).unwrap();
+        let engine = stats.result.unwrap();
+        let engine = engine.get("engine").expect("stats carry an engine section");
+        assert!(engine.get("evaluations").unwrap().as_u64().unwrap() >= 1);
+        assert!(engine.get("rule_cost_total").unwrap().as_u64().unwrap() > 0);
+        assert!(engine.get("firings").unwrap().as_u64().unwrap() > 0);
+        let strata = match engine.get("strata").unwrap() {
+            Value::Array(strata) => strata,
+            other => panic!("{other:?}"),
+        };
+        assert!(!strata.is_empty());
+        assert!(strata[0].get("derived_tuples").unwrap().as_u64().is_some());
+
+        // The explain request's audit record carries its rule-cost delta
+        // and the top-rules exemplar, and audit-top ranks by it.
+        let resp = client.request(r#"{"op":"audit-tail","n":10}"#).unwrap();
+        let result = resp.result.unwrap();
+        let records = match result.get("records").unwrap() {
+            Value::Array(records) => records,
+            other => panic!("{other:?}"),
+        };
+        let explain = records
+            .iter()
+            .find(|r| r.get("class").unwrap().as_str() == Some("explain"))
+            .expect("explain record on the tail");
+        assert!(
+            explain.get("rule_cost").unwrap().as_u64().unwrap() > 0,
+            "cold explain forced an evaluation: {explain:?}"
+        );
+        let top = match explain.get("top_rules").unwrap() {
+            Value::Array(top) => top,
+            other => panic!("{other:?}"),
+        };
+        assert!(!top.is_empty());
+        assert!(top[0].get("cost").unwrap().as_u64().unwrap() > 0);
+
+        let resp = client
+            .request(r#"{"op":"audit-top","by":"rule_cost","n":3}"#)
+            .unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Ok, "{resp:?}");
+        let result = resp.result.unwrap();
+        assert_eq!(result.get("by").unwrap().as_str(), Some("rule_cost"));
 
         server.shutdown();
         server.join();

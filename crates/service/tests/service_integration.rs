@@ -612,6 +612,11 @@ fn admin_plane_serves_probes_metrics_and_traces_over_http() {
         "p3_service_requests_total",
         "p3_service_queue_depth",
         "p3_service_workers_busy",
+        // The query above forced a (demand) evaluation, so the engine's
+        // per-rule and per-stratum attribution families exist.
+        "p3_engine_rule_firings_total",
+        "p3_engine_rule_candidates_total",
+        "p3_engine_stratum_firings_total",
     ] {
         assert!(body.contains(family), "missing {family} in:\n{body}");
     }
@@ -626,12 +631,56 @@ fn admin_plane_serves_probes_metrics_and_traces_over_http() {
     assert!(body.contains("traceEvents"), "{body}");
     assert!(body.contains("request"), "{body}");
 
+    // The EXPLAIN plane: accumulated per-rule cost attribution.
+    let (status, headers, body) = http_get(admin, "/explain");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "content-type"), Some("application/json"));
+    for needle in [
+        "\"rule_cost_total\"",
+        "\"top_rules\"",
+        "\"plans\"",
+        "\"mode\":\"demand\"",
+        "\"r3\"",
+    ] {
+        assert!(body.contains(needle), "missing {needle} in:\n{body}");
+    }
+
     let (status, _, _) = http_get(admin, "/no-such-route");
     assert_eq!(status, 404);
 
     let (status, headers, _) = http_request(admin, "POST", "/metrics");
     assert_eq!(status, 405);
     assert_eq!(header(&headers, "allow"), Some("GET"));
+}
+
+#[test]
+fn explain_command_round_trips_through_the_client_binary() {
+    let served = Served::spawn(&[]);
+    let output = Command::new(env!("CARGO_BIN_EXE_p3-client"))
+        .arg("--tcp")
+        .arg(&served.tcp)
+        .arg("explain")
+        .arg(QUERIES[0])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "p3-client exit: {output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    for needle in ["\"mode\":\"demand\"", "\"rules\":", "\"r3\"", "\"caches\":"] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+    // The naive override explains the whole-program run instead.
+    let output = Command::new(env!("CARGO_BIN_EXE_p3-client"))
+        .arg("--tcp")
+        .arg(&served.tcp)
+        .arg("explain")
+        .arg(QUERIES[0])
+        .arg("--eval-mode")
+        .arg("naive")
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "p3-client exit: {output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("\"mode\":\"naive\""), "{stdout}");
 }
 
 #[test]

@@ -24,6 +24,7 @@ p3 — provenance queries for probabilistic logic programs
 
 USAGE:
     p3 <PROGRAM.pl> [OPTIONS]
+    p3 explain <PROGRAM.pl> --query <ATOM> [--eval-mode <M>] [--json | --folded]
     p3 lint <PROGRAM.pl>... [--json] [--workloads <N>]
     p3 audit <DIR> [--json] [--top <N>] [--by <K>]
 
@@ -51,6 +52,15 @@ OPTIONS:
     --stats                print engine and provenance statistics
     --help                 show this help
 
+EXPLAIN OPTIONS (after 'p3 explain'):
+    --query <ATOM>         ground atom whose evaluation cost to attribute (required)
+    --eval-mode <M>        auto (default) | naive | demand, as for plain queries
+    --json                 one JSON object (the wire shape of the 'explain' service op)
+    --folded               folded 'frame;frame cost' lines for flamegraph tooling
+    (default output is a rustc-style plan: rules ranked by measured cost —
+    firings, derived tuples, join candidates, iterations, index usage — plus
+    DNF shape, cache deltas and any measured P3603/P3604 recommendations)
+
 LINT OPTIONS (after 'p3 lint'):
     --json                 one JSON line per program instead of rustc-style text
     --workloads <N>        also lint N generated random workload programs
@@ -60,7 +70,7 @@ AUDIT OPTIONS (after 'p3 audit'):
     --json                 one JSON line per record (the canonical /audit shape)
     --top <N>              print only the N costliest records
     --by <K>               ranking key for --top: latency (default) | tuples |
-                           dnf_width
+                           dnf_width | rule_cost
     (reads a p3-serve --audit-dir segment ring offline, without truncating
     torn tails; exit status is 1 when any segment scan stopped dirty)
 ";
@@ -360,6 +370,79 @@ fn run(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Options for the `p3 explain` subcommand.
+#[derive(Debug)]
+struct ExplainOptions {
+    program_path: String,
+    query: String,
+    eval_mode: EvalMode,
+    json: bool,
+    folded: bool,
+}
+
+fn parse_explain_args(args: &[String]) -> Result<ExplainOptions, String> {
+    let mut opts = ExplainOptions {
+        program_path: String::new(),
+        query: String::new(),
+        eval_mode: EvalMode::Auto,
+        json: false,
+        folded: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--query" => {
+                opts.query = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--query requires a value".to_string())?;
+            }
+            "--eval-mode" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--eval-mode requires a value".to_string())?;
+                opts.eval_mode = v.parse()?;
+            }
+            "--json" => opts.json = true,
+            "--folded" => opts.folded = true,
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            path if opts.program_path.is_empty() => opts.program_path = path.to_string(),
+            path => return Err(format!("unexpected argument '{path}'")),
+        }
+    }
+    if opts.program_path.is_empty() {
+        return Err("p3 explain: no program file given\n\n".to_string() + USAGE);
+    }
+    if opts.query.is_empty() {
+        return Err("p3 explain: --query is required\n\n".to_string() + USAGE);
+    }
+    if opts.json && opts.folded {
+        return Err("p3 explain: --json and --folded are mutually exclusive".to_string());
+    }
+    Ok(opts)
+}
+
+fn run_explain(opts: &ExplainOptions) -> Result<String, String> {
+    let source = std::fs::read_to_string(&opts.program_path)
+        .map_err(|e| format!("cannot read {}: {e}", opts.program_path))?;
+    let system = P3::from_source(&source).map_err(|e| e.to_string())?;
+    let session = system.session_with(SessionOptions {
+        eval_mode: opts.eval_mode,
+        ..Default::default()
+    });
+    let explained = session.explain(&opts.query).map_err(|e| e.to_string())?;
+    if opts.json {
+        let mut out = explained.to_json_string();
+        out.push('\n');
+        Ok(out)
+    } else if opts.folded {
+        Ok(explained.to_folded())
+    } else {
+        Ok(explained.render_text())
+    }
+}
+
 /// Options for the `p3 lint` subcommand.
 #[derive(Debug, PartialEq)]
 struct LintOptions {
@@ -466,10 +549,11 @@ fn parse_audit_args(args: &[String]) -> Result<AuditOptions, String> {
                     .next()
                     .ok_or_else(|| "--by requires a value".to_string())?;
                 match v.as_str() {
-                    "latency" | "tuples" | "dnf_width" => opts.by = v.clone(),
+                    "latency" | "tuples" | "dnf_width" | "rule_cost" => opts.by = v.clone(),
                     other => {
                         return Err(format!(
-                            "unknown --by key '{other}' (expected latency, tuples, or dnf_width)"
+                            "unknown --by key '{other}' (expected latency, tuples, dnf_width, \
+                             or rule_cost)"
                         ))
                     }
                 }
@@ -492,6 +576,7 @@ fn run_audit(opts: &AuditOptions) -> Result<(String, bool), String> {
         let key: fn(&p3::audit::AuditRecord) -> u64 = match opts.by.as_str() {
             "tuples" => |r| r.derived_tuples,
             "dnf_width" => |r| r.dnf_literals,
+            "rule_cost" => |r| r.rule_cost,
             _ => |r| r.total_us,
         };
         records.sort_by_key(|r| std::cmp::Reverse(key(r)));
@@ -529,6 +614,25 @@ fn run_audit(opts: &AuditOptions) -> Result<(String, bool), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("explain") {
+        let opts = match parse_explain_args(&args[1..]) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match run_explain(&opts) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("audit") {
         let opts = match parse_audit_args(&args[1..]) {
             Ok(opts) => opts,
@@ -800,6 +904,89 @@ mod tests {
         let (out, clean) = run_lint(&opts).unwrap();
         assert!(clean, "generated workloads must lint clean:\n{out}");
         assert!(out.contains("workload(seed=0)"), "{out}");
+    }
+
+    #[test]
+    fn explain_args_parse_and_validate() {
+        let opts = parse_explain_args(&args(&["p.pl", "--query", "p(a)", "--eval-mode", "naive"]))
+            .unwrap();
+        assert_eq!(opts.program_path, "p.pl");
+        assert_eq!(opts.query, "p(a)");
+        assert_eq!(opts.eval_mode, EvalMode::Naive);
+        assert!(!opts.json && !opts.folded);
+        assert!(
+            parse_explain_args(&args(&["p.pl"])).is_err(),
+            "query required"
+        );
+        assert!(parse_explain_args(&args(&["--query", "p(a)"])).is_err());
+        let err = parse_explain_args(&args(&["p.pl", "--query", "p(a)", "--json", "--folded"]))
+            .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn explain_ranks_the_recursive_trust_rule_first_in_both_modes() {
+        let dir = std::env::temp_dir().join("p3_cli_explain_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let program = dir.join("trust.pl");
+        std::fs::write(
+            &program,
+            "r1 1.0: trustPath(P1,P2) :- trust(P1,P2).
+             r2 1.0: trustPath(P1,P3) :- trust(P1,P2), trustPath(P2,P3), P1 != P3.
+             t1 0.9: trust(1,2).
+             t2 0.8: trust(2,3).
+             t3 0.8: trust(3,4).
+             t4 0.7: trust(4,5).
+             t5 0.9: trust(5,6).",
+        )
+        .unwrap();
+        for mode in ["naive", "demand"] {
+            let opts = parse_explain_args(&args(&[
+                program.to_str().unwrap(),
+                "--query",
+                "trustPath(1,6)",
+                "--eval-mode",
+                mode,
+            ]))
+            .unwrap();
+            let out = run_explain(&opts).unwrap();
+            // The recursive closure rule r2 does the join work; it must
+            // lead the ranked rule table (rank 1) in both eval modes.
+            let rank1 = out
+                .lines()
+                .find(|l| l.trim_start().starts_with("1 "))
+                .unwrap_or_else(|| panic!("{mode}: no rank-1 row in:\n{out}"));
+            assert!(rank1.contains("r2"), "{mode}: {rank1}\n{out}");
+            assert!(rank1.contains("recursive"), "{mode}: {rank1}");
+            // JSON and folded renderings agree on the leader.
+            let json_opts = parse_explain_args(&args(&[
+                program.to_str().unwrap(),
+                "--query",
+                "trustPath(1,6)",
+                "--eval-mode",
+                mode,
+                "--json",
+            ]))
+            .unwrap();
+            let json = run_explain(&json_opts).unwrap();
+            assert!(json.contains("\"rule\":\"r2\""), "{mode}: {json}");
+            let folded_opts = parse_explain_args(&args(&[
+                program.to_str().unwrap(),
+                "--query",
+                "trustPath(1,6)",
+                "--eval-mode",
+                mode,
+                "--folded",
+            ]))
+            .unwrap();
+            let folded = run_explain(&folded_opts).unwrap();
+            assert!(
+                folded
+                    .lines()
+                    .any(|l| l.starts_with(&format!("p3;{mode};r2 "))),
+                "{mode}: {folded}"
+            );
+        }
     }
 
     #[test]
