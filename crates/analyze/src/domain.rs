@@ -1,0 +1,465 @@
+//! Argument-domain abstraction.
+//!
+//! Each predicate argument position is abstracted to an [`ArgDomain`]:
+//! an [`AbsType`] (symbol / integer / both) plus a bounded set of the
+//! constants known to reach that position. Sets are exact until they
+//! exceed [`VALUE_SET_CAP`] distinct constants, at which point the
+//! position is *widened* — the set is dropped and the position is
+//! assumed to range over the whole constant universe of the program.
+//!
+//! Domains are inferred by a forward fixpoint over the clauses: facts
+//! seed EDB positions, rules propagate the meet of each variable's body
+//! occurrences into the head. The lattice is finite (capped sets over a
+//! finite universe), so the fixpoint terminates; a round bound guards it
+//! anyway.
+
+use p3_datalog::ast::{Const, Term};
+use p3_datalog::program::Program;
+use p3_datalog::symbol::{Symbol, SymbolTable};
+use std::collections::HashMap;
+
+/// Widening threshold: past this many distinct constants a position is
+/// assumed to range over the whole constant universe.
+pub const VALUE_SET_CAP: usize = 64;
+
+/// Safety bound on fixpoint rounds (the lattice is finite, so this is
+/// never reached on well-formed programs; it guards hostile inputs).
+const MAX_ROUNDS: usize = 256;
+
+/// Abstract type of an argument position.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbsType {
+    /// No constant has reached this position yet (bottom).
+    Empty,
+    /// Only interned symbols observed.
+    Sym,
+    /// Only integers observed.
+    Int,
+    /// Both symbols and integers observed (top).
+    Mixed,
+}
+
+impl AbsType {
+    /// Least upper bound.
+    pub fn join(self, other: AbsType) -> AbsType {
+        use AbsType::*;
+        match (self, other) {
+            (Empty, t) | (t, Empty) => t,
+            (Mixed, _) | (_, Mixed) => Mixed,
+            (Sym, Sym) => Sym,
+            (Int, Int) => Int,
+            _ => Mixed,
+        }
+    }
+
+    /// Greatest lower bound.
+    pub fn meet(self, other: AbsType) -> AbsType {
+        use AbsType::*;
+        match (self, other) {
+            (Empty, _) | (_, Empty) => Empty,
+            (Mixed, t) | (t, Mixed) => t,
+            (Sym, Sym) => Sym,
+            (Int, Int) => Int,
+            _ => Empty,
+        }
+    }
+
+    /// The abstract type of one constant.
+    pub fn of(c: &Const) -> AbsType {
+        match c {
+            Const::Sym(_) => AbsType::Sym,
+            Const::Int(_) => AbsType::Int,
+        }
+    }
+
+    /// Short name used in renderings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AbsType::Empty => "empty",
+            AbsType::Sym => "sym",
+            AbsType::Int => "int",
+            AbsType::Mixed => "mixed",
+        }
+    }
+}
+
+/// The abstract domain of one argument position.
+///
+/// The value set is a sorted, deduplicated `Vec` rather than a tree: the
+/// fixpoints clone and intersect these sets every round, and at ≤
+/// [`VALUE_SET_CAP`] elements a flat copy plus linear merge beats
+/// per-node allocation by an order of magnitude.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArgDomain {
+    /// Abstract type of the constants reaching this position.
+    pub ty: AbsType,
+    /// Known constants (sorted, deduplicated), or `None` once widened
+    /// past [`VALUE_SET_CAP`].
+    pub values: Option<Vec<Const>>,
+}
+
+impl ArgDomain {
+    /// Bottom: nothing reaches this position.
+    pub fn bottom() -> Self {
+        ArgDomain {
+            ty: AbsType::Empty,
+            values: Some(Vec::new()),
+        }
+    }
+
+    /// Top: any constant in the universe.
+    pub fn top() -> Self {
+        ArgDomain {
+            ty: AbsType::Mixed,
+            values: None,
+        }
+    }
+
+    /// Whether this position has been widened to the whole universe.
+    pub fn widened(&self) -> bool {
+        self.values.is_none()
+    }
+
+    /// Adds one constant; returns `true` when the domain grew.
+    pub fn add(&mut self, c: &Const) -> bool {
+        let ty = self.ty.join(AbsType::of(c));
+        let mut changed = ty != self.ty;
+        self.ty = ty;
+        if let Some(values) = &mut self.values {
+            if let Err(pos) = values.binary_search(c) {
+                values.insert(pos, *c);
+                changed = true;
+            }
+            if values.len() > VALUE_SET_CAP {
+                self.values = None;
+            }
+        }
+        changed
+    }
+
+    /// Joins `other` in; returns `true` when the domain grew.
+    pub fn join_from(&mut self, other: &ArgDomain) -> bool {
+        let ty = self.ty.join(other.ty);
+        let mut changed = ty != self.ty;
+        self.ty = ty;
+        match (&mut self.values, &other.values) {
+            (Some(mine), Some(theirs)) => {
+                if !theirs.is_empty() {
+                    let before = mine.len();
+                    let mut merged = Vec::with_capacity(before + theirs.len());
+                    let (mut a, mut b) = (mine.iter().peekable(), theirs.iter().peekable());
+                    while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
+                        match x.cmp(y) {
+                            std::cmp::Ordering::Less => merged.push(*a.next().unwrap()),
+                            std::cmp::Ordering::Greater => merged.push(*b.next().unwrap()),
+                            std::cmp::Ordering::Equal => {
+                                merged.push(*a.next().unwrap());
+                                b.next();
+                            }
+                        }
+                    }
+                    merged.extend(a.cloned());
+                    merged.extend(b.cloned());
+                    changed |= merged.len() > before;
+                    *mine = merged;
+                    if mine.len() > VALUE_SET_CAP {
+                        self.values = None;
+                        changed = true;
+                    }
+                }
+            }
+            (Some(_), None) => {
+                self.values = None;
+                changed = true;
+            }
+            (None, _) => {}
+        }
+        changed
+    }
+
+    /// Meet with `other` (used when a variable occurs at several body
+    /// positions: its bindings must lie in every occurrence's domain).
+    pub fn meet(&self, other: &ArgDomain) -> ArgDomain {
+        let ty = self.ty.meet(other.ty);
+        let values = match (&self.values, &other.values) {
+            (Some(a), Some(b)) => {
+                // Both sorted: linear intersection.
+                let mut out = Vec::with_capacity(a.len().min(b.len()));
+                let (mut x, mut y) = (a.iter().peekable(), b.iter().peekable());
+                while let (Some(&i), Some(&j)) = (x.peek(), y.peek()) {
+                    match i.cmp(j) {
+                        std::cmp::Ordering::Less => {
+                            x.next();
+                        }
+                        std::cmp::Ordering::Greater => {
+                            y.next();
+                        }
+                        std::cmp::Ordering::Equal => {
+                            out.push(*x.next().unwrap());
+                            y.next();
+                        }
+                    }
+                }
+                Some(out)
+            }
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(b)) => Some(b.clone()),
+            (None, None) => None,
+        };
+        ArgDomain { ty, values }
+    }
+
+    /// Whether the meet is observably empty: each side saw constants,
+    /// but no constant can satisfy both occurrences.
+    pub fn disjoint_with(&self, other: &ArgDomain) -> bool {
+        if self.ty == AbsType::Empty || other.ty == AbsType::Empty {
+            return false; // one side is undetermined, not contradictory
+        }
+        let met = self.meet(other);
+        if met.ty == AbsType::Empty {
+            return true;
+        }
+        matches!(&met.values, Some(v) if v.is_empty())
+    }
+
+    /// Number of distinct constants this position can take, clamped to
+    /// `universe` when widened. Never returns 0 for a non-empty domain.
+    pub fn size(&self, universe: u64) -> u64 {
+        match &self.values {
+            Some(v) => (v.len() as u64).max(if self.ty == AbsType::Empty { 0 } else { 1 }),
+            None => universe.max(1),
+        }
+    }
+
+    /// Compact rendering like `int{4}` or `sym(widened)`.
+    pub fn render(&self) -> String {
+        match &self.values {
+            Some(v) => format!("{}{{{}}}", self.ty.as_str(), v.len()),
+            None => format!("{}(widened)", self.ty.as_str()),
+        }
+    }
+}
+
+/// Inferred argument domains for every predicate in a program.
+pub struct Domains {
+    /// Per-predicate, per-position abstract domains.
+    pub args: HashMap<Symbol, Vec<ArgDomain>>,
+    /// Distinct constants appearing anywhere in the program (the value a
+    /// widened position is assumed to range over).
+    pub universe: u64,
+}
+
+impl Domains {
+    /// Domain of `pred` argument `i`, or top for unknown positions.
+    pub fn arg(&self, pred: Symbol, i: usize) -> ArgDomain {
+        self.args
+            .get(&pred)
+            .and_then(|v| v.get(i))
+            .cloned()
+            .unwrap_or_else(ArgDomain::top)
+    }
+
+    /// Distinct-value count of `pred` argument `i` without cloning the
+    /// domain (unknown positions range over the whole universe). The cost
+    /// fixpoints call this per bound column per round, so it must not
+    /// copy the value sets [`arg`](Self::arg) carries.
+    pub fn arg_size(&self, pred: Symbol, i: usize) -> u64 {
+        match self.args.get(&pred).and_then(|v| v.get(i)) {
+            Some(d) => d.size(self.universe),
+            None => self.universe.max(1),
+        }
+    }
+}
+
+/// The meet of every body occurrence of each variable in a clause.
+///
+/// Variables bound only in one place keep that occurrence's domain; a
+/// variable never bound by the body (impossible in validated programs)
+/// falls back to top.
+pub fn var_domains(
+    clause: &p3_datalog::ast::Clause,
+    domains: &Domains,
+) -> HashMap<Symbol, ArgDomain> {
+    let mut vars: HashMap<Symbol, ArgDomain> = HashMap::new();
+    for atom in clause.body() {
+        for (i, term) in atom.args.iter().enumerate() {
+            if let Term::Var(v) = term {
+                let occ = domains.arg(atom.pred, i);
+                vars.entry(*v)
+                    .and_modify(|d| *d = d.meet(&occ))
+                    .or_insert(occ);
+            }
+        }
+    }
+    vars
+}
+
+/// Infers argument domains for every predicate by forward fixpoint.
+pub fn infer(program: &Program) -> Domains {
+    let mut universe: Vec<Const> = Vec::new();
+    for (_, clause) in program.iter() {
+        let atoms = std::iter::once(&clause.head).chain(clause.body().iter());
+        for atom in atoms {
+            for term in &atom.args {
+                if let Term::Const(c) = term {
+                    universe.push(*c);
+                }
+            }
+        }
+    }
+    universe.sort_unstable();
+    universe.dedup();
+    let mut domains = Domains {
+        args: HashMap::new(),
+        universe: (universe.len() as u64).max(1),
+    };
+    for (_, clause) in program.iter() {
+        for atom in std::iter::once(&clause.head)
+            .chain(clause.body().iter())
+            .chain(clause.negated().iter())
+        {
+            domains
+                .args
+                .entry(atom.pred)
+                .or_insert_with(|| vec![ArgDomain::bottom(); atom.args.len()]);
+        }
+    }
+
+    // Facts contribute the same constants every round — seed them once,
+    // in bulk (collect-then-sort beats per-element sorted insertion on
+    // large EDBs), and keep only rules inside the fixpoint.
+    let mut fact_consts: HashMap<Symbol, Vec<Vec<Const>>> = HashMap::new();
+    for (_, clause) in program.iter().filter(|(_, c)| c.is_fact()) {
+        let cols = fact_consts
+            .entry(clause.head.pred)
+            .or_insert_with(|| vec![Vec::new(); clause.head.args.len()]);
+        for (i, term) in clause.head.args.iter().enumerate() {
+            if let (Term::Const(c), Some(col)) = (term, cols.get_mut(i)) {
+                col.push(*c);
+            }
+        }
+    }
+    for (pred, cols) in fact_consts {
+        let entry = domains.args.get_mut(&pred).expect("seeded above");
+        for (i, mut col) in cols.into_iter().enumerate() {
+            let Some(dom) = entry.get_mut(i) else {
+                continue;
+            };
+            col.sort_unstable();
+            col.dedup();
+            for c in &col {
+                dom.ty = dom.ty.join(AbsType::of(c));
+            }
+            if col.len() > VALUE_SET_CAP {
+                dom.values = None;
+            } else if let Some(values) = &mut dom.values {
+                *values = col;
+            }
+        }
+    }
+
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for (_, clause) in program.iter() {
+            if clause.is_fact() {
+                continue;
+            }
+            let vars = var_domains(clause, &domains);
+            let head_updates: Vec<(usize, ArgDomain)> = clause
+                .head
+                .args
+                .iter()
+                .enumerate()
+                .filter_map(|(i, term)| match term {
+                    Term::Var(v) => vars.get(v).map(|d| (i, d.clone())),
+                    Term::Const(_) => None,
+                })
+                .collect();
+            let entry = domains
+                .args
+                .get_mut(&clause.head.pred)
+                .expect("seeded above");
+            for (i, term) in clause.head.args.iter().enumerate() {
+                if let (Term::Const(c), Some(dom)) = (term, entry.get_mut(i)) {
+                    changed |= dom.add(c);
+                }
+            }
+            for (i, dom) in head_updates {
+                if let Some(target) = entry.get_mut(i) {
+                    changed |= target.join_from(&dom);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    domains
+}
+
+/// Renders each position of `pred` for [`crate::plan::PredSummary`].
+pub fn render_domains(domains: &Domains, pred: Symbol, _symbols: &SymbolTable) -> Vec<String> {
+    domains
+        .args
+        .get(&pred)
+        .map(|v| v.iter().map(ArgDomain::render).collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(src: &str) -> Program {
+        Program::parse(src).unwrap()
+    }
+
+    #[test]
+    fn facts_seed_exact_domains() {
+        let p = program("0.5::edge(1,2).\n0.5::edge(2,3).\n");
+        let d = infer(&p);
+        let pred = p.symbols().get("edge").unwrap();
+        let args = &d.args[&pred];
+        assert_eq!(args[0].ty, AbsType::Int);
+        assert_eq!(args[0].size(d.universe), 2);
+        assert_eq!(args[1].size(d.universe), 2);
+    }
+
+    #[test]
+    fn rules_propagate_to_heads() {
+        let p = program("0.5::edge(1,2).\npath(X,Y) :- edge(X,Y).\n");
+        let d = infer(&p);
+        let path = p.symbols().get("path").unwrap();
+        assert_eq!(d.args[&path][0].ty, AbsType::Int);
+        assert_eq!(d.args[&path][0].size(d.universe), 1);
+    }
+
+    #[test]
+    fn widening_drops_large_sets() {
+        let mut src = String::new();
+        for i in 0..(VALUE_SET_CAP + 8) {
+            src.push_str(&format!("0.5::big({i}).\n"));
+        }
+        let p = program(&src);
+        let d = infer(&p);
+        let big = p.symbols().get("big").unwrap();
+        assert!(d.args[&big][0].widened());
+        assert_eq!(d.args[&big][0].size(d.universe), d.universe);
+    }
+
+    #[test]
+    fn disjoint_detection() {
+        let p = program("0.5::a(1).\n0.5::b(two).\nboth(X) :- a(X), b(X).\n");
+        let d = infer(&p);
+        let a = p.symbols().get("a").unwrap();
+        let b = p.symbols().get("b").unwrap();
+        assert!(d.args[&a][0].disjoint_with(&d.args[&b][0]));
+    }
+
+    #[test]
+    fn meet_respects_types() {
+        assert_eq!(AbsType::Sym.meet(AbsType::Int), AbsType::Empty);
+        assert_eq!(AbsType::Mixed.meet(AbsType::Int), AbsType::Int);
+        assert_eq!(AbsType::Sym.join(AbsType::Int), AbsType::Mixed);
+    }
+}

@@ -1,0 +1,290 @@
+//! Static cost and cardinality analysis for probabilistic logic programs.
+//!
+//! The EXPLAIN plane (DESIGN.md §14) attributes cost to rules *after* a
+//! query ran; this crate predicts the same ranking *before* evaluating
+//! anything, by abstract interpretation over the parsed program:
+//!
+//! * [`domain`] infers per-argument abstract domains (type + bounded
+//!   value set, widened past a cap) by a forward fixpoint over clauses;
+//! * [`cost`] propagates relation-cardinality bounds through joins in
+//!   predicate-SCC topological order, widening recursive SCCs to their
+//!   Cartesian bound, and derives per-rule predicted costs plus DNF
+//!   widths and the `P37xx` prediction diagnostics;
+//! * [`plan`] packages the result as an [`AnalyzePlan`] mirroring the
+//!   EXPLAIN plane's `RuleCost` shape, so predicted and measured tables
+//!   line up for calibration ([`plan::rank_correlation`]).
+//!
+//! [`recommend_mode`] is the single decision point behind
+//! `EvalMode::Auto`: it recommends demand evaluation for recursive
+//! programs (the syntactic rule the engine always had) *and* for flat
+//! programs whose predicted join cost crosses
+//! [`FLAT_DEMAND_THRESHOLD`] — the genuinely predictive upgrade.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod domain;
+pub mod plan;
+
+pub use cost::{CostModel, COST_CAP, ITER_CAP, WIDEN_AFTER, WIDE_DNF_THRESHOLD, WIDTH_CAP};
+pub use domain::{AbsType, ArgDomain, Domains, VALUE_SET_CAP};
+pub use plan::{rank_correlation, AnalyzePlan, PredSummary, PredictedRuleCost, QueryPrediction};
+
+use p3_datalog::program::Program;
+use std::time::Instant;
+
+/// Flat (non-recursive) programs with predicted total cost at or above
+/// this are still recommended demand evaluation: grounding the full
+/// model would do this much join work even though no fixpoint iterates.
+pub const FLAT_DEMAND_THRESHOLD: u64 = 100_000;
+
+/// Analyzes `program` without reference to any particular query.
+pub fn analyze(program: &Program) -> AnalyzePlan {
+    analyze_inner(program, None)
+}
+
+/// Analyzes `program` and additionally predicts per-query-class work for
+/// `query` (an atom like `trustPath(1,6)`; only the predicate name
+/// matters to the prediction).
+pub fn analyze_query(program: &Program, query: &str) -> AnalyzePlan {
+    analyze_inner(program, Some(query))
+}
+
+/// The single `EvalMode::Auto` decision point: returns whether demand
+/// (query-directed) evaluation is recommended and a human-readable
+/// reason citing the prediction.
+///
+/// Recursive programs always get demand (matching the engine's historic
+/// syntactic rule, so existing behavior is preserved); non-recursive
+/// programs get demand only when the predicted join cost reaches
+/// [`FLAT_DEMAND_THRESHOLD`].
+pub fn recommend_mode(program: &Program) -> (bool, String) {
+    let domains = domain::infer(program);
+    let model = cost::estimate(program, &domains);
+    recommend_from(&model)
+}
+
+fn recommend_from(model: &CostModel) -> (bool, String) {
+    let total = model.total_cost();
+    let top = model
+        .rules
+        .iter()
+        .max_by(|a, b| a.cost().cmp(&b.cost()).then_with(|| b.label.cmp(&a.label)));
+    let any_recursive = model.rules.iter().any(|r| r.recursive);
+    if any_recursive {
+        let label = top.map(|r| r.label.as_str()).unwrap_or("?");
+        let cost = top.map(|r| r.cost()).unwrap_or(0);
+        (
+            true,
+            format!(
+                "recursive program: predicted naive fixpoint cost {total} \
+                 (top rule '{label}' at {cost}); demand evaluation derives only the \
+                 query-relevant fragment"
+            ),
+        )
+    } else if total >= FLAT_DEMAND_THRESHOLD {
+        (
+            true,
+            format!(
+                "non-recursive but predicted join cost {total} >= {FLAT_DEMAND_THRESHOLD}; \
+                 query-directed evaluation restricts grounding to the queried atom"
+            ),
+        )
+    } else {
+        (
+            false,
+            format!(
+                "predicted full-model cost {total} is below the demand threshold \
+                 {FLAT_DEMAND_THRESHOLD} and no rule recurses; one naive evaluation \
+                 serves every query"
+            ),
+        )
+    }
+}
+
+fn analyze_inner(program: &Program, query: Option<&str>) -> AnalyzePlan {
+    let start = Instant::now();
+    let domains = domain::infer(program);
+    let model = cost::estimate(program, &domains);
+    let (recommend_demand, reason) = recommend_from(&model);
+
+    let symbols = program.symbols();
+    let mut pred_names: Vec<p3_datalog::symbol::Symbol> = domains.args.keys().copied().collect();
+    pred_names.sort_by(|a, b| symbols.resolve(*a).cmp(symbols.resolve(*b)));
+    let preds: Vec<PredSummary> = pred_names
+        .iter()
+        .map(|&pred| {
+            let edb = !program
+                .clauses()
+                .iter()
+                .any(|c| c.is_rule() && c.head.pred == pred);
+            PredSummary {
+                name: symbols.resolve(pred).to_string(),
+                arity: program.arity(pred).unwrap_or(0),
+                edb,
+                cardinality: model.card.get(&pred).copied().unwrap_or(0),
+                widened: model.widened.contains(&pred),
+                dnf_width: model.dnf_width.get(&pred).copied().unwrap_or(1),
+                fan_in: model.fan_in.get(&pred).copied().unwrap_or(0),
+                domains: domain::render_domains(&domains, pred, symbols),
+            }
+        })
+        .collect();
+
+    let query_prediction = query.and_then(|q| query_prediction(program, &model, q));
+
+    let mut plan = AnalyzePlan {
+        rules: model.rules.clone(),
+        preds,
+        diagnostics: model.diagnostics.clone(),
+        recommend_demand,
+        reason,
+        query: query_prediction,
+        analysis_us: 0,
+    };
+    plan.sort_rules();
+    plan.analysis_us = start.elapsed().as_micros() as u64;
+    publish_metrics(&plan);
+    plan
+}
+
+/// Predicts per-query-class work for the predicate named in `query`.
+///
+/// The class multipliers are deliberately coarse — they only need to
+/// order classes the way the suite's measured costs order them:
+/// probability and explanation touch each monomial once; derivation
+/// enumerates and sorts proofs; influence scans every literal of every
+/// monomial; modification re-evaluates under toggled literals.
+fn query_prediction(program: &Program, model: &CostModel, query: &str) -> Option<QueryPrediction> {
+    let pred_name = query
+        .split('(')
+        .next()
+        .map(str::trim)
+        .filter(|s| !s.is_empty())?;
+    let pred = program.symbols().get(pred_name)?;
+    let card = model.card.get(&pred).copied().unwrap_or(0);
+    let width = model.dnf_width.get(&pred).copied().unwrap_or(1);
+    let fan_in = model.fan_in.get(&pred).copied().unwrap_or(0);
+    let log2w = 64 - width.max(1).leading_zeros() as u64;
+    let classes: Vec<(&'static str, u64)> = vec![
+        ("probability", width),
+        ("explanation", width),
+        ("derivation", width.saturating_mul(log2w.max(1))),
+        ("influence", width.saturating_mul(2)),
+        ("modification", width.saturating_mul(8)),
+    ];
+    Some(QueryPrediction {
+        query: query.to_string(),
+        pred: pred_name.to_string(),
+        cardinality: card,
+        dnf_width: width,
+        proof_fanin: fan_in,
+        classes,
+    })
+}
+
+/// Publishes the `p3_analyze_*` metric family for one analysis run.
+fn publish_metrics(plan: &AnalyzePlan) {
+    p3_obs::counter!(
+        "p3_analyze_runs_total",
+        "Static analyses performed (p3 analyze, session analyze, service op)"
+    )
+    .inc();
+    p3_obs::counter!(
+        "p3_analyze_diagnostics_total",
+        "P37xx prediction diagnostics raised by static analysis"
+    )
+    .add(plan.diagnostics.len() as u64);
+    p3_obs::gauge!(
+        "p3_analyze_predicted_cost",
+        "Predicted total rule cost of the most recently analyzed program"
+    )
+    .set(plan.total_cost().min(i64::MAX as u64) as i64);
+    p3_obs::histogram!(
+        "p3_analyze_wall_us",
+        "Wall time of one static analysis, microseconds"
+    )
+    .observe(plan.analysis_us);
+    let mode = if plan.recommend_demand {
+        "demand"
+    } else {
+        "naive"
+    };
+    p3_obs::metrics::labeled_counter(
+        "p3_analyze_recommendations_total",
+        "Eval-mode recommendations from static analysis",
+        &p3_obs::metrics::render_labels(&[("mode", mode)]),
+    )
+    .inc();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trust_rules_predict_r2_as_top() {
+        let program = Program::parse(
+            "r1 1.0: trustPath(P1,P2) :- trust(P1,P2).\n\
+             r2 1.0: trustPath(P1,P3) :- trust(P1,P2), trustPath(P2,P3), P1 != P3.\n\
+             r3 0.8: mutualTrustPath(P1,P2) :- trustPath(P1,P2), trustPath(P2,P1).\n\
+             t1 0.9: trust(1,2).\nt2 0.9: trust(2,3).\nt3 0.9: trust(3,1).\n\
+             t4 0.9: trust(1,4).\nt5 0.9: trust(4,5).\nt6 0.9: trust(5,6).\n",
+        )
+        .unwrap();
+        let plan = analyze(&program);
+        assert_eq!(plan.top_rule().unwrap().label, "r2");
+        assert!(plan.recommend_demand);
+        assert!(plan.reason.contains("recursive"));
+    }
+
+    #[test]
+    fn flat_cheap_program_recommends_naive() {
+        let program =
+            Program::parse("t1 0.5: a(1).\nt2 0.5: b(1).\nr1 1.0: c(X) :- a(X), b(X).\n").unwrap();
+        let (demand, reason) = recommend_mode(&program);
+        assert!(!demand);
+        assert!(reason.contains("below the demand threshold"));
+    }
+
+    #[test]
+    fn flat_expensive_program_recommends_demand() {
+        // A variable-disjoint body is a Cartesian product: 350 x 350
+        // predicted candidates with no recursion anywhere.
+        let mut src = String::new();
+        for i in 0..350 {
+            src.push_str(&format!("p({i}).\nq({i}).\n"));
+        }
+        src.push_str("r1 1.0: pair(X,Y) :- p(X), q(Y).\n");
+        let program = Program::parse(&src).unwrap();
+        let (demand, reason) = recommend_mode(&program);
+        assert!(demand, "reason: {reason}");
+        assert!(reason.contains("non-recursive"));
+    }
+
+    #[test]
+    fn query_prediction_orders_classes() {
+        let program =
+            Program::parse("t1 0.5: edge(1,2).\nr1 1.0: path(X,Y) :- edge(X,Y).\n").unwrap();
+        let plan = analyze_query(&program, "path(1,2)");
+        let q = plan.query.expect("query prediction");
+        assert_eq!(q.pred, "path");
+        let get = |class: &str| q.classes.iter().find(|(c, _)| *c == class).unwrap().1;
+        assert!(get("modification") >= get("influence"));
+        assert!(get("influence") >= get("probability"));
+    }
+
+    #[test]
+    fn unknown_query_pred_is_none() {
+        let program = Program::parse("t1 0.5: a(1).\n").unwrap();
+        assert!(analyze_query(&program, "nosuch(1)").query.is_none());
+    }
+
+    #[test]
+    fn empty_program_analyzes() {
+        let program = Program::parse("").unwrap();
+        let plan = analyze(&program);
+        assert!(plan.rules.is_empty());
+        assert!(!plan.recommend_demand);
+    }
+}

@@ -5,12 +5,32 @@
 //! (see [`p3_datalog::transform`]) and derives only the query-relevant
 //! fragment. Both produce identical answers, polynomials and probabilities
 //! — the choice is purely a performance trade-off, which [`EvalMode::Auto`]
-//! resolves from the program's shape.
+//! resolves from the program's *predicted* cost.
+//!
+//! [`EvalMode::decide`] is the **single** auto-mode decision point: the
+//! session constructor, `P3::auto_eval_mode`, and the service's per-query
+//! override path all resolve through it, so the same program can never get
+//! two different answers depending on which layer asked. The decision
+//! itself delegates to [`p3_analyze::recommend_mode`]: recursive programs
+//! get demand (the historic syntactic rule), and flat programs whose
+//! statically predicted join cost crosses
+//! [`p3_analyze::FLAT_DEMAND_THRESHOLD`] now get demand too.
 
 use p3_datalog::program::Program;
-use p3_datalog::transform::has_recursive_idb;
 use std::fmt;
 use std::str::FromStr;
+
+/// The outcome of resolving an [`EvalMode`] against a program: the
+/// concrete mode plus the human-readable reason it was chosen, suitable
+/// for logging and the `analyze` plane.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModeDecision {
+    /// The resolved mode — never [`EvalMode::Auto`].
+    pub mode: EvalMode,
+    /// Why this mode was picked (cites the static cost prediction for
+    /// auto; states the override for explicit modes).
+    pub reason: String,
+}
 
 /// How a [`crate::QuerySession`] evaluates the program for each query.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -33,17 +53,37 @@ pub enum EvalMode {
 
 impl EvalMode {
     /// Resolves [`EvalMode::Auto`] against a program; `Naive` and `Demand`
-    /// return themselves.
+    /// return themselves. Shorthand for [`EvalMode::decide`] when the
+    /// reason is not needed.
     pub fn resolve(self, program: &Program) -> EvalMode {
+        self.decide(program).mode
+    }
+
+    /// The single auto-mode decision point: resolves this mode against
+    /// `program` and records why.
+    ///
+    /// [`EvalMode::Auto`] asks the static analyzer
+    /// ([`p3_analyze::recommend_mode`]) — demand for recursive programs
+    /// and for flat programs whose predicted join cost crosses the
+    /// demand threshold, naive otherwise. Explicit modes pass through
+    /// with an "explicitly requested" reason.
+    pub fn decide(self, program: &Program) -> ModeDecision {
         match self {
             EvalMode::Auto => {
-                if has_recursive_idb(program) {
-                    EvalMode::Demand
-                } else {
-                    EvalMode::Naive
+                let (demand, reason) = p3_analyze::recommend_mode(program);
+                ModeDecision {
+                    mode: if demand {
+                        EvalMode::Demand
+                    } else {
+                        EvalMode::Naive
+                    },
+                    reason,
                 }
             }
-            mode => mode,
+            mode => ModeDecision {
+                mode,
+                reason: format!("{mode} evaluation explicitly requested"),
+            },
         }
     }
 
@@ -99,6 +139,22 @@ mod tests {
         assert_eq!(EvalMode::Auto.resolve(&flat), EvalMode::Naive);
         assert_eq!(EvalMode::Naive.resolve(&recursive), EvalMode::Naive);
         assert_eq!(EvalMode::Demand.resolve(&flat), EvalMode::Demand);
+    }
+
+    #[test]
+    fn decide_reports_reasons() {
+        let recursive = Program::parse(
+            "r1 1.0: path(X,Y) :- edge(X,Y).
+             r2 0.9: path(X,Z) :- edge(X,Y), path(Y,Z).
+             e1 0.5: edge(a,b).",
+        )
+        .unwrap();
+        let auto = EvalMode::Auto.decide(&recursive);
+        assert_eq!(auto.mode, EvalMode::Demand);
+        assert!(auto.reason.contains("recursive"), "{}", auto.reason);
+        let forced = EvalMode::Naive.decide(&recursive);
+        assert_eq!(forced.mode, EvalMode::Naive);
+        assert!(forced.reason.contains("explicitly requested"));
     }
 
     #[test]

@@ -35,7 +35,8 @@ pub mod session;
 pub mod system;
 
 pub use error::P3Error;
-pub use eval_mode::EvalMode;
+pub use eval_mode::{EvalMode, ModeDecision};
+pub use p3_analyze::{rank_correlation, AnalyzePlan, PredictedRuleCost};
 pub use persist::WarmRestore;
 pub use prob_method::ProbMethod;
 pub use query::derivation::{

@@ -308,6 +308,8 @@ pub struct QuerySession {
     caches: Arc<SessionCaches>,
     /// The resolved evaluation mode (never [`EvalMode::Auto`]).
     mode: EvalMode,
+    /// Why [`Self::mode`] was picked (see [`EvalMode::decide`]).
+    mode_reason: Arc<str>,
 }
 
 impl QuerySession {
@@ -316,11 +318,23 @@ impl QuerySession {
     }
 
     pub(crate) fn with_options(p3: P3, opts: SessionOptions) -> Self {
-        let mode = opts.eval_mode.resolve(p3.program());
+        let decision = opts.eval_mode.decide(p3.program());
+        p3_obs::metrics::labeled_counter(
+            "p3_eval_mode_decisions_total",
+            "Session eval-mode resolutions, by resolved mode",
+            &p3_obs::metrics::render_labels(&[("mode", decision.mode.as_str())]),
+        )
+        .inc();
+        p3_obs::debug!(
+            "session eval mode resolved",
+            mode = decision.mode.as_str(),
+            reason = decision.reason.as_str()
+        );
         Self {
             p3,
             caches: Arc::new(SessionCaches::new(opts)),
-            mode,
+            mode: decision.mode,
+            mode_reason: decision.reason.into(),
         }
     }
 
@@ -328,6 +342,12 @@ impl QuerySession {
     /// or [`EvalMode::Demand`], never [`EvalMode::Auto`].
     pub fn eval_mode(&self) -> EvalMode {
         self.mode
+    }
+
+    /// Why [`Self::eval_mode`] was picked: the static-analysis prediction
+    /// for auto sessions, or the explicit override.
+    pub fn eval_mode_reason(&self) -> &str {
+        &self.mode_reason
     }
 
     /// Loads `src` into a fresh session with the lint pre-flight gate on:
@@ -1053,6 +1073,25 @@ impl QuerySession {
                 .saturating_sub(before.extract_memo_misses),
             recommendations,
         })
+    }
+
+    /// Statically analyzes this session's program: predicted per-rule
+    /// costs, cardinality bounds, DNF widths and `P37xx` prediction
+    /// diagnostics — all computed **without evaluating anything** (see
+    /// [`p3_analyze`]). Pass a query atom to additionally predict
+    /// per-query-class work for its predicate.
+    ///
+    /// The returned plan's rule ranking mirrors the EXPLAIN plane's
+    /// measured [`ExplainPlan`](p3_datalog::explain::ExplainPlan) shape,
+    /// so `p3 analyze --calibrate` can correlate the two row-for-row.
+    /// Observation-only: analysis never touches the evaluation cores or
+    /// caches, so DnfIds and probabilities are bit-identical with or
+    /// without it.
+    pub fn analyze(&self, query: Option<&str>) -> p3_analyze::AnalyzePlan {
+        match query {
+            Some(q) => p3_analyze::analyze_query(self.p3.program(), q),
+            None => p3_analyze::analyze(self.p3.program()),
+        }
     }
 
     /// Answers many probability queries concurrently over this session

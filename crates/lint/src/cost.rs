@@ -9,6 +9,7 @@
 //! recommendations quote those measurements, so `p3 explain` can tell a
 //! user *this* rule is the cost cliff and *this* flag removes it.
 
+use crate::messages::{DEMAND_MODE, WARM_RESTART};
 use p3_datalog::diag::Diagnostic;
 use p3_datalog::explain::{ExplainPlan, RuleCost};
 
@@ -39,25 +40,18 @@ pub fn cost_recommendations(plan: &ExplainPlan) -> Vec<Diagnostic> {
         if let Some(rule) = hot_recursive {
             if rule.cost() as f64 >= HOT_RULE_SHARE * total as f64 {
                 out.push(
-                    Diagnostic::info(
-                        "P3603",
-                        format!(
-                            "recursive rule '{}' dominates naive evaluation: {} firings \
-                             scanning {} join candidates over {} iterations ({:.0}% of \
+                    DEMAND_MODE
+                        .note(format!(
+                            "recursive rule '{}' dominating naive evaluation ({} firings \
+                             scanning {} join candidates over {} iterations, {:.0}% of \
                              measured cost)",
                             rule.label,
                             rule.firings,
                             rule.candidates,
                             rule.iterations,
                             share(rule.cost()),
-                        ),
-                    )
-                    .with_clause(&rule.label)
-                    .with_help(
-                        "query-directed evaluation derives only the query-relevant \
-                         fragment of this rule's fixpoint; pass --eval-mode demand \
-                         (auto mode already selects it for recursive programs)",
-                    ),
+                        ))
+                        .with_clause(&rule.label),
                 );
             }
         }
@@ -82,21 +76,14 @@ pub fn cost_recommendations(plan: &ExplainPlan) -> Vec<Diagnostic> {
             .filter(|r| r.recursive && r.cost() > 0)
             .map(|r| r.label.as_str())
             .collect();
-        let mut d = Diagnostic::info(
-            "P3604",
-            format!(
-                "recursive rules {{{}}} took {} fixpoint iterations deriving {} tuples \
-                 ({:.0}% of measured cost) — work re-paid on every cold start",
-                labels.join(", "),
-                plan.stats.iterations,
-                recursive_tuples,
-                share(recursive_cost),
-            ),
-        )
-        .with_help(
-            "p3-serve --store-dir DIR journals interned formulas and query memos \
-             and replays them on the next boot, skipping this re-derivation",
-        );
+        let mut d = WARM_RESTART.note(format!(
+            "re-deriving {} tuples through recursive rules {{{}}} over {} fixpoint \
+             iterations ({:.0}% of measured cost, re-paid on every cold start)",
+            recursive_tuples,
+            labels.join(", "),
+            plan.stats.iterations,
+            share(recursive_cost),
+        ));
         if let Some(first) = labels.first() {
             d = d.with_clause(*first);
         }

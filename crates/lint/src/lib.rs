@@ -28,6 +28,7 @@
 pub mod cost;
 mod ctx;
 mod graph;
+pub mod messages;
 mod passes;
 
 use ctx::Ctx;

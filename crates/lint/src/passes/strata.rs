@@ -5,6 +5,7 @@
 
 use crate::ctx::Ctx;
 use crate::graph::DepGraph;
+use crate::messages::{DEMAND_MODE, WARM_RESTART};
 use p3_datalog::diag::Diagnostic;
 use p3_datalog::symbol::Symbol;
 use std::collections::HashMap;
@@ -167,16 +168,9 @@ fn demand_hint(ctx: &mut Ctx<'_>, graph: &DepGraph, sccs: &[Vec<usize>], heavy_f
         Some(i) => (ctx.clause_span(i), Some(ctx.clauses[i].label.clone())),
         None => (None, None),
     };
-    let mut d = Diagnostic::info(
-        "P3603",
-        format!("program shape ({shape}) benefits from query-directed evaluation"),
-    )
-    .with_span(span)
-    .with_help(
-        "demand mode magic-transforms the program per query and derives only the \
-         query-relevant fragment; pass --eval-mode demand (the CLI/service auto \
-         mode already selects it for recursive programs)",
-    );
+    let mut d = DEMAND_MODE
+        .note(format!("program shape ({shape})"))
+        .with_span(span);
     if let Some(label) = label {
         d = d.with_clause(&label);
     }
@@ -208,16 +202,9 @@ fn store_hint(ctx: &mut Ctx<'_>, graph: &DepGraph, sccs: &[Vec<usize>]) {
         Some(i) => (ctx.clause_span(i), Some(ctx.clauses[i].label.clone())),
         None => (None, None),
     };
-    let mut d = Diagnostic::info(
-        "P3604",
-        format!("program shape ({shape}) makes warm restarts worthwhile"),
-    )
-    .with_span(span)
-    .with_help(
-        "recursive provenance is re-derived from scratch on every process start; \
-         p3-serve --store-dir DIR journals interned formulas and query memos and \
-         replays them on the next boot",
-    );
+    let mut d = WARM_RESTART
+        .note(format!("program shape ({shape})"))
+        .with_span(span);
     if let Some(label) = label {
         d = d.with_clause(&label);
     }

@@ -25,7 +25,11 @@
 //!   budgets (503s `/readyz` when fast-burn trips under `--slo-readyz`);
 //! * `GET /explain` — the current session's accumulated per-rule cost
 //!   attribution: every retained evaluation plan plus the cross-plan
-//!   top-rules ranking.
+//!   top-rules ranking;
+//! * `GET /analyze` — the static cost prediction for the loaded program:
+//!   ranked predicted rule costs, cardinality/DNF-width bounds, the
+//!   eval-mode recommendation with its reason, and `P37xx` diagnostics
+//!   (computed fresh per request; evaluates nothing).
 //!
 //! Integer query parameters are validated, not silently defaulted: a
 //! non-numeric or out-of-range `n`/`secs` is a 400 with a JSON error
@@ -40,7 +44,8 @@
 
 use crate::protocol::AuditKey;
 use crate::server::{
-    audit_tail_snapshot, audit_top_snapshot, explain_snapshot, refresh_gauges, slo_snapshot, Shared,
+    analyze_snapshot, audit_tail_snapshot, audit_top_snapshot, explain_snapshot, refresh_gauges,
+    slo_snapshot, Shared,
 };
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -299,6 +304,10 @@ pub(crate) fn respond(method: &str, target: &str, shared: &Shared) -> HttpRespon
             "application/json",
             explain_snapshot(shared).to_json() + "\n",
         ),
+        "/analyze" => HttpResponse::ok(
+            "application/json",
+            analyze_snapshot(shared).to_json() + "\n",
+        ),
         _ => HttpResponse::text(404, format!("no such route: {path}\n")),
     }
 }
@@ -461,6 +470,25 @@ mod tests {
         let resp = respond("GET", "/explain", &shared);
         assert!(resp.body.contains("\"mode\":\"naive\""), "{}", resp.body);
         assert!(resp.body.contains("\"total_cost\""), "{}", resp.body);
+    }
+
+    #[test]
+    fn analyze_route_predicts_without_evaluating() {
+        let shared = test_shared(2, 10);
+        let resp = respond("GET", "/analyze", &shared);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "application/json");
+        for needle in ["\"total_cost\"", "\"recommend\"", "\"rules\"", "\"preds\""] {
+            assert!(resp.body.contains(needle), "{needle}: {}", resp.body);
+        }
+        // Static analysis must not have forced an evaluation: the explain
+        // accumulation is still empty afterwards.
+        let explain = respond("GET", "/explain", &shared);
+        assert!(
+            explain.body.contains("\"evaluations\":0"),
+            "{}",
+            explain.body
+        );
     }
 
     #[test]

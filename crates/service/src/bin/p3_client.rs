@@ -34,6 +34,9 @@ COMMANDS:
                                  required for --class modification)
     explain QUERY                per-rule cost attribution of the evaluation
                                  answering QUERY (EXPLAIN plane)
+    analyze [QUERY]              static cost/cardinality prediction for the
+                                 served program (no evaluation; QUERY adds a
+                                 per-query-class prediction)
     load-program FILE            replace the served program (source sent inline;
                                  --no-lint skips the pre-flight gate)
     lint FILE                    static analysis of FILE without loading it
@@ -133,6 +136,12 @@ fn build_request(words: &[String]) -> Result<String, String> {
         "probability" | "explanation" | "influence" | "explain" => {
             pairs.insert(0, ("op".into(), cmd.into()));
             pairs.insert(1, ("query".into(), query(&positional)?));
+        }
+        "analyze" => {
+            pairs.insert(0, ("op".into(), cmd.into()));
+            if let Some(q) = positional.first() {
+                pairs.insert(1, ("query".into(), Value::from(q.as_str())));
+            }
         }
         "derivation" => {
             pairs.insert(0, ("op".into(), cmd.into()));

@@ -134,6 +134,14 @@ pub enum Op {
         /// Ground atom to explain.
         query: String,
     },
+    /// Static analysis plane: predicted per-rule costs, cardinality
+    /// bounds, DNF widths and `P37xx` diagnostics — computed without
+    /// evaluating anything. Optionally predicts per-query-class work
+    /// for one query atom.
+    Analyze {
+        /// Optional atom whose predicate gets a per-class prediction.
+        query: Option<String>,
+    },
     /// The `n` most recent audit records, newest first.
     AuditTail {
         /// How many records to return.
@@ -210,6 +218,7 @@ impl Op {
             Op::Modification { .. } => "modification",
             Op::Profile { .. } => "profile",
             Op::Explain { .. } => "explain",
+            Op::Analyze { .. } => "analyze",
             Op::AuditTail { .. } => "audit-tail",
             Op::AuditTop { .. } => "audit-top",
             Op::Slo => "slo",
@@ -490,6 +499,13 @@ impl Request {
             "explain" => Op::Explain {
                 query: str_field(&v, "query")?,
             },
+            "analyze" => Op::Analyze {
+                query: match v.get("query") {
+                    None | Some(Value::Null) => None,
+                    Some(Value::String(s)) if !s.is_empty() => Some(s.clone()),
+                    Some(_) => return Err("field 'query' must be a non-empty string".to_string()),
+                },
+            },
             other => parse_query_op(other, &v).map_err(|e| {
                 if e.starts_with("unknown query class") {
                     format!("unknown op '{other}'")
@@ -652,6 +668,8 @@ mod tests {
                 "modification",
             ),
             (r#"{"op":"explain","query":"a(1)"}"#, "explain"),
+            (r#"{"op":"analyze"}"#, "analyze"),
+            (r#"{"op":"analyze","query":"a(1)"}"#, "analyze"),
         ];
         for (line, class) in cases {
             let req = Request::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
@@ -895,6 +913,26 @@ mod tests {
             .unwrap()
             .op
             .is_query());
+        // Analyze evaluates nothing but walks the whole program, so it
+        // also runs on the worker pool rather than inline.
+        assert!(Request::parse(r#"{"op":"analyze"}"#).unwrap().op.is_query());
+    }
+
+    #[test]
+    fn analyze_parses_optional_query() {
+        match Request::parse(r#"{"op":"analyze"}"#).unwrap().op {
+            Op::Analyze { query: None } => {}
+            ref other => panic!("{other:?}"),
+        }
+        match Request::parse(r#"{"op":"analyze","query":"a(1)"}"#)
+            .unwrap()
+            .op
+        {
+            Op::Analyze { query: Some(q) } => assert_eq!(q, "a(1)"),
+            ref other => panic!("{other:?}"),
+        }
+        assert!(Request::parse(r#"{"op":"analyze","query":42}"#).is_err());
+        assert!(Request::parse(r#"{"op":"analyze","query":""}"#).is_err());
     }
 
     #[test]

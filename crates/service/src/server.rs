@@ -419,21 +419,33 @@ impl Shared {
     /// request carried an `eval_mode` override — then a session with that
     /// mode over the same `P3` (created on first use, cached until the next
     /// `load-program`).
+    ///
+    /// An `auto` override is resolved through [`EvalMode::decide`] — the
+    /// same single decision point the default session used — *before* the
+    /// cache lookup, so the per-query path can never reach a different
+    /// answer than the session path, and a redundant override (resolving
+    /// to the mode the default session already runs) reuses that session
+    /// instead of building a second one.
     fn session_for(&self, mode: Option<EvalMode>) -> QuerySession {
         let Some(mode) = mode else {
             return self.current_session();
         };
-        if let Some(session) = self.sessions_by_mode.read().unwrap().get(&mode) {
+        let current = self.current_session();
+        let resolved = mode.decide(current.p3().program()).mode;
+        if resolved == current.eval_mode() {
+            return current;
+        }
+        if let Some(session) = self.sessions_by_mode.read().unwrap().get(&resolved) {
             return session.clone();
         }
-        let session = self.current_session().p3().session_with(SessionOptions {
+        let session = current.p3().session_with(SessionOptions {
             max_entries: self.cache_cap,
-            eval_mode: mode,
+            eval_mode: resolved,
         });
         self.sessions_by_mode
             .write()
             .unwrap()
-            .entry(mode)
+            .entry(resolved)
             .or_insert(session)
             .clone()
     }
@@ -1557,6 +1569,13 @@ fn execute(
             Value::parse(&explained.to_json_string())
                 .map_err(|e| format!("explain payload encoding: {e}"))
         }
+        Op::Analyze { query } => {
+            let plan = facts.timed("analyze", || session.analyze(query.as_deref()));
+            // The plan type owns the canonical JSON shape (shared with
+            // `p3 analyze --json`); parse it back rather than re-encoding.
+            Value::parse(&plan.to_json_string())
+                .map_err(|e| format!("analyze payload encoding: {e}"))
+        }
     }
 }
 
@@ -1714,6 +1733,22 @@ fn engine_stats_value(session: &QuerySession) -> Value {
             ),
         ),
     ])
+}
+
+/// The `GET /analyze` payload: the static cost prediction for the
+/// currently loaded program — ranked predicted rule costs, per-predicate
+/// cardinality and DNF-width bounds, the eval-mode recommendation with
+/// its reason, and any `P37xx` diagnostics. Computed fresh per request
+/// (analysis is microseconds) and evaluates nothing.
+pub(crate) fn analyze_snapshot(shared: &Shared) -> Value {
+    let session = shared.current_session();
+    let plan = session.analyze(None);
+    Value::parse(&plan.to_json_string()).unwrap_or_else(|e| {
+        Value::object(vec![(
+            "error",
+            Value::from(format!("analyze payload encoding: {e}")),
+        )])
+    })
 }
 
 /// The `GET /explain` payload: the current session's accumulated cost

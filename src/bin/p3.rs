@@ -25,6 +25,7 @@ p3 — provenance queries for probabilistic logic programs
 USAGE:
     p3 <PROGRAM.pl> [OPTIONS]
     p3 explain <PROGRAM.pl> --query <ATOM> [--eval-mode <M>] [--json | --folded]
+    p3 analyze <PROGRAM.pl> [--query <ATOM>] [--calibrate] [--json] [--eval-mode <M>]
     p3 lint <PROGRAM.pl>... [--json] [--workloads <N>]
     p3 audit <DIR> [--json] [--top <N>] [--by <K>]
 
@@ -60,6 +61,18 @@ EXPLAIN OPTIONS (after 'p3 explain'):
     (default output is a rustc-style plan: rules ranked by measured cost —
     firings, derived tuples, join candidates, iterations, index usage — plus
     DNF shape, cache deltas and any measured P3603/P3604 recommendations)
+
+ANALYZE OPTIONS (after 'p3 analyze'):
+    --query <ATOM>         also predict per-query-class work for this atom's predicate
+    --calibrate            run the query (required with this flag) and report
+                           predicted-vs-measured rule rank agreement
+    --json                 one JSON object (the wire shape of the 'analyze' service op)
+    --eval-mode <M>        evaluation mode used by --calibrate's measured run
+    (default output is the predicted plan: rules ranked by predicted cost —
+    firings, tuples, join candidates, iterations — plus per-predicate
+    cardinality/DNF-width bounds, the eval-mode recommendation with its
+    reason, and any P37xx prediction diagnostics; nothing is evaluated
+    unless --calibrate asks for the measured comparison)
 
 LINT OPTIONS (after 'p3 lint'):
     --json                 one JSON line per program instead of rustc-style text
@@ -443,6 +456,155 @@ fn run_explain(opts: &ExplainOptions) -> Result<String, String> {
     }
 }
 
+/// Options for the `p3 analyze` subcommand.
+#[derive(Debug)]
+struct AnalyzeOptions {
+    program_path: String,
+    query: Option<String>,
+    eval_mode: EvalMode,
+    json: bool,
+    calibrate: bool,
+}
+
+fn parse_analyze_args(args: &[String]) -> Result<AnalyzeOptions, String> {
+    let mut opts = AnalyzeOptions {
+        program_path: String::new(),
+        query: None,
+        eval_mode: EvalMode::Auto,
+        json: false,
+        calibrate: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--query" => {
+                opts.query = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "--query requires a value".to_string())?,
+                );
+            }
+            "--eval-mode" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--eval-mode requires a value".to_string())?;
+                opts.eval_mode = v.parse()?;
+            }
+            "--json" => opts.json = true,
+            "--calibrate" => opts.calibrate = true,
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            path if opts.program_path.is_empty() => opts.program_path = path.to_string(),
+            path => return Err(format!("unexpected argument '{path}'")),
+        }
+    }
+    if opts.program_path.is_empty() {
+        return Err("p3 analyze: no program file given\n\n".to_string() + USAGE);
+    }
+    if opts.calibrate && opts.query.is_none() {
+        return Err("p3 analyze: --calibrate requires --query".to_string());
+    }
+    Ok(opts)
+}
+
+fn run_analyze(opts: &AnalyzeOptions) -> Result<String, String> {
+    let source = std::fs::read_to_string(&opts.program_path)
+        .map_err(|e| format!("cannot read {}: {e}", opts.program_path))?;
+    let system = P3::from_source(&source).map_err(|e| e.to_string())?;
+    let session = system.session_with(SessionOptions {
+        eval_mode: opts.eval_mode,
+        ..Default::default()
+    });
+    let plan = session.analyze(opts.query.as_deref());
+    if let Some(q) = opts.query.as_deref() {
+        if plan.query.is_none() {
+            return Err(format!(
+                "p3 analyze: bad query '{q}': not an atom over a program predicate"
+            ));
+        }
+    }
+    if !opts.calibrate {
+        return Ok(if opts.json {
+            plan.to_json_string() + "\n"
+        } else {
+            plan.render_text()
+        });
+    }
+
+    // --calibrate: run the query the normal way and line the measured
+    // rule costs up against the prediction.
+    let query = opts.query.as_deref().expect("checked in parse");
+    let explained = session.explain(query).map_err(|e| e.to_string())?;
+    let predicted: Vec<(String, u64)> = plan
+        .rules
+        .iter()
+        .map(|r| (r.label.clone(), r.cost()))
+        .collect();
+    let measured: Vec<(String, u64)> = explained
+        .plan
+        .rules
+        .iter()
+        .map(|r| (r.label.clone(), r.cost()))
+        .collect();
+    let correlation = p3::core::rank_correlation(&predicted, &measured);
+    let top_of = |costs: &[(String, u64)]| -> Option<String> {
+        costs
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            .map(|(l, _)| l.clone())
+    };
+    let top_predicted = top_of(&predicted);
+    let top_measured = top_of(
+        &measured
+            .iter()
+            .filter(|(_, c)| *c > 0)
+            .cloned()
+            .collect::<Vec<_>>(),
+    )
+    .or(top_of(&measured));
+    let top_match = top_predicted.is_some() && top_predicted == top_measured;
+
+    if opts.json {
+        let mut out = String::from("{\"analyze\":");
+        out.push_str(&plan.to_json_string());
+        out.push_str(&format!(
+            ",\"calibration\":{{\"query\":{:?},\"eval_mode\":\"{}\",\"correlation\":{:.4},\
+             \"top_predicted\":{:?},\"top_measured\":{:?},\"top_match\":{}}}}}\n",
+            query,
+            session.eval_mode().as_str(),
+            correlation,
+            top_predicted.as_deref().unwrap_or("-"),
+            top_measured.as_deref().unwrap_or("-"),
+            top_match,
+        ));
+        return Ok(out);
+    }
+
+    let mut out = plan.render_text();
+    let measured_of: std::collections::HashMap<&str, u64> =
+        measured.iter().map(|(l, c)| (l.as_str(), *c)).collect();
+    out.push_str(&format!(
+        "calibrate: {} [{} mode]\n  rule    predicted    measured\n",
+        query,
+        session.eval_mode().as_str()
+    ));
+    for (label, predicted_cost) in &predicted {
+        let shown = measured_of
+            .get(label.as_str())
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!("  {label:<6}  {predicted_cost:<11}  {shown}\n"));
+    }
+    out.push_str(&format!(
+        "  rank correlation {:.2}, top rule match: {} (predicted {}, measured {})\n",
+        correlation,
+        if top_match { "yes" } else { "NO" },
+        top_predicted.as_deref().unwrap_or("-"),
+        top_measured.as_deref().unwrap_or("-"),
+    ));
+    Ok(out)
+}
+
 /// Options for the `p3 lint` subcommand.
 #[derive(Debug, PartialEq)]
 struct LintOptions {
@@ -623,6 +785,25 @@ fn main() -> ExitCode {
             }
         };
         return match run_explain(&opts) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("analyze") {
+        let opts = match parse_analyze_args(&args[1..]) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match run_analyze(&opts) {
             Ok(out) => {
                 print!("{out}");
                 ExitCode::SUCCESS

@@ -9,6 +9,7 @@
 //! | [`prob`] | `p3-prob` | DNF provenance polynomials, exact (Shannon/BDD) and Monte-Carlo probability |
 //! | [`provenance`] | `p3-provenance` | graph capture, ExSPAN-style rewriting, cycle-eliminating extraction, SLD resolution |
 //! | [`lint`] | `p3-lint` | multi-pass static analysis with `P3xxx` diagnostics |
+//! | [`analyze`] | `p3-analyze` | abstract-interpretation cost & cardinality prediction, eval-mode recommendation |
 //! | [`core`] | `p3-core` | the [`core::P3`] system facade and the four query types |
 //! | [`workloads`] | `p3-workloads` | Acquaintance, synthetic Bitcoin-OTC trust network, synthetic VQA |
 //! | [`obs`] | `p3-obs` | leveled logging, Prometheus-style metrics, hierarchical spans |
@@ -33,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub use p3_analyze as analyze;
 pub use p3_audit as audit;
 pub use p3_core as core;
 pub use p3_datalog as datalog;
